@@ -1,0 +1,117 @@
+//! # analytics — GAPBS-style graph kernels over [`GraphView`]
+//!
+//! The paper evaluates every system with the same four kernels from the GAP
+//! Benchmark Suite (Table 1):
+//!
+//! | Kernel | Type | Notes |
+//! |--------|------|-------|
+//! | [`pagerank`] | link analysis | fixed 20 iterations, damping 0.85 |
+//! | [`bfs`] | traversal | direction-optimizing (Beamer et al.) |
+//! | [`bc`] | shortest paths | Brandes, single source |
+//! | [`cc`] | connectivity | Shiloach–Vishkin style label propagation |
+//!
+//! All kernels are generic over [`GraphView`], so they run unchanged on
+//! DGAP, on every baseline system, and on the in-memory
+//! [`dgap::ReferenceGraph`] used as the test oracle.  Each kernel has a
+//! sequential implementation and a rayon-parallel one (`*_parallel`); the
+//! benchmark harness picks the parallel variant and sizes the rayon pool to
+//! the requested thread count.
+//!
+//! Like GAPBS (and the paper's evaluation, which feeds every system the
+//! same pre-processed inputs), the kernels treat the neighbour lists as the
+//! adjacency of an undirected graph: PageRank pulls contributions over the
+//! same lists it pushes to, and the bottom-up BFS step checks a vertex's
+//! out-neighbours for frontier membership.  The synthetic workloads insert
+//! each edge in both directions when symmetry matters (see the `workloads`
+//! crate and EXPERIMENTS.md).
+
+#![warn(missing_docs)]
+
+pub mod bc;
+pub mod bfs;
+pub mod cc;
+pub mod pagerank;
+
+pub use bc::{bc, bc_parallel};
+pub use bfs::{bfs, bfs_parallel};
+pub use cc::{cc, cc_parallel};
+pub use pagerank::{pagerank, pagerank_parallel};
+
+use dgap::{GraphView, VertexId};
+
+/// Pick the highest-out-degree vertex as the traversal source, the common
+/// GAPBS convention for reproducible BFS / BC runs.
+pub fn highest_degree_vertex(view: &impl GraphView) -> VertexId {
+    let mut best = 0u64;
+    let mut best_deg = 0usize;
+    for v in 0..view.num_vertices() as u64 {
+        let d = view.degree(v);
+        if d > best_deg {
+            best = v;
+            best_deg = d;
+        }
+    }
+    best
+}
+
+/// Run `f` inside a rayon pool with `threads` worker threads.  Convenience
+/// wrapper used by benchmarks and tests so kernels always see a pool of the
+/// requested size regardless of the global default.
+pub fn with_threads<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads.max(1))
+        .build()
+        .expect("failed to build rayon pool")
+        .install(f)
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use dgap::ReferenceGraph;
+
+    /// A small undirected test graph: two triangles bridged by one edge,
+    /// plus an isolated vertex.
+    ///
+    /// ```text
+    ///   0 - 1       4 - 5
+    ///    \  |       |  /
+    ///      2 ------ 3          6 (isolated)
+    /// ```
+    pub fn two_triangles() -> ReferenceGraph {
+        let mut g = ReferenceGraph::new(7);
+        for &(a, b) in &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)] {
+            g.add_edge(a, b);
+            g.add_edge(b, a);
+        }
+        g
+    }
+
+    /// A directed path 0 -> 1 -> 2 -> 3 (inserted symmetrically).
+    pub fn path4() -> ReferenceGraph {
+        let mut g = ReferenceGraph::new(4);
+        for &(a, b) in &[(0, 1), (1, 2), (2, 3)] {
+            g.add_edge(a, b);
+            g.add_edge(b, a);
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use testutil::two_triangles;
+
+    #[test]
+    fn highest_degree_vertex_finds_the_hub() {
+        let g = two_triangles();
+        // Vertices 2 and 3 both have degree 3; the first one wins.
+        assert_eq!(highest_degree_vertex(&g), 2);
+    }
+
+    #[test]
+    fn with_threads_runs_the_closure() {
+        let x = with_threads(2, || rayon::current_num_threads());
+        assert_eq!(x, 2);
+    }
+}

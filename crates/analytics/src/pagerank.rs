@@ -1,0 +1,141 @@
+//! PageRank with a fixed iteration count (GAPBS `pr`, Table 1: 20
+//! iterations, damping factor 0.85).
+
+use dgap::GraphView;
+use rayon::prelude::*;
+
+/// Damping factor used by the paper's GAPBS configuration.
+pub const DAMPING: f64 = 0.85;
+
+/// Default iteration count (Table 1).
+pub const DEFAULT_ITERATIONS: usize = 20;
+
+/// Sequential PageRank: returns one rank per vertex after `iterations`
+/// pull-style iterations.
+pub fn pagerank(view: &impl GraphView, iterations: usize) -> Vec<f64> {
+    let n = view.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let base = (1.0 - DAMPING) / n as f64;
+    let mut ranks = vec![1.0 / n as f64; n];
+    let mut contrib = vec![0.0f64; n];
+    for _ in 0..iterations {
+        for v in 0..n {
+            let d = view.degree(v as u64);
+            contrib[v] = if d == 0 { 0.0 } else { ranks[v] / d as f64 };
+        }
+        for v in 0..n {
+            let mut sum = 0.0;
+            view.for_each_neighbor(v as u64, &mut |u| {
+                sum += contrib[u as usize];
+            });
+            ranks[v] = base + DAMPING * sum;
+        }
+    }
+    ranks
+}
+
+/// Rayon-parallel PageRank; numerically identical to [`pagerank`] (the pull
+/// model writes each vertex's rank exactly once per iteration, so no atomics
+/// are needed).
+pub fn pagerank_parallel(view: &(impl GraphView + Sync), iterations: usize) -> Vec<f64> {
+    let n = view.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let base = (1.0 - DAMPING) / n as f64;
+    let mut ranks = vec![1.0 / n as f64; n];
+    let mut contrib = vec![0.0f64; n];
+    for _ in 0..iterations {
+        contrib
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(v, c)| {
+                let d = view.degree(v as u64);
+                *c = if d == 0 { 0.0 } else { ranks[v] / d as f64 };
+            });
+        ranks
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(v, r)| {
+                let mut sum = 0.0;
+                view.for_each_neighbor(v as u64, &mut |u| {
+                    sum += contrib[u as usize];
+                });
+                *r = base + DAMPING * sum;
+            });
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{path4, two_triangles};
+    use dgap::ReferenceGraph;
+
+    fn assert_close(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < 1e-12, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn ranks_sum_to_roughly_one_on_connected_graphs() {
+        let g = two_triangles();
+        let r = pagerank(&g, 20);
+        let sum: f64 = r.iter().sum();
+        // Vertex 6 is isolated and leaks rank, so the sum is slightly below 1.
+        assert!(sum > 0.8 && sum <= 1.0 + 1e-9, "sum = {sum}");
+    }
+
+    #[test]
+    fn hubs_rank_higher_than_leaves() {
+        let g = two_triangles();
+        let r = pagerank(&g, 20);
+        assert!(r[2] > r[0]);
+        assert!(r[3] > r[5]);
+        assert!(r[6] < r[0], "isolated vertex has the lowest rank");
+    }
+
+    #[test]
+    fn symmetric_path_is_symmetric() {
+        let g = path4();
+        let r = pagerank(&g, 30);
+        assert!((r[0] - r[3]).abs() < 1e-9);
+        assert!((r[1] - r[2]).abs() < 1e-9);
+        assert!(r[1] > r[0]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = two_triangles();
+        assert_close(&pagerank(&g, 20), &pagerank_parallel(&g, 20));
+        let g = path4();
+        assert_close(&pagerank(&g, 7), &pagerank_parallel(&g, 7));
+    }
+
+    #[test]
+    fn empty_and_zero_iteration_cases() {
+        let empty = ReferenceGraph::new(0);
+        assert!(pagerank(&empty, 5).is_empty());
+        let g = path4();
+        let r = pagerank(&g, 0);
+        assert!(r.iter().all(|&x| (x - 0.25).abs() < 1e-12));
+    }
+
+    #[test]
+    fn uniform_ring_yields_uniform_ranks() {
+        let mut g = ReferenceGraph::new(5);
+        for v in 0..5u64 {
+            g.add_edge(v, (v + 1) % 5);
+            g.add_edge((v + 1) % 5, v);
+        }
+        let r = pagerank(&g, 25);
+        for &x in &r {
+            assert!((x - 0.2).abs() < 1e-9);
+        }
+    }
+}

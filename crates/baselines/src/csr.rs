@@ -1,0 +1,236 @@
+//! Static Compressed Sparse Row on persistent memory.
+//!
+//! The paper ports the GAPBS CSR to PM and uses it as the graph-analysis
+//! reference: it cannot absorb updates (the whole edge array would have to
+//! be rebuilt), but its perfectly compact, perfectly sequential layout is
+//! the fastest thing analysis can run on.  Figures 7 and 8 normalise every
+//! system's kernel time to this baseline.
+
+use dgap::{DynamicGraph, GraphError, GraphResult, GraphView, SnapshotSource, VertexId};
+use pmem::{PmemOffset, PmemPool};
+use std::sync::Arc;
+
+/// A read-only CSR image stored on persistent memory.
+pub struct PmCsr {
+    pool: Arc<PmemPool>,
+    /// Offset of the `|V| + 1` row-offset array (u64 entries).
+    offsets: PmemOffset,
+    /// Offset of the `|E|` destination array (u64 entries).
+    edges: PmemOffset,
+    num_vertices: usize,
+    num_edges: usize,
+}
+
+impl PmCsr {
+    /// Build a CSR image from an edge list and persist it.
+    pub fn build(
+        pool: Arc<PmemPool>,
+        num_vertices: usize,
+        edge_list: &[(VertexId, VertexId)],
+    ) -> GraphResult<Self> {
+        let nv = edge_list
+            .iter()
+            .map(|&(s, d)| s.max(d) as usize + 1)
+            .max()
+            .unwrap_or(0)
+            .max(num_vertices);
+        // Counting sort by source preserves per-vertex insertion order.
+        let mut counts = vec![0u64; nv + 1];
+        for &(s, _) in edge_list {
+            counts[s as usize + 1] += 1;
+        }
+        for i in 1..=nv {
+            counts[i] += counts[i - 1];
+        }
+        let offsets_vec = counts.clone();
+        let mut cursor = counts;
+        let mut dests = vec![0u64; edge_list.len()];
+        for &(s, d) in edge_list {
+            let slot = cursor[s as usize];
+            dests[slot as usize] = d;
+            cursor[s as usize] += 1;
+        }
+
+        let map_err = |e: pmem::PmemError| GraphError::OutOfSpace(e.to_string());
+        let offsets = pool.alloc((nv + 1) * 8, 64).map_err(map_err)?;
+        pool.write_u64_slice(offsets, &offsets_vec);
+        pool.persist(offsets, (nv + 1) * 8);
+        let edges = pool.alloc(dests.len().max(1) * 8, 64).map_err(map_err)?;
+        pool.write_u64_slice(edges, &dests);
+        pool.persist(edges, dests.len().max(1) * 8);
+
+        Ok(PmCsr {
+            pool,
+            offsets,
+            edges,
+            num_vertices: nv,
+            num_edges: edge_list.len(),
+        })
+    }
+
+    fn offset_at(&self, i: usize) -> u64 {
+        self.pool.read_u64(self.offsets + (i as u64) * 8)
+    }
+}
+
+impl GraphView for PmCsr {
+    fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    fn degree(&self, v: VertexId) -> usize {
+        if v as usize >= self.num_vertices {
+            return 0;
+        }
+        (self.offset_at(v as usize + 1) - self.offset_at(v as usize)) as usize
+    }
+
+    fn for_each_neighbor(&self, v: VertexId, f: &mut dyn FnMut(VertexId)) {
+        if v as usize >= self.num_vertices {
+            return;
+        }
+        let start = self.offset_at(v as usize);
+        let end = self.offset_at(v as usize + 1);
+        let n = (end - start) as usize;
+        if n == 0 {
+            return;
+        }
+        let mut buf = vec![0u64; n];
+        self.pool
+            .read_u64_slice(self.edges + start * 8, &mut buf);
+        for d in buf {
+            f(d);
+        }
+    }
+}
+
+impl DynamicGraph for PmCsr {
+    fn insert_vertex(&self, _v: VertexId) -> GraphResult<()> {
+        Err(GraphError::Unsupported("CSR is immutable"))
+    }
+
+    fn insert_edge(&self, _src: VertexId, _dst: VertexId) -> GraphResult<()> {
+        Err(GraphError::Unsupported("CSR is immutable"))
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    fn flush(&self) {
+        self.pool.fence();
+    }
+
+    fn system_name(&self) -> &'static str {
+        "CSR"
+    }
+}
+
+/// A borrowed view of the CSR (the CSR itself is already a consistent,
+/// immutable snapshot).
+pub struct PmCsrView<'a>(&'a PmCsr);
+
+impl GraphView for PmCsrView<'_> {
+    fn num_vertices(&self) -> usize {
+        GraphView::num_vertices(self.0)
+    }
+    fn num_edges(&self) -> usize {
+        GraphView::num_edges(self.0)
+    }
+    fn degree(&self, v: VertexId) -> usize {
+        self.0.degree(v)
+    }
+    fn for_each_neighbor(&self, v: VertexId, f: &mut dyn FnMut(VertexId)) {
+        self.0.for_each_neighbor(v, f);
+    }
+}
+
+impl SnapshotSource for PmCsr {
+    type View<'a> = PmCsrView<'a>;
+
+    fn consistent_view(&self) -> PmCsrView<'_> {
+        PmCsrView(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::PmemConfig;
+
+    fn pool() -> Arc<PmemPool> {
+        Arc::new(PmemPool::new(PmemConfig::small_test()))
+    }
+
+    #[test]
+    fn build_and_read_back() {
+        let edges = vec![(0u64, 1u64), (0, 2), (1, 2), (2, 0), (0, 3)];
+        let csr = PmCsr::build(pool(), 4, &edges).unwrap();
+        assert_eq!(GraphView::num_vertices(&csr), 4);
+        assert_eq!(GraphView::num_edges(&csr), 5);
+        assert_eq!(csr.degree(0), 3);
+        assert_eq!(csr.neighbors(0), vec![1, 2, 3]);
+        assert_eq!(csr.neighbors(1), vec![2]);
+        assert_eq!(csr.neighbors(3), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn insertion_order_is_preserved_per_vertex() {
+        let edges = vec![(1u64, 9u64), (1, 3), (1, 7), (0, 5)];
+        let csr = PmCsr::build(pool(), 2, &edges).unwrap();
+        assert_eq!(csr.neighbors(1), vec![9, 3, 7]);
+    }
+
+    #[test]
+    fn vertex_count_grows_to_cover_edge_ids() {
+        let edges = vec![(10u64, 20u64)];
+        let csr = PmCsr::build(pool(), 2, &edges).unwrap();
+        assert_eq!(GraphView::num_vertices(&csr), 21);
+        assert_eq!(csr.degree(10), 1);
+        assert_eq!(csr.degree(20), 0);
+    }
+
+    #[test]
+    fn updates_are_rejected() {
+        let csr = PmCsr::build(pool(), 2, &[(0, 1)]).unwrap();
+        assert!(matches!(
+            csr.insert_edge(0, 1),
+            Err(GraphError::Unsupported(_))
+        ));
+        assert!(csr.insert_vertex(5).is_err());
+        assert_eq!(csr.system_name(), "CSR");
+    }
+
+    #[test]
+    fn image_survives_crash() {
+        let p = pool();
+        let edges = vec![(0u64, 1u64), (1, 0), (1, 1)];
+        let csr = PmCsr::build(Arc::clone(&p), 2, &edges).unwrap();
+        p.simulate_crash();
+        assert_eq!(csr.neighbors(1), vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let csr = PmCsr::build(pool(), 0, &[]).unwrap();
+        assert_eq!(GraphView::num_vertices(&csr), 0);
+        assert_eq!(GraphView::num_edges(&csr), 0);
+        assert_eq!(csr.degree(0), 0);
+    }
+
+    #[test]
+    fn snapshot_view_delegates() {
+        let csr = PmCsr::build(pool(), 3, &[(0, 1), (2, 1)]).unwrap();
+        let view = csr.consistent_view();
+        assert_eq!(view.num_vertices(), 3);
+        assert_eq!(view.neighbors(2), vec![1]);
+    }
+}

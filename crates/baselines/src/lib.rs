@@ -1,0 +1,99 @@
+//! # baselines — the comparison systems of the DGAP evaluation
+//!
+//! Five systems, re-implemented *in spirit* on top of the same emulated
+//! persistent-memory substrate (`pmem`) so that the comparison measures
+//! storage-architecture decisions rather than incidental implementation
+//! differences:
+//!
+//! * [`PmCsr`] — a static Compressed Sparse Row image on PM (ported GAPBS
+//!   CSR).  It cannot be updated; it is the *analysis* lower bound every
+//!   figure normalises against.
+//! * [`Bal`] — a Blocked Adjacency List on PM: per-vertex block chains with
+//!   vertex-grained locking and transactional block linkage.  Excellent at
+//!   appends, poor at whole-graph analysis (pointer chasing).
+//! * [`Llama`] — a LLAMA-like multi-versioned CSR: updates are buffered in
+//!   DRAM and folded into immutable per-batch snapshots on PM; analysis
+//!   reads the last closed snapshot (and therefore misses the newest
+//!   edges, as the paper discusses).
+//! * [`GraphOneFd`] — a GraphOne-like hybrid: a DRAM edge list plus DRAM
+//!   adjacency list, with the edge list flushed to a PM durability log
+//!   every 2¹⁶ insertions ("GraphOne-FD" in the paper).
+//! * [`XpGraph`] — an XPGraph-like PM-native store: a PM circular edge log
+//!   absorbs insertions, and a background-style archiving step moves them
+//!   into per-vertex PM adjacency blocks (with a DRAM mirror used for
+//!   analysis) once the archiving threshold is reached.
+//!
+//! Every system implements [`dgap::DynamicGraph`] for updates and exposes a
+//! `consistent_view()` snapshot implementing [`dgap::GraphView`], so the
+//! `analytics` kernels and the `bench` harness treat all of them — and DGAP
+//! itself — uniformly.
+
+#![warn(missing_docs)]
+
+pub mod bal;
+pub mod csr;
+pub mod graphone;
+pub mod llama;
+pub mod xpgraph;
+
+pub use bal::Bal;
+pub use csr::PmCsr;
+pub use graphone::GraphOneFd;
+pub use llama::Llama;
+pub use xpgraph::XpGraph;
+
+/// The systems compared in the paper's figures, as a uniform enum used by
+/// the benchmark harness for iteration and labelling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemKind {
+    /// DGAP itself (implemented in the `dgap` crate).
+    Dgap,
+    /// Blocked Adjacency List baseline.
+    Bal,
+    /// LLAMA-like multi-versioned CSR baseline.
+    Llama,
+    /// GraphOne-FD baseline.
+    GraphOneFd,
+    /// XPGraph-like baseline.
+    XpGraph,
+    /// Static CSR (analysis-only reference).
+    Csr,
+}
+
+impl SystemKind {
+    /// All dynamic systems in the order the paper's figures list them.
+    pub fn dynamic_systems() -> [SystemKind; 5] {
+        [
+            SystemKind::Dgap,
+            SystemKind::Bal,
+            SystemKind::Llama,
+            SystemKind::GraphOneFd,
+            SystemKind::XpGraph,
+        ]
+    }
+
+    /// Label used in benchmark output (matches the paper's legends).
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemKind::Dgap => "DGAP",
+            SystemKind::Bal => "BAL",
+            SystemKind::Llama => "LLAMA",
+            SystemKind::GraphOneFd => "GraphOne-FD",
+            SystemKind::XpGraph => "XPGraph",
+            SystemKind::Csr => "CSR",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_legends() {
+        assert_eq!(SystemKind::Dgap.label(), "DGAP");
+        assert_eq!(SystemKind::GraphOneFd.label(), "GraphOne-FD");
+        assert_eq!(SystemKind::dynamic_systems().len(), 5);
+        assert_eq!(SystemKind::Csr.label(), "CSR");
+    }
+}

@@ -1,0 +1,74 @@
+//! Criterion micro-benchmark: analysis kernels per system on a small
+//! workload (the microscopic view behind Figs. 7–8 / Table 4).
+
+use analytics::{bfs, cc, highest_degree_vertex, pagerank};
+use bench::{AnySystem, BenchOptions, Workload};
+use baselines::SystemKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgap::GraphView;
+use workloads::datasets::LIVEJOURNAL;
+
+fn analysis_benchmark(c: &mut Criterion) {
+    let opts = BenchOptions {
+        scale: 1 << 16,
+        ..BenchOptions::default()
+    };
+    let w = Workload::build(LIVEJOURNAL, &opts);
+
+    // Build every system once; kernels are read-only.
+    let mut systems = Vec::new();
+    {
+        let pool = bench::harness::pool_for_edges(w.edges.len());
+        systems.push(AnySystem::build_csr(pool, w.num_vertices, &w.edges));
+    }
+    for kind in SystemKind::dynamic_systems() {
+        let pool = bench::harness::pool_for_edges(w.edges.len());
+        let sys = AnySystem::build(kind, pool, w.num_vertices, w.edges.len());
+        sys.insert_all(&w.edges);
+        sys.flush();
+        systems.push(sys);
+    }
+
+    let mut pr_group = c.benchmark_group("pagerank_livejournal_scaled");
+    pr_group.sample_size(10);
+    pr_group.warm_up_time(std::time::Duration::from_millis(500));
+    pr_group.measurement_time(std::time::Duration::from_millis(1500));
+    for sys in &systems {
+        let view = sys.view();
+        pr_group.bench_with_input(BenchmarkId::from_parameter(sys.label()), &view, |b, view| {
+            b.iter(|| pagerank(view, 5));
+        });
+    }
+    pr_group.finish();
+
+    let mut bfs_group = c.benchmark_group("bfs_livejournal_scaled");
+    bfs_group.sample_size(10);
+    bfs_group.warm_up_time(std::time::Duration::from_millis(500));
+    bfs_group.measurement_time(std::time::Duration::from_millis(1500));
+    for sys in &systems {
+        let view = sys.view();
+        let source = highest_degree_vertex(&view);
+        bfs_group.bench_with_input(BenchmarkId::from_parameter(sys.label()), &view, |b, view| {
+            b.iter(|| bfs(view, source));
+        });
+    }
+    bfs_group.finish();
+
+    let mut cc_group = c.benchmark_group("cc_livejournal_scaled");
+    cc_group.sample_size(10);
+    cc_group.warm_up_time(std::time::Duration::from_millis(500));
+    cc_group.measurement_time(std::time::Duration::from_millis(1500));
+    for sys in &systems {
+        let view = sys.view();
+        if view.num_edges() == 0 {
+            continue;
+        }
+        cc_group.bench_with_input(BenchmarkId::from_parameter(sys.label()), &view, |b, view| {
+            b.iter(|| cc(view));
+        });
+    }
+    cc_group.finish();
+}
+
+criterion_group!(benches, analysis_benchmark);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion micro-benchmark: single-edge insertion cost per system
+//! (the microscopic view behind Fig. 6).
+
+use bench::{AnySystem, BenchOptions, Workload};
+use baselines::SystemKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use workloads::datasets::ORKUT;
+
+fn insert_benchmark(c: &mut Criterion) {
+    let opts = BenchOptions {
+        scale: 1 << 17, // tiny: criterion repeats the workload many times
+        ..BenchOptions::default()
+    };
+    let w = Workload::build(ORKUT, &opts);
+    let mut group = c.benchmark_group("insert_orkut_scaled");
+    group.throughput(Throughput::Elements(w.edges.len() as u64));
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for kind in SystemKind::dynamic_systems() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter_with_large_drop(|| {
+                    let pool = bench::harness::pool_for_edges(w.edges.len());
+                    let sys = AnySystem::build(kind, pool, w.num_vertices, w.edges.len());
+                    sys.insert_all(&w.edges);
+                    sys
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, insert_benchmark);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion micro-benchmark: the persistent-memory primitives whose cost
+//! asymmetries motivate DGAP's designs (Fig. 1(c) and §2.1.2).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pmem::{PmemConfig, PmemPool};
+
+fn primitives_benchmark(c: &mut Criterion) {
+    let pool = PmemPool::new(PmemConfig::with_capacity(64 << 20).persistence_tracking(false));
+    let region = pool.alloc(16 << 20, 256).unwrap();
+    let payload = [0x5au8; 64];
+    let writes_per_iter = 1024u64;
+
+    let mut group = c.benchmark_group("pmem_persistent_writes");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.throughput(Throughput::Bytes(writes_per_iter * 64));
+
+    group.bench_function("sequential", |b| {
+        let mut cursor = 0u64;
+        b.iter(|| {
+            for _ in 0..writes_per_iter {
+                let off = region + (cursor % (8 << 20));
+                pool.write(off, &payload);
+                pool.persist(off, 64);
+                cursor += 64;
+            }
+        });
+    });
+
+    group.bench_function("random", |b| {
+        let mut x = 0x9e3779b9u64;
+        b.iter(|| {
+            for _ in 0..writes_per_iter {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let off = region + (x % (8 << 20) / 64) * 64;
+                pool.write(off, &payload);
+                pool.persist(off, 64);
+            }
+        });
+    });
+
+    group.bench_function("in_place", |b| {
+        let off = region + (12 << 20);
+        b.iter(|| {
+            for _ in 0..writes_per_iter {
+                pool.write(off, &payload);
+                pool.persist(off, 64);
+            }
+        });
+    });
+
+    group.bench_function("unflushed_store", |b| {
+        let mut cursor = 0u64;
+        b.iter(|| {
+            for _ in 0..writes_per_iter {
+                let off = region + (cursor % (8 << 20));
+                pool.write(off, &payload);
+                cursor += 64;
+            }
+            pool.persist(region, 64); // single ordering point per batch
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, primitives_benchmark);
+criterion_main!(benches);

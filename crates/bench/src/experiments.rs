@@ -1,0 +1,563 @@
+//! One runner per paper table / figure.
+//!
+//! Every function prints a [`Table`] whose rows mirror the corresponding
+//! artefact in the paper.  Absolute numbers differ from the paper (the
+//! substrate is an emulator and the datasets are scaled), but the comparisons
+//! — who wins, by roughly what factor, where the crossovers are — are the
+//! reproduction target; `EXPERIMENTS.md` records both sides.
+
+use crate::harness::{measure, pool_for_edges, AnySystem, BenchOptions, Measurement, Workload};
+use crate::report::{meps, ratio, secs, Table};
+use analytics::{bc_parallel, bfs_parallel, cc_parallel, highest_degree_vertex, pagerank_parallel, with_threads};
+use baselines::SystemKind;
+use dgap::{Dgap, DgapConfig, DgapVariant, DynamicGraph, GraphView};
+use pmem::{PmemConfig, PmemPool};
+use std::sync::Arc;
+use workloads::datasets::{ALL_DATASETS, CIT_PATENTS, LIVEJOURNAL, ORKUT, SMALL_DATASETS};
+use workloads::DatasetSpec;
+
+// ----------------------------------------------------------------------
+// Fig. 1 — motivation micro-benchmarks
+// ----------------------------------------------------------------------
+
+/// Fig. 1(a): write amplification of naive (no edge log) PMA-CSR insertion,
+/// sampled over insertion progress on the Orkut-scaled workload.
+pub fn fig1a(opts: &BenchOptions) -> Table {
+    let w = Workload::build(ORKUT, opts);
+    let pool = pool_for_edges(w.edges.len());
+    let sys = AnySystem::build_dgap_variant(
+        DgapVariant::NoElog,
+        Arc::clone(&pool),
+        w.num_vertices,
+        w.edges.len(),
+    );
+    let mut table = Table::new(
+        "Fig 1(a): write amplification of PMA-based CSR inserts (Orkut-scaled, no edge log)",
+        &["progress", "logical MB", "media MB", "write amplification"],
+    );
+    let deciles = 10usize;
+    let chunk = w.edges.len().div_ceil(deciles).max(1);
+    for (i, edges) in w.edges.chunks(chunk).enumerate() {
+        let before = pool.stats_snapshot();
+        sys.insert_all(edges);
+        let d = pool.stats_snapshot().delta_since(&before);
+        table.row(vec![
+            format!("{}%", (i + 1) * 100 / deciles),
+            format!("{:.2}", d.logical_bytes_written as f64 / 1e6),
+            format!("{:.2}", d.media_bytes_written as f64 / 1e6),
+            format!("{:.2}", d.write_amplification()),
+        ]);
+    }
+    table
+}
+
+/// Fig. 1(b): time to insert a graph into a mutable CSR held in DRAM, on PM,
+/// and on PM with PMDK-style transactions.
+pub fn fig1b(opts: &BenchOptions) -> Table {
+    let w = Workload::build(CIT_PATENTS, opts);
+    let mut table = Table::new(
+        "Fig 1(b): insert time, DRAM vs PM vs PM+TX (CitPatents-scaled, naive mutable CSR)",
+        &["target", "wall s", "simulated s", "total s"],
+    );
+    let cases: [(&str, bool, DgapVariant); 3] = [
+        ("DRAM", true, DgapVariant::NoElog),
+        ("PM", false, DgapVariant::NoElog),
+        ("PM-TX", false, DgapVariant::NoElogUlog),
+    ];
+    for (label, dram, variant) in cases {
+        let bytes = (w.edges.len() * 256).clamp(32 << 20, 1 << 30);
+        let pool = Arc::new(PmemPool::new(if dram {
+            PmemConfig::dram_with_capacity(bytes)
+        } else {
+            PmemConfig::with_capacity(bytes).persistence_tracking(false)
+        }));
+        let sys = AnySystem::build_dgap_variant(
+            variant,
+            Arc::clone(&pool),
+            w.num_vertices,
+            w.edges.len(),
+        );
+        let m = measure(&pool, w.edges.len(), || sys.insert_all(&w.edges));
+        table.row(vec![
+            label.to_string(),
+            secs(m.wall_secs),
+            secs(m.simulated_secs),
+            secs(m.total_secs()),
+        ]);
+    }
+    table
+}
+
+/// Fig. 1(c): latency of writing the same volume of data sequentially,
+/// randomly and repeatedly in-place on (emulated) persistent memory.
+pub fn fig1c(_opts: &BenchOptions) -> Table {
+    let pool = PmemPool::new(PmemConfig::with_capacity(32 << 20));
+    let region = pool.alloc(8 << 20, 256).unwrap();
+    let total_writes = 16_384usize;
+    let payload = [0xabu8; 64];
+    let mut table = Table::new(
+        "Fig 1(c): persistent write latency by access pattern (1 MiB in 64 B units)",
+        &["pattern", "simulated ms", "per write ns"],
+    );
+    let mut run = |label: &str, mut addr: Box<dyn FnMut(usize) -> u64>| {
+        let before = pool.stats_snapshot();
+        // Flush per store, fence once per 8 stores — the grouping a real
+        // application uses when it batches ordering points.  Repeatedly
+        // flushing the same line inside one ordering window is what makes
+        // the in-place pattern pathological on Optane (Fig. 1(c)).
+        for i in 0..total_writes {
+            let off = addr(i);
+            pool.write(off, &payload);
+            pool.flush(off, payload.len());
+            if i % 8 == 7 {
+                pool.fence();
+            }
+        }
+        pool.fence();
+        let d = pool.stats_snapshot().delta_since(&before);
+        table.row(vec![
+            label.to_string(),
+            format!("{:.3}", d.simulated_ns as f64 / 1e6),
+            format!("{:.0}", d.simulated_ns as f64 / total_writes as f64),
+        ]);
+    };
+    run("Seq", Box::new(move |i| region + (i as u64) * 64));
+    let region2 = region + (2 << 20);
+    run(
+        "Rnd",
+        Box::new(move |i| {
+            let x = (i as u64).wrapping_mul(2654435761) % 32768;
+            region2 + x * 64
+        }),
+    );
+    let region3 = region + (4 << 20);
+    run("In-place", Box::new(move |_| region3));
+    table
+}
+
+// ----------------------------------------------------------------------
+// Fig. 5 — XPGraph archiving threshold
+// ----------------------------------------------------------------------
+
+/// Fig. 5: XPGraph insert throughput as a function of the archiving
+/// threshold (2^1 .. 2^16), LiveJournal-scaled workload.
+pub fn fig5(opts: &BenchOptions) -> Table {
+    let w = Workload::build(LIVEJOURNAL, opts);
+    let mut table = Table::new(
+        "Fig 5: XPGraph insert throughput vs archiving threshold (LiveJournal-scaled)",
+        &["threshold", "MEPS (wall)", "MEPS (incl. simulated PM time)"],
+    );
+    for exp in 1..=16u32 {
+        let threshold = 1usize << exp;
+        let pool = pool_for_edges(w.edges.len());
+        let sys = baselines::XpGraph::new(Arc::clone(&pool), w.num_vertices, threshold)
+            .expect("create XPGraph");
+        // Warm up, then measure, mirroring the main insertion benchmark.
+        for &(s, d) in w.warmup() {
+            sys.insert_edge(s, d).expect("insert");
+        }
+        let m = measure(&pool, w.measured().len(), || {
+            for &(s, d) in w.measured() {
+                sys.insert_edge(s, d).expect("insert");
+            }
+        });
+        table.row(vec![
+            format!("2^{exp}"),
+            meps(m.meps()),
+            meps(m.effective_meps()),
+        ]);
+    }
+    table
+}
+
+// ----------------------------------------------------------------------
+// Fig. 6 / Table 3 — insertion throughput
+// ----------------------------------------------------------------------
+
+fn insert_run(kind: SystemKind, w: &Workload, threads: usize) -> Measurement {
+    let pool = pool_for_edges(w.edges.len());
+    let sys = AnySystem::build(kind, Arc::clone(&pool), w.num_vertices, w.edges.len());
+    sys.insert_all(w.warmup());
+    let m = measure(&pool, w.measured().len(), || {
+        sys.insert_parallel(w.measured(), threads)
+    });
+    sys.flush();
+    m
+}
+
+/// Fig. 6: single-writer-thread insertion throughput (MEPS) for every
+/// dynamic system on every dataset.
+pub fn fig6(opts: &BenchOptions) -> Table {
+    let mut table = Table::new(
+        "Fig 6: dynamic graph insertion throughput, 1 writer thread (MEPS, incl. simulated PM time)",
+        &["dataset", "DGAP", "BAL", "LLAMA", "GraphOne-FD", "XPGraph"],
+    );
+    for spec in ALL_DATASETS {
+        let w = Workload::build(spec, opts);
+        let mut cells = vec![spec.name.to_string()];
+        for kind in SystemKind::dynamic_systems() {
+            let m = insert_run(kind, &w, 1);
+            cells.push(meps(m.effective_meps()));
+        }
+        table.row(cells);
+    }
+    table
+}
+
+/// Table 3: insertion throughput with 1, 8 and 16 writer threads.
+pub fn table3(opts: &BenchOptions) -> Table {
+    let mut table = Table::new(
+        "Table 3: insertion throughput (MEPS, incl. simulated PM time) vs writer threads",
+        &["dataset", "threads", "DGAP", "BAL", "LLAMA", "GraphOne-FD", "XPGraph"],
+    );
+    for spec in ALL_DATASETS {
+        let w = Workload::build(spec, opts);
+        for &threads in &opts.thread_counts {
+            let mut cells = vec![spec.name.to_string(), format!("T{threads}")];
+            for kind in SystemKind::dynamic_systems() {
+                let m = insert_run(kind, &w, threads);
+                cells.push(meps(m.effective_meps()));
+            }
+            table.row(cells);
+        }
+    }
+    table
+}
+
+// ----------------------------------------------------------------------
+// Fig. 7 / Fig. 8 / Table 4 — analysis kernels
+// ----------------------------------------------------------------------
+
+/// Which kernel to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// PageRank, 20 iterations.
+    PageRank,
+    /// Direction-optimizing BFS from the highest-degree vertex.
+    Bfs,
+    /// Brandes betweenness centrality from the highest-degree vertex.
+    Bc,
+    /// Shiloach–Vishkin connected components.
+    Cc,
+}
+
+impl Kernel {
+    fn label(self) -> &'static str {
+        match self {
+            Kernel::PageRank => "PR",
+            Kernel::Bfs => "BFS",
+            Kernel::Bc => "BC",
+            Kernel::Cc => "CC",
+        }
+    }
+}
+
+fn run_kernel(view: &(impl GraphView + Sync), kernel: Kernel, threads: usize, source: u64) -> f64 {
+    let start = std::time::Instant::now();
+    with_threads(threads, || match kernel {
+        Kernel::PageRank => {
+            let r = pagerank_parallel(view, analytics::pagerank::DEFAULT_ITERATIONS);
+            std::hint::black_box(r.len());
+        }
+        Kernel::Bfs => {
+            let p = bfs_parallel(view, source);
+            std::hint::black_box(p.len());
+        }
+        Kernel::Bc => {
+            let c = bc_parallel(view, source);
+            std::hint::black_box(c.len());
+        }
+        Kernel::Cc => {
+            let c = cc_parallel(view);
+            std::hint::black_box(c.len());
+        }
+    });
+    start.elapsed().as_secs_f64()
+}
+
+/// Build every system (including the CSR reference), load the workload and
+/// return `(label, kernel seconds)` for one kernel at one thread count.
+fn analysis_run(
+    spec: DatasetSpec,
+    opts: &BenchOptions,
+    kernels: &[Kernel],
+    threads: usize,
+) -> Vec<(String, Vec<f64>)> {
+    let w = Workload::build(spec, opts);
+    let mut out = Vec::new();
+
+    // CSR reference first (it also provides the BFS/BC source vertex).
+    let pool = pool_for_edges(w.edges.len());
+    let csr = AnySystem::build_csr(Arc::clone(&pool), w.num_vertices, &w.edges);
+    let csr_view = csr.view();
+    let source = highest_degree_vertex(&csr_view);
+    let times: Vec<f64> = kernels
+        .iter()
+        .map(|&k| run_kernel(&csr_view, k, threads, source))
+        .collect();
+    out.push(("CSR".to_string(), times));
+
+    for kind in SystemKind::dynamic_systems() {
+        let pool = pool_for_edges(w.edges.len());
+        let sys = AnySystem::build(kind, Arc::clone(&pool), w.num_vertices, w.edges.len());
+        sys.insert_all(&w.edges);
+        sys.flush();
+        let view = sys.view();
+        let times: Vec<f64> = kernels
+            .iter()
+            .map(|&k| run_kernel(&view, k, threads, source))
+            .collect();
+        out.push((kind.label().to_string(), times));
+    }
+    out
+}
+
+fn normalised_table(title: &str, kernels: &[Kernel], opts: &BenchOptions) -> Table {
+    let mut header = vec!["dataset", "kernel"];
+    let mut labels = vec!["CSR".to_string()];
+    labels.extend(SystemKind::dynamic_systems().map(|k| k.label().to_string()));
+    let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+    header.extend(label_refs.iter().copied());
+    let mut table = Table::new(title, &header);
+    for spec in ALL_DATASETS {
+        let results = analysis_run(spec, opts, kernels, 1);
+        for (ki, kernel) in kernels.iter().enumerate() {
+            let csr_time = results[0].1[ki].max(1e-9);
+            let mut cells = vec![spec.name.to_string(), kernel.label().to_string()];
+            for (_, times) in &results {
+                cells.push(ratio(times[ki] / csr_time));
+            }
+            table.row(cells);
+        }
+    }
+    table
+}
+
+/// Fig. 7: PageRank and Connected Components running time normalised to the
+/// CSR baseline (single analysis thread).
+pub fn fig7(opts: &BenchOptions) -> Table {
+    normalised_table(
+        "Fig 7: PR and CC time normalised to CSR (1 thread; smaller is better)",
+        &[Kernel::PageRank, Kernel::Cc],
+        opts,
+    )
+}
+
+/// Fig. 8: BFS and Betweenness Centrality running time normalised to CSR.
+pub fn fig8(opts: &BenchOptions) -> Table {
+    normalised_table(
+        "Fig 8: BFS and BC time normalised to CSR (1 thread; smaller is better)",
+        &[Kernel::Bfs, Kernel::Bc],
+        opts,
+    )
+}
+
+/// Table 4: absolute kernel times (seconds) at 1 and 16 analysis threads.
+pub fn table4(opts: &BenchOptions) -> Table {
+    let kernels = [Kernel::PageRank, Kernel::Bfs, Kernel::Bc, Kernel::Cc];
+    let mut header = vec!["dataset", "kernel", "threads", "CSR"];
+    let labels: Vec<String> = SystemKind::dynamic_systems()
+        .iter()
+        .map(|k| k.label().to_string())
+        .collect();
+    header.extend(labels.iter().map(String::as_str));
+    let mut table = Table::new(
+        "Table 4: kernel execution time in seconds (T1 and T16)",
+        &header,
+    );
+    let threads_cases = [1usize, *opts.thread_counts.last().unwrap_or(&16)];
+    for spec in ALL_DATASETS {
+        for &threads in &threads_cases {
+            let results = analysis_run(spec, opts, &kernels, threads);
+            for (ki, kernel) in kernels.iter().enumerate() {
+                let mut cells = vec![
+                    spec.name.to_string(),
+                    kernel.label().to_string(),
+                    format!("T{threads}"),
+                ];
+                for (_, times) in &results {
+                    cells.push(secs(times[ki]));
+                }
+                table.row(cells);
+            }
+        }
+    }
+    table
+}
+
+// ----------------------------------------------------------------------
+// Table 5 — ablation
+// ----------------------------------------------------------------------
+
+/// Table 5: insertion time of DGAP with its designs removed one by one.
+pub fn table5(opts: &BenchOptions) -> Table {
+    let mut table = Table::new(
+        "Table 5: insertion time in seconds (wall + simulated PM) of the DGAP ablation variants",
+        &["dataset", "DGAP", "No EL", "No EL&UL", "No EL&UL&DP"],
+    );
+    for spec in SMALL_DATASETS {
+        let w = Workload::build(spec, opts);
+        let mut cells = vec![spec.name.to_string()];
+        for variant in DgapVariant::all() {
+            let pool = pool_for_edges(w.edges.len());
+            let sys = AnySystem::build_dgap_variant(
+                variant,
+                Arc::clone(&pool),
+                w.num_vertices,
+                w.edges.len(),
+            );
+            let m = measure(&pool, w.edges.len(), || sys.insert_all(&w.edges));
+            cells.push(secs(m.total_secs()));
+        }
+        table.row(cells);
+    }
+    table
+}
+
+// ----------------------------------------------------------------------
+// Fig. 9 — edge-log size sweep
+// ----------------------------------------------------------------------
+
+/// Fig. 9: impact of the per-section edge-log size on PM consumption,
+/// utilisation and insertion time.
+pub fn fig9(opts: &BenchOptions) -> Table {
+    let mut table = Table::new(
+        "Fig 9: per-section edge-log size sweep (Orkut- and LiveJournal-scaled)",
+        &[
+            "dataset",
+            "ELOG_SZ",
+            "total log MB",
+            "utilisation %",
+            "insert s (wall+sim)",
+        ],
+    );
+    for spec in [ORKUT, LIVEJOURNAL] {
+        let w = Workload::build(spec, opts);
+        for exp in 6..=14u32 {
+            let elog_size = 1usize << exp; // 64 B .. 16 KiB
+            let pool = pool_for_edges(w.edges.len());
+            let cfg = DgapConfig::for_graph(w.num_vertices, w.edges.len()).elog_size(elog_size);
+            let sys = Dgap::create(Arc::clone(&pool), cfg).expect("create DGAP");
+            let m = measure(&pool, w.edges.len(), || {
+                for &(s, d) in &w.edges {
+                    sys.insert_edge(s, d).expect("insert");
+                }
+            });
+            let stats = sys.elog_stats();
+            let entries = sys.config().elog_entries().max(1);
+            let fills = stats.merges.max(1) * entries as u64;
+            let utilisation = (stats.appends as f64 / fills as f64 * 100.0).min(100.0);
+            table.row(vec![
+                spec.name.to_string(),
+                format!("{elog_size}"),
+                format!("{:.2}", sys.elog_total_bytes() as f64 / 1e6),
+                format!("{utilisation:.1}"),
+                secs(m.total_secs()),
+            ]);
+        }
+    }
+    table
+}
+
+// ----------------------------------------------------------------------
+// §4.4 — recovery
+// ----------------------------------------------------------------------
+
+/// §4.4: time to come back after a graceful shutdown vs after a crash.
+pub fn recovery(opts: &BenchOptions) -> Table {
+    let mut table = Table::new(
+        "Recovery: graceful-restart vs crash-recovery time (seconds, wall + simulated PM)",
+        &["dataset", "edges", "normal restart s", "crash recovery s"],
+    );
+    for spec in SMALL_DATASETS {
+        let w = Workload::build(spec, opts);
+        // Recovery experiments need the crash-tracking pool.
+        let bytes = (w.edges.len() * 256).clamp(32 << 20, 1 << 30);
+        let mk_pool = || Arc::new(PmemPool::new(PmemConfig::with_capacity(bytes)));
+
+        // Graceful shutdown + reopen.
+        let pool = mk_pool();
+        let cfg = DgapConfig::for_graph(w.num_vertices, w.edges.len());
+        let g = Dgap::create(Arc::clone(&pool), cfg.clone()).expect("create");
+        for &(s, d) in &w.edges {
+            g.insert_edge(s, d).expect("insert");
+        }
+        g.shutdown().expect("shutdown");
+        drop(g);
+        pool.simulate_crash();
+        let normal = measure(&pool, 1, || {
+            let (g2, kind) = Dgap::open(Arc::clone(&pool), cfg.clone()).expect("open");
+            assert_eq!(kind, dgap::RecoveryKind::NormalRestart);
+            std::hint::black_box(g2.num_vertices());
+        });
+
+        // Crash (no shutdown) + reopen.
+        let pool = mk_pool();
+        let g = Dgap::create(Arc::clone(&pool), cfg.clone()).expect("create");
+        for &(s, d) in &w.edges {
+            g.insert_edge(s, d).expect("insert");
+        }
+        drop(g);
+        pool.simulate_crash();
+        let crash = measure(&pool, 1, || {
+            let (g2, kind) = Dgap::open(Arc::clone(&pool), cfg.clone()).expect("open");
+            assert!(matches!(kind, dgap::RecoveryKind::CrashRecovery { .. }));
+            std::hint::black_box(g2.num_vertices());
+        });
+
+        table.row(vec![
+            spec.name.to_string(),
+            format!("{}", w.edges.len()),
+            secs(normal.total_secs()),
+            secs(crash.total_secs()),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> BenchOptions {
+        BenchOptions {
+            scale: 1 << 21,
+            thread_counts: vec![1, 2],
+            warmup_fraction: 0.1,
+        }
+    }
+
+    #[test]
+    fn fig1_runners_produce_rows() {
+        let rows = fig1a(&tiny()).len();
+        assert!(rows >= 9 && rows <= 10, "fig1a rows: {rows}");
+        assert_eq!(fig1b(&tiny()).len(), 3);
+        assert_eq!(fig1c(&tiny()).len(), 3);
+    }
+
+    #[test]
+    fn insertion_runners_cover_all_systems() {
+        let t = fig6(&tiny());
+        assert_eq!(t.len(), ALL_DATASETS.len());
+        let t3 = table3(&tiny());
+        assert_eq!(t3.len(), ALL_DATASETS.len() * 2);
+    }
+
+    #[test]
+    fn ablation_and_sweep_runners() {
+        assert_eq!(table5(&tiny()).len(), SMALL_DATASETS.len());
+        assert_eq!(fig9(&tiny()).len(), 2 * 9);
+        assert_eq!(fig5(&tiny()).len(), 16);
+    }
+
+    #[test]
+    fn analysis_runner_normalises_against_csr() {
+        let t = fig7(&tiny());
+        assert_eq!(t.len(), ALL_DATASETS.len() * 2);
+    }
+
+    #[test]
+    fn recovery_runner() {
+        assert_eq!(recovery(&tiny()).len(), SMALL_DATASETS.len());
+    }
+}

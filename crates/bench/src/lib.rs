@@ -1,0 +1,33 @@
+//! # bench — the benchmark harness reproducing the paper's evaluation
+//!
+//! The `dgap-bench` binary (see `src/main.rs`) regenerates every table and
+//! figure of the paper's §4 on the emulated persistent-memory substrate:
+//!
+//! | Command    | Paper artefact | What it reports |
+//! |------------|----------------|-----------------|
+//! | `fig1a`    | Fig. 1(a)      | write amplification of naive PMA-CSR insertion over insertion progress |
+//! | `fig1b`    | Fig. 1(b)      | graph insert time: DRAM vs PM vs PM with transactions |
+//! | `fig1c`    | Fig. 1(c)      | latency of sequential vs random vs in-place persistent writes |
+//! | `fig5`     | Fig. 5         | XPGraph insert throughput vs archiving threshold |
+//! | `fig6`     | Fig. 6         | single-thread insert throughput (MEPS), 5 systems × 6 datasets |
+//! | `table3`   | Table 3        | insert throughput at 1 / 8 / 16 writer threads |
+//! | `fig7`     | Fig. 7         | PageRank and Connected Components time normalised to CSR |
+//! | `fig8`     | Fig. 8         | BFS and Betweenness Centrality time normalised to CSR |
+//! | `table4`   | Table 4        | kernel execution time at 1 and 16 threads |
+//! | `table5`   | Table 5        | ablation: DGAP vs No EL vs No EL&UL vs No EL&UL&DP |
+//! | `fig9`     | Fig. 9         | per-section edge-log size sweep (64 B – 16 KiB) |
+//! | `recovery` | §4.4           | graceful-restart vs crash-recovery time |
+//!
+//! This library crate holds the pieces the binary and the Criterion
+//! micro-benchmarks share: a uniform wrapper over every graph system
+//! ([`AnySystem`] / [`AnyView`]), scaled workload construction, timing
+//! helpers and table formatting.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+pub mod report;
+
+pub use harness::{AnySystem, AnyView, BenchOptions, Measurement, Workload};
+pub use report::Table;

@@ -1,0 +1,134 @@
+//! `dgap-bench` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! dgap-bench <experiment> [--scale N] [--threads a,b,c]
+//!
+//! experiments:
+//!   fig1a fig1b fig1c fig5 fig6 table3 fig7 fig8 table4 table5 fig9 recovery
+//!   motivation   (fig1a + fig1b + fig1c)
+//!   insertion    (fig5 + fig6 + table3)
+//!   analysis     (fig7 + fig8 + table4)
+//!   components   (table5 + fig9 + recovery)
+//!   all          (everything)
+//!
+//! options:
+//!   --scale N       divide every Table 2 dataset by N   (default 8192)
+//!   --threads LIST  writer-thread counts for Table 3    (default 1,8,16)
+//! ```
+
+use bench::experiments as exp;
+use bench::{BenchOptions, Table};
+
+fn parse_args() -> (Vec<String>, BenchOptions) {
+    let mut opts = BenchOptions::default();
+    let mut experiments = Vec::new();
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().expect("--scale needs a value");
+                opts.scale = v.parse().expect("--scale must be an integer");
+            }
+            "--threads" => {
+                let v = args.next().expect("--threads needs a value");
+                opts.thread_counts = v
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--threads must be integers"))
+                    .collect();
+            }
+            "--help" | "-h" => {
+                print_usage();
+                std::process::exit(0);
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown option {other}");
+                print_usage();
+                std::process::exit(2);
+            }
+            other => experiments.push(other.to_string()),
+        }
+    }
+    if experiments.is_empty() {
+        print_usage();
+        std::process::exit(2);
+    }
+    (experiments, opts)
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: dgap-bench <experiment>... [--scale N] [--threads a,b,c]\n\
+         experiments: fig1a fig1b fig1c fig5 fig6 table3 fig7 fig8 table4 table5 fig9 recovery\n\
+         groups:      motivation insertion analysis components all"
+    );
+}
+
+fn expand(name: &str) -> Vec<&'static str> {
+    match name {
+        "fig1a" => vec!["fig1a"],
+        "fig1b" => vec!["fig1b"],
+        "fig1c" => vec!["fig1c"],
+        "fig5" => vec!["fig5"],
+        "fig6" => vec!["fig6"],
+        "table3" => vec!["table3"],
+        "fig7" => vec!["fig7"],
+        "fig8" => vec!["fig8"],
+        "table4" => vec!["table4"],
+        "table5" => vec!["table5"],
+        "fig9" => vec!["fig9"],
+        "recovery" => vec!["recovery"],
+        "motivation" => vec!["fig1a", "fig1b", "fig1c"],
+        "insertion" => vec!["fig5", "fig6", "table3"],
+        "analysis" => vec!["fig7", "fig8", "table4"],
+        "components" => vec!["table5", "fig9", "recovery"],
+        "all" => vec![
+            "fig1a", "fig1b", "fig1c", "fig5", "fig6", "table3", "fig7", "fig8", "table4",
+            "table5", "fig9", "recovery",
+        ],
+        other => {
+            eprintln!("unknown experiment: {other}");
+            print_usage();
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run(name: &str, opts: &BenchOptions) -> Table {
+    match name {
+        "fig1a" => exp::fig1a(opts),
+        "fig1b" => exp::fig1b(opts),
+        "fig1c" => exp::fig1c(opts),
+        "fig5" => exp::fig5(opts),
+        "fig6" => exp::fig6(opts),
+        "table3" => exp::table3(opts),
+        "fig7" => exp::fig7(opts),
+        "fig8" => exp::fig8(opts),
+        "table4" => exp::table4(opts),
+        "table5" => exp::table5(opts),
+        "fig9" => exp::fig9(opts),
+        "recovery" => exp::recovery(opts),
+        _ => unreachable!("expand() filters unknown names"),
+    }
+}
+
+fn main() {
+    let (requested, opts) = parse_args();
+    println!(
+        "# dgap-bench: scale 1/{}, writer threads {:?}",
+        opts.scale, opts.thread_counts
+    );
+    let mut names: Vec<&'static str> = Vec::new();
+    for r in &requested {
+        for n in expand(r) {
+            if !names.contains(&n) {
+                names.push(n);
+            }
+        }
+    }
+    for name in names {
+        let start = std::time::Instant::now();
+        let table = run(name, &opts);
+        table.print();
+        println!("({name} completed in {:.1}s)\n", start.elapsed().as_secs_f64());
+    }
+}

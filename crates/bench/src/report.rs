@@ -1,0 +1,133 @@
+//! Plain-text table formatting for benchmark output.
+//!
+//! The harness prints the same rows/columns the paper's tables and figure
+//! legends use, so a run can be compared against the published numbers side
+//! by side (EXPERIMENTS.md records that comparison).
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render the table to a string.
+    pub fn render(&self) -> String {
+        let ncols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; ncols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let empty = String::new();
+                let c = cells.get(i).unwrap_or(&empty);
+                line.push_str(&format!("{c:<width$}  ", width = w));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render and print to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Format seconds with three significant decimals.
+pub fn secs(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Format a throughput in MEPS with two decimals.
+pub fn meps(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Format a ratio (normalised running time) with two decimals.
+pub fn ratio(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new("Demo", &["system", "meps"]);
+        t.row(vec!["DGAP".into(), "2.52".into()]);
+        t.row(vec!["GraphOne-FD".into(), "1.23".into()]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("system"));
+        assert!(s.contains("GraphOne-FD"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        // Every data line has the same leading column width.
+        let lines: Vec<&str> = s.lines().collect();
+        let col = lines[3].find("2.52").unwrap();
+        assert_eq!(lines[4].find("1.23").unwrap(), col);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(secs(1.23456), "1.235");
+        assert_eq!(meps(2.518), "2.52");
+        assert_eq!(ratio(1.299), "1.30");
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new("empty", &["a"]);
+        assert!(t.is_empty());
+        assert!(t.render().contains("empty"));
+    }
+}

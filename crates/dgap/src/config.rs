@@ -1,0 +1,251 @@
+//! DGAP configuration: the user-specified initialisation parameters of the
+//! paper (§3.1.1) plus the knobs the evaluation sweeps (Fig. 9, Table 5).
+
+use pma::DensityBounds;
+
+/// Where a frequently-updated component lives.
+///
+/// The paper's *data placement schema* keeps the vertex array, the PMA tree
+/// and the locks in DRAM and only the edge array / logs on PM.  The Table 5
+/// ablation ("No EL&UL&DP") moves the vertex array (and the PMA-tree
+/// shadow) onto PM, which is what [`Placement::Pmem`] selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Keep the component in DRAM (DGAP's default).
+    Dram,
+    /// Keep the component on persistent memory, paying the in-place-update
+    /// penalty on every modification.
+    Pmem,
+}
+
+/// Configuration for a DGAP instance.
+#[derive(Debug, Clone)]
+pub struct DgapConfig {
+    /// Expected number of vertices (`INIT_VERTICES_SIZE`).  The vertex array
+    /// is pre-allocated to this size and grows automatically if exceeded.
+    pub init_vertices: usize,
+    /// Expected number of edges (`INIT_EDGES_SIZE`).  Together with
+    /// [`DgapConfig::gap_factor`] this sizes the initial edge array.
+    pub init_edges: usize,
+    /// Extra space factor for the initial edge array: the array starts with
+    /// `init_edges * gap_factor` slots (plus one pivot slot per vertex).
+    pub gap_factor: f64,
+    /// Number of element slots per PMA section.  One per-section edge log is
+    /// attached to each section.
+    pub segment_size: usize,
+    /// Size of one per-section edge log in bytes (`ELOG_SZ`).  The paper's
+    /// default is 2 KiB; Fig. 9 sweeps 64 B – 16 KiB.
+    pub elog_size: usize,
+    /// Per-thread undo-log region size in bytes (`ULOG_SZ`); also the chunk
+    /// granularity at which rebalance backups are persisted.
+    pub ulog_size: usize,
+    /// Number of writer threads the instance should pre-allocate undo logs
+    /// for.
+    pub writer_threads: usize,
+    /// PMA density thresholds.
+    pub density: DensityBounds,
+    /// Fraction of the edge log that may fill before a merge back into the
+    /// edge array is forced (the paper merges at 90 %).
+    pub elog_merge_threshold: f64,
+    /// Whether the per-section edge log optimisation is enabled.  Disabled
+    /// in the "No EL" ablation rows of Table 5.
+    pub use_edge_log: bool,
+    /// Whether rebalances are protected by the per-thread undo log (`true`)
+    /// or by PMDK-style transactions (`false`, the "No EL&UL" ablation).
+    pub use_undo_log: bool,
+    /// Placement of the vertex array and PMA-tree mirror ("DP" in Table 5).
+    pub metadata_placement: Placement,
+}
+
+impl Default for DgapConfig {
+    fn default() -> Self {
+        DgapConfig {
+            init_vertices: 1024,
+            init_edges: 16 * 1024,
+            gap_factor: 1.5,
+            segment_size: 512,
+            elog_size: 2 * 1024,
+            ulog_size: 2 * 1024,
+            writer_threads: 1,
+            density: DensityBounds::default(),
+            elog_merge_threshold: 0.9,
+            use_edge_log: true,
+            use_undo_log: true,
+            metadata_placement: Placement::Dram,
+        }
+    }
+}
+
+impl DgapConfig {
+    /// A configuration sized for unit tests: tiny arrays so that rebalances,
+    /// merges and resizes all trigger quickly.
+    pub fn small_test() -> Self {
+        DgapConfig {
+            init_vertices: 64,
+            init_edges: 256,
+            gap_factor: 1.5,
+            segment_size: 64,
+            elog_size: 256,
+            ulog_size: 512,
+            writer_threads: 2,
+            ..DgapConfig::default()
+        }
+    }
+
+    /// Configuration sized for a graph with `vertices` vertices and `edges`
+    /// edges (the two `INIT_*` parameters of the paper).
+    pub fn for_graph(vertices: usize, edges: usize) -> Self {
+        DgapConfig {
+            init_vertices: vertices.max(1),
+            init_edges: edges.max(16),
+            ..DgapConfig::default()
+        }
+    }
+
+    /// Builder-style: set the per-section edge-log size (Fig. 9 sweep).
+    pub fn elog_size(mut self, bytes: usize) -> Self {
+        self.elog_size = bytes;
+        self
+    }
+
+    /// Builder-style: set the per-thread undo-log size.
+    pub fn ulog_size(mut self, bytes: usize) -> Self {
+        self.ulog_size = bytes;
+        self
+    }
+
+    /// Builder-style: set the PMA section size (in slots).
+    pub fn segment_size(mut self, slots: usize) -> Self {
+        self.segment_size = slots;
+        self
+    }
+
+    /// Builder-style: set the number of writer threads to provision for.
+    pub fn writer_threads(mut self, n: usize) -> Self {
+        self.writer_threads = n.max(1);
+        self
+    }
+
+    /// Builder-style: disable the per-section edge log ("No EL").
+    pub fn without_edge_log(mut self) -> Self {
+        self.use_edge_log = false;
+        self
+    }
+
+    /// Builder-style: replace the per-thread undo log with PMDK-style
+    /// transactions ("No EL&UL" keeps `use_edge_log = false` too).
+    pub fn without_undo_log(mut self) -> Self {
+        self.use_undo_log = false;
+        self
+    }
+
+    /// Builder-style: place the vertex array / PMA-tree mirror on PM
+    /// ("No EL&UL&DP").
+    pub fn metadata_on_pmem(mut self) -> Self {
+        self.metadata_placement = Placement::Pmem;
+        self
+    }
+
+    /// Number of edge-array slots the initial allocation should contain:
+    /// one pivot per expected vertex plus the expected edges scaled by the
+    /// gap factor, rounded so the segment count is a power of two.
+    pub fn initial_slots(&self) -> usize {
+        let raw = self.init_vertices as f64 + self.init_edges as f64 * self.gap_factor;
+        (raw.ceil() as usize).max(self.segment_size)
+    }
+
+    /// Number of edge-log entries one per-section log can hold.
+    pub fn elog_entries(&self) -> usize {
+        self.elog_size / crate::elog::ELOG_ENTRY_BYTES
+    }
+
+    /// Validate invariants; called by the constructors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical settings (zero sizes, thresholds outside
+    /// `(0, 1]`).
+    pub fn validate(&self) {
+        assert!(self.segment_size >= 8, "segment_size must be at least 8 slots");
+        assert!(self.init_vertices > 0, "init_vertices must be positive");
+        assert!(self.init_edges > 0, "init_edges must be positive");
+        assert!(self.gap_factor >= 1.0, "gap_factor must be >= 1.0");
+        assert!(
+            self.elog_merge_threshold > 0.0 && self.elog_merge_threshold <= 1.0,
+            "elog_merge_threshold must be in (0, 1]"
+        );
+        assert!(self.writer_threads >= 1, "need at least one writer thread");
+        assert!(
+            self.ulog_size >= 256,
+            "ulog_size must hold at least one backup chunk header"
+        );
+        self.density.validated();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        DgapConfig::default().validate();
+        DgapConfig::small_test().validate();
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = DgapConfig::for_graph(100, 1000)
+            .elog_size(4096)
+            .ulog_size(8192)
+            .segment_size(128)
+            .writer_threads(4)
+            .without_edge_log()
+            .without_undo_log()
+            .metadata_on_pmem();
+        c.validate();
+        assert_eq!(c.init_vertices, 100);
+        assert_eq!(c.init_edges, 1000);
+        assert_eq!(c.elog_size, 4096);
+        assert_eq!(c.ulog_size, 8192);
+        assert_eq!(c.segment_size, 128);
+        assert_eq!(c.writer_threads, 4);
+        assert!(!c.use_edge_log);
+        assert!(!c.use_undo_log);
+        assert_eq!(c.metadata_placement, Placement::Pmem);
+    }
+
+    #[test]
+    fn initial_slots_cover_vertices_and_edges() {
+        let c = DgapConfig::for_graph(10, 100);
+        assert!(c.initial_slots() >= 10 + 100);
+    }
+
+    #[test]
+    fn elog_entry_count_scales_with_size() {
+        let small = DgapConfig::default().elog_size(256).elog_entries();
+        let large = DgapConfig::default().elog_size(4096).elog_entries();
+        assert!(large > small);
+        assert!(small > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "segment_size")]
+    fn tiny_segment_rejected() {
+        DgapConfig {
+            segment_size: 2,
+            ..DgapConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "gap_factor")]
+    fn sub_unity_gap_factor_rejected() {
+        DgapConfig {
+            gap_factor: 0.5,
+            ..DgapConfig::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,275 @@
+//! The DGAP superblock and layout block on persistent memory.
+//!
+//! The superblock is DGAP's equivalent of a PMDK root object: a small,
+//! fixed-layout record found through [`pmem::RootId::Superblock`] that lets
+//! a restarted (or crash-recovered) instance locate every other persistent
+//! region.  It also holds the paper's `NORMAL_SHUTDOWN` flag.
+//!
+//! The *layout block* describes the current generation of the edge array
+//! (base offset, number of sections) and the edge-log region.  Resizes build
+//! a complete new generation, persist a fresh layout block and then publish
+//! it with a single 8-byte (atomic) store of its offset into the superblock,
+//! so a crash during a resize always leaves a fully consistent generation
+//! reachable.
+
+use pmem::{PmemOffset, PmemPool, Result as PmemResult, RootId};
+
+/// Superblock field offsets (bytes, all fields `u64`).
+mod sb {
+    pub const NORMAL_SHUTDOWN: u64 = 0;
+    pub const NUM_VERTICES: u64 = 8;
+    pub const LAYOUT_BLOCK: u64 = 16;
+    pub const BACKUP_OFF: u64 = 24;
+    pub const BACKUP_LEN: u64 = 32;
+    pub const ULOG_TABLE: u64 = 40;
+    pub const NUM_ULOGS: u64 = 48;
+    pub const ULOG_CAPACITY: u64 = 56;
+    pub const ULOG_CHUNK: u64 = 64;
+    pub const SEGMENT_SIZE: u64 = 72;
+    pub const ELOG_SIZE: u64 = 80;
+    pub const SIZE: u64 = 96;
+}
+
+/// Layout-block field offsets.
+mod lb {
+    pub const EDGE_BASE: u64 = 0;
+    pub const NUM_SEGMENTS: u64 = 8;
+    pub const ELOG_BASE: u64 = 16;
+    pub const SIZE: u64 = 32;
+}
+
+/// A decoded layout block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Layout {
+    /// Base offset of the edge array.
+    pub edge_base: PmemOffset,
+    /// Number of sections in the edge array.
+    pub num_segments: usize,
+    /// Base offset of the per-section edge-log region.
+    pub elog_base: PmemOffset,
+}
+
+/// Handle to the superblock of one DGAP instance.
+#[derive(Debug, Clone)]
+pub struct Superblock {
+    off: PmemOffset,
+}
+
+impl Superblock {
+    /// Allocate and initialise a fresh superblock, registering it under
+    /// [`RootId::Superblock`].
+    pub fn create(pool: &PmemPool) -> PmemResult<Self> {
+        let off = pool.alloc_zeroed(sb::SIZE as usize, 64)?;
+        pool.persist(off, sb::SIZE as usize);
+        pool.set_root(RootId::Superblock, off)?;
+        Ok(Superblock { off })
+    }
+
+    /// Locate the superblock of a previously initialised pool.
+    pub fn open(pool: &PmemPool) -> PmemResult<Self> {
+        let off = pool.root(RootId::Superblock)?;
+        Ok(Superblock { off })
+    }
+
+    fn get(&self, pool: &PmemPool, field: u64) -> u64 {
+        pool.read_u64(self.off + field)
+    }
+
+    fn set(&self, pool: &PmemPool, field: u64, value: u64) {
+        pool.write_u64(self.off + field, value);
+        pool.persist(self.off + field, 8);
+    }
+
+    /// Whether the previous session shut down gracefully.
+    pub fn normal_shutdown(&self, pool: &PmemPool) -> bool {
+        self.get(pool, sb::NORMAL_SHUTDOWN) == 1
+    }
+
+    /// Record whether the current state reflects a graceful shutdown.
+    pub fn set_normal_shutdown(&self, pool: &PmemPool, value: bool) {
+        self.set(pool, sb::NORMAL_SHUTDOWN, u64::from(value));
+    }
+
+    /// Number of vertices the instance had grown to.
+    pub fn num_vertices(&self, pool: &PmemPool) -> usize {
+        self.get(pool, sb::NUM_VERTICES) as usize
+    }
+
+    /// Persist the vertex count (updated on growth and shutdown).
+    pub fn set_num_vertices(&self, pool: &PmemPool, n: usize) {
+        self.set(pool, sb::NUM_VERTICES, n as u64);
+    }
+
+    /// The static configuration recorded at creation time.
+    pub fn config(&self, pool: &PmemPool) -> (usize, usize) {
+        (
+            self.get(pool, sb::SEGMENT_SIZE) as usize,
+            self.get(pool, sb::ELOG_SIZE) as usize,
+        )
+    }
+
+    /// Record the static configuration (segment size, elog size).
+    pub fn set_config(&self, pool: &PmemPool, segment_size: usize, elog_size: usize) {
+        self.set(pool, sb::SEGMENT_SIZE, segment_size as u64);
+        self.set(pool, sb::ELOG_SIZE, elog_size as u64);
+    }
+
+    /// Publish a new layout block (atomic 8-byte store of its offset).
+    pub fn publish_layout(&self, pool: &PmemPool, layout: Layout) -> PmemResult<()> {
+        let block = pool.alloc_zeroed(lb::SIZE as usize, 64)?;
+        pool.write_u64(block + lb::EDGE_BASE, layout.edge_base);
+        pool.write_u64(block + lb::NUM_SEGMENTS, layout.num_segments as u64);
+        pool.write_u64(block + lb::ELOG_BASE, layout.elog_base);
+        pool.persist(block, lb::SIZE as usize);
+        // Single atomic pointer switch: the new generation becomes visible
+        // only after its contents are durable.
+        self.set(pool, sb::LAYOUT_BLOCK, block);
+        Ok(())
+    }
+
+    /// Read the currently published layout, if any.
+    pub fn layout(&self, pool: &PmemPool) -> Option<Layout> {
+        let block = self.get(pool, sb::LAYOUT_BLOCK);
+        if block == 0 {
+            return None;
+        }
+        Some(Layout {
+            edge_base: pool.read_u64(block + lb::EDGE_BASE),
+            num_segments: pool.read_u64(block + lb::NUM_SEGMENTS) as usize,
+            elog_base: pool.read_u64(block + lb::ELOG_BASE),
+        })
+    }
+
+    /// Record the per-thread undo-log table: `offsets[i]` is writer thread
+    /// `i`'s region.
+    pub fn set_ulogs(
+        &self,
+        pool: &PmemPool,
+        offsets: &[PmemOffset],
+        capacity: usize,
+        chunk: usize,
+    ) -> PmemResult<()> {
+        let table = pool.alloc_zeroed(offsets.len().max(1) * 8, 64)?;
+        pool.write_u64_slice(table, offsets);
+        pool.persist(table, offsets.len() * 8);
+        self.set(pool, sb::ULOG_TABLE, table);
+        self.set(pool, sb::NUM_ULOGS, offsets.len() as u64);
+        self.set(pool, sb::ULOG_CAPACITY, capacity as u64);
+        self.set(pool, sb::ULOG_CHUNK, chunk as u64);
+        Ok(())
+    }
+
+    /// Read back the undo-log table: `(offsets, capacity, chunk)`.
+    pub fn ulogs(&self, pool: &PmemPool) -> (Vec<PmemOffset>, usize, usize) {
+        let n = self.get(pool, sb::NUM_ULOGS) as usize;
+        let table = self.get(pool, sb::ULOG_TABLE);
+        let mut offsets = vec![0u64; n];
+        if n > 0 && table != 0 {
+            pool.read_u64_slice(table, &mut offsets);
+        }
+        (
+            offsets,
+            self.get(pool, sb::ULOG_CAPACITY) as usize,
+            self.get(pool, sb::ULOG_CHUNK) as usize,
+        )
+    }
+
+    /// Record the graceful-shutdown metadata backup region.
+    pub fn set_backup(&self, pool: &PmemPool, off: PmemOffset, len: usize) {
+        self.set(pool, sb::BACKUP_OFF, off);
+        self.set(pool, sb::BACKUP_LEN, len as u64);
+    }
+
+    /// Read the graceful-shutdown metadata backup region, if one was written.
+    pub fn backup(&self, pool: &PmemPool) -> Option<(PmemOffset, usize)> {
+        let off = self.get(pool, sb::BACKUP_OFF);
+        let len = self.get(pool, sb::BACKUP_LEN) as usize;
+        if off == 0 || len == 0 {
+            None
+        } else {
+            Some((off, len))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::PmemConfig;
+
+    #[test]
+    fn create_and_reopen() {
+        let pool = PmemPool::new(PmemConfig::small_test());
+        let s = Superblock::create(&pool).unwrap();
+        s.set_num_vertices(&pool, 42);
+        s.set_config(&pool, 512, 2048);
+        s.set_normal_shutdown(&pool, true);
+        let s2 = Superblock::open(&pool).unwrap();
+        assert_eq!(s2.num_vertices(&pool), 42);
+        assert_eq!(s2.config(&pool), (512, 2048));
+        assert!(s2.normal_shutdown(&pool));
+    }
+
+    #[test]
+    fn layout_publish_is_atomic_across_crash() {
+        let pool = PmemPool::new(PmemConfig::small_test());
+        let s = Superblock::create(&pool).unwrap();
+        assert!(s.layout(&pool).is_none());
+        let l1 = Layout {
+            edge_base: 4096,
+            num_segments: 8,
+            elog_base: 8192,
+        };
+        s.publish_layout(&pool, l1).unwrap();
+        assert_eq!(s.layout(&pool), Some(l1));
+
+        // A second generation that never gets published must not be visible
+        // after a crash.
+        let block = pool.alloc_zeroed(32, 64).unwrap();
+        pool.write_u64(block, 999);
+        // (not persisted, not published)
+        pool.simulate_crash();
+        assert_eq!(s.layout(&pool), Some(l1));
+    }
+
+    #[test]
+    fn ulog_table_roundtrip() {
+        let pool = PmemPool::new(PmemConfig::small_test());
+        let s = Superblock::create(&pool).unwrap();
+        s.set_ulogs(&pool, &[100, 200, 300], 4096, 2048).unwrap();
+        pool.simulate_crash();
+        let (offs, cap, chunk) = s.ulogs(&pool);
+        assert_eq!(offs, vec![100, 200, 300]);
+        assert_eq!(cap, 4096);
+        assert_eq!(chunk, 2048);
+    }
+
+    #[test]
+    fn empty_ulog_table() {
+        let pool = PmemPool::new(PmemConfig::small_test());
+        let s = Superblock::create(&pool).unwrap();
+        let (offs, _, _) = s.ulogs(&pool);
+        assert!(offs.is_empty());
+    }
+
+    #[test]
+    fn backup_roundtrip() {
+        let pool = PmemPool::new(PmemConfig::small_test());
+        let s = Superblock::create(&pool).unwrap();
+        assert!(s.backup(&pool).is_none());
+        s.set_backup(&pool, 12345, 678);
+        assert_eq!(s.backup(&pool), Some((12345, 678)));
+    }
+
+    #[test]
+    fn shutdown_flag_survives_crash_only_if_persisted() {
+        let pool = PmemPool::new(PmemConfig::small_test());
+        let s = Superblock::create(&pool).unwrap();
+        s.set_normal_shutdown(&pool, true);
+        pool.simulate_crash();
+        assert!(s.normal_shutdown(&pool));
+        s.set_normal_shutdown(&pool, false);
+        pool.simulate_crash();
+        assert!(!s.normal_shutdown(&pool));
+    }
+}

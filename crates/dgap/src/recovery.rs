@@ -1,0 +1,408 @@
+//! Shutdown, restart and crash recovery (§3.1.5).
+//!
+//! DGAP distinguishes two restart paths via the persistent
+//! `NORMAL_SHUTDOWN` flag:
+//!
+//! * **Graceful restart.**  [`Dgap::shutdown`] serialises every DRAM
+//!   component (vertex array, PMA-tree occupancies, allocation tail) into a
+//!   metadata-backup region on PM and sets the flag; [`Dgap::open`] then
+//!   simply reloads the backup — fast, independent of graph size.
+//! * **Crash recovery.**  When the flag is clear, [`Dgap::open`] first rolls
+//!   back any rebalance that was interrupted mid-flight (per-thread undo
+//!   logs), then reconstructs the vertex array by scanning the edge array
+//!   for pivot elements, folds in the per-section edge logs (degrees and
+//!   `elog_head` chains) and rebuilds the density tree.  Sequential PM scans
+//!   are fast, so even this path is proportional to the raw data size only.
+
+use crate::config::DgapConfig;
+use crate::edges::EdgeArray;
+use crate::elog::EdgeLogs;
+use crate::graph::Dgap;
+use crate::meta::Superblock;
+use crate::slot::Slot;
+use crate::traits::{GraphError, GraphResult};
+use crate::ulog::UndoLog;
+use crate::vertex::{VertexArray, VertexEntry, NO_ELOG};
+use parking_lot::Mutex;
+use pma::{DensityTree, SegmentGeometry};
+use pmem::PmemPool;
+use std::sync::Arc;
+
+/// Bytes per vertex entry in the metadata backup.
+const BACKUP_VERTEX_BYTES: usize = 24;
+/// Fixed header of the metadata backup.
+const BACKUP_HEADER_BYTES: usize = 32;
+
+/// How a [`Dgap::open`] call brought the instance back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryKind {
+    /// The previous session shut down gracefully; metadata was reloaded from
+    /// the backup region.
+    NormalRestart,
+    /// The previous session crashed; metadata was reconstructed by scanning
+    /// the edge array, edge logs and undo logs.
+    CrashRecovery {
+        /// Number of interrupted rebalances rolled back from undo logs.
+        rolled_back_rebalances: usize,
+    },
+}
+
+impl Dgap {
+    /// Gracefully shut down: persist every DRAM component to PM and set the
+    /// `NORMAL_SHUTDOWN` flag so the next [`Dgap::open`] can skip recovery.
+    pub fn shutdown(&self) -> GraphResult<()> {
+        let _wg = self.resize_lock.write(); // quiesce writers and readers
+        let pool = self.pool();
+        let entries = self.vertices.snapshot_entries();
+        let num_sections = self.edges.num_segments();
+        let occupancies: Vec<u32> = {
+            let t = self.tree.lock();
+            (0..num_sections).map(|s| t.occupancy(s) as u32).collect()
+        };
+        let len = BACKUP_HEADER_BYTES
+            + entries.len() * BACKUP_VERTEX_BYTES
+            + occupancies.len() * 4;
+        let off = pool
+            .alloc(len, 64)
+            .map_err(|e| GraphError::OutOfSpace(e.to_string()))?;
+        let mut buf = Vec::with_capacity(len);
+        buf.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+        buf.extend_from_slice(&(self.num_edges_internal()).to_le_bytes());
+        buf.extend_from_slice(&self.tail_value().to_le_bytes());
+        buf.extend_from_slice(&(num_sections as u64).to_le_bytes());
+        for e in &entries {
+            buf.extend_from_slice(&e.degree.to_le_bytes());
+            buf.extend_from_slice(&e.in_array.to_le_bytes());
+            buf.extend_from_slice(&e.start.to_le_bytes());
+            buf.extend_from_slice(&e.elog_head.to_le_bytes());
+            buf.extend_from_slice(&0u32.to_le_bytes());
+        }
+        for o in &occupancies {
+            buf.extend_from_slice(&o.to_le_bytes());
+        }
+        debug_assert_eq!(buf.len(), len);
+        pool.write(off, &buf);
+        pool.persist(off, len);
+        self.superblock().set_backup(pool, off, len);
+        self.superblock()
+            .set_num_vertices(pool, entries.len());
+        self.superblock().set_normal_shutdown(pool, true);
+        Ok(())
+    }
+
+    /// Re-open a DGAP instance from a pool that already contains one
+    /// (either after a graceful shutdown or after a crash).  Returns the
+    /// instance together with which restart path was taken.
+    pub fn open(pool: Arc<PmemPool>, cfg: DgapConfig) -> GraphResult<(Self, RecoveryKind)> {
+        let sb = Superblock::open(&pool).map_err(|e| GraphError::Other(e.to_string()))?;
+        let (segment_size, elog_size) = sb.config(&pool);
+        let mut cfg = cfg;
+        cfg.segment_size = segment_size;
+        cfg.elog_size = elog_size;
+        cfg.validate();
+        let layout = sb
+            .layout(&pool)
+            .ok_or_else(|| GraphError::Other("pool has no published layout".into()))?;
+        let edges = EdgeArray::attach(
+            Arc::clone(&pool),
+            layout.edge_base,
+            segment_size,
+            layout.num_segments,
+        );
+        let elogs = EdgeLogs::attach(
+            Arc::clone(&pool),
+            layout.elog_base,
+            layout.num_segments,
+            elog_size,
+        );
+        let (ulog_offsets, ulog_capacity, ulog_chunk) = sb.ulogs(&pool);
+        let ulogs: Vec<Mutex<UndoLog>> = ulog_offsets
+            .iter()
+            .map(|&off| {
+                Mutex::new(UndoLog::attach(
+                    Arc::clone(&pool),
+                    off,
+                    ulog_capacity,
+                    ulog_chunk,
+                ))
+            })
+            .collect();
+
+        let normal = sb.normal_shutdown(&pool);
+        let num_vertices = sb.num_vertices(&pool).max(cfg.init_vertices);
+        let geom = SegmentGeometry::new(segment_size, layout.num_segments);
+
+        let graph = Dgap::assemble(
+            Arc::clone(&pool),
+            cfg,
+            sb,
+            VertexArray::new(num_vertices),
+            edges,
+            elogs,
+            ulogs,
+            DensityTree::new(geom, pma::DensityBounds::default()),
+        );
+
+        let kind = if normal {
+            graph.load_backup()?;
+            RecoveryKind::NormalRestart
+        } else {
+            let rolled_back = graph.recover_from_crash();
+            RecoveryKind::CrashRecovery {
+                rolled_back_rebalances: rolled_back,
+            }
+        };
+        // From this point on we are live again: any future crash must go
+        // through crash recovery unless `shutdown` runs first.
+        graph
+            .superblock()
+            .set_normal_shutdown(graph.pool(), false);
+        Ok((graph, kind))
+    }
+
+    /// Reload DRAM metadata from the graceful-shutdown backup.
+    fn load_backup(&self) -> GraphResult<()> {
+        let pool = self.pool();
+        let (off, len) = self
+            .superblock()
+            .backup(pool)
+            .ok_or_else(|| GraphError::Other("normal shutdown recorded but no backup".into()))?;
+        let buf = pool.read_vec(off, len);
+        let nv = u64::from_le_bytes(buf[0..8].try_into().unwrap()) as usize;
+        let records = u64::from_le_bytes(buf[8..16].try_into().unwrap());
+        let tail = u64::from_le_bytes(buf[16..24].try_into().unwrap());
+        let num_sections = u64::from_le_bytes(buf[24..32].try_into().unwrap()) as usize;
+        let mut entries = Vec::with_capacity(nv);
+        let mut cursor = BACKUP_HEADER_BYTES;
+        for _ in 0..nv {
+            let degree = u32::from_le_bytes(buf[cursor..cursor + 4].try_into().unwrap());
+            let in_array = u32::from_le_bytes(buf[cursor + 4..cursor + 8].try_into().unwrap());
+            let start = u64::from_le_bytes(buf[cursor + 8..cursor + 16].try_into().unwrap());
+            let elog_head = u32::from_le_bytes(buf[cursor + 16..cursor + 20].try_into().unwrap());
+            entries.push(VertexEntry {
+                degree,
+                in_array,
+                start,
+                elog_head,
+            });
+            cursor += BACKUP_VERTEX_BYTES;
+        }
+        let mut occupancies = Vec::with_capacity(num_sections);
+        for _ in 0..num_sections {
+            occupancies.push(u32::from_le_bytes(buf[cursor..cursor + 4].try_into().unwrap()) as usize);
+            cursor += 4;
+        }
+        self.restore_state(entries, occupancies, tail, records);
+        self.elogs.rebuild_used_counters();
+        Ok(())
+    }
+
+    /// Rebuild all DRAM metadata by scanning persistent structures.
+    /// Returns the number of interrupted rebalances rolled back.
+    fn recover_from_crash(&self) -> usize {
+        let mut rolled_back = 0usize;
+        for ulog in self.ulogs_for_recovery() {
+            if ulog.lock().recover().is_some() {
+                rolled_back += 1;
+            }
+        }
+
+        let num_sections = self.edges.num_segments();
+        let segment_size = self.edges.segment_size();
+        let mut entries: Vec<VertexEntry> = vec![
+            VertexEntry::default();
+            self.superblock().num_vertices(self.pool()).max(1)
+        ];
+        let mut occupancies = vec![0usize; num_sections];
+        let mut tail = 0u64;
+        let mut records = 0u64;
+
+        // Pass 1: the edge array.  Pivots give starts; the records that
+        // follow give in-array counts and (initial) degrees.
+        let mut current: Option<usize> = None;
+        self.edges.scan(|idx, slot| {
+            occupancies[(idx as usize) / segment_size] += 1;
+            tail = tail.max(idx + 1);
+            match slot {
+                Slot::Pivot(v) => {
+                    let v = v as usize;
+                    if v >= entries.len() {
+                        entries.resize(v + 1, VertexEntry::default());
+                    }
+                    entries[v].start = idx;
+                    entries[v].in_array = 0;
+                    entries[v].degree = 0;
+                    entries[v].elog_head = NO_ELOG;
+                    current = Some(v);
+                }
+                s if s.is_edge_record() => {
+                    if let Some(v) = current {
+                        entries[v].in_array += 1;
+                        entries[v].degree += 1;
+                        records += 1;
+                    }
+                }
+                _ => {}
+            }
+        });
+
+        // Pass 2: the per-section edge logs.  Entries appear in append
+        // order, so the last one seen for a source becomes its chain head.
+        self.elogs.scan_all(|section, idx, e| {
+            let v = e.src as usize;
+            if v >= entries.len() {
+                entries.resize(v + 1, VertexEntry::default());
+            }
+            entries[v].degree += 1;
+            entries[v].elog_head = idx;
+            occupancies[section] += 1;
+            records += 1;
+        });
+
+        self.restore_state(entries, occupancies, tail, records);
+        self.stats_recovered(rolled_back as u64);
+        rolled_back
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::{DynamicGraph, GraphView};
+    use pmem::PmemConfig;
+
+    fn pool() -> Arc<PmemPool> {
+        Arc::new(PmemPool::new(PmemConfig::small_test()))
+    }
+
+    fn populate(g: &Dgap, edges: &[(u64, u64)]) {
+        for &(s, d) in edges {
+            g.insert_edge(s, d).unwrap();
+        }
+    }
+
+    fn edge_list(n: usize) -> Vec<(u64, u64)> {
+        let mut x = 0x9e37_79b9u64;
+        (0..n)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((x >> 33) % 64, (x >> 17) % 64)
+            })
+            .collect()
+    }
+
+    fn neighbours_of_all(g: &Dgap) -> Vec<Vec<u64>> {
+        let view = g.consistent_view();
+        (0..DynamicGraph::num_vertices(g) as u64)
+            .map(|v| view.neighbors(v))
+            .collect()
+    }
+
+    #[test]
+    fn graceful_shutdown_and_reopen_preserves_graph() {
+        let p = pool();
+        let g = Dgap::create(Arc::clone(&p), DgapConfig::small_test()).unwrap();
+        let edges = edge_list(1500);
+        populate(&g, &edges);
+        let before = neighbours_of_all(&g);
+        let records = DynamicGraph::num_edges(&g);
+        g.shutdown().unwrap();
+        drop(g);
+
+        p.simulate_crash(); // power-off after a graceful shutdown
+        let (g2, kind) = Dgap::open(Arc::clone(&p), DgapConfig::small_test()).unwrap();
+        assert_eq!(kind, RecoveryKind::NormalRestart);
+        assert_eq!(DynamicGraph::num_edges(&g2), records);
+        assert_eq!(neighbours_of_all(&g2)[..64], before[..64]);
+        g2.check_invariants();
+    }
+
+    #[test]
+    fn crash_without_shutdown_recovers_all_persisted_edges() {
+        let p = pool();
+        let g = Dgap::create(Arc::clone(&p), DgapConfig::small_test()).unwrap();
+        let edges = edge_list(2000);
+        populate(&g, &edges);
+        let before = neighbours_of_all(&g);
+        let records = DynamicGraph::num_edges(&g);
+        drop(g);
+
+        p.simulate_crash();
+        let (g2, kind) = Dgap::open(Arc::clone(&p), DgapConfig::small_test()).unwrap();
+        assert!(matches!(kind, RecoveryKind::CrashRecovery { .. }));
+        assert_eq!(DynamicGraph::num_edges(&g2), records);
+        let after = neighbours_of_all(&g2);
+        assert_eq!(after[..64], before[..64]);
+        g2.check_invariants();
+    }
+
+    #[test]
+    fn recovered_graph_accepts_new_edges() {
+        let p = pool();
+        let g = Dgap::create(Arc::clone(&p), DgapConfig::small_test()).unwrap();
+        populate(&g, &edge_list(800));
+        drop(g);
+        p.simulate_crash();
+        let (g2, _) = Dgap::open(Arc::clone(&p), DgapConfig::small_test()).unwrap();
+        let before = DynamicGraph::num_edges(&g2);
+        populate(&g2, &edge_list(500));
+        assert_eq!(DynamicGraph::num_edges(&g2), before + 500);
+        g2.check_invariants();
+    }
+
+    #[test]
+    fn double_crash_recovery_is_stable() {
+        let p = pool();
+        let g = Dgap::create(Arc::clone(&p), DgapConfig::small_test()).unwrap();
+        populate(&g, &edge_list(1000));
+        drop(g);
+        p.simulate_crash();
+        let (g2, _) = Dgap::open(Arc::clone(&p), DgapConfig::small_test()).unwrap();
+        let snapshot = neighbours_of_all(&g2);
+        drop(g2);
+        p.simulate_crash();
+        let (g3, _) = Dgap::open(Arc::clone(&p), DgapConfig::small_test()).unwrap();
+        assert_eq!(neighbours_of_all(&g3), snapshot);
+        g3.check_invariants();
+    }
+
+    #[test]
+    fn crash_after_shutdown_then_new_inserts_uses_crash_path() {
+        let p = pool();
+        let g = Dgap::create(Arc::clone(&p), DgapConfig::small_test()).unwrap();
+        populate(&g, &edge_list(300));
+        g.shutdown().unwrap();
+        drop(g);
+        let (g2, kind) = Dgap::open(Arc::clone(&p), DgapConfig::small_test()).unwrap();
+        assert_eq!(kind, RecoveryKind::NormalRestart);
+        // New inserts after the restart, then a crash: the next open must
+        // take the crash path (the flag was cleared on open).
+        populate(&g2, &edge_list(300));
+        let expected = DynamicGraph::num_edges(&g2);
+        drop(g2);
+        p.simulate_crash();
+        let (g3, kind) = Dgap::open(Arc::clone(&p), DgapConfig::small_test()).unwrap();
+        assert!(matches!(kind, RecoveryKind::CrashRecovery { .. }));
+        assert_eq!(DynamicGraph::num_edges(&g3), expected);
+    }
+
+    #[test]
+    fn deletions_survive_recovery() {
+        let p = pool();
+        let g = Dgap::create(Arc::clone(&p), DgapConfig::small_test()).unwrap();
+        g.insert_edge(1, 2).unwrap();
+        g.insert_edge(1, 3).unwrap();
+        g.delete_edge(1, 2).unwrap();
+        drop(g);
+        p.simulate_crash();
+        let (g2, _) = Dgap::open(Arc::clone(&p), DgapConfig::small_test()).unwrap();
+        let view = g2.consistent_view();
+        assert_eq!(view.neighbors(1), vec![3]);
+    }
+
+    #[test]
+    fn open_fails_on_uninitialised_pool() {
+        let p = pool();
+        assert!(Dgap::open(p, DgapConfig::small_test()).is_err());
+    }
+}

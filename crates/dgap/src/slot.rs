@@ -1,0 +1,155 @@
+//! Encoding of one edge-array slot on persistent memory.
+//!
+//! Each slot is 8 bytes.  Three kinds of values share the space:
+//!
+//! * **Empty** — the PMA gap.  Encoded as all-zeroes so that freshly
+//!   allocated (zeroed) persistent memory reads as "all gaps".
+//! * **Pivot** — the paper's recovery anchor: a special element carrying
+//!   `-vertex_id` placed at the start of every vertex's edge list.  We set
+//!   the top bit instead of using two's complement so that vertex id 0 can
+//!   be represented.
+//! * **Edge** — the destination vertex id, optionally carrying the
+//!   tombstone flag the paper uses to encode deletions ("re-insert the edge
+//!   with the first bit of the destination set").
+//!
+//! Destination ids are stored biased by one (`dst + 1`) so that a legal edge
+//! never encodes to zero and can always be told apart from a gap.
+
+use crate::traits::VertexId;
+
+/// Bit marking a slot as a pivot element.
+const PIVOT_BIT: u64 = 1 << 63;
+/// Bit marking an edge as tombstoned (deleted).
+const TOMB_BIT: u64 = 1 << 62;
+/// Mask extracting the vertex id payload.
+const ID_MASK: u64 = (1 << 62) - 1;
+
+/// Size of one slot in bytes.
+pub const SLOT_BYTES: usize = 8;
+
+/// Decoded contents of one edge-array slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Slot {
+    /// An unoccupied gap.
+    Empty,
+    /// The pivot element opening vertex `v`'s edge list.
+    Pivot(VertexId),
+    /// A live edge to `dst`.
+    Edge(VertexId),
+    /// A tombstoned (deleted) edge to `dst`.
+    Tombstone(VertexId),
+}
+
+impl Slot {
+    /// Encode to the on-PM representation.
+    pub fn encode(self) -> u64 {
+        match self {
+            Slot::Empty => 0,
+            Slot::Pivot(v) => {
+                debug_assert!(v <= ID_MASK - 1, "vertex id too large to encode");
+                PIVOT_BIT | (v + 1)
+            }
+            Slot::Edge(dst) => {
+                debug_assert!(dst <= ID_MASK - 1, "vertex id too large to encode");
+                dst + 1
+            }
+            Slot::Tombstone(dst) => {
+                debug_assert!(dst <= ID_MASK - 1, "vertex id too large to encode");
+                TOMB_BIT | (dst + 1)
+            }
+        }
+    }
+
+    /// Decode from the on-PM representation.
+    pub fn decode(raw: u64) -> Slot {
+        if raw == 0 {
+            Slot::Empty
+        } else if raw & PIVOT_BIT != 0 {
+            Slot::Pivot((raw & ID_MASK) - 1)
+        } else if raw & TOMB_BIT != 0 {
+            Slot::Tombstone((raw & ID_MASK) - 1)
+        } else {
+            Slot::Edge(raw - 1)
+        }
+    }
+
+    /// `true` for [`Slot::Empty`].
+    pub fn is_empty(self) -> bool {
+        matches!(self, Slot::Empty)
+    }
+
+    /// `true` for [`Slot::Pivot`].
+    pub fn is_pivot(self) -> bool {
+        matches!(self, Slot::Pivot(_))
+    }
+
+    /// `true` for [`Slot::Edge`] or [`Slot::Tombstone`] — anything that
+    /// occupies space and counts towards PMA density.
+    pub fn is_edge_record(self) -> bool {
+        matches!(self, Slot::Edge(_) | Slot::Tombstone(_))
+    }
+
+    /// `true` for any non-empty slot.
+    pub fn is_occupied(self) -> bool {
+        !self.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        for slot in [
+            Slot::Empty,
+            Slot::Pivot(0),
+            Slot::Pivot(7),
+            Slot::Pivot(1_000_000_000),
+            Slot::Edge(0),
+            Slot::Edge(42),
+            Slot::Edge(u32::MAX as u64),
+            Slot::Tombstone(0),
+            Slot::Tombstone(99),
+        ] {
+            assert_eq!(Slot::decode(slot.encode()), slot, "{slot:?}");
+        }
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(Slot::Empty.encode(), 0);
+        assert_eq!(Slot::decode(0), Slot::Empty);
+    }
+
+    #[test]
+    fn vertex_zero_is_distinguishable_everywhere() {
+        assert_ne!(Slot::Pivot(0).encode(), Slot::Empty.encode());
+        assert_ne!(Slot::Edge(0).encode(), Slot::Empty.encode());
+        assert_ne!(Slot::Tombstone(0).encode(), Slot::Empty.encode());
+        assert_ne!(Slot::Pivot(0).encode(), Slot::Edge(0).encode());
+        assert_ne!(Slot::Tombstone(0).encode(), Slot::Edge(0).encode());
+    }
+
+    #[test]
+    fn classification_helpers() {
+        assert!(Slot::Empty.is_empty());
+        assert!(!Slot::Empty.is_occupied());
+        assert!(Slot::Pivot(1).is_pivot());
+        assert!(Slot::Pivot(1).is_occupied());
+        assert!(!Slot::Pivot(1).is_edge_record());
+        assert!(Slot::Edge(1).is_edge_record());
+        assert!(Slot::Tombstone(1).is_edge_record());
+        assert!(!Slot::Edge(1).is_pivot());
+    }
+
+    #[test]
+    fn distinct_ids_encode_distinctly() {
+        let mut seen = std::collections::HashSet::new();
+        for v in 0..1000u64 {
+            assert!(seen.insert(Slot::Edge(v).encode()));
+            assert!(seen.insert(Slot::Pivot(v).encode()));
+            assert!(seen.insert(Slot::Tombstone(v).encode()));
+        }
+    }
+}

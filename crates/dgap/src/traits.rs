@@ -1,0 +1,295 @@
+//! System-agnostic graph interfaces.
+//!
+//! Every system in this workspace — DGAP itself, its ablation variants and
+//! all five comparison baselines — implements the same two traits so that
+//! the analytics kernels (`analytics` crate) and the benchmark harness
+//! (`bench` crate) can treat them interchangeably:
+//!
+//! * [`DynamicGraph`] is the *update* interface: vertex and edge insertion,
+//!   tombstone deletion, and flushing for durability.
+//! * [`GraphView`] is the *analysis* interface: a consistent, read-only
+//!   snapshot of the graph as of the moment it was created, exactly what the
+//!   paper's `g.consistent_view()` hands to a long-running analysis task.
+//!
+//! Keeping the two separate mirrors the paper's execution model: writer
+//! threads keep calling [`DynamicGraph::insert_edge`] while analysis tasks
+//! work on the last [`GraphView`] they grabbed.
+
+use std::fmt;
+
+/// Vertex identifier.  Sequential ids starting at zero, as produced by the
+/// upstream pre-processing the paper assumes.
+pub type VertexId = u64;
+
+/// Errors surfaced by graph update operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The underlying persistent-memory pool ran out of space.
+    OutOfSpace(String),
+    /// A vertex id was outside the graph's configured range and the system
+    /// could not grow to accommodate it.
+    VertexOutOfRange {
+        /// The offending vertex.
+        vertex: VertexId,
+        /// Current capacity in vertices.
+        capacity: usize,
+    },
+    /// The operation is not supported by this system (e.g. edge insertion
+    /// into the static CSR baseline).
+    Unsupported(&'static str),
+    /// Any other system-specific failure.
+    Other(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::OutOfSpace(msg) => write!(f, "persistent pool out of space: {msg}"),
+            GraphError::VertexOutOfRange { vertex, capacity } => {
+                write!(f, "vertex {vertex} outside capacity {capacity}")
+            }
+            GraphError::Unsupported(op) => write!(f, "operation not supported: {op}"),
+            GraphError::Other(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Result alias for graph update operations.
+pub type GraphResult<T> = Result<T, GraphError>;
+
+/// The update-side interface implemented by every dynamic graph system.
+///
+/// All methods take `&self`: implementations provide their own internal
+/// synchronisation (DGAP uses per-section locks, the baselines their own
+/// schemes) so that multiple writer threads can share one instance.
+pub trait DynamicGraph: Send + Sync {
+    /// Declare a vertex.  Most systems pre-allocate their vertex range and
+    /// treat this as a hint/no-op; it exists because the paper's interface
+    /// (`g.insertV()`) has it.
+    fn insert_vertex(&self, v: VertexId) -> GraphResult<()>;
+
+    /// Insert the directed edge `src -> dst`.
+    fn insert_edge(&self, src: VertexId, dst: VertexId) -> GraphResult<()>;
+
+    /// Delete the directed edge `src -> dst`.
+    ///
+    /// Following the paper, deletion re-inserts the edge with a tombstone
+    /// flag; the default implementation therefore reports `Unsupported` only
+    /// for systems that cannot express deletions at all.
+    fn delete_edge(&self, src: VertexId, dst: VertexId) -> GraphResult<bool> {
+        let _ = (src, dst);
+        Err(GraphError::Unsupported("delete_edge"))
+    }
+
+    /// Number of vertices currently known to the system.
+    fn num_vertices(&self) -> usize;
+
+    /// Number of edge records inserted (tombstones included, matching how
+    /// the paper counts insertion throughput).
+    fn num_edges(&self) -> usize;
+
+    /// Make every previously returned insertion durable (drain any volatile
+    /// buffering the system keeps).  DGAP persists on every insert, so its
+    /// implementation is a fence; GraphOne-FD flushes its DRAM edge list.
+    fn flush(&self);
+
+    /// Short human-readable system name used in benchmark output tables.
+    fn system_name(&self) -> &'static str;
+}
+
+/// A read-only, consistent view of a graph for analysis tasks.
+///
+/// The view must not observe edges inserted after it was created (the
+/// paper's degree-cache snapshot semantics); implementations are free to
+/// expose *older* data only if their design cannot do better (LLAMA exposes
+/// the last closed snapshot, as in the paper's evaluation).
+pub trait GraphView: Send + Sync {
+    /// Number of vertices in the snapshot.
+    fn num_vertices(&self) -> usize;
+
+    /// Number of directed edges visible in the snapshot (tombstones
+    /// excluded where the system can tell them apart cheaply).
+    fn num_edges(&self) -> usize;
+
+    /// Out-degree of `v` in the snapshot.
+    fn degree(&self, v: VertexId) -> usize;
+
+    /// Invoke `f` for every out-neighbour of `v` visible in the snapshot.
+    ///
+    /// Neighbours are reported in insertion order.  This is the hot path of
+    /// every analytics kernel; implementations should avoid allocating.
+    fn for_each_neighbor(&self, v: VertexId, f: &mut dyn FnMut(VertexId));
+
+    /// Collect the out-neighbours of `v` into a vector (convenience built on
+    /// [`GraphView::for_each_neighbor`]).
+    fn neighbors(&self, v: VertexId) -> Vec<VertexId> {
+        let mut out = Vec::with_capacity(self.degree(v));
+        self.for_each_neighbor(v, &mut |n| out.push(n));
+        out
+    }
+}
+
+impl<T: GraphView + ?Sized> GraphView for &T {
+    fn num_vertices(&self) -> usize {
+        (**self).num_vertices()
+    }
+    fn num_edges(&self) -> usize {
+        (**self).num_edges()
+    }
+    fn degree(&self, v: VertexId) -> usize {
+        (**self).degree(v)
+    }
+    fn for_each_neighbor(&self, v: VertexId, f: &mut dyn FnMut(VertexId)) {
+        (**self).for_each_neighbor(v, f);
+    }
+    fn neighbors(&self, v: VertexId) -> Vec<VertexId> {
+        (**self).neighbors(v)
+    }
+}
+
+/// Systems that can produce consistent snapshots implement this.
+pub trait SnapshotSource {
+    /// The snapshot type handed to analysis tasks.  It may borrow from the
+    /// graph (all our snapshots do: they cache degrees in DRAM and read edge
+    /// data through the graph).
+    type View<'a>: GraphView
+    where
+        Self: 'a;
+
+    /// Capture a consistent view of the latest graph (the paper's
+    /// `g.consistent_view()`).
+    fn consistent_view(&self) -> Self::View<'_>;
+}
+
+/// A trivial in-memory adjacency-list graph used as the reference oracle in
+/// tests across the workspace (it is *not* one of the evaluated systems).
+#[derive(Debug, Default, Clone)]
+pub struct ReferenceGraph {
+    adj: Vec<Vec<VertexId>>,
+    num_edges: usize,
+}
+
+impl ReferenceGraph {
+    /// Create an empty reference graph with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        ReferenceGraph {
+            adj: vec![Vec::new(); n],
+            num_edges: 0,
+        }
+    }
+
+    /// Add the directed edge `src -> dst`, growing the vertex set if needed.
+    pub fn add_edge(&mut self, src: VertexId, dst: VertexId) {
+        let needed = (src.max(dst) + 1) as usize;
+        if needed > self.adj.len() {
+            self.adj.resize(needed, Vec::new());
+        }
+        self.adj[src as usize].push(dst);
+        self.num_edges += 1;
+    }
+
+    /// Remove one occurrence of `src -> dst`.  Returns whether it existed.
+    pub fn remove_edge(&mut self, src: VertexId, dst: VertexId) -> bool {
+        if let Some(list) = self.adj.get_mut(src as usize) {
+            if let Some(i) = list.iter().position(|&x| x == dst) {
+                list.remove(i);
+                self.num_edges -= 1;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl GraphView for ReferenceGraph {
+    fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    fn degree(&self, v: VertexId) -> usize {
+        self.adj.get(v as usize).map_or(0, Vec::len)
+    }
+
+    fn for_each_neighbor(&self, v: VertexId, f: &mut dyn FnMut(VertexId)) {
+        if let Some(list) = self.adj.get(v as usize) {
+            for &n in list {
+                f(n);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_graph_tracks_edges() {
+        let mut g = ReferenceGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(2, 0);
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.neighbors(0), vec![1, 2]);
+        assert_eq!(g.neighbors(1), Vec::<VertexId>::new());
+    }
+
+    #[test]
+    fn reference_graph_grows_on_demand() {
+        let mut g = ReferenceGraph::new(1);
+        g.add_edge(5, 7);
+        assert_eq!(g.num_vertices(), 8);
+        assert_eq!(g.degree(5), 1);
+        assert_eq!(g.degree(7), 0);
+    }
+
+    #[test]
+    fn reference_graph_removes_one_occurrence() {
+        let mut g = ReferenceGraph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        assert!(g.remove_edge(0, 1));
+        assert_eq!(g.degree(0), 1);
+        assert!(g.remove_edge(0, 1));
+        assert!(!g.remove_edge(0, 1));
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn neighbors_default_matches_for_each() {
+        let mut g = ReferenceGraph::new(4);
+        for d in [3u64, 1, 2] {
+            g.add_edge(0, d);
+        }
+        let mut via_fn = Vec::new();
+        g.for_each_neighbor(0, &mut |n| via_fn.push(n));
+        assert_eq!(via_fn, g.neighbors(0));
+    }
+
+    #[test]
+    fn graph_error_messages() {
+        assert!(GraphError::OutOfSpace("pool".into()).to_string().contains("pool"));
+        assert!(GraphError::VertexOutOfRange {
+            vertex: 9,
+            capacity: 4
+        }
+        .to_string()
+        .contains('9'));
+        assert!(GraphError::Unsupported("x").to_string().contains('x'));
+    }
+
+    #[test]
+    fn degree_of_unknown_vertex_is_zero() {
+        let g = ReferenceGraph::new(2);
+        assert_eq!(g.degree(100), 0);
+        assert!(g.neighbors(100).is_empty());
+    }
+}

@@ -1,0 +1,177 @@
+//! The DGAP ablation variants of Table 5.
+//!
+//! The paper quantifies each design's contribution by incrementally removing
+//! it:
+//!
+//! | Variant          | Per-section edge log | Per-thread undo log | DRAM data placement |
+//! |------------------|----------------------|---------------------|---------------------|
+//! | `Full`           | ✓                    | ✓                   | ✓                   |
+//! | `NoElog`         | ✗ (nearby shifts)    | ✓                   | ✓                   |
+//! | `NoElogUlog`     | ✗                    | ✗ (PMDK-style tx)   | ✓                   |
+//! | `NoElogUlogDp`   | ✗                    | ✗                   | ✗ (metadata on PM)  |
+//!
+//! All variants share the same [`crate::graph::Dgap`] implementation; the
+//! flags in [`crate::config::DgapConfig`] select the code paths, so the
+//! measured differences come from the designs themselves rather than from
+//! incidental implementation differences.
+
+use crate::config::DgapConfig;
+use crate::graph::Dgap;
+use crate::traits::GraphResult;
+use pmem::PmemPool;
+use std::sync::Arc;
+
+/// Which combination of DGAP designs is enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DgapVariant {
+    /// All three designs enabled (the system the paper proposes).
+    Full,
+    /// Per-section edge logs disabled: occupied insertion points fall back
+    /// to nearby shifts ("No EL").
+    NoElog,
+    /// Additionally replace the per-thread undo log with PMDK-style
+    /// transactions ("No EL&UL").
+    NoElogUlog,
+    /// Additionally place the vertex array and PMA-tree mirror on PM
+    /// ("No EL&UL&DP").
+    NoElogUlogDp,
+}
+
+impl DgapVariant {
+    /// All variants in the order Table 5 reports them.
+    pub fn all() -> [DgapVariant; 4] {
+        [
+            DgapVariant::Full,
+            DgapVariant::NoElog,
+            DgapVariant::NoElogUlog,
+            DgapVariant::NoElogUlogDp,
+        ]
+    }
+
+    /// The label the paper uses for this column.
+    pub fn label(self) -> &'static str {
+        match self {
+            DgapVariant::Full => "DGAP",
+            DgapVariant::NoElog => "No EL",
+            DgapVariant::NoElogUlog => "No EL&UL",
+            DgapVariant::NoElogUlogDp => "No EL&UL&DP",
+        }
+    }
+
+    /// Apply this variant's flags to a configuration.
+    pub fn apply(self, cfg: DgapConfig) -> DgapConfig {
+        match self {
+            DgapVariant::Full => cfg,
+            DgapVariant::NoElog => cfg.without_edge_log(),
+            DgapVariant::NoElogUlog => cfg.without_edge_log().without_undo_log(),
+            DgapVariant::NoElogUlogDp => cfg
+                .without_edge_log()
+                .without_undo_log()
+                .metadata_on_pmem(),
+        }
+    }
+
+    /// Build a DGAP instance of this variant inside `pool`.
+    pub fn build(self, pool: Arc<PmemPool>, cfg: DgapConfig) -> GraphResult<Dgap> {
+        Dgap::create(pool, self.apply(cfg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Placement;
+    use crate::traits::{DynamicGraph, GraphView};
+    use pmem::PmemConfig;
+
+    fn insert_workload(g: &Dgap, n: u64) {
+        let mut x = 0xabcdu64;
+        for _ in 0..n {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            g.insert_edge((x >> 33) % 64, (x >> 17) % 64).unwrap();
+        }
+    }
+
+    #[test]
+    fn labels_match_the_paper() {
+        assert_eq!(DgapVariant::Full.label(), "DGAP");
+        assert_eq!(DgapVariant::NoElog.label(), "No EL");
+        assert_eq!(DgapVariant::NoElogUlog.label(), "No EL&UL");
+        assert_eq!(DgapVariant::NoElogUlogDp.label(), "No EL&UL&DP");
+        assert_eq!(DgapVariant::all().len(), 4);
+    }
+
+    #[test]
+    fn apply_sets_the_expected_flags() {
+        let base = DgapConfig::small_test();
+        let full = DgapVariant::Full.apply(base.clone());
+        assert!(full.use_edge_log && full.use_undo_log);
+        let no_el = DgapVariant::NoElog.apply(base.clone());
+        assert!(!no_el.use_edge_log && no_el.use_undo_log);
+        let no_el_ul = DgapVariant::NoElogUlog.apply(base.clone());
+        assert!(!no_el_ul.use_edge_log && !no_el_ul.use_undo_log);
+        let no_dp = DgapVariant::NoElogUlogDp.apply(base);
+        assert_eq!(no_dp.metadata_placement, Placement::Pmem);
+    }
+
+    #[test]
+    fn every_variant_produces_the_same_graph() {
+        let mut reference: Option<Vec<Vec<u64>>> = None;
+        for variant in DgapVariant::all() {
+            let pool = Arc::new(PmemPool::new(PmemConfig::small_test()));
+            let g = variant.build(pool, DgapConfig::small_test()).unwrap();
+            insert_workload(&g, 1200);
+            g.check_invariants();
+            let view = g.consistent_view();
+            let lists: Vec<Vec<u64>> = (0..64u64).map(|v| view.neighbors(v)).collect();
+            match &reference {
+                None => reference = Some(lists),
+                Some(r) => assert_eq!(&lists, r, "variant {variant:?} diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn full_variant_writes_less_to_pm_than_no_elog() {
+        let run = |variant: DgapVariant| {
+            let pool = Arc::new(PmemPool::new(PmemConfig::small_test()));
+            let g = variant.build(Arc::clone(&pool), DgapConfig::small_test()).unwrap();
+            let before = pool.stats_snapshot();
+            insert_workload(&g, 1500);
+            pool.stats_snapshot().delta_since(&before)
+        };
+        let full = run(DgapVariant::Full);
+        let no_el = run(DgapVariant::NoElog);
+        assert!(
+            no_el.media_bytes_written > full.media_bytes_written,
+            "removing the edge log must increase PM media traffic: full={} no_el={}",
+            full.media_bytes_written,
+            no_el.media_bytes_written
+        );
+    }
+
+    #[test]
+    fn no_elog_variant_uses_shift_path() {
+        let pool = Arc::new(PmemPool::new(PmemConfig::small_test()));
+        let g = DgapVariant::NoElog
+            .build(pool, DgapConfig::small_test())
+            .unwrap();
+        insert_workload(&g, 1000);
+        let s = g.stats();
+        assert_eq!(s.elog_inserts, 0);
+        assert!(s.shift_inserts > 0, "occupied slots must cause shifts");
+    }
+
+    #[test]
+    fn no_ulog_variant_uses_pmdk_transactions() {
+        let pool = Arc::new(PmemPool::new(PmemConfig::small_test()));
+        let g = DgapVariant::NoElogUlog
+            .build(Arc::clone(&pool), DgapConfig::small_test())
+            .unwrap();
+        insert_workload(&g, 1500);
+        assert!(
+            pool.stats_snapshot().tx_committed > 0,
+            "rebalances must go through PMDK-style transactions"
+        );
+    }
+}

@@ -1,0 +1,674 @@
+//! An in-DRAM reference implementation of the adaptive Packed Memory Array.
+//!
+//! This array is the executable specification the rest of the workspace is
+//! tested against.  It is also used directly by the benchmark harness:
+//!
+//! * Fig. 1(a) measures the *write amplification* of naive PMA insertion —
+//!   the number of slots physically moved per logical insertion — which this
+//!   implementation counts exactly ([`PmaMoveStats`]).
+//! * Fig. 1(b) compares inserting a graph into DRAM against persistent
+//!   memory; the DRAM bar is this array.
+//!
+//! The element type is a bare `u64` key.  DGAP itself stores richer elements
+//! (pivots and destination vertex ids) directly on the emulated persistent
+//! memory and re-uses only the planning machinery ([`crate::tree`],
+//! [`crate::redistribute`]); keeping the reference array simple makes it a
+//! trustworthy oracle.
+
+use crate::redistribute::{plan_even, Extent};
+use crate::thresholds::DensityBounds;
+use crate::tree::{DensityTree, SegmentGeometry};
+
+/// Configuration of a [`PackedMemoryArray`].
+#[derive(Debug, Clone, Copy)]
+pub struct PmaConfig {
+    /// Number of element slots per segment.
+    pub segment_size: usize,
+    /// Number of segments the array starts with (rounded up to a power of
+    /// two).
+    pub initial_segments: usize,
+    /// Density thresholds.
+    pub bounds: DensityBounds,
+}
+
+impl Default for PmaConfig {
+    fn default() -> Self {
+        PmaConfig {
+            segment_size: 64,
+            initial_segments: 4,
+            bounds: DensityBounds::default(),
+        }
+    }
+}
+
+/// Counters describing how much data the array has physically moved.
+///
+/// `slots_shifted` counts slots moved by nearby shifts during ordinary
+/// insertions — the quantity behind the write-amplification issue of
+/// Fig. 1(a).  Rebalances and resizes are tracked separately because DGAP
+/// addresses them with a different mechanism (the per-thread undo log).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PmaMoveStats {
+    /// Elements inserted so far.
+    pub inserts: u64,
+    /// Elements removed so far.
+    pub deletes: u64,
+    /// Slots moved by nearby shifts inside a segment.
+    pub slots_shifted: u64,
+    /// Slots moved while rebalancing windows.
+    pub slots_rebalanced: u64,
+    /// Slots moved while resizing (growing) the array.
+    pub slots_resized: u64,
+    /// Number of window rebalances performed.
+    pub rebalances: u64,
+    /// Number of array resizes performed.
+    pub resizes: u64,
+}
+
+impl PmaMoveStats {
+    /// Write amplification of ordinary insertions: slots physically written
+    /// (the inserted slot plus every shifted slot) divided by slots logically
+    /// inserted.  Matches the metric of Fig. 1(a) when multiplied by the
+    /// element size.
+    pub fn shift_write_amplification(&self) -> f64 {
+        if self.inserts == 0 {
+            0.0
+        } else {
+            (self.inserts + self.slots_shifted) as f64 / self.inserts as f64
+        }
+    }
+
+    /// Write amplification including rebalancing and resizing traffic.
+    pub fn total_write_amplification(&self) -> f64 {
+        if self.inserts == 0 {
+            0.0
+        } else {
+            (self.inserts + self.slots_shifted + self.slots_rebalanced + self.slots_resized) as f64
+                / self.inserts as f64
+        }
+    }
+}
+
+/// What happened while serving one insertion.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InsertOutcome {
+    /// Slots shifted to open a gap at the insertion point.
+    pub shifted: usize,
+    /// `true` if a window rebalance ran.
+    pub rebalanced: bool,
+    /// `true` if the whole array was resized (doubled).
+    pub resized: bool,
+}
+
+/// An adaptive Packed Memory Array over `u64` keys (duplicates allowed).
+#[derive(Debug, Clone)]
+pub struct PackedMemoryArray {
+    slots: Vec<Option<u64>>,
+    tree: DensityTree,
+    config: PmaConfig,
+    len: usize,
+    stats: PmaMoveStats,
+}
+
+impl PackedMemoryArray {
+    /// Create an empty array.
+    pub fn new(config: PmaConfig) -> Self {
+        let geom = SegmentGeometry::new(config.segment_size, config.initial_segments);
+        PackedMemoryArray {
+            slots: vec![None; geom.capacity()],
+            tree: DensityTree::new(geom, config.bounds),
+            config,
+            len: 0,
+            stats: PmaMoveStats::default(),
+        }
+    }
+
+    /// Create an empty array with the default configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(PmaConfig::default())
+    }
+
+    /// Number of stored elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the array holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total number of slots (occupied + gaps).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Overall density (`len / capacity`).
+    pub fn density(&self) -> f64 {
+        self.len as f64 / self.capacity() as f64
+    }
+
+    /// Movement counters accumulated so far.
+    pub fn move_stats(&self) -> PmaMoveStats {
+        self.stats
+    }
+
+    /// Reset the movement counters (benchmarks call this after a warm-up
+    /// phase, mirroring the paper's 10 % warm-up insertions).
+    pub fn reset_move_stats(&mut self) {
+        self.stats = PmaMoveStats::default();
+    }
+
+    /// The segment geometry currently in force (it changes on resize).
+    pub fn geometry(&self) -> SegmentGeometry {
+        self.tree.geometry()
+    }
+
+    /// Iterate the stored keys in non-decreasing order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.slots.iter().filter_map(|s| *s)
+    }
+
+    /// `true` if `key` is present.
+    pub fn contains(&self, key: u64) -> bool {
+        let seg = self.target_segment(key);
+        let range = self.tree.geometry().segment_slots(seg);
+        self.slots[range].iter().flatten().any(|&k| k == key)
+    }
+
+    /// Insert `key`, keeping the array sorted.  Returns what physical work
+    /// was required.
+    pub fn insert(&mut self, key: u64) -> InsertOutcome {
+        let mut outcome = InsertOutcome::default();
+        // Ensure the target segment has room for one more element.  A single
+        // rebalance normally suffices; if the recomputed target is somehow
+        // still full (e.g. the window was already at its density limit), fall
+        // back to resizing, which always creates room.
+        let mut seg = self.target_segment(key);
+        if self.tree.occupancy(seg) == self.config.segment_size {
+            match self.tree.find_rebalance_window(seg, 1) {
+                Some(w) if w.num_segments > 1 => {
+                    self.rebalance(w.first_segment, w.num_segments);
+                    outcome.rebalanced = true;
+                }
+                _ => {
+                    self.resize();
+                    outcome.resized = true;
+                }
+            }
+            seg = self.target_segment(key);
+            if self.tree.occupancy(seg) == self.config.segment_size {
+                self.resize();
+                outcome.resized = true;
+                seg = self.target_segment(key);
+            }
+        }
+        outcome.shifted = self.insert_into_segment(seg, key);
+        self.tree.add(seg, 1);
+        self.len += 1;
+        self.stats.inserts += 1;
+        self.stats.slots_shifted += outcome.shifted as u64;
+
+        // Post-insertion density maintenance, as in the adaptive PMA: if the
+        // segment is now above its leaf threshold, spread the density over a
+        // wider window (or grow the array).
+        if self.tree.segment_overflowing(seg) {
+            match self.tree.find_rebalance_window(seg, 0) {
+                Some(w) if w.num_segments > 1 => {
+                    self.rebalance(w.first_segment, w.num_segments);
+                    outcome.rebalanced = true;
+                }
+                Some(_) => {}
+                None => {
+                    self.resize();
+                    outcome.resized = true;
+                }
+            }
+        }
+        outcome
+    }
+
+    /// Remove one occurrence of `key`.  Returns `true` if it was present.
+    pub fn remove(&mut self, key: u64) -> bool {
+        let seg = self.target_segment(key);
+        let range = self.tree.geometry().segment_slots(seg);
+        let mut found = None;
+        for i in range {
+            if self.slots[i] == Some(key) {
+                found = Some(i);
+                break;
+            }
+        }
+        let Some(i) = found else { return false };
+        self.slots[i] = None;
+        self.tree.sub(seg, 1);
+        self.len -= 1;
+        self.stats.deletes += 1;
+        // Underflow maintenance: if the segment drained too far, pull the
+        // enclosing window back into balance.
+        let geom = self.tree.geometry();
+        let (rho_leaf, _) =
+            crate::thresholds::level_bounds(&self.config.bounds, 0, geom.height());
+        if self.len > 0 && self.tree.segment_density(seg) < rho_leaf {
+            if let Some(w) = self.tree.find_rebalance_window_after_delete(seg) {
+                if w.num_segments > 1 {
+                    self.rebalance(w.first_segment, w.num_segments);
+                }
+            }
+        }
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    /// Segment whose key range should contain `key`: the last segment whose
+    /// smallest element is `<= key` (or the first non-empty segment if the
+    /// key precedes everything).
+    fn target_segment(&self, key: u64) -> usize {
+        let geom = self.tree.geometry();
+        let mut candidate = 0usize;
+        let mut seen_any = false;
+        for seg in 0..geom.num_segments {
+            let min = self.segment_min(seg);
+            match min {
+                Some(m) if m <= key => {
+                    candidate = seg;
+                    seen_any = true;
+                }
+                Some(_) => {
+                    if !seen_any {
+                        // Key precedes every stored element: it belongs in
+                        // the first non-empty segment.
+                        return seg;
+                    }
+                    break;
+                }
+                None => {}
+            }
+        }
+        candidate
+    }
+
+    fn segment_min(&self, seg: usize) -> Option<u64> {
+        let range = self.tree.geometry().segment_slots(seg);
+        self.slots[range].iter().flatten().copied().next()
+    }
+
+    /// Insert `key` into `seg`, shifting occupied slots within the segment to
+    /// open a gap at the sorted position.  Returns the number of slots
+    /// shifted.  The segment is guaranteed (by the caller) to have a gap.
+    fn insert_into_segment(&mut self, seg: usize, key: u64) -> usize {
+        let range = self.tree.geometry().segment_slots(seg);
+        let start = range.start;
+        let end = range.end;
+
+        // Position of the first element greater than `key` (insertion point).
+        let mut pos = end;
+        for i in range.clone() {
+            if let Some(k) = self.slots[i] {
+                if k > key {
+                    pos = i;
+                    break;
+                }
+            }
+        }
+        if pos == end && self.slots[end - 1].is_none() {
+            // Key goes after every existing element of the segment and the
+            // segment's tail has room: place it right after the last
+            // occupied slot, no shifting needed.
+            let last_occupied = (start..end).rev().find(|&i| self.slots[i].is_some());
+            let target = last_occupied.map_or(start, |i| i + 1);
+            self.slots[target] = Some(key);
+            return 0;
+        }
+        // Otherwise a shift is required.  When `pos == end` (key larger than
+        // everything but the tail slot is occupied) the right-search below
+        // finds nothing and we fall through to the left shift, which opens a
+        // slot just before the end of the segment.
+        // Try to find a free slot to the right of `pos` (shift right), else
+        // to the left (shift left).
+        if let Some(free) = (pos..end).find(|&i| self.slots[i].is_none()) {
+            let shifted = free - pos;
+            for i in (pos..free).rev() {
+                self.slots[i + 1] = self.slots[i];
+            }
+            self.slots[pos] = Some(key);
+            shifted
+        } else {
+            let free = (start..pos)
+                .rev()
+                .find(|&i| self.slots[i].is_none())
+                .unwrap_or_else(|| {
+                    panic!(
+                        "segment {seg} must have a free slot (occupancy {} of {}, pos {pos}, slots {:?})",
+                        self.tree.occupancy(seg),
+                        self.config.segment_size,
+                        &self.slots[start..end]
+                    )
+                });
+            // Shift everything in (free, pos) one slot left; key lands at pos-1.
+            let shifted = pos - free - 1;
+            for i in free..pos - 1 {
+                self.slots[i] = self.slots[i + 1];
+            }
+            self.slots[pos - 1] = Some(key);
+            shifted
+        }
+    }
+
+    /// Spread the elements of the window starting at `first_seg` spanning
+    /// `num_segs` segments evenly across the window.
+    fn rebalance(&mut self, first_seg: usize, num_segs: usize) {
+        let geom = self.tree.geometry();
+        let start = first_seg * geom.segment_size;
+        let end = start + num_segs * geom.segment_size;
+        let elements: Vec<u64> = self.slots[start..end].iter().flatten().copied().collect();
+        let window_capacity = end - start;
+        self.slots[start..end].fill(None);
+
+        // Each element is its own extent; plan_even spaces them out with the
+        // gaps divided evenly between them.
+        let extents: Vec<Extent> = elements.iter().map(|&k| Extent { id: k, count: 1 }).collect();
+        let placements = plan_even(&extents, window_capacity);
+        for p in &placements {
+            self.slots[start + p.start] = Some(p.id);
+        }
+        // Refresh occupancy counters for the affected segments.
+        for seg in first_seg..first_seg + num_segs {
+            let r = geom.segment_slots(seg);
+            let occ = self.slots[r].iter().flatten().count();
+            self.tree.set_occupancy(seg, occ);
+        }
+        self.stats.rebalances += 1;
+        self.stats.slots_rebalanced += elements.len() as u64;
+    }
+
+    /// Double the array and spread every element evenly across it.
+    fn resize(&mut self) {
+        let elements: Vec<u64> = self.iter().collect();
+        let new_tree = self.tree.grow();
+        let new_geom = new_tree.geometry();
+        self.tree = new_tree;
+        self.slots = vec![None; new_geom.capacity()];
+        let extents: Vec<Extent> = elements.iter().map(|&k| Extent { id: k, count: 1 }).collect();
+        let placements = plan_even(&extents, new_geom.capacity());
+        for p in &placements {
+            self.slots[p.start] = Some(p.id);
+        }
+        for seg in 0..new_geom.num_segments {
+            let r = new_geom.segment_slots(seg);
+            let occ = self.slots[r].iter().flatten().count();
+            self.tree.set_occupancy(seg, occ);
+        }
+        self.stats.resizes += 1;
+        self.stats.slots_resized += elements.len() as u64;
+    }
+
+    /// Validate internal invariants; used by tests.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        // Order.
+        let elems: Vec<u64> = self.iter().collect();
+        assert!(
+            elems.windows(2).all(|w| w[0] <= w[1]),
+            "elements must be sorted"
+        );
+        assert_eq!(elems.len(), self.len, "len must match stored elements");
+        // Occupancy counters.
+        let geom = self.tree.geometry();
+        for seg in 0..geom.num_segments {
+            let r = geom.segment_slots(seg);
+            let occ = self.slots[r].iter().flatten().count();
+            assert_eq!(occ, self.tree.occupancy(seg), "segment {seg} occupancy");
+        }
+        assert_eq!(self.capacity(), geom.capacity());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> PackedMemoryArray {
+        PackedMemoryArray::new(PmaConfig {
+            segment_size: 8,
+            initial_segments: 2,
+            bounds: DensityBounds::default(),
+        })
+    }
+
+    #[test]
+    fn empty_array_properties() {
+        let a = small();
+        assert!(a.is_empty());
+        assert_eq!(a.len(), 0);
+        assert_eq!(a.capacity(), 16);
+        assert!(!a.contains(5));
+        assert_eq!(a.iter().count(), 0);
+    }
+
+    #[test]
+    fn sorted_after_random_inserts() {
+        let mut a = small();
+        for k in [50u64, 10, 90, 30, 70, 20, 80, 60, 40, 100, 5, 95] {
+            a.insert(k);
+            a.check_invariants();
+        }
+        let v: Vec<u64> = a.iter().collect();
+        assert_eq!(v, vec![5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 95, 100]);
+        assert!(a.contains(70));
+        assert!(!a.contains(71));
+    }
+
+    #[test]
+    fn duplicates_are_allowed() {
+        let mut a = small();
+        for _ in 0..5 {
+            a.insert(42);
+        }
+        assert_eq!(a.len(), 5);
+        assert!(a.iter().all(|k| k == 42));
+        a.check_invariants();
+    }
+
+    #[test]
+    fn grows_beyond_initial_capacity() {
+        let mut a = small();
+        for k in 0..200u64 {
+            a.insert(k);
+            a.check_invariants();
+        }
+        assert_eq!(a.len(), 200);
+        assert!(a.capacity() >= 200);
+        assert!(a.move_stats().resizes >= 1);
+        let v: Vec<u64> = a.iter().collect();
+        assert_eq!(v, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn descending_inserts_stay_sorted() {
+        let mut a = small();
+        for k in (0..100u64).rev() {
+            a.insert(k);
+        }
+        a.check_invariants();
+        let v: Vec<u64> = a.iter().collect();
+        assert_eq!(v, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn random_inserts_incur_shifting_work() {
+        let cfg = PmaConfig {
+            segment_size: 32,
+            initial_segments: 4,
+            bounds: DensityBounds::default(),
+        };
+        let mut rnd = PackedMemoryArray::new(cfg);
+        // A deterministic pseudo-random key stream.
+        let mut k = 1u64;
+        for _ in 0..2000 {
+            k = k.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rnd.insert(k >> 40);
+        }
+        rnd.check_invariants();
+        let s = rnd.move_stats();
+        assert_eq!(s.inserts, 2000);
+        assert!(
+            s.shift_write_amplification() > 1.0,
+            "random insertion order must shift at least some neighbours: {s:?}"
+        );
+        assert!(s.rebalances + s.resizes > 0);
+    }
+
+    #[test]
+    fn write_amplification_grows_with_density() {
+        let mut a = PackedMemoryArray::new(PmaConfig {
+            segment_size: 128,
+            initial_segments: 8,
+            bounds: DensityBounds::default(),
+        });
+        let mut k = 7u64;
+        for _ in 0..5000 {
+            k = k.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            a.insert(k % 100_000);
+        }
+        let s = a.move_stats();
+        assert!(s.shift_write_amplification() > 1.0);
+        assert!(s.total_write_amplification() >= s.shift_write_amplification());
+        assert!(s.rebalances > 0);
+    }
+
+    #[test]
+    fn remove_existing_and_missing() {
+        let mut a = small();
+        for k in [1u64, 2, 3, 4, 5] {
+            a.insert(k);
+        }
+        assert!(a.remove(3));
+        assert!(!a.remove(3));
+        assert!(!a.remove(99));
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 2, 4, 5]);
+        a.check_invariants();
+    }
+
+    #[test]
+    fn remove_everything_then_reinsert() {
+        let mut a = small();
+        for k in 0..50u64 {
+            a.insert(k);
+        }
+        for k in 0..50u64 {
+            assert!(a.remove(k), "key {k} should be removable");
+        }
+        assert!(a.is_empty());
+        a.check_invariants();
+        for k in 0..50u64 {
+            a.insert(k);
+        }
+        assert_eq!(a.len(), 50);
+        a.check_invariants();
+    }
+
+    #[test]
+    fn reset_move_stats_clears_counters() {
+        let mut a = small();
+        for k in 0..30u64 {
+            a.insert(k);
+        }
+        assert!(a.move_stats().inserts > 0);
+        a.reset_move_stats();
+        assert_eq!(a.move_stats(), PmaMoveStats::default());
+    }
+
+    #[test]
+    fn insert_outcome_reports_work() {
+        let mut a = PackedMemoryArray::new(PmaConfig {
+            segment_size: 4,
+            initial_segments: 2,
+            bounds: DensityBounds::default(),
+        });
+        // Fill until something must give: at least one outcome reports a
+        // rebalance or resize.
+        let mut any_rebalance_or_resize = false;
+        for k in 0..32u64 {
+            let o = a.insert(k * 2);
+            any_rebalance_or_resize |= o.rebalanced || o.resized;
+        }
+        assert!(any_rebalance_or_resize);
+        a.check_invariants();
+    }
+
+    #[test]
+    fn shift_write_amplification_zero_without_inserts() {
+        assert_eq!(PmaMoveStats::default().shift_write_amplification(), 0.0);
+        assert_eq!(PmaMoveStats::default().total_write_amplification(), 0.0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn matches_sorted_vector_oracle(keys in proptest::collection::vec(0u64..10_000, 1..400)) {
+                let mut a = PackedMemoryArray::new(PmaConfig {
+                    segment_size: 16,
+                    initial_segments: 2,
+                    bounds: DensityBounds::default(),
+                });
+                let mut oracle = Vec::new();
+                for &k in &keys {
+                    a.insert(k);
+                    oracle.push(k);
+                }
+                oracle.sort_unstable();
+                prop_assert_eq!(a.iter().collect::<Vec<_>>(), oracle);
+                a.check_invariants();
+            }
+
+            #[test]
+            fn interleaved_insert_delete_matches_multiset(ops in proptest::collection::vec((any::<bool>(), 0u64..64), 1..300)) {
+                let mut a = PackedMemoryArray::new(PmaConfig {
+                    segment_size: 8,
+                    initial_segments: 2,
+                    bounds: DensityBounds::default(),
+                });
+                let mut oracle: Vec<u64> = Vec::new();
+                for &(is_insert, k) in &ops {
+                    if is_insert {
+                        a.insert(k);
+                        oracle.push(k);
+                        oracle.sort_unstable();
+                    } else {
+                        let expected = oracle.iter().position(|&x| x == k);
+                        let removed = a.remove(k);
+                        prop_assert_eq!(removed, expected.is_some());
+                        if let Some(i) = expected {
+                            oracle.remove(i);
+                        }
+                    }
+                }
+                prop_assert_eq!(a.iter().collect::<Vec<_>>(), oracle);
+                a.check_invariants();
+            }
+
+            #[test]
+            fn density_respects_root_bound_after_resize(keys in proptest::collection::vec(0u64..100_000, 200..600)) {
+                let mut a = PackedMemoryArray::with_defaults();
+                for &k in &keys {
+                    a.insert(k);
+                }
+                // The array may temporarily exceed tau_root between inserts,
+                // but never past a full segment's worth.
+                prop_assert!(a.density() <= 1.0);
+                prop_assert!(a.capacity() >= a.len());
+                a.check_invariants();
+            }
+        }
+    }
+}

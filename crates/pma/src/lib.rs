@@ -1,0 +1,44 @@
+//! # pma — adaptive Packed Memory Array building blocks
+//!
+//! The Packed Memory Array (Bender & Hu) keeps a sorted (or otherwise
+//! ordered) sequence in an array with deliberately reserved gaps so that a
+//! point insertion only shifts a handful of neighbouring elements.  A binary
+//! *PMA tree* over fixed-size **segments** tracks how full every region of
+//! the array is; when a segment's density leaves the allowed range, the
+//! smallest enclosing window whose density is acceptable is **rebalanced**
+//! (its elements are spread out evenly again), and when the whole array is
+//! too dense it is **resized**.
+//!
+//! DGAP builds its persistent-memory edge array on exactly this machinery
+//! (via the VCSR vertex-centric variant), so this crate provides the pieces
+//! in a storage-agnostic form:
+//!
+//! * [`DensityBounds`] / [`level_bounds`] — the ρ/τ density thresholds,
+//!   interpolated over the tree height.
+//! * [`SegmentGeometry`] — segment size / count / capacity arithmetic.
+//! * [`DensityTree`] — DRAM-side occupancy tracking, rebalance-window
+//!   search and resize detection.  DGAP keeps this structure in DRAM (its
+//!   *data placement* design) and reconstructs it from PM after a crash.
+//! * [`redistribute`] — planning of where every vertex's edges land after a
+//!   rebalance, both with even gap spreading (PCSR style) and with
+//!   degree-weighted spreading (VCSR style).
+//! * [`PackedMemoryArray`] — a complete in-DRAM reference implementation of
+//!   an adaptive PMA over `u64` keys.  It is used by the unit/property
+//!   tests as an executable specification, by the write-amplification
+//!   demonstration of Fig. 1(a), and as the DRAM comparison point of
+//!   Fig. 1(b).
+//!
+//! The crate has no dependency on the `pmem` emulator: everything here is
+//! pure logic so that DGAP (and tests) can drive it against any storage.
+
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod redistribute;
+pub mod thresholds;
+pub mod tree;
+
+pub use array::{InsertOutcome, PackedMemoryArray, PmaConfig};
+pub use redistribute::{plan_even, plan_weighted, Extent, Placement};
+pub use thresholds::{level_bounds, DensityBounds};
+pub use tree::{DensityTree, RebalanceWindow, SegmentGeometry};

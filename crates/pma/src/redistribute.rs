@@ -1,0 +1,323 @@
+//! Planning the layout of a rebalance window.
+//!
+//! A PMA rebalance takes every element inside a window and spreads it out
+//! again, leaving gaps for future insertions.  For a graph edge array the
+//! elements are grouped by source vertex: each vertex occupies a contiguous
+//! *extent* (its pivot element followed by its edges), and gaps must land
+//! *between* vertices (inside a vertex's extent they would break the
+//! `start + degree` addressing DGAP relies on).
+//!
+//! Two strategies are provided:
+//!
+//! * [`plan_even`] — PCSR-style: the window's free slots are divided evenly
+//!   among the vertices, regardless of their degree.
+//! * [`plan_weighted`] — VCSR-style: free slots are divided in proportion to
+//!   each vertex's current degree, so high-degree (and historically fast
+//!   growing) vertices receive more headroom.  This is the strategy DGAP
+//!   inherits from VCSR.
+//!
+//! Both planners are pure functions from extents to placements; the caller
+//! (DGAP, or the in-DRAM reference array) performs the actual data movement.
+
+/// One vertex's extent inside a rebalance window: its id and how many slots
+/// it currently occupies (pivot + edges for DGAP; simply "elements" for the
+/// generic PMA).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Extent {
+    /// Identifier carried through to the resulting [`Placement`].
+    pub id: u64,
+    /// Number of occupied slots that must be preserved contiguously.
+    pub count: usize,
+}
+
+/// Where one extent lands after the rebalance, relative to the window start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// Identifier copied from the corresponding [`Extent`].
+    pub id: u64,
+    /// First slot (relative to the window) the extent occupies.
+    pub start: usize,
+    /// Slots reserved for the extent (`>= count`); the trailing
+    /// `capacity - count` slots are the gap left for future insertions.
+    pub capacity: usize,
+    /// Occupied slots, copied from the extent for convenience.
+    pub count: usize,
+}
+
+impl Placement {
+    /// Slots left free at the tail of this extent's reservation.
+    pub fn gap(&self) -> usize {
+        self.capacity - self.count
+    }
+}
+
+fn plan_with_gaps(extents: &[Extent], gaps: Vec<usize>) -> Vec<Placement> {
+    let mut placements = Vec::with_capacity(extents.len());
+    let mut cursor = 0usize;
+    for (e, gap) in extents.iter().zip(gaps) {
+        placements.push(Placement {
+            id: e.id,
+            start: cursor,
+            capacity: e.count + gap,
+            count: e.count,
+        });
+        cursor += e.count + gap;
+    }
+    placements
+}
+
+/// Spread the window's free slots evenly across the extents (PCSR style).
+///
+/// Extent `i` receives `floor((i+1)·free/n) − floor(i·free/n)` extra slots,
+/// which differs by at most one slot between any two extents and — unlike
+/// giving the whole remainder to the leading extents — never leaves a run of
+/// completely packed extents at the tail of the window.  The total capacity
+/// consumed equals `window_capacity` exactly.
+///
+/// # Panics
+///
+/// Panics if the extents do not fit in the window.
+pub fn plan_even(extents: &[Extent], window_capacity: usize) -> Vec<Placement> {
+    if extents.is_empty() {
+        return Vec::new();
+    }
+    let used: usize = extents.iter().map(|e| e.count).sum();
+    assert!(
+        used <= window_capacity,
+        "extents occupy {used} slots but the window only has {window_capacity}"
+    );
+    let free = window_capacity - used;
+    let n = extents.len();
+    let gaps = (0..n)
+        .map(|i| (i + 1) * free / n - i * free / n)
+        .collect();
+    plan_with_gaps(extents, gaps)
+}
+
+/// Spread the window's free slots proportionally to each extent's count
+/// (VCSR style): an extent holding a fraction `f` of the window's elements
+/// receives (approximately) a fraction `f` of the window's free slots.
+///
+/// The allocation is computed cumulatively — extent `i` receives
+/// `floor(cum_{i+1}·free/used) − floor(cum_i·free/used)` gap slots, where
+/// `cum_i` is the number of occupied slots preceding it — so rounding error
+/// never accumulates into a long gap-less run (which would recreate a
+/// completely packed PMA section right after a rebalance).  Extents with
+/// zero weight fall back to an even split.
+///
+/// # Panics
+///
+/// Panics if the extents do not fit in the window.
+pub fn plan_weighted(extents: &[Extent], window_capacity: usize) -> Vec<Placement> {
+    if extents.is_empty() {
+        return Vec::new();
+    }
+    let used: usize = extents.iter().map(|e| e.count).sum();
+    assert!(
+        used <= window_capacity,
+        "extents occupy {used} slots but the window only has {window_capacity}"
+    );
+    if used == 0 {
+        return plan_even(extents, window_capacity);
+    }
+    let free = window_capacity - used;
+    let mut gaps = Vec::with_capacity(extents.len());
+    let mut cum = 0usize;
+    for e in extents {
+        let before = cum * free / used;
+        cum += e.count;
+        let after = cum * free / used;
+        gaps.push(after - before);
+    }
+    plan_with_gaps(extents, gaps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn extents(counts: &[usize]) -> Vec<Extent> {
+        counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| Extent {
+                id: i as u64,
+                count: c,
+            })
+            .collect()
+    }
+
+    fn check_invariants(extents: &[Extent], placements: &[Placement], window: usize) {
+        assert_eq!(extents.len(), placements.len());
+        let mut expected_start = 0usize;
+        for (e, p) in extents.iter().zip(placements) {
+            assert_eq!(e.id, p.id);
+            assert_eq!(e.count, p.count);
+            assert!(p.capacity >= p.count, "capacity must cover the elements");
+            assert_eq!(p.start, expected_start, "placements must be contiguous");
+            expected_start += p.capacity;
+        }
+        assert_eq!(expected_start, window, "window must be fully consumed");
+    }
+
+    #[test]
+    fn even_plan_divides_gaps_evenly() {
+        let ex = extents(&[3, 3, 3, 3]);
+        let plan = plan_even(&ex, 20);
+        check_invariants(&ex, &plan, 20);
+        for p in &plan {
+            assert_eq!(p.gap(), 2);
+        }
+    }
+
+    #[test]
+    fn even_plan_spreads_remainder_without_packing_the_tail() {
+        let ex = extents(&[1, 1, 1]);
+        let plan = plan_even(&ex, 8); // 5 free slots over 3 extents
+        check_invariants(&ex, &plan, 8);
+        // Gaps differ by at most one slot, and no extent is left gap-less.
+        let gaps: Vec<usize> = plan.iter().map(Placement::gap).collect();
+        assert_eq!(gaps.iter().sum::<usize>(), 5);
+        assert!(gaps.iter().all(|&g| g >= 1 && g <= 2), "gaps: {gaps:?}");
+    }
+
+    #[test]
+    fn even_plan_never_packs_a_long_tail() {
+        // Regression test: 20 single-element extents in a 32-slot window must
+        // not leave the last 8 extents back-to-back (that would re-create a
+        // full PMA segment immediately after a rebalance).
+        let ex = extents(&[1; 20]);
+        let plan = plan_even(&ex, 32);
+        check_invariants(&ex, &plan, 32);
+        let max_run = plan
+            .iter()
+            .fold((0usize, 0usize), |(best, cur), p| {
+                let cur = if p.gap() == 0 { cur + p.count } else { 0 };
+                (best.max(cur), cur)
+            })
+            .0;
+        assert!(max_run < 8, "longest gap-less run is {max_run}");
+    }
+
+    #[test]
+    fn weighted_plan_gives_more_headroom_to_heavy_vertices() {
+        let ex = extents(&[90, 5, 5]);
+        let plan = plan_weighted(&ex, 200); // 100 free slots
+        check_invariants(&ex, &plan, 200);
+        assert!(
+            plan[0].gap() > plan[1].gap() * 5,
+            "the 90-edge vertex should receive most of the gap: {plan:?}"
+        );
+    }
+
+    #[test]
+    fn weighted_plan_handles_zero_count_extents() {
+        let ex = extents(&[0, 10, 0]);
+        let plan = plan_weighted(&ex, 16);
+        check_invariants(&ex, &plan, 16);
+    }
+
+    #[test]
+    fn plans_handle_full_window() {
+        let ex = extents(&[4, 4]);
+        let even = plan_even(&ex, 8);
+        let weighted = plan_weighted(&ex, 8);
+        check_invariants(&ex, &even, 8);
+        check_invariants(&ex, &weighted, 8);
+        assert!(even.iter().all(|p| p.gap() == 0));
+        assert!(weighted.iter().all(|p| p.gap() == 0));
+    }
+
+    #[test]
+    fn empty_extent_list_produces_empty_plan() {
+        assert!(plan_even(&[], 100).is_empty());
+        assert!(plan_weighted(&[], 100).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "only has")]
+    fn overfull_window_panics() {
+        let ex = extents(&[10, 10]);
+        plan_even(&ex, 15);
+    }
+
+    #[test]
+    fn single_extent_gets_all_gaps() {
+        let ex = extents(&[7]);
+        for plan in [plan_even(&ex, 32), plan_weighted(&ex, 32)] {
+            check_invariants(&ex, &plan, 32);
+            assert_eq!(plan[0].gap(), 25);
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_extents() -> impl Strategy<Value = Vec<Extent>> {
+            proptest::collection::vec(0usize..50, 1..40).prop_map(|counts| {
+                counts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &c)| Extent {
+                        id: i as u64,
+                        count: c,
+                    })
+                    .collect()
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn even_plan_is_exact_and_ordered(ex in arb_extents(), slack in 0usize..500) {
+                let used: usize = ex.iter().map(|e| e.count).sum();
+                let window = used + slack;
+                let plan = plan_even(&ex, window);
+                check_invariants(&ex, &plan, window);
+            }
+
+            #[test]
+            fn weighted_plan_is_exact_and_ordered(ex in arb_extents(), slack in 0usize..500) {
+                let used: usize = ex.iter().map(|e| e.count).sum();
+                let window = used + slack;
+                let plan = plan_weighted(&ex, window);
+                check_invariants(&ex, &plan, window);
+            }
+
+            #[test]
+            fn weighted_gap_is_monotone_in_count(a in 1usize..100, b in 1usize..100, slack in 2usize..400) {
+                // For a two-extent window, the heavier extent never receives
+                // a meaningfully smaller gap than the lighter one (rounding
+                // may shift at most two slots).
+                let ex = vec![Extent { id: 0, count: a }, Extent { id: 1, count: b }];
+                let window = a + b + slack;
+                let plan = plan_weighted(&ex, window);
+                if a >= b {
+                    prop_assert!(plan[0].gap() + 2 >= plan[1].gap());
+                } else {
+                    prop_assert!(plan[1].gap() + 2 >= plan[0].gap());
+                }
+            }
+
+            #[test]
+            fn weighted_plan_never_packs_long_runs(counts in proptest::collection::vec(1usize..4, 8..64)) {
+                // With uniform small extents and ~30 % slack, no run of
+                // consecutive extents longer than the inverse gap rate stays
+                // completely gap-less (this is what prevents a PMA section
+                // from being 100 % full immediately after a rebalance).
+                let ex: Vec<Extent> = counts.iter().enumerate()
+                    .map(|(i, &c)| Extent { id: i as u64, count: c }).collect();
+                let used: usize = counts.iter().sum();
+                let window = used + used / 3 + 1;
+                let plan = plan_weighted(&ex, window);
+                let mut run = 0usize;
+                let mut max_run = 0usize;
+                for p in &plan {
+                    if p.gap() == 0 { run += p.count; } else { run = 0; }
+                    max_run = max_run.max(run);
+                }
+                prop_assert!(max_run <= 8, "gap-less run of {max_run} slots");
+            }
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Density thresholds for the adaptive PMA.
+//!
+//! Following Bender & Hu's adaptive PMA, every level of the PMA tree gets a
+//! pair of density bounds `(ρ_i, τ_i)`.  Leaves (individual segments) are
+//! allowed to get nearly full (`τ_leaf` close to 1.0) and nearly empty;
+//! towards the root the bounds tighten so that the array as a whole keeps a
+//! healthy proportion of gaps.  Bounds at intermediate levels are linear
+//! interpolations between the leaf and root values.
+
+/// The four corner densities from which every level's bounds are derived.
+///
+/// Invariant (checked by [`DensityBounds::validated`]):
+/// `0 < rho_root <= rho_leaf < tau_leaf <= tau_root' ` — note that in the
+/// literature τ *decreases* towards the root while ρ *increases*; we store
+/// the values in the orientation used by the original PMA paper:
+/// `rho_root < rho_leaf < tau_root < tau_leaf`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DensityBounds {
+    /// Minimum density of the whole array (root window).
+    pub rho_root: f64,
+    /// Minimum density of a single segment (leaf window).
+    pub rho_leaf: f64,
+    /// Maximum density of the whole array (root window).  Exceeding this
+    /// triggers a resize.
+    pub tau_root: f64,
+    /// Maximum density of a single segment (leaf window).  Exceeding this
+    /// triggers a rebalance.
+    pub tau_leaf: f64,
+}
+
+impl Default for DensityBounds {
+    /// The constants used by the DGAP prototype (and PCSR before it):
+    /// segments may fill to 92 %, the whole array only to 70 %; segments may
+    /// drain to 8 %, the whole array must stay above 30 %.
+    fn default() -> Self {
+        DensityBounds {
+            rho_root: 0.30,
+            rho_leaf: 0.08,
+            tau_root: 0.70,
+            tau_leaf: 0.92,
+        }
+    }
+}
+
+impl DensityBounds {
+    /// Check the ordering invariants, returning `self` for chaining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are not strictly ordered
+    /// (`0 < rho_root`, `rho_root <= rho_leaf`, `rho_leaf < tau_root`,
+    /// `tau_root <= tau_leaf`, `tau_leaf <= 1.0`).
+    pub fn validated(self) -> Self {
+        assert!(self.rho_root > 0.0, "rho_root must be positive");
+        assert!(
+            self.rho_leaf <= self.rho_root,
+            "rho_leaf must not exceed rho_root"
+        );
+        assert!(self.rho_leaf < self.tau_root, "rho_leaf < tau_root required");
+        assert!(self.tau_root <= self.tau_leaf, "tau_root <= tau_leaf required");
+        assert!(self.tau_leaf <= 1.0, "tau_leaf must not exceed 1.0");
+        self
+    }
+}
+
+/// Density bounds `(ρ, τ)` for a window at `level` of a PMA tree of height
+/// `height`.
+///
+/// `level == 0` is a leaf (single segment); `level == height` is the root
+/// (the whole array).  Intermediate levels interpolate linearly, exactly as
+/// in the adaptive PMA paper.
+pub fn level_bounds(bounds: &DensityBounds, level: u32, height: u32) -> (f64, f64) {
+    if height == 0 {
+        // Degenerate single-segment array: the leaf *is* the root.  Use the
+        // root bounds so that filling the lone segment triggers a resize.
+        return (bounds.rho_root, bounds.tau_root);
+    }
+    let frac = f64::from(level.min(height)) / f64::from(height);
+    let rho = bounds.rho_leaf + (bounds.rho_root - bounds.rho_leaf) * frac;
+    let tau = bounds.tau_leaf + (bounds.tau_root - bounds.tau_leaf) * frac;
+    (rho, tau)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_bounds_are_valid() {
+        DensityBounds::default().validated();
+    }
+
+    #[test]
+    fn leaf_bounds_are_loosest() {
+        let b = DensityBounds::default();
+        let (rho_leaf, tau_leaf) = level_bounds(&b, 0, 10);
+        let (rho_root, tau_root) = level_bounds(&b, 10, 10);
+        assert!(rho_leaf < rho_root);
+        assert!(tau_leaf > tau_root);
+        assert!((rho_leaf - b.rho_leaf).abs() < 1e-12);
+        assert!((tau_leaf - b.tau_leaf).abs() < 1e-12);
+        assert!((rho_root - b.rho_root).abs() < 1e-12);
+        assert!((tau_root - b.tau_root).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounds_are_monotonic_in_level() {
+        let b = DensityBounds::default();
+        let height = 8;
+        let mut prev = level_bounds(&b, 0, height);
+        for level in 1..=height {
+            let cur = level_bounds(&b, level, height);
+            assert!(cur.0 >= prev.0, "rho must not decrease towards the root");
+            assert!(cur.1 <= prev.1, "tau must not increase towards the root");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn zero_height_tree_uses_root_bounds() {
+        let b = DensityBounds::default();
+        let (rho, tau) = level_bounds(&b, 0, 0);
+        assert_eq!(rho, b.rho_root);
+        assert_eq!(tau, b.tau_root);
+    }
+
+    #[test]
+    fn level_clamped_to_height() {
+        let b = DensityBounds::default();
+        assert_eq!(level_bounds(&b, 99, 4), level_bounds(&b, 4, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "tau_leaf must not exceed 1.0")]
+    fn invalid_bounds_panic() {
+        DensityBounds {
+            tau_leaf: 1.5,
+            ..DensityBounds::default()
+        }
+        .validated();
+    }
+
+    #[test]
+    fn midpoint_is_halfway() {
+        let b = DensityBounds::default();
+        let (rho, tau) = level_bounds(&b, 2, 4);
+        assert!((rho - (b.rho_leaf + b.rho_root) / 2.0).abs() < 1e-12);
+        assert!((tau - (b.tau_leaf + b.tau_root) / 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,436 @@
+//! The PMA tree: per-segment occupancy tracking and rebalance-window search.
+//!
+//! The tree is implicit: a window at level `l` is an aligned group of
+//! `2^l` consecutive segments.  Only the per-segment occupancy counters are
+//! stored; window occupancies are computed on demand from a prefix-sum-free
+//! scan (windows are small — at most the whole array — and rebalancing is
+//! rare, so the simple scan costs less than maintaining a Fenwick tree and
+//! is what the DGAP prototype does too).
+//!
+//! DGAP keeps the `DensityTree` in DRAM (part of its *data placement*
+//! design) because its counters are updated on every insertion; after a
+//! crash it is rebuilt from the persistent edge array.
+
+use crate::thresholds::{level_bounds, DensityBounds};
+
+/// Shape of a segmented PMA: `num_segments` segments of `segment_size`
+/// element slots each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentGeometry {
+    /// Number of element slots in one segment.
+    pub segment_size: usize,
+    /// Number of segments.  Always a power of two so that windows at every
+    /// tree level align exactly.
+    pub num_segments: usize,
+}
+
+impl SegmentGeometry {
+    /// Create a geometry, rounding `num_segments` up to a power of two.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(segment_size: usize, num_segments: usize) -> Self {
+        assert!(segment_size > 0, "segment_size must be positive");
+        assert!(num_segments > 0, "num_segments must be positive");
+        SegmentGeometry {
+            segment_size,
+            num_segments: num_segments.next_power_of_two(),
+        }
+    }
+
+    /// Geometry able to hold at least `min_capacity` element slots using
+    /// segments of `segment_size` slots.
+    pub fn for_capacity(segment_size: usize, min_capacity: usize) -> Self {
+        let segs = min_capacity.div_ceil(segment_size).max(1);
+        SegmentGeometry::new(segment_size, segs)
+    }
+
+    /// Total number of element slots.
+    pub fn capacity(&self) -> usize {
+        self.segment_size * self.num_segments
+    }
+
+    /// Height of the PMA tree (`log2(num_segments)`).
+    pub fn height(&self) -> u32 {
+        self.num_segments.trailing_zeros()
+    }
+
+    /// Segment containing element slot `index`.
+    pub fn segment_of(&self, index: usize) -> usize {
+        index / self.segment_size
+    }
+
+    /// Range of element slots `[start, end)` covered by `segment`.
+    pub fn segment_slots(&self, segment: usize) -> std::ops::Range<usize> {
+        let start = segment * self.segment_size;
+        start..start + self.segment_size
+    }
+
+    /// Geometry of the array after doubling the number of segments (the
+    /// classic PMA resize step).
+    pub fn doubled(&self) -> Self {
+        SegmentGeometry {
+            segment_size: self.segment_size,
+            num_segments: self.num_segments * 2,
+        }
+    }
+}
+
+/// A window of segments selected for rebalancing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RebalanceWindow {
+    /// First segment in the window (inclusive).
+    pub first_segment: usize,
+    /// Number of segments in the window (a power of two).
+    pub num_segments: usize,
+    /// Tree level of the window (0 = single segment).
+    pub level: u32,
+    /// Number of occupied element slots currently inside the window.
+    pub occupied: usize,
+    /// Total element slots in the window.
+    pub capacity: usize,
+}
+
+impl RebalanceWindow {
+    /// Range of segment indices `[first, first + num_segments)`.
+    pub fn segments(&self) -> std::ops::Range<usize> {
+        self.first_segment..self.first_segment + self.num_segments
+    }
+
+    /// Density of the window (occupied / capacity).
+    pub fn density(&self) -> f64 {
+        self.occupied as f64 / self.capacity as f64
+    }
+}
+
+/// DRAM-side density tracking for a segmented PMA.
+#[derive(Debug, Clone)]
+pub struct DensityTree {
+    geom: SegmentGeometry,
+    bounds: DensityBounds,
+    occupancy: Vec<usize>,
+}
+
+impl DensityTree {
+    /// Create a tree with all segments empty.
+    pub fn new(geom: SegmentGeometry, bounds: DensityBounds) -> Self {
+        DensityTree {
+            occupancy: vec![0; geom.num_segments],
+            geom,
+            bounds: bounds.validated(),
+        }
+    }
+
+    /// The geometry this tree tracks.
+    pub fn geometry(&self) -> SegmentGeometry {
+        self.geom
+    }
+
+    /// The density bounds in force.
+    pub fn bounds(&self) -> DensityBounds {
+        self.bounds
+    }
+
+    /// Occupancy of one segment.
+    pub fn occupancy(&self, segment: usize) -> usize {
+        self.occupancy[segment]
+    }
+
+    /// Overwrite the occupancy of one segment (used when rebuilding the tree
+    /// from persistent data after a crash, and after rebalances).
+    ///
+    /// The occupancy is a *logical* count and may exceed the segment's slot
+    /// capacity: DGAP counts edges parked in a section's edge log towards
+    /// that section's density (the paper's §3 "edges within the edge log
+    /// also contribute to the density of the corresponding edge array
+    /// section"), which is exactly what makes the section overflow and
+    /// triggers the merge.
+    pub fn set_occupancy(&mut self, segment: usize, occupied: usize) {
+        self.occupancy[segment] = occupied;
+    }
+
+    /// Record `n` insertions into `segment`.
+    pub fn add(&mut self, segment: usize, n: usize) {
+        self.set_occupancy(segment, self.occupancy[segment] + n);
+    }
+
+    /// Record `n` removals from `segment`.
+    pub fn sub(&mut self, segment: usize, n: usize) {
+        assert!(
+            self.occupancy[segment] >= n,
+            "segment {segment} occupancy underflow"
+        );
+        self.occupancy[segment] -= n;
+    }
+
+    /// Total number of occupied slots across the whole array.
+    pub fn total_occupied(&self) -> usize {
+        self.occupancy.iter().sum()
+    }
+
+    /// Density of the whole array.
+    pub fn root_density(&self) -> f64 {
+        self.total_occupied() as f64 / self.geom.capacity() as f64
+    }
+
+    /// Density of one segment.
+    pub fn segment_density(&self, segment: usize) -> f64 {
+        self.occupancy[segment] as f64 / self.geom.segment_size as f64
+    }
+
+    /// `true` when a segment is above its leaf upper threshold and a
+    /// rebalance (or resize) must be considered before inserting more.
+    pub fn segment_overflowing(&self, segment: usize) -> bool {
+        let (_, tau) = level_bounds(&self.bounds, 0, self.geom.height());
+        self.segment_density(segment) > tau
+    }
+
+    /// `true` when the whole array is too dense and must be resized.
+    pub fn needs_resize(&self) -> bool {
+        self.root_density() > self.bounds.tau_root
+    }
+
+    fn window(&self, first: usize, count: usize, level: u32) -> RebalanceWindow {
+        let occupied = self.occupancy[first..first + count].iter().sum();
+        RebalanceWindow {
+            first_segment: first,
+            num_segments: count,
+            level,
+            occupied,
+            capacity: count * self.geom.segment_size,
+        }
+    }
+
+    /// Find the smallest aligned window containing `segment` whose density
+    /// (after hypothetically adding `extra` elements to `segment`) is within
+    /// the upper bound for its level.  Returns `None` when even the root
+    /// window is too dense — i.e. the array must be resized.
+    ///
+    /// This mirrors the PMA insertion path: when the target segment is over
+    /// its leaf threshold, walk up the tree until a window can absorb the
+    /// density, then rebalance that window.
+    pub fn find_rebalance_window(&self, segment: usize, extra: usize) -> Option<RebalanceWindow> {
+        let height = self.geom.height();
+        let mut level = 0u32;
+        loop {
+            let count = 1usize << level;
+            let first = (segment / count) * count;
+            let w = self.window(first, count, level);
+            let (_, tau) = level_bounds(&self.bounds, level, height);
+            if (w.occupied + extra) as f64 / w.capacity as f64 <= tau {
+                return Some(w);
+            }
+            if level == height {
+                return None;
+            }
+            level += 1;
+        }
+    }
+
+    /// Find the smallest aligned window containing `segment` whose density
+    /// is at or above the lower bound for its level — the deletion analogue
+    /// of [`DensityTree::find_rebalance_window`].  Returns `None` when even
+    /// the root window is too sparse (callers may shrink or simply accept
+    /// the sparsity, as DGAP does).
+    pub fn find_rebalance_window_after_delete(&self, segment: usize) -> Option<RebalanceWindow> {
+        let height = self.geom.height();
+        let mut level = 0u32;
+        loop {
+            let count = 1usize << level;
+            let first = (segment / count) * count;
+            let w = self.window(first, count, level);
+            let (rho, _) = level_bounds(&self.bounds, level, height);
+            if w.density() >= rho {
+                return Some(w);
+            }
+            if level == height {
+                return None;
+            }
+            level += 1;
+        }
+    }
+
+    /// Construct the tree for a doubled array, preserving the bounds.  The
+    /// caller re-populates occupancies after physically moving the data.
+    pub fn grow(&self) -> DensityTree {
+        DensityTree::new(self.geom.doubled(), self.bounds)
+    }
+
+    /// Rebuild from an iterator of per-segment occupancies (crash recovery).
+    pub fn rebuild_from(
+        geom: SegmentGeometry,
+        bounds: DensityBounds,
+        occupancies: impl IntoIterator<Item = usize>,
+    ) -> Self {
+        let mut t = DensityTree::new(geom, bounds);
+        for (i, occ) in occupancies.into_iter().enumerate() {
+            t.set_occupancy(i, occ);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree(segment_size: usize, num_segments: usize) -> DensityTree {
+        DensityTree::new(
+            SegmentGeometry::new(segment_size, num_segments),
+            DensityBounds::default(),
+        )
+    }
+
+    #[test]
+    fn geometry_rounds_to_power_of_two() {
+        let g = SegmentGeometry::new(32, 5);
+        assert_eq!(g.num_segments, 8);
+        assert_eq!(g.capacity(), 256);
+        assert_eq!(g.height(), 3);
+        assert_eq!(g.segment_of(63), 1);
+        assert_eq!(g.segment_slots(2), 64..96);
+        assert_eq!(g.doubled().num_segments, 16);
+    }
+
+    #[test]
+    fn geometry_for_capacity_covers_request() {
+        let g = SegmentGeometry::for_capacity(64, 1000);
+        assert!(g.capacity() >= 1000);
+        assert_eq!(g.segment_size, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "segment_size must be positive")]
+    fn zero_segment_size_rejected() {
+        SegmentGeometry::new(0, 4);
+    }
+
+    #[test]
+    fn occupancy_bookkeeping() {
+        let mut t = tree(32, 4);
+        t.add(0, 10);
+        t.add(1, 5);
+        t.sub(0, 3);
+        assert_eq!(t.occupancy(0), 7);
+        assert_eq!(t.occupancy(1), 5);
+        assert_eq!(t.total_occupied(), 12);
+        assert!((t.segment_density(0) - 7.0 / 32.0).abs() < 1e-12);
+        assert!((t.root_density() - 12.0 / 128.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn occupancy_underflow_panics() {
+        let mut t = tree(32, 4);
+        t.sub(0, 1);
+    }
+
+    #[test]
+    fn occupancy_may_logically_exceed_capacity() {
+        // DGAP counts edge-log entries towards a section's density, so the
+        // logical occupancy can exceed the slot count; that state must be
+        // representable (it is what forces the merge).
+        let mut t = tree(32, 4);
+        t.add(0, 40);
+        assert_eq!(t.occupancy(0), 40);
+        assert!(t.segment_density(0) > 1.0);
+        assert!(t.segment_overflowing(0));
+    }
+
+    #[test]
+    fn single_segment_window_when_not_overflowing() {
+        let mut t = tree(100, 8);
+        t.add(3, 50); // 50 % < 92 % leaf threshold
+        let w = t.find_rebalance_window(3, 1).unwrap();
+        assert_eq!(w.first_segment, 3);
+        assert_eq!(w.num_segments, 1);
+        assert_eq!(w.level, 0);
+    }
+
+    #[test]
+    fn window_grows_until_density_acceptable() {
+        let mut t = tree(100, 8);
+        // Segment 5 is completely full, its neighbours moderately full.
+        t.add(5, 100);
+        t.add(4, 60);
+        t.add(6, 10);
+        t.add(7, 10);
+        let w = t.find_rebalance_window(5, 1).unwrap();
+        assert!(w.num_segments > 1, "full segment needs a wider window");
+        assert!(w.segments().contains(&5));
+        // The window it picks must satisfy its own level bound.
+        let (_, tau) = level_bounds(&t.bounds(), w.level, t.geometry().height());
+        assert!((w.occupied + 1) as f64 / w.capacity as f64 <= tau);
+    }
+
+    #[test]
+    fn windows_are_aligned() {
+        let mut t = tree(10, 16);
+        for s in 0..16 {
+            t.add(s, 9); // 90 % everywhere
+        }
+        for seg in 0..16 {
+            if let Some(w) = t.find_rebalance_window(seg, 1) {
+                assert_eq!(w.first_segment % w.num_segments, 0, "window must align");
+                assert!(w.segments().contains(&seg));
+            }
+        }
+    }
+
+    #[test]
+    fn resize_needed_when_root_too_dense() {
+        let mut t = tree(10, 4);
+        for s in 0..4 {
+            t.add(s, 9);
+        }
+        // Root density 90 % > 70 %: no window can absorb an insert.
+        assert!(t.needs_resize());
+        assert!(t.find_rebalance_window(0, 1).is_none());
+        let grown = t.grow();
+        assert_eq!(grown.geometry().num_segments, 8);
+        assert_eq!(grown.total_occupied(), 0);
+    }
+
+    #[test]
+    fn delete_window_search_finds_sparse_regions() {
+        let mut t = tree(100, 8);
+        for s in 0..8 {
+            t.add(s, 40);
+        }
+        // A healthy segment needs no widening.
+        let w = t.find_rebalance_window_after_delete(2).unwrap();
+        assert_eq!(w.num_segments, 1);
+        // Drain segment 2 below the leaf lower bound (8 %).
+        t.sub(2, 37);
+        let w = t.find_rebalance_window_after_delete(2).unwrap();
+        assert!(w.num_segments > 1);
+    }
+
+    #[test]
+    fn delete_window_none_when_everything_empty() {
+        let t = tree(100, 8);
+        assert!(t.find_rebalance_window_after_delete(0).is_none());
+    }
+
+    #[test]
+    fn rebuild_from_occupancies() {
+        let geom = SegmentGeometry::new(16, 4);
+        let t = DensityTree::rebuild_from(geom, DensityBounds::default(), [1, 2, 3, 4]);
+        assert_eq!(t.total_occupied(), 10);
+        assert_eq!(t.occupancy(2), 3);
+    }
+
+    #[test]
+    fn rebalance_window_density_helper() {
+        let w = RebalanceWindow {
+            first_segment: 2,
+            num_segments: 2,
+            level: 1,
+            occupied: 30,
+            capacity: 60,
+        };
+        assert_eq!(w.segments(), 2..4);
+        assert!((w.density() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,219 @@
+//! Raw byte arena backing a pool's working and persisted images.
+//!
+//! The arena intentionally allows shared mutation through `&self`, mirroring
+//! real memory-mapped persistent memory: the device itself does not arbitrate
+//! concurrent stores, the software above it must.  Higher layers (DGAP's
+//! per-section locks, the baselines' own locks) guarantee that two threads
+//! never write the same byte range concurrently and never read a range that
+//! another thread is concurrently writing.  Under that invariant the raw
+//! pointer copies below are race-free because all concurrently accessed byte
+//! ranges are disjoint.
+
+pub(crate) struct Arena {
+    /// Raw pointer into a heap allocation of `len` bytes.  Kept as a raw
+    /// pointer (rather than a `Box` behind an `UnsafeCell`) so that no `&mut`
+    /// to the whole buffer is ever materialised while disjoint ranges are
+    /// being accessed from multiple threads.
+    base: *mut u8,
+    len: usize,
+}
+
+// SAFETY: see module docs — callers guarantee disjointness of concurrently
+// accessed byte ranges, making the unsynchronised accesses race-free.
+unsafe impl Send for Arena {}
+unsafe impl Sync for Arena {}
+
+impl Drop for Arena {
+    fn drop(&mut self) {
+        // SAFETY: `base`/`len` came from `Box::into_raw` of a boxed slice of
+        // exactly `len` bytes and are only reconstructed once, here.
+        unsafe {
+            drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(
+                self.base, self.len,
+            )));
+        }
+    }
+}
+
+impl Arena {
+    /// Allocate a zero-filled arena of `capacity` bytes.
+    pub(crate) fn new(capacity: usize) -> Self {
+        let boxed = vec![0u8; capacity].into_boxed_slice();
+        let base = Box::into_raw(boxed).cast::<u8>();
+        Arena {
+            base,
+            len: capacity,
+        }
+    }
+
+    /// Total number of bytes in the arena.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn base(&self) -> *mut u8 {
+        self.base
+    }
+
+    /// Copy `src` into the arena at `offset`.  Caller must have bounds-checked.
+    #[inline]
+    pub(crate) fn write(&self, offset: usize, src: &[u8]) {
+        debug_assert!(offset + src.len() <= self.len());
+        // SAFETY: bounds checked by caller (debug-asserted here); disjointness
+        // of concurrent accesses guaranteed by higher-level locking.
+        unsafe {
+            std::ptr::copy_nonoverlapping(src.as_ptr(), self.base().add(offset), src.len());
+        }
+    }
+
+    /// Copy `dst.len()` bytes from the arena at `offset` into `dst`.
+    #[inline]
+    pub(crate) fn read(&self, offset: usize, dst: &mut [u8]) {
+        debug_assert!(offset + dst.len() <= self.len());
+        // SAFETY: as above.
+        unsafe {
+            std::ptr::copy_nonoverlapping(self.base().add(offset), dst.as_mut_ptr(), dst.len());
+        }
+    }
+
+    /// Copy `len` bytes from `src_off` to `dst_off` inside the arena.
+    /// Overlapping ranges are handled (memmove semantics).
+    #[inline]
+    pub(crate) fn copy_within(&self, src_off: usize, dst_off: usize, len: usize) {
+        debug_assert!(src_off + len <= self.len());
+        debug_assert!(dst_off + len <= self.len());
+        // SAFETY: as above; `copy` allows overlap.
+        unsafe {
+            std::ptr::copy(self.base().add(src_off), self.base().add(dst_off), len);
+        }
+    }
+
+    /// Fill `len` bytes starting at `offset` with `byte`.
+    #[inline]
+    pub(crate) fn fill(&self, offset: usize, byte: u8, len: usize) {
+        debug_assert!(offset + len <= self.len());
+        // SAFETY: as above.
+        unsafe {
+            std::ptr::write_bytes(self.base().add(offset), byte, len);
+        }
+    }
+
+    /// Copy `len` bytes at `offset` from `other` into `self` at the same
+    /// offset.  Used to promote flushed lines into the persisted image and
+    /// to restore the working image after a simulated crash.
+    pub(crate) fn copy_range_from(&self, other: &Arena, offset: usize, len: usize) {
+        debug_assert!(offset + len <= self.len());
+        debug_assert!(offset + len <= other.len());
+        // SAFETY: as above; the two arenas are distinct allocations.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                other.base().add(offset),
+                self.base().add(offset),
+                len,
+            );
+        }
+    }
+
+    /// Clone the full contents into a `Vec<u8>` (used for pool image export).
+    pub(crate) fn to_vec(&self) -> Vec<u8> {
+        let mut v = vec![0u8; self.len()];
+        self.read(0, &mut v);
+        v
+    }
+
+    /// Overwrite the full contents from `bytes` (used for pool image import).
+    pub(crate) fn load_from(&self, bytes: &[u8]) {
+        assert_eq!(bytes.len(), self.len(), "image size mismatch");
+        self.write(0, bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let a = Arena::new(128);
+        a.write(10, &[1, 2, 3, 4]);
+        let mut buf = [0u8; 4];
+        a.read(10, &mut buf);
+        assert_eq!(buf, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn new_arena_is_zeroed() {
+        let a = Arena::new(64);
+        let mut buf = [0xffu8; 64];
+        a.read(0, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn copy_within_handles_overlap() {
+        let a = Arena::new(32);
+        a.write(0, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        // shift right by 2 within an overlapping region
+        a.copy_within(0, 2, 8);
+        let mut buf = [0u8; 10];
+        a.read(0, &mut buf);
+        assert_eq!(buf, [1, 2, 1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn fill_sets_bytes() {
+        let a = Arena::new(16);
+        a.fill(4, 0xab, 8);
+        let mut buf = [0u8; 16];
+        a.read(0, &mut buf);
+        assert_eq!(&buf[4..12], &[0xab; 8]);
+        assert_eq!(buf[3], 0);
+        assert_eq!(buf[12], 0);
+    }
+
+    #[test]
+    fn copy_range_from_other_arena() {
+        let a = Arena::new(64);
+        let b = Arena::new(64);
+        a.write(8, &[9, 9, 9, 9]);
+        b.copy_range_from(&a, 8, 4);
+        let mut buf = [0u8; 4];
+        b.read(8, &mut buf);
+        assert_eq!(buf, [9, 9, 9, 9]);
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let a = Arena::new(32);
+        a.write(0, &[7; 32]);
+        let img = a.to_vec();
+        let b = Arena::new(32);
+        b.load_from(&img);
+        let mut buf = [0u8; 32];
+        b.read(0, &mut buf);
+        assert_eq!(buf, [7; 32]);
+    }
+
+    #[test]
+    fn concurrent_disjoint_writes_are_visible() {
+        use std::sync::Arc;
+        let a = Arc::new(Arena::new(1024));
+        let mut handles = Vec::new();
+        for t in 0..8u8 {
+            let a = Arc::clone(&a);
+            handles.push(std::thread::spawn(move || {
+                let off = t as usize * 128;
+                a.write(off, &[t + 1; 128]);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for t in 0..8u8 {
+            let mut buf = [0u8; 128];
+            a.read(t as usize * 128, &mut buf);
+            assert!(buf.iter().all(|&b| b == t + 1));
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Pool configuration: media type, platform persistence domain and the
+//! latency cost model.
+
+use serde::{Deserialize, Serialize};
+
+/// Size of a CPU cache line in bytes.  Flush granularity.
+pub const CACHE_LINE: usize = 64;
+
+/// Size of the Optane DCPMM internal write buffer ("XPLine") in bytes.
+///
+/// Writes smaller than an XPLine that force the buffer to be evicted early
+/// waste media bandwidth; the emulator accounts media traffic at this
+/// granularity when computing write amplification.
+pub const XPLINE: usize = 256;
+
+/// Which physical medium the pool emulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Media {
+    /// Emulated Optane DCPMM: persistence requires flush + fence, writes are
+    /// slow and asymmetric with reads.
+    Pmem,
+    /// Plain DRAM: no persistence (a crash loses everything), symmetric
+    /// latency.  Used as the "DRAM" bar in Fig. 1(b) and for components the
+    /// paper deliberately keeps volatile.
+    Dram,
+}
+
+/// Whether the platform's persistence domain includes the CPU caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdrMode {
+    /// Asynchronous DRAM Refresh: the write-pending queue is protected but
+    /// CPU caches are not.  Software must flush cache lines explicitly.
+    Adr,
+    /// Extended ADR (3rd-gen Xeon Scalable): caches are inside the
+    /// persistence domain, so flushes are unnecessary (only fences for
+    /// ordering).
+    Eadr,
+}
+
+/// Latency cost model, in simulated nanoseconds.
+///
+/// The default numbers follow the published Optane characterisation studies
+/// cited by the paper (Izraelevitz et al., Yang et al.): reads ~2-3x DRAM,
+/// persistent writes ~7-8x DRAM, sequential media access much cheaper than
+/// random, and repeated flushes of the same cache line (persistent in-place
+/// updates) severely penalised.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Cost of reading one cache line from the emulated PM media.
+    pub pm_read_line_ns: u64,
+    /// Cost of writing one cache line to PM when the access continues a
+    /// sequential stream (the previous write ended where this one starts).
+    pub pm_write_line_seq_ns: u64,
+    /// Cost of writing one cache line to PM at a random location.
+    pub pm_write_line_rand_ns: u64,
+    /// Additional penalty charged when a cache line is flushed again while
+    /// its previous flush is still "in flight" (models the blocking caused
+    /// by persistent in-place updates, Fig. 1(c)).
+    pub pm_inplace_penalty_ns: u64,
+    /// Cost of a flush instruction (CLWB / CLFLUSHOPT) for one line.
+    pub flush_ns: u64,
+    /// Cost of an SFENCE.
+    pub fence_ns: u64,
+    /// Cost of reading one cache line from DRAM.
+    pub dram_read_line_ns: u64,
+    /// Cost of writing one cache line to DRAM.
+    pub dram_write_line_ns: u64,
+    /// Fixed overhead charged per PMDK-style transaction for journal
+    /// allocation and metadata ordering (the "high memory allocation cost"
+    /// and "excessive ordering" bottlenecks of §2.4.2).
+    pub tx_overhead_ns: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            pm_read_line_ns: 300,
+            pm_write_line_seq_ns: 200,
+            pm_write_line_rand_ns: 700,
+            pm_inplace_penalty_ns: 1200,
+            flush_ns: 100,
+            fence_ns: 50,
+            dram_read_line_ns: 100,
+            dram_write_line_ns: 100,
+            tx_overhead_ns: 2500,
+        }
+    }
+}
+
+impl CostModel {
+    /// A cost model in which every operation is free.  Useful for unit tests
+    /// that only care about functional behaviour.
+    pub fn zero() -> Self {
+        CostModel {
+            pm_read_line_ns: 0,
+            pm_write_line_seq_ns: 0,
+            pm_write_line_rand_ns: 0,
+            pm_inplace_penalty_ns: 0,
+            flush_ns: 0,
+            fence_ns: 0,
+            dram_read_line_ns: 0,
+            dram_write_line_ns: 0,
+            tx_overhead_ns: 0,
+        }
+    }
+}
+
+/// Configuration for a [`crate::PmemPool`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PmemConfig {
+    /// Total pool capacity in bytes (header included).
+    pub capacity: usize,
+    /// Emulated medium.
+    pub media: Media,
+    /// Platform persistence domain.
+    pub adr: AdrMode,
+    /// Latency model used to accumulate simulated time.
+    pub cost: CostModel,
+    /// When `true` the pool keeps a shadow "persisted image" so that
+    /// [`crate::PmemPool::simulate_crash`] can discard un-persisted data.
+    /// Costs one extra copy of `capacity` bytes of DRAM; disable for very
+    /// large benchmark pools where crash testing is not needed.
+    pub track_persistence: bool,
+    /// Seed used for randomised crash decisions (whether a flushed-but-not-
+    /// fenced line survives).  Deterministic by default.
+    pub crash_seed: u64,
+}
+
+impl PmemConfig {
+    /// A pool suitable for unit tests: 4 MiB, persistence tracking enabled,
+    /// zero-cost latency model so tests run fast.
+    pub fn small_test() -> Self {
+        PmemConfig {
+            capacity: 4 << 20,
+            media: Media::Pmem,
+            adr: AdrMode::Adr,
+            cost: CostModel::zero(),
+            track_persistence: true,
+            crash_seed: 0x5eed,
+        }
+    }
+
+    /// A pool with the default (realistic) cost model and a caller-chosen
+    /// capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        PmemConfig {
+            capacity,
+            media: Media::Pmem,
+            adr: AdrMode::Adr,
+            cost: CostModel::default(),
+            track_persistence: true,
+            crash_seed: 0x5eed,
+        }
+    }
+
+    /// Same as [`PmemConfig::with_capacity`] but emulating plain DRAM
+    /// (volatile, symmetric latency).  Used for the DRAM bars in Fig. 1(b)
+    /// and Table 5's data-placement ablation.
+    pub fn dram_with_capacity(capacity: usize) -> Self {
+        PmemConfig {
+            capacity,
+            media: Media::Dram,
+            adr: AdrMode::Adr,
+            cost: CostModel::default(),
+            track_persistence: false,
+            crash_seed: 0x5eed,
+        }
+    }
+
+    /// Builder-style: set the platform mode.
+    pub fn adr_mode(mut self, adr: AdrMode) -> Self {
+        self.adr = adr;
+        self
+    }
+
+    /// Builder-style: set the cost model.
+    pub fn cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Builder-style: enable or disable persistence (crash) tracking.
+    pub fn persistence_tracking(mut self, on: bool) -> Self {
+        self.track_persistence = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_cost_model_is_asymmetric() {
+        let c = CostModel::default();
+        assert!(c.pm_write_line_rand_ns > c.pm_read_line_ns);
+        assert!(c.pm_read_line_ns > c.dram_read_line_ns);
+        assert!(c.pm_write_line_rand_ns > c.pm_write_line_seq_ns);
+        assert!(c.pm_inplace_penalty_ns > c.pm_write_line_rand_ns);
+    }
+
+    #[test]
+    fn zero_cost_model_is_all_zero() {
+        let c = CostModel::zero();
+        assert_eq!(c.pm_read_line_ns, 0);
+        assert_eq!(c.fence_ns, 0);
+        assert_eq!(c.tx_overhead_ns, 0);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let cfg = PmemConfig::with_capacity(1 << 20)
+            .adr_mode(AdrMode::Eadr)
+            .persistence_tracking(false)
+            .cost_model(CostModel::zero());
+        assert_eq!(cfg.capacity, 1 << 20);
+        assert_eq!(cfg.adr, AdrMode::Eadr);
+        assert!(!cfg.track_persistence);
+        assert_eq!(cfg.cost, CostModel::zero());
+    }
+
+    #[test]
+    fn dram_config_is_volatile() {
+        let cfg = PmemConfig::dram_with_capacity(1024);
+        assert_eq!(cfg.media, Media::Dram);
+        assert!(!cfg.track_persistence);
+    }
+
+    #[test]
+    fn constants_are_powers_of_two() {
+        assert!(CACHE_LINE.is_power_of_two());
+        assert!(XPLINE.is_power_of_two());
+        assert_eq!(XPLINE % CACHE_LINE, 0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Error type shared by all pmem operations.
+
+use std::fmt;
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, PmemError>;
+
+/// Errors raised by the emulated persistent-memory pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PmemError {
+    /// The pool does not have enough free space to satisfy an allocation.
+    OutOfSpace {
+        /// Number of bytes that were requested.
+        requested: usize,
+        /// Number of bytes still available in the pool.
+        available: usize,
+    },
+    /// An access (read/write/flush) touched bytes outside the pool.
+    OutOfBounds {
+        /// Offset of the access.
+        offset: u64,
+        /// Length of the access.
+        len: usize,
+        /// Capacity of the pool.
+        capacity: usize,
+    },
+    /// The requested alignment is not a power of two.
+    BadAlignment(usize),
+    /// The requested root slot does not exist.
+    NoSuchRoot(u64),
+    /// A transaction was used after it was committed or aborted.
+    TransactionClosed,
+    /// The undo journal of a transaction is full.
+    JournalFull {
+        /// Journal capacity in bytes.
+        capacity: usize,
+        /// Bytes needed by the failed `add_range`.
+        needed: usize,
+    },
+    /// The pool image on disk is corrupt or has the wrong magic number.
+    BadImage(String),
+    /// An I/O error occurred while saving/loading a pool image.
+    Io(String),
+}
+
+impl fmt::Display for PmemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmemError::OutOfSpace {
+                requested,
+                available,
+            } => write!(
+                f,
+                "pmem pool out of space: requested {requested} bytes, {available} available"
+            ),
+            PmemError::OutOfBounds {
+                offset,
+                len,
+                capacity,
+            } => write!(
+                f,
+                "pmem access out of bounds: offset {offset} len {len} capacity {capacity}"
+            ),
+            PmemError::BadAlignment(a) => write!(f, "alignment {a} is not a power of two"),
+            PmemError::NoSuchRoot(id) => write!(f, "no root registered under id {id}"),
+            PmemError::TransactionClosed => write!(f, "transaction already committed or aborted"),
+            PmemError::JournalFull { capacity, needed } => write!(
+                f,
+                "transaction journal full: capacity {capacity} bytes, {needed} more needed"
+            ),
+            PmemError::BadImage(msg) => write!(f, "bad pool image: {msg}"),
+            PmemError::Io(msg) => write!(f, "pool image i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PmemError {}
+
+impl From<std::io::Error> for PmemError {
+    fn from(e: std::io::Error) -> Self {
+        PmemError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_key_values() {
+        let e = PmemError::OutOfSpace {
+            requested: 100,
+            available: 10,
+        };
+        let s = e.to_string();
+        assert!(s.contains("100") && s.contains("10"));
+
+        let e = PmemError::OutOfBounds {
+            offset: 5,
+            len: 6,
+            capacity: 7,
+        };
+        let s = e.to_string();
+        assert!(s.contains('5') && s.contains('6') && s.contains('7'));
+
+        let e = PmemError::BadAlignment(3);
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: PmemError = io.into();
+        assert!(matches!(e, PmemError::Io(_)));
+        assert!(e.to_string().contains("missing"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            PmemError::NoSuchRoot(3),
+            PmemError::NoSuchRoot(3),
+        );
+        assert_ne!(PmemError::NoSuchRoot(3), PmemError::NoSuchRoot(4));
+    }
+}

@@ -1,0 +1,280 @@
+//! Operation counters and the simulated-time accumulator.
+//!
+//! Every access to a [`crate::PmemPool`] updates these counters; benchmark
+//! harnesses read a [`StatsSnapshot`] before and after a phase and subtract
+//! to obtain per-phase figures such as write amplification (Fig. 1(a)) or
+//! simulated insertion time (Fig. 1(b), Table 5).
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic counters maintained by a pool.  All counters use relaxed ordering:
+/// they are statistics, not synchronisation.
+#[derive(Debug, Default)]
+pub struct PmemStats {
+    /// Bytes of payload the caller asked to write (`write*` calls).
+    pub logical_bytes_written: AtomicU64,
+    /// Bytes actually charged to the media, accounted at cache-line
+    /// granularity (a 4-byte store dirties a whole 64 B line which must be
+    /// written back on flush).  `media_bytes_written / logical_bytes_written`
+    /// is the write-amplification factor.
+    pub media_bytes_written: AtomicU64,
+    /// Bytes of payload read by the caller.
+    pub logical_bytes_read: AtomicU64,
+    /// Number of `write*` calls.
+    pub write_ops: AtomicU64,
+    /// Number of `read*` calls.
+    pub read_ops: AtomicU64,
+    /// Number of cache-line flushes issued.
+    pub flushes: AtomicU64,
+    /// Number of fences issued.
+    pub fences: AtomicU64,
+    /// Number of flushes that hit a line already flushed since the previous
+    /// fence (the expensive "persistent in-place update" pattern).
+    pub inplace_flushes: AtomicU64,
+    /// Number of writes classified as sequential (continuing the previous
+    /// write's address range).
+    pub seq_writes: AtomicU64,
+    /// Number of writes classified as random.
+    pub rand_writes: AtomicU64,
+    /// Number of XPLines (256 B buffers) touched by media write-back.
+    pub xplines_touched: AtomicU64,
+    /// Number of PMDK-style transactions started.
+    pub tx_started: AtomicU64,
+    /// Number of PMDK-style transactions committed.
+    pub tx_committed: AtomicU64,
+    /// Number of PMDK-style transactions aborted.
+    pub tx_aborted: AtomicU64,
+    /// Bytes copied into transaction undo journals.
+    pub tx_journal_bytes: AtomicU64,
+    /// Accumulated simulated time in nanoseconds according to the pool's
+    /// [`crate::CostModel`].
+    pub simulated_ns: AtomicU64,
+    /// Number of allocations served.
+    pub allocations: AtomicU64,
+    /// Bytes handed out by the allocator (including alignment padding).
+    pub allocated_bytes: AtomicU64,
+}
+
+impl PmemStats {
+    /// Create a zeroed statistics block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `ns` simulated nanoseconds.
+    #[inline]
+    pub fn charge_ns(&self, ns: u64) {
+        if ns != 0 {
+            self.simulated_ns.fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+
+    /// Take a consistent-enough snapshot of all counters (each counter is
+    /// read atomically; the set is not a single atomic snapshot, which is
+    /// fine for statistics).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            logical_bytes_written: self.logical_bytes_written.load(Ordering::Relaxed),
+            media_bytes_written: self.media_bytes_written.load(Ordering::Relaxed),
+            logical_bytes_read: self.logical_bytes_read.load(Ordering::Relaxed),
+            write_ops: self.write_ops.load(Ordering::Relaxed),
+            read_ops: self.read_ops.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            fences: self.fences.load(Ordering::Relaxed),
+            inplace_flushes: self.inplace_flushes.load(Ordering::Relaxed),
+            seq_writes: self.seq_writes.load(Ordering::Relaxed),
+            rand_writes: self.rand_writes.load(Ordering::Relaxed),
+            xplines_touched: self.xplines_touched.load(Ordering::Relaxed),
+            tx_started: self.tx_started.load(Ordering::Relaxed),
+            tx_committed: self.tx_committed.load(Ordering::Relaxed),
+            tx_aborted: self.tx_aborted.load(Ordering::Relaxed),
+            tx_journal_bytes: self.tx_journal_bytes.load(Ordering::Relaxed),
+            simulated_ns: self.simulated_ns.load(Ordering::Relaxed),
+            allocations: self.allocations.load(Ordering::Relaxed),
+            allocated_bytes: self.allocated_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset every counter to zero.  Benchmarks call this between phases.
+    pub fn reset(&self) {
+        self.logical_bytes_written.store(0, Ordering::Relaxed);
+        self.media_bytes_written.store(0, Ordering::Relaxed);
+        self.logical_bytes_read.store(0, Ordering::Relaxed);
+        self.write_ops.store(0, Ordering::Relaxed);
+        self.read_ops.store(0, Ordering::Relaxed);
+        self.flushes.store(0, Ordering::Relaxed);
+        self.fences.store(0, Ordering::Relaxed);
+        self.inplace_flushes.store(0, Ordering::Relaxed);
+        self.seq_writes.store(0, Ordering::Relaxed);
+        self.rand_writes.store(0, Ordering::Relaxed);
+        self.xplines_touched.store(0, Ordering::Relaxed);
+        self.tx_started.store(0, Ordering::Relaxed);
+        self.tx_committed.store(0, Ordering::Relaxed);
+        self.tx_aborted.store(0, Ordering::Relaxed);
+        self.tx_journal_bytes.store(0, Ordering::Relaxed);
+        self.simulated_ns.store(0, Ordering::Relaxed);
+        self.allocations.store(0, Ordering::Relaxed);
+        self.allocated_bytes.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of every [`PmemStats`] counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// See [`PmemStats::logical_bytes_written`].
+    pub logical_bytes_written: u64,
+    /// See [`PmemStats::media_bytes_written`].
+    pub media_bytes_written: u64,
+    /// See [`PmemStats::logical_bytes_read`].
+    pub logical_bytes_read: u64,
+    /// See [`PmemStats::write_ops`].
+    pub write_ops: u64,
+    /// See [`PmemStats::read_ops`].
+    pub read_ops: u64,
+    /// See [`PmemStats::flushes`].
+    pub flushes: u64,
+    /// See [`PmemStats::fences`].
+    pub fences: u64,
+    /// See [`PmemStats::inplace_flushes`].
+    pub inplace_flushes: u64,
+    /// See [`PmemStats::seq_writes`].
+    pub seq_writes: u64,
+    /// See [`PmemStats::rand_writes`].
+    pub rand_writes: u64,
+    /// See [`PmemStats::xplines_touched`].
+    pub xplines_touched: u64,
+    /// See [`PmemStats::tx_started`].
+    pub tx_started: u64,
+    /// See [`PmemStats::tx_committed`].
+    pub tx_committed: u64,
+    /// See [`PmemStats::tx_aborted`].
+    pub tx_aborted: u64,
+    /// See [`PmemStats::tx_journal_bytes`].
+    pub tx_journal_bytes: u64,
+    /// See [`PmemStats::simulated_ns`].
+    pub simulated_ns: u64,
+    /// See [`PmemStats::allocations`].
+    pub allocations: u64,
+    /// See [`PmemStats::allocated_bytes`].
+    pub allocated_bytes: u64,
+}
+
+impl StatsSnapshot {
+    /// Write-amplification factor: media bytes written divided by logical
+    /// payload bytes written.  Returns 0.0 when nothing was written.
+    pub fn write_amplification(&self) -> f64 {
+        if self.logical_bytes_written == 0 {
+            0.0
+        } else {
+            self.media_bytes_written as f64 / self.logical_bytes_written as f64
+        }
+    }
+
+    /// Simulated time expressed in seconds.
+    pub fn simulated_seconds(&self) -> f64 {
+        self.simulated_ns as f64 / 1e9
+    }
+
+    /// Counter-wise difference `self - earlier`, saturating at zero.
+    /// Benchmarks use this to isolate one phase of a run.
+    pub fn delta_since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            logical_bytes_written: self
+                .logical_bytes_written
+                .saturating_sub(earlier.logical_bytes_written),
+            media_bytes_written: self
+                .media_bytes_written
+                .saturating_sub(earlier.media_bytes_written),
+            logical_bytes_read: self
+                .logical_bytes_read
+                .saturating_sub(earlier.logical_bytes_read),
+            write_ops: self.write_ops.saturating_sub(earlier.write_ops),
+            read_ops: self.read_ops.saturating_sub(earlier.read_ops),
+            flushes: self.flushes.saturating_sub(earlier.flushes),
+            fences: self.fences.saturating_sub(earlier.fences),
+            inplace_flushes: self.inplace_flushes.saturating_sub(earlier.inplace_flushes),
+            seq_writes: self.seq_writes.saturating_sub(earlier.seq_writes),
+            rand_writes: self.rand_writes.saturating_sub(earlier.rand_writes),
+            xplines_touched: self.xplines_touched.saturating_sub(earlier.xplines_touched),
+            tx_started: self.tx_started.saturating_sub(earlier.tx_started),
+            tx_committed: self.tx_committed.saturating_sub(earlier.tx_committed),
+            tx_aborted: self.tx_aborted.saturating_sub(earlier.tx_aborted),
+            tx_journal_bytes: self.tx_journal_bytes.saturating_sub(earlier.tx_journal_bytes),
+            simulated_ns: self.simulated_ns.saturating_sub(earlier.simulated_ns),
+            allocations: self.allocations.saturating_sub(earlier.allocations),
+            allocated_bytes: self.allocated_bytes.saturating_sub(earlier.allocated_bytes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_amplification_computes_ratio() {
+        let snap = StatsSnapshot {
+            logical_bytes_written: 100,
+            media_bytes_written: 700,
+            ..Default::default()
+        };
+        assert!((snap.write_amplification() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn write_amplification_zero_when_no_writes() {
+        let snap = StatsSnapshot::default();
+        assert_eq!(snap.write_amplification(), 0.0);
+    }
+
+    #[test]
+    fn delta_since_subtracts() {
+        let a = StatsSnapshot {
+            flushes: 10,
+            fences: 4,
+            simulated_ns: 1_000,
+            ..Default::default()
+        };
+        let b = StatsSnapshot {
+            flushes: 25,
+            fences: 5,
+            simulated_ns: 3_000,
+            ..Default::default()
+        };
+        let d = b.delta_since(&a);
+        assert_eq!(d.flushes, 15);
+        assert_eq!(d.fences, 1);
+        assert_eq!(d.simulated_ns, 2_000);
+    }
+
+    #[test]
+    fn delta_saturates_instead_of_underflowing() {
+        let a = StatsSnapshot {
+            flushes: 10,
+            ..Default::default()
+        };
+        let b = StatsSnapshot::default();
+        assert_eq!(b.delta_since(&a).flushes, 0);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let stats = PmemStats::new();
+        stats.flushes.fetch_add(5, Ordering::Relaxed);
+        stats.charge_ns(123);
+        stats.reset();
+        let snap = stats.snapshot();
+        assert_eq!(snap.flushes, 0);
+        assert_eq!(snap.simulated_ns, 0);
+    }
+
+    #[test]
+    fn simulated_seconds_converts() {
+        let snap = StatsSnapshot {
+            simulated_ns: 2_500_000_000,
+            ..Default::default()
+        };
+        assert!((snap.simulated_seconds() - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,109 @@
+//! Edge-list file IO.
+//!
+//! The SNAP datasets the paper uses are plain-text edge lists ("src dst" per
+//! line, `#` comments).  When a local copy is available, benchmarks can load
+//! it with [`load_edge_list`] and run against the real graph instead of the
+//! synthetic stand-in.  [`save_edge_list`] writes the same format, which is
+//! handy for freezing a generated workload so that different systems see the
+//! identical insertion stream across processes.
+
+use crate::generator::EdgeList;
+use crate::Edge;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Load a SNAP-style edge list: one `src dst` pair per line (whitespace
+/// separated), lines starting with `#` or `%` ignored.
+pub fn load_edge_list(path: &Path) -> std::io::Result<EdgeList> {
+    let f = std::fs::File::open(path)?;
+    let reader = BufReader::new(f);
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut max_id = 0u64;
+    for line in reader.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(a), Some(b)) = (parts.next(), parts.next()) else {
+            continue;
+        };
+        let (Ok(src), Ok(dst)) = (a.parse::<u64>(), b.parse::<u64>()) else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("malformed edge line: {line:?}"),
+            ));
+        };
+        max_id = max_id.max(src).max(dst);
+        edges.push((src, dst));
+    }
+    let num_vertices = if edges.is_empty() { 0 } else { max_id as usize + 1 };
+    Ok(EdgeList::from_edges(num_vertices, edges))
+}
+
+/// Write an edge list in the same plain-text format.
+pub fn save_edge_list(path: &Path, list: &EdgeList) -> std::io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(f);
+    writeln!(w, "# vertices: {}", list.num_vertices)?;
+    writeln!(w, "# edges: {}", list.edges.len())?;
+    for &(s, d) in &list.edges {
+        writeln!(w, "{s} {d}")?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{GeneratorConfig, GraphKind};
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("dgap-workloads-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_preserves_edges() {
+        let g = GeneratorConfig::new(64, 500, GraphKind::Uniform, 1).generate();
+        let path = temp_path("roundtrip.el");
+        save_edge_list(&path, &g).unwrap();
+        let loaded = load_edge_list(&path).unwrap();
+        assert_eq!(loaded.edges, g.edges);
+        assert!(loaded.num_vertices <= g.num_vertices);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let path = temp_path("comments.el");
+        std::fs::write(&path, "# header\n\n% other comment\n0 1\n2 3\n").unwrap();
+        let loaded = load_edge_list(&path).unwrap();
+        assert_eq!(loaded.edges, vec![(0, 1), (2, 3)]);
+        assert_eq!(loaded.num_vertices, 4);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_lines_are_an_error() {
+        let path = temp_path("bad.el");
+        std::fs::write(&path, "0 1\nnot numbers\n").unwrap();
+        assert!(load_edge_list(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_is_an_empty_graph() {
+        let path = temp_path("empty.el");
+        std::fs::write(&path, "# nothing\n").unwrap();
+        let loaded = load_edge_list(&path).unwrap();
+        assert_eq!(loaded.num_vertices, 0);
+        assert!(loaded.edges.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        assert!(load_edge_list(Path::new("/nonexistent/definitely/missing.el")).is_err());
+    }
+}

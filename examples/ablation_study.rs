@@ -1,0 +1,72 @@
+//! Ablation study: rebuild the paper's Table 5 on a laptop-sized workload.
+//!
+//! Inserts the same R-MAT graph into the four DGAP variants — full DGAP,
+//! without the per-section edge log ("No EL"), additionally replacing the
+//! per-thread undo log with PMDK-style transactions ("No EL&UL"), and
+//! additionally placing the hot metadata on PM ("No EL&UL&DP") — and prints
+//! the insertion cost of each, both in wall-clock time and in the emulated
+//! device's simulated time and write traffic.
+//!
+//! Run with: `cargo run -p dgap-examples --release --bin ablation_study`
+
+use dgap::{DgapConfig, DgapVariant, DynamicGraph};
+use pmem::{PmemConfig, PmemPool};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let num_vertices = 2_000;
+    let num_edges = 100_000;
+    let workload = workloads::GeneratorConfig::new(
+        num_vertices,
+        num_edges,
+        workloads::GraphKind::RMat,
+        7_777,
+    )
+    .generate();
+
+    println!(
+        "{:<12} {:>10} {:>14} {:>14} {:>12} {:>12}",
+        "variant", "wall s", "simulated s", "media MiB", "flushes", "fences"
+    );
+    let mut baseline_total = None;
+    for variant in DgapVariant::all() {
+        let pool = Arc::new(PmemPool::new(
+            PmemConfig::with_capacity(256 << 20).persistence_tracking(false),
+        ));
+        let graph = variant
+            .build(
+                Arc::clone(&pool),
+                DgapConfig::for_graph(num_vertices, num_edges),
+            )
+            .expect("create variant");
+        let start = Instant::now();
+        for &(s, d) in &workload.edges {
+            graph.insert_edge(s, d).expect("insert");
+        }
+        let wall = start.elapsed().as_secs_f64();
+        let stats = pool.stats_snapshot();
+        let total = wall + stats.simulated_seconds();
+        let slowdown = match baseline_total {
+            None => {
+                baseline_total = Some(total);
+                String::from("(baseline)")
+            }
+            Some(base) => format!("({:.2}x DGAP)", total / base),
+        };
+        println!(
+            "{:<12} {:>10.3} {:>14.3} {:>14.1} {:>12} {:>12}   {}",
+            variant.label(),
+            wall,
+            stats.simulated_seconds(),
+            stats.media_bytes_written as f64 / (1 << 20) as f64,
+            stats.flushes,
+            stats.fences,
+            slowdown
+        );
+    }
+    println!(
+        "\nExpected shape (paper, Table 5): removing the edge log costs ~4.5x, removing the\n\
+         undo log adds another ~13%, and moving the metadata to PM roughly doubles the cost again."
+    );
+}

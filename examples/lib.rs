@@ -1,0 +1,29 @@
+//! Shared helpers for the runnable examples.
+//!
+//! Each example binary (`quickstart`, `streaming_analytics`,
+//! `crash_recovery`, `ablation_study`, `social_network`) is self-contained;
+//! this tiny library only hosts the helpers more than one of them uses.
+
+/// Format a byte count as mebibytes with one decimal.
+pub fn mib(bytes: u64) -> String {
+    format!("{:.1} MiB", bytes as f64 / (1 << 20) as f64)
+}
+
+/// Count distinct values in a component labelling.
+pub fn distinct(labels: &[u64]) -> usize {
+    let mut v = labels.to_vec();
+    v.sort_unstable();
+    v.dedup();
+    v.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers() {
+        assert_eq!(mib(1 << 20), "1.0 MiB");
+        assert_eq!(distinct(&[3, 1, 3, 2, 1]), 3);
+    }
+}

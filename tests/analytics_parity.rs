@@ -1,0 +1,109 @@
+//! Analytics parity: sequential and parallel kernels agree with each other
+//! and with the in-memory oracle, when run over DGAP snapshots and over the
+//! scaled dataset presets.
+
+use analytics::{
+    bc, bc_parallel, bfs, bfs_parallel, cc, cc_parallel, highest_degree_vertex, pagerank,
+    pagerank_parallel, with_threads,
+};
+use dgap::{Dgap, DgapConfig, DynamicGraph, GraphView, ReferenceGraph};
+use dgap_integration_tests::random_edges;
+use pmem::{PmemConfig, PmemPool};
+use std::sync::Arc;
+use workloads::datasets::CIT_PATENTS;
+
+fn symmetric_graph(nv: u64, ne: usize, seed: u64) -> (ReferenceGraph, Vec<(u64, u64)>) {
+    let mut reference = ReferenceGraph::new(nv as usize);
+    let mut edges = Vec::new();
+    for (s, d) in random_edges(nv, ne, seed) {
+        reference.add_edge(s, d);
+        reference.add_edge(d, s);
+        edges.push((s, d));
+        edges.push((d, s));
+    }
+    (reference, edges)
+}
+
+fn dgap_with(edges: &[(u64, u64)], nv: usize) -> Dgap {
+    let pool = Arc::new(PmemPool::new(
+        PmemConfig::with_capacity(64 << 20).persistence_tracking(false),
+    ));
+    let g = Dgap::create(pool, DgapConfig::for_graph(nv, edges.len())).unwrap();
+    for &(s, d) in edges {
+        g.insert_edge(s, d).unwrap();
+    }
+    g
+}
+
+#[test]
+fn kernels_on_dgap_match_the_oracle() {
+    let (oracle, edges) = symmetric_graph(72, 1_500, 0x600d);
+    let g = dgap_with(&edges, 72);
+    let view = g.consistent_view();
+
+    let pr_oracle = pagerank(&oracle, 15);
+    let pr_dgap = pagerank(&view, 15);
+    for (a, b) in pr_oracle.iter().zip(&pr_dgap) {
+        assert!((a - b).abs() < 1e-9);
+    }
+    assert_eq!(cc(&oracle), cc(&view));
+
+    let source = highest_degree_vertex(&oracle);
+    assert_eq!(source, highest_degree_vertex(&view));
+    let d_oracle = analytics::bfs::distances_from_parents(&oracle, &bfs(&oracle, source), source);
+    let d_dgap = analytics::bfs::distances_from_parents(&view, &bfs(&view, source), source);
+    assert_eq!(d_oracle, d_dgap);
+
+    let bc_oracle = bc(&oracle, source);
+    let bc_dgap = bc(&view, source);
+    for (a, b) in bc_oracle.iter().zip(&bc_dgap) {
+        assert!((a - b).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn parallel_kernels_match_sequential_on_dgap_snapshots() {
+    let (_oracle, edges) = symmetric_graph(64, 1_200, 0xbeef);
+    let g = dgap_with(&edges, 64);
+    let view = g.consistent_view();
+    let source = highest_degree_vertex(&view);
+
+    with_threads(4, || {
+        let pr_s = pagerank(&view, 10);
+        let pr_p = pagerank_parallel(&view, 10);
+        for (a, b) in pr_s.iter().zip(&pr_p) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert_eq!(cc(&view), cc_parallel(&view));
+        let ds = analytics::bfs::distances_from_parents(&view, &bfs(&view, source), source);
+        let dp =
+            analytics::bfs::distances_from_parents(&view, &bfs_parallel(&view, source), source);
+        assert_eq!(ds, dp);
+        let bs = bc(&view, source);
+        let bp = bc_parallel(&view, source);
+        for (a, b) in bs.iter().zip(&bp) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    });
+}
+
+#[test]
+fn kernels_run_on_a_scaled_dataset_preset() {
+    // A smoke test of the full pipeline the benchmarks use: preset dataset →
+    // generator → DGAP → kernels.
+    let list = CIT_PATENTS.generate_scaled(1 << 17);
+    let g = dgap_with(&list.edges, list.num_vertices);
+    let view = g.consistent_view();
+    assert_eq!(view.num_edges(), list.edges.len());
+
+    let ranks = pagerank(&view, 5);
+    assert_eq!(ranks.len(), view.num_vertices());
+    assert!(ranks.iter().all(|r| r.is_finite() && *r >= 0.0));
+
+    let labels = cc(&view);
+    assert_eq!(labels.len(), view.num_vertices());
+
+    let source = highest_degree_vertex(&view);
+    let parents = bfs(&view, source);
+    assert!(parents[source as usize] >= 0);
+}

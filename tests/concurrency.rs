@@ -1,0 +1,141 @@
+//! Concurrency integration tests: multiple writer threads and concurrent
+//! analysis tasks against one DGAP instance (the paper's execution model).
+
+use analytics::{cc, pagerank};
+use dgap::{Dgap, DgapConfig, DynamicGraph, GraphView};
+use dgap_integration_tests::random_edges;
+use pmem::{PmemConfig, PmemPool};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn big_pool() -> Arc<PmemPool> {
+    Arc::new(PmemPool::new(
+        PmemConfig::with_capacity(128 << 20).persistence_tracking(false),
+    ))
+}
+
+#[test]
+fn many_writers_ingest_disjoint_streams() {
+    let nv = 128usize;
+    let per_thread = 1_500usize;
+    let threads = 4usize;
+    let g = Arc::new(
+        Dgap::create(
+            big_pool(),
+            DgapConfig::for_graph(nv, per_thread * threads).writer_threads(threads),
+        )
+        .unwrap(),
+    );
+    let streams: Vec<Vec<(u64, u64)>> = (0..threads)
+        .map(|t| random_edges(nv as u64, per_thread, 0x1000 + t as u64))
+        .collect();
+
+    std::thread::scope(|scope| {
+        for stream in &streams {
+            let g = Arc::clone(&g);
+            scope.spawn(move || {
+                for &(s, d) in stream {
+                    g.insert_edge(s, d).unwrap();
+                }
+            });
+        }
+    });
+
+    assert_eq!(DynamicGraph::num_edges(&*g), per_thread * threads);
+    g.check_invariants();
+
+    // Every inserted edge is present exactly once.
+    let view = g.consistent_view();
+    let mut expected = std::collections::HashMap::<(u64, u64), usize>::new();
+    for stream in &streams {
+        for &e in stream {
+            *expected.entry(e).or_default() += 1;
+        }
+    }
+    let mut got = std::collections::HashMap::<(u64, u64), usize>::new();
+    for v in 0..nv as u64 {
+        for d in view.neighbors(v) {
+            *got.entry((v, d)).or_default() += 1;
+        }
+    }
+    assert_eq!(expected, got);
+}
+
+#[test]
+fn analysis_tasks_run_while_writers_insert() {
+    let nv = 96usize;
+    let g = Arc::new(
+        Dgap::create(big_pool(), DgapConfig::for_graph(nv, 20_000).writer_threads(2)).unwrap(),
+    );
+    // Seed the graph so early snapshots are non-trivial.
+    for &(s, d) in &random_edges(nv as u64, 1_000, 3) {
+        g.insert_edge(s, d).unwrap();
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let writers: Vec<_> = (0..2u64)
+        .map(|t| {
+            let g = Arc::clone(&g);
+            let edges = random_edges(nv as u64, 4_000, 0x42 + t);
+            std::thread::spawn(move || {
+                for (s, d) in edges {
+                    g.insert_edge(s, d).unwrap();
+                }
+            })
+        })
+        .collect();
+
+    let readers: Vec<_> = (0..2)
+        .map(|_| {
+            let g = Arc::clone(&g);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut snapshots_taken = 0usize;
+                while !stop.load(Ordering::Acquire) {
+                    let view = g.consistent_view();
+                    // The snapshot must be internally consistent: the sum of
+                    // per-vertex neighbour counts equals its edge total.
+                    let total: usize =
+                        (0..view.num_vertices() as u64).map(|v| view.neighbors(v).len()).sum();
+                    assert_eq!(total, view.num_edges());
+                    let ranks = pagerank(&view, 3);
+                    assert!(ranks.iter().all(|r| r.is_finite()));
+                    let labels = cc(&view);
+                    assert_eq!(labels.len(), view.num_vertices());
+                    snapshots_taken += 1;
+                }
+                assert!(snapshots_taken > 0);
+            })
+        })
+        .collect();
+
+    for w in writers {
+        w.join().unwrap();
+    }
+    stop.store(true, Ordering::Release);
+    for r in readers {
+        r.join().unwrap();
+    }
+    assert_eq!(DynamicGraph::num_edges(&*g), 1_000 + 2 * 4_000);
+    g.check_invariants();
+}
+
+#[test]
+fn writers_and_shutdown_serialise_cleanly() {
+    let nv = 64usize;
+    let g = Arc::new(
+        Dgap::create(big_pool(), DgapConfig::for_graph(nv, 10_000).writer_threads(2)).unwrap(),
+    );
+    std::thread::scope(|scope| {
+        for t in 0..2u64 {
+            let g = Arc::clone(&g);
+            scope.spawn(move || {
+                for (s, d) in random_edges(nv as u64, 2_000, t + 9) {
+                    g.insert_edge(s, d).unwrap();
+                }
+            });
+        }
+    });
+    g.shutdown().unwrap();
+    assert_eq!(DynamicGraph::num_edges(&*g), 4_000);
+}

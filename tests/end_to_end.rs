@@ -1,0 +1,143 @@
+//! End-to-end integration: every system ingests the same workload and every
+//! analytics kernel produces the same answers on every system's snapshot.
+
+use analytics::{bfs, cc, pagerank};
+use baselines::{Bal, GraphOneFd, Llama, PmCsr, XpGraph};
+use dgap::{Dgap, DgapConfig, DynamicGraph, GraphView, SnapshotSource};
+use dgap_integration_tests::{assert_same_graph, random_edges, reference_of};
+use pmem::{PmemConfig, PmemPool};
+use std::sync::Arc;
+
+const NV: usize = 96;
+const NE: usize = 4_000;
+
+fn pool() -> Arc<PmemPool> {
+    Arc::new(PmemPool::new(
+        PmemConfig::with_capacity(64 << 20).persistence_tracking(false),
+    ))
+}
+
+#[test]
+fn every_system_serves_the_same_graph() {
+    let edges = random_edges(NV as u64, NE, 0xfeed);
+    let oracle = reference_of(NV, &edges);
+
+    let dgap = Dgap::create(pool(), DgapConfig::for_graph(NV, NE)).unwrap();
+    let bal = Bal::new(pool(), NV);
+    let llama = Llama::new(pool(), NV, NE / 100);
+    let graphone = GraphOneFd::new(pool(), NV, 1 << 10);
+    let xpgraph = XpGraph::new(pool(), NV, 1 << 8).unwrap();
+
+    let systems: Vec<&dyn DynamicGraph> = vec![&dgap, &bal, &llama, &graphone, &xpgraph];
+    for sys in &systems {
+        for &(s, d) in &edges {
+            sys.insert_edge(s, d).unwrap();
+        }
+        sys.flush();
+        assert_eq!(sys.num_edges(), NE, "{}", sys.system_name());
+    }
+
+    assert_same_graph(&dgap.consistent_view(), &oracle, "DGAP");
+    assert_same_graph(&SnapshotSource::consistent_view(&bal), &oracle, "BAL");
+    assert_same_graph(&SnapshotSource::consistent_view(&llama), &oracle, "LLAMA");
+    assert_same_graph(
+        &SnapshotSource::consistent_view(&graphone),
+        &oracle,
+        "GraphOne-FD",
+    );
+    assert_same_graph(
+        &SnapshotSource::consistent_view(&xpgraph),
+        &oracle,
+        "XPGraph",
+    );
+
+    let csr = PmCsr::build(pool(), NV, &edges).unwrap();
+    assert_same_graph(&SnapshotSource::consistent_view(&csr), &oracle, "CSR");
+}
+
+#[test]
+fn kernels_agree_across_systems() {
+    // Insert symmetric edges so the kernels' undirected assumption holds.
+    let mut edges = Vec::new();
+    for (s, d) in random_edges(48, 800, 0xabcd) {
+        edges.push((s, d));
+        edges.push((d, s));
+    }
+    let oracle = reference_of(48, &edges);
+
+    let dgap = Dgap::create(pool(), DgapConfig::for_graph(48, edges.len())).unwrap();
+    let graphone = GraphOneFd::new(pool(), 48, 1 << 9);
+    let xpgraph = XpGraph::new(pool(), 48, 64).unwrap();
+    for &(s, d) in &edges {
+        dgap.insert_edge(s, d).unwrap();
+        graphone.insert_edge(s, d).unwrap();
+        xpgraph.insert_edge(s, d).unwrap();
+    }
+    dgap.flush();
+    graphone.flush();
+    xpgraph.flush();
+
+    let reference_pr = pagerank(&oracle, 10);
+    let reference_cc = cc(&oracle);
+    let reference_bfs = analytics::bfs::distances_from_parents(&oracle, &bfs(&oracle, 0), 0);
+
+    fn check(
+        label: &str,
+        view: &impl GraphView,
+        reference_pr: &[f64],
+        reference_cc: &[u64],
+        reference_bfs: &[i64],
+    ) {
+        let pr = pagerank(view, 10);
+        for (a, b) in pr.iter().zip(reference_pr) {
+            assert!((a - b).abs() < 1e-9, "{label}: pagerank mismatch");
+        }
+        assert_eq!(cc(view), reference_cc, "{label}: components mismatch");
+        let d = analytics::bfs::distances_from_parents(view, &bfs(view, 0), 0);
+        assert_eq!(d, reference_bfs, "{label}: BFS distances mismatch");
+    }
+    check(
+        "DGAP",
+        &dgap.consistent_view(),
+        &reference_pr,
+        &reference_cc,
+        &reference_bfs,
+    );
+    check(
+        "GraphOne-FD",
+        &SnapshotSource::consistent_view(&graphone),
+        &reference_pr,
+        &reference_cc,
+        &reference_bfs,
+    );
+    check(
+        "XPGraph",
+        &SnapshotSource::consistent_view(&xpgraph),
+        &reference_pr,
+        &reference_cc,
+        &reference_bfs,
+    );
+}
+
+#[test]
+fn snapshots_remain_stable_while_updates_continue() {
+    let edges = random_edges(NV as u64, NE, 0x1234);
+    let dgap = Dgap::create(pool(), DgapConfig::for_graph(NV, NE * 2)).unwrap();
+    for &(s, d) in &edges {
+        dgap.insert_edge(s, d).unwrap();
+    }
+    let view = dgap.consistent_view();
+    let before: Vec<Vec<u64>> = (0..NV as u64).map(|v| view.neighbors(v)).collect();
+    let ranks_before = pagerank(&view, 5);
+
+    // Keep inserting — snapshots must not observe any of it.
+    for &(s, d) in &edges {
+        dgap.insert_edge(d, s).unwrap();
+    }
+    let after: Vec<Vec<u64>> = (0..NV as u64).map(|v| view.neighbors(v)).collect();
+    assert_eq!(before, after);
+    assert_eq!(ranks_before, pagerank(&view, 5));
+
+    // A fresh view sees the doubled graph.
+    assert_eq!(dgap.consistent_view().num_edges(), NE * 2);
+}

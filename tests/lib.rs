@@ -1,0 +1,42 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use dgap::{GraphView, ReferenceGraph, VertexId};
+
+/// Deterministic pseudo-random edge stream over `num_vertices` vertices.
+pub fn random_edges(num_vertices: u64, num_edges: usize, seed: u64) -> Vec<(VertexId, VertexId)> {
+    let mut x = seed | 1;
+    (0..num_edges)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let src = (x >> 33) % num_vertices;
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let dst = (x >> 33) % num_vertices;
+            (src, dst)
+        })
+        .collect()
+}
+
+/// Build the in-memory oracle graph for an edge stream.
+pub fn reference_of(num_vertices: usize, edges: &[(VertexId, VertexId)]) -> ReferenceGraph {
+    let mut g = ReferenceGraph::new(num_vertices);
+    for &(s, d) in edges {
+        g.add_edge(s, d);
+    }
+    g
+}
+
+/// Assert that `view` exposes exactly the same adjacency lists as `oracle`.
+pub fn assert_same_graph(view: &impl GraphView, oracle: &ReferenceGraph, context: &str) {
+    assert_eq!(
+        view.num_vertices(),
+        oracle.num_vertices(),
+        "{context}: vertex count"
+    );
+    for v in 0..oracle.num_vertices() as u64 {
+        assert_eq!(
+            view.neighbors(v),
+            oracle.neighbors(v),
+            "{context}: neighbours of {v}"
+        );
+    }
+}
