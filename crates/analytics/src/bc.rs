@@ -86,7 +86,7 @@ fn atomic_add_f64(cell: &AtomicU64, add: f64) {
 
 /// Rayon-parallel Brandes betweenness centrality.  Produces the same scores
 /// as [`bc`] up to floating-point reassociation.
-pub fn bc_parallel(view: &(impl GraphView + Sync), source: VertexId) -> Vec<f64> {
+pub fn bc_parallel(view: &impl GraphView, source: VertexId) -> Vec<f64> {
     let n = view.num_vertices();
     if n == 0 || source as usize >= n {
         return vec![0.0; n];
@@ -213,8 +213,8 @@ mod tests {
         }
         let c = bc(&g, 1);
         assert!(c[0] > 0.0);
-        for v in 2..6 {
-            assert_eq!(c[v], 0.0);
+        for &leaf in &c[2..6] {
+            assert_eq!(leaf, 0.0);
         }
     }
 

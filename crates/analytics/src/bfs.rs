@@ -48,8 +48,8 @@ pub fn bfs(view: &impl GraphView, source: VertexId) -> Vec<i64> {
                 }
                 f
             };
-            for v in 0..n {
-                if parent[v] != UNREACHED {
+            for (v, p) in parent.iter_mut().enumerate() {
+                if *p != UNREACHED {
                     continue;
                 }
                 let mut found = None;
@@ -59,7 +59,7 @@ pub fn bfs(view: &impl GraphView, source: VertexId) -> Vec<i64> {
                     }
                 });
                 if let Some(u) = found {
-                    parent[v] = u as i64;
+                    *p = u as i64;
                     next.push(v as u64);
                 }
             }
@@ -82,7 +82,7 @@ pub fn bfs(view: &impl GraphView, source: VertexId) -> Vec<i64> {
 /// Rayon-parallel direction-optimizing BFS.  Visits the same set of vertices
 /// as [`bfs`] with the same distances; parent choices may differ when a
 /// vertex is reachable from several frontier vertices in the same level.
-pub fn bfs_parallel(view: &(impl GraphView + Sync), source: VertexId) -> Vec<i64> {
+pub fn bfs_parallel(view: &impl GraphView, source: VertexId) -> Vec<i64> {
     let n = view.num_vertices();
     if n == 0 || source as usize >= n {
         return vec![UNREACHED; n];

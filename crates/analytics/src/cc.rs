@@ -51,7 +51,7 @@ pub fn cc(view: &impl GraphView) -> Vec<u64> {
 
 /// Rayon-parallel Shiloach–Vishkin connected components.  Produces the same
 /// labelling as [`cc`].
-pub fn cc_parallel(view: &(impl GraphView + Sync)) -> Vec<u64> {
+pub fn cc_parallel(view: &impl GraphView) -> Vec<u64> {
     let n = view.num_vertices();
     if n == 0 {
         return Vec::new();

@@ -38,20 +38,24 @@ pub use cc::{cc, cc_parallel};
 pub use pagerank::{pagerank, pagerank_parallel};
 
 use dgap::{GraphView, VertexId};
+use rayon::prelude::*;
+use std::cmp::Reverse;
 
 /// Pick the highest-out-degree vertex as the traversal source, the common
-/// GAPBS convention for reproducible BFS / BC runs.
+/// GAPBS convention for reproducible BFS / BC runs.  Ties break towards the
+/// lowest vertex id, so the choice is deterministic across runs and systems.
+///
+/// The scan is rayon-parallel: the benchmark harness calls this once per
+/// trial on multi-million-vertex views, and `degree(v)` is not free on
+/// every backend (LLAMA-like snapshots walk deltas, for instance).
 pub fn highest_degree_vertex(view: &impl GraphView) -> VertexId {
-    let mut best = 0u64;
-    let mut best_deg = 0usize;
-    for v in 0..view.num_vertices() as u64 {
-        let d = view.degree(v);
-        if d > best_deg {
-            best = v;
-            best_deg = d;
-        }
-    }
-    best
+    let n = view.num_vertices() as u64;
+    (0..n)
+        .into_par_iter()
+        .map(|v| (view.degree(v), Reverse(v)))
+        .max()
+        .map(|(_, Reverse(v))| v)
+        .unwrap_or(0)
 }
 
 /// Run `f` inside a rayon pool with `threads` worker threads.  Convenience
@@ -110,8 +114,23 @@ mod tests {
     }
 
     #[test]
+    fn highest_degree_vertex_breaks_ties_towards_lowest_id() {
+        use dgap::ReferenceGraph;
+        // Vertices 1, 4 and 9 all reach the same top degree (2); the lowest
+        // id must win regardless of construction order.
+        let mut g = ReferenceGraph::new(10);
+        for &hub in &[9u64, 4, 1] {
+            g.add_edge(hub, 0);
+            g.add_edge(hub, 5);
+        }
+        assert_eq!(highest_degree_vertex(&g), 1);
+        // Also pinned: the empty graph maps to vertex 0.
+        assert_eq!(highest_degree_vertex(&ReferenceGraph::new(0)), 0);
+    }
+
+    #[test]
     fn with_threads_runs_the_closure() {
-        let x = with_threads(2, || rayon::current_num_threads());
+        let x = with_threads(2, rayon::current_num_threads);
         assert_eq!(x, 2);
     }
 }

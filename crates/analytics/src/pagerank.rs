@@ -21,16 +21,16 @@ pub fn pagerank(view: &impl GraphView, iterations: usize) -> Vec<f64> {
     let mut ranks = vec![1.0 / n as f64; n];
     let mut contrib = vec![0.0f64; n];
     for _ in 0..iterations {
-        for v in 0..n {
+        for (v, c) in contrib.iter_mut().enumerate() {
             let d = view.degree(v as u64);
-            contrib[v] = if d == 0 { 0.0 } else { ranks[v] / d as f64 };
+            *c = if d == 0 { 0.0 } else { ranks[v] / d as f64 };
         }
-        for v in 0..n {
+        for (v, r) in ranks.iter_mut().enumerate() {
             let mut sum = 0.0;
             view.for_each_neighbor(v as u64, &mut |u| {
                 sum += contrib[u as usize];
             });
-            ranks[v] = base + DAMPING * sum;
+            *r = base + DAMPING * sum;
         }
     }
     ranks
@@ -39,7 +39,7 @@ pub fn pagerank(view: &impl GraphView, iterations: usize) -> Vec<f64> {
 /// Rayon-parallel PageRank; numerically identical to [`pagerank`] (the pull
 /// model writes each vertex's rank exactly once per iteration, so no atomics
 /// are needed).
-pub fn pagerank_parallel(view: &(impl GraphView + Sync), iterations: usize) -> Vec<f64> {
+pub fn pagerank_parallel(view: &impl GraphView, iterations: usize) -> Vec<f64> {
     let n = view.num_vertices();
     if n == 0 {
         return Vec::new();
@@ -48,23 +48,17 @@ pub fn pagerank_parallel(view: &(impl GraphView + Sync), iterations: usize) -> V
     let mut ranks = vec![1.0 / n as f64; n];
     let mut contrib = vec![0.0f64; n];
     for _ in 0..iterations {
-        contrib
-            .par_iter_mut()
-            .enumerate()
-            .for_each(|(v, c)| {
-                let d = view.degree(v as u64);
-                *c = if d == 0 { 0.0 } else { ranks[v] / d as f64 };
+        contrib.par_iter_mut().enumerate().for_each(|(v, c)| {
+            let d = view.degree(v as u64);
+            *c = if d == 0 { 0.0 } else { ranks[v] / d as f64 };
+        });
+        ranks.par_iter_mut().enumerate().for_each(|(v, r)| {
+            let mut sum = 0.0;
+            view.for_each_neighbor(v as u64, &mut |u| {
+                sum += contrib[u as usize];
             });
-        ranks
-            .par_iter_mut()
-            .enumerate()
-            .for_each(|(v, r)| {
-                let mut sum = 0.0;
-                view.for_each_neighbor(v as u64, &mut |u| {
-                    sum += contrib[u as usize];
-                });
-                *r = base + DAMPING * sum;
-            });
+            *r = base + DAMPING * sum;
+        });
     }
     ranks
 }

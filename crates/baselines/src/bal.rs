@@ -76,7 +76,8 @@ impl Bal {
             // Link the previous tail to the new block transactionally.
             let ctx = TxContext::new(&self.pool, 64).map_err(map_err)?;
             let mut tx = ctx.begin().map_err(map_err)?;
-            tx.write(state.tail, &block.to_le_bytes()).map_err(map_err)?;
+            tx.write(state.tail, &block.to_le_bytes())
+                .map_err(map_err)?;
             tx.commit();
         } else {
             state.head = block;

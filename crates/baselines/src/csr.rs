@@ -100,8 +100,7 @@ impl GraphView for PmCsr {
             return;
         }
         let mut buf = vec![0u64; n];
-        self.pool
-            .read_u64_slice(self.edges + start * 8, &mut buf);
+        self.pool.read_u64_slice(self.edges + start * 8, &mut buf);
         for d in buf {
             f(d);
         }

@@ -200,11 +200,7 @@ mod tests {
     use pmem::PmemConfig;
 
     fn llama(batch: usize) -> Llama {
-        Llama::new(
-            Arc::new(PmemPool::new(PmemConfig::small_test())),
-            16,
-            batch,
-        )
+        Llama::new(Arc::new(PmemPool::new(PmemConfig::small_test())), 16, batch)
     }
 
     #[test]

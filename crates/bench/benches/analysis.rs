@@ -2,8 +2,8 @@
 //! workload (the microscopic view behind Figs. 7–8 / Table 4).
 
 use analytics::{bfs, cc, highest_degree_vertex, pagerank};
-use bench::{AnySystem, BenchOptions, Workload};
 use baselines::SystemKind;
+use bench::{AnySystem, BenchOptions, Workload};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dgap::GraphView;
 use workloads::datasets::LIVEJOURNAL;
@@ -35,9 +35,13 @@ fn analysis_benchmark(c: &mut Criterion) {
     pr_group.measurement_time(std::time::Duration::from_millis(1500));
     for sys in &systems {
         let view = sys.view();
-        pr_group.bench_with_input(BenchmarkId::from_parameter(sys.label()), &view, |b, view| {
-            b.iter(|| pagerank(view, 5));
-        });
+        pr_group.bench_with_input(
+            BenchmarkId::from_parameter(sys.label()),
+            &view,
+            |b, view| {
+                b.iter(|| pagerank(view, 5));
+            },
+        );
     }
     pr_group.finish();
 
@@ -48,9 +52,13 @@ fn analysis_benchmark(c: &mut Criterion) {
     for sys in &systems {
         let view = sys.view();
         let source = highest_degree_vertex(&view);
-        bfs_group.bench_with_input(BenchmarkId::from_parameter(sys.label()), &view, |b, view| {
-            b.iter(|| bfs(view, source));
-        });
+        bfs_group.bench_with_input(
+            BenchmarkId::from_parameter(sys.label()),
+            &view,
+            |b, view| {
+                b.iter(|| bfs(view, source));
+            },
+        );
     }
     bfs_group.finish();
 
@@ -63,9 +71,13 @@ fn analysis_benchmark(c: &mut Criterion) {
         if view.num_edges() == 0 {
             continue;
         }
-        cc_group.bench_with_input(BenchmarkId::from_parameter(sys.label()), &view, |b, view| {
-            b.iter(|| cc(view));
-        });
+        cc_group.bench_with_input(
+            BenchmarkId::from_parameter(sys.label()),
+            &view,
+            |b, view| {
+                b.iter(|| cc(view));
+            },
+        );
     }
     cc_group.finish();
 }

@@ -1,8 +1,8 @@
 //! Criterion micro-benchmark: single-edge insertion cost per system
 //! (the microscopic view behind Fig. 6).
 
-use bench::{AnySystem, BenchOptions, Workload};
 use baselines::SystemKind;
+use bench::{AnySystem, BenchOptions, Workload};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use workloads::datasets::ORKUT;
 

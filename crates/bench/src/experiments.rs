@@ -8,9 +8,11 @@
 
 use crate::harness::{measure, pool_for_edges, AnySystem, BenchOptions, Measurement, Workload};
 use crate::report::{meps, ratio, secs, Table};
-use analytics::{bc_parallel, bfs_parallel, cc_parallel, highest_degree_vertex, pagerank_parallel, with_threads};
+use analytics::{
+    bc_parallel, bfs_parallel, cc_parallel, highest_degree_vertex, pagerank_parallel, with_threads,
+};
 use baselines::SystemKind;
-use dgap::{Dgap, DgapConfig, DgapVariant, DynamicGraph, GraphView};
+use dgap::{Dgap, DgapConfig, DgapVariant, DynamicGraph, GraphView, SnapshotSource};
 use pmem::{PmemConfig, PmemPool};
 use std::sync::Arc;
 use workloads::datasets::{ALL_DATASETS, CIT_PATENTS, LIVEJOURNAL, ORKUT, SMALL_DATASETS};
@@ -208,7 +210,15 @@ pub fn fig6(opts: &BenchOptions) -> Table {
 pub fn table3(opts: &BenchOptions) -> Table {
     let mut table = Table::new(
         "Table 3: insertion throughput (MEPS, incl. simulated PM time) vs writer threads",
-        &["dataset", "threads", "DGAP", "BAL", "LLAMA", "GraphOne-FD", "XPGraph"],
+        &[
+            "dataset",
+            "threads",
+            "DGAP",
+            "BAL",
+            "LLAMA",
+            "GraphOne-FD",
+            "XPGraph",
+        ],
     );
     for spec in ALL_DATASETS {
         let w = Workload::build(spec, opts);
@@ -252,7 +262,7 @@ impl Kernel {
     }
 }
 
-fn run_kernel(view: &(impl GraphView + Sync), kernel: Kernel, threads: usize, source: u64) -> f64 {
+fn run_kernel(view: &impl GraphView, kernel: Kernel, threads: usize, source: u64) -> f64 {
     let start = std::time::Instant::now();
     with_threads(threads, || match kernel {
         Kernel::PageRank => {
@@ -515,6 +525,107 @@ pub fn recovery(opts: &BenchOptions) -> Table {
     table
 }
 
+// ----------------------------------------------------------------------
+// Beyond the paper — sharded batch ingest (crates/sharded)
+// ----------------------------------------------------------------------
+
+/// `sharding`: ingest throughput and kernel runtime of the partitioned
+/// engine (`ShardedGraph<Dgap>` + `IngestPipeline`) as the shard count
+/// grows.  Not a paper artefact — this measures the scaling seam the
+/// ROADMAP's production-scale direction builds on.  The single-shard row is
+/// the degenerate case (one DGAP behind one queue) and serves as the
+/// baseline the other rows are compared against.
+pub fn sharding(opts: &BenchOptions) -> Table {
+    use sharded::{IngestPipeline, ShardedConfig, ShardedGraph};
+
+    let w = Workload::build(ORKUT, opts);
+    let num_edges = w.edges.len();
+    let mut table = Table::new(
+        format!(
+            "Sharding: batched ingest + kernels vs shard count (Orkut-scaled, {num_edges} edges)"
+        ),
+        &[
+            "shards",
+            "ingest s",
+            "ingest MEPS",
+            "pm crit-path s",
+            "skew",
+            "pagerank s",
+            "bfs s",
+        ],
+    );
+    for &shards in &opts.shard_counts {
+        // Each shard gets 3x its even share of the single-graph headroom
+        // (skew routes more than 1/N of the edges to the busiest shard, and
+        // rebalance/resize churn leaks abandoned generations into the bump
+        // allocator regardless of shard size).  The arenas are lazily
+        // committed, so unused capacity costs nothing.
+        let per_shard_edges = num_edges.div_ceil(shards.max(1));
+        let bytes = (per_shard_edges * 3 * 1024)
+            .max(w.num_vertices * 1024)
+            .clamp(64 << 20, 1 << 30);
+        let graph = Arc::new(
+            ShardedGraph::create_dgap(shards, w.num_vertices, num_edges, |_| {
+                PmemConfig::with_capacity(bytes).persistence_tracking(false)
+            })
+            .expect("create sharded DGAP"),
+        );
+        let cfg = ShardedConfig {
+            num_shards: shards,
+            queue_capacity: 64,
+            batch_size: 4096,
+        };
+        let pipeline = IngestPipeline::new(Arc::clone(&graph), &cfg);
+
+        let before: Vec<_> = (0..shards)
+            .map(|i| graph.shard(i).pool().stats_snapshot())
+            .collect();
+        let start = std::time::Instant::now();
+        for batch in workloads::batches(&w.edges, cfg.batch_size) {
+            pipeline.submit(batch);
+        }
+        pipeline.flush_all().expect("flush_all");
+        let wall = start.elapsed().as_secs_f64();
+        // Shards run in parallel, so the simulated-PM cost on the critical
+        // path is the *slowest* shard's delta, not the sum.
+        let crit_path = (0..shards)
+            .map(|i| {
+                graph
+                    .shard(i)
+                    .pool()
+                    .stats_snapshot()
+                    .delta_since(&before[i])
+                    .simulated_seconds()
+            })
+            .fold(0.0f64, f64::max);
+        let skew = pipeline.stats().skew();
+
+        let view = graph.consistent_view();
+        assert_eq!(view.num_edges(), num_edges, "{shards} shards lost edges");
+        let start = std::time::Instant::now();
+        let ranks = pagerank_parallel(&view, 20);
+        let pr_secs = start.elapsed().as_secs_f64();
+        std::hint::black_box(&ranks);
+
+        let source = highest_degree_vertex(&view);
+        let start = std::time::Instant::now();
+        let parents = bfs_parallel(&view, source);
+        let bfs_secs = start.elapsed().as_secs_f64();
+        std::hint::black_box(&parents);
+
+        table.row(vec![
+            format!("{shards}"),
+            secs(wall),
+            meps(num_edges as f64 / wall / 1e6),
+            secs(crit_path),
+            ratio(skew),
+            secs(pr_secs),
+            secs(bfs_secs),
+        ]);
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -523,14 +634,14 @@ mod tests {
         BenchOptions {
             scale: 1 << 21,
             thread_counts: vec![1, 2],
-            warmup_fraction: 0.1,
+            ..BenchOptions::default()
         }
     }
 
     #[test]
     fn fig1_runners_produce_rows() {
         let rows = fig1a(&tiny()).len();
-        assert!(rows >= 9 && rows <= 10, "fig1a rows: {rows}");
+        assert!((9..=10).contains(&rows), "fig1a rows: {rows}");
         assert_eq!(fig1b(&tiny()).len(), 3);
         assert_eq!(fig1c(&tiny()).len(), 3);
     }
@@ -559,5 +670,14 @@ mod tests {
     #[test]
     fn recovery_runner() {
         assert_eq!(recovery(&tiny()).len(), SMALL_DATASETS.len());
+    }
+
+    #[test]
+    fn sharding_runner_covers_requested_counts() {
+        let opts = BenchOptions {
+            shard_counts: vec![1, 2],
+            ..tiny()
+        };
+        assert_eq!(sharding(&opts).len(), 2);
     }
 }

@@ -17,6 +17,8 @@ pub struct BenchOptions {
     /// Fraction of edges inserted before measurement starts (the paper's
     /// 10 % warm-up).
     pub warmup_fraction: f64,
+    /// Shard counts exercised by the `sharding` experiment.
+    pub shard_counts: Vec<usize>,
 }
 
 impl Default for BenchOptions {
@@ -25,6 +27,7 @@ impl Default for BenchOptions {
             scale: 8192,
             thread_counts: vec![1, 8, 16],
             warmup_fraction: 0.1,
+            shard_counts: vec![1, 2, 4, 8],
         }
     }
 }
@@ -133,6 +136,9 @@ pub fn pool_for_edges(num_edges: usize) -> Arc<PmemPool> {
 }
 
 /// A uniform handle over every system under test.
+// One of these exists per benchmark run; the size spread between variants
+// does not matter.
+#[allow(clippy::large_enum_variant)]
 pub enum AnySystem {
     /// DGAP (any variant).
     Dgap(Dgap),
@@ -243,12 +249,7 @@ impl AnySystem {
         }
         std::thread::scope(|scope| {
             for t in 0..threads {
-                let chunk: Vec<Edge> = edges
-                    .iter()
-                    .copied()
-                    .skip(t)
-                    .step_by(threads)
-                    .collect();
+                let chunk: Vec<Edge> = edges.iter().copied().skip(t).step_by(threads).collect();
                 let g = self.as_dyn();
                 scope.spawn(move || {
                     for (s, d) in chunk {
@@ -349,7 +350,7 @@ mod tests {
         BenchOptions {
             scale: 1 << 20,
             thread_counts: vec![1, 2],
-            warmup_fraction: 0.1,
+            ..BenchOptions::default()
         }
     }
 

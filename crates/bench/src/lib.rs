@@ -17,6 +17,7 @@
 //! | `table5`   | Table 5        | ablation: DGAP vs No EL vs No EL&UL vs No EL&UL&DP |
 //! | `fig9`     | Fig. 9         | per-section edge-log size sweep (64 B – 16 KiB) |
 //! | `recovery` | §4.4           | graceful-restart vs crash-recovery time |
+//! | `sharding` | beyond paper   | `crates/sharded` batched ingest + kernels vs shard count |
 //!
 //! This library crate holds the pieces the binary and the Criterion
 //! micro-benchmarks share: a uniform wrapper over every graph system

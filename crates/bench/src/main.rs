@@ -1,10 +1,11 @@
 //! `dgap-bench` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! dgap-bench <experiment> [--scale N] [--threads a,b,c]
+//! dgap-bench <experiment> [--scale N] [--threads a,b,c] [--shards a,b,c]
 //!
 //! experiments:
 //!   fig1a fig1b fig1c fig5 fig6 table3 fig7 fig8 table4 table5 fig9 recovery
+//!   sharding     (beyond the paper: crates/sharded ingest + kernel scaling)
 //!   motivation   (fig1a + fig1b + fig1c)
 //!   insertion    (fig5 + fig6 + table3)
 //!   analysis     (fig7 + fig8 + table4)
@@ -14,6 +15,7 @@
 //! options:
 //!   --scale N       divide every Table 2 dataset by N   (default 8192)
 //!   --threads LIST  writer-thread counts for Table 3    (default 1,8,16)
+//!   --shards LIST   shard counts for sharding           (default 1,2,4,8)
 //! ```
 
 use bench::experiments as exp;
@@ -36,6 +38,17 @@ fn parse_args() -> (Vec<String>, BenchOptions) {
                     .map(|s| s.trim().parse().expect("--threads must be integers"))
                     .collect();
             }
+            "--shards" => {
+                let v = args.next().expect("--shards needs a value");
+                opts.shard_counts = v
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--shards must be integers"))
+                    .collect();
+                assert!(
+                    opts.shard_counts.iter().all(|&s| s > 0),
+                    "--shards values must be at least 1"
+                );
+            }
             "--help" | "-h" => {
                 print_usage();
                 std::process::exit(0);
@@ -57,9 +70,13 @@ fn parse_args() -> (Vec<String>, BenchOptions) {
 
 fn print_usage() {
     eprintln!(
-        "usage: dgap-bench <experiment>... [--scale N] [--threads a,b,c]\n\
+        "usage: dgap-bench <experiment>... [--scale N] [--threads a,b,c] [--shards a,b,c]\n\
          experiments: fig1a fig1b fig1c fig5 fig6 table3 fig7 fig8 table4 table5 fig9 recovery\n\
-         groups:      motivation insertion analysis components all"
+         beyond the paper: sharding (ingest + kernels vs shard count; see --shards)\n\
+         groups:      motivation insertion analysis components all\n\
+         options:     --scale N       divide every Table 2 dataset by N (default 8192)\n\
+                      --threads LIST  writer-thread counts for table3 (default 1,8,16)\n\
+                      --shards LIST   shard counts for sharding (default 1,2,4,8)"
     );
 }
 
@@ -77,13 +94,14 @@ fn expand(name: &str) -> Vec<&'static str> {
         "table5" => vec!["table5"],
         "fig9" => vec!["fig9"],
         "recovery" => vec!["recovery"],
+        "sharding" => vec!["sharding"],
         "motivation" => vec!["fig1a", "fig1b", "fig1c"],
         "insertion" => vec!["fig5", "fig6", "table3"],
         "analysis" => vec!["fig7", "fig8", "table4"],
         "components" => vec!["table5", "fig9", "recovery"],
         "all" => vec![
             "fig1a", "fig1b", "fig1c", "fig5", "fig6", "table3", "fig7", "fig8", "table4",
-            "table5", "fig9", "recovery",
+            "table5", "fig9", "recovery", "sharding",
         ],
         other => {
             eprintln!("unknown experiment: {other}");
@@ -107,6 +125,7 @@ fn run(name: &str, opts: &BenchOptions) -> Table {
         "table5" => exp::table5(opts),
         "fig9" => exp::fig9(opts),
         "recovery" => exp::recovery(opts),
+        "sharding" => exp::sharding(opts),
         _ => unreachable!("expand() filters unknown names"),
     }
 }
@@ -114,8 +133,8 @@ fn run(name: &str, opts: &BenchOptions) -> Table {
 fn main() {
     let (requested, opts) = parse_args();
     println!(
-        "# dgap-bench: scale 1/{}, writer threads {:?}",
-        opts.scale, opts.thread_counts
+        "# dgap-bench: scale 1/{}, writer threads {:?}, shard counts {:?}",
+        opts.scale, opts.thread_counts, opts.shard_counts
     );
     let mut names: Vec<&'static str> = Vec::new();
     for r in &requested {
@@ -129,6 +148,9 @@ fn main() {
         let start = std::time::Instant::now();
         let table = run(name, &opts);
         table.print();
-        println!("({name} completed in {:.1}s)\n", start.elapsed().as_secs_f64());
+        println!(
+            "({name} completed in {:.1}s)\n",
+            start.elapsed().as_secs_f64()
+        );
     }
 }

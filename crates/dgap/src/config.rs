@@ -166,7 +166,10 @@ impl DgapConfig {
     /// Panics on nonsensical settings (zero sizes, thresholds outside
     /// `(0, 1]`).
     pub fn validate(&self) {
-        assert!(self.segment_size >= 8, "segment_size must be at least 8 slots");
+        assert!(
+            self.segment_size >= 8,
+            "segment_size must be at least 8 slots"
+        );
         assert!(self.init_vertices > 0, "init_vertices must be positive");
         assert!(self.init_edges > 0, "init_edges must be positive");
         assert!(self.gap_factor >= 1.0, "gap_factor must be >= 1.0");

@@ -23,7 +23,11 @@ pub struct EdgeArray {
 
 impl EdgeArray {
     /// Allocate a fresh, zeroed (all-gaps) edge array.
-    pub fn new(pool: Arc<PmemPool>, segment_size: usize, num_segments: usize) -> pmem::Result<Self> {
+    pub fn new(
+        pool: Arc<PmemPool>,
+        segment_size: usize,
+        num_segments: usize,
+    ) -> pmem::Result<Self> {
         let bytes = segment_size * num_segments * SLOT_BYTES;
         let base = pool.alloc(bytes, 64)?;
         pool.memset(base, 0, bytes);
@@ -154,7 +158,8 @@ impl EdgeArray {
     /// Point this array at a new region (after a resize has been published).
     pub fn switch_to(&self, base: PmemOffset, num_segments: usize) {
         self.base.store(base, Ordering::Release);
-        self.num_segments.store(num_segments as u64, Ordering::Release);
+        self.num_segments
+            .store(num_segments as u64, Ordering::Release);
     }
 
     /// Scan the whole array, invoking `f(slot_index, slot)` for every
@@ -243,11 +248,7 @@ mod tests {
         a.scan(|idx, s| seen.push((idx, s)));
         assert_eq!(
             seen,
-            vec![
-                (4, Slot::Pivot(0)),
-                (5, Slot::Edge(1)),
-                (7, Slot::Pivot(1))
-            ]
+            vec![(4, Slot::Pivot(0)), (5, Slot::Edge(1)), (7, Slot::Pivot(1))]
         );
     }
 

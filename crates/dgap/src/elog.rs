@@ -370,7 +370,10 @@ mod tests {
         for dst in 0..3u64 {
             l.append(0, 1, dst, false, NO_ELOG).unwrap();
         }
-        assert_eq!(l.append(0, 1, 9, false, NO_ELOG), Err(ElogFull { section: 0 }));
+        assert_eq!(
+            l.append(0, 1, 9, false, NO_ELOG),
+            Err(ElogFull { section: 0 })
+        );
         assert!((l.utilization(0) - 1.0).abs() < 1e-12);
     }
 

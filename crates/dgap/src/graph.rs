@@ -28,9 +28,7 @@ use crate::edges::EdgeArray;
 use crate::elog::EdgeLogs;
 use crate::meta::{Layout, Superblock};
 use crate::slot::Slot;
-use crate::traits::{
-    DynamicGraph, GraphError, GraphResult, GraphView, SnapshotSource, VertexId,
-};
+use crate::traits::{DynamicGraph, GraphError, GraphResult, GraphView, SnapshotSource, VertexId};
 use crate::ulog::UndoLog;
 use crate::vertex::{VertexArray, VertexEntry, NO_ELOG, NO_START};
 use parking_lot::{Mutex, RwLock};
@@ -159,10 +157,10 @@ impl Dgap {
         sb.set_config(&pool, cfg.segment_size, cfg.elog_size);
 
         let geom = SegmentGeometry::for_capacity(cfg.segment_size, cfg.initial_slots());
-        let edges =
-            EdgeArray::new(Arc::clone(&pool), cfg.segment_size, geom.num_segments).map_err(pm_err)?;
-        let elogs = EdgeLogs::new(Arc::clone(&pool), geom.num_segments, cfg.elog_size)
+        let edges = EdgeArray::new(Arc::clone(&pool), cfg.segment_size, geom.num_segments)
             .map_err(pm_err)?;
+        let elogs =
+            EdgeLogs::new(Arc::clone(&pool), geom.num_segments, cfg.elog_size).map_err(pm_err)?;
         sb.publish_layout(
             &pool,
             Layout {
@@ -177,7 +175,8 @@ impl Dgap {
         let mut ulog_offsets = Vec::new();
         let ulog_capacity = cfg.ulog_size.max(cfg.segment_size * 8 * 4);
         for _ in 0..cfg.writer_threads {
-            let u = UndoLog::new(Arc::clone(&pool), ulog_capacity, cfg.ulog_size).map_err(pm_err)?;
+            let u =
+                UndoLog::new(Arc::clone(&pool), ulog_capacity, cfg.ulog_size).map_err(pm_err)?;
             ulog_offsets.push(u.region_offset());
             ulogs.push(Mutex::new(u));
         }
@@ -241,8 +240,7 @@ impl Dgap {
         // Bulk sequential write, one section at a time.
         let seg = self.cfg.segment_size;
         for (section, chunk) in words.chunks(seg).enumerate() {
-            self.edges
-                .write_raw_persist((section * seg) as u64, chunk);
+            self.edges.write_raw_persist((section * seg) as u64, chunk);
             self.tree_set_occupancy(section, chunk.iter().filter(|&&w| w != 0).count());
         }
         for p in &plan {
@@ -304,7 +302,6 @@ impl Dgap {
     pub(crate) fn superblock(&self) -> &Superblock {
         &self.sb
     }
-
 
     // ------------------------------------------------------------------
     // Density-tree helpers (with optional PM write-through for the ablation)
@@ -637,7 +634,9 @@ impl Dgap {
                 .find(|&j| self.edges.read_slot(j).is_empty())
             {
                 let run_start = gap + 1;
-                let run = self.edges.read_raw(run_start, (left_end - run_start) as usize);
+                let run = self
+                    .edges
+                    .read_raw(run_start, (left_end - run_start) as usize);
                 for (k, &word) in run.iter().enumerate() {
                     self.edges.write_slot(gap + k as u64, Slot::decode(word));
                 }
@@ -683,44 +682,33 @@ impl Dgap {
     /// all (full section, full edge log) even though the aggregate density
     /// looks healthy.
     fn maintain(&self, section: usize, force: bool) -> GraphResult<()> {
-        let mut attempts = 0usize;
-        loop {
-            attempts += 1;
-            if attempts > 1_000 {
-                return Err(GraphError::Other("maintenance did not converge".into()));
+        let decision = {
+            let _rg = self.resize_lock.read();
+            if section >= self.edges.num_segments() {
+                return Ok(()); // a resize replaced the geometry
             }
-            let decision = {
-                let _rg = self.resize_lock.read();
-                if section >= self.edges.num_segments() {
-                    return Ok(()); // a resize replaced the geometry
-                }
-                if !force && !self.section_needs_maintenance(section) {
-                    return Ok(());
-                }
-                (
-                    self.tree.lock().find_rebalance_window(section, 1),
-                    self.edges.num_segments(),
-                )
-            };
-            match decision {
-                (Some(w), seen_segments) => {
-                    let done = {
-                        let _rg = self.resize_lock.read();
-                        self.rebalance_window(w.first_segment, w.num_segments)?
-                    };
-                    if done {
-                        return Ok(());
-                    }
-                    // The chosen window could not absorb its own edge logs —
-                    // grow the whole array instead.
-                    self.resize(seen_segments)?;
-                    return Ok(());
-                }
-                (None, seen_segments) => {
-                    self.resize(seen_segments)?;
-                    return Ok(());
-                }
+            if !force && !self.section_needs_maintenance(section) {
+                return Ok(());
             }
+            (
+                self.tree.lock().find_rebalance_window(section, 1),
+                self.edges.num_segments(),
+            )
+        };
+        match decision {
+            (Some(w), seen_segments) => {
+                let done = {
+                    let _rg = self.resize_lock.read();
+                    self.rebalance_window(w.first_segment, w.num_segments)?
+                };
+                if done {
+                    return Ok(());
+                }
+                // The chosen window could not absorb its own edge logs —
+                // grow the whole array instead.
+                self.resize(seen_segments)
+            }
+            (None, seen_segments) => self.resize(seen_segments),
         }
     }
 
@@ -791,9 +779,9 @@ impl Dgap {
                 }
                 if last_end > window_limit {
                     // Re-read the spill-over part of the last extent.
-                    let spill =
-                        self.edges
-                            .read_raw(window_limit, (last_end - window_limit) as usize);
+                    let spill = self
+                        .edges
+                        .read_raw(window_limit, (last_end - window_limit) as usize);
                     items.last_mut().unwrap().1.extend(
                         spill
                             .iter()
@@ -885,9 +873,7 @@ impl Dgap {
                 let last_section = self.edges.section_of(gend.saturating_sub(1));
                 for s in first..=last_section {
                     let range = self.edges.section_slots(s);
-                    let raw = self
-                        .edges
-                        .read_raw(range.start, self.cfg.segment_size);
+                    let raw = self.edges.read_raw(range.start, self.cfg.segment_size);
                     let occupied = raw.iter().filter(|&&w| w != 0).count() + self.elogs.used(s);
                     self.tree_set_occupancy(s, occupied);
                 }
@@ -1027,9 +1013,7 @@ impl Dgap {
         }
         *self.tree.lock() = tree;
         *self.section_locks.write() = (0..num_segments).map(|_| RwLock::new(())).collect();
-        let tail = plan
-            .last()
-            .map_or(0, |p| (p.start + p.count) as u64);
+        let tail = plan.last().map_or(0, |p| (p.start + p.count) as u64);
         self.tail.store(tail, Ordering::Release);
         self.stats.resizes.fetch_add(1, Ordering::Relaxed);
         Ok(())
@@ -1073,7 +1057,9 @@ impl Dgap {
             let cap = self.edges.capacity() as u64;
             let first_sec = self.edges.section_of(e.start);
             let span_end = (e.start + 1 + u64::from(e.in_array)).min(cap);
-            let last_sec = self.edges.section_of(span_end.saturating_sub(1).max(e.start));
+            let last_sec = self
+                .edges
+                .section_of(span_end.saturating_sub(1).max(e.start));
             let sections: Vec<usize> = (first_sec..=last_sec).collect();
             let ok = self.with_sections_read(&sections, || {
                 let e2 = self.vertices.entry(v);
@@ -1296,11 +1282,7 @@ impl DgapSnapshot<'_> {
     /// neighbour list.
     fn resolve(&self, v: VertexId, out: &mut Vec<VertexId>) {
         out.clear();
-        let needed = self
-            .degrees
-            .get(v as usize)
-            .copied()
-            .unwrap_or(0) as usize;
+        let needed = self.degrees.get(v as usize).copied().unwrap_or(0) as usize;
         if needed == 0 {
             return;
         }
@@ -1397,7 +1379,9 @@ mod tests {
         let mut reference = ReferenceGraph::new(64);
         let mut x = 0x243f_6a88u64;
         for _ in 0..3000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let src = (x >> 33) % 64;
             let dst = (x >> 20) % 64;
             g.insert_edge(src, dst).unwrap();
@@ -1510,9 +1494,7 @@ mod tests {
     #[test]
     fn concurrent_writers_preserve_all_edges() {
         let pool = Arc::new(PmemPool::new(PmemConfig::small_test()));
-        let g = Arc::new(
-            Dgap::create(pool, DgapConfig::small_test().writer_threads(4)).unwrap(),
-        );
+        let g = Arc::new(Dgap::create(pool, DgapConfig::small_test().writer_threads(4)).unwrap());
         let threads = 4u64;
         let per_thread = 500u64;
         let mut handles = Vec::new();
@@ -1529,7 +1511,10 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(DynamicGraph::num_edges(&*g), (threads * per_thread) as usize);
+        assert_eq!(
+            DynamicGraph::num_edges(&*g),
+            (threads * per_thread) as usize
+        );
         let view = g.consistent_view();
         let total: usize = (0..64u64).map(|v| view.neighbors(v).len()).sum();
         assert_eq!(total, (threads * per_thread) as usize);
@@ -1539,9 +1524,7 @@ mod tests {
     #[test]
     fn concurrent_reads_during_writes_do_not_panic() {
         let pool = Arc::new(PmemPool::new(PmemConfig::small_test()));
-        let g = Arc::new(
-            Dgap::create(pool, DgapConfig::small_test().writer_threads(2)).unwrap(),
-        );
+        let g = Arc::new(Dgap::create(pool, DgapConfig::small_test().writer_threads(2)).unwrap());
         for i in 0..200u64 {
             g.insert_edge(i % 64, (i * 3) % 64).unwrap();
         }

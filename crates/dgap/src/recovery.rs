@@ -59,9 +59,7 @@ impl Dgap {
             let t = self.tree.lock();
             (0..num_sections).map(|s| t.occupancy(s) as u32).collect()
         };
-        let len = BACKUP_HEADER_BYTES
-            + entries.len() * BACKUP_VERTEX_BYTES
-            + occupancies.len() * 4;
+        let len = BACKUP_HEADER_BYTES + entries.len() * BACKUP_VERTEX_BYTES + occupancies.len() * 4;
         let off = pool
             .alloc(len, 64)
             .map_err(|e| GraphError::OutOfSpace(e.to_string()))?;
@@ -84,8 +82,7 @@ impl Dgap {
         pool.write(off, &buf);
         pool.persist(off, len);
         self.superblock().set_backup(pool, off, len);
-        self.superblock()
-            .set_num_vertices(pool, entries.len());
+        self.superblock().set_num_vertices(pool, entries.len());
         self.superblock().set_normal_shutdown(pool, true);
         Ok(())
     }
@@ -154,9 +151,7 @@ impl Dgap {
         };
         // From this point on we are live again: any future crash must go
         // through crash recovery unless `shutdown` runs first.
-        graph
-            .superblock()
-            .set_normal_shutdown(graph.pool(), false);
+        graph.superblock().set_normal_shutdown(graph.pool(), false);
         Ok((graph, kind))
     }
 
@@ -189,7 +184,8 @@ impl Dgap {
         }
         let mut occupancies = Vec::with_capacity(num_sections);
         for _ in 0..num_sections {
-            occupancies.push(u32::from_le_bytes(buf[cursor..cursor + 4].try_into().unwrap()) as usize);
+            occupancies
+                .push(u32::from_le_bytes(buf[cursor..cursor + 4].try_into().unwrap()) as usize);
             cursor += 4;
         }
         self.restore_state(entries, occupancies, tail, records);
@@ -209,10 +205,8 @@ impl Dgap {
 
         let num_sections = self.edges.num_segments();
         let segment_size = self.edges.segment_size();
-        let mut entries: Vec<VertexEntry> = vec![
-            VertexEntry::default();
-            self.superblock().num_vertices(self.pool()).max(1)
-        ];
+        let mut entries: Vec<VertexEntry> =
+            vec![VertexEntry::default(); self.superblock().num_vertices(self.pool()).max(1)];
         let mut occupancies = vec![0usize; num_sections];
         let mut tail = 0u64;
         let mut records = 0u64;

@@ -46,15 +46,15 @@ impl Slot {
         match self {
             Slot::Empty => 0,
             Slot::Pivot(v) => {
-                debug_assert!(v <= ID_MASK - 1, "vertex id too large to encode");
+                debug_assert!(v < ID_MASK, "vertex id too large to encode");
                 PIVOT_BIT | (v + 1)
             }
             Slot::Edge(dst) => {
-                debug_assert!(dst <= ID_MASK - 1, "vertex id too large to encode");
+                debug_assert!(dst < ID_MASK, "vertex id too large to encode");
                 dst + 1
             }
             Slot::Tombstone(dst) => {
-                debug_assert!(dst <= ID_MASK - 1, "vertex id too large to encode");
+                debug_assert!(dst < ID_MASK, "vertex id too large to encode");
                 TOMB_BIT | (dst + 1)
             }
         }

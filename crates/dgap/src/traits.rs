@@ -149,6 +149,50 @@ impl<T: GraphView + ?Sized> GraphView for &T {
     }
 }
 
+impl<T: GraphView + ?Sized> GraphView for std::sync::Arc<T> {
+    fn num_vertices(&self) -> usize {
+        (**self).num_vertices()
+    }
+    fn num_edges(&self) -> usize {
+        (**self).num_edges()
+    }
+    fn degree(&self, v: VertexId) -> usize {
+        (**self).degree(v)
+    }
+    fn for_each_neighbor(&self, v: VertexId, f: &mut dyn FnMut(VertexId)) {
+        (**self).for_each_neighbor(v, f);
+    }
+    fn neighbors(&self, v: VertexId) -> Vec<VertexId> {
+        (**self).neighbors(v)
+    }
+}
+
+/// Sharing a system between writer threads (`Arc<G>`, the shape the
+/// `sharded` crate's ingest workers hold) keeps the full update interface.
+impl<T: DynamicGraph + ?Sized> DynamicGraph for std::sync::Arc<T> {
+    fn insert_vertex(&self, v: VertexId) -> GraphResult<()> {
+        (**self).insert_vertex(v)
+    }
+    fn insert_edge(&self, src: VertexId, dst: VertexId) -> GraphResult<()> {
+        (**self).insert_edge(src, dst)
+    }
+    fn delete_edge(&self, src: VertexId, dst: VertexId) -> GraphResult<bool> {
+        (**self).delete_edge(src, dst)
+    }
+    fn num_vertices(&self) -> usize {
+        (**self).num_vertices()
+    }
+    fn num_edges(&self) -> usize {
+        (**self).num_edges()
+    }
+    fn flush(&self) {
+        (**self).flush()
+    }
+    fn system_name(&self) -> &'static str {
+        (**self).system_name()
+    }
+}
+
 /// Systems that can produce consistent snapshots implement this.
 pub trait SnapshotSource {
     /// The snapshot type handed to analysis tasks.  It may borrow from the
@@ -276,7 +320,9 @@ mod tests {
 
     #[test]
     fn graph_error_messages() {
-        assert!(GraphError::OutOfSpace("pool".into()).to_string().contains("pool"));
+        assert!(GraphError::OutOfSpace("pool".into())
+            .to_string()
+            .contains("pool"));
         assert!(GraphError::VertexOutOfRange {
             vertex: 9,
             capacity: 4
@@ -291,5 +337,60 @@ mod tests {
         let g = ReferenceGraph::new(2);
         assert_eq!(g.degree(100), 0);
         assert!(g.neighbors(100).is_empty());
+    }
+
+    #[test]
+    fn arc_wrapper_preserves_the_view_interface() {
+        let mut g = ReferenceGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        let shared = std::sync::Arc::new(g);
+        fn takes_view(v: &impl GraphView) -> (usize, Vec<VertexId>) {
+            (v.num_edges(), v.neighbors(0))
+        }
+        assert_eq!(takes_view(&shared), (2, vec![1, 2]));
+        assert_eq!(shared.degree(0), 2);
+        assert_eq!(shared.num_vertices(), 3);
+    }
+
+    #[test]
+    fn arc_wrapper_preserves_the_update_interface() {
+        #[derive(Default)]
+        struct CountingGraph {
+            edges: std::sync::atomic::AtomicUsize,
+        }
+        impl DynamicGraph for CountingGraph {
+            fn insert_vertex(&self, _v: VertexId) -> GraphResult<()> {
+                Ok(())
+            }
+            fn insert_edge(&self, _s: VertexId, _d: VertexId) -> GraphResult<()> {
+                self.edges
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                Ok(())
+            }
+            fn num_vertices(&self) -> usize {
+                0
+            }
+            fn num_edges(&self) -> usize {
+                self.edges.load(std::sync::atomic::Ordering::Relaxed)
+            }
+            fn flush(&self) {}
+            fn system_name(&self) -> &'static str {
+                "counting"
+            }
+        }
+        let shared = std::sync::Arc::new(CountingGraph::default());
+        fn takes_graph(g: &impl DynamicGraph) {
+            g.insert_edge(0, 1).unwrap();
+            g.flush();
+        }
+        takes_graph(&shared);
+        takes_graph(&shared);
+        assert_eq!(shared.num_edges(), 2);
+        assert_eq!(shared.system_name(), "counting");
+        assert!(matches!(
+            shared.delete_edge(0, 1),
+            Err(GraphError::Unsupported("delete_edge"))
+        ));
     }
 }

@@ -118,12 +118,12 @@ impl UndoLog {
         };
 
         // 1. Descriptor first (not yet valid).
-        self.pool.write_u64(self.region + HDR_WINDOW_OFF, window_off);
-        self.pool.write_u64(self.region + HDR_WINDOW_LEN, len as u64);
-        self.pool.write_u64(
-            self.region + HDR_USED,
-            if spilled { backup_off } else { 0 },
-        );
+        self.pool
+            .write_u64(self.region + HDR_WINDOW_OFF, window_off);
+        self.pool
+            .write_u64(self.region + HDR_WINDOW_LEN, len as u64);
+        self.pool
+            .write_u64(self.region + HDR_USED, if spilled { backup_off } else { 0 });
         self.pool.persist(self.region + HDR_WINDOW_OFF, 24);
 
         // 2. Backup the old contents chunk by chunk.

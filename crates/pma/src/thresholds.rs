@@ -56,8 +56,14 @@ impl DensityBounds {
             self.rho_leaf <= self.rho_root,
             "rho_leaf must not exceed rho_root"
         );
-        assert!(self.rho_leaf < self.tau_root, "rho_leaf < tau_root required");
-        assert!(self.tau_root <= self.tau_leaf, "tau_root <= tau_leaf required");
+        assert!(
+            self.rho_leaf < self.tau_root,
+            "rho_leaf < tau_root required"
+        );
+        assert!(
+            self.tau_root <= self.tau_leaf,
+            "tau_root <= tau_leaf required"
+        );
         assert!(self.tau_leaf <= 1.0, "tau_leaf must not exceed 1.0");
         self
     }

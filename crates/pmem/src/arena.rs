@@ -107,11 +107,7 @@ impl Arena {
         debug_assert!(offset + len <= other.len());
         // SAFETY: as above; the two arenas are distinct allocations.
         unsafe {
-            std::ptr::copy_nonoverlapping(
-                other.base().add(offset),
-                self.base().add(offset),
-                len,
-            );
+            std::ptr::copy_nonoverlapping(other.base().add(offset), self.base().add(offset), len);
         }
     }
 

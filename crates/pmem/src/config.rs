@@ -1,8 +1,6 @@
 //! Pool configuration: media type, platform persistence domain and the
 //! latency cost model.
 
-use serde::{Deserialize, Serialize};
-
 /// Size of a CPU cache line in bytes.  Flush granularity.
 pub const CACHE_LINE: usize = 64;
 
@@ -14,7 +12,7 @@ pub const CACHE_LINE: usize = 64;
 pub const XPLINE: usize = 256;
 
 /// Which physical medium the pool emulates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Media {
     /// Emulated Optane DCPMM: persistence requires flush + fence, writes are
     /// slow and asymmetric with reads.
@@ -26,7 +24,7 @@ pub enum Media {
 }
 
 /// Whether the platform's persistence domain includes the CPU caches.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AdrMode {
     /// Asynchronous DRAM Refresh: the write-pending queue is protected but
     /// CPU caches are not.  Software must flush cache lines explicitly.
@@ -44,7 +42,7 @@ pub enum AdrMode {
 /// persistent writes ~7-8x DRAM, sequential media access much cheaper than
 /// random, and repeated flushes of the same cache line (persistent in-place
 /// updates) severely penalised.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// Cost of reading one cache line from the emulated PM media.
     pub pm_read_line_ns: u64,
@@ -106,7 +104,7 @@ impl CostModel {
 }
 
 /// Configuration for a [`crate::PmemPool`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PmemConfig {
     /// Total pool capacity in bytes (header included).
     pub capacity: usize,

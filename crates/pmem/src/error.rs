@@ -117,10 +117,7 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(
-            PmemError::NoSuchRoot(3),
-            PmemError::NoSuchRoot(3),
-        );
+        assert_eq!(PmemError::NoSuchRoot(3), PmemError::NoSuchRoot(3),);
         assert_ne!(PmemError::NoSuchRoot(3), PmemError::NoSuchRoot(4));
     }
 }

@@ -106,7 +106,7 @@ impl PmemPool {
     /// The capacity is rounded up to a multiple of the XPLine size.
     pub fn new(mut config: PmemConfig) -> Self {
         let cap = config.capacity.max(HEADER_SIZE as usize * 2);
-        let cap = (cap + XPLINE - 1) / XPLINE * XPLINE;
+        let cap = cap.div_ceil(XPLINE) * XPLINE;
         config.capacity = cap;
         let track = config.track_persistence && config.media == Media::Pmem;
         let pool = PmemPool {
@@ -243,7 +243,7 @@ impl PmemPool {
     fn check_bounds(&self, offset: PmemOffset, len: usize) {
         let cap = self.capacity() as u64;
         assert!(
-            offset.checked_add(len as u64).map_or(false, |end| end <= cap),
+            offset.checked_add(len as u64).is_some_and(|end| end <= cap),
             "pmem access out of bounds: offset {offset} len {len} capacity {cap}"
         );
     }
@@ -265,7 +265,9 @@ impl PmemPool {
         }
         let (first, last) = Self::lines(offset, len);
         let nlines = last - first + 1;
-        let prev_end = self.last_write_end.swap(offset + len as u64, Ordering::Relaxed);
+        let prev_end = self
+            .last_write_end
+            .swap(offset + len as u64, Ordering::Relaxed);
         let sequential = prev_end == offset;
         let cost = &self.config.cost;
         self.stats

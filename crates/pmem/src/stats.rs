@@ -5,7 +5,6 @@
 //! to obtain per-phase figures such as write amplification (Fig. 1(a)) or
 //! simulated insertion time (Fig. 1(b), Table 5).
 
-use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Atomic counters maintained by a pool.  All counters use relaxed ordering:
@@ -120,7 +119,7 @@ impl PmemStats {
 }
 
 /// A point-in-time copy of every [`PmemStats`] counter.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
     /// See [`PmemStats::logical_bytes_written`].
     pub logical_bytes_written: u64,
@@ -200,7 +199,9 @@ impl StatsSnapshot {
             tx_started: self.tx_started.saturating_sub(earlier.tx_started),
             tx_committed: self.tx_committed.saturating_sub(earlier.tx_committed),
             tx_aborted: self.tx_aborted.saturating_sub(earlier.tx_aborted),
-            tx_journal_bytes: self.tx_journal_bytes.saturating_sub(earlier.tx_journal_bytes),
+            tx_journal_bytes: self
+                .tx_journal_bytes
+                .saturating_sub(earlier.tx_journal_bytes),
             simulated_ns: self.simulated_ns.saturating_sub(earlier.simulated_ns),
             allocations: self.allocations.saturating_sub(earlier.allocations),
             allocated_bytes: self.allocated_bytes.saturating_sub(earlier.allocated_bytes),

@@ -108,10 +108,7 @@ impl<'p> TxContext<'p> {
     pub fn begin(&self) -> Result<Transaction<'_, 'p>> {
         let cost = self.pool.config().cost;
         self.pool.stats().charge_ns(cost.tx_overhead_ns);
-        self.pool
-            .stats()
-            .tx_started
-            .fetch_add(1, Ordering::Relaxed);
+        self.pool.stats().tx_started.fetch_add(1, Ordering::Relaxed);
         // Reset and publish an empty, *valid* journal before any range is
         // added; ordering matters for crash consistency.
         self.pool.write_u64(self.journal + HDR_NENTRIES, 0);

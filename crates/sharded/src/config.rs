@@ -1,0 +1,75 @@
+//! Configuration of the sharded ingest engine.
+
+/// Tuning knobs for [`crate::ShardedGraph`] + [`crate::IngestPipeline`].
+#[derive(Debug, Clone)]
+pub struct ShardedConfig {
+    /// Number of shards (backend instances and ingest workers).
+    pub num_shards: usize,
+    /// Capacity of each per-shard queue, in *batches*.  When a queue is
+    /// full, [`crate::IngestPipeline::submit`] blocks (backpressure) until
+    /// the shard's worker drains a batch.
+    pub queue_capacity: usize,
+    /// Preferred number of edges per submitted batch.  Purely a hint for
+    /// producers slicing a stream (see `workloads::EdgeList::batches`); the
+    /// pipeline accepts batches of any size.
+    pub batch_size: usize,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        ShardedConfig {
+            num_shards: 4,
+            queue_capacity: 64,
+            batch_size: 1024,
+        }
+    }
+}
+
+impl ShardedConfig {
+    /// A configuration with the given shard count and default queueing.
+    pub fn with_shards(num_shards: usize) -> Self {
+        ShardedConfig {
+            num_shards,
+            ..ShardedConfig::default()
+        }
+    }
+
+    /// A tiny configuration for unit tests: two shards, short queues so
+    /// backpressure paths actually trigger.
+    pub fn small_test() -> Self {
+        ShardedConfig {
+            num_shards: 2,
+            queue_capacity: 4,
+            batch_size: 64,
+        }
+    }
+
+    /// Panic on nonsensical settings (zero shards / queue slots / batch).
+    pub fn validate(&self) {
+        assert!(self.num_shards > 0, "num_shards must be at least 1");
+        assert!(self.queue_capacity > 0, "queue_capacity must be at least 1");
+        assert!(self.batch_size > 0, "batch_size must be at least 1");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        ShardedConfig::default().validate();
+        ShardedConfig::small_test().validate();
+        ShardedConfig::with_shards(8).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "num_shards")]
+    fn zero_shards_rejected() {
+        ShardedConfig {
+            num_shards: 0,
+            ..ShardedConfig::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,63 @@
+//! # sharded — a sharded, batched ingestion engine over any graph backend
+//!
+//! The DGAP paper serves updates and analysis from a *single* mutable-CSR
+//! instance; its scalability ceiling is the per-section lock contention of
+//! that one graph.  This crate removes the ceiling by partitioning the
+//! vertex set across `N` independent backend instances ("shards"), each
+//! with its own persistent pool, and layering a batched ingest pipeline on
+//! top:
+//!
+//! * [`ShardedGraph<G>`] — hash-partitions vertices across `N` shards; each
+//!   shard owns its own `G: DynamicGraph` instance (its own [`pmem::PmemPool`]
+//!   for DGAP).  Edges are routed by source vertex, so every adjacency list
+//!   lives entirely inside one shard and per-vertex insertion order is
+//!   preserved.
+//! * [`IngestPipeline`] — per-shard lock-free batch queues drained by one
+//!   worker thread per shard, with backpressure when a queue fills and a
+//!   [`IngestPipeline::flush_all`] durability barrier.
+//! * [`ShardedView`] — a cross-shard composite implementing
+//!   [`dgap::GraphView`], so the four analytics kernels (`pagerank`, `bfs`,
+//!   `cc`, `bc`) run unchanged over the partitioned graph.
+//!
+//! Everything is generic over `G: DynamicGraph + SnapshotSource`, so the
+//! engine scales DGAP *and* every baseline system.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use dgap::{DynamicGraph, GraphView, SnapshotSource};
+//! use sharded::{IngestPipeline, ShardedConfig, ShardedGraph};
+//!
+//! let cfg = ShardedConfig::small_test();
+//! let graph = Arc::new(ShardedGraph::create_dgap_small_test(cfg.num_shards).unwrap());
+//!
+//! let pipeline = IngestPipeline::new(Arc::clone(&graph), &cfg);
+//! pipeline.submit(&[(0, 1), (0, 2), (1, 2)]);
+//! pipeline.flush_all().unwrap();
+//!
+//! let view = graph.consistent_view();
+//! assert_eq!(view.neighbors(0), vec![1, 2]);
+//! assert_eq!(graph.num_edges(), 3);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod graph;
+pub mod partition;
+pub mod pipeline;
+pub mod queue;
+pub mod stats;
+pub mod view;
+
+pub use config::ShardedConfig;
+pub use graph::{ShardedDgap, ShardedGraph};
+pub use partition::Partitioner;
+pub use pipeline::IngestPipeline;
+pub use stats::{PipelineStats, ShardIngestStats};
+pub use view::ShardedView;
+
+/// A directed edge `(source, destination)`, the unit the ingest pipeline
+/// routes.
+pub type Edge = (dgap::VertexId, dgap::VertexId);

@@ -1,0 +1,373 @@
+//! The batched ingest pipeline: per-shard lock-free queues drained by one
+//! worker thread per shard, with backpressure and a durability barrier.
+
+use crate::graph::ShardedGraph;
+use crate::queue::BatchQueue;
+use crate::stats::{PipelineStats, ShardIngestStats};
+use crate::{Edge, ShardedConfig};
+use dgap::{DynamicGraph, GraphResult};
+use error_slot::ErrorSlot;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Per-shard ingest lane shared between producers and the drain worker.
+struct Lane {
+    queue: BatchQueue<Vec<Edge>>,
+    /// Edges enqueued to this lane (incremented *before* the push so the
+    /// flush barrier can never observe applied > submitted-at-entry).
+    submitted: AtomicU64,
+    /// Edges the worker has taken out of a batch and offered to the backend
+    /// (failed inserts included, so the barrier terminates).
+    applied: AtomicU64,
+    batches: AtomicU64,
+    stalls: AtomicU64,
+    errors: AtomicU64,
+    /// Set when the shard's drain worker died (panicked); producers and the
+    /// flush barrier must stop waiting on this lane.
+    dead: AtomicBool,
+}
+
+mod error_slot {
+    //! A once-set error slot: lighter than a mutex on the hot path (a single
+    //! Acquire load when no error has occurred).
+
+    use dgap::GraphError;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Mutex;
+
+    #[derive(Default)]
+    pub(super) struct ErrorSlot {
+        any: AtomicBool,
+        first: Mutex<Option<GraphError>>,
+    }
+
+    impl ErrorSlot {
+        pub(super) fn record(&self, err: GraphError) {
+            let mut slot = self.first.lock().unwrap_or_else(|p| p.into_inner());
+            if slot.is_none() {
+                *slot = Some(err);
+            }
+            self.any.store(true, Ordering::Release);
+        }
+
+        pub(super) fn get(&self) -> Option<GraphError> {
+            if !self.any.load(Ordering::Acquire) {
+                return None;
+            }
+            self.first.lock().unwrap_or_else(|p| p.into_inner()).clone()
+        }
+    }
+}
+
+struct Shared<G> {
+    graph: Arc<ShardedGraph<G>>,
+    lanes: Vec<Lane>,
+    shutdown: AtomicBool,
+    error: ErrorSlot,
+}
+
+/// A multi-producer ingest front-end for a [`ShardedGraph`].
+///
+/// Any number of threads may call [`IngestPipeline::submit`] concurrently;
+/// each call scatters its batch by source-vertex shard and enqueues one
+/// sub-batch per shard onto that shard's lock-free queue.  One worker thread
+/// per shard drains its queue into the backend, so each backend instance
+/// sees a single writer and zero cross-shard synchronisation.
+///
+/// When a shard's queue is full, `submit` spins on that shard (backpressure)
+/// until the worker catches up — producers can never outrun memory.
+/// [`IngestPipeline::flush_all`] is the durability barrier: it waits for
+/// every edge submitted before the call to be applied, then flushes every
+/// backend.
+pub struct IngestPipeline<G: DynamicGraph + 'static> {
+    shared: Arc<Shared<G>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<G: DynamicGraph + 'static> IngestPipeline<G> {
+    /// Spawn one drain worker per shard of `graph`.
+    pub fn new(graph: Arc<ShardedGraph<G>>, config: &ShardedConfig) -> Self {
+        config.validate();
+        assert_eq!(
+            config.num_shards,
+            graph.num_shards(),
+            "ShardedConfig::num_shards must match the graph it feeds"
+        );
+        let lanes = (0..graph.num_shards())
+            .map(|_| Lane {
+                queue: BatchQueue::with_capacity(config.queue_capacity),
+                submitted: AtomicU64::new(0),
+                applied: AtomicU64::new(0),
+                batches: AtomicU64::new(0),
+                stalls: AtomicU64::new(0),
+                errors: AtomicU64::new(0),
+                dead: AtomicBool::new(false),
+            })
+            .collect();
+        let shared = Arc::new(Shared {
+            graph,
+            lanes,
+            shutdown: AtomicBool::new(false),
+            error: ErrorSlot::default(),
+        });
+        let workers = (0..shared.graph.num_shards())
+            .map(|shard| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ingest-shard-{shard}"))
+                    .spawn(move || {
+                        // A panicking backend must poison the lane, not
+                        // silently wedge every producer and flush barrier.
+                        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            drain_worker(&shared, shard)
+                        }));
+                        if caught.is_err() {
+                            shared.error.record(dgap::GraphError::Other(format!(
+                                "ingest worker for shard {shard} panicked"
+                            )));
+                            shared.lanes[shard].dead.store(true, Ordering::Release);
+                        }
+                    })
+                    .expect("spawn ingest worker")
+            })
+            .collect();
+        IngestPipeline { shared, workers }
+    }
+
+    /// Scatter `edges` to their shards and enqueue them.  Blocks (per shard)
+    /// while that shard's queue is full.
+    pub fn submit(&self, edges: &[Edge]) {
+        if edges.is_empty() {
+            return;
+        }
+        let partitioner = self.shared.graph.partitioner();
+        let num_shards = partitioner.num_shards();
+        let mut scattered: Vec<Vec<Edge>> = vec![Vec::new(); num_shards];
+        for &(src, dst) in edges {
+            scattered[partitioner.shard_of(src)].push((src, dst));
+        }
+        for (shard, batch) in scattered.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let lane = &self.shared.lanes[shard];
+            lane.submitted
+                .fetch_add(batch.len() as u64, Ordering::Release);
+            lane.batches.fetch_add(1, Ordering::Relaxed);
+            let mut pending = batch;
+            loop {
+                assert!(
+                    !lane.dead.load(Ordering::Acquire),
+                    "ingest worker for shard {shard} died; the pipeline cannot accept more edges"
+                );
+                match lane.queue.push(pending) {
+                    Ok(()) => break,
+                    Err(back) => {
+                        pending = back;
+                        lane.stalls.fetch_add(1, Ordering::Relaxed);
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Durability barrier: wait until every edge submitted before this call
+    /// has been applied to its backend, flush every backend, and surface the
+    /// first backend error (if any insert was rejected since creation).
+    pub fn flush_all(&self) -> GraphResult<()> {
+        // Snapshot the submit counters first: edges submitted concurrently
+        // with this call are not part of the barrier.
+        let targets: Vec<u64> = self
+            .shared
+            .lanes
+            .iter()
+            .map(|l| l.submitted.load(Ordering::Acquire))
+            .collect();
+        for (lane, &target) in self.shared.lanes.iter().zip(&targets) {
+            let mut spins = 0u32;
+            while lane.applied.load(Ordering::Acquire) < target {
+                if lane.dead.load(Ordering::Acquire) {
+                    return Err(self
+                        .shared
+                        .error
+                        .get()
+                        .unwrap_or_else(|| dgap::GraphError::Other("ingest worker died".into())));
+                }
+                spins += 1;
+                if spins < 64 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+            }
+        }
+        self.shared.graph.flush();
+        match self.shared.error.get() {
+            Some(err) => Err(err),
+            None => Ok(()),
+        }
+    }
+
+    /// The graph this pipeline feeds.
+    pub fn graph(&self) -> &Arc<ShardedGraph<G>> {
+        &self.shared.graph
+    }
+
+    /// Snapshot the per-shard ingest counters.
+    pub fn stats(&self) -> PipelineStats {
+        PipelineStats {
+            shards: self
+                .shared
+                .lanes
+                .iter()
+                .map(|l| ShardIngestStats {
+                    edges_submitted: l.submitted.load(Ordering::Relaxed),
+                    edges_applied: l.applied.load(Ordering::Relaxed),
+                    batches_submitted: l.batches.load(Ordering::Relaxed),
+                    backpressure_stalls: l.stalls.load(Ordering::Relaxed),
+                    insert_errors: l.errors.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl<G: DynamicGraph + 'static> Drop for IngestPipeline<G> {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn drain_worker<G: DynamicGraph>(shared: &Shared<G>, shard: usize) {
+    let backend = shared.graph.shard_arc(shard);
+    let lane = &shared.lanes[shard];
+    let mut idle_spins = 0u32;
+    loop {
+        match lane.queue.pop() {
+            Some(batch) => {
+                idle_spins = 0;
+                for (src, dst) in &batch {
+                    if let Err(err) = backend.insert_edge(*src, *dst) {
+                        lane.errors.fetch_add(1, Ordering::Relaxed);
+                        shared.error.record(err);
+                    }
+                }
+                lane.applied
+                    .fetch_add(batch.len() as u64, Ordering::Release);
+            }
+            None => {
+                // Queue drained: exit once producers are done, otherwise
+                // back off (spin briefly, then sleep).
+                if shared.shutdown.load(Ordering::Acquire) && lane.queue.is_empty() {
+                    break;
+                }
+                idle_spins += 1;
+                if idle_spins < 64 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgap::{GraphView, SnapshotSource};
+
+    fn pipeline_over(cfg: ShardedConfig) -> IngestPipeline<dgap::Dgap> {
+        let graph = Arc::new(ShardedGraph::create_dgap_small_test(cfg.num_shards).unwrap());
+        IngestPipeline::new(graph, &cfg)
+    }
+
+    #[test]
+    fn ingests_and_flushes() {
+        let p = pipeline_over(ShardedConfig::small_test());
+        let edges: Vec<Edge> = (0..40u64).map(|i| (i % 10, (i + 1) % 10)).collect();
+        p.submit(&edges);
+        p.flush_all().unwrap();
+        assert_eq!(p.graph().num_edges(), 40);
+        let stats = p.stats();
+        assert_eq!(stats.edges_submitted(), 40);
+        assert_eq!(stats.edges_applied(), 40);
+        assert_eq!(stats.insert_errors(), 0);
+    }
+
+    #[test]
+    fn tiny_queue_applies_backpressure_without_loss() {
+        let cfg = ShardedConfig {
+            num_shards: 2,
+            queue_capacity: 1,
+            batch_size: 4,
+        };
+        let p = pipeline_over(cfg.clone());
+        let edges: Vec<Edge> = (0..500u64).map(|i| (i % 50, 63 - (i % 50))).collect();
+        for chunk in edges.chunks(cfg.batch_size) {
+            p.submit(chunk);
+        }
+        p.flush_all().unwrap();
+        assert_eq!(p.graph().num_edges(), 500);
+    }
+
+    #[test]
+    fn view_after_flush_sees_everything() {
+        let p = pipeline_over(ShardedConfig::small_test());
+        p.submit(&[(3, 4), (3, 5), (4, 3)]);
+        p.flush_all().unwrap();
+        let graph = p.graph();
+        let view = graph.consistent_view();
+        assert_eq!(view.neighbors(3), vec![4, 5]);
+        assert_eq!(view.degree(4), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match the graph")]
+    fn mismatched_shard_count_is_rejected() {
+        let graph = Arc::new(ShardedGraph::create_dgap_small_test(3).unwrap());
+        let _ = IngestPipeline::new(graph, &ShardedConfig::small_test()); // 2 != 3
+    }
+
+    #[test]
+    fn dead_worker_fails_flush_instead_of_hanging() {
+        struct PanicGraph;
+        impl DynamicGraph for PanicGraph {
+            fn insert_vertex(&self, _v: u64) -> GraphResult<()> {
+                Ok(())
+            }
+            fn insert_edge(&self, _s: u64, _d: u64) -> GraphResult<()> {
+                panic!("backend blew up");
+            }
+            fn num_vertices(&self) -> usize {
+                0
+            }
+            fn num_edges(&self) -> usize {
+                0
+            }
+            fn flush(&self) {}
+            fn system_name(&self) -> &'static str {
+                "panic"
+            }
+        }
+        let graph = Arc::new(ShardedGraph::new(1, |_| Ok(PanicGraph)).unwrap());
+        let pipeline = IngestPipeline::new(graph, &ShardedConfig::with_shards(1));
+        pipeline.submit(&[(0, 1)]);
+        // Must return an error promptly rather than spin on the dead lane.
+        let err = pipeline.flush_all().unwrap_err();
+        assert!(err.to_string().contains("panicked"), "{err}");
+    }
+
+    #[test]
+    fn drop_joins_workers_cleanly() {
+        let p = pipeline_over(ShardedConfig::with_shards(3));
+        p.submit(&[(0, 1), (1, 2), (2, 0)]);
+        drop(p); // must not hang or panic
+    }
+}

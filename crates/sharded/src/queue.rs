@@ -1,0 +1,243 @@
+//! A bounded lock-free multi-producer multi-consumer queue.
+//!
+//! This is Dmitry Vyukov's classic bounded MPMC queue: a power-of-two ring
+//! of slots, each carrying a sequence number that encodes whether the slot
+//! is ready for a producer or a consumer.  Producers and consumers claim
+//! positions with a single CAS each and never block one another — exactly
+//! what the ingest pipeline needs between submitter threads and the
+//! per-shard drain workers.  `push` fails (rather than waiting) when the
+//! ring is full; the pipeline turns that into backpressure.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct Slot<T> {
+    /// Encodes slot state relative to ring positions: `seq == pos` means
+    /// free for the producer claiming `pos`; `seq == pos + 1` means filled
+    /// for the consumer claiming `pos`.
+    sequence: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// Bounded lock-free MPMC queue (see the [module docs](self)).
+pub struct BatchQueue<T> {
+    slots: Box<[Slot<T>]>,
+    mask: usize,
+    enqueue_pos: AtomicUsize,
+    dequeue_pos: AtomicUsize,
+}
+
+// SAFETY: slots are handed off between threads through the sequence-number
+// protocol (Acquire/Release pairs below); a value is only ever accessed by
+// the single thread that claimed its position.
+unsafe impl<T: Send> Send for BatchQueue<T> {}
+unsafe impl<T: Send> Sync for BatchQueue<T> {}
+
+impl<T> BatchQueue<T> {
+    /// Create a queue holding at least `capacity` items (rounded up to a
+    /// power of two, minimum 2).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        let slots = (0..cap)
+            .map(|i| Slot {
+                sequence: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        BatchQueue {
+            slots,
+            mask: cap - 1,
+            enqueue_pos: AtomicUsize::new(0),
+            dequeue_pos: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of slots in the ring.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Approximate number of queued items (racy, for stats only).
+    pub fn len(&self) -> usize {
+        self.enqueue_pos
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.dequeue_pos.load(Ordering::Relaxed))
+    }
+
+    /// Whether the queue is (approximately) empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Try to enqueue `value`.  Returns `Err(value)` when the ring is full
+    /// so the caller can retry (backpressure) without losing the item.
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.sequence.load(Ordering::Acquire);
+            if seq == pos {
+                match self.enqueue_pos.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS above made this thread the unique
+                        // owner of slot `pos`; no other producer can claim it
+                        // and consumers wait for the Release store below.
+                        unsafe { (*slot.value.get()).write(value) };
+                        slot.sequence.store(pos.wrapping_add(1), Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if seq.wrapping_sub(pos) as isize > 0 {
+                // Another producer got here first; reload and retry.
+                pos = self.enqueue_pos.load(Ordering::Relaxed);
+            } else {
+                // seq < pos: the consumer for this slot one lap behind has
+                // not freed it yet — the ring is full.
+                return Err(value);
+            }
+        }
+    }
+
+    /// Try to dequeue an item.
+    pub fn pop(&self) -> Option<T> {
+        let mut pos = self.dequeue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.sequence.load(Ordering::Acquire);
+            let expected = pos.wrapping_add(1);
+            if seq == expected {
+                match self.dequeue_pos.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS made this thread the unique owner
+                        // of the filled slot; the producer's Release store
+                        // to `sequence` published the value.
+                        let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        slot.sequence
+                            .store(pos.wrapping_add(self.mask + 1), Ordering::Release);
+                        return Some(value);
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if seq.wrapping_sub(expected) as isize > 0 {
+                pos = self.dequeue_pos.load(Ordering::Relaxed);
+            } else {
+                // seq < pos + 1: slot not yet filled — queue empty.
+                return None;
+            }
+        }
+    }
+}
+
+impl<T> Drop for BatchQueue<T> {
+    fn drop(&mut self) {
+        while self.pop().is_some() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_single_thread() {
+        let q = BatchQueue::with_capacity(8);
+        for i in 0..8 {
+            q.push(i).unwrap();
+        }
+        assert!(q.push(99).is_err(), "ring must report full");
+        for i in 0..8 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn capacity_rounds_up() {
+        let q: BatchQueue<u8> = BatchQueue::with_capacity(5);
+        assert_eq!(q.capacity(), 8);
+        let q: BatchQueue<u8> = BatchQueue::with_capacity(0);
+        assert_eq!(q.capacity(), 2);
+    }
+
+    #[test]
+    fn drops_remaining_items() {
+        let counter = Arc::new(AtomicU64::new(0));
+        struct Probe(Arc<AtomicU64>);
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        {
+            let q = BatchQueue::with_capacity(4);
+            q.push(Probe(Arc::clone(&counter))).ok().unwrap();
+            q.push(Probe(Arc::clone(&counter))).ok().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_lose_nothing() {
+        const PRODUCERS: u64 = 4;
+        const PER_PRODUCER: u64 = 10_000;
+        let q = Arc::new(BatchQueue::with_capacity(64));
+        let sum = Arc::new(AtomicU64::new(0));
+        let received = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for p in 0..PRODUCERS {
+                let q = Arc::clone(&q);
+                scope.spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        let mut v = p * PER_PRODUCER + i;
+                        loop {
+                            match q.push(v) {
+                                Ok(()) => break,
+                                Err(back) => {
+                                    v = back;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let q = Arc::clone(&q);
+                let sum = Arc::clone(&sum);
+                let received = Arc::clone(&received);
+                scope.spawn(move || loop {
+                    match q.pop() {
+                        Some(v) => {
+                            sum.fetch_add(v, Ordering::Relaxed);
+                            received.fetch_add(1, Ordering::Relaxed);
+                        }
+                        None => {
+                            if received.load(Ordering::Relaxed) == PRODUCERS * PER_PRODUCER {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+        });
+        let n = PRODUCERS * PER_PRODUCER;
+        assert_eq!(received.load(Ordering::Relaxed), n);
+        assert_eq!(sum.load(Ordering::Relaxed), n * (n - 1) / 2);
+    }
+}

@@ -1,0 +1,110 @@
+//! Ingest-pipeline statistics.
+
+/// Counters for one shard's ingest lane.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardIngestStats {
+    /// Edges routed to this shard by `submit`.
+    pub edges_submitted: u64,
+    /// Edges the shard worker has applied to the backend (failed inserts
+    /// included, so that the drain barrier always terminates).
+    pub edges_applied: u64,
+    /// Batches enqueued to this shard.
+    pub batches_submitted: u64,
+    /// Times a producer found this shard's queue full and had to wait
+    /// (backpressure events).
+    pub backpressure_stalls: u64,
+    /// Edge inserts the backend rejected.
+    pub insert_errors: u64,
+}
+
+/// Aggregated pipeline statistics (sum over shards).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Per-shard breakdown, in shard order.
+    pub shards: Vec<ShardIngestStats>,
+}
+
+impl PipelineStats {
+    /// Total edges routed into the pipeline.
+    pub fn edges_submitted(&self) -> u64 {
+        self.shards.iter().map(|s| s.edges_submitted).sum()
+    }
+
+    /// Total edges applied to backends.
+    pub fn edges_applied(&self) -> u64 {
+        self.shards.iter().map(|s| s.edges_applied).sum()
+    }
+
+    /// Total batches enqueued.
+    pub fn batches_submitted(&self) -> u64 {
+        self.shards.iter().map(|s| s.batches_submitted).sum()
+    }
+
+    /// Total backpressure events across shards.
+    pub fn backpressure_stalls(&self) -> u64 {
+        self.shards.iter().map(|s| s.backpressure_stalls).sum()
+    }
+
+    /// Total rejected inserts across shards.
+    pub fn insert_errors(&self) -> u64 {
+        self.shards.iter().map(|s| s.insert_errors).sum()
+    }
+
+    /// Ratio of the busiest shard's submitted edges to the ideal even
+    /// share — 1.0 is perfectly balanced.  Returns 0.0 before any ingest.
+    pub fn skew(&self) -> f64 {
+        let total = self.edges_submitted();
+        if total == 0 || self.shards.is_empty() {
+            return 0.0;
+        }
+        let max = self
+            .shards
+            .iter()
+            .map(|s| s.edges_submitted)
+            .max()
+            .unwrap_or(0);
+        let ideal = total as f64 / self.shards.len() as f64;
+        max as f64 / ideal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_sum_over_shards() {
+        let stats = PipelineStats {
+            shards: vec![
+                ShardIngestStats {
+                    edges_submitted: 30,
+                    edges_applied: 30,
+                    batches_submitted: 3,
+                    backpressure_stalls: 1,
+                    insert_errors: 0,
+                },
+                ShardIngestStats {
+                    edges_submitted: 10,
+                    edges_applied: 9,
+                    batches_submitted: 1,
+                    backpressure_stalls: 0,
+                    insert_errors: 1,
+                },
+            ],
+        };
+        assert_eq!(stats.edges_submitted(), 40);
+        assert_eq!(stats.edges_applied(), 39);
+        assert_eq!(stats.batches_submitted(), 4);
+        assert_eq!(stats.backpressure_stalls(), 1);
+        assert_eq!(stats.insert_errors(), 1);
+        // busiest shard has 30 of 40; ideal share is 20.
+        assert!((stats.skew() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_quiet() {
+        let stats = PipelineStats::default();
+        assert_eq!(stats.edges_submitted(), 0);
+        assert_eq!(stats.skew(), 0.0);
+    }
+}

@@ -1,0 +1,61 @@
+//! The cross-shard composite snapshot.
+
+use crate::partition::Partitioner;
+use dgap::{GraphView, SnapshotSource, VertexId};
+
+/// A consistent, read-only view over every shard of a
+/// [`crate::ShardedGraph`], implementing [`GraphView`] so the analytics
+/// kernels run unchanged on the partitioned graph.
+///
+/// Each per-shard view is that backend's own consistent snapshot.  Queries
+/// are routed with the same deterministic [`Partitioner`] the write path
+/// uses: a vertex's degree and adjacency live entirely in its owning shard.
+///
+/// Consistency note: the per-shard snapshots are taken one after another,
+/// so the composite is *per-shard* consistent (the guarantee a cut of
+/// independent partitions can offer) rather than a single atomic cut across
+/// shards.  Quiesce ingest — e.g. [`crate::IngestPipeline::flush_all`] —
+/// before snapshotting when a globally exact edge count matters.
+pub struct ShardedView<'g, G: SnapshotSource + 'g> {
+    views: Vec<G::View<'g>>,
+    partitioner: Partitioner,
+}
+
+impl<'g, G: SnapshotSource + 'g> ShardedView<'g, G> {
+    pub(crate) fn new(views: Vec<G::View<'g>>, partitioner: Partitioner) -> Self {
+        debug_assert_eq!(views.len(), partitioner.num_shards());
+        ShardedView { views, partitioner }
+    }
+
+    /// The per-shard snapshot for `shard`.
+    pub fn shard_view(&self, shard: usize) -> &G::View<'g> {
+        &self.views[shard]
+    }
+
+    /// Number of shards backing this view.
+    pub fn num_shards(&self) -> usize {
+        self.views.len()
+    }
+}
+
+impl<'g, G: SnapshotSource + 'g> GraphView for ShardedView<'g, G> {
+    fn num_vertices(&self) -> usize {
+        self.views
+            .iter()
+            .map(|v| v.num_vertices())
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn num_edges(&self) -> usize {
+        self.views.iter().map(|v| v.num_edges()).sum()
+    }
+
+    fn degree(&self, v: VertexId) -> usize {
+        self.views[self.partitioner.shard_of(v)].degree(v)
+    }
+
+    fn for_each_neighbor(&self, v: VertexId, f: &mut dyn FnMut(VertexId)) {
+        self.views[self.partitioner.shard_of(v)].for_each_neighbor(v, f);
+    }
+}

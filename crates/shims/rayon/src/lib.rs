@@ -1,0 +1,332 @@
+//! Offline stand-in for the small `rayon` API subset this workspace uses.
+//!
+//! The workspace must build without registry access, so this shim
+//! re-implements the handful of parallel-iterator combinators the analytics
+//! kernels call (`par_iter`, `par_iter_mut`, `into_par_iter`, `map`,
+//! `filter_map`, `flat_map_iter`, `for_each`, `sum`, `reduce`, `collect`)
+//! on top of `std::thread::scope`.
+//!
+//! Unlike real rayon there is no work-stealing pool: each combinator chain
+//! materialises its input, splits it into one contiguous chunk per thread
+//! and joins the per-chunk results in order.  That preserves rayon's
+//! ordering semantics (`collect` sees items in input order) and gives real
+//! multi-core speed-ups for the flat data-parallel loops used here, at the
+//! cost of spawning short-lived threads per call.  The thread count comes
+//! from the innermost [`ThreadPool::install`] scope, defaulting to the
+//! machine's available parallelism.
+
+use std::cell::Cell;
+
+pub mod prelude {
+    //! Traits that put `par_iter` / `par_iter_mut` / `into_par_iter` in scope.
+    pub use crate::{IntoParallelIterator, ParSlice, ParSliceMut};
+}
+
+thread_local! {
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of worker threads parallel operations will currently use.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_THREADS.with(Cell::get);
+    if installed > 0 {
+        installed
+    } else {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    }
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`] (never constructed by
+/// this shim, which cannot fail to "build" a pool).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Create a builder with the default (machine-sized) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the number of worker threads.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool.  Infallible in this shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A "pool" that scopes the thread count used by parallel operations.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's thread count governing any parallel
+    /// operations it performs.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = INSTALLED_THREADS.with(|c| c.replace(self.num_threads));
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        f()
+    }
+
+    /// This pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Apply `f` to every item, fanning the items out over the current thread
+/// count, and return the per-item results in input order.
+fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let len = items.len();
+    let threads = current_num_threads().min(len).max(1);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = len.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let f = &f;
+    let per_chunk: Vec<Vec<U>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(len);
+    for part in per_chunk {
+        out.extend(part);
+    }
+    out
+}
+
+/// A materialised parallel iterator: the concrete type behind every
+/// combinator chain in this shim.
+pub struct Par<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> Par<T> {
+    /// Transform every item in parallel.
+    pub fn map<U: Send>(self, f: impl Fn(T) -> U + Sync) -> Par<U> {
+        Par {
+            items: parallel_map(self.items, f),
+        }
+    }
+
+    /// Transform and filter every item in parallel.
+    pub fn filter_map<U: Send>(self, f: impl Fn(T) -> Option<U> + Sync) -> Par<U> {
+        Par {
+            items: parallel_map(self.items, f).into_iter().flatten().collect(),
+        }
+    }
+
+    /// Map each item to a serial iterator and concatenate the results in
+    /// input order (rayon's `flat_map_iter`).
+    pub fn flat_map_iter<I>(self, f: impl Fn(T) -> I + Sync) -> Par<I::Item>
+    where
+        I: IntoIterator,
+        I::Item: Send,
+    {
+        let nested = parallel_map(self.items, |t| f(t).into_iter().collect::<Vec<_>>());
+        Par {
+            items: nested.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Run `f` on every item in parallel.
+    pub fn for_each(self, f: impl Fn(T) + Sync) {
+        parallel_map(self.items, f);
+    }
+
+    /// Pair every item with its index (cheap, serial).
+    pub fn enumerate(self) -> Par<(usize, T)> {
+        Par {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Sum the (already materialised) items.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    /// Fold the items with `op`, starting from `identity()`.
+    pub fn reduce(self, identity: impl Fn() -> T, op: impl Fn(T, T) -> T + Sync) -> T {
+        self.items.into_iter().fold(identity(), &op)
+    }
+
+    /// Largest item, if any.
+    pub fn max(self) -> Option<T>
+    where
+        T: Ord,
+    {
+        self.items.into_iter().max()
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    /// Gather the items, preserving input order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Conversion into a [`Par`] by value (`into_par_iter`).
+pub trait IntoParallelIterator {
+    /// Item type of the resulting parallel iterator.
+    type Item: Send;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Par<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> Par<T> {
+        Par { items: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for std::ops::Range<T>
+where
+    std::ops::Range<T>: Iterator<Item = T>,
+{
+    type Item = T;
+    fn into_par_iter(self) -> Par<T> {
+        Par {
+            items: self.collect(),
+        }
+    }
+}
+
+/// `par_iter` over slices (and anything that derefs to a slice).
+pub trait ParSlice<T: Sync> {
+    /// Parallel iterator over shared references.
+    fn par_iter(&self) -> Par<&T>;
+}
+
+impl<T: Sync> ParSlice<T> for [T] {
+    fn par_iter(&self) -> Par<&T> {
+        Par {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `par_iter_mut` over slices (and anything that derefs to a slice).
+pub trait ParSliceMut<T: Send> {
+    /// Parallel iterator over exclusive references.
+    fn par_iter_mut(&mut self) -> Par<&mut T>;
+}
+
+impl<T: Send> ParSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> Par<&mut T> {
+        Par {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..10_000u64).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v.len(), 10_000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == 2 * i as u64));
+    }
+
+    #[test]
+    fn sum_and_reduce() {
+        let s: u64 = (0..1000u64).into_par_iter().map(|x| x).sum();
+        assert_eq!(s, 499_500);
+        let any = vec![false, true, false]
+            .into_par_iter()
+            .reduce(|| false, |a, b| a || b);
+        assert!(any);
+    }
+
+    #[test]
+    fn par_iter_mut_writes_through() {
+        let mut v = vec![0usize; 4096];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i));
+    }
+
+    #[test]
+    fn flat_map_iter_concatenates_in_order() {
+        let v: Vec<u32> = vec![1u32, 2, 3]
+            .into_par_iter()
+            .flat_map_iter(|x| (0..x).collect::<Vec<_>>())
+            .collect();
+        assert_eq!(v, vec![0, 0, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn filter_map_drops_nones() {
+        let v: Vec<u64> = (0..100u64)
+            .into_par_iter()
+            .filter_map(|x| (x % 10 == 0).then_some(x))
+            .collect();
+        assert_eq!(v, vec![0, 10, 20, 30, 40, 50, 60, 70, 80, 90]);
+    }
+}

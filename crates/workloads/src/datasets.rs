@@ -41,12 +41,9 @@ impl DatasetSpec {
     /// Generate the scaled synthetic stand-in (R-MAT, shuffled insertion
     /// order, deterministic seed derived from the dataset name).
     pub fn generate_scaled(&self, scale: u64) -> EdgeList {
-        let seed = self
-            .name
-            .bytes()
-            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-                (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3)
-            });
+        let seed = self.name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3)
+        });
         GeneratorConfig {
             num_vertices: self.scaled_vertices(scale),
             num_edges: self.scaled_edges(scale),

@@ -168,6 +168,13 @@ impl EdgeList {
     pub fn max_degree(&self) -> usize {
         self.out_degrees().into_iter().max().unwrap_or(0)
     }
+
+    /// Iterate the insertion stream in batches of at most `batch_size`
+    /// edges — the shape batched ingest front-ends (e.g. the `sharded`
+    /// crate's pipeline) consume.  The final batch may be shorter.
+    pub fn batches(&self, batch_size: usize) -> std::slice::Chunks<'_, Edge> {
+        crate::batches(&self.edges, batch_size)
+    }
 }
 
 #[cfg(test)]
@@ -226,5 +233,23 @@ mod tests {
         let el = EdgeList::from_edges(4, vec![(0, 1), (0, 2), (1, 0), (3, 3), (3, 1), (3, 0)]);
         assert_eq!(el.out_degrees(), vec![2, 1, 0, 3]);
         assert_eq!(el.max_degree(), 3);
+    }
+
+    #[test]
+    fn batches_cover_the_stream_in_order() {
+        let el = EdgeList::from_edges(8, (0..10u64).map(|i| (i % 8, (i + 1) % 8)).collect());
+        let batches: Vec<&[Edge]> = el.batches(4).collect();
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].len(), 4);
+        assert_eq!(batches[2].len(), 2);
+        let rejoined: Vec<Edge> = batches.concat();
+        assert_eq!(rejoined, el.edges);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_size")]
+    fn zero_batch_size_rejected() {
+        let el = EdgeList::from_edges(2, vec![(0, 1)]);
+        let _ = el.batches(0);
     }
 }

@@ -38,7 +38,11 @@ pub fn load_edge_list(path: &Path) -> std::io::Result<EdgeList> {
         max_id = max_id.max(src).max(dst);
         edges.push((src, dst));
     }
-    let num_vertices = if edges.is_empty() { 0 } else { max_id as usize + 1 };
+    let num_vertices = if edges.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    };
     Ok(EdgeList::from_edges(num_vertices, edges))
 }
 

@@ -26,6 +26,14 @@ pub use generator::{EdgeList, GeneratorConfig, GraphKind};
 /// A directed edge: `(source, destination)`.
 pub type Edge = (u64, u64);
 
+/// Iterate an insertion stream in batches of at most `batch_size` edges —
+/// the shape batched ingest front-ends (e.g. the `sharded` crate's
+/// pipeline) consume.  [`EdgeList::batches`] is the method form.
+pub fn batches(edges: &[Edge], batch_size: usize) -> std::slice::Chunks<'_, Edge> {
+    assert!(batch_size > 0, "batch_size must be at least 1");
+    edges.chunks(batch_size)
+}
+
 /// Split an insertion stream into the 10 % warm-up prefix and the measured
 /// remainder, following the paper's YCSB-style warm-up protocol ("insert the
 /// first 10 % of the graph and then start to benchmark").

@@ -17,13 +17,9 @@ use std::time::Instant;
 fn main() {
     let num_vertices = 2_000;
     let num_edges = 100_000;
-    let workload = workloads::GeneratorConfig::new(
-        num_vertices,
-        num_edges,
-        workloads::GraphKind::RMat,
-        7_777,
-    )
-    .generate();
+    let workload =
+        workloads::GeneratorConfig::new(num_vertices, num_edges, workloads::GraphKind::RMat, 7_777)
+            .generate();
 
     println!(
         "{:<12} {:>10} {:>14} {:>14} {:>12} {:>12}",

@@ -25,15 +25,7 @@ fn main() {
     let workload =
         workloads::GeneratorConfig::new(1_000, 50_000, workloads::GraphKind::RMat, 7).generate();
     let chunks: Vec<Vec<(u64, u64)>> = (0..4)
-        .map(|t| {
-            workload
-                .edges
-                .iter()
-                .copied()
-                .skip(t)
-                .step_by(4)
-                .collect()
-        })
+        .map(|t| workload.edges.iter().copied().skip(t).step_by(4).collect())
         .collect();
     std::thread::scope(|scope| {
         for chunk in &chunks {

@@ -64,9 +64,15 @@ fn main() {
     by_rank.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     println!("\ntop-5 influencers by PageRank:");
     for (v, r) in by_rank.iter().take(5) {
-        println!("  user {v:>6}  rank {r:.6}  followers-of {:>6}", view.degree(*v));
+        println!(
+            "  user {v:>6}  rank {r:.6}  followers-of {:>6}",
+            view.degree(*v)
+        );
     }
-    assert_eq!(by_rank[0].0, viral, "the viral account should top the ranking");
+    assert_eq!(
+        by_rank[0].0, viral,
+        "the viral account should top the ranking"
+    );
 
     let hub = highest_degree_vertex(&view);
     let centrality = bc(&view, hub);

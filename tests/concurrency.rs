@@ -65,7 +65,11 @@ fn many_writers_ingest_disjoint_streams() {
 fn analysis_tasks_run_while_writers_insert() {
     let nv = 96usize;
     let g = Arc::new(
-        Dgap::create(big_pool(), DgapConfig::for_graph(nv, 20_000).writer_threads(2)).unwrap(),
+        Dgap::create(
+            big_pool(),
+            DgapConfig::for_graph(nv, 20_000).writer_threads(2),
+        )
+        .unwrap(),
     );
     // Seed the graph so early snapshots are non-trivial.
     for &(s, d) in &random_edges(nv as u64, 1_000, 3) {
@@ -95,8 +99,9 @@ fn analysis_tasks_run_while_writers_insert() {
                     let view = g.consistent_view();
                     // The snapshot must be internally consistent: the sum of
                     // per-vertex neighbour counts equals its edge total.
-                    let total: usize =
-                        (0..view.num_vertices() as u64).map(|v| view.neighbors(v).len()).sum();
+                    let total: usize = (0..view.num_vertices() as u64)
+                        .map(|v| view.neighbors(v).len())
+                        .sum();
                     assert_eq!(total, view.num_edges());
                     let ranks = pagerank(&view, 3);
                     assert!(ranks.iter().all(|r| r.is_finite()));
@@ -124,7 +129,11 @@ fn analysis_tasks_run_while_writers_insert() {
 fn writers_and_shutdown_serialise_cleanly() {
     let nv = 64usize;
     let g = Arc::new(
-        Dgap::create(big_pool(), DgapConfig::for_graph(nv, 10_000).writer_threads(2)).unwrap(),
+        Dgap::create(
+            big_pool(),
+            DgapConfig::for_graph(nv, 10_000).writer_threads(2),
+        )
+        .unwrap(),
     );
     std::thread::scope(|scope| {
         for t in 0..2u64 {

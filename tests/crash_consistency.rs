@@ -95,7 +95,9 @@ fn graceful_shutdown_beats_crash_recovery_in_scanned_bytes() {
         pool.simulate_crash();
         let before = pool.stats_snapshot();
         let (_g, _) = Dgap::open(Arc::clone(&pool), cfg.clone()).unwrap();
-        pool.stats_snapshot().delta_since(&before).logical_bytes_read
+        pool.stats_snapshot()
+            .delta_since(&before)
+            .logical_bytes_read
     };
     let graceful_bytes = run(true);
     let crash_bytes = run(false);

@@ -7,9 +7,13 @@ pub fn random_edges(num_vertices: u64, num_edges: usize, seed: u64) -> Vec<(Vert
     let mut x = seed | 1;
     (0..num_edges)
         .map(|_| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let src = (x >> 33) % num_vertices;
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let dst = (x >> 33) % num_vertices;
             (src, dst)
         })
