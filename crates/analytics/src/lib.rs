@@ -5,10 +5,10 @@
 //!
 //! | Kernel | Type | Notes |
 //! |--------|------|-------|
-//! | [`pagerank`] | link analysis | fixed 20 iterations, damping 0.85 |
-//! | [`bfs`] | traversal | direction-optimizing (Beamer et al.) |
-//! | [`bc`] | shortest paths | Brandes, single source |
-//! | [`cc`] | connectivity | Shiloach–Vishkin style label propagation |
+//! | [`pagerank()`] | link analysis | fixed 20 iterations, damping 0.85 |
+//! | [`bfs()`] | traversal | direction-optimizing (Beamer et al.) |
+//! | [`bc()`] | shortest paths | Brandes, single source |
+//! | [`cc()`] | connectivity | Shiloach–Vishkin style label propagation |
 //!
 //! All kernels are generic over [`GraphView`], so they run unchanged on
 //! DGAP, on every baseline system, and on the in-memory

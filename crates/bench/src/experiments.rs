@@ -548,6 +548,7 @@ pub fn sharding(opts: &BenchOptions) -> Table {
             "shards",
             "ingest s",
             "ingest MEPS",
+            "submit ns/op",
             "pm crit-path s",
             "skew",
             "pagerank s",
@@ -570,22 +571,28 @@ pub fn sharding(opts: &BenchOptions) -> Table {
             })
             .expect("create sharded DGAP"),
         );
-        let cfg = ShardedConfig {
-            num_shards: shards,
-            queue_capacity: 64,
-            batch_size: 4096,
-        };
+        let cfg = ShardedConfig::builder()
+            .shards(shards)
+            .queue_capacity(64)
+            .batch_size(4096)
+            .build();
         let pipeline = IngestPipeline::new(Arc::clone(&graph), &cfg);
 
         let before: Vec<_> = (0..shards)
             .map(|i| graph.shard(i).pool().stats_snapshot())
             .collect();
         let start = std::time::Instant::now();
+        // Producer-side cost of `submit` alone (scatter + enqueue): the
+        // thread-local scatter reuse shows up directly in this number.
+        let mut submit_secs = 0.0f64;
         for batch in workloads::batches(&w.edges, cfg.batch_size) {
-            pipeline.submit(batch);
+            let t = std::time::Instant::now();
+            pipeline.submit_edges(batch).expect("submit");
+            submit_secs += t.elapsed().as_secs_f64();
         }
         pipeline.flush_all().expect("flush_all");
         let wall = start.elapsed().as_secs_f64();
+        let submit_ns_per_op = submit_secs * 1e9 / num_edges.max(1) as f64;
         // Shards run in parallel, so the simulated-PM cost on the critical
         // path is the *slowest* shard's delta, not the sum.
         let crit_path = (0..shards)
@@ -617,6 +624,7 @@ pub fn sharding(opts: &BenchOptions) -> Table {
             format!("{shards}"),
             secs(wall),
             meps(num_edges as f64 / wall / 1e6),
+            format!("{submit_ns_per_op:.0}"),
             secs(crit_path),
             ratio(skew),
             secs(pr_secs),
@@ -624,6 +632,128 @@ pub fn sharding(opts: &BenchOptions) -> Table {
         ]);
     }
     table
+}
+
+/// `serve`: sustained mixed mutate/query traffic through the typed
+/// [`service::GraphService`] front-end, per shard count.  Four client
+/// threads stream insert batches (with periodic deletes of earlier edges)
+/// and interleave snapshot queries; the table reports mutation throughput
+/// plus query latency percentiles — the numbers a capacity plan for the
+/// request/response layer starts from.
+pub fn serve(opts: &BenchOptions) -> Table {
+    use dgap::Update;
+    use service::{GraphService, ServiceConfig};
+    use sharded::ShardedConfig;
+
+    const CLIENTS: usize = 4;
+    const BATCH: usize = 1024;
+    /// One snapshot query per this many mutate batches.
+    const QUERY_EVERY: usize = 4;
+    /// One delete per this many inserts (deletes re-target edges from the
+    /// same batch, so the oracle-free benchmark stays self-consistent).
+    const DELETE_EVERY: usize = 64;
+
+    let w = Workload::build(ORKUT, opts);
+    let num_edges = w.edges.len();
+    let mut table = Table::new(
+        format!(
+            "Serve: mixed mutate/query traffic via GraphService \
+             (Orkut-scaled, {num_edges} edges, {CLIENTS} clients)"
+        ),
+        &[
+            "shards",
+            "mutate ops",
+            "queries",
+            "wall s",
+            "mutate MOPS",
+            "query p50 ms",
+            "query p99 ms",
+        ],
+    );
+
+    for &shards in &opts.shard_counts {
+        let per_shard_edges = num_edges.div_ceil(shards.max(1));
+        let pool_bytes = (per_shard_edges * 3 * 1024)
+            .max(w.num_vertices * 1024)
+            .clamp(64 << 20, 1 << 30);
+        let service = GraphService::start(ServiceConfig {
+            sharded: ShardedConfig::builder()
+                .shards(shards)
+                .queue_capacity(64)
+                .batch_size(BATCH)
+                .build(),
+            workers: CLIENTS,
+            num_vertices: w.num_vertices,
+            num_edges,
+            pool_bytes,
+        })
+        .expect("start GraphService");
+
+        let start = std::time::Instant::now();
+        let per_client: Vec<(usize, Vec<f64>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|c| {
+                    let client = service.client();
+                    let edges = &w.edges;
+                    scope.spawn(move || {
+                        let stream: Vec<workloads::Edge> =
+                            edges.iter().copied().skip(c).step_by(CLIENTS).collect();
+                        let mut mutated = 0usize;
+                        let mut latencies_ms = Vec::new();
+                        for (i, chunk) in stream.chunks(BATCH).enumerate() {
+                            let mut ops: Vec<Update> =
+                                chunk.iter().map(|&e| Update::from(e)).collect();
+                            for &(s, d) in chunk.iter().step_by(DELETE_EVERY) {
+                                ops.push(Update::DeleteEdge(s, d));
+                            }
+                            mutated += ops.len();
+                            let ticket = client.mutate(ops).expect("mutate");
+                            if i % QUERY_EVERY == 0 {
+                                client.wait(&ticket).expect("wait");
+                                let probe = chunk[0].0;
+                                let t = std::time::Instant::now();
+                                let _ = client.degree(probe).expect("degree query");
+                                latencies_ms.push(t.elapsed().as_secs_f64() * 1e3);
+                            }
+                        }
+                        (mutated, latencies_ms)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread"))
+                .collect()
+        });
+        service.client().flush().expect("flush");
+        let wall = start.elapsed().as_secs_f64();
+
+        let mutate_ops: usize = per_client.iter().map(|(m, _)| m).sum();
+        let mut latencies: Vec<f64> = per_client.into_iter().flat_map(|(_, l)| l).collect();
+        latencies.sort_by(f64::total_cmp);
+        let queries = latencies.len();
+        table.row(vec![
+            format!("{shards}"),
+            format!("{mutate_ops}"),
+            format!("{queries}"),
+            secs(wall),
+            meps(mutate_ops as f64 / wall / 1e6),
+            format!("{:.3}", percentile(&latencies, 0.50)),
+            format!("{:.3}", percentile(&latencies, 0.99)),
+        ]);
+        service.shutdown();
+    }
+    table
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample (0.0 for an
+/// empty one).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
 }
 
 #[cfg(test)]
@@ -679,5 +809,23 @@ mod tests {
             ..tiny()
         };
         assert_eq!(sharding(&opts).len(), 2);
+    }
+
+    #[test]
+    fn serve_runner_covers_requested_counts() {
+        let opts = BenchOptions {
+            shard_counts: vec![1, 2],
+            ..tiny()
+        };
+        assert_eq!(serve(&opts).len(), 2);
+    }
+
+    #[test]
+    fn percentile_uses_nearest_rank() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        let sorted = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&sorted, 0.5), 3.0);
+        assert_eq!(percentile(&sorted, 0.99), 5.0);
     }
 }

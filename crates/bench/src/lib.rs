@@ -18,6 +18,7 @@
 //! | `fig9`     | Fig. 9         | per-section edge-log size sweep (64 B – 16 KiB) |
 //! | `recovery` | §4.4           | graceful-restart vs crash-recovery time |
 //! | `sharding` | beyond paper   | `crates/sharded` batched ingest + kernels vs shard count |
+//! | `serve`    | beyond paper   | `crates/service` mixed mutate/query traffic: throughput + p50/p99 query latency |
 //!
 //! This library crate holds the pieces the binary and the Criterion
 //! micro-benchmarks share: a uniform wrapper over every graph system

@@ -6,6 +6,7 @@
 //! experiments:
 //!   fig1a fig1b fig1c fig5 fig6 table3 fig7 fig8 table4 table5 fig9 recovery
 //!   sharding     (beyond the paper: crates/sharded ingest + kernel scaling)
+//!   serve        (beyond the paper: GraphService mixed mutate/query traffic)
 //!   motivation   (fig1a + fig1b + fig1c)
 //!   insertion    (fig5 + fig6 + table3)
 //!   analysis     (fig7 + fig8 + table4)
@@ -73,6 +74,7 @@ fn print_usage() {
         "usage: dgap-bench <experiment>... [--scale N] [--threads a,b,c] [--shards a,b,c]\n\
          experiments: fig1a fig1b fig1c fig5 fig6 table3 fig7 fig8 table4 table5 fig9 recovery\n\
          beyond the paper: sharding (ingest + kernels vs shard count; see --shards)\n\
+                      serve    (GraphService mixed mutate/query traffic + latency percentiles)\n\
          groups:      motivation insertion analysis components all\n\
          options:     --scale N       divide every Table 2 dataset by N (default 8192)\n\
                       --threads LIST  writer-thread counts for table3 (default 1,8,16)\n\
@@ -95,13 +97,14 @@ fn expand(name: &str) -> Vec<&'static str> {
         "fig9" => vec!["fig9"],
         "recovery" => vec!["recovery"],
         "sharding" => vec!["sharding"],
+        "serve" => vec!["serve"],
         "motivation" => vec!["fig1a", "fig1b", "fig1c"],
         "insertion" => vec!["fig5", "fig6", "table3"],
         "analysis" => vec!["fig7", "fig8", "table4"],
         "components" => vec!["table5", "fig9", "recovery"],
         "all" => vec![
             "fig1a", "fig1b", "fig1c", "fig5", "fig6", "table3", "fig7", "fig8", "table4",
-            "table5", "fig9", "recovery", "sharding",
+            "table5", "fig9", "recovery", "sharding", "serve",
         ],
         other => {
             eprintln!("unknown experiment: {other}");
@@ -126,6 +129,7 @@ fn run(name: &str, opts: &BenchOptions) -> Table {
         "fig9" => exp::fig9(opts),
         "recovery" => exp::recovery(opts),
         "sharding" => exp::sharding(opts),
+        "serve" => exp::serve(opts),
         _ => unreachable!("expand() filters unknown names"),
     }
 }

@@ -54,6 +54,7 @@ pub use graph::{Dgap, DgapSnapshot, DgapStats, DgapStatsSnapshot};
 pub use recovery::RecoveryKind;
 pub use slot::Slot;
 pub use traits::{
-    DynamicGraph, GraphError, GraphResult, GraphView, ReferenceGraph, SnapshotSource, VertexId,
+    DynamicGraph, FrozenView, GraphError, GraphResult, GraphView, OwnedSnapshotSource,
+    ReferenceGraph, SnapshotSource, Update, VertexId,
 };
 pub use variants::DgapVariant;

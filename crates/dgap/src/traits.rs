@@ -22,7 +22,12 @@ use std::fmt;
 pub type VertexId = u64;
 
 /// Errors surfaced by graph update operations.
+///
+/// The enum is `#[non_exhaustive]`: it is the error half of the stable
+/// request/response contract, and new failure modes (service shutdown,
+/// worker death, ...) must be addable without breaking downstream matches.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum GraphError {
     /// The underlying persistent-memory pool ran out of space.
     OutOfSpace(String),
@@ -37,6 +42,15 @@ pub enum GraphError {
     /// The operation is not supported by this system (e.g. edge insertion
     /// into the static CSR baseline).
     Unsupported(&'static str),
+    /// The component (an ingest pipeline, a service front-end) has shut
+    /// down and accepts no further operations.
+    Closed,
+    /// A background ingest worker died (its backend panicked); the shard's
+    /// lane can no longer accept or apply operations.
+    WorkerDied {
+        /// Index of the shard whose drain worker died.
+        shard: usize,
+    },
     /// Any other system-specific failure.
     Other(String),
 }
@@ -49,6 +63,10 @@ impl fmt::Display for GraphError {
                 write!(f, "vertex {vertex} outside capacity {capacity}")
             }
             GraphError::Unsupported(op) => write!(f, "operation not supported: {op}"),
+            GraphError::Closed => write!(f, "the component has shut down"),
+            GraphError::WorkerDied { shard } => {
+                write!(f, "ingest worker for shard {shard} died: backend panicked")
+            }
             GraphError::Other(msg) => write!(f, "{msg}"),
         }
     }
@@ -58,6 +76,53 @@ impl std::error::Error for GraphError {}
 
 /// Result alias for graph update operations.
 pub type GraphResult<T> = Result<T, GraphError>;
+
+/// A single graph mutation — the unit the batched update path moves.
+///
+/// Everything that changes a graph is one of these three operations, so a
+/// `&[Update]` batch is the lingua franca between clients, the service
+/// layer, the sharded ingest pipeline and the backends: deletes flow down
+/// the very same shard-partitioned path as inserts instead of needing a
+/// side channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Update {
+    /// Declare a vertex (the paper's `insertV`; a hint/no-op on systems
+    /// that pre-allocate their vertex range).
+    InsertVertex(VertexId),
+    /// Insert the directed edge `src -> dst`.
+    InsertEdge(VertexId, VertexId),
+    /// Delete the directed edge `src -> dst` (tombstone semantics).
+    DeleteEdge(VertexId, VertexId),
+}
+
+impl Update {
+    /// The vertex that decides *where* the operation executes: the declared
+    /// vertex for vertex operations, the **source** for edge operations (an
+    /// edge lives entirely in its source's adjacency list, so inserts and
+    /// deletes of the same edge always land on the same shard).
+    #[inline]
+    pub fn key_vertex(&self) -> VertexId {
+        match *self {
+            Update::InsertVertex(v) => v,
+            Update::InsertEdge(src, _) | Update::DeleteEdge(src, _) => src,
+        }
+    }
+
+    /// Whether this operation is a delete.
+    #[inline]
+    pub fn is_delete(&self) -> bool {
+        matches!(self, Update::DeleteEdge(..))
+    }
+}
+
+/// Plain `(src, dst)` tuples — the shape every edge generator produces —
+/// convert into edge insertions, so `&[(u64, u64)]` streams feed the
+/// batched update path without rewriting.
+impl From<(VertexId, VertexId)> for Update {
+    fn from((src, dst): (VertexId, VertexId)) -> Self {
+        Update::InsertEdge(src, dst)
+    }
+}
 
 /// The update-side interface implemented by every dynamic graph system.
 ///
@@ -81,6 +146,37 @@ pub trait DynamicGraph: Send + Sync {
     fn delete_edge(&self, src: VertexId, dst: VertexId) -> GraphResult<bool> {
         let _ = (src, dst);
         Err(GraphError::Unsupported("delete_edge"))
+    }
+
+    /// Apply a batch of typed updates in order.
+    ///
+    /// Returns the number of operations that *took effect*: every
+    /// successful insert counts, a delete counts only when the edge
+    /// existed.  Application stops at the first error; operations before it
+    /// remain applied (batches are not transactions).
+    ///
+    /// The default implementation dispatches per-op onto the three update
+    /// methods; systems with a cheaper bulk path may override it.
+    fn apply(&self, ops: &[Update]) -> GraphResult<usize> {
+        let mut effective = 0;
+        for &op in ops {
+            match op {
+                Update::InsertVertex(v) => {
+                    self.insert_vertex(v)?;
+                    effective += 1;
+                }
+                Update::InsertEdge(src, dst) => {
+                    self.insert_edge(src, dst)?;
+                    effective += 1;
+                }
+                Update::DeleteEdge(src, dst) => {
+                    if self.delete_edge(src, dst)? {
+                        effective += 1;
+                    }
+                }
+            }
+        }
+        Ok(effective)
     }
 
     /// Number of vertices currently known to the system.
@@ -179,6 +275,9 @@ impl<T: DynamicGraph + ?Sized> DynamicGraph for std::sync::Arc<T> {
     fn delete_edge(&self, src: VertexId, dst: VertexId) -> GraphResult<bool> {
         (**self).delete_edge(src, dst)
     }
+    fn apply(&self, ops: &[Update]) -> GraphResult<usize> {
+        (**self).apply(ops)
+    }
     fn num_vertices(&self) -> usize {
         (**self).num_vertices()
     }
@@ -205,6 +304,93 @@ pub trait SnapshotSource {
     /// Capture a consistent view of the latest graph (the paper's
     /// `g.consistent_view()`).
     fn consistent_view(&self) -> Self::View<'_>;
+}
+
+/// Systems whose snapshots can **own** their data implement this in
+/// addition to [`SnapshotSource`].
+///
+/// [`SnapshotSource::View`] borrows from the graph, which is the right
+/// shape for an analysis task running inside one call frame — and the wrong
+/// shape for a service: a request loop wants to capture a snapshot once,
+/// stash it in an `Arc`, and keep answering queries from it long after the
+/// capturing call returned.  An owned view has no borrow, so it can cross
+/// request boundaries, live in caches, and be shared between worker
+/// threads freely.
+pub trait OwnedSnapshotSource {
+    /// The owned snapshot type (no lifetime — safe to cache and share).
+    type OwnedView: GraphView + Send + Sync + 'static;
+
+    /// Capture a consistent snapshot that does not borrow from `self`.
+    fn owned_view(&self) -> Self::OwnedView;
+}
+
+/// An owned, immutable CSR snapshot materialised from any [`GraphView`].
+///
+/// `capture` walks the source view once and copies the **resolved**
+/// adjacency — tombstones applied, exactly what `for_each_neighbor`
+/// reports — into a compact offsets-plus-targets layout.  The result is
+/// `'static`, cheap to query (two array reads per `degree`, one contiguous
+/// slice per neighbour scan) and safely shareable, which is what the
+/// service layer's epoch-cached snapshots are built from.
+///
+/// Note one deliberate semantic difference from the borrowed snapshots:
+/// [`FrozenView::degree`] counts *visible* neighbours, not raw records, so
+/// after deletions analytics over a `FrozenView` match the in-memory
+/// reference oracle rather than the paper's record-count convention.
+#[derive(Debug, Clone, Default)]
+pub struct FrozenView {
+    /// `offsets[v] .. offsets[v + 1]` spans `v`'s neighbours in `targets`.
+    offsets: Vec<usize>,
+    targets: Vec<VertexId>,
+}
+
+impl FrozenView {
+    /// Materialise `view` into an owned snapshot.
+    pub fn capture(view: &(impl GraphView + ?Sized)) -> FrozenView {
+        let n = view.num_vertices();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(view.num_edges());
+        offsets.push(0);
+        for v in 0..n as u64 {
+            view.for_each_neighbor(v, &mut |d| targets.push(d));
+            offsets.push(targets.len());
+        }
+        FrozenView { offsets, targets }
+    }
+
+    /// The neighbours of `v` as a borrowed slice (zero-copy access the
+    /// trait interface cannot offer).  Out-of-range ids — all the way up to
+    /// `u64::MAX`, which untrusted service clients are free to send — have
+    /// no neighbours.
+    pub fn neighbor_slice(&self, v: VertexId) -> &[VertexId] {
+        let Some(next) = (v as usize).checked_add(1) else {
+            return &[];
+        };
+        match (self.offsets.get(v as usize), self.offsets.get(next)) {
+            (Some(&lo), Some(&hi)) => &self.targets[lo..hi],
+            _ => &[],
+        }
+    }
+}
+
+impl GraphView for FrozenView {
+    fn num_vertices(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    fn degree(&self, v: VertexId) -> usize {
+        self.neighbor_slice(v).len()
+    }
+
+    fn for_each_neighbor(&self, v: VertexId, f: &mut dyn FnMut(VertexId)) {
+        for &d in self.neighbor_slice(v) {
+            f(d);
+        }
+    }
 }
 
 /// A trivial in-memory adjacency-list graph used as the reference oracle in
@@ -319,6 +505,107 @@ mod tests {
     }
 
     #[test]
+    fn update_routes_by_source_vertex() {
+        assert_eq!(Update::InsertVertex(7).key_vertex(), 7);
+        assert_eq!(Update::InsertEdge(3, 9).key_vertex(), 3);
+        assert_eq!(Update::DeleteEdge(5, 1).key_vertex(), 5);
+        assert!(Update::DeleteEdge(5, 1).is_delete());
+        assert!(!Update::InsertEdge(5, 1).is_delete());
+        assert_eq!(Update::from((2u64, 4u64)), Update::InsertEdge(2, 4));
+    }
+
+    #[test]
+    fn apply_counts_effective_operations() {
+        #[derive(Default)]
+        struct Adj(std::sync::Mutex<ReferenceGraph>);
+        impl DynamicGraph for Adj {
+            fn insert_vertex(&self, _v: VertexId) -> GraphResult<()> {
+                Ok(())
+            }
+            fn insert_edge(&self, s: VertexId, d: VertexId) -> GraphResult<()> {
+                self.0.lock().unwrap().add_edge(s, d);
+                Ok(())
+            }
+            fn delete_edge(&self, s: VertexId, d: VertexId) -> GraphResult<bool> {
+                Ok(self.0.lock().unwrap().remove_edge(s, d))
+            }
+            fn num_vertices(&self) -> usize {
+                self.0.lock().unwrap().num_vertices()
+            }
+            fn num_edges(&self) -> usize {
+                GraphView::num_edges(&*self.0.lock().unwrap())
+            }
+            fn flush(&self) {}
+            fn system_name(&self) -> &'static str {
+                "adj"
+            }
+        }
+        let g = Adj::default();
+        let applied = g
+            .apply(&[
+                Update::InsertVertex(0),
+                Update::InsertEdge(0, 1),
+                Update::InsertEdge(0, 2),
+                Update::DeleteEdge(0, 1),
+                Update::DeleteEdge(0, 9), // not present: no effect
+            ])
+            .unwrap();
+        assert_eq!(applied, 4);
+        assert_eq!(g.0.lock().unwrap().neighbors(0), vec![2]);
+    }
+
+    #[test]
+    fn apply_stops_at_the_first_error() {
+        struct NoDeletes;
+        impl DynamicGraph for NoDeletes {
+            fn insert_vertex(&self, _v: VertexId) -> GraphResult<()> {
+                Ok(())
+            }
+            fn insert_edge(&self, _s: VertexId, _d: VertexId) -> GraphResult<()> {
+                Ok(())
+            }
+            fn num_vertices(&self) -> usize {
+                0
+            }
+            fn num_edges(&self) -> usize {
+                0
+            }
+            fn flush(&self) {}
+            fn system_name(&self) -> &'static str {
+                "no-deletes"
+            }
+        }
+        let err = NoDeletes
+            .apply(&[Update::InsertEdge(0, 1), Update::DeleteEdge(0, 1)])
+            .unwrap_err();
+        assert_eq!(err, GraphError::Unsupported("delete_edge"));
+    }
+
+    #[test]
+    fn frozen_view_matches_its_source_and_owns_its_data() {
+        let mut g = ReferenceGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(3, 0);
+        let frozen = FrozenView::capture(&g);
+        drop(g); // the snapshot must not borrow from the source
+        assert_eq!(frozen.num_vertices(), 4);
+        assert_eq!(frozen.num_edges(), 3);
+        assert_eq!(frozen.degree(0), 2);
+        assert_eq!(frozen.neighbors(0), vec![1, 2]);
+        assert_eq!(frozen.neighbor_slice(3), &[0]);
+        assert_eq!(frozen.degree(100), 0);
+        assert!(frozen.neighbor_slice(100).is_empty());
+    }
+
+    #[test]
+    fn frozen_view_of_the_empty_graph() {
+        let frozen = FrozenView::capture(&ReferenceGraph::new(0));
+        assert_eq!(frozen.num_vertices(), 0);
+        assert_eq!(frozen.num_edges(), 0);
+    }
+
+    #[test]
     fn graph_error_messages() {
         assert!(GraphError::OutOfSpace("pool".into())
             .to_string()
@@ -330,6 +617,10 @@ mod tests {
         .to_string()
         .contains('9'));
         assert!(GraphError::Unsupported("x").to_string().contains('x'));
+        assert!(GraphError::Closed.to_string().contains("shut down"));
+        assert!(GraphError::WorkerDied { shard: 3 }
+            .to_string()
+            .contains("shard 3"));
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! The client handle: typed calls over the service's request channel.
+
+use crate::request::{Query, QueryResult, Request, Response, ServiceStats};
+use crate::service::Envelope;
+use dgap::{GraphError, GraphResult, Update, VertexId};
+use sharded::Ticket;
+use std::sync::mpsc::{self, Sender};
+
+/// A cloneable handle onto a running [`crate::GraphService`].
+///
+/// Every call is one request/response round trip: the request is queued on
+/// the service's channel together with a private reply channel, a worker
+/// serves it, and the typed answer comes back.  Errors are per-request —
+/// a rejected mutation on one client never disturbs another client's
+/// traffic.  All methods are usable from any thread; clones share the
+/// same service.
+#[derive(Clone)]
+pub struct GraphClient {
+    sender: Sender<Envelope>,
+}
+
+impl GraphClient {
+    pub(crate) fn new(sender: Sender<Envelope>) -> GraphClient {
+        GraphClient { sender }
+    }
+
+    /// One request/response round trip.  [`GraphError::Closed`] when the
+    /// service has shut down.
+    pub fn call(&self, request: Request) -> GraphResult<Response> {
+        let (reply, answer) = mpsc::channel();
+        self.sender
+            .send(Envelope { request, reply })
+            .map_err(|_| GraphError::Closed)?;
+        answer.recv().map_err(|_| GraphError::Closed)
+    }
+
+    /// Submit a batch of updates (inserts and deletes).  Returns the
+    /// batch's completion [`Ticket`]; pass it to [`GraphClient::wait`] for
+    /// read-your-writes visibility.
+    pub fn mutate(&self, ops: Vec<Update>) -> GraphResult<Ticket> {
+        match self.call(Request::Mutate(ops))? {
+            Response::Mutated { ticket, .. } => Ok(ticket),
+            Response::Error(err) => Err(err),
+            other => Err(unexpected("Mutated", &other)),
+        }
+    }
+
+    /// Block until everything covered by `ticket` is applied.  After this
+    /// returns, queries on any client observe those writes — no global
+    /// flush required.
+    pub fn wait(&self, ticket: &Ticket) -> GraphResult<()> {
+        match self.call(Request::Wait(ticket.clone()))? {
+            Response::Waited => Ok(()),
+            Response::Error(err) => Err(err),
+            other => Err(unexpected("Waited", &other)),
+        }
+    }
+
+    /// Global durability barrier: every update submitted so far is applied
+    /// and flushed when this returns.
+    pub fn flush(&self) -> GraphResult<()> {
+        match self.call(Request::Flush)? {
+            Response::Flushed => Ok(()),
+            Response::Error(err) => Err(err),
+            other => Err(unexpected("Flushed", &other)),
+        }
+    }
+
+    /// Run a read-only query against the epoch-cached snapshot.
+    pub fn query(&self, query: Query) -> GraphResult<QueryResult> {
+        match self.call(Request::Query(query))? {
+            Response::Answer(result) => Ok(result),
+            Response::Error(err) => Err(err),
+            other => Err(unexpected("Answer", &other)),
+        }
+    }
+
+    /// Convenience: visible out-degree of `v`.
+    pub fn degree(&self, v: VertexId) -> GraphResult<usize> {
+        match self.query(Query::Degree(v))? {
+            QueryResult::Degree(d) => Ok(d),
+            other => Err(unexpected_result("Degree", &other)),
+        }
+    }
+
+    /// Convenience: out-neighbours of `v`.
+    pub fn neighbors(&self, v: VertexId) -> GraphResult<Vec<VertexId>> {
+        match self.query(Query::Neighbors(v))? {
+            QueryResult::Neighbors(n) => Ok(n),
+            other => Err(unexpected_result("Neighbors", &other)),
+        }
+    }
+
+    /// Convenience: service-wide counters.
+    pub fn stats(&self) -> GraphResult<ServiceStats> {
+        match self.query(Query::Stats)? {
+            QueryResult::Stats(s) => Ok(s),
+            other => Err(unexpected_result("Stats", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> GraphError {
+    GraphError::Other(format!(
+        "service protocol error: wanted {wanted}, got {got:?}"
+    ))
+}
+
+fn unexpected_result(wanted: &str, got: &QueryResult) -> GraphError {
+    GraphError::Other(format!(
+        "service protocol error: wanted {wanted}, got {got:?}"
+    ))
+}

@@ -1,0 +1,62 @@
+//! # service — a typed request/response front-end over the sharded engine
+//!
+//! The `sharded` crate scales *ingest*; this crate turns the result into
+//! something a server can expose: a [`GraphService`] that owns a
+//! `ShardedGraph<Dgap>` plus its [`sharded::IngestPipeline`], and any
+//! number of cloneable [`GraphClient`] handles speaking typed
+//! [`Request`] / [`Response`] values over an mpsc request loop served by N
+//! worker threads.
+//!
+//! The design follows the extensibility framing of the related-systems
+//! literature: the request/response enums are the **stable contract**, and
+//! backends, shard counts and workloads are free to grow underneath it.
+//!
+//! * **Mutations** ([`Request::Mutate`]) carry `Vec<dgap::Update>` —
+//!   inserts *and* deletes — straight into the pipeline and come back with
+//!   a [`sharded::Ticket`].  Waiting on the ticket
+//!   ([`GraphClient::wait`]) gives that client read-your-writes visibility
+//!   without the global flush barrier.
+//! * **Queries** ([`Request::Query`]) are served from an **epoch-cached
+//!   owned snapshot** (`Arc<sharded::OwnedShardedView>`): the service
+//!   re-materialises the snapshot only when the pipeline's write watermark
+//!   has advanced, so a read-heavy phase pays for one capture, not one per
+//!   query.
+//! * **Errors** are per-request and structured ([`Response::Error`]
+//!   carrying [`dgap::GraphError`]): one client's failed request never
+//!   poisons another's.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dgap::Update;
+//! use service::{GraphService, Query, QueryResult, ServiceConfig};
+//!
+//! let service = GraphService::start(ServiceConfig::small_test()).unwrap();
+//! let client = service.client();
+//!
+//! let ticket = client
+//!     .mutate(vec![
+//!         Update::InsertEdge(0, 1),
+//!         Update::InsertEdge(0, 2),
+//!         Update::DeleteEdge(0, 1),
+//!     ])
+//!     .unwrap();
+//! client.wait(&ticket).unwrap(); // read-your-writes
+//!
+//! assert_eq!(client.neighbors(0).unwrap(), vec![2]);
+//! match client.query(Query::Degree(0)).unwrap() {
+//!     QueryResult::Degree(d) => assert_eq!(d, 1),
+//!     other => panic!("unexpected {other:?}"),
+//! }
+//! service.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod request;
+pub mod service;
+
+pub use client::GraphClient;
+pub use request::{Query, QueryResult, Request, Response, ServiceStats};
+pub use service::{GraphService, ServiceConfig};

@@ -1,0 +1,134 @@
+//! The wire types of the service: requests, queries, responses.
+//!
+//! These enums are the stable contract between clients and the service
+//! loop.  They are plain values (no lifetimes, no handles), so they can be
+//! queued, logged, or — in a future PR — serialised onto a network
+//! transport without touching the engine underneath.
+
+use dgap::{GraphError, Update, VertexId};
+use sharded::Ticket;
+
+/// A request accepted by [`crate::GraphService`].
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Apply a batch of typed updates (inserts and deletes) through the
+    /// ingest pipeline.  Answered with [`Response::Mutated`] carrying the
+    /// batch's completion [`Ticket`].
+    Mutate(Vec<Update>),
+    /// Block until the ticket's updates are applied — the submitting
+    /// client's read-your-writes point.  Answered with [`Response::Waited`].
+    Wait(Ticket),
+    /// Global durability barrier: quiesce the pipeline and flush every
+    /// backend.  Answered with [`Response::Flushed`].
+    Flush,
+    /// A read-only query served from the epoch-cached snapshot.  Answered
+    /// with [`Response::Answer`].
+    Query(Query),
+}
+
+/// Read-only queries, all served from one consistent owned snapshot.
+///
+/// Degrees and neighbour lists are **resolved** (tombstones applied), so
+/// after deletions the answers match the in-memory reference semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Query {
+    /// Visible out-degree of a vertex.
+    Degree(VertexId),
+    /// Out-neighbours of a vertex, in insertion order.
+    Neighbors(VertexId),
+    /// Service-wide counters (graph size, pipeline progress, cache churn).
+    Stats,
+    /// PageRank over the snapshot (damping 0.85).
+    Pagerank {
+        /// Number of pull iterations.
+        iterations: usize,
+    },
+    /// BFS parent array from `source` (-1 for unreachable vertices; the
+    /// source is its own parent).
+    Bfs {
+        /// Traversal source vertex.
+        source: VertexId,
+    },
+    /// Connected-component labels per vertex.
+    ConnectedComponents,
+}
+
+/// The service's answer to one [`Request`].
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// The mutation batch was enqueued; `ticket` completes when it is
+    /// applied, `ops` is the number of operations accepted.
+    Mutated {
+        /// Completion handle for the enqueued batch.
+        ticket: Ticket,
+        /// Number of operations in the batch.
+        ops: usize,
+    },
+    /// The awaited ticket is fully applied.
+    Waited,
+    /// The durability barrier completed.
+    Flushed,
+    /// The query result.
+    Answer(QueryResult),
+    /// The request failed; the error is scoped to this request only.
+    Error(GraphError),
+}
+
+/// Results of the read-only [`Query`] variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResult {
+    /// Answer to [`Query::Degree`].
+    Degree(usize),
+    /// Answer to [`Query::Neighbors`].
+    Neighbors(Vec<VertexId>),
+    /// Answer to [`Query::Stats`].
+    Stats(ServiceStats),
+    /// Answer to [`Query::Pagerank`]: one rank per vertex.
+    Pagerank(Vec<f64>),
+    /// Answer to [`Query::Bfs`]: one parent per vertex (-1 = unreachable).
+    Bfs(Vec<i64>),
+    /// Answer to [`Query::ConnectedComponents`]: one label per vertex.
+    ConnectedComponents(Vec<u64>),
+}
+
+/// Service-wide counters returned by [`Query::Stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServiceStats {
+    /// Vertices in the served snapshot.
+    pub num_vertices: usize,
+    /// Visible (tombstone-resolved) edges in the served snapshot.
+    pub num_edges: usize,
+    /// Number of shards behind the service.
+    pub num_shards: usize,
+    /// Operations submitted into the pipeline since startup.
+    pub ops_submitted: u64,
+    /// Operations applied to backends since startup.
+    pub ops_applied: u64,
+    /// Edge deletions among the applied operations.
+    pub deletes_applied: u64,
+    /// The write watermark (drained batches) the served snapshot was
+    /// captured at.
+    pub watermark: u64,
+    /// Times the epoch cache re-materialised its snapshot.
+    pub snapshot_refreshes: u64,
+    /// Requests the worker pool has answered.
+    pub requests_served: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_types_are_plain_clonable_values() {
+        let req = Request::Mutate(vec![Update::InsertEdge(1, 2), Update::DeleteEdge(1, 2)]);
+        let _cloned = req.clone();
+        let resp = Response::Answer(QueryResult::Neighbors(vec![2, 3]));
+        match resp.clone() {
+            Response::Answer(QueryResult::Neighbors(n)) => assert_eq!(n, vec![2, 3]),
+            other => panic!("unexpected {other:?}"),
+        }
+        let err = Response::Error(GraphError::Closed);
+        assert!(matches!(err, Response::Error(GraphError::Closed)));
+    }
+}

@@ -1,0 +1,414 @@
+//! The service loop: ownership of the engine, worker threads, epoch cache.
+
+use crate::request::{Query, QueryResult, Request, Response, ServiceStats};
+use dgap::{Dgap, GraphResult, GraphView};
+use pmem::PmemConfig;
+use sharded::{IngestPipeline, OwnedShardedView, ShardedConfig, ShardedGraph};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How the service sizes its engine and worker pool.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Sharding and queueing of the underlying engine.
+    pub sharded: ShardedConfig,
+    /// Number of request-serving worker threads.
+    pub workers: usize,
+    /// Vertex capacity hint for the DGAP shards.
+    pub num_vertices: usize,
+    /// Edge-record capacity hint for the DGAP shards.
+    pub num_edges: usize,
+    /// Emulated-PM pool capacity **per shard**, in bytes.
+    pub pool_bytes: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            sharded: ShardedConfig::default(),
+            workers: 4,
+            num_vertices: 1 << 16,
+            num_edges: 1 << 20,
+            pool_bytes: 256 << 20,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// A tiny configuration for unit tests: two shards, two workers, small
+    /// pools.
+    pub fn small_test() -> Self {
+        ServiceConfig {
+            sharded: ShardedConfig::small_test(),
+            workers: 2,
+            num_vertices: 256,
+            num_edges: 1 << 14,
+            pool_bytes: 24 << 20,
+        }
+    }
+}
+
+/// One queued request plus the channel its answer goes back on.
+pub(crate) struct Envelope {
+    pub(crate) request: Request,
+    pub(crate) reply: Sender<Response>,
+}
+
+/// The epoch-cached snapshot: valid as long as the write watermark it was
+/// captured at is still current.
+struct CachedView {
+    watermark: u64,
+    view: Arc<OwnedShardedView>,
+}
+
+pub(crate) struct Inner {
+    graph: Arc<ShardedGraph<Dgap>>,
+    pipeline: IngestPipeline<Dgap>,
+    cache: Mutex<Option<CachedView>>,
+    refreshes: AtomicU64,
+    served: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl Inner {
+    /// The snapshot queries are served from, re-materialised only when the
+    /// pipeline's write watermark has advanced since the cached capture.
+    /// Returns the watermark the snapshot was captured at alongside it.
+    ///
+    /// The lock serialises captures (one `O(V + E)` walk per epoch, never
+    /// one per query); query *evaluation* runs outside it on the returned
+    /// `Arc`.
+    fn current_view_at(&self) -> (u64, Arc<OwnedShardedView>) {
+        let watermark = self.pipeline.watermark();
+        let mut cache = self.cache.lock().unwrap_or_else(|p| p.into_inner());
+        match cache.as_ref() {
+            Some(cached) if cached.watermark == watermark => {
+                (cached.watermark, Arc::clone(&cached.view))
+            }
+            _ => {
+                let view = self.graph.consistent_view_arc();
+                self.refreshes.fetch_add(1, Ordering::Relaxed);
+                *cache = Some(CachedView {
+                    watermark,
+                    view: Arc::clone(&view),
+                });
+                (watermark, view)
+            }
+        }
+    }
+
+    fn current_view(&self) -> Arc<OwnedShardedView> {
+        self.current_view_at().1
+    }
+
+    /// Like every query, `Stats` answers from the epoch cache: the snapshot
+    /// sizes and the watermark describe the *same* capture, and the capture
+    /// is only (re)paid when the watermark has moved.
+    fn stats(&self) -> ServiceStats {
+        let (watermark, view) = self.current_view_at();
+        let pipeline = self.pipeline.stats();
+        ServiceStats {
+            num_vertices: view.num_vertices(),
+            num_edges: view.num_edges(),
+            num_shards: self.graph.num_shards(),
+            ops_submitted: pipeline.ops_submitted(),
+            ops_applied: pipeline.ops_applied(),
+            deletes_applied: pipeline.deletes_applied(),
+            watermark,
+            snapshot_refreshes: self.refreshes.load(Ordering::Relaxed),
+            requests_served: self.served.load(Ordering::Relaxed),
+        }
+    }
+
+    fn answer(&self, query: Query) -> QueryResult {
+        match query {
+            Query::Stats => QueryResult::Stats(self.stats()),
+            query => {
+                let view = self.current_view();
+                match query {
+                    Query::Degree(v) => QueryResult::Degree(view.degree(v)),
+                    Query::Neighbors(v) => QueryResult::Neighbors(view.neighbors(v)),
+                    Query::Pagerank { iterations } => {
+                        QueryResult::Pagerank(analytics::pagerank(&*view, iterations))
+                    }
+                    Query::Bfs { source } => QueryResult::Bfs(analytics::bfs(&*view, source)),
+                    Query::ConnectedComponents => {
+                        QueryResult::ConnectedComponents(analytics::cc(&*view))
+                    }
+                    Query::Stats => unreachable!("handled above"),
+                }
+            }
+        }
+    }
+
+    fn handle(&self, request: Request) -> Response {
+        match request {
+            Request::Mutate(ops) => match self.pipeline.submit(&ops) {
+                Ok(ticket) => Response::Mutated {
+                    ticket,
+                    ops: ops.len(),
+                },
+                Err(err) => Response::Error(err),
+            },
+            Request::Wait(ticket) => match self.pipeline.wait_for(&ticket) {
+                Ok(()) => Response::Waited,
+                Err(err) => Response::Error(err),
+            },
+            Request::Flush => match self.pipeline.flush_all() {
+                Ok(()) => Response::Flushed,
+                Err(err) => Response::Error(err),
+            },
+            Request::Query(query) => Response::Answer(self.answer(query)),
+        }
+    }
+}
+
+/// The request/response front-end: owns a `ShardedGraph<Dgap>` and its
+/// [`IngestPipeline`], and answers typed [`Request`]s from any number of
+/// [`crate::GraphClient`] handles on a pool of worker threads.
+///
+/// Dropping the service (or calling [`GraphService::shutdown`]) stops the
+/// workers; clients still holding handles get [`dgap::GraphError::Closed`]
+/// from then on.
+pub struct GraphService {
+    inner: Arc<Inner>,
+    sender: Option<Sender<Envelope>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl GraphService {
+    /// Build the engine and start the worker pool.
+    pub fn start(config: ServiceConfig) -> GraphResult<GraphService> {
+        config.sharded.validate();
+        assert!(config.workers > 0, "a service needs at least one worker");
+        let pool_bytes = config.pool_bytes;
+        let graph = Arc::new(ShardedGraph::create_dgap(
+            config.sharded.num_shards,
+            config.num_vertices,
+            config.num_edges,
+            |_| PmemConfig::with_capacity(pool_bytes).persistence_tracking(false),
+        )?);
+        let pipeline = IngestPipeline::new(Arc::clone(&graph), &config.sharded);
+        let inner = Arc::new(Inner {
+            graph,
+            pipeline,
+            cache: Mutex::new(None),
+            refreshes: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let (sender, receiver) = mpsc::channel::<Envelope>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..config.workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("graph-service-{i}"))
+                    .spawn(move || serve_loop(&inner, &receiver))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        Ok(GraphService {
+            inner,
+            sender: Some(sender),
+            workers,
+        })
+    }
+
+    /// A new client handle.  Handles are cheap, cloneable, and usable from
+    /// any thread.
+    pub fn client(&self) -> crate::GraphClient {
+        crate::GraphClient::new(
+            self.sender
+                .as_ref()
+                .expect("sender lives until shutdown")
+                .clone(),
+        )
+    }
+
+    /// The underlying sharded graph (direct read access for tests and
+    /// embedding callers; requests keep flowing through clients).
+    pub fn graph(&self) -> &Arc<ShardedGraph<Dgap>> {
+        &self.inner.graph
+    }
+
+    /// Current service statistics (same numbers [`Query::Stats`] reports).
+    pub fn stats(&self) -> ServiceStats {
+        self.inner.stats()
+    }
+
+    /// Stop accepting requests, drain the workers, and return once they
+    /// have exited.  Equivalent to dropping the service, but explicit.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        // Drop our sender so an idle channel disconnects promptly once the
+        // last client handle goes away.
+        self.sender.take();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for GraphService {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Worker body: take the receiver lock, wait (bounded) for a request,
+/// release the lock, serve the request.  The bounded wait keeps shutdown
+/// prompt even while clients still hold live senders.
+fn serve_loop(inner: &Inner, receiver: &Mutex<Receiver<Envelope>>) {
+    loop {
+        let next = {
+            let receiver = receiver.lock().unwrap_or_else(|p| p.into_inner());
+            receiver.recv_timeout(Duration::from_millis(20))
+        };
+        match next {
+            Ok(Envelope { request, reply }) => {
+                let response = inner.handle(request);
+                inner.served.fetch_add(1, Ordering::Relaxed);
+                // The client may have given up on the reply; that is its
+                // business, not an error of ours.
+                let _ = reply.send(response);
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if inner.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgap::{GraphError, Update};
+
+    #[test]
+    fn serves_queries_from_an_epoch_cached_snapshot() {
+        let service = GraphService::start(ServiceConfig::small_test()).unwrap();
+        let client = service.client();
+        let ticket = client
+            .mutate(vec![Update::InsertEdge(1, 2), Update::InsertEdge(1, 3)])
+            .unwrap();
+        client.wait(&ticket).unwrap();
+        assert_eq!(client.degree(1).unwrap(), 2);
+        // A quiet pipeline must not re-materialise the snapshot per query.
+        let before = service.stats().snapshot_refreshes;
+        for _ in 0..10 {
+            assert_eq!(client.neighbors(1).unwrap(), vec![2, 3]);
+        }
+        let after = service.stats().snapshot_refreshes;
+        assert_eq!(
+            before, after,
+            "cache must be reused while the watermark stands"
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn snapshot_refreshes_when_the_watermark_advances() {
+        let service = GraphService::start(ServiceConfig::small_test()).unwrap();
+        let client = service.client();
+        let t = client.mutate(vec![Update::InsertEdge(0, 1)]).unwrap();
+        client.wait(&t).unwrap();
+        assert_eq!(client.degree(0).unwrap(), 1);
+        let t = client.mutate(vec![Update::InsertEdge(0, 2)]).unwrap();
+        client.wait(&t).unwrap();
+        assert_eq!(client.degree(0).unwrap(), 2, "new epoch, new snapshot");
+    }
+
+    #[test]
+    fn deletes_are_visible_through_queries() {
+        let service = GraphService::start(ServiceConfig::small_test()).unwrap();
+        let client = service.client();
+        let t = client
+            .mutate(vec![
+                Update::InsertEdge(5, 6),
+                Update::InsertEdge(5, 7),
+                Update::DeleteEdge(5, 6),
+            ])
+            .unwrap();
+        client.wait(&t).unwrap();
+        assert_eq!(client.neighbors(5).unwrap(), vec![7]);
+        assert_eq!(client.degree(5).unwrap(), 1);
+        let stats = service.stats();
+        assert_eq!(stats.deletes_applied, 1);
+        assert_eq!(stats.ops_applied, 3);
+    }
+
+    #[test]
+    fn hostile_vertex_ids_answer_empty_instead_of_killing_workers() {
+        let service = GraphService::start(ServiceConfig::small_test()).unwrap();
+        let client = service.client();
+        let t = client.mutate(vec![Update::InsertEdge(0, 1)]).unwrap();
+        client.wait(&t).unwrap();
+        for v in [u64::MAX, u64::MAX - 1, 1 << 40] {
+            assert_eq!(client.degree(v).unwrap(), 0);
+            assert!(client.neighbors(v).unwrap().is_empty());
+        }
+        // The worker pool survived the hostile queries.
+        assert_eq!(client.degree(0).unwrap(), 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn clients_after_shutdown_get_closed() {
+        let service = GraphService::start(ServiceConfig::small_test()).unwrap();
+        let client = service.client();
+        assert_eq!(client.degree(0).unwrap(), 0);
+        service.shutdown();
+        assert_eq!(
+            client.mutate(vec![Update::InsertEdge(0, 1)]).unwrap_err(),
+            GraphError::Closed
+        );
+        assert_eq!(client.flush().unwrap_err(), GraphError::Closed);
+    }
+
+    #[test]
+    fn analytics_queries_run_over_the_service() {
+        use crate::{Query, QueryResult};
+        let service = GraphService::start(ServiceConfig::small_test()).unwrap();
+        let client = service.client();
+        // A 4-cycle, inserted symmetrically.
+        let mut ops = Vec::new();
+        for &(a, b) in &[(0u64, 1u64), (1, 2), (2, 3), (3, 0)] {
+            ops.push(Update::InsertEdge(a, b));
+            ops.push(Update::InsertEdge(b, a));
+        }
+        let t = client.mutate(ops).unwrap();
+        client.wait(&t).unwrap();
+        match client.query(Query::Bfs { source: 0 }).unwrap() {
+            QueryResult::Bfs(parents) => {
+                assert_eq!(parents[0], 0, "the source is its own parent");
+                assert!(parents[..4].iter().all(|&p| p >= 0), "cycle fully reached");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match client.query(Query::ConnectedComponents).unwrap() {
+            QueryResult::ConnectedComponents(labels) => {
+                assert!(labels[..4].iter().all(|&l| l == labels[0]));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match client.query(Query::Pagerank { iterations: 5 }).unwrap() {
+            QueryResult::Pagerank(ranks) => {
+                // Symmetric cycle: all four members rank equally.
+                assert!((ranks[0] - ranks[2]).abs() < 1e-12);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

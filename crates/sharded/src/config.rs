@@ -26,6 +26,25 @@ impl Default for ShardedConfig {
 }
 
 impl ShardedConfig {
+    /// Start building a configuration from the defaults; settings are
+    /// validated when [`ShardedConfigBuilder::build`] runs, so an invalid
+    /// combination can never leak into a running pipeline:
+    ///
+    /// ```
+    /// use sharded::ShardedConfig;
+    /// let cfg = ShardedConfig::builder()
+    ///     .shards(8)
+    ///     .queue_capacity(32)
+    ///     .batch_size(2048)
+    ///     .build();
+    /// assert_eq!(cfg.num_shards, 8);
+    /// ```
+    pub fn builder() -> ShardedConfigBuilder {
+        ShardedConfigBuilder {
+            cfg: ShardedConfig::default(),
+        }
+    }
+
     /// A configuration with the given shard count and default queueing.
     pub fn with_shards(num_shards: usize) -> Self {
         ShardedConfig {
@@ -52,9 +71,69 @@ impl ShardedConfig {
     }
 }
 
+/// Builder for [`ShardedConfig`] (see [`ShardedConfig::builder`]).
+///
+/// Each setter overrides one default; `build` runs
+/// [`ShardedConfig::validate`] so nonsensical settings fail at
+/// construction time with a clear message instead of misbehaving later.
+#[derive(Debug, Clone)]
+pub struct ShardedConfigBuilder {
+    cfg: ShardedConfig,
+}
+
+impl ShardedConfigBuilder {
+    /// Number of shards (backend instances and ingest workers).
+    pub fn shards(mut self, num_shards: usize) -> Self {
+        self.cfg.num_shards = num_shards;
+        self
+    }
+
+    /// Capacity of each per-shard queue, in batches.
+    pub fn queue_capacity(mut self, queue_capacity: usize) -> Self {
+        self.cfg.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// Preferred number of operations per submitted batch.
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.cfg.batch_size = batch_size;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    ///
+    /// # Panics
+    /// On nonsensical settings (zero shards, queue slots or batch size).
+    pub fn build(self) -> ShardedConfig {
+        self.cfg.validate();
+        self.cfg
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn builder_overrides_and_validates() {
+        let cfg = ShardedConfig::builder()
+            .shards(8)
+            .queue_capacity(16)
+            .batch_size(512)
+            .build();
+        assert_eq!(cfg.num_shards, 8);
+        assert_eq!(cfg.queue_capacity, 16);
+        assert_eq!(cfg.batch_size, 512);
+        // Untouched settings keep their defaults.
+        let cfg = ShardedConfig::builder().shards(3).build();
+        assert_eq!(cfg.queue_capacity, ShardedConfig::default().queue_capacity);
+    }
+
+    #[test]
+    #[should_panic(expected = "queue_capacity")]
+    fn builder_rejects_invalid_settings_at_build_time() {
+        let _ = ShardedConfig::builder().queue_capacity(0).build();
+    }
 
     #[test]
     fn defaults_validate() {

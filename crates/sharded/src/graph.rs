@@ -1,8 +1,11 @@
 //! The partitioned graph: N backend instances behind one `DynamicGraph`.
 
 use crate::partition::Partitioner;
-use crate::view::ShardedView;
-use dgap::{Dgap, DgapConfig, DynamicGraph, GraphResult, SnapshotSource, VertexId};
+use crate::view::{OwnedShardedView, ShardedView};
+use dgap::{
+    Dgap, DgapConfig, DynamicGraph, FrozenView, GraphResult, OwnedSnapshotSource, SnapshotSource,
+    VertexId,
+};
 use pmem::{PmemConfig, PmemPool};
 use std::sync::Arc;
 
@@ -152,6 +155,35 @@ impl<G: DynamicGraph + SnapshotSource> SnapshotSource for ShardedGraph<G> {
     }
 }
 
+impl<G: DynamicGraph + SnapshotSource> OwnedSnapshotSource for ShardedGraph<G> {
+    type OwnedView = OwnedShardedView;
+
+    /// Materialise each shard's consistent snapshot into an owned
+    /// [`FrozenView`] and compose them.  Like the borrowed composite, the
+    /// per-shard captures are taken one after another, so the result is
+    /// per-shard consistent rather than a single atomic cut.
+    fn owned_view(&self) -> OwnedShardedView {
+        OwnedShardedView::new(
+            self.shards
+                .iter()
+                .map(|s| FrozenView::capture(&s.consistent_view()))
+                .collect(),
+            self.partitioner,
+        )
+    }
+}
+
+impl<G: DynamicGraph + SnapshotSource> ShardedGraph<G> {
+    /// An owned snapshot behind an `Arc`, ready to outlive this call and be
+    /// shared across request-serving threads (the service layer's epoch
+    /// cache holds exactly this).  Costs one pass over the visible graph
+    /// (`O(V + E)`); amortise it by caching until the write watermark
+    /// advances.
+    pub fn consistent_view_arc(&self) -> Arc<OwnedShardedView> {
+        Arc::new(self.owned_view())
+    }
+}
+
 /// The partitioned engine instantiated with the paper's system: one DGAP
 /// (and one persistent pool) per shard.
 pub type ShardedDgap = ShardedGraph<Dgap>;
@@ -191,6 +223,30 @@ mod tests {
         for v in 0..16u64 {
             assert_eq!(view.neighbors(v), oracle.neighbors(v), "vertex {v}");
         }
+    }
+
+    #[test]
+    fn owned_view_outlives_the_borrow_and_resolves_deletes() {
+        let g = ShardedGraph::create_dgap_small_test(2).unwrap();
+        g.insert_edge(0, 1).unwrap();
+        g.insert_edge(0, 2).unwrap();
+        g.insert_edge(1, 0).unwrap();
+        g.delete_edge(0, 1).unwrap();
+        let owned = g.consistent_view_arc();
+        // The snapshot is isolated from later writes...
+        g.insert_edge(0, 9).unwrap();
+        assert_eq!(owned.neighbors(0), vec![2]);
+        // ...and owned: it keeps answering from another thread with no
+        // borrow of the graph.
+        let handle = {
+            let owned = Arc::clone(&owned);
+            std::thread::spawn(move || (owned.degree(0), owned.num_edges()))
+        };
+        // Owned snapshots count *visible* edges: (0->1, tombstoned) is
+        // resolved away, leaving 0->2 and 1->0.
+        assert_eq!(handle.join().unwrap(), (1, 2));
+        assert_eq!(owned.num_shards(), 2);
+        assert_eq!(owned.neighbor_slice(1), &[0]);
     }
 
     #[test]

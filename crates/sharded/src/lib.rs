@@ -12,12 +12,19 @@
 //!   for DGAP).  Edges are routed by source vertex, so every adjacency list
 //!   lives entirely inside one shard and per-vertex insertion order is
 //!   preserved.
-//! * [`IngestPipeline`] — per-shard lock-free batch queues drained by one
-//!   worker thread per shard, with backpressure when a queue fills and a
+//! * [`IngestPipeline`] — per-shard lock-free batch queues carrying typed
+//!   [`dgap::Update`] batches (inserts **and** deletes), drained by one
+//!   worker thread per shard, with backpressure when a queue fills.  Each
+//!   `submit` returns a [`Ticket`]; [`IngestPipeline::wait_for`] gives the
+//!   submitter read-your-writes visibility without the global
 //!   [`IngestPipeline::flush_all`] durability barrier.
-//! * [`ShardedView`] — a cross-shard composite implementing
+//! * [`ShardedView`] — a borrowed cross-shard composite implementing
 //!   [`dgap::GraphView`], so the four analytics kernels (`pagerank`, `bfs`,
 //!   `cc`, `bc`) run unchanged over the partitioned graph.
+//!   [`OwnedShardedView`] (via [`ShardedGraph::consistent_view_arc`] /
+//!   [`dgap::OwnedSnapshotSource`]) is its owned sibling: a materialised
+//!   snapshot with no borrow, cacheable across request boundaries — what
+//!   the `service` crate serves queries from.
 //!
 //! Everything is generic over `G: DynamicGraph + SnapshotSource`, so the
 //! engine scales DGAP *and* every baseline system.
@@ -26,19 +33,28 @@
 //!
 //! ```
 //! use std::sync::Arc;
-//! use dgap::{DynamicGraph, GraphView, SnapshotSource};
+//! use dgap::{DynamicGraph, GraphView, SnapshotSource, Update};
 //! use sharded::{IngestPipeline, ShardedConfig, ShardedGraph};
 //!
 //! let cfg = ShardedConfig::small_test();
 //! let graph = Arc::new(ShardedGraph::create_dgap_small_test(cfg.num_shards).unwrap());
 //!
 //! let pipeline = IngestPipeline::new(Arc::clone(&graph), &cfg);
-//! pipeline.submit(&[(0, 1), (0, 2), (1, 2)]);
-//! pipeline.flush_all().unwrap();
+//! let ticket = pipeline
+//!     .submit(&[
+//!         Update::InsertEdge(0, 1),
+//!         Update::InsertEdge(0, 2),
+//!         Update::InsertEdge(1, 2),
+//!         Update::DeleteEdge(0, 1),
+//!     ])
+//!     .unwrap();
+//! pipeline.wait_for(&ticket).unwrap(); // read-your-writes, no barrier
 //!
-//! let view = graph.consistent_view();
-//! assert_eq!(view.neighbors(0), vec![1, 2]);
-//! assert_eq!(graph.num_edges(), 3);
+//! let view = graph.consistent_view_arc(); // owned: outlives this scope
+//! assert_eq!(view.neighbors(0), vec![2]);
+//! assert_eq!(view.num_edges(), 2);
+//!
+//! pipeline.flush_all().unwrap(); // durability barrier (unchanged)
 //! ```
 
 #![warn(missing_docs)]
@@ -51,12 +67,12 @@ pub mod queue;
 pub mod stats;
 pub mod view;
 
-pub use config::ShardedConfig;
+pub use config::{ShardedConfig, ShardedConfigBuilder};
 pub use graph::{ShardedDgap, ShardedGraph};
 pub use partition::Partitioner;
-pub use pipeline::IngestPipeline;
+pub use pipeline::{IngestPipeline, Ticket};
 pub use stats::{PipelineStats, ShardIngestStats};
-pub use view::ShardedView;
+pub use view::{OwnedShardedView, ShardedView};
 
 /// A directed edge `(source, destination)`, the unit the ingest pipeline
 /// routes.

@@ -1,12 +1,14 @@
 //! The batched ingest pipeline: per-shard lock-free queues drained by one
-//! worker thread per shard, with backpressure and a durability barrier.
+//! worker thread per shard, with backpressure, completion tickets and a
+//! durability barrier.
 
 use crate::graph::ShardedGraph;
 use crate::queue::BatchQueue;
 use crate::stats::{PipelineStats, ShardIngestStats};
 use crate::{Edge, ShardedConfig};
-use dgap::{DynamicGraph, GraphResult};
+use dgap::{DynamicGraph, GraphError, GraphResult, Update};
 use error_slot::ErrorSlot;
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -14,16 +16,21 @@ use std::time::Duration;
 
 /// Per-shard ingest lane shared between producers and the drain worker.
 struct Lane {
-    queue: BatchQueue<Vec<Edge>>,
-    /// Edges enqueued to this lane (incremented *before* the push so the
-    /// flush barrier can never observe applied > submitted-at-entry).
+    queue: BatchQueue<Vec<Update>>,
+    /// Operations enqueued to this lane (incremented *before* the push so
+    /// the flush barrier can never observe applied > submitted-at-entry).
     submitted: AtomicU64,
-    /// Edges the worker has taken out of a batch and offered to the backend
-    /// (failed inserts included, so the barrier terminates).
+    /// Operations the worker has taken out of a batch and offered to the
+    /// backend (failed ones included, so the barrier terminates).
     applied: AtomicU64,
+    /// Batches the worker has fully applied.  The single consumer pops in
+    /// queue-position order, so `drained == k` means exactly the batches at
+    /// positions `0..k` are applied — the watermark [`Ticket`]s wait on.
+    drained: AtomicU64,
     batches: AtomicU64,
     stalls: AtomicU64,
     errors: AtomicU64,
+    deletes: AtomicU64,
     /// Set when the shard's drain worker died (panicked); producers and the
     /// flush barrier must stop waiting on this lane.
     dead: AtomicBool,
@@ -68,19 +75,76 @@ struct Shared<G> {
     error: ErrorSlot,
 }
 
+impl<G> Shared<G> {
+    /// The structured error a dead lane surfaces to producers and waiters.
+    fn lane_error(&self, shard: usize) -> GraphError {
+        self.error.get().unwrap_or(GraphError::WorkerDied { shard })
+    }
+}
+
+/// A completion handle for one [`IngestPipeline::submit`] call.
+///
+/// The ticket records, per shard, the queue position just past the last
+/// batch the call enqueued.  [`IngestPipeline::wait_for`] blocks until each
+/// of those batches has been fully applied by its drain worker — the
+/// submitting caller's *read-your-writes* point — without waiting for
+/// anything submitted afterwards (unlike the global
+/// [`IngestPipeline::flush_all`] barrier, which quiesces every lane).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Ticket {
+    /// Per-shard drained-batch targets (0 = nothing enqueued there).
+    targets: Vec<u64>,
+}
+
+impl Ticket {
+    /// A ticket that waits for nothing (already satisfied).
+    pub fn empty() -> Ticket {
+        Ticket::default()
+    }
+
+    /// Whether the ticket waits for anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.targets.iter().all(|&t| t == 0)
+    }
+
+    /// Fold `other` into `self`, so one ticket covers both submissions.
+    /// Tickets from the same pipeline compose; waiting on the merged ticket
+    /// is equivalent to waiting on both.
+    pub fn merge(&mut self, other: &Ticket) {
+        if self.targets.len() < other.targets.len() {
+            self.targets.resize(other.targets.len(), 0);
+        }
+        for (mine, theirs) in self.targets.iter_mut().zip(&other.targets) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread scatter scratch reused across `submit` calls: the outer
+    /// vector and each inner vector keep their capacity between calls, so
+    /// the steady-state cost of a submit is one exact-size allocation per
+    /// *non-empty* shard batch instead of `num_shards + touched` growing
+    /// vectors per call.
+    static SCATTER: RefCell<Vec<Vec<Update>>> = const { RefCell::new(Vec::new()) };
+}
+
 /// A multi-producer ingest front-end for a [`ShardedGraph`].
 ///
 /// Any number of threads may call [`IngestPipeline::submit`] concurrently;
-/// each call scatters its batch by source-vertex shard and enqueues one
-/// sub-batch per shard onto that shard's lock-free queue.  One worker thread
-/// per shard drains its queue into the backend, so each backend instance
-/// sees a single writer and zero cross-shard synchronisation.
+/// each call scatters its typed [`Update`] batch by key-vertex shard
+/// (deletes flow down the same partitioned path as inserts) and enqueues
+/// one sub-batch per shard onto that shard's lock-free queue.  One worker
+/// thread per shard drains its queue into the backend, so each backend
+/// instance sees a single writer and zero cross-shard synchronisation.
 ///
-/// When a shard's queue is full, `submit` spins on that shard (backpressure)
-/// until the worker catches up — producers can never outrun memory.
-/// [`IngestPipeline::flush_all`] is the durability barrier: it waits for
-/// every edge submitted before the call to be applied, then flushes every
-/// backend.
+/// When a shard's queue is full, `submit` spins on that shard
+/// (backpressure) until the worker catches up — producers can never outrun
+/// memory.  Each successful `submit` returns a [`Ticket`];
+/// [`IngestPipeline::wait_for`] turns it into read-your-writes visibility.
+/// [`IngestPipeline::flush_all`] remains the global durability barrier: it
+/// waits for every operation submitted before the call to be applied, then
+/// flushes every backend.
 pub struct IngestPipeline<G: DynamicGraph + 'static> {
     shared: Arc<Shared<G>>,
     workers: Vec<JoinHandle<()>>,
@@ -100,9 +164,11 @@ impl<G: DynamicGraph + 'static> IngestPipeline<G> {
                 queue: BatchQueue::with_capacity(config.queue_capacity),
                 submitted: AtomicU64::new(0),
                 applied: AtomicU64::new(0),
+                drained: AtomicU64::new(0),
                 batches: AtomicU64::new(0),
                 stalls: AtomicU64::new(0),
                 errors: AtomicU64::new(0),
+                deletes: AtomicU64::new(0),
                 dead: AtomicBool::new(false),
             })
             .collect();
@@ -124,9 +190,7 @@ impl<G: DynamicGraph + 'static> IngestPipeline<G> {
                             drain_worker(&shared, shard)
                         }));
                         if caught.is_err() {
-                            shared.error.record(dgap::GraphError::Other(format!(
-                                "ingest worker for shard {shard} panicked"
-                            )));
+                            shared.error.record(GraphError::WorkerDied { shard });
                             shared.lanes[shard].dead.store(true, Ordering::Release);
                         }
                     })
@@ -136,49 +200,137 @@ impl<G: DynamicGraph + 'static> IngestPipeline<G> {
         IngestPipeline { shared, workers }
     }
 
-    /// Scatter `edges` to their shards and enqueue them.  Blocks (per shard)
+    /// Scatter `ops` to their shards and enqueue them.  Blocks (per shard)
     /// while that shard's queue is full.
-    pub fn submit(&self, edges: &[Edge]) {
-        if edges.is_empty() {
-            return;
-        }
+    ///
+    /// Returns a [`Ticket`] covering everything this call enqueued, or the
+    /// recorded [`GraphError`] if a shard's drain worker has died (in which
+    /// case sub-batches already enqueued on *other* shards stay enqueued —
+    /// submission is not transactional across shards).
+    pub fn submit(&self, ops: &[Update]) -> GraphResult<Ticket> {
+        self.submit_iter(ops.iter().copied())
+    }
+
+    /// Convenience for plain insert-only edge streams: every `(src, dst)`
+    /// tuple becomes an [`Update::InsertEdge`].
+    pub fn submit_edges(&self, edges: &[Edge]) -> GraphResult<Ticket> {
+        self.submit_iter(edges.iter().map(|&(src, dst)| Update::InsertEdge(src, dst)))
+    }
+
+    fn submit_iter(&self, ops: impl Iterator<Item = Update>) -> GraphResult<Ticket> {
         let partitioner = self.shared.graph.partitioner();
         let num_shards = partitioner.num_shards();
-        let mut scattered: Vec<Vec<Edge>> = vec![Vec::new(); num_shards];
-        for &(src, dst) in edges {
-            scattered[partitioner.shard_of(src)].push((src, dst));
-        }
-        for (shard, batch) in scattered.into_iter().enumerate() {
-            if batch.is_empty() {
-                continue;
+        let mut ticket = Ticket {
+            targets: vec![0; num_shards],
+        };
+        SCATTER.with(|scratch| {
+            let mut scratch = scratch.borrow_mut();
+            if scratch.len() < num_shards {
+                scratch.resize_with(num_shards, Vec::new);
             }
-            let lane = &self.shared.lanes[shard];
-            lane.submitted
-                .fetch_add(batch.len() as u64, Ordering::Release);
-            lane.batches.fetch_add(1, Ordering::Relaxed);
-            let mut pending = batch;
-            loop {
-                assert!(
-                    !lane.dead.load(Ordering::Acquire),
-                    "ingest worker for shard {shard} died; the pipeline cannot accept more edges"
-                );
-                match lane.queue.push(pending) {
-                    Ok(()) => break,
-                    Err(back) => {
-                        pending = back;
-                        lane.stalls.fetch_add(1, Ordering::Relaxed);
-                        std::thread::yield_now();
+            for op in ops {
+                scratch[partitioner.shard_of(op.key_vertex())].push(op);
+            }
+            let mut result = Ok(());
+            for shard in 0..num_shards {
+                let buf = &mut scratch[shard];
+                if buf.is_empty() {
+                    continue;
+                }
+                if result.is_err() {
+                    // A previous lane was dead: drop the rest of the call's
+                    // ops (nothing was accounted for them yet).
+                    buf.clear();
+                    continue;
+                }
+                let lane = &self.shared.lanes[shard];
+                let len = buf.len() as u64;
+                // `submitted` must rise before the push (the flush barrier's
+                // invariant); `batches` counts only successful enqueues, so
+                // it rises after.
+                lane.submitted.fetch_add(len, Ordering::Release);
+                // Exact-size copy out of the warm scratch buffer: the
+                // scratch keeps its capacity for the next call and only the
+                // enqueued batch is freshly allocated.
+                let mut pending = buf.clone();
+                buf.clear();
+                loop {
+                    if lane.dead.load(Ordering::Acquire) {
+                        // These ops can never be applied; undo the submit
+                        // accounting so flush_all does not wait for them.
+                        lane.submitted.fetch_sub(len, Ordering::Release);
+                        result = Err(self.shared.lane_error(shard));
+                        break;
+                    }
+                    match lane.queue.push(pending) {
+                        Ok(pos) => {
+                            lane.batches.fetch_add(1, Ordering::Relaxed);
+                            ticket.targets[shard] = pos as u64 + 1;
+                            break;
+                        }
+                        Err(back) => {
+                            pending = back;
+                            lane.stalls.fetch_add(1, Ordering::Relaxed);
+                            std::thread::yield_now();
+                        }
                     }
                 }
             }
-        }
+            result
+        })?;
+        Ok(ticket)
     }
 
-    /// Durability barrier: wait until every edge submitted before this call
-    /// has been applied to its backend, flush every backend, and surface the
-    /// first backend error (if any insert was rejected since creation).
+    /// Block until every batch covered by `ticket` has been applied to its
+    /// backend — the submitting caller's read-your-writes point.  Unlike
+    /// [`IngestPipeline::flush_all`], this does not quiesce the pipeline or
+    /// wait for other producers' later submissions, and it does not issue a
+    /// durability flush.
+    pub fn wait_for(&self, ticket: &Ticket) -> GraphResult<()> {
+        for (shard, &target) in ticket.targets.iter().enumerate() {
+            if target == 0 {
+                continue;
+            }
+            let lane = self.shared.lanes.get(shard).ok_or_else(|| {
+                GraphError::Other(format!(
+                    "ticket names shard {shard} but the pipeline has {}",
+                    self.shared.lanes.len()
+                ))
+            })?;
+            let mut spins = 0u32;
+            while lane.drained.load(Ordering::Acquire) < target {
+                if lane.dead.load(Ordering::Acquire) {
+                    return Err(self.shared.lane_error(shard));
+                }
+                spins += 1;
+                if spins < 64 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The pipeline's monotonic write watermark: total batches fully
+    /// applied across all shards.  It advances every time a drain worker
+    /// finishes a batch, so an epoch cache can compare watermarks to decide
+    /// whether a cached snapshot is stale without quiescing the pipeline.
+    pub fn watermark(&self) -> u64 {
+        self.shared
+            .lanes
+            .iter()
+            .map(|l| l.drained.load(Ordering::Acquire))
+            .sum()
+    }
+
+    /// Durability barrier: wait until every operation submitted before this
+    /// call has been applied to its backend, flush every backend, and
+    /// surface the first backend error (if any operation was rejected since
+    /// creation).
     pub fn flush_all(&self) -> GraphResult<()> {
-        // Snapshot the submit counters first: edges submitted concurrently
+        // Snapshot the submit counters first: ops submitted concurrently
         // with this call are not part of the barrier.
         let targets: Vec<u64> = self
             .shared
@@ -186,15 +338,11 @@ impl<G: DynamicGraph + 'static> IngestPipeline<G> {
             .iter()
             .map(|l| l.submitted.load(Ordering::Acquire))
             .collect();
-        for (lane, &target) in self.shared.lanes.iter().zip(&targets) {
+        for (shard, (lane, &target)) in self.shared.lanes.iter().zip(&targets).enumerate() {
             let mut spins = 0u32;
             while lane.applied.load(Ordering::Acquire) < target {
                 if lane.dead.load(Ordering::Acquire) {
-                    return Err(self
-                        .shared
-                        .error
-                        .get()
-                        .unwrap_or_else(|| dgap::GraphError::Other("ingest worker died".into())));
+                    return Err(self.shared.lane_error(shard));
                 }
                 spins += 1;
                 if spins < 64 {
@@ -224,11 +372,13 @@ impl<G: DynamicGraph + 'static> IngestPipeline<G> {
                 .lanes
                 .iter()
                 .map(|l| ShardIngestStats {
-                    edges_submitted: l.submitted.load(Ordering::Relaxed),
-                    edges_applied: l.applied.load(Ordering::Relaxed),
+                    ops_submitted: l.submitted.load(Ordering::Relaxed),
+                    ops_applied: l.applied.load(Ordering::Relaxed),
+                    deletes_applied: l.deletes.load(Ordering::Relaxed),
                     batches_submitted: l.batches.load(Ordering::Relaxed),
+                    batches_drained: l.drained.load(Ordering::Relaxed),
                     backpressure_stalls: l.stalls.load(Ordering::Relaxed),
-                    insert_errors: l.errors.load(Ordering::Relaxed),
+                    op_errors: l.errors.load(Ordering::Relaxed),
                 })
                 .collect(),
         }
@@ -252,14 +402,27 @@ fn drain_worker<G: DynamicGraph>(shared: &Shared<G>, shard: usize) {
         match lane.queue.pop() {
             Some(batch) => {
                 idle_spins = 0;
-                for (src, dst) in &batch {
-                    if let Err(err) = backend.insert_edge(*src, *dst) {
+                for &op in &batch {
+                    let outcome = match op {
+                        Update::InsertVertex(v) => backend.insert_vertex(v),
+                        Update::InsertEdge(src, dst) => backend.insert_edge(src, dst),
+                        Update::DeleteEdge(src, dst) => {
+                            lane.deletes.fetch_add(1, Ordering::Relaxed);
+                            // A delete of an absent edge is a no-op, not an
+                            // error: only backend failures are recorded.
+                            backend.delete_edge(src, dst).map(|_existed| ())
+                        }
+                    };
+                    if let Err(err) = outcome {
                         lane.errors.fetch_add(1, Ordering::Relaxed);
                         shared.error.record(err);
                     }
                 }
                 lane.applied
                     .fetch_add(batch.len() as u64, Ordering::Release);
+                // Publish batch completion only after every op in it is
+                // applied — wait_for relies on this ordering.
+                lane.drained.fetch_add(1, Ordering::Release);
             }
             None => {
                 // Queue drained: exit once producers are done, otherwise
@@ -288,17 +451,98 @@ mod tests {
         IngestPipeline::new(graph, &cfg)
     }
 
+    /// A backend whose inserts panic — used to poison drain workers.
+    struct PanicGraph;
+    impl DynamicGraph for PanicGraph {
+        fn insert_vertex(&self, _v: u64) -> GraphResult<()> {
+            Ok(())
+        }
+        fn insert_edge(&self, _s: u64, _d: u64) -> GraphResult<()> {
+            panic!("backend blew up");
+        }
+        fn num_vertices(&self) -> usize {
+            0
+        }
+        fn num_edges(&self) -> usize {
+            0
+        }
+        fn flush(&self) {}
+        fn system_name(&self) -> &'static str {
+            "panic"
+        }
+    }
+
+    fn dead_lane_pipeline() -> IngestPipeline<PanicGraph> {
+        let graph = Arc::new(ShardedGraph::new(1, |_| Ok(PanicGraph)).unwrap());
+        let pipeline = IngestPipeline::new(graph, &ShardedConfig::with_shards(1));
+        let ticket = pipeline.submit(&[Update::InsertEdge(0, 1)]).unwrap();
+        // Wait until the worker has actually died.
+        assert!(matches!(
+            pipeline.wait_for(&ticket),
+            Err(GraphError::WorkerDied { shard: 0 })
+        ));
+        pipeline
+    }
+
     #[test]
     fn ingests_and_flushes() {
         let p = pipeline_over(ShardedConfig::small_test());
         let edges: Vec<Edge> = (0..40u64).map(|i| (i % 10, (i + 1) % 10)).collect();
-        p.submit(&edges);
+        p.submit_edges(&edges).unwrap();
         p.flush_all().unwrap();
         assert_eq!(p.graph().num_edges(), 40);
         let stats = p.stats();
-        assert_eq!(stats.edges_submitted(), 40);
-        assert_eq!(stats.edges_applied(), 40);
-        assert_eq!(stats.insert_errors(), 0);
+        assert_eq!(stats.ops_submitted(), 40);
+        assert_eq!(stats.ops_applied(), 40);
+        assert_eq!(stats.op_errors(), 0);
+        assert_eq!(stats.deletes_applied(), 0);
+    }
+
+    #[test]
+    fn typed_updates_flow_shard_partitioned() {
+        let p = pipeline_over(ShardedConfig::small_test());
+        let ticket = p
+            .submit(&[
+                Update::InsertVertex(3),
+                Update::InsertEdge(3, 4),
+                Update::InsertEdge(3, 5),
+                Update::DeleteEdge(3, 4),
+            ])
+            .unwrap();
+        p.wait_for(&ticket).unwrap();
+        let graph = p.graph();
+        let view = graph.consistent_view();
+        // Tombstone applied: only (3 -> 5) survives resolution.
+        assert_eq!(view.neighbors(3), vec![5]);
+        assert_eq!(p.stats().deletes_applied(), 1);
+    }
+
+    #[test]
+    fn ticket_wait_gives_read_your_writes_without_flush() {
+        let p = pipeline_over(ShardedConfig::small_test());
+        let mut ticket = Ticket::empty();
+        assert!(ticket.is_empty());
+        for i in 0..20u64 {
+            let t = p.submit(&[Update::InsertEdge(7, 100 + i)]).unwrap();
+            ticket.merge(&t);
+        }
+        assert!(!ticket.is_empty());
+        p.wait_for(&ticket).unwrap();
+        // No flush_all: the ticket alone guarantees the writes are applied.
+        let graph = p.graph();
+        assert_eq!(graph.consistent_view().degree(7), 20);
+        assert!(p.watermark() >= 20);
+    }
+
+    #[test]
+    fn watermark_advances_with_drained_batches() {
+        let p = pipeline_over(ShardedConfig::small_test());
+        assert_eq!(p.watermark(), 0);
+        let ticket = p.submit_edges(&[(0, 1), (1, 2), (2, 3)]).unwrap();
+        p.wait_for(&ticket).unwrap();
+        let stats = p.stats();
+        assert_eq!(p.watermark(), stats.batches_drained());
+        assert!(p.watermark() > 0);
     }
 
     #[test]
@@ -311,7 +555,7 @@ mod tests {
         let p = pipeline_over(cfg.clone());
         let edges: Vec<Edge> = (0..500u64).map(|i| (i % 50, 63 - (i % 50))).collect();
         for chunk in edges.chunks(cfg.batch_size) {
-            p.submit(chunk);
+            p.submit_edges(chunk).unwrap();
         }
         p.flush_all().unwrap();
         assert_eq!(p.graph().num_edges(), 500);
@@ -320,7 +564,7 @@ mod tests {
     #[test]
     fn view_after_flush_sees_everything() {
         let p = pipeline_over(ShardedConfig::small_test());
-        p.submit(&[(3, 4), (3, 5), (4, 3)]);
+        p.submit_edges(&[(3, 4), (3, 5), (4, 3)]).unwrap();
         p.flush_all().unwrap();
         let graph = p.graph();
         let view = graph.consistent_view();
@@ -337,37 +581,29 @@ mod tests {
 
     #[test]
     fn dead_worker_fails_flush_instead_of_hanging() {
-        struct PanicGraph;
-        impl DynamicGraph for PanicGraph {
-            fn insert_vertex(&self, _v: u64) -> GraphResult<()> {
-                Ok(())
-            }
-            fn insert_edge(&self, _s: u64, _d: u64) -> GraphResult<()> {
-                panic!("backend blew up");
-            }
-            fn num_vertices(&self) -> usize {
-                0
-            }
-            fn num_edges(&self) -> usize {
-                0
-            }
-            fn flush(&self) {}
-            fn system_name(&self) -> &'static str {
-                "panic"
-            }
-        }
-        let graph = Arc::new(ShardedGraph::new(1, |_| Ok(PanicGraph)).unwrap());
-        let pipeline = IngestPipeline::new(graph, &ShardedConfig::with_shards(1));
-        pipeline.submit(&[(0, 1)]);
+        let pipeline = dead_lane_pipeline();
         // Must return an error promptly rather than spin on the dead lane.
         let err = pipeline.flush_all().unwrap_err();
         assert!(err.to_string().contains("panicked"), "{err}");
     }
 
     #[test]
+    fn dead_worker_fails_submit_instead_of_panicking() {
+        let pipeline = dead_lane_pipeline();
+        // Producers observe the recorded error as a value, not a panic.
+        let err = pipeline
+            .submit(&[Update::InsertEdge(0, 2)])
+            .expect_err("submit to a dead lane must fail");
+        assert_eq!(err, GraphError::WorkerDied { shard: 0 });
+        // And the failed call's accounting is rolled back: only the op from
+        // the first (pre-death) submit remains counted.
+        assert_eq!(pipeline.stats().ops_submitted(), 1);
+    }
+
+    #[test]
     fn drop_joins_workers_cleanly() {
         let p = pipeline_over(ShardedConfig::with_shards(3));
-        p.submit(&[(0, 1), (1, 2), (2, 0)]);
+        p.submit_edges(&[(0, 1), (1, 2), (2, 0)]).unwrap();
         drop(p); // must not hang or panic
     }
 }

@@ -73,7 +73,13 @@ impl<T> BatchQueue<T> {
 
     /// Try to enqueue `value`.  Returns `Err(value)` when the ring is full
     /// so the caller can retry (backpressure) without losing the item.
-    pub fn push(&self, value: T) -> Result<(), T> {
+    ///
+    /// On success, returns the item's **absolute queue position** (0 for
+    /// the first item ever pushed, 1 for the second, ...).  With a single
+    /// consumer, items are dequeued in exactly this order, so position
+    /// `p` being consumed implies positions `0..p` were consumed too —
+    /// the property completion tickets are built on.
+    pub fn push(&self, value: T) -> Result<usize, T> {
         let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
         loop {
             let slot = &self.slots[pos & self.mask];
@@ -91,7 +97,7 @@ impl<T> BatchQueue<T> {
                         // and consumers wait for the Release store below.
                         unsafe { (*slot.value.get()).write(value) };
                         slot.sequence.store(pos.wrapping_add(1), Ordering::Release);
-                        return Ok(());
+                        return Ok(pos);
                     }
                     Err(actual) => pos = actual,
                 }
@@ -157,13 +163,22 @@ mod tests {
     fn fifo_single_thread() {
         let q = BatchQueue::with_capacity(8);
         for i in 0..8 {
-            q.push(i).unwrap();
+            assert_eq!(q.push(i).unwrap(), i, "push reports the queue position");
         }
         assert!(q.push(99).is_err(), "ring must report full");
         for i in 0..8 {
             assert_eq!(q.pop(), Some(i));
         }
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn positions_are_absolute_across_wraps() {
+        let q = BatchQueue::with_capacity(2);
+        for expect in 0..5usize {
+            assert_eq!(q.push(0u8).unwrap(), expect);
+            q.pop().unwrap();
+        }
     }
 
     #[test]
@@ -206,7 +221,7 @@ mod tests {
                         let mut v = p * PER_PRODUCER + i;
                         loop {
                             match q.push(v) {
-                                Ok(()) => break,
+                                Ok(_pos) => break,
                                 Err(back) => {
                                     v = back;
                                     std::thread::yield_now();

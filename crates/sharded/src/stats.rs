@@ -1,20 +1,28 @@
 //! Ingest-pipeline statistics.
 
 /// Counters for one shard's ingest lane.
+///
+/// Since the pipeline carries typed [`dgap::Update`] batches, the counters
+/// are denominated in *operations* (inserts **and** deletes), not edges.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ShardIngestStats {
-    /// Edges routed to this shard by `submit`.
-    pub edges_submitted: u64,
-    /// Edges the shard worker has applied to the backend (failed inserts
-    /// included, so that the drain barrier always terminates).
-    pub edges_applied: u64,
+    /// Operations routed to this shard by `submit`.
+    pub ops_submitted: u64,
+    /// Operations the shard worker has taken out of a batch and offered to
+    /// the backend (failed ones included, so the drain barrier always
+    /// terminates).
+    pub ops_applied: u64,
+    /// Edge deletions among the applied operations.
+    pub deletes_applied: u64,
     /// Batches enqueued to this shard.
     pub batches_submitted: u64,
+    /// Batches the worker has fully applied (the lane's ticket watermark).
+    pub batches_drained: u64,
     /// Times a producer found this shard's queue full and had to wait
     /// (backpressure events).
     pub backpressure_stalls: u64,
-    /// Edge inserts the backend rejected.
-    pub insert_errors: u64,
+    /// Operations the backend rejected.
+    pub op_errors: u64,
 }
 
 /// Aggregated pipeline statistics (sum over shards).
@@ -25,14 +33,19 @@ pub struct PipelineStats {
 }
 
 impl PipelineStats {
-    /// Total edges routed into the pipeline.
-    pub fn edges_submitted(&self) -> u64 {
-        self.shards.iter().map(|s| s.edges_submitted).sum()
+    /// Total operations routed into the pipeline.
+    pub fn ops_submitted(&self) -> u64 {
+        self.shards.iter().map(|s| s.ops_submitted).sum()
     }
 
-    /// Total edges applied to backends.
-    pub fn edges_applied(&self) -> u64 {
-        self.shards.iter().map(|s| s.edges_applied).sum()
+    /// Total operations applied to backends.
+    pub fn ops_applied(&self) -> u64 {
+        self.shards.iter().map(|s| s.ops_applied).sum()
+    }
+
+    /// Total edge deletions applied.
+    pub fn deletes_applied(&self) -> u64 {
+        self.shards.iter().map(|s| s.deletes_applied).sum()
     }
 
     /// Total batches enqueued.
@@ -40,27 +53,33 @@ impl PipelineStats {
         self.shards.iter().map(|s| s.batches_submitted).sum()
     }
 
+    /// Total batches fully applied across shards (the pipeline's write
+    /// watermark, as reported by [`crate::IngestPipeline::watermark`]).
+    pub fn batches_drained(&self) -> u64 {
+        self.shards.iter().map(|s| s.batches_drained).sum()
+    }
+
     /// Total backpressure events across shards.
     pub fn backpressure_stalls(&self) -> u64 {
         self.shards.iter().map(|s| s.backpressure_stalls).sum()
     }
 
-    /// Total rejected inserts across shards.
-    pub fn insert_errors(&self) -> u64 {
-        self.shards.iter().map(|s| s.insert_errors).sum()
+    /// Total rejected operations across shards.
+    pub fn op_errors(&self) -> u64 {
+        self.shards.iter().map(|s| s.op_errors).sum()
     }
 
-    /// Ratio of the busiest shard's submitted edges to the ideal even
+    /// Ratio of the busiest shard's submitted operations to the ideal even
     /// share — 1.0 is perfectly balanced.  Returns 0.0 before any ingest.
     pub fn skew(&self) -> f64 {
-        let total = self.edges_submitted();
+        let total = self.ops_submitted();
         if total == 0 || self.shards.is_empty() {
             return 0.0;
         }
         let max = self
             .shards
             .iter()
-            .map(|s| s.edges_submitted)
+            .map(|s| s.ops_submitted)
             .max()
             .unwrap_or(0);
         let ideal = total as f64 / self.shards.len() as f64;
@@ -77,26 +96,32 @@ mod tests {
         let stats = PipelineStats {
             shards: vec![
                 ShardIngestStats {
-                    edges_submitted: 30,
-                    edges_applied: 30,
+                    ops_submitted: 30,
+                    ops_applied: 30,
+                    deletes_applied: 5,
                     batches_submitted: 3,
+                    batches_drained: 3,
                     backpressure_stalls: 1,
-                    insert_errors: 0,
+                    op_errors: 0,
                 },
                 ShardIngestStats {
-                    edges_submitted: 10,
-                    edges_applied: 9,
+                    ops_submitted: 10,
+                    ops_applied: 9,
+                    deletes_applied: 0,
                     batches_submitted: 1,
+                    batches_drained: 0,
                     backpressure_stalls: 0,
-                    insert_errors: 1,
+                    op_errors: 1,
                 },
             ],
         };
-        assert_eq!(stats.edges_submitted(), 40);
-        assert_eq!(stats.edges_applied(), 39);
+        assert_eq!(stats.ops_submitted(), 40);
+        assert_eq!(stats.ops_applied(), 39);
+        assert_eq!(stats.deletes_applied(), 5);
         assert_eq!(stats.batches_submitted(), 4);
+        assert_eq!(stats.batches_drained(), 3);
         assert_eq!(stats.backpressure_stalls(), 1);
-        assert_eq!(stats.insert_errors(), 1);
+        assert_eq!(stats.op_errors(), 1);
         // busiest shard has 30 of 40; ideal share is 20.
         assert!((stats.skew() - 1.5).abs() < 1e-12);
     }
@@ -104,7 +129,7 @@ mod tests {
     #[test]
     fn empty_stats_are_quiet() {
         let stats = PipelineStats::default();
-        assert_eq!(stats.edges_submitted(), 0);
+        assert_eq!(stats.ops_submitted(), 0);
         assert_eq!(stats.skew(), 0.0);
     }
 }

@@ -1,7 +1,8 @@
-//! The cross-shard composite snapshot.
+//! The cross-shard composite snapshots: borrowed ([`ShardedView`]) and
+//! owned ([`OwnedShardedView`]).
 
 use crate::partition::Partitioner;
-use dgap::{GraphView, SnapshotSource, VertexId};
+use dgap::{FrozenView, GraphView, SnapshotSource, VertexId};
 
 /// A consistent, read-only view over every shard of a
 /// [`crate::ShardedGraph`], implementing [`GraphView`] so the analytics
@@ -57,5 +58,70 @@ impl<'g, G: SnapshotSource + 'g> GraphView for ShardedView<'g, G> {
 
     fn for_each_neighbor(&self, v: VertexId, f: &mut dyn FnMut(VertexId)) {
         self.views[self.partitioner.shard_of(v)].for_each_neighbor(v, f);
+    }
+}
+
+/// An **owned** cross-shard snapshot: the same shard-routed composite as
+/// [`ShardedView`], but with every per-shard snapshot materialised into a
+/// [`FrozenView`], so the whole thing borrows nothing and can live in an
+/// `Arc` for as long as anyone wants to query it.
+///
+/// This is the snapshot shape the service layer caches per epoch: capture
+/// once when the write watermark advances, then answer any number of
+/// queries from worker threads without holding a borrow of the graph.
+///
+/// Because [`FrozenView`] stores *resolved* adjacency, `degree` and
+/// `num_edges` here count visible neighbours (tombstones applied) — after
+/// deletions they match the in-memory reference oracle, unlike the
+/// record-counting borrowed snapshots.
+pub struct OwnedShardedView {
+    views: Vec<FrozenView>,
+    partitioner: Partitioner,
+}
+
+impl OwnedShardedView {
+    pub(crate) fn new(views: Vec<FrozenView>, partitioner: Partitioner) -> Self {
+        debug_assert_eq!(views.len(), partitioner.num_shards());
+        OwnedShardedView { views, partitioner }
+    }
+
+    /// The materialised snapshot of `shard`.
+    pub fn shard_view(&self, shard: usize) -> &FrozenView {
+        &self.views[shard]
+    }
+
+    /// Number of shards backing this view.
+    pub fn num_shards(&self) -> usize {
+        self.views.len()
+    }
+
+    /// The neighbours of `v` as a borrowed slice (zero-copy: the adjacency
+    /// of a vertex lives contiguously inside its owning shard's snapshot).
+    pub fn neighbor_slice(&self, v: VertexId) -> &[VertexId] {
+        self.views[self.partitioner.shard_of(v)].neighbor_slice(v)
+    }
+}
+
+impl GraphView for OwnedShardedView {
+    fn num_vertices(&self) -> usize {
+        self.views
+            .iter()
+            .map(|v| v.num_vertices())
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn num_edges(&self) -> usize {
+        self.views.iter().map(|v| v.num_edges()).sum()
+    }
+
+    fn degree(&self, v: VertexId) -> usize {
+        self.neighbor_slice(v).len()
+    }
+
+    fn for_each_neighbor(&self, v: VertexId, f: &mut dyn FnMut(VertexId)) {
+        for &d in self.neighbor_slice(v) {
+            f(d);
+        }
     }
 }

@@ -23,11 +23,11 @@ fn main() {
         list.max_degree()
     );
 
-    let cfg = ShardedConfig {
-        num_shards: 4,
-        queue_capacity: 64,
-        batch_size: 4096,
-    };
+    let cfg = ShardedConfig::builder()
+        .shards(4)
+        .queue_capacity(64)
+        .batch_size(4096)
+        .build();
     let graph = Arc::new(
         ShardedGraph::create_dgap(cfg.num_shards, num_vertices, num_edges, |_| {
             PmemConfig::with_capacity(192 << 20).persistence_tracking(false)
@@ -38,7 +38,7 @@ fn main() {
     let pipeline = IngestPipeline::new(Arc::clone(&graph), &cfg);
     let start = Instant::now();
     for batch in list.batches(cfg.batch_size) {
-        pipeline.submit(batch);
+        pipeline.submit_edges(batch).expect("submit");
     }
     pipeline.flush_all().expect("flush_all");
     let elapsed = start.elapsed().as_secs_f64();
@@ -46,7 +46,7 @@ fn main() {
     let stats = pipeline.stats();
     println!(
         "ingested {} edges through {} shards in {elapsed:.3}s ({:.2} MEPS wall)",
-        stats.edges_applied(),
+        stats.ops_applied(),
         cfg.num_shards,
         num_edges as f64 / elapsed / 1e6,
     );

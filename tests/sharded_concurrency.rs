@@ -15,11 +15,11 @@ fn concurrent_producers_lose_no_edges() {
     let graph = Arc::new(ShardedGraph::create_dgap_small_test(4).expect("create"));
     let pipeline = Arc::new(IngestPipeline::new(
         Arc::clone(&graph),
-        &ShardedConfig {
-            num_shards: 4,
-            queue_capacity: 2, // tiny: backpressure must engage
-            batch_size: 128,
-        },
+        &ShardedConfig::builder()
+            .shards(4)
+            .queue_capacity(2) // tiny: backpressure must engage
+            .batch_size(128)
+            .build(),
     ));
 
     let streams: Vec<Vec<(u64, u64)>> = (0..producers)
@@ -31,7 +31,7 @@ fn concurrent_producers_lose_no_edges() {
             let pipeline = Arc::clone(&pipeline);
             scope.spawn(move || {
                 for batch in stream.chunks(128) {
-                    pipeline.submit(batch);
+                    pipeline.submit_edges(batch).expect("submit");
                 }
             });
         }
@@ -41,8 +41,8 @@ fn concurrent_producers_lose_no_edges() {
     let total = producers * per_producer;
     assert_eq!(graph.num_edges(), total);
     let stats = pipeline.stats();
-    assert_eq!(stats.edges_applied() as usize, total);
-    assert_eq!(stats.insert_errors(), 0);
+    assert_eq!(stats.ops_applied() as usize, total);
+    assert_eq!(stats.op_errors(), 0);
 
     // Adjacency multisets must match the union oracle (order across
     // producers is unspecified, so compare sorted).
@@ -65,7 +65,7 @@ fn snapshots_during_ingest_are_consistent_prefixes() {
     let edges = random_edges(NUM_VERTICES, 4_000, 0xBEEF);
 
     for batch in edges.chunks(256) {
-        pipeline.submit(batch);
+        pipeline.submit_edges(batch).expect("submit");
         // A mid-ingest snapshot must be internally sane: every degree it
         // reports is backed by readable adjacency of the same length.
         let view = graph.consistent_view();

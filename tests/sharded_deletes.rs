@@ -1,0 +1,145 @@
+//! Deletes through the sharded ingest pipeline: interleaved insert/delete
+//! streams checked against the `ReferenceGraph` oracle (which models
+//! `remove_edge`), including pagerank parity after deletions.
+
+use analytics::pagerank;
+use dgap::{GraphView, OwnedSnapshotSource, ReferenceGraph, Update};
+use sharded::{IngestPipeline, ShardedConfig, ShardedGraph};
+use std::sync::Arc;
+use workloads::{GeneratorConfig, GraphKind};
+
+const NUM_VERTICES: usize = 192;
+const NUM_EDGES: usize = 3000;
+
+/// A deterministic interleaving: stream the R-MAT edges, and after every
+/// third insert issue a delete.  Most deletes target an edge from earlier
+/// in the stream (they must land); every few instead target an edge whose
+/// insert comes *later* (the tombstone precedes the insert, so unless the
+/// stream carried an earlier duplicate, the edge must survive).  R-MAT
+/// duplicates exercise the one-occurrence-per-delete rule throughout.
+fn interleaved_ops() -> Vec<Update> {
+    let list = GeneratorConfig::new(NUM_VERTICES, NUM_EDGES, GraphKind::RMat, 0x5EED).generate();
+    let mut ops = Vec::with_capacity(list.edges.len() * 4 / 3);
+    for (i, &(s, d)) in list.edges.iter().enumerate() {
+        ops.push(Update::InsertEdge(s, d));
+        if i % 3 == 2 {
+            let j = if i % 9 == 8 {
+                (i * 2 + 1) % list.edges.len()
+            } else {
+                i - i / 3
+            };
+            let (ds, dd) = list.edges[j];
+            ops.push(Update::DeleteEdge(ds, dd));
+        }
+    }
+    ops
+}
+
+/// The oracle state after applying `ops` in order.
+fn oracle_of(ops: &[Update]) -> ReferenceGraph {
+    let mut oracle = ReferenceGraph::new(NUM_VERTICES);
+    for &op in ops {
+        match op {
+            Update::InsertVertex(_) => {}
+            Update::InsertEdge(s, d) => oracle.add_edge(s, d),
+            Update::DeleteEdge(s, d) => {
+                oracle.remove_edge(s, d);
+            }
+        }
+    }
+    oracle
+}
+
+fn ingest(ops: &[Update], shards: usize) -> Arc<ShardedGraph<dgap::Dgap>> {
+    let graph = Arc::new(ShardedGraph::create_dgap_small_test(shards).expect("create"));
+    let cfg = ShardedConfig::builder()
+        .shards(shards)
+        .queue_capacity(8)
+        .batch_size(256)
+        .build();
+    let pipeline = IngestPipeline::new(Arc::clone(&graph), &cfg);
+    for chunk in ops.chunks(cfg.batch_size) {
+        pipeline.submit(chunk).expect("submit");
+    }
+    pipeline.flush_all().expect("flush_all");
+    let stats = pipeline.stats();
+    assert_eq!(stats.ops_applied() as usize, ops.len());
+    assert_eq!(stats.op_errors(), 0, "no backend may reject these ops");
+    assert!(stats.deletes_applied() > 0, "the stream must carry deletes");
+    graph
+}
+
+fn sorted(mut v: Vec<u64>) -> Vec<u64> {
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn delete_interleavings_match_the_oracle_for_every_shard_count() {
+    let ops = interleaved_ops();
+    let oracle = oracle_of(&ops);
+    for shards in [1usize, 2, 4] {
+        let graph = ingest(&ops, shards);
+        // The owned snapshot resolves tombstones, so both degrees and
+        // adjacency compare exactly against the oracle.  (The stream may
+        // contain duplicate edges and a delete may cancel either copy, so
+        // adjacency compares as a sorted multiset.)
+        let view = graph.owned_view();
+        assert_eq!(
+            view.num_edges(),
+            GraphView::num_edges(&oracle),
+            "{shards} shards"
+        );
+        for v in 0..NUM_VERTICES as u64 {
+            assert_eq!(
+                view.degree(v),
+                oracle.degree(v),
+                "{shards} shards: degree of {v}"
+            );
+            assert_eq!(
+                sorted(view.neighbors(v)),
+                sorted(oracle.neighbors(v)),
+                "{shards} shards: neighbours of {v}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pagerank_after_deletions_matches_the_oracle_within_tolerance() {
+    let ops = interleaved_ops();
+    let oracle = oracle_of(&ops);
+    let reference_ranks = pagerank(&oracle, 20);
+    for shards in [1usize, 2, 4] {
+        let graph = ingest(&ops, shards);
+        let ranks = pagerank(&graph.owned_view(), 20);
+        assert_eq!(ranks.len(), reference_ranks.len());
+        for (v, (a, b)) in ranks.iter().zip(&reference_ranks).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-6,
+                "{shards} shards: pagerank of vertex {v} after deletions: {a} vs {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn deleting_absent_edges_is_a_quiet_no_op() {
+    let graph = Arc::new(ShardedGraph::create_dgap_small_test(2).expect("create"));
+    let pipeline = IngestPipeline::new(Arc::clone(&graph), &ShardedConfig::small_test());
+    let ticket = pipeline
+        .submit(&[
+            Update::InsertEdge(1, 2),
+            Update::DeleteEdge(1, 3),   // never inserted
+            Update::DeleteEdge(50, 60), // untouched vertex
+        ])
+        .expect("submit");
+    pipeline.wait_for(&ticket).expect("wait");
+    pipeline
+        .flush_all()
+        .expect("absent-edge deletes are not errors");
+    assert_eq!(pipeline.stats().op_errors(), 0);
+    let view = graph.owned_view();
+    assert_eq!(view.neighbors(1), vec![2]);
+    assert_eq!(view.degree(50), 0);
+}

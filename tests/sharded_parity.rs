@@ -41,20 +41,20 @@ fn sharded_dgap(list: &EdgeList, shards: usize) -> Arc<ShardedGraph<Dgap>> {
         })
         .expect("create sharded DGAP"),
     );
-    let cfg = ShardedConfig {
-        num_shards: shards,
-        queue_capacity: 8,
-        batch_size: 512,
-    };
+    let cfg = ShardedConfig::builder()
+        .shards(shards)
+        .queue_capacity(8)
+        .batch_size(512)
+        .build();
     let pipeline = IngestPipeline::new(Arc::clone(&graph), &cfg);
     for batch in list.batches(cfg.batch_size) {
-        pipeline.submit(batch);
+        pipeline.submit_edges(batch).expect("submit");
     }
     pipeline.flush_all().expect("flush_all");
     let stats = pipeline.stats();
-    assert_eq!(stats.edges_submitted() as usize, list.num_edges());
-    assert_eq!(stats.edges_applied() as usize, list.num_edges());
-    assert_eq!(stats.insert_errors(), 0);
+    assert_eq!(stats.ops_submitted() as usize, list.num_edges());
+    assert_eq!(stats.ops_applied() as usize, list.num_edges());
+    assert_eq!(stats.op_errors(), 0);
     graph
 }
 
