@@ -634,6 +634,130 @@ pub fn sharding(opts: &BenchOptions) -> Table {
     table
 }
 
+/// `snapshot`: cost of materialising the service-grade owned snapshot
+/// ([`dgap::FrozenView`]), sequential vs work-stealing-parallel, plus the
+/// composite capture paths the service layer actually exercises.  Not a
+/// paper artefact — this measures the PR 3 snapshot pipeline: parallel
+/// degree-count → prefix-sum → parallel adjacency fill, shard captures
+/// running concurrently, and the incremental refresh that re-captures one
+/// shard while sharing the rest.
+///
+/// Rows (p50/p99 over trials, throughput = visible edges materialised per
+/// wall second):
+///
+/// * `seq`            — [`dgap::FrozenView::capture_sequential`] baseline
+/// * `par@T`          — parallel [`dgap::FrozenView::capture`] with the
+///   split width bounded to each `--threads` entry
+/// * `shards-par`     — [`sharded::ShardedGraph`]'s full owned composite
+///   (per-shard captures run concurrently, unbounded width)
+/// * `incremental-1`  — the same composite refreshed after touching **one**
+///   shard: every other shard's `Arc<FrozenView>` is reused
+pub fn snapshot(opts: &BenchOptions) -> Table {
+    use sharded::ShardedGraph;
+
+    const TRIALS: usize = 7;
+    /// One delete per this many inserts, so tombstone resolution is part
+    /// of every measured capture.
+    const DELETE_EVERY: usize = 64;
+
+    let w = Workload::build(ORKUT, opts);
+    let num_edges = w.edges.len();
+    let shards = opts.shard_counts.iter().copied().max().unwrap_or(4).max(2);
+    let per_shard_edges = num_edges.div_ceil(shards);
+    let bytes = (per_shard_edges * 3 * 1024)
+        .max(w.num_vertices * 1024)
+        .clamp(64 << 20, 1 << 30);
+    let graph = Arc::new(
+        ShardedGraph::create_dgap(shards, w.num_vertices, num_edges, |_| {
+            PmemConfig::with_capacity(bytes).persistence_tracking(false)
+        })
+        .expect("create sharded DGAP"),
+    );
+    for (i, &(s, d)) in w.edges.iter().enumerate() {
+        graph.insert_edge(s, d).expect("insert");
+        if i % DELETE_EVERY == 0 {
+            graph.delete_edge(s, d).expect("delete");
+        }
+    }
+
+    let mut table = Table::new(
+        format!(
+            "Snapshot: FrozenView capture, sequential vs parallel \
+             (Orkut-scaled, {num_edges} edge records, {shards} shards)"
+        ),
+        &[
+            "mode",
+            "threads",
+            "trials",
+            "p50 ms",
+            "p99 ms",
+            "throughput MEPS",
+            "speedup vs seq",
+        ],
+    );
+
+    let view = graph.consistent_view();
+    let visible_edges = dgap::GraphView::num_edges(&dgap::FrozenView::capture_sequential(&view));
+    let timed = |f: &mut dyn FnMut()| -> (f64, f64) {
+        let mut samples_ms: Vec<f64> = (0..TRIALS)
+            .map(|_| {
+                let start = std::time::Instant::now();
+                f();
+                start.elapsed().as_secs_f64() * 1e3
+            })
+            .collect();
+        samples_ms.sort_by(f64::total_cmp);
+        (percentile(&samples_ms, 0.50), percentile(&samples_ms, 0.99))
+    };
+    let mut rows: Vec<(String, String, f64, f64)> = Vec::new();
+
+    let (seq_p50, seq_p99) = timed(&mut || {
+        std::hint::black_box(dgap::FrozenView::capture_sequential(&view));
+    });
+    rows.push(("seq".into(), "1".into(), seq_p50, seq_p99));
+
+    for &threads in &opts.thread_counts {
+        let (p50, p99) = timed(&mut || {
+            with_threads(threads, || {
+                std::hint::black_box(dgap::FrozenView::capture(&view));
+            });
+        });
+        rows.push(("par".into(), format!("{threads}"), p50, p99));
+    }
+
+    let (p50, p99) = timed(&mut || {
+        std::hint::black_box(graph.consistent_view_arc());
+    });
+    rows.push(("shards-par".into(), "pool".into(), p50, p99));
+
+    // Incremental: keep every shard's snapshot except vertex 0's owner,
+    // touch that shard, and refresh — the service's single-shard-burst
+    // path.
+    let warm = graph.consistent_view_arc();
+    let touched = graph.shard_of(0);
+    graph.insert_edge(0, 1).expect("insert");
+    let (p50, p99) = timed(&mut || {
+        let reuse: Vec<Option<Arc<dgap::FrozenView>>> = (0..shards)
+            .map(|i| (i != touched).then(|| warm.shard_view_arc(i)))
+            .collect();
+        std::hint::black_box(graph.owned_view_reusing(reuse));
+    });
+    rows.push(("incremental-1".into(), "pool".into(), p50, p99));
+
+    for (mode, threads, p50, p99) in rows {
+        table.row(vec![
+            mode,
+            threads,
+            format!("{TRIALS}"),
+            format!("{p50:.3}"),
+            format!("{p99:.3}"),
+            meps(visible_edges as f64 / (p50 / 1e3) / 1e6),
+            ratio(seq_p50 / p50),
+        ]);
+    }
+    table
+}
+
 /// `serve`: sustained mixed mutate/query traffic through the typed
 /// [`service::GraphService`] front-end, per shard count.  Four client
 /// threads stream insert batches (with periodic deletes of earlier edges)
@@ -665,9 +789,11 @@ pub fn serve(opts: &BenchOptions) -> Table {
             "mutate ops",
             "queries",
             "wall s",
-            "mutate MOPS",
+            "throughput MOPS",
             "query p50 ms",
             "query p99 ms",
+            "refresh us",
+            "captures/refresh",
         ],
     );
 
@@ -727,6 +853,14 @@ pub fn serve(opts: &BenchOptions) -> Table {
         });
         service.client().flush().expect("flush");
         let wall = start.elapsed().as_secs_f64();
+        // Snapshot-refresh economics over the whole run: mean time per
+        // epoch refresh, and how many shard captures each refresh paid for
+        // (all-shard write traffic approaches the shard count; single-shard
+        // bursts approach 1 — the incremental path's whole point).
+        let stats = service.stats();
+        let refreshes = stats.snapshot_refreshes.max(1);
+        let refresh_us = stats.refresh_nanos as f64 / refreshes as f64 / 1e3;
+        let captures_per_refresh = stats.shard_captures as f64 / refreshes as f64;
 
         let mutate_ops: usize = per_client.iter().map(|(m, _)| m).sum();
         let mut latencies: Vec<f64> = per_client.into_iter().flat_map(|(_, l)| l).collect();
@@ -740,6 +874,8 @@ pub fn serve(opts: &BenchOptions) -> Table {
             meps(mutate_ops as f64 / wall / 1e6),
             format!("{:.3}", percentile(&latencies, 0.50)),
             format!("{:.3}", percentile(&latencies, 0.99)),
+            format!("{refresh_us:.1}"),
+            format!("{captures_per_refresh:.2}"),
         ]);
         service.shutdown();
     }
@@ -809,6 +945,17 @@ mod tests {
             ..tiny()
         };
         assert_eq!(sharding(&opts).len(), 2);
+    }
+
+    #[test]
+    fn snapshot_runner_emits_all_modes() {
+        let opts = BenchOptions {
+            shard_counts: vec![1, 2],
+            ..tiny()
+        };
+        // seq + one row per thread count + shards-par + incremental-1.
+        let t = snapshot(&opts);
+        assert_eq!(t.len(), 1 + opts.thread_counts.len() + 2);
     }
 
     #[test]

@@ -18,7 +18,13 @@
 //! | `fig9`     | Fig. 9         | per-section edge-log size sweep (64 B – 16 KiB) |
 //! | `recovery` | §4.4           | graceful-restart vs crash-recovery time |
 //! | `sharding` | beyond paper   | `crates/sharded` batched ingest + kernels vs shard count |
-//! | `serve`    | beyond paper   | `crates/service` mixed mutate/query traffic: throughput + p50/p99 query latency |
+//! | `serve`    | beyond paper   | `crates/service` mixed mutate/query traffic: throughput + p50/p99 query latency + snapshot-refresh cost |
+//! | `snapshot` | beyond paper   | `FrozenView` capture: sequential vs work-stealing-parallel vs incremental per-shard refresh |
+//!
+//! Every experiment can additionally emit its rows as machine-readable
+//! JSON (`dgap-bench --json <dir>` writes one `BENCH_<experiment>.json`
+//! per experiment, config included), so the performance trajectory is
+//! trackable across PRs.
 //!
 //! This library crate holds the pieces the binary and the Criterion
 //! micro-benchmarks share: a uniform wrapper over every graph system

@@ -2,11 +2,14 @@
 //!
 //! ```text
 //! dgap-bench <experiment> [--scale N] [--threads a,b,c] [--shards a,b,c]
+//!                         [--json DIR]
 //!
 //! experiments:
 //!   fig1a fig1b fig1c fig5 fig6 table3 fig7 fig8 table4 table5 fig9 recovery
 //!   sharding     (beyond the paper: crates/sharded ingest + kernel scaling)
 //!   serve        (beyond the paper: GraphService mixed mutate/query traffic)
+//!   snapshot     (beyond the paper: sequential vs parallel/incremental
+//!                 FrozenView capture)
 //!   motivation   (fig1a + fig1b + fig1c)
 //!   insertion    (fig5 + fig6 + table3)
 //!   analysis     (fig7 + fig8 + table4)
@@ -17,14 +20,17 @@
 //!   --scale N       divide every Table 2 dataset by N   (default 8192)
 //!   --threads LIST  writer-thread counts for Table 3    (default 1,8,16)
 //!   --shards LIST   shard counts for sharding           (default 1,2,4,8)
+//!   --json DIR      also write each experiment's rows + config as
+//!                   machine-readable DIR/BENCH_<experiment>.json
 //! ```
 
 use bench::experiments as exp;
 use bench::{BenchOptions, Table};
 
-fn parse_args() -> (Vec<String>, BenchOptions) {
+fn parse_args() -> (Vec<String>, BenchOptions, Option<std::path::PathBuf>) {
     let mut opts = BenchOptions::default();
     let mut experiments = Vec::new();
+    let mut json_dir = None;
     let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -50,6 +56,10 @@ fn parse_args() -> (Vec<String>, BenchOptions) {
                     "--shards values must be at least 1"
                 );
             }
+            "--json" => {
+                let v = args.next().expect("--json needs a directory path");
+                json_dir = Some(std::path::PathBuf::from(v));
+            }
             "--help" | "-h" => {
                 print_usage();
                 std::process::exit(0);
@@ -66,19 +76,21 @@ fn parse_args() -> (Vec<String>, BenchOptions) {
         print_usage();
         std::process::exit(2);
     }
-    (experiments, opts)
+    (experiments, opts, json_dir)
 }
 
 fn print_usage() {
     eprintln!(
-        "usage: dgap-bench <experiment>... [--scale N] [--threads a,b,c] [--shards a,b,c]\n\
+        "usage: dgap-bench <experiment>... [--scale N] [--threads a,b,c] [--shards a,b,c] [--json DIR]\n\
          experiments: fig1a fig1b fig1c fig5 fig6 table3 fig7 fig8 table4 table5 fig9 recovery\n\
          beyond the paper: sharding (ingest + kernels vs shard count; see --shards)\n\
                       serve    (GraphService mixed mutate/query traffic + latency percentiles)\n\
+                      snapshot (sequential vs parallel/incremental FrozenView capture)\n\
          groups:      motivation insertion analysis components all\n\
          options:     --scale N       divide every Table 2 dataset by N (default 8192)\n\
                       --threads LIST  writer-thread counts for table3 (default 1,8,16)\n\
-                      --shards LIST   shard counts for sharding (default 1,2,4,8)"
+                      --shards LIST   shard counts for sharding (default 1,2,4,8)\n\
+                      --json DIR      also write DIR/BENCH_<experiment>.json per experiment"
     );
 }
 
@@ -98,13 +110,14 @@ fn expand(name: &str) -> Vec<&'static str> {
         "recovery" => vec!["recovery"],
         "sharding" => vec!["sharding"],
         "serve" => vec!["serve"],
+        "snapshot" => vec!["snapshot"],
         "motivation" => vec!["fig1a", "fig1b", "fig1c"],
         "insertion" => vec!["fig5", "fig6", "table3"],
         "analysis" => vec!["fig7", "fig8", "table4"],
         "components" => vec!["table5", "fig9", "recovery"],
         "all" => vec![
             "fig1a", "fig1b", "fig1c", "fig5", "fig6", "table3", "fig7", "fig8", "table4",
-            "table5", "fig9", "recovery", "sharding", "serve",
+            "table5", "fig9", "recovery", "sharding", "serve", "snapshot",
         ],
         other => {
             eprintln!("unknown experiment: {other}");
@@ -130,16 +143,29 @@ fn run(name: &str, opts: &BenchOptions) -> Table {
         "recovery" => exp::recovery(opts),
         "sharding" => exp::sharding(opts),
         "serve" => exp::serve(opts),
+        "snapshot" => exp::snapshot(opts),
         _ => unreachable!("expand() filters unknown names"),
     }
 }
 
+/// Serialise the run's options as the `config` object embedded in every
+/// `BENCH_*.json` (`Vec<usize>`'s `Debug` form is valid JSON).
+fn config_json(opts: &BenchOptions) -> String {
+    format!(
+        "{{\"scale\": {}, \"thread_counts\": {:?}, \"shard_counts\": {:?}, \"warmup_fraction\": {}}}",
+        opts.scale, opts.thread_counts, opts.shard_counts, opts.warmup_fraction
+    )
+}
+
 fn main() {
-    let (requested, opts) = parse_args();
+    let (requested, opts, json_dir) = parse_args();
     println!(
         "# dgap-bench: scale 1/{}, writer threads {:?}, shard counts {:?}",
         opts.scale, opts.thread_counts, opts.shard_counts
     );
+    if let Some(dir) = &json_dir {
+        std::fs::create_dir_all(dir).expect("create --json directory");
+    }
     let mut names: Vec<&'static str> = Vec::new();
     for r in &requested {
         for n in expand(r) {
@@ -156,5 +182,11 @@ fn main() {
             "({name} completed in {:.1}s)\n",
             start.elapsed().as_secs_f64()
         );
+        if let Some(dir) = &json_dir {
+            let path = dir.join(format!("BENCH_{name}.json"));
+            std::fs::write(&path, table.to_json(name, &config_json(&opts)))
+                .expect("write BENCH json");
+            println!("(wrote {})\n", path.display());
+        }
     }
 }

@@ -79,6 +79,91 @@ impl Table {
     pub fn print(&self) {
         println!("{}", self.render());
     }
+
+    /// Render the table as a machine-readable JSON document (what
+    /// `dgap-bench --json <dir>` writes to `BENCH_<experiment>.json`).
+    ///
+    /// Column headers become snake_case keys; cells that parse as finite
+    /// numbers are emitted as JSON numbers, everything else as strings.
+    /// `config_json` must already be a JSON object (the caller serialises
+    /// the run's [`crate::BenchOptions`]); it is embedded verbatim.
+    pub fn to_json(&self, experiment: &str, config_json: &str) -> String {
+        let keys: Vec<String> = self.header.iter().map(|h| snake_case(h)).collect();
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"experiment\": \"{}\",\n",
+            json_escape(experiment)
+        ));
+        out.push_str(&format!("  \"title\": \"{}\",\n", json_escape(&self.title)));
+        out.push_str(&format!("  \"config\": {config_json},\n"));
+        out.push_str(&format!(
+            "  \"columns\": [{}],\n",
+            keys.iter()
+                .map(|k| format!("\"{}\"", json_escape(k)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        out.push_str("  \"rows\": [\n");
+        for (ri, row) in self.rows.iter().enumerate() {
+            let fields: Vec<String> = keys
+                .iter()
+                .zip(row.iter())
+                .map(|(k, cell)| format!("\"{}\": {}", json_escape(k), json_cell(cell)))
+                .collect();
+            let comma = if ri + 1 < self.rows.len() { "," } else { "" };
+            out.push_str(&format!("    {{{}}}{comma}\n", fields.join(", ")));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Lower-case a header, mapping every run of non-alphanumerics to one `_`
+/// ("query p50 ms" -> "query_p50_ms").
+fn snake_case(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut pending_sep = false;
+    for c in s.chars() {
+        if c.is_ascii_alphanumeric() {
+            if pending_sep && !out.is_empty() {
+                out.push('_');
+            }
+            pending_sep = false;
+            out.push(c.to_ascii_lowercase());
+        } else {
+            pending_sep = true;
+        }
+    }
+    out
+}
+
+/// Escape a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A table cell as a JSON value: a number when it parses as one (re-emitted
+/// through `f64`'s `Display`, which is always valid JSON for finite
+/// values), a string otherwise.
+fn json_cell(cell: &str) -> String {
+    match cell.trim().parse::<f64>() {
+        Ok(x) if x.is_finite() && cell.trim().chars().all(|c| !c.is_ascii_alphabetic()) => {
+            format!("{x}")
+        }
+        _ => format!("\"{}\"", json_escape(cell)),
+    }
 }
 
 /// Format seconds with three significant decimals.
@@ -129,5 +214,38 @@ mod tests {
         let t = Table::new("empty", &["a"]);
         assert!(t.is_empty());
         assert!(t.render().contains("empty"));
+    }
+
+    #[test]
+    fn snake_case_headers() {
+        assert_eq!(snake_case("query p50 ms"), "query_p50_ms");
+        assert_eq!(snake_case("throughput MEPS"), "throughput_meps");
+        assert_eq!(snake_case("captures/refresh"), "captures_refresh");
+        assert_eq!(snake_case("  shards "), "shards");
+    }
+
+    #[test]
+    fn json_cells_type_correctly() {
+        assert_eq!(json_cell("2.52"), "2.52");
+        assert_eq!(json_cell("42"), "42");
+        assert_eq!(json_cell("T1"), "\"T1\"");
+        assert_eq!(json_cell("2^8"), "\"2^8\"");
+        assert_eq!(json_cell("NaN"), "\"NaN\"");
+        assert_eq!(json_cell("seq \"quoted\""), "\"seq \\\"quoted\\\"\"");
+    }
+
+    #[test]
+    fn to_json_emits_one_object_per_row() {
+        let mut t = Table::new("Demo", &["system", "throughput MEPS", "p50 ms"]);
+        t.row(vec!["DGAP".into(), "2.52".into(), "0.125".into()]);
+        t.row(vec!["BAL".into(), "1.10".into(), "0.250".into()]);
+        let j = t.to_json("demo", "{\"scale\":8192}");
+        assert!(j.contains("\"experiment\": \"demo\""));
+        assert!(j.contains("\"config\": {\"scale\":8192}"));
+        assert!(j.contains("\"throughput_meps\": 2.52"));
+        assert!(j.contains("\"p50_ms\": 0.25"));
+        assert!(j.contains("\"system\": \"BAL\""));
+        // Exactly two row objects, comma-separated.
+        assert_eq!(j.matches("{\"system\"").count(), 2);
     }
 }

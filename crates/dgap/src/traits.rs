@@ -326,27 +326,133 @@ pub trait OwnedSnapshotSource {
 
 /// An owned, immutable CSR snapshot materialised from any [`GraphView`].
 ///
-/// `capture` walks the source view once and copies the **resolved**
-/// adjacency — tombstones applied, exactly what `for_each_neighbor`
-/// reports — into a compact offsets-plus-targets layout.  The result is
-/// `'static`, cheap to query (two array reads per `degree`, one contiguous
-/// slice per neighbour scan) and safely shareable, which is what the
-/// service layer's epoch-cached snapshots are built from.
+/// `capture` walks the source view and copies the **resolved** adjacency —
+/// tombstones applied, exactly what `for_each_neighbor` reports — into a
+/// compact offsets-plus-targets layout.  The result is `'static`, cheap to
+/// query (two array reads per `degree`, one contiguous slice per neighbour
+/// scan) and safely shareable, which is what the service layer's
+/// epoch-cached snapshots are built from.
+///
+/// On graphs big enough to matter, `capture` is **parallel**: a parallel
+/// per-vertex degree count, a (cheap, serial) prefix sum turning the counts
+/// into CSR offsets, and a parallel adjacency fill where every vertex
+/// writes its neighbours into its own disjoint slice of the target array.
+/// [`FrozenView::capture_sequential`] keeps the original single-threaded
+/// two-pass walk as the comparison baseline (`dgap-bench snapshot` measures
+/// one against the other); both produce identical snapshots.
 ///
 /// Note one deliberate semantic difference from the borrowed snapshots:
 /// [`FrozenView::degree`] counts *visible* neighbours, not raw records, so
 /// after deletions analytics over a `FrozenView` match the in-memory
 /// reference oracle rather than the paper's record-count convention.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FrozenView {
     /// `offsets[v] .. offsets[v + 1]` spans `v`'s neighbours in `targets`.
     offsets: Vec<usize>,
     targets: Vec<VertexId>,
 }
 
+/// Below this many vertices **and** this many edges, `capture` stays
+/// sequential: the split/steal overhead of the pool outweighs the scan.
+/// Both gates matter — a scaled benchmark graph can have few vertices but
+/// a dense adjacency worth splitting.
+const PARALLEL_CAPTURE_MIN_VERTICES: usize = 1 << 12;
+const PARALLEL_CAPTURE_MIN_EDGES: usize = 1 << 14;
+
+/// A `*mut` that crosses threads; every user hands out disjoint index
+/// ranges, so no element is touched by two tasks.  Deliberately local
+/// (the `rayon` shim has a private twin): it must keep working unchanged
+/// if the shim is ever swapped for real rayon, so it cannot live in the
+/// shim's public API.
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+impl<T> SendPtr<T> {
+    #[inline]
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
 impl FrozenView {
-    /// Materialise `view` into an owned snapshot.
+    /// Materialise `view` into an owned snapshot, in parallel when the
+    /// graph is large enough and more than one thread is available.
+    ///
+    /// The parallel path scans the source adjacency **once** (resolving a
+    /// vertex's neighbours is the expensive step — pool reads plus
+    /// tombstone resolution): vertex chunks capture into chunk-local
+    /// buffers concurrently, a serial prefix sum turns the per-vertex
+    /// counts into exact CSR offsets, and the chunk buffers are then moved
+    /// into their final positions concurrently (disjoint slices, plain
+    /// memcpy).
     pub fn capture(view: &(impl GraphView + ?Sized)) -> FrozenView {
+        let n = view.num_vertices();
+        let small =
+            n < PARALLEL_CAPTURE_MIN_VERTICES && view.num_edges() < PARALLEL_CAPTURE_MIN_EDGES;
+        if small || rayon::current_num_threads() <= 1 {
+            return Self::capture_sequential(view);
+        }
+        use rayon::prelude::*;
+
+        // Vertex ranges: enough chunks for stealing to balance skewed
+        // degrees, each big enough to amortise the fork.
+        let chunk = n.div_ceil(rayon::current_num_threads() * 4).max(64);
+        let ranges: Vec<(usize, usize)> = (0..n)
+            .step_by(chunk)
+            .map(|lo| (lo, (lo + chunk).min(n)))
+            .collect();
+
+        // One parallel pass: each chunk resolves its vertices once,
+        // recording per-vertex visible degrees and the concatenated
+        // adjacency.
+        let parts: Vec<(Vec<usize>, Vec<VertexId>)> = ranges
+            .into_par_iter()
+            .map(|(lo, hi)| {
+                let mut counts = Vec::with_capacity(hi - lo);
+                let mut local = Vec::new();
+                for v in lo as u64..hi as u64 {
+                    let before = local.len();
+                    view.for_each_neighbor(v, &mut |d| local.push(d));
+                    counts.push(local.len() - before);
+                }
+                (counts, local)
+            })
+            .collect();
+
+        // Serial prefix sums (O(V), trivial next to the resolve scans):
+        // global CSR offsets from the per-vertex counts, and each chunk's
+        // start position in the final target array.
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        let mut running = 0usize;
+        let mut placed: Vec<(usize, Vec<VertexId>)> = Vec::with_capacity(parts.len());
+        for (counts, local) in parts {
+            placed.push((running, local));
+            for c in counts {
+                running += c;
+                offsets.push(running);
+            }
+        }
+        let total = running;
+
+        // Parallel gather: every chunk's buffer moves into its disjoint
+        // slice of the target array.
+        let mut targets: Vec<VertexId> = Vec::with_capacity(total);
+        let dst = SendPtr(targets.as_mut_ptr());
+        placed.into_par_iter().for_each(|(at, local)| {
+            debug_assert!(at + local.len() <= total);
+            unsafe {
+                std::ptr::copy_nonoverlapping(local.as_ptr(), dst.get().add(at), local.len());
+            }
+        });
+        unsafe { targets.set_len(total) };
+        FrozenView { offsets, targets }
+    }
+
+    /// The original single-threaded two-pass capture, kept as the measured
+    /// baseline for the parallel path (and for callers that must not touch
+    /// the thread pool).
+    pub fn capture_sequential(view: &(impl GraphView + ?Sized)) -> FrozenView {
         let n = view.num_vertices();
         let mut offsets = Vec::with_capacity(n + 1);
         let mut targets = Vec::with_capacity(view.num_edges());
@@ -603,6 +709,29 @@ mod tests {
         let frozen = FrozenView::capture(&ReferenceGraph::new(0));
         assert_eq!(frozen.num_vertices(), 0);
         assert_eq!(frozen.num_edges(), 0);
+    }
+
+    #[test]
+    fn parallel_capture_matches_sequential_above_the_threshold() {
+        // Big enough to take the parallel path, with removals so the
+        // resolved adjacency differs from the raw insert stream.
+        let n = 3 * super::PARALLEL_CAPTURE_MIN_VERTICES as u64;
+        let mut g = ReferenceGraph::new(n as usize);
+        for v in 0..n {
+            for k in 1..=(v % 7) {
+                g.add_edge(v, (v + k * 31) % n);
+            }
+        }
+        for v in (0..n).step_by(3) {
+            g.remove_edge(v, (v + 31) % n);
+        }
+        let par = FrozenView::capture(&g);
+        let seq = FrozenView::capture_sequential(&g);
+        assert_eq!(par, seq);
+        assert_eq!(par.num_edges(), g.num_edges());
+        for v in (0..n).step_by(997) {
+            assert_eq!(par.neighbors(v), g.neighbors(v), "vertex {v}");
+        }
     }
 
     #[test]

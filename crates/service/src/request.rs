@@ -109,8 +109,17 @@ pub struct ServiceStats {
     /// The write watermark (drained batches) the served snapshot was
     /// captured at.
     pub watermark: u64,
-    /// Times the epoch cache re-materialised its snapshot.
+    /// Times the epoch cache refreshed its snapshot (incrementally or in
+    /// full).
     pub snapshot_refreshes: u64,
+    /// Individual shard snapshots materialised across all refreshes.  With
+    /// the incremental refresh this grows by the number of *changed* shards
+    /// per epoch — `shard_captures / snapshot_refreshes` near 1.0 means
+    /// single-shard write bursts are paying for one shard, not all of them.
+    pub shard_captures: u64,
+    /// Total time spent refreshing the snapshot cache, in nanoseconds
+    /// (divide by `snapshot_refreshes` for the mean refresh latency).
+    pub refresh_nanos: u64,
     /// Requests the worker pool has answered.
     pub requests_served: u64,
 }

@@ -57,10 +57,11 @@ pub(crate) struct Envelope {
     pub(crate) reply: Sender<Response>,
 }
 
-/// The epoch-cached snapshot: valid as long as the write watermark it was
-/// captured at is still current.
+/// The epoch-cached snapshot, keyed by the **per-shard** watermarks it was
+/// captured at: shard `i`'s snapshot is current as long as watermark `i`
+/// has not moved, independently of the other shards.
 struct CachedView {
-    watermark: u64,
+    watermarks: Vec<u64>,
     view: Arc<OwnedShardedView>,
 }
 
@@ -69,33 +70,61 @@ pub(crate) struct Inner {
     pipeline: IngestPipeline<Dgap>,
     cache: Mutex<Option<CachedView>>,
     refreshes: AtomicU64,
+    shard_captures: AtomicU64,
+    refresh_nanos: AtomicU64,
     served: AtomicU64,
     shutdown: AtomicBool,
 }
 
 impl Inner {
-    /// The snapshot queries are served from, re-materialised only when the
-    /// pipeline's write watermark has advanced since the cached capture.
-    /// Returns the watermark the snapshot was captured at alongside it.
+    /// The snapshot queries are served from, refreshed **incrementally**
+    /// when the pipeline's write watermarks have advanced since the cached
+    /// capture: only shards whose own watermark moved are re-captured
+    /// (concurrently, on the work-stealing pool); the rest carry their
+    /// `Arc<FrozenView>` over from the cached epoch.  A write burst
+    /// confined to one shard therefore costs one shard's capture, not a
+    /// full `O(V + E)` rebuild.  Returns the total watermark the snapshot
+    /// was captured at alongside it.
     ///
-    /// The lock serialises captures (one `O(V + E)` walk per epoch, never
-    /// one per query); query *evaluation* runs outside it on the returned
-    /// `Arc`.
+    /// The lock serialises captures (at most one partial walk per epoch,
+    /// never one per query); query *evaluation* runs outside it on the
+    /// returned `Arc`.
     fn current_view_at(&self) -> (u64, Arc<OwnedShardedView>) {
-        let watermark = self.pipeline.watermark();
         let mut cache = self.cache.lock().unwrap_or_else(|p| p.into_inner());
+        // Read the watermarks *after* taking the lock: a pre-lock read
+        // could be older than what a racing refresh just cached, and
+        // storing the stale vector back would make the next query
+        // re-capture shards needlessly.
+        let watermarks = self.pipeline.shard_watermarks();
+        let total: u64 = watermarks.iter().sum();
         match cache.as_ref() {
-            Some(cached) if cached.watermark == watermark => {
-                (cached.watermark, Arc::clone(&cached.view))
-            }
+            Some(cached) if cached.watermarks == watermarks => (total, Arc::clone(&cached.view)),
             _ => {
-                let view = self.graph.consistent_view_arc();
+                let start = std::time::Instant::now();
+                // Carry over every shard whose watermark stands; a lane
+                // that advanced (or a cold cache) gets `None` = re-capture.
+                let reuse: Vec<Option<Arc<dgap::FrozenView>>> = match cache.as_ref() {
+                    Some(cached) => watermarks
+                        .iter()
+                        .enumerate()
+                        .map(|(shard, mark)| {
+                            (cached.watermarks.get(shard) == Some(mark))
+                                .then(|| cached.view.shard_view_arc(shard))
+                        })
+                        .collect(),
+                    None => vec![None; watermarks.len()],
+                };
+                let captured = reuse.iter().filter(|slot| slot.is_none()).count() as u64;
+                let view = Arc::new(self.graph.owned_view_reusing(reuse));
                 self.refreshes.fetch_add(1, Ordering::Relaxed);
+                self.shard_captures.fetch_add(captured, Ordering::Relaxed);
+                self.refresh_nanos
+                    .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
                 *cache = Some(CachedView {
-                    watermark,
+                    watermarks,
                     view: Arc::clone(&view),
                 });
-                (watermark, view)
+                (total, view)
             }
         }
     }
@@ -119,6 +148,8 @@ impl Inner {
             deletes_applied: pipeline.deletes_applied(),
             watermark,
             snapshot_refreshes: self.refreshes.load(Ordering::Relaxed),
+            shard_captures: self.shard_captures.load(Ordering::Relaxed),
+            refresh_nanos: self.refresh_nanos.load(Ordering::Relaxed),
             requests_served: self.served.load(Ordering::Relaxed),
         }
     }
@@ -197,6 +228,8 @@ impl GraphService {
             pipeline,
             cache: Mutex::new(None),
             refreshes: AtomicU64::new(0),
+            shard_captures: AtomicU64::new(0),
+            refresh_nanos: AtomicU64::new(0),
             served: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
         });
@@ -239,6 +272,15 @@ impl GraphService {
     /// Current service statistics (same numbers [`Query::Stats`] reports).
     pub fn stats(&self) -> ServiceStats {
         self.inner.stats()
+    }
+
+    /// The owned snapshot queries are being served from right now,
+    /// refreshing it first if the write watermarks moved.  Embedding
+    /// callers use this to run analysis out-of-band on exactly what the
+    /// request path sees; tests use it to assert the incremental refresh
+    /// reuses untouched shards' snapshots (`Arc::ptr_eq`).
+    pub fn current_view(&self) -> Arc<OwnedShardedView> {
+        self.inner.current_view()
     }
 
     /// Stop accepting requests, drain the workers, and return once they
@@ -328,6 +370,49 @@ mod tests {
         let t = client.mutate(vec![Update::InsertEdge(0, 2)]).unwrap();
         client.wait(&t).unwrap();
         assert_eq!(client.degree(0).unwrap(), 2, "new epoch, new snapshot");
+    }
+
+    #[test]
+    fn single_shard_writes_refresh_only_that_shard() {
+        let service = GraphService::start(ServiceConfig::small_test()).unwrap();
+        let client = service.client();
+        // Pick one vertex per shard (small_test has two shards).
+        let graph = Arc::clone(service.graph());
+        let va = (0..64u64).find(|&v| graph.shard_of(v) == 0).unwrap();
+        let vb = (0..64u64).find(|&v| graph.shard_of(v) == 1).unwrap();
+        // Seed both shards and warm the cache.
+        let t = client
+            .mutate(vec![Update::InsertEdge(va, vb), Update::InsertEdge(vb, va)])
+            .unwrap();
+        client.wait(&t).unwrap();
+        assert_eq!(client.degree(va).unwrap(), 1);
+        let before = service.current_view();
+        let stats_before = service.stats();
+
+        // A write burst confined to shard 0.
+        let t = client.mutate(vec![Update::InsertEdge(va, vb + 2)]).unwrap();
+        client.wait(&t).unwrap();
+        assert_eq!(client.degree(va).unwrap(), 2);
+        let after = service.current_view();
+        let stats_after = service.stats();
+
+        // Shard 1 was untouched: its materialised snapshot is *shared*
+        // with the previous epoch, not re-captured.
+        assert!(
+            Arc::ptr_eq(&before.shard_view_arc(1), &after.shard_view_arc(1)),
+            "untouched shard must reuse its Arc<FrozenView>"
+        );
+        assert!(
+            !Arc::ptr_eq(&before.shard_view_arc(0), &after.shard_view_arc(0)),
+            "written shard must be re-captured"
+        );
+        // And the refresh accounting says one shard was captured for it.
+        assert_eq!(
+            stats_after.shard_captures - stats_before.shard_captures,
+            1,
+            "single-shard burst must cost exactly one shard capture"
+        );
+        service.shutdown();
     }
 
     #[test]

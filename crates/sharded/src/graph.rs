@@ -159,17 +159,12 @@ impl<G: DynamicGraph + SnapshotSource> OwnedSnapshotSource for ShardedGraph<G> {
     type OwnedView = OwnedShardedView;
 
     /// Materialise each shard's consistent snapshot into an owned
-    /// [`FrozenView`] and compose them.  Like the borrowed composite, the
-    /// per-shard captures are taken one after another, so the result is
+    /// [`FrozenView`] and compose them.  The per-shard captures run
+    /// **concurrently** on the work-stealing pool (each capture is itself
+    /// parallel inside); like the borrowed composite, the result is
     /// per-shard consistent rather than a single atomic cut.
     fn owned_view(&self) -> OwnedShardedView {
-        OwnedShardedView::new(
-            self.shards
-                .iter()
-                .map(|s| FrozenView::capture(&s.consistent_view()))
-                .collect(),
-            self.partitioner,
-        )
+        self.owned_view_reusing(vec![None; self.shards.len()])
     }
 }
 
@@ -181,6 +176,41 @@ impl<G: DynamicGraph + SnapshotSource> ShardedGraph<G> {
     /// advances.
     pub fn consistent_view_arc(&self) -> Arc<OwnedShardedView> {
         Arc::new(self.owned_view())
+    }
+
+    /// The incremental composite capture: shard `i` is re-materialised
+    /// only when `reuse[i]` is `None`; a `Some` snapshot (typically the
+    /// previous epoch's, when that shard's write watermark did not move) is
+    /// carried over by `Arc` — no copy, no scan.  All shards that *do*
+    /// need re-capturing are captured concurrently on the work-stealing
+    /// pool.
+    ///
+    /// The caller owns the staleness argument (per-shard watermarks live in
+    /// the ingest pipeline, not the graph): reuse a shard only when nothing
+    /// was applied to it since its snapshot was taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `reuse.len() != self.num_shards()`.
+    pub fn owned_view_reusing(&self, reuse: Vec<Option<Arc<FrozenView>>>) -> OwnedShardedView {
+        use rayon::prelude::*;
+        assert_eq!(
+            reuse.len(),
+            self.shards.len(),
+            "one reuse slot per shard required"
+        );
+        let shards = &self.shards;
+        let views: Vec<Arc<FrozenView>> = reuse
+            .into_iter()
+            .enumerate()
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|(i, slot)| match slot {
+                Some(kept) => kept,
+                None => Arc::new(FrozenView::capture(&shards[i].consistent_view())),
+            })
+            .collect();
+        OwnedShardedView::new(views, self.partitioner)
     }
 }
 
@@ -247,6 +277,37 @@ mod tests {
         assert_eq!(handle.join().unwrap(), (1, 2));
         assert_eq!(owned.num_shards(), 2);
         assert_eq!(owned.neighbor_slice(1), &[0]);
+    }
+
+    #[test]
+    fn reusing_capture_shares_kept_shards_and_recaptures_the_rest() {
+        let g = ShardedGraph::create_dgap_small_test(2).unwrap();
+        for v in 0..32u64 {
+            g.insert_edge(v, (v + 1) % 32).unwrap();
+        }
+        let first = g.owned_view();
+        // Keep shard 0's snapshot, force a fresh capture of shard 1.
+        let second = g.owned_view_reusing(vec![Some(first.shard_view_arc(0)), None]);
+        assert!(Arc::ptr_eq(
+            &first.shard_view_arc(0),
+            &second.shard_view_arc(0)
+        ));
+        assert!(!Arc::ptr_eq(
+            &first.shard_view_arc(1),
+            &second.shard_view_arc(1)
+        ));
+        // Nothing changed in between, so the composites agree.
+        assert_eq!(second.num_edges(), first.num_edges());
+        for v in 0..32u64 {
+            assert_eq!(second.neighbors(v), first.neighbors(v), "vertex {v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one reuse slot per shard")]
+    fn reusing_capture_rejects_wrong_slot_count() {
+        let g = ShardedGraph::create_dgap_small_test(2).unwrap();
+        let _ = g.owned_view_reusing(vec![None]);
     }
 
     #[test]

@@ -325,6 +325,20 @@ impl<G: DynamicGraph + 'static> IngestPipeline<G> {
             .sum()
     }
 
+    /// Per-shard write watermarks, in shard order: `shard_watermarks()[i]`
+    /// is the number of batches shard `i`'s drain worker has fully applied.
+    /// A shard whose entry did not move since a snapshot was captured has
+    /// had nothing applied to it, so the snapshot of *that shard* is still
+    /// current — the staleness test behind the service layer's incremental
+    /// refresh ([`crate::ShardedGraph::owned_view_reusing`]).
+    pub fn shard_watermarks(&self) -> Vec<u64> {
+        self.shared
+            .lanes
+            .iter()
+            .map(|l| l.drained.load(Ordering::Acquire))
+            .collect()
+    }
+
     /// Durability barrier: wait until every operation submitted before this
     /// call has been applied to its backend, flush every backend, and
     /// surface the first backend error (if any operation was rejected since
@@ -543,6 +557,21 @@ mod tests {
         let stats = p.stats();
         assert_eq!(p.watermark(), stats.batches_drained());
         assert!(p.watermark() > 0);
+    }
+
+    #[test]
+    fn shard_watermarks_move_only_for_written_shards() {
+        let p = pipeline_over(ShardedConfig::small_test());
+        assert_eq!(p.shard_watermarks(), vec![0, 0]);
+        // Route one batch to vertex 0's shard only.
+        let shard = p.graph().shard_of(0);
+        let ticket = p.submit(&[Update::InsertEdge(0, 1)]).unwrap();
+        p.wait_for(&ticket).unwrap();
+        let marks = p.shard_watermarks();
+        assert_eq!(marks[shard], 1);
+        assert_eq!(marks[1 - shard], 0, "untouched lane must not move");
+        assert_eq!(marks.iter().sum::<u64>(), p.watermark());
+        assert_eq!(p.stats().watermarks(), marks);
     }
 
     #[test]

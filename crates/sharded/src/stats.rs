@@ -59,6 +59,13 @@ impl PipelineStats {
         self.shards.iter().map(|s| s.batches_drained).sum()
     }
 
+    /// Per-shard drained-batch counts in shard order — the same numbers
+    /// [`crate::IngestPipeline::shard_watermarks`] reports live, as seen at
+    /// the moment these stats were snapshotted.
+    pub fn watermarks(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.batches_drained).collect()
+    }
+
     /// Total backpressure events across shards.
     pub fn backpressure_stalls(&self) -> u64 {
         self.shards.iter().map(|s| s.backpressure_stalls).sum()

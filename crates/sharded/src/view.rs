@@ -3,6 +3,7 @@
 
 use crate::partition::Partitioner;
 use dgap::{FrozenView, GraphView, SnapshotSource, VertexId};
+use std::sync::Arc;
 
 /// A consistent, read-only view over every shard of a
 /// [`crate::ShardedGraph`], implementing [`GraphView`] so the analytics
@@ -70,24 +71,37 @@ impl<'g, G: SnapshotSource + 'g> GraphView for ShardedView<'g, G> {
 /// once when the write watermark advances, then answer any number of
 /// queries from worker threads without holding a borrow of the graph.
 ///
+/// Each per-shard snapshot sits behind its own `Arc`, so an *incremental*
+/// refresh (see [`crate::ShardedGraph::owned_view_reusing`]) re-captures
+/// only the shards whose write watermark advanced and shares the untouched
+/// shards' snapshots with the previous epoch's view — single-shard write
+/// bursts refresh in O(one shard), not O(all shards).
+///
 /// Because [`FrozenView`] stores *resolved* adjacency, `degree` and
 /// `num_edges` here count visible neighbours (tombstones applied) — after
 /// deletions they match the in-memory reference oracle, unlike the
 /// record-counting borrowed snapshots.
 pub struct OwnedShardedView {
-    views: Vec<FrozenView>,
+    views: Vec<Arc<FrozenView>>,
     partitioner: Partitioner,
 }
 
 impl OwnedShardedView {
-    pub(crate) fn new(views: Vec<FrozenView>, partitioner: Partitioner) -> Self {
+    pub(crate) fn new(views: Vec<Arc<FrozenView>>, partitioner: Partitioner) -> Self {
         debug_assert_eq!(views.len(), partitioner.num_shards());
         OwnedShardedView { views, partitioner }
     }
 
     /// The materialised snapshot of `shard`.
     pub fn shard_view(&self, shard: usize) -> &FrozenView {
-        &self.views[shard]
+        self.views[shard].as_ref()
+    }
+
+    /// Shared handle to the materialised snapshot of `shard` — the unit an
+    /// incremental refresh carries over between epochs (tests assert reuse
+    /// with `Arc::ptr_eq` on exactly these).
+    pub fn shard_view_arc(&self, shard: usize) -> Arc<FrozenView> {
+        Arc::clone(&self.views[shard])
     }
 
     /// Number of shards backing this view.

@@ -4,18 +4,33 @@
 //! re-implements the handful of parallel-iterator combinators the analytics
 //! kernels call (`par_iter`, `par_iter_mut`, `into_par_iter`, `map`,
 //! `filter_map`, `flat_map_iter`, `for_each`, `sum`, `reduce`, `collect`)
-//! on top of `std::thread::scope`.
+//! plus the `join`/`scope` primitives they are built from.
 //!
-//! Unlike real rayon there is no work-stealing pool: each combinator chain
-//! materialises its input, splits it into one contiguous chunk per thread
-//! and joins the per-chunk results in order.  That preserves rayon's
-//! ordering semantics (`collect` sees items in input order) and gives real
-//! multi-core speed-ups for the flat data-parallel loops used here, at the
-//! cost of spawning short-lived threads per call.  The thread count comes
-//! from the innermost [`ThreadPool::install`] scope, defaulting to the
-//! machine's available parallelism.
+//! Since PR 3 the combinators run on a **persistent work-stealing pool**
+//! (see [`mod@pool`]): one lazily created set of worker threads with
+//! per-worker Chase-Lev-style deques and a global injector, instead of the
+//! seed's short-lived `std::thread::scope` threads per combinator call.
+//! Every data-parallel operation — including the `collect`-heavy
+//! `filter_map` / `flat_map_iter`, which used to concatenate sequentially —
+//! splits its input into grain-sized chunks with recursive [`join`] and
+//! gathers the results in parallel, preserving rayon's ordering semantics
+//! (`collect` sees items in input order).
+//!
+//! Thread-count scoping follows rayon's API shape: a [`ThreadPool`] built
+//! with `n` threads does not own threads of its own; its
+//! [`ThreadPool::install`] scope bounds the *split width* of parallel
+//! operations started inside it to `n` leaves, so at most `n` of the global
+//! pool's workers execute them concurrently (and `n == 1` runs exactly
+//! sequentially on the calling thread).  The installed count is restored on
+//! scope exit by a drop guard, so nested `install`s and unwinding panics
+//! cannot leak an inner thread count into the outer scope.
+
+pub mod pool;
 
 use std::cell::Cell;
+use std::mem::ManuallyDrop;
+
+pub use pool::{join, scope, Scope};
 
 pub mod prelude {
     //! Traits that put `par_iter` / `par_iter_mut` / `into_par_iter` in scope.
@@ -33,6 +48,19 @@ pub fn current_num_threads() -> usize {
         installed
     } else {
         std::thread::available_parallelism().map_or(1, usize::from)
+    }
+}
+
+/// How many leaf chunks a parallel operation started on this thread should
+/// split into: exactly the installed count inside [`ThreadPool::install`]
+/// (so the scope's concurrency bound holds), or an over-split of the pool
+/// size otherwise (so work stealing can balance uneven chunks).
+fn target_leaves() -> usize {
+    let installed = INSTALLED_THREADS.with(Cell::get);
+    if installed > 0 {
+        installed
+    } else {
+        pool::Registry::global().num_workers() * 4
     }
 }
 
@@ -79,6 +107,10 @@ impl ThreadPoolBuilder {
 }
 
 /// A "pool" that scopes the thread count used by parallel operations.
+///
+/// It owns no threads: work always executes on the global work-stealing
+/// pool, and `install` merely bounds how wide operations split (which in
+/// turn bounds how many workers can run them concurrently).
 #[derive(Debug)]
 pub struct ThreadPool {
     num_threads: usize,
@@ -86,7 +118,9 @@ pub struct ThreadPool {
 
 impl ThreadPool {
     /// Run `f` with this pool's thread count governing any parallel
-    /// operations it performs.
+    /// operations it performs.  The previous count is restored by a drop
+    /// guard, so nested `install` scopes compose and a panic inside `f`
+    /// unwinds with the outer count back in place.
     pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
         let prev = INSTALLED_THREADS.with(|c| c.replace(self.num_threads));
         struct Restore(usize);
@@ -105,8 +139,68 @@ impl ThreadPool {
     }
 }
 
-/// Apply `f` to every item, fanning the items out over the current thread
-/// count, and return the per-item results in input order.
+// ----------------------------------------------------------------------
+// Split-based parallel machinery
+// ----------------------------------------------------------------------
+
+/// A raw pointer that crosses threads.  Every use hands disjoint index
+/// ranges to different tasks, so no two tasks touch the same element.
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    #[inline]
+    unsafe fn add(&self, i: usize) -> *mut T {
+        self.0.add(i)
+    }
+}
+
+/// Run `body(lo, hi)` over `[0, len)` split into at most `leaves` chunks,
+/// recursively forked with [`join`] so idle workers steal the larger half.
+///
+/// The caller's installed thread count is re-installed around every leaf
+/// execution (leaves run on pool workers whose own thread-local count is
+/// the default), so parallel operations nested *inside* a leaf observe the
+/// same `install` scope as the operation that spawned them.
+fn run_chunks(len: usize, leaves: usize, body: &(impl Fn(usize, usize) + Sync)) {
+    if len == 0 {
+        return;
+    }
+    let installed = INSTALLED_THREADS.with(Cell::get);
+    let wrapped = move |lo: usize, hi: usize| {
+        let prev = INSTALLED_THREADS.with(|c| c.replace(installed));
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        body(lo, hi);
+    };
+    let grain = len.div_ceil(leaves.max(1)).max(1);
+    split_range(0, len, grain, &wrapped);
+}
+
+fn split_range(lo: usize, hi: usize, grain: usize, body: &(impl Fn(usize, usize) + Sync)) {
+    let chunks = (hi - lo).div_ceil(grain);
+    if chunks <= 1 {
+        body(lo, hi);
+        return;
+    }
+    // Split on a grain boundary so the chunk count stays exactly
+    // ceil(len / grain) — the concurrency bound `install` promises.
+    let mid = lo + (chunks / 2) * grain;
+    join(
+        || split_range(lo, mid, grain, body),
+        || split_range(mid, hi, grain, body),
+    );
+}
+
+/// Apply `f` to every item in parallel, writing results to their input
+/// positions.  Panics in `f` propagate; the inputs and any written outputs
+/// are leaked on that path (never double-dropped).
 fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
 where
     T: Send,
@@ -114,36 +208,127 @@ where
     F: Fn(T) -> U + Sync,
 {
     let len = items.len();
-    let threads = current_num_threads().min(len).max(1);
-    if threads <= 1 {
+    let leaves = target_leaves().min(len);
+    if leaves <= 1 {
         return items.into_iter().map(f).collect();
     }
-    let chunk_len = len.div_ceil(threads);
-    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
-    let mut it = items.into_iter();
-    loop {
-        let chunk: Vec<T> = it.by_ref().take(chunk_len).collect();
-        if chunk.is_empty() {
-            break;
+    let mut items = ManuallyDrop::new(items);
+    let src_ptr = items.as_mut_ptr();
+    let src_cap = items.capacity();
+    let mut out: Vec<U> = Vec::with_capacity(len);
+    let src = SendPtr(src_ptr);
+    let dst = SendPtr(out.as_mut_ptr());
+    run_chunks(len, leaves, &|lo, hi| {
+        for i in lo..hi {
+            // Each index is moved out and written exactly once: chunks are
+            // disjoint and cover [0, len).
+            unsafe {
+                let x = std::ptr::read(src.add(i));
+                std::ptr::write(dst.add(i), f(x));
+            }
         }
-        chunks.push(chunk);
-    }
-    let f = &f;
-    let per_chunk: Vec<Vec<U>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("parallel worker panicked"))
-            .collect()
     });
-    let mut out = Vec::with_capacity(len);
-    for part in per_chunk {
-        out.extend(part);
+    // Free the source allocation without dropping its (moved-out) items.
+    unsafe {
+        drop(Vec::from_raw_parts(src_ptr, 0, src_cap));
+        out.set_len(len);
     }
     out
+}
+
+/// Run `per_item` on every item in parallel and gather the variable-length
+/// per-chunk outputs into one vector in input order.  Both phases split:
+/// the chunks produce their local buffers concurrently, and after a cheap
+/// prefix-sum over buffer lengths the buffers are moved into their final
+/// positions concurrently too.
+fn parallel_chunk_collect<T, U, F>(items: Vec<T>, per_item: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T, &mut Vec<U>) + Sync,
+{
+    let len = items.len();
+    let leaves = target_leaves().min(len);
+    if leaves <= 1 {
+        let mut out = Vec::new();
+        for item in items {
+            per_item(item, &mut out);
+        }
+        return out;
+    }
+    let grain = len.div_ceil(leaves);
+    let ranges: Vec<(usize, usize)> = (0..len)
+        .step_by(grain)
+        .map(|lo| (lo, (lo + grain).min(len)))
+        .collect();
+    let mut items = ManuallyDrop::new(items);
+    let src_ptr = items.as_mut_ptr();
+    let src_cap = items.capacity();
+    let src = SendPtr(src_ptr);
+    let buffers: Vec<Vec<U>> = parallel_map(ranges, |(lo, hi)| {
+        let mut buf = Vec::new();
+        for i in lo..hi {
+            let item = unsafe { std::ptr::read(src.add(i)) };
+            per_item(item, &mut buf);
+        }
+        buf
+    });
+    unsafe { drop(Vec::from_raw_parts(src_ptr, 0, src_cap)) };
+
+    // Prefix-sum the buffer lengths (O(#chunks), trivially cheap)...
+    let total: usize = buffers.iter().map(Vec::len).sum();
+    let mut offset = 0usize;
+    let placed: Vec<(usize, Vec<U>)> = buffers
+        .into_iter()
+        .map(|buf| {
+            let o = offset;
+            offset += buf.len();
+            (o, buf)
+        })
+        .collect();
+    // ...then move every buffer into its slice of the output in parallel.
+    let mut out: Vec<U> = Vec::with_capacity(total);
+    let dst = SendPtr(out.as_mut_ptr());
+    parallel_map(placed, |(o, buf)| {
+        let mut buf = ManuallyDrop::new(buf);
+        unsafe {
+            std::ptr::copy_nonoverlapping(buf.as_ptr(), dst.add(o), buf.len());
+            drop(Vec::from_raw_parts(buf.as_mut_ptr(), 0, buf.capacity()));
+        }
+    });
+    unsafe { out.set_len(total) };
+    out
+}
+
+/// Fold each chunk locally, then combine the (few) per-chunk accumulators.
+fn parallel_fold_chunks<T, S, F>(items: Vec<T>, fold_chunk: F) -> Vec<S>
+where
+    T: Send,
+    S: Send,
+    F: Fn(Vec<T>) -> S + Sync,
+{
+    let len = items.len();
+    let leaves = target_leaves().min(len);
+    if leaves <= 1 {
+        return vec![fold_chunk(items)];
+    }
+    let grain = len.div_ceil(leaves);
+    let ranges: Vec<(usize, usize)> = (0..len)
+        .step_by(grain)
+        .map(|lo| (lo, (lo + grain).min(len)))
+        .collect();
+    let mut items = ManuallyDrop::new(items);
+    let src_ptr = items.as_mut_ptr();
+    let src_cap = items.capacity();
+    let src = SendPtr(src_ptr);
+    let folded = parallel_map(ranges, |(lo, hi)| {
+        let chunk: Vec<T> = (lo..hi)
+            .map(|i| unsafe { std::ptr::read(src.add(i)) })
+            .collect();
+        fold_chunk(chunk)
+    });
+    unsafe { drop(Vec::from_raw_parts(src_ptr, 0, src_cap)) };
+    folded
 }
 
 /// A materialised parallel iterator: the concrete type behind every
@@ -160,28 +345,33 @@ impl<T: Send> Par<T> {
         }
     }
 
-    /// Transform and filter every item in parallel.
+    /// Transform and filter every item in parallel.  The surviving items
+    /// are gathered in input order by a parallel two-phase collect.
     pub fn filter_map<U: Send>(self, f: impl Fn(T) -> Option<U> + Sync) -> Par<U> {
         Par {
-            items: parallel_map(self.items, f).into_iter().flatten().collect(),
+            items: parallel_chunk_collect(self.items, |item, buf| {
+                if let Some(u) = f(item) {
+                    buf.push(u);
+                }
+            }),
         }
     }
 
     /// Map each item to a serial iterator and concatenate the results in
-    /// input order (rayon's `flat_map_iter`).
+    /// input order (rayon's `flat_map_iter`), gathering in parallel.
     pub fn flat_map_iter<I>(self, f: impl Fn(T) -> I + Sync) -> Par<I::Item>
     where
         I: IntoIterator,
         I::Item: Send,
     {
-        let nested = parallel_map(self.items, |t| f(t).into_iter().collect::<Vec<_>>());
         Par {
-            items: nested.into_iter().flatten().collect(),
+            items: parallel_chunk_collect(self.items, |item, buf| buf.extend(f(item))),
         }
     }
 
     /// Run `f` on every item in parallel.
     pub fn for_each(self, f: impl Fn(T) + Sync) {
+        // Vec<()> is zero-sized — no allocation happens for the results.
         parallel_map(self.items, f);
     }
 
@@ -192,14 +382,23 @@ impl<T: Send> Par<T> {
         }
     }
 
-    /// Sum the (already materialised) items.
-    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
-        self.items.into_iter().sum()
+    /// Sum the items, folding each chunk in parallel.
+    pub fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<T> + std::iter::Sum<S>,
+    {
+        parallel_fold_chunks(self.items, |chunk| chunk.into_iter().sum::<S>())
+            .into_iter()
+            .sum()
     }
 
-    /// Fold the items with `op`, starting from `identity()`.
-    pub fn reduce(self, identity: impl Fn() -> T, op: impl Fn(T, T) -> T + Sync) -> T {
-        self.items.into_iter().fold(identity(), &op)
+    /// Fold the items with `op`, starting from `identity()`: each chunk
+    /// folds in parallel, then the per-chunk results fold serially (`op`
+    /// must be associative, as in rayon).
+    pub fn reduce(self, identity: impl Fn() -> T + Sync, op: impl Fn(T, T) -> T + Sync) -> T {
+        parallel_fold_chunks(self.items, |chunk| chunk.into_iter().fold(identity(), &op))
+            .into_iter()
+            .fold(identity(), &op)
     }
 
     /// Largest item, if any.
@@ -315,10 +514,42 @@ mod tests {
     }
 
     #[test]
+    fn flat_map_iter_parallel_gather_at_scale() {
+        // Large enough to split into many chunks with uneven outputs.
+        let v: Vec<u64> = (0..10_000u64)
+            .into_par_iter()
+            .flat_map_iter(|x| (0..(x % 7)).map(move |k| x * 10 + k))
+            .collect();
+        let expect: Vec<u64> = (0..10_000u64)
+            .flat_map(|x| (0..(x % 7)).map(move |k| x * 10 + k))
+            .collect();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
     fn install_scopes_thread_count() {
         let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
         assert_eq!(pool.install(current_num_threads), 3);
         assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn nested_install_restores_outer_count_on_unwind() {
+        let outer = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+        let inner = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        outer.install(|| {
+            assert_eq!(current_num_threads(), 5);
+            // Plain nesting restores on exit...
+            assert_eq!(inner.install(current_num_threads), 2);
+            assert_eq!(current_num_threads(), 5);
+            // ...and a panic unwinding out of the inner scope restores too
+            // (the drop guard, not a bare Cell::set after `f`).
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                inner.install(|| -> usize { panic!("inner scope blew up") })
+            }));
+            assert!(caught.is_err());
+            assert_eq!(current_num_threads(), 5);
+        });
     }
 
     #[test]
@@ -328,5 +559,165 @@ mod tests {
             .filter_map(|x| (x % 10 == 0).then_some(x))
             .collect();
         assert_eq!(v, vec![0, 10, 20, 30, 40, 50, 60, 70, 80, 90]);
+    }
+
+    #[test]
+    fn filter_map_keeps_order_at_scale() {
+        let v: Vec<u64> = (0..50_000u64)
+            .into_par_iter()
+            .filter_map(|x| (x % 3 == 0).then_some(x))
+            .collect();
+        let expect: Vec<u64> = (0..50_000u64).filter(|x| x % 3 == 0).collect();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn install_one_thread_runs_inline() {
+        // With one installed thread the combinators must not touch the
+        // pool: the closure observes the calling thread throughout.
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let me = std::thread::current().id();
+        pool.install(|| {
+            (0..256u64).into_par_iter().for_each(|_| {
+                assert_eq!(std::thread::current().id(), me);
+            });
+        });
+    }
+
+    #[test]
+    fn join_runs_both_and_returns_results() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!((a, b), (2, "two"));
+    }
+
+    #[test]
+    fn join_nests_deeply() {
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+            a + b
+        }
+        assert_eq!(fib(16), 987);
+    }
+
+    #[test]
+    fn join_propagates_panics_after_both_sides_finish() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let b_ran = AtomicBool::new(false);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            join(
+                || panic!("side a failed"),
+                || b_ran.store(true, Ordering::SeqCst),
+            )
+        }));
+        assert!(caught.is_err());
+        assert!(
+            b_ran.load(Ordering::SeqCst),
+            "b must complete before unwind"
+        );
+    }
+
+    #[test]
+    fn scope_spawns_borrowing_jobs() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..64 {
+                s.spawn(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn scope_supports_nested_spawns() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|s| {
+                hits.fetch_add(1, Ordering::Relaxed);
+                s.spawn(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn scope_propagates_spawned_panic() {
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            scope(|s| s.spawn(|_| panic!("spawned job failed")))
+        }));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn install_width_propagates_into_leaf_jobs() {
+        // Leaves run on pool workers whose own thread-local count is the
+        // default; the splitting machinery must carry the caller's
+        // installed width into them so nested parallel ops stay bounded.
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| {
+            (0..10_000u64).into_par_iter().for_each(|_| {
+                assert_eq!(current_num_threads(), 2);
+            });
+        });
+    }
+
+    #[test]
+    fn scope_spawns_do_not_corrupt_concurrent_joins() {
+        // Regression: a worker helping mid-join can execute a stolen scope
+        // job that spawns heap jobs onto the worker's own deque, above the
+        // join's pending closure — the join's reclaim must pop through
+        // them instead of mistaking one for its own job.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits = AtomicUsize::new(0);
+        std::thread::scope(|ts| {
+            for _ in 0..4 {
+                ts.spawn(|| {
+                    for _ in 0..50 {
+                        scope(|s| {
+                            for _ in 0..8 {
+                                s.spawn(|s| {
+                                    s.spawn(|_| {
+                                        hits.fetch_add(1, Ordering::Relaxed);
+                                    });
+                                });
+                            }
+                        });
+                    }
+                });
+                ts.spawn(|| {
+                    for i in 0..50u64 {
+                        let v: Vec<u64> = (0..2000u64).into_par_iter().map(|x| x + i).collect();
+                        assert!(v.iter().enumerate().all(|(k, &x)| x == k as u64 + i));
+                    }
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 4 * 50 * 8);
+    }
+
+    #[test]
+    fn parallel_work_actually_spreads_across_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        // Plenty of slow-ish leaves so multiple workers get a share.
+        (0..10_000u64).into_par_iter().for_each(|i| {
+            if i % 100 == 0 {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                seen.lock().unwrap().insert(std::thread::current().id());
+            }
+        });
+        // On a multi-core machine at least two distinct threads take part.
+        if std::thread::available_parallelism().map_or(1, usize::from) > 1 {
+            assert!(seen.lock().unwrap().len() >= 2, "no stealing happened");
+        }
     }
 }

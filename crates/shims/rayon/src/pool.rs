@@ -1,0 +1,665 @@
+//! The persistent work-stealing thread pool behind every parallel
+//! combinator in this shim.
+//!
+//! Layout follows the classic work-stealing design (and real rayon's
+//! architecture at miniature scale):
+//!
+//! * one **global registry** (`Registry::global`), created lazily on the
+//!   first parallel call and kept alive for the life of the process — no
+//!   per-call thread spawning;
+//! * one worker thread per core, each owning a bounded **Chase-Lev-style
+//!   deque**: the owner pushes and pops at the bottom (LIFO, cache-warm),
+//!   thieves steal from the top (FIFO, oldest-first — the biggest pending
+//!   subtree under recursive splitting);
+//! * a mutex-protected **global injector** queue through which threads
+//!   outside the pool submit work (and into which a full worker deque
+//!   overflows);
+//! * [`join`] and [`scope`] primitives with the usual latch discipline:
+//!   a blocked owner *helps* (claims its own pending job or steals other
+//!   work) instead of sleeping, so nested parallelism cannot deadlock on a
+//!   bounded pool.
+//!
+//! The deque stores `JobRef`s — two raw words — in per-word atomic slots.
+//! A thief reads a slot *before* its `compare_exchange` on `top`; the CAS
+//! succeeding proves the slot was stable across the read (the owner cannot
+//! have wrapped the ring without `top` advancing first), so a torn read is
+//! always discarded with the failed CAS and never executed.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicIsize, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+// ----------------------------------------------------------------------
+// Job representation
+// ----------------------------------------------------------------------
+
+/// A type-erased pointer to a job living on some stack frame (or heap
+/// allocation, for [`scope`] spawns).  The pointee is guaranteed by the
+/// latch discipline to outlive every `JobRef` to it: `join`/`scope` never
+/// return before the job is executed or reclaimed.
+#[derive(Clone, Copy)]
+pub(crate) struct JobRef {
+    data: *const (),
+    execute: unsafe fn(*const ()),
+}
+
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    #[inline]
+    unsafe fn execute(self) {
+        (self.execute)(self.data);
+    }
+}
+
+const PENDING: u8 = 0;
+const CLAIMED: u8 = 1;
+const DONE: u8 = 2;
+
+/// A job allocated in the caller's stack frame, used by [`join`].
+///
+/// The first executor to CAS `state` from `PENDING` to `CLAIMED` runs the
+/// closure; everyone else backs off.  The owner blocks (helping) until
+/// `DONE`, so the frame never dies with the job still referenced.
+struct StackJob<F, R> {
+    state: AtomicU8,
+    func: std::cell::UnsafeCell<Option<F>>,
+    result: std::cell::UnsafeCell<Option<std::thread::Result<R>>>,
+}
+
+unsafe impl<F: Send, R: Send> Sync for StackJob<F, R> {}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    fn new(func: F) -> Self {
+        StackJob {
+            state: AtomicU8::new(PENDING),
+            func: std::cell::UnsafeCell::new(Some(func)),
+            result: std::cell::UnsafeCell::new(None),
+        }
+    }
+
+    unsafe fn as_job_ref(&self) -> JobRef {
+        JobRef {
+            data: self as *const Self as *const (),
+            execute: Self::execute_erased,
+        }
+    }
+
+    /// Claim and run the closure.  A lost claim race is a no-op: the job is
+    /// being (or has been) executed by someone else.
+    unsafe fn execute_erased(this: *const ()) {
+        let this = &*(this as *const Self);
+        this.try_execute();
+    }
+
+    fn try_execute(&self) -> bool {
+        if self
+            .state
+            .compare_exchange(PENDING, CLAIMED, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return false;
+        }
+        let func = unsafe { (*self.func.get()).take().expect("job claimed twice") };
+        let result = panic::catch_unwind(AssertUnwindSafe(func));
+        unsafe { *self.result.get() = Some(result) };
+        self.state.store(DONE, Ordering::Release);
+        true
+    }
+
+    fn is_done(&self) -> bool {
+        self.state.load(Ordering::Acquire) == DONE
+    }
+
+    fn take_result_raw(&self) -> std::thread::Result<R> {
+        unsafe { (*self.result.get()).take() }.expect("job result taken twice")
+    }
+}
+
+/// A heap-allocated fire-and-forget job, used by [`Scope::spawn`].  The
+/// scope's completion counter keeps the spawning frame alive until every
+/// heap job has run, which is what makes the lifetime erasure sound.
+struct HeapJob {
+    func: Box<dyn FnOnce() + Send>,
+}
+
+impl HeapJob {
+    fn into_job_ref(self: Box<Self>) -> JobRef {
+        JobRef {
+            data: Box::into_raw(self) as *const (),
+            execute: Self::execute_erased,
+        }
+    }
+
+    unsafe fn execute_erased(this: *const ()) {
+        let this = Box::from_raw(this as *mut Self);
+        (this.func)();
+    }
+}
+
+// ----------------------------------------------------------------------
+// Chase-Lev-style deque
+// ----------------------------------------------------------------------
+
+/// One deque slot: the two words of a [`JobRef`], readable while a push
+/// races (the reassembled value is discarded unless the steal CAS proves it
+/// was stable).
+struct Slot {
+    data: AtomicUsize,
+    exec: AtomicUsize,
+}
+
+/// Bounded work-stealing deque (Chase & Lev, with the memory-order recipe
+/// of Lê et al., "Correct and Efficient Work-Stealing for Weak Memory
+/// Models").  Bounded instead of growable: on overflow the owner routes the
+/// job to the global injector, which keeps the unsafe surface small.
+pub(crate) struct Deque {
+    bottom: AtomicIsize,
+    top: AtomicIsize,
+    buffer: Box<[Slot]>,
+    mask: usize,
+}
+
+const DEQUE_CAPACITY: usize = 4096; // power of two
+
+impl Deque {
+    fn new() -> Self {
+        let buffer: Vec<Slot> = (0..DEQUE_CAPACITY)
+            .map(|_| Slot {
+                data: AtomicUsize::new(0),
+                exec: AtomicUsize::new(0),
+            })
+            .collect();
+        Deque {
+            bottom: AtomicIsize::new(0),
+            top: AtomicIsize::new(0),
+            buffer: buffer.into_boxed_slice(),
+            mask: DEQUE_CAPACITY - 1,
+        }
+    }
+
+    /// Owner-only: push at the bottom.  Returns the job back on overflow.
+    fn push(&self, job: JobRef) -> Result<(), JobRef> {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        if b.wrapping_sub(t) >= self.buffer.len() as isize {
+            return Err(job); // full: caller overflows to the injector
+        }
+        let slot = &self.buffer[(b as usize) & self.mask];
+        slot.data.store(job.data as usize, Ordering::Relaxed);
+        slot.exec.store(job.execute as usize, Ordering::Relaxed);
+        self.bottom.store(b.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Owner-only: pop from the bottom (the most recently pushed job).
+    fn pop(&self) -> Option<JobRef> {
+        let b = self.bottom.load(Ordering::Relaxed).wrapping_sub(1);
+        self.bottom.store(b, Ordering::Relaxed);
+        std::sync::atomic::fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t <= b {
+            let job = self.read_slot(b);
+            if t == b {
+                // Last element: race the thieves for it.
+                let won = self
+                    .top
+                    .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
+                return won.then_some(job);
+            }
+            Some(job)
+        } else {
+            self.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Any thread: steal from the top (the oldest job).
+    fn steal(&self) -> Option<JobRef> {
+        let t = self.top.load(Ordering::Acquire);
+        std::sync::atomic::fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t < b {
+            let job = self.read_slot(t);
+            if self
+                .top
+                .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+                .is_err()
+            {
+                return None; // lost the race; `job` may be torn — discard it
+            }
+            return Some(job);
+        }
+        None
+    }
+
+    fn read_slot(&self, index: isize) -> JobRef {
+        let slot = &self.buffer[(index as usize) & self.mask];
+        let data = slot.data.load(Ordering::Relaxed) as *const ();
+        let exec = slot.exec.load(Ordering::Relaxed);
+        JobRef {
+            data,
+            execute: unsafe { std::mem::transmute::<usize, unsafe fn(*const ())>(exec) },
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Relaxed);
+        t >= b
+    }
+}
+
+// ----------------------------------------------------------------------
+// Registry (the global pool)
+// ----------------------------------------------------------------------
+
+thread_local! {
+    /// Which worker of the global pool this thread is (`usize::MAX` when it
+    /// is not a pool thread).
+    static WORKER_INDEX: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+pub(crate) struct Registry {
+    deques: Vec<Deque>,
+    injector: Mutex<VecDeque<JobRef>>,
+    /// Sleep support: workers that found no job park on the condvar; pushes
+    /// wake one.  The counter keeps the notify on the push path to a single
+    /// relaxed load when nobody sleeps.
+    sleepers: AtomicUsize,
+    sleep_lock: Mutex<()>,
+    sleep_cv: Condvar,
+    /// Completion support: threads blocked in [`Registry::wait_until`] with
+    /// no work to help with park here; every job completion notifies.  A
+    /// condvar (not a timed sleep) keeps join-wait latency at wake-up cost
+    /// rather than timer-slack cost.
+    done_waiters: AtomicUsize,
+    done_lock: Mutex<()>,
+    done_cv: Condvar,
+}
+
+static REGISTRY: OnceLock<&'static Registry> = OnceLock::new();
+
+impl Registry {
+    /// The lazily created global pool.
+    pub(crate) fn global() -> &'static Registry {
+        REGISTRY.get_or_init(|| {
+            let workers = std::thread::available_parallelism().map_or(1, usize::from);
+            let registry: &'static Registry = Box::leak(Box::new(Registry {
+                deques: (0..workers).map(|_| Deque::new()).collect(),
+                injector: Mutex::new(VecDeque::new()),
+                sleepers: AtomicUsize::new(0),
+                sleep_lock: Mutex::new(()),
+                sleep_cv: Condvar::new(),
+                done_waiters: AtomicUsize::new(0),
+                done_lock: Mutex::new(()),
+                done_cv: Condvar::new(),
+            }));
+            for index in 0..workers {
+                std::thread::Builder::new()
+                    .name(format!("ws-pool-{index}"))
+                    .spawn(move || registry.worker_loop(index))
+                    .expect("spawn work-stealing pool worker");
+            }
+            registry
+        })
+    }
+
+    /// Number of persistent worker threads in the global pool.
+    pub(crate) fn num_workers(&self) -> usize {
+        self.deques.len()
+    }
+
+    /// The calling thread's worker index, if it is a pool thread.
+    #[inline]
+    pub(crate) fn current_worker() -> Option<usize> {
+        let index = WORKER_INDEX.with(Cell::get);
+        (index != usize::MAX).then_some(index)
+    }
+
+    /// Schedule a job from any thread: onto the caller's own deque when the
+    /// caller is a pool worker (overflowing to the injector), otherwise
+    /// into the injector.
+    pub(crate) fn schedule(&self, job: JobRef) {
+        match Self::current_worker() {
+            Some(index) => {
+                if let Err(job) = self.deques[index].push(job) {
+                    self.inject(job);
+                    return;
+                }
+            }
+            None => {
+                self.inject(job);
+                return;
+            }
+        }
+        self.wake_one();
+    }
+
+    fn inject(&self, job: JobRef) {
+        self.injector
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push_back(job);
+        self.wake_one();
+    }
+
+    /// Remove a not-yet-started injected job by identity (the owner of a
+    /// [`join`] reclaiming its second closure).  `None` means a worker got
+    /// to it first.
+    fn remove_injected(&self, data: *const ()) -> Option<JobRef> {
+        let mut queue = self.injector.lock().unwrap_or_else(|p| p.into_inner());
+        let pos = queue.iter().position(|j| std::ptr::eq(j.data, data))?;
+        queue.remove(pos)
+    }
+
+    fn wake_one(&self) {
+        if self.sleepers.load(Ordering::Relaxed) > 0 {
+            let _guard = self.sleep_lock.lock().unwrap_or_else(|p| p.into_inner());
+            self.sleep_cv.notify_one();
+        }
+    }
+
+    /// Find one unit of work: the local deque first (when on a worker),
+    /// then the injector, then a steal sweep over the other workers.
+    fn find_work(&self, local: Option<usize>) -> Option<JobRef> {
+        if let Some(index) = local {
+            if let Some(job) = self.deques[index].pop() {
+                return Some(job);
+            }
+        }
+        if let Some(job) = self
+            .injector
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .pop_front()
+        {
+            return Some(job);
+        }
+        let n = self.deques.len();
+        let start = local.unwrap_or(0);
+        for i in 0..n {
+            let victim = (start + i + 1) % n;
+            if Some(victim) == local {
+                continue;
+            }
+            if let Some(job) = self.deques[victim].steal() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Execute one available job.  Returns whether anything ran.
+    fn work_once(&self, local: Option<usize>) -> bool {
+        match self.find_work(local) {
+            Some(job) => {
+                unsafe { job.execute() };
+                // Whoever is blocked on this job's (or its scope's)
+                // completion re-checks now instead of on a timer.
+                self.signal_job_done();
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn signal_job_done(&self) {
+        if self.done_waiters.load(Ordering::Relaxed) > 0 {
+            let _guard = self.done_lock.lock().unwrap_or_else(|p| p.into_inner());
+            self.done_cv.notify_all();
+        }
+    }
+
+    fn worker_loop(&'static self, index: usize) {
+        WORKER_INDEX.with(|w| w.set(index));
+        let mut idle_rounds = 0u32;
+        loop {
+            if self.work_once(Some(index)) {
+                idle_rounds = 0;
+                continue;
+            }
+            idle_rounds += 1;
+            if idle_rounds < 64 {
+                std::thread::yield_now();
+            } else {
+                // Park until a push wakes us (bounded, so a lost wake-up
+                // only costs one timeout period).
+                self.sleepers.fetch_add(1, Ordering::Relaxed);
+                let guard = self.sleep_lock.lock().unwrap_or_else(|p| p.into_inner());
+                if self.has_visible_work() {
+                    drop(guard);
+                } else {
+                    let _ = self
+                        .sleep_cv
+                        .wait_timeout(guard, std::time::Duration::from_millis(10));
+                }
+                self.sleepers.fetch_sub(1, Ordering::Relaxed);
+                idle_rounds = 0;
+            }
+        }
+    }
+
+    fn has_visible_work(&self) -> bool {
+        if !self
+            .injector
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .is_empty()
+        {
+            return true;
+        }
+        self.deques.iter().any(|d| !d.is_empty())
+    }
+
+    /// Help until `done()` holds: run other jobs while waiting, so blocked
+    /// joins on pool workers keep the pool making progress; with nothing to
+    /// help with, park on the completion condvar until some job finishes
+    /// (with a bounded timeout as a lost-wakeup backstop).
+    fn wait_until(&self, local: Option<usize>, done: impl Fn() -> bool) {
+        let mut idle = 0u32;
+        while !done() {
+            if self.work_once(local) {
+                idle = 0;
+                continue;
+            }
+            idle += 1;
+            if idle < 64 {
+                std::thread::yield_now();
+                continue;
+            }
+            self.done_waiters.fetch_add(1, Ordering::SeqCst);
+            let guard = self.done_lock.lock().unwrap_or_else(|p| p.into_inner());
+            // Re-check under the lock: a completion signalled before we
+            // registered would otherwise be missed until the timeout.
+            if !done() && !self.has_visible_work() {
+                let _ = self
+                    .done_cv
+                    .wait_timeout(guard, std::time::Duration::from_millis(1));
+            }
+            self.done_waiters.fetch_sub(1, Ordering::SeqCst);
+            idle = 0;
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// join
+// ----------------------------------------------------------------------
+
+/// Run `a` and `b`, potentially in parallel, and return both results.
+///
+/// `b` is published to the pool; the calling thread runs `a` inline, then
+/// either reclaims `b` (running it inline too — the common, steal-free
+/// case) or helps the pool while a thief finishes it.  Panics in either
+/// closure propagate to the caller after **both** closures have completed,
+/// mirroring real rayon.
+pub fn join<A, RA, B, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let registry = Registry::global();
+    let local = Registry::current_worker();
+    let job_b = StackJob::new(b);
+    let data_b = &job_b as *const _ as *const ();
+    // Publish `b`, remembering where it landed (local deque, or injector
+    // when off-pool / on overflow) so the reclaim below looks there.
+    let in_deque = match local {
+        Some(index) => match registry.deques[index].push(unsafe { job_b.as_job_ref() }) {
+            Ok(()) => {
+                registry.wake_one();
+                true
+            }
+            Err(job) => {
+                registry.inject(job);
+                false
+            }
+        },
+        None => {
+            registry.inject(unsafe { job_b.as_job_ref() });
+            false
+        }
+    };
+
+    let result_a = panic::catch_unwind(AssertUnwindSafe(a));
+
+    // Reclaim `b`'s JobRef before running it inline: the ref must leave the
+    // queue before this frame can die, or a late thief would execute a
+    // dangling pointer.  On a worker the local deque is LIFO; our own
+    // `StackJob`s are balanced (nested joins consume theirs before `a`
+    // returns), but helping during `a` can execute a *stolen scope job*
+    // whose body spawned fire-and-forget `HeapJob`s onto this deque, above
+    // `b`.  Pop until we reach `b` (executing any such foreign jobs — they
+    // were scheduled here and running them is exactly what a worker would
+    // do) or the deque drains (`b` was stolen).
+    if in_deque {
+        let deque = &registry.deques[local.expect("in_deque implies worker")];
+        loop {
+            match deque.pop() {
+                Some(job) if std::ptr::eq(job.data, data_b) => {
+                    // Exclusively ours now: a thief that read the slot
+                    // before we popped it lost the steal CAS and discarded
+                    // its copy.
+                    unsafe { job.execute() };
+                    break;
+                }
+                Some(job) => {
+                    // A foreign (scope-spawned) job sitting above `b`.
+                    unsafe { job.execute() };
+                    registry.signal_job_done();
+                }
+                // Drained: a thief holds `b` — help until it reaches DONE.
+                None => {
+                    registry.wait_until(local, || job_b.is_done());
+                    break;
+                }
+            }
+        }
+    } else {
+        match registry.remove_injected(data_b) {
+            Some(job) => unsafe { job.execute() },
+            None => registry.wait_until(local, || job_b.is_done()),
+        }
+    }
+
+    let result_b = job_b.take_result_raw();
+    match (result_a, result_b) {
+        (Ok(ra), Ok(rb)) => (ra, rb),
+        (Err(payload), _) => panic::resume_unwind(payload),
+        (_, Err(payload)) => panic::resume_unwind(payload),
+    }
+}
+
+// ----------------------------------------------------------------------
+// scope
+// ----------------------------------------------------------------------
+
+/// A scope for spawning fire-and-forget tasks that may borrow from the
+/// enclosing stack frame ([`scope`] blocks until all of them finish).
+pub struct Scope<'scope> {
+    registry: &'static Registry,
+    /// Spawned jobs not yet completed.
+    pending: AtomicUsize,
+    /// First panic observed in a spawned job, rethrown by [`scope`].
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Invariant over 'scope, as in real rayon.
+    _marker: std::marker::PhantomData<&'scope mut &'scope ()>,
+}
+
+/// Create a scope: `op` may call [`Scope::spawn`] with closures borrowing
+/// anything that outlives the `scope` call; all spawned work completes
+/// before `scope` returns.  Panics from spawned jobs (and from `op`) are
+/// propagated after every job has finished.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    let s = Scope {
+        registry: Registry::global(),
+        pending: AtomicUsize::new(0),
+        panic: Mutex::new(None),
+        _marker: std::marker::PhantomData,
+    };
+    let result = panic::catch_unwind(AssertUnwindSafe(|| op(&s)));
+    s.registry.wait_until(Registry::current_worker(), || {
+        s.pending.load(Ordering::Acquire) == 0
+    });
+    if let Some(payload) = s.panic.lock().unwrap_or_else(|p| p.into_inner()).take() {
+        panic::resume_unwind(payload);
+    }
+    match result {
+        Ok(r) => r,
+        Err(payload) => panic::resume_unwind(payload),
+    }
+}
+
+/// `*const Scope` that crosses threads (sound: the scope outlives every
+/// spawned job by construction).
+struct ScopePtr<'scope>(*const Scope<'scope>);
+unsafe impl Send for ScopePtr<'_> {}
+
+impl<'scope> ScopePtr<'scope> {
+    /// Accessor (rather than direct field use) so closures capture the
+    /// whole `Send` wrapper, not the raw pointer field (edition-2021
+    /// closures capture disjoint fields).
+    fn get(&self) -> *const Scope<'scope> {
+        self.0
+    }
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawn `body` into the pool.  It may borrow from outside the scope
+    /// and may itself spawn further jobs onto the same scope.
+    pub fn spawn<BODY>(&self, body: BODY)
+    where
+        BODY: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        let scope_ptr = ScopePtr(self as *const Scope<'scope>);
+        let func: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let scope = unsafe { &*scope_ptr.get() };
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| body(scope))) {
+                let mut slot = scope.panic.lock().unwrap_or_else(|p| p.into_inner());
+                slot.get_or_insert(payload);
+            }
+            scope.pending.fetch_sub(1, Ordering::Release);
+        });
+        // Erase 'scope: sound because `scope` does not return (and the
+        // borrowed frame does not die) until `pending` drains to zero.
+        let func: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(func) };
+        self.registry
+            .schedule(Box::new(HeapJob { func }).into_job_ref());
+    }
+}

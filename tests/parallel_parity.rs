@@ -1,0 +1,103 @@
+//! Sequential-vs-parallel parity on a graph with deletions.
+//!
+//! PR 3 replaced the rayon shim's per-call threads with a persistent
+//! work-stealing pool and made `FrozenView::capture` parallel.  These tests
+//! pin the contract that none of that changes *answers*: every `*_parallel`
+//! kernel must agree with its sequential sibling at 1, 2 and 8 threads, and
+//! the parallel capture must produce byte-identical snapshots to the
+//! sequential baseline — on a graph where tombstones make the resolved
+//! adjacency differ from the raw insert stream.
+
+use analytics::{bfs, bfs_parallel, cc, cc_parallel, pagerank, pagerank_parallel, with_threads};
+use dgap::{DynamicGraph, FrozenView, GraphView, SnapshotSource};
+use pmem::PmemConfig;
+use sharded::ShardedGraph;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// A deterministic multi-shard DGAP graph, large enough to cross the
+/// parallel-capture thresholds, with a deletion pass so tombstone
+/// resolution is part of everything measured.
+fn deleted_edges_graph() -> ShardedGraph<dgap::Dgap> {
+    let n: u64 = 6_000;
+    let graph = ShardedGraph::create_dgap(3, n as usize, 64 << 10, |_| {
+        PmemConfig::with_capacity(96 << 20).persistence_tracking(false)
+    })
+    .expect("create sharded DGAP");
+    // An undirected-ish ring with chords: every vertex links to +1, +7 and
+    // +131 (mod n), both directions, so the kernels see one big connected
+    // component with varied degrees.
+    for v in 0..n {
+        for step in [1u64, 7, 131] {
+            let u = (v + step) % n;
+            graph.insert_edge(v, u).expect("insert");
+            graph.insert_edge(u, v).expect("insert");
+        }
+    }
+    // Delete the +7 chord from every third vertex (both directions):
+    // resolved adjacency now differs from the insert stream.
+    for v in (0..n).step_by(3) {
+        let u = (v + 7) % n;
+        assert!(graph.delete_edge(v, u).expect("delete"));
+        assert!(graph.delete_edge(u, v).expect("delete"));
+    }
+    graph
+}
+
+#[test]
+fn frozen_capture_parallel_matches_sequential_with_deletions() {
+    let graph = deleted_edges_graph();
+    let view = graph.consistent_view();
+    let seq = FrozenView::capture_sequential(&view);
+    for threads in THREAD_COUNTS {
+        let par = with_threads(threads, || FrozenView::capture(&view));
+        assert_eq!(par, seq, "capture diverged at {threads} threads");
+    }
+    // Sanity: the deletions are visible in the snapshot.
+    assert!(seq.num_edges() < 6_000 * 6);
+    assert_eq!(seq.num_edges(), GraphView::num_edges(&seq));
+    assert!(!seq.neighbors(0).contains(&7), "deleted chord resurfaced");
+}
+
+#[test]
+fn pagerank_parallel_matches_sequential_at_every_thread_count() {
+    let graph = deleted_edges_graph();
+    let frozen = FrozenView::capture(&graph.consistent_view());
+    let reference = pagerank(&frozen, 20);
+    for threads in THREAD_COUNTS {
+        let ranks = with_threads(threads, || pagerank_parallel(&frozen, 20));
+        assert_eq!(ranks.len(), reference.len());
+        for (v, (a, b)) in ranks.iter().zip(&reference).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-6,
+                "rank of vertex {v} diverged at {threads} threads: {a} vs {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn bfs_parallel_matches_sequential_at_every_thread_count() {
+    let graph = deleted_edges_graph();
+    let frozen = FrozenView::capture(&graph.consistent_view());
+    let seq_parents = bfs(&frozen, 0);
+    let seq_dist = analytics::bfs::distances_from_parents(&frozen, &seq_parents, 0);
+    for threads in THREAD_COUNTS {
+        let parents = with_threads(threads, || bfs_parallel(&frozen, 0));
+        // Parent choices may legitimately differ between same-level
+        // claimants; the reached set and every hop distance are exact.
+        let dist = analytics::bfs::distances_from_parents(&frozen, &parents, 0);
+        assert_eq!(dist, seq_dist, "BFS diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn cc_parallel_matches_sequential_at_every_thread_count() {
+    let graph = deleted_edges_graph();
+    let frozen = FrozenView::capture(&graph.consistent_view());
+    let seq_labels = cc(&frozen);
+    for threads in THREAD_COUNTS {
+        let labels = with_threads(threads, || cc_parallel(&frozen));
+        assert_eq!(labels, seq_labels, "CC diverged at {threads} threads");
+    }
+}

@@ -183,3 +183,65 @@ fn backend_errors_surface_as_responses_and_do_not_kill_the_loop() {
         .expect("mutations still accepted after another request failed");
     service.shutdown();
 }
+
+/// PR 3's incremental epoch cache: a write burst confined to one shard
+/// must re-capture only that shard — every untouched shard's materialised
+/// `Arc<FrozenView>` is carried over pointer-identical from the previous
+/// epoch, and the refresh accounting says exactly one shard was captured.
+#[test]
+fn incremental_refresh_reuses_untouched_shard_snapshots() {
+    let service = GraphService::start(ServiceConfig {
+        sharded: ShardedConfig::builder().shards(4).build(),
+        workers: 2,
+        num_vertices: 256,
+        num_edges: 1 << 14,
+        pool_bytes: 24 << 20,
+    })
+    .expect("start service");
+    let client = service.client();
+    let graph = service.graph();
+    let shards = graph.num_shards();
+
+    // Seed every shard so each has a non-empty snapshot.
+    let mut seed = Vec::new();
+    for v in 0..64u64 {
+        seed.push(Update::InsertEdge(v, (v + 1) % 64));
+    }
+    let t = client.mutate(seed).expect("seed");
+    client.wait(&t).expect("wait");
+    assert!(client.degree(0).expect("warm the cache") > 0);
+    let before = service.current_view();
+    let warm_stats = service.stats();
+
+    // Ten writes, all owned by vertex 0's shard.
+    let target = graph.shard_of(0);
+    let burst: Vec<Update> = (0..10u64).map(|k| Update::InsertEdge(0, 100 + k)).collect();
+    let t = client.mutate(burst).expect("burst");
+    client.wait(&t).expect("wait");
+    let after = service.current_view(); // refreshes the cache
+    let stats_after = service.stats();
+
+    for shard in 0..shards {
+        let reused =
+            std::sync::Arc::ptr_eq(&before.shard_view_arc(shard), &after.shard_view_arc(shard));
+        if shard == target {
+            assert!(!reused, "written shard {shard} must be re-captured");
+        } else {
+            assert!(reused, "untouched shard {shard} must reuse its snapshot");
+        }
+    }
+    // The burst's refresh captured exactly one of the four shards: O(one
+    // shard), not O(all shards).
+    assert_eq!(
+        stats_after.shard_captures - warm_stats.shard_captures,
+        1,
+        "single-shard burst must cost exactly one shard capture"
+    );
+    assert_eq!(
+        stats_after.snapshot_refreshes - warm_stats.snapshot_refreshes,
+        1
+    );
+    // And the post-burst epoch is correct.
+    assert_eq!(after.degree(0), 1 + 10);
+    service.shutdown();
+}
