@@ -473,21 +473,91 @@ pub fn fig9(opts: &BenchOptions) -> Table {
 // §4.4 — recovery
 // ----------------------------------------------------------------------
 
-/// §4.4: time to come back after a graceful shutdown vs after a crash.
+/// §4.4 + beyond: restart/crash-recovery wall time.
+///
+/// Rows per dataset (all on crash-tracking pools; `speedup vs seq` is the
+/// single-instance sequential crash scan divided by the row's time):
+///
+/// * `normal`       — graceful-shutdown backup reload
+/// * `crash-seq`    — crash scan forced onto the sequential path
+///   ([`DgapConfig::sequential_recovery`], the PR-before baseline)
+/// * `crash-par`    — the chunked parallel crash scan, one row per
+///   `--threads` entry (split width bounded via `with_threads`)
+/// * `crash-shards` — the same data partitioned across each `--shards`
+///   entry, reopened with [`sharded::ShardedGraph::open_dgap`] (per-shard
+///   opens fanned out on the pool, each shard's scan itself parallel)
 pub fn recovery(opts: &BenchOptions) -> Table {
+    use sharded::ShardedGraph;
+
+    /// Restore times are single-digit milliseconds at bench scales, so
+    /// every row is the **minimum of this many trials** (repeated opens of
+    /// the same crashed pool are idempotent).
+    const TRIALS: usize = 3;
+    /// Recovery is an `O(V + E)` scan of data the *insert* experiments
+    /// take minutes to build, so it affords a denser graph than the shared
+    /// `--scale` default: the effective scale divisor is `--scale /
+    /// RECOVERY_SCALE_BOOST` (same datasets, 8x the edges), which is what
+    /// gives the parallel scan enough work to show its speedup.
+    const RECOVERY_SCALE_BOOST: u64 = 8;
+
+    let opts = BenchOptions {
+        scale: (opts.scale / RECOVERY_SCALE_BOOST).max(1),
+        ..opts.clone()
+    };
+    let opts = &opts;
     let mut table = Table::new(
-        "Recovery: graceful-restart vs crash-recovery time (seconds, wall + simulated PM)",
-        &["dataset", "edges", "normal restart s", "crash recovery s"],
+        "Recovery: restart + crash-recovery time, sequential vs parallel vs sharded \
+         (restore = wall + simulated-PM critical path)",
+        &[
+            "dataset",
+            "mode",
+            "threads",
+            "shards",
+            "edges",
+            "wall s",
+            "pm s",
+            "restore s",
+            "speedup vs seq",
+        ],
     );
+    // Min wall over the trials plus the (deterministic, measured once)
+    // simulated device time.  `concurrency` is how many workers the scan
+    // spreads its device accesses over: the chunked parallel scan
+    // partitions the slot range evenly, so its per-thread share — the
+    // simulated critical path, the same convention as `sharding`'s
+    // "pm crit-path s" column — is the total divided by the split width.
+    let timed = |pool: &PmemPool, f: &mut dyn FnMut()| -> (f64, f64) {
+        let mut best_wall = f64::INFINITY;
+        let mut sim = 0.0f64;
+        for trial in 0..TRIALS {
+            let before = pool.stats_snapshot();
+            let start = std::time::Instant::now();
+            f();
+            best_wall = best_wall.min(start.elapsed().as_secs_f64());
+            if trial == 0 {
+                sim = pool
+                    .stats_snapshot()
+                    .delta_since(&before)
+                    .simulated_seconds();
+            }
+        }
+        (best_wall, sim)
+    };
     for spec in SMALL_DATASETS {
         let w = Workload::build(spec, opts);
-        // Recovery experiments need the crash-tracking pool.
-        let bytes = (w.edges.len() * 256).clamp(32 << 20, 1 << 30);
-        let mk_pool = || Arc::new(PmemPool::new(PmemConfig::with_capacity(bytes)));
+        let num_edges = w.edges.len();
+        // Recovery experiments need the crash-tracking pool; resize churn
+        // leaks abandoned generations into the bump allocator, hence the
+        // generous headroom.
+        let bytes = (num_edges * 1024)
+            .max(w.num_vertices * 1024)
+            .clamp(64 << 20, 2 << 30);
+        let cfg = DgapConfig::for_graph(w.num_vertices, num_edges);
 
-        // Graceful shutdown + reopen.
-        let pool = mk_pool();
-        let cfg = DgapConfig::for_graph(w.num_vertices, w.edges.len());
+        // One build serves every single-instance row: the first (normal)
+        // open clears the shutdown flag, so each later open of the same
+        // pool takes the crash path over identical persistent data.
+        let pool = Arc::new(PmemPool::new(PmemConfig::with_capacity(bytes)));
         let g = Dgap::create(Arc::clone(&pool), cfg.clone()).expect("create");
         for &(s, d) in &w.edges {
             g.insert_edge(s, d).expect("insert");
@@ -495,32 +565,145 @@ pub fn recovery(opts: &BenchOptions) -> Table {
         g.shutdown().expect("shutdown");
         drop(g);
         pool.simulate_crash();
-        let normal = measure(&pool, 1, || {
+
+        // Opening clears the shutdown flag, so the normal-restart row
+        // re-arms it (an untimed `shutdown`) between trials.
+        let mut normal_wall = f64::INFINITY;
+        let mut normal_sim = 0.0f64;
+        for trial in 0..TRIALS {
+            let before = pool.stats_snapshot();
+            let start = std::time::Instant::now();
             let (g2, kind) = Dgap::open(Arc::clone(&pool), cfg.clone()).expect("open");
             assert_eq!(kind, dgap::RecoveryKind::NormalRestart);
             std::hint::black_box(g2.num_vertices());
-        });
-
-        // Crash (no shutdown) + reopen.
-        let pool = mk_pool();
-        let g = Dgap::create(Arc::clone(&pool), cfg.clone()).expect("create");
-        for &(s, d) in &w.edges {
-            g.insert_edge(s, d).expect("insert");
+            normal_wall = normal_wall.min(start.elapsed().as_secs_f64());
+            if trial == 0 {
+                normal_sim = pool
+                    .stats_snapshot()
+                    .delta_since(&before)
+                    .simulated_seconds();
+            }
+            g2.shutdown().expect("re-arm backup");
         }
-        drop(g);
+        // The trials above left the shutdown flag armed; one untimed open
+        // clears it so every row below takes the crash path.  The probe
+        // also answers, per thread count, whether the crash scan actually
+        // fans out (small graphs fall back to the sequential scan — their
+        // device time must NOT be divided as if it had been split).
+        let probe = Dgap::open(Arc::clone(&pool), cfg.clone()).expect("open").0;
         pool.simulate_crash();
-        let crash = measure(&pool, 1, || {
-            let (g2, kind) = Dgap::open(Arc::clone(&pool), cfg.clone()).expect("open");
+        let (seq_wall, seq_sim) = timed(&pool, &mut || {
+            let (g2, kind) =
+                Dgap::open(Arc::clone(&pool), cfg.clone().sequential_recovery()).expect("open");
             assert!(matches!(kind, dgap::RecoveryKind::CrashRecovery { .. }));
             std::hint::black_box(g2.num_vertices());
         });
+        let seq_secs = seq_wall + seq_sim;
+        // (mode, threads, shards, wall, pm critical path)
+        let mut rows: Vec<(String, String, String, f64, f64)> = vec![
+            (
+                "normal".into(),
+                "1".into(),
+                "1".into(),
+                normal_wall,
+                normal_sim,
+            ),
+            (
+                "crash-seq".into(),
+                "1".into(),
+                "1".into(),
+                seq_wall,
+                seq_sim,
+            ),
+        ];
+        for &threads in &opts.thread_counts {
+            pool.simulate_crash();
+            let (par_wall, par_sim) = timed(&pool, &mut || {
+                with_threads(threads, || {
+                    let (g2, kind) = Dgap::open(Arc::clone(&pool), cfg.clone()).expect("open");
+                    assert!(matches!(kind, dgap::RecoveryKind::CrashRecovery { .. }));
+                    std::hint::black_box(g2.num_vertices());
+                });
+            });
+            let scanners = if probe.crash_scan_is_parallel(threads) {
+                threads
+            } else {
+                1
+            };
+            rows.push((
+                "crash-par".into(),
+                format!("{threads}"),
+                "1".into(),
+                par_wall,
+                par_sim / scanners as f64,
+            ));
+        }
 
-        table.row(vec![
-            spec.name.to_string(),
-            format!("{}", w.edges.len()),
-            secs(normal.total_secs()),
-            secs(crash.total_secs()),
-        ]);
+        // Sharded rows: the same workload partitioned across the shards
+        // (`--shards`), every shard crashed, the whole graph reopened in
+        // one call.
+        for &shards in &opts.shard_counts {
+            let per_shard_bytes = (num_edges.div_ceil(shards) * 3 * 1024)
+                .max(w.num_vertices * 1024)
+                .clamp(64 << 20, 1 << 30);
+            let graph = ShardedGraph::create_dgap(shards, w.num_vertices, num_edges, |_| {
+                PmemConfig::with_capacity(per_shard_bytes)
+            })
+            .expect("create sharded DGAP");
+            for &(s, d) in &w.edges {
+                graph.insert_edge(s, d).expect("insert");
+            }
+            let pools: Vec<Arc<PmemPool>> = (0..shards)
+                .map(|i| Arc::clone(graph.shard(i).pool()))
+                .collect();
+            drop(graph); // no shutdown: every shard takes the crash path
+            for p in &pools {
+                p.simulate_crash();
+            }
+            let cfg = cfg.clone();
+            let mut shard_wall = f64::INFINITY;
+            let mut shard_crit = 0.0f64;
+            for trial in 0..TRIALS {
+                let before: Vec<_> = pools.iter().map(|p| p.stats_snapshot()).collect();
+                let start = std::time::Instant::now();
+                let (g2, recovered) =
+                    ShardedGraph::open_dgap(pools.clone(), |_| cfg.clone()).expect("open_dgap");
+                assert_eq!(recovered.crashed_shards(), shards);
+                std::hint::black_box(g2.num_edges());
+                shard_wall = shard_wall.min(start.elapsed().as_secs_f64());
+                if trial == 0 {
+                    // Shards recover in parallel, so the device cost on the
+                    // critical path is the slowest shard's, not the sum.
+                    shard_crit = pools
+                        .iter()
+                        .zip(&before)
+                        .map(|(p, b)| p.stats_snapshot().delta_since(b).simulated_seconds())
+                        .fold(0.0f64, f64::max);
+                }
+            }
+            rows.push((
+                "crash-shards".into(),
+                "pool".into(),
+                format!("{shards}"),
+                shard_wall,
+                shard_crit,
+            ));
+        }
+
+        for (mode, threads, shards, wall_secs, pm_secs) in rows {
+            let restore_secs = wall_secs + pm_secs;
+            table.row(vec![
+                spec.name.to_string(),
+                mode,
+                threads,
+                shards,
+                format!("{num_edges}"),
+                secs(wall_secs),
+                secs(pm_secs),
+                secs(restore_secs),
+                ratio(seq_secs / restore_secs.max(1e-9)),
+            ]);
+        }
     }
     table
 }
@@ -935,7 +1118,14 @@ mod tests {
 
     #[test]
     fn recovery_runner() {
-        assert_eq!(recovery(&tiny()).len(), SMALL_DATASETS.len());
+        let opts = BenchOptions {
+            shard_counts: vec![1, 2],
+            ..tiny()
+        };
+        // Per dataset: normal + crash-seq + one crash-par row per thread
+        // count + one crash-shards row per shard count.
+        let per_dataset = 2 + opts.thread_counts.len() + opts.shard_counts.len();
+        assert_eq!(recovery(&opts).len(), SMALL_DATASETS.len() * per_dataset);
     }
 
     #[test]

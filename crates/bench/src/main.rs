@@ -5,7 +5,9 @@
 //!                         [--json DIR]
 //!
 //! experiments:
-//!   fig1a fig1b fig1c fig5 fig6 table3 fig7 fig8 table4 table5 fig9 recovery
+//!   fig1a fig1b fig1c fig5 fig6 table3 fig7 fig8 table4 table5 fig9
+//!   recovery     (§4.4 + beyond: graceful vs crash restore, sequential vs
+//!                 parallel scans per --threads, `open_dgap` per --shards)
 //!   sharding     (beyond the paper: crates/sharded ingest + kernel scaling)
 //!   serve        (beyond the paper: GraphService mixed mutate/query traffic)
 //!   snapshot     (beyond the paper: sequential vs parallel/incremental

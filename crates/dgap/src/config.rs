@@ -32,9 +32,19 @@ pub struct DgapConfig {
     pub gap_factor: f64,
     /// Number of element slots per PMA section.  One per-section edge log is
     /// attached to each section.
+    ///
+    /// This is a *creation-time* parameter: [`crate::Dgap::open`] always
+    /// uses the value recorded in the pool's superblock (the persistent
+    /// layout was built with it and cannot be reinterpreted).  Passing the
+    /// default here is always accepted on open; passing an explicit value
+    /// that differs from the recorded one is a configuration error.
     pub segment_size: usize,
     /// Size of one per-section edge log in bytes (`ELOG_SZ`).  The paper's
     /// default is 2 KiB; Fig. 9 sweeps 64 B – 16 KiB.
+    ///
+    /// Like [`DgapConfig::segment_size`], this is recorded in the
+    /// superblock at creation time and [`crate::Dgap::open`] uses the
+    /// recorded value; an explicit non-default mismatch is rejected.
     pub elog_size: usize,
     /// Per-thread undo-log region size in bytes (`ULOG_SZ`); also the chunk
     /// granularity at which rebalance backups are persisted.
@@ -55,6 +65,13 @@ pub struct DgapConfig {
     pub use_undo_log: bool,
     /// Placement of the vertex array and PMA-tree mirror ("DP" in Table 5).
     pub metadata_placement: Placement,
+    /// Whether crash recovery may rebuild the DRAM metadata with the
+    /// work-stealing pool (chunked parallel scans over the edge array, the
+    /// per-section edge logs and the metadata backup).  `true` by default;
+    /// recovery still falls back to the sequential scan on small graphs or
+    /// when only one thread is available.  The `recovery` benchmark turns
+    /// this off to measure the sequential baseline.
+    pub parallel_recovery: bool,
 }
 
 impl Default for DgapConfig {
@@ -72,6 +89,7 @@ impl Default for DgapConfig {
             use_edge_log: true,
             use_undo_log: true,
             metadata_placement: Placement::Dram,
+            parallel_recovery: true,
         }
     }
 }
@@ -146,6 +164,13 @@ impl DgapConfig {
         self
     }
 
+    /// Builder-style: force crash recovery onto the sequential scan path
+    /// (the measured baseline of the `recovery` benchmark).
+    pub fn sequential_recovery(mut self) -> Self {
+        self.parallel_recovery = false;
+        self
+    }
+
     /// Number of edge-array slots the initial allocation should contain:
     /// one pivot per expected vertex plus the expected edges scaled by the
     /// gap factor, rounded so the segment count is a power of two.
@@ -205,8 +230,10 @@ mod tests {
             .writer_threads(4)
             .without_edge_log()
             .without_undo_log()
-            .metadata_on_pmem();
+            .metadata_on_pmem()
+            .sequential_recovery();
         c.validate();
+        assert!(!c.parallel_recovery);
         assert_eq!(c.init_vertices, 100);
         assert_eq!(c.init_edges, 1000);
         assert_eq!(c.elog_size, 4096);

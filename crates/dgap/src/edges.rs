@@ -164,10 +164,19 @@ impl EdgeArray {
 
     /// Scan the whole array, invoking `f(slot_index, slot)` for every
     /// occupied slot.  Used by crash recovery and by resize gathering.
-    pub fn scan(&self, mut f: impl FnMut(u64, Slot)) {
+    pub fn scan(&self, f: impl FnMut(u64, Slot)) {
         let cap = self.capacity();
+        self.scan_segments(0..self.num_segments(), f);
+        debug_assert_eq!(cap, self.capacity());
+    }
+
+    /// Scan a contiguous run of sections, invoking `f(slot_index, slot)`
+    /// for every occupied slot in slot order.  Parallel crash recovery
+    /// hands disjoint section ranges to different pool workers;
+    /// [`EdgeArray::scan`] is the whole-array convenience built on top.
+    pub fn scan_segments(&self, sections: std::ops::Range<usize>, mut f: impl FnMut(u64, Slot)) {
         // Read section by section to keep buffers modest.
-        for section in 0..self.num_segments() {
+        for section in sections {
             let range = self.section_slots(section);
             let raw = self.read_raw(range.start, self.segment_size);
             for (i, &word) in raw.iter().enumerate() {
@@ -177,7 +186,6 @@ impl EdgeArray {
                 }
             }
         }
-        debug_assert_eq!(cap, self.capacity());
     }
 }
 

@@ -282,21 +282,30 @@ impl EdgeLogs {
     /// and invoke `f` with `(section, global_index, entry)`.  Also rebuilds
     /// the DRAM used counters.  This is the crash-recovery path.
     pub fn scan_all(&self, mut f: impl FnMut(usize, u32, ElogEntry)) {
-        let used = self.used.read();
         for section in 0..self.num_sections() {
-            let mut count = 0u32;
-            for slot in 0..self.entries_per_section {
-                let global = (section * self.entries_per_section + slot) as u32;
-                match self.entry(global) {
-                    Some(e) => {
-                        count += 1;
-                        f(section, global, e);
-                    }
-                    None => break,
-                }
-            }
-            used[section].store(count, Ordering::Release);
+            self.scan_section(section, |global, e| f(section, global, e));
         }
+    }
+
+    /// Scan one section's log in append order (stopping at its first empty
+    /// slot), invoking `f(global_index, entry)`, and store the rebuilt DRAM
+    /// used counter for that section.  Returns the live entry count.
+    /// Sections are independent regions, so the parallel crash-recovery
+    /// path scans them concurrently.
+    pub fn scan_section(&self, section: usize, mut f: impl FnMut(u32, ElogEntry)) -> u32 {
+        let mut count = 0u32;
+        for slot in 0..self.entries_per_section {
+            let global = (section * self.entries_per_section + slot) as u32;
+            match self.entry(global) {
+                Some(e) => {
+                    count += 1;
+                    f(global, e);
+                }
+                None => break,
+            }
+        }
+        self.used.read()[section].store(count, Ordering::Release);
+        count
     }
 
     /// Rebuild the DRAM used counters without reporting entries.

@@ -51,7 +51,7 @@ pub mod vertex;
 
 pub use config::{DgapConfig, Placement};
 pub use graph::{Dgap, DgapSnapshot, DgapStats, DgapStatsSnapshot};
-pub use recovery::RecoveryKind;
+pub use recovery::{RecoveredState, RecoveryKind};
 pub use slot::Slot;
 pub use traits::{
     DynamicGraph, FrozenView, GraphError, GraphResult, GraphView, OwnedSnapshotSource,

@@ -60,3 +60,6 @@ pub mod service;
 pub use client::GraphClient;
 pub use request::{Query, QueryResult, Request, Response, ServiceStats};
 pub use service::{GraphService, ServiceConfig};
+// Re-exported so a restarting caller can consume `GraphService::open`'s
+// recovery report without depending on `sharded` directly.
+pub use sharded::ShardedRecovery;

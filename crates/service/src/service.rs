@@ -1,9 +1,9 @@
 //! The service loop: ownership of the engine, worker threads, epoch cache.
 
 use crate::request::{Query, QueryResult, Request, Response, ServiceStats};
-use dgap::{Dgap, GraphResult, GraphView};
-use pmem::PmemConfig;
-use sharded::{IngestPipeline, OwnedShardedView, ShardedConfig, ShardedGraph};
+use dgap::{Dgap, DgapConfig, GraphError, GraphResult, GraphView};
+use pmem::{PmemConfig, PmemPool};
+use sharded::{IngestPipeline, OwnedShardedView, ShardedConfig, ShardedGraph, ShardedRecovery};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
@@ -211,7 +211,7 @@ pub struct GraphService {
 }
 
 impl GraphService {
-    /// Build the engine and start the worker pool.
+    /// Build a fresh engine and start the worker pool.
     pub fn start(config: ServiceConfig) -> GraphResult<GraphService> {
         config.sharded.validate();
         assert!(config.workers > 0, "a service needs at least one worker");
@@ -222,6 +222,44 @@ impl GraphService {
             config.num_edges,
             |_| PmemConfig::with_capacity(pool_bytes).persistence_tracking(false),
         )?);
+        Ok(Self::launch(graph, &config))
+    }
+
+    /// Restart the service over pools that already contain one shard each
+    /// (the counterpart to [`GraphService::start`] after a process restart
+    /// or a crash): every shard is re-opened via
+    /// [`ShardedGraph::open_dgap`] — per-shard `Dgap::open`s fanned out on
+    /// the work-stealing pool, crashed shards rebuilt with the parallel
+    /// recovery scans — and the worker pool starts over the recovered
+    /// graph.  `pools[i]` must be shard `i`'s pool from the previous
+    /// generation, in the original order, and the shard count must match
+    /// `config.sharded.num_shards`.
+    ///
+    /// Returns the service together with the [`ShardedRecovery`] report of
+    /// which restart path each shard took.
+    pub fn open(
+        config: ServiceConfig,
+        pools: Vec<Arc<PmemPool>>,
+    ) -> GraphResult<(GraphService, ShardedRecovery)> {
+        config.sharded.validate();
+        assert!(config.workers > 0, "a service needs at least one worker");
+        if pools.len() != config.sharded.num_shards {
+            return Err(GraphError::Other(format!(
+                "GraphService::open got {} pools for {} shards",
+                pools.len(),
+                config.sharded.num_shards
+            )));
+        }
+        let per_shard_edges = config.num_edges.div_ceil(config.sharded.num_shards.max(1));
+        let num_vertices = config.num_vertices;
+        let (graph, recovery) = ShardedGraph::open_dgap(pools, |_| {
+            DgapConfig::for_graph(num_vertices, per_shard_edges)
+        })?;
+        Ok((Self::launch(Arc::new(graph), &config), recovery))
+    }
+
+    /// Start the request loop and worker pool over an already-built engine.
+    fn launch(graph: Arc<ShardedGraph<Dgap>>, config: &ServiceConfig) -> GraphService {
         let pipeline = IngestPipeline::new(Arc::clone(&graph), &config.sharded);
         let inner = Arc::new(Inner {
             graph,
@@ -245,11 +283,11 @@ impl GraphService {
                     .expect("spawn service worker")
             })
             .collect();
-        Ok(GraphService {
+        GraphService {
             inner,
             sender: Some(sender),
             workers,
-        })
+        }
     }
 
     /// A new client handle.  Handles are cheap, cloneable, and usable from
@@ -267,6 +305,15 @@ impl GraphService {
     /// embedding callers; requests keep flowing through clients).
     pub fn graph(&self) -> &Arc<ShardedGraph<Dgap>> {
         &self.inner.graph
+    }
+
+    /// Handles to each shard's persistent pool, in shard order.  Keep
+    /// these across [`GraphService::shutdown`] (or a crash) to restart the
+    /// service over the same data with [`GraphService::open`].
+    pub fn shard_pools(&self) -> Vec<Arc<PmemPool>> {
+        (0..self.inner.graph.num_shards())
+            .map(|i| Arc::clone(self.inner.graph.shard(i).pool()))
+            .collect()
     }
 
     /// Current service statistics (same numbers [`Query::Stats`] reports).
@@ -447,6 +494,51 @@ mod tests {
         // The worker pool survived the hostile queries.
         assert_eq!(client.degree(0).unwrap(), 1);
         service.shutdown();
+    }
+
+    #[test]
+    fn open_restarts_over_crashed_pools_with_query_parity() {
+        let config = ServiceConfig::small_test();
+        let service = GraphService::start(config.clone()).unwrap();
+        let client = service.client();
+        let t = client
+            .mutate(vec![
+                Update::InsertEdge(0, 1),
+                Update::InsertEdge(0, 2),
+                Update::InsertEdge(1, 0),
+                Update::DeleteEdge(0, 1),
+            ])
+            .unwrap();
+        client.wait(&t).unwrap();
+        client.flush().unwrap();
+        let pools = service.shard_pools();
+        // Stop the workers without a graceful Dgap::shutdown: the
+        // NORMAL_SHUTDOWN flag stays clear, so reopening takes the crash
+        // path.  (Service pools run with persistence tracking off, so
+        // there is no volatile image to discard on top of that.)
+        service.shutdown();
+
+        let (reopened, recovery) = GraphService::open(config, pools).unwrap();
+        assert_eq!(recovery.num_shards(), 2);
+        assert_eq!(recovery.crashed_shards(), 2, "no graceful shutdown ran");
+        let client = reopened.client();
+        assert_eq!(client.neighbors(0).unwrap(), vec![2]);
+        assert_eq!(client.neighbors(1).unwrap(), vec![0]);
+        // The recovered service keeps accepting writes.
+        let t = client.mutate(vec![Update::InsertEdge(0, 9)]).unwrap();
+        client.wait(&t).unwrap();
+        assert_eq!(client.neighbors(0).unwrap(), vec![2, 9]);
+        reopened.shutdown();
+    }
+
+    #[test]
+    fn open_rejects_a_pool_count_mismatch() {
+        let config = ServiceConfig::small_test();
+        let service = GraphService::start(config.clone()).unwrap();
+        let mut pools = service.shard_pools();
+        pools.pop();
+        service.shutdown();
+        assert!(GraphService::open(config, pools).is_err());
     }
 
     #[test]

@@ -3,11 +3,63 @@
 use crate::partition::Partitioner;
 use crate::view::{OwnedShardedView, ShardedView};
 use dgap::{
-    Dgap, DgapConfig, DynamicGraph, FrozenView, GraphResult, OwnedSnapshotSource, SnapshotSource,
-    VertexId,
+    Dgap, DgapConfig, DynamicGraph, FrozenView, GraphError, GraphResult, OwnedSnapshotSource,
+    RecoveryKind, SnapshotSource, VertexId,
 };
 use pmem::{PmemConfig, PmemPool};
 use std::sync::Arc;
+
+/// How a [`ShardedGraph::open_dgap`] call brought each shard back: the
+/// per-shard [`RecoveryKind`]s in shard order plus the aggregate numbers a
+/// restarting service wants to log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardedRecovery {
+    per_shard: Vec<RecoveryKind>,
+}
+
+impl ShardedRecovery {
+    /// Number of shards that were opened.
+    pub fn num_shards(&self) -> usize {
+        self.per_shard.len()
+    }
+
+    /// The restart path shard `index` took.
+    pub fn shard(&self, index: usize) -> RecoveryKind {
+        self.per_shard[index]
+    }
+
+    /// Per-shard restart paths, in shard order.
+    pub fn per_shard(&self) -> &[RecoveryKind] {
+        &self.per_shard
+    }
+
+    /// Number of shards that came back through crash recovery (rather than
+    /// a graceful-shutdown backup reload).
+    pub fn crashed_shards(&self) -> usize {
+        self.per_shard
+            .iter()
+            .filter(|k| matches!(k, RecoveryKind::CrashRecovery { .. }))
+            .count()
+    }
+
+    /// `true` when every shard restarted from a graceful-shutdown backup.
+    pub fn all_normal(&self) -> bool {
+        self.crashed_shards() == 0
+    }
+
+    /// Total interrupted rebalances rolled back across all shards.
+    pub fn rolled_back_rebalances(&self) -> usize {
+        self.per_shard
+            .iter()
+            .map(|k| match k {
+                RecoveryKind::CrashRecovery {
+                    rolled_back_rebalances,
+                } => *rolled_back_rebalances,
+                RecoveryKind::NormalRestart => 0,
+            })
+            .sum()
+    }
+}
 
 /// A graph hash-partitioned across `N` independent backend instances.
 ///
@@ -100,6 +152,55 @@ impl ShardedGraph<Dgap> {
             let pool = Arc::new(PmemPool::new(PmemConfig::small_test()));
             Dgap::create(pool, DgapConfig::small_test())
         })
+    }
+
+    /// Re-open a sharded DGAP over pools that already contain one shard
+    /// each — the counterpart to [`ShardedGraph::create_dgap`] after a
+    /// restart or a crash.  `pools[i]` becomes shard `i` (the partitioner
+    /// is deterministic in the shard count, so the original order must be
+    /// kept); `config(i)` supplies each shard's [`DgapConfig`] the same way
+    /// `create_dgap`'s factory did (structural parameters are read back
+    /// from each pool's superblock — see [`Dgap::open`]).
+    ///
+    /// The per-shard `Dgap::open` calls — each itself a parallel scan on a
+    /// crashed shard — **fan out concurrently** on the work-stealing pool
+    /// via `scope`, so a multi-shard crash recovery costs roughly the
+    /// slowest shard, not the sum.  Returns the graph together with a
+    /// [`ShardedRecovery`] report of which restart path every shard took.
+    pub fn open_dgap(
+        pools: Vec<Arc<PmemPool>>,
+        config: impl Fn(usize) -> DgapConfig + Sync,
+    ) -> GraphResult<(Self, ShardedRecovery)> {
+        if pools.is_empty() {
+            return Err(GraphError::Other(
+                "open_dgap needs at least one shard pool".into(),
+            ));
+        }
+        let num_shards = pools.len();
+        let mut slots: Vec<Option<GraphResult<(Dgap, RecoveryKind)>>> =
+            (0..num_shards).map(|_| None).collect();
+        rayon::scope(|s| {
+            for (shard, (slot, pool)) in slots.iter_mut().zip(pools).enumerate() {
+                let config = &config;
+                s.spawn(move |_| {
+                    *slot = Some(Dgap::open(pool, config(shard)));
+                });
+            }
+        });
+        let mut shards = Vec::with_capacity(num_shards);
+        let mut per_shard = Vec::with_capacity(num_shards);
+        for slot in slots {
+            let (graph, kind) = slot.expect("scope completed every shard open")?;
+            shards.push(Arc::new(graph));
+            per_shard.push(kind);
+        }
+        Ok((
+            ShardedGraph {
+                shards,
+                partitioner: Partitioner::new(num_shards),
+            },
+            ShardedRecovery { per_shard },
+        ))
     }
 }
 
@@ -308,6 +409,77 @@ mod tests {
     fn reusing_capture_rejects_wrong_slot_count() {
         let g = ShardedGraph::create_dgap_small_test(2).unwrap();
         let _ = g.owned_view_reusing(vec![None]);
+    }
+
+    /// Build a sharded DGAP on crash-tracking pools, ingest, and hand back
+    /// the graph together with its pool handles (which outlive the graph).
+    fn crashed_pools(num_shards: usize, edges: &[(u64, u64)]) -> Vec<Arc<pmem::PmemPool>> {
+        let graph = ShardedGraph::new(num_shards, |_| {
+            let pool = Arc::new(pmem::PmemPool::new(PmemConfig::small_test()));
+            dgap::Dgap::create(pool, DgapConfig::small_test())
+        })
+        .unwrap();
+        for &(s, d) in edges {
+            graph.insert_edge(s, d).unwrap();
+        }
+        let pools: Vec<Arc<pmem::PmemPool>> = (0..num_shards)
+            .map(|i| Arc::clone(graph.shard(i).pool()))
+            .collect();
+        drop(graph); // no shutdown: the next open takes the crash path
+        for pool in &pools {
+            pool.simulate_crash();
+        }
+        pools
+    }
+
+    #[test]
+    fn open_dgap_recovers_every_shard_after_a_crash() {
+        let edges: Vec<(u64, u64)> = (0..600u64).map(|i| (i % 48, (i * 7) % 48)).collect();
+        for shards in [1usize, 2, 4] {
+            let pools = crashed_pools(shards, &edges);
+            let (reopened, recovery) =
+                ShardedGraph::open_dgap(pools, |_| DgapConfig::small_test()).unwrap();
+            assert_eq!(recovery.num_shards(), shards);
+            assert_eq!(recovery.crashed_shards(), shards, "{shards} shards");
+            assert!(!recovery.all_normal());
+            let mut oracle = ReferenceGraph::new(48);
+            for &(s, d) in &edges {
+                oracle.add_edge(s, d);
+            }
+            let view = reopened.consistent_view();
+            for v in 0..48u64 {
+                assert_eq!(view.neighbors(v), oracle.neighbors(v), "vertex {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn open_dgap_reports_normal_restart_after_shutdown() {
+        let graph = ShardedGraph::new(2, |_| {
+            let pool = Arc::new(pmem::PmemPool::new(PmemConfig::small_test()));
+            dgap::Dgap::create(pool, DgapConfig::small_test())
+        })
+        .unwrap();
+        graph.insert_edge(1, 2).unwrap();
+        graph.insert_edge(2, 1).unwrap();
+        let pools: Vec<_> = (0..2).map(|i| Arc::clone(graph.shard(i).pool())).collect();
+        for i in 0..2 {
+            graph.shard(i).shutdown().unwrap();
+        }
+        drop(graph);
+        for pool in &pools {
+            pool.simulate_crash();
+        }
+        let (reopened, recovery) =
+            ShardedGraph::open_dgap(pools, |_| DgapConfig::small_test()).unwrap();
+        assert!(recovery.all_normal());
+        assert_eq!(recovery.rolled_back_rebalances(), 0);
+        assert_eq!(reopened.consistent_view().neighbors(1), vec![2]);
+    }
+
+    #[test]
+    fn open_dgap_rejects_an_empty_pool_set() {
+        assert!(ShardedGraph::open_dgap(Vec::new(), |_| DgapConfig::small_test()).is_err());
     }
 
     #[test]

@@ -68,7 +68,7 @@ pub mod stats;
 pub mod view;
 
 pub use config::{ShardedConfig, ShardedConfigBuilder};
-pub use graph::{ShardedDgap, ShardedGraph};
+pub use graph::{ShardedDgap, ShardedGraph, ShardedRecovery};
 pub use partition::Partitioner;
 pub use pipeline::{IngestPipeline, Ticket};
 pub use stats::{PipelineStats, ShardIngestStats};
