@@ -17,6 +17,17 @@
 //! benchmark harness picks the parallel variant and sizes the rayon pool to
 //! the requested thread count.
 //!
+//! Views that expose flat CSR arrays ([`dgap::CsrView`]: `FrozenView`, the
+//! `sharded` crate's unified cross-shard snapshot) additionally get
+//! **zero-dispatch** `*_csr` variants: the hot loops iterate borrowed
+//! neighbour slices directly, chunked over the work-stealing pool, instead
+//! of paying a virtual `&mut dyn FnMut` call per edge through
+//! [`GraphView::for_each_neighbor`].  Each `*_csr` kernel produces the same
+//! answers as its dyn siblings (bit-identical ranks for `pagerank_csr`,
+//! identical labels for `cc_csr`, identical reached sets/distances for
+//! `bfs_csr`); `tests/analytics_csr_parity.rs` and the `dgap-bench
+//! analytics` experiment pin parity and the speedup respectively.
+//!
 //! Like GAPBS (and the paper's evaluation, which feeds every system the
 //! same pre-processed inputs), the kernels treat the neighbour lists as the
 //! adjacency of an undirected graph: PageRank pulls contributions over the
@@ -32,10 +43,10 @@ pub mod bfs;
 pub mod cc;
 pub mod pagerank;
 
-pub use bc::{bc, bc_parallel};
-pub use bfs::{bfs, bfs_parallel};
-pub use cc::{cc, cc_parallel};
-pub use pagerank::{pagerank, pagerank_parallel};
+pub use bc::{bc, bc_csr, bc_parallel};
+pub use bfs::{bfs, bfs_csr, bfs_parallel};
+pub use cc::{cc, cc_csr, cc_parallel};
+pub use pagerank::{pagerank, pagerank_csr, pagerank_parallel};
 
 use dgap::{GraphView, VertexId};
 use rayon::prelude::*;

@@ -9,7 +9,8 @@
 use crate::harness::{measure, pool_for_edges, AnySystem, BenchOptions, Measurement, Workload};
 use crate::report::{meps, ratio, secs, Table};
 use analytics::{
-    bc_parallel, bfs_parallel, cc_parallel, highest_degree_vertex, pagerank_parallel, with_threads,
+    bc_csr, bc_parallel, bfs_csr, bfs_parallel, cc_csr, cc_parallel, highest_degree_vertex,
+    pagerank_csr, pagerank_parallel, with_threads,
 };
 use baselines::SystemKind;
 use dgap::{Dgap, DgapConfig, DgapVariant, DynamicGraph, GraphView, SnapshotSource};
@@ -941,6 +942,214 @@ pub fn snapshot(opts: &BenchOptions) -> Table {
     table
 }
 
+/// `analytics`: the zero-dispatch analytics plane — dyn-dispatch kernels
+/// (per-edge `&mut dyn FnMut` through [`dgap::GraphView`]) vs the `*_csr`
+/// slice kernels, plus the cost of the [`sharded::UnifiedView`] merge the
+/// CSR kernels run over.  Not a paper artefact — this seeds the analytics
+/// trajectory the ISSUE-5 plane opens.
+///
+/// Rows (p50/p99 over trials):
+///
+/// * `dyn` / `csr` per `--threads` entry × kernel (PR/BFS/CC/BC): both run
+///   over the **same** [`sharded::UnifiedView`] data, so the row pair
+///   isolates pure dispatch cost; the `csr` row's `speedup` column is dyn
+///   p50 / csr p50.
+/// * `dyn-composite` / `csr-unified` per `--shards` entry (PageRank): the
+///   shard-routed composite (partitioner hash per vertex + dyn dispatch
+///   per edge) vs the unified CSR at that shard count — what the service's
+///   query path actually switched from and to.
+/// * `unify-full` / `unify-incr1` per `--shards` entry: the full merge vs
+///   an incremental refresh after touching **one** shard (every other
+///   shard's spans carried forward; `speedup` = full p50 / incr p50).
+pub fn analytics(opts: &BenchOptions) -> Table {
+    use sharded::{ShardedGraph, UnifiedView};
+
+    const TRIALS: usize = 5;
+    /// One delete per this many inserts, so tombstone resolution shapes
+    /// the adjacency the kernels scan.
+    const DELETE_EVERY: usize = 64;
+    /// PageRank iterations (Table 1's GAPBS configuration).
+    const ITERS: usize = analytics::pagerank::DEFAULT_ITERATIONS;
+    /// Kernels are pure DRAM scans over data the *insert* experiments take
+    /// minutes to build, so (like `recovery`) this experiment affords a
+    /// denser graph than the shared `--scale` default: 8x the edges gives
+    /// the dispatch gap and the unify merge enough work to measure.
+    const ANALYTICS_SCALE_BOOST: u64 = 8;
+
+    let opts = BenchOptions {
+        scale: (opts.scale / ANALYTICS_SCALE_BOOST).max(1),
+        ..opts.clone()
+    };
+    let opts = &opts;
+    let w = Workload::build(ORKUT, opts);
+    let num_edges = w.edges.len();
+    let kernel_shards = opts.shard_counts.iter().copied().max().unwrap_or(4).max(2);
+
+    let build_graph = |shards: usize| -> Arc<ShardedGraph<Dgap>> {
+        let per_shard_edges = num_edges.div_ceil(shards);
+        let bytes = (per_shard_edges * 3 * 1024)
+            .max(w.num_vertices * 1024)
+            .clamp(64 << 20, 1 << 30);
+        let graph = Arc::new(
+            ShardedGraph::create_dgap(shards, w.num_vertices, num_edges, |_| {
+                PmemConfig::with_capacity(bytes).persistence_tracking(false)
+            })
+            .expect("create sharded DGAP"),
+        );
+        for (i, &(s, d)) in w.edges.iter().enumerate() {
+            graph.insert_edge(s, d).expect("insert");
+            if i % DELETE_EVERY == 0 {
+                graph.delete_edge(s, d).expect("delete");
+            }
+        }
+        graph
+    };
+    let timed = |f: &mut dyn FnMut()| -> (f64, f64) {
+        let mut samples_ms: Vec<f64> = (0..TRIALS)
+            .map(|_| {
+                let start = std::time::Instant::now();
+                f();
+                start.elapsed().as_secs_f64() * 1e3
+            })
+            .collect();
+        samples_ms.sort_by(f64::total_cmp);
+        (percentile(&samples_ms, 0.50), percentile(&samples_ms, 0.99))
+    };
+
+    let mut table = Table::new(
+        format!(
+            "Analytics: dyn-dispatch vs zero-dispatch CSR kernels + UnifiedView merge \
+             (Orkut-scaled, {num_edges} edge records)"
+        ),
+        &[
+            "mode", "kernel", "threads", "shards", "trials", "p50 ms", "p99 ms", "speedup",
+        ],
+    );
+
+    // Kernel rows: dyn vs CSR over the same unified data, per thread count.
+    // Scoped so this graph (and its per-shard pools) is dropped before the
+    // shard loop below builds the next one — peak footprint stays at one
+    // graph + one unified CSR.
+    {
+        let graph = build_graph(kernel_shards);
+        let owned = graph.consistent_view_arc();
+        let unified = UnifiedView::unify(&owned);
+        let source = highest_degree_vertex(&unified);
+        let kernels = [Kernel::PageRank, Kernel::Bfs, Kernel::Cc, Kernel::Bc];
+        for &threads in &opts.thread_counts {
+            for kernel in kernels {
+                let (dyn_p50, dyn_p99) = timed(&mut || {
+                    with_threads(threads, || match kernel {
+                        Kernel::PageRank => {
+                            std::hint::black_box(pagerank_parallel(&unified, ITERS).len());
+                        }
+                        Kernel::Bfs => {
+                            std::hint::black_box(bfs_parallel(&unified, source).len());
+                        }
+                        Kernel::Cc => {
+                            std::hint::black_box(cc_parallel(&unified).len());
+                        }
+                        Kernel::Bc => {
+                            std::hint::black_box(bc_parallel(&unified, source).len());
+                        }
+                    });
+                });
+                let (csr_p50, csr_p99) = timed(&mut || {
+                    with_threads(threads, || match kernel {
+                        Kernel::PageRank => {
+                            std::hint::black_box(pagerank_csr(&unified, ITERS).len());
+                        }
+                        Kernel::Bfs => {
+                            std::hint::black_box(bfs_csr(&unified, source).len());
+                        }
+                        Kernel::Cc => {
+                            std::hint::black_box(cc_csr(&unified).len());
+                        }
+                        Kernel::Bc => {
+                            std::hint::black_box(bc_csr(&unified, source).len());
+                        }
+                    });
+                });
+                for (mode, p50, p99, speedup) in [
+                    ("dyn", dyn_p50, dyn_p99, 1.0),
+                    ("csr", csr_p50, csr_p99, dyn_p50 / csr_p50.max(1e-9)),
+                ] {
+                    table.row(vec![
+                        mode.to_string(),
+                        kernel.label().to_string(),
+                        format!("{threads}"),
+                        format!("{kernel_shards}"),
+                        format!("{TRIALS}"),
+                        format!("{p50:.3}"),
+                        format!("{p99:.3}"),
+                        ratio(speedup),
+                    ]);
+                }
+            }
+        }
+    }
+
+    // Cross-shard rows: composite (hash + dispatch) vs unified CSR, and
+    // the merge cost (full vs one-shard incremental), per shard count.
+    for &shards in &opts.shard_counts {
+        let graph = build_graph(shards);
+        let owned = graph.consistent_view_arc();
+        let unified = UnifiedView::unify(&owned);
+        let (composite_p50, composite_p99) = timed(&mut || {
+            std::hint::black_box(pagerank_parallel(&*owned, ITERS).len());
+        });
+        let (unified_p50, unified_p99) = timed(&mut || {
+            std::hint::black_box(pagerank_csr(&unified, ITERS).len());
+        });
+        let (full_p50, full_p99) = timed(&mut || {
+            std::hint::black_box(UnifiedView::unify(&owned).num_edges());
+        });
+        // The service's single-shard-burst path: touch one shard, carry
+        // every other shard's Arc over, refresh the unified CSR.
+        let touched = graph.shard_of(0);
+        graph.insert_edge(0, 1).expect("insert");
+        let reuse: Vec<Option<Arc<dgap::FrozenView>>> = (0..shards)
+            .map(|i| (i != touched).then(|| owned.shard_view_arc(i)))
+            .collect();
+        let owned2 = graph.owned_view_reusing(reuse);
+        let (incr_p50, incr_p99) = timed(&mut || {
+            let refreshed = unified.refreshed(&owned2);
+            assert_eq!(refreshed.merged_shards(), 1, "one shard was touched");
+            std::hint::black_box(refreshed.num_edges());
+        });
+        for (mode, kernel, p50, p99, speedup) in [
+            ("dyn-composite", "PR", composite_p50, composite_p99, 1.0),
+            (
+                "csr-unified",
+                "PR",
+                unified_p50,
+                unified_p99,
+                composite_p50 / unified_p50.max(1e-9),
+            ),
+            ("unify-full", "-", full_p50, full_p99, 1.0),
+            (
+                "unify-incr1",
+                "-",
+                incr_p50,
+                incr_p99,
+                full_p50 / incr_p50.max(1e-9),
+            ),
+        ] {
+            table.row(vec![
+                mode.to_string(),
+                kernel.to_string(),
+                "pool".to_string(),
+                format!("{shards}"),
+                format!("{TRIALS}"),
+                format!("{p50:.3}"),
+                format!("{p99:.3}"),
+                ratio(speedup),
+            ]);
+        }
+    }
+    table
+}
+
 /// `serve`: sustained mixed mutate/query traffic through the typed
 /// [`service::GraphService`] front-end, per shard count.  Four client
 /// threads stream insert batches (with periodic deletes of earlier edges)
@@ -1146,6 +1355,21 @@ mod tests {
         // seq + one row per thread count + shards-par + incremental-1.
         let t = snapshot(&opts);
         assert_eq!(t.len(), 1 + opts.thread_counts.len() + 2);
+    }
+
+    #[test]
+    fn analytics_runner_emits_all_modes() {
+        let opts = BenchOptions {
+            shard_counts: vec![1, 2],
+            ..tiny()
+        };
+        // Per thread count: 4 kernels × (dyn + csr); per shard count:
+        // dyn-composite + csr-unified + unify-full + unify-incr1.
+        let t = analytics(&opts);
+        assert_eq!(
+            t.len(),
+            opts.thread_counts.len() * 4 * 2 + opts.shard_counts.len() * 4
+        );
     }
 
     #[test]

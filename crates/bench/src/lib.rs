@@ -20,6 +20,7 @@
 //! | `sharding` | beyond paper   | `crates/sharded` batched ingest + kernels vs shard count |
 //! | `serve`    | beyond paper   | `crates/service` mixed mutate/query traffic: throughput + p50/p99 query latency + snapshot-refresh cost |
 //! | `snapshot` | beyond paper   | `FrozenView` capture: sequential vs work-stealing-parallel vs incremental per-shard refresh |
+//! | `analytics`| beyond paper   | dyn-dispatch vs zero-dispatch CSR kernels over the unified cross-shard CSR + `UnifiedView` merge/refresh cost |
 //!
 //! Every experiment can additionally emit its rows as machine-readable
 //! JSON (`dgap-bench --json <dir>` writes one `BENCH_<experiment>.json`

@@ -12,6 +12,8 @@
 //!   serve        (beyond the paper: GraphService mixed mutate/query traffic)
 //!   snapshot     (beyond the paper: sequential vs parallel/incremental
 //!                 FrozenView capture)
+//!   analytics    (beyond the paper: dyn-dispatch vs zero-dispatch CSR
+//!                 kernels + UnifiedView merge cost)
 //!   motivation   (fig1a + fig1b + fig1c)
 //!   insertion    (fig5 + fig6 + table3)
 //!   analysis     (fig7 + fig8 + table4)
@@ -88,6 +90,7 @@ fn print_usage() {
          beyond the paper: sharding (ingest + kernels vs shard count; see --shards)\n\
                       serve    (GraphService mixed mutate/query traffic + latency percentiles)\n\
                       snapshot (sequential vs parallel/incremental FrozenView capture)\n\
+                      analytics (dyn-dispatch vs zero-dispatch CSR kernels + UnifiedView merge)\n\
          groups:      motivation insertion analysis components all\n\
          options:     --scale N       divide every Table 2 dataset by N (default 8192)\n\
                       --threads LIST  writer-thread counts for table3 (default 1,8,16)\n\
@@ -113,13 +116,28 @@ fn expand(name: &str) -> Vec<&'static str> {
         "sharding" => vec!["sharding"],
         "serve" => vec!["serve"],
         "snapshot" => vec!["snapshot"],
+        "analytics" => vec!["analytics"],
         "motivation" => vec!["fig1a", "fig1b", "fig1c"],
         "insertion" => vec!["fig5", "fig6", "table3"],
         "analysis" => vec!["fig7", "fig8", "table4"],
         "components" => vec!["table5", "fig9", "recovery"],
         "all" => vec![
-            "fig1a", "fig1b", "fig1c", "fig5", "fig6", "table3", "fig7", "fig8", "table4",
-            "table5", "fig9", "recovery", "sharding", "serve", "snapshot",
+            "fig1a",
+            "fig1b",
+            "fig1c",
+            "fig5",
+            "fig6",
+            "table3",
+            "fig7",
+            "fig8",
+            "table4",
+            "table5",
+            "fig9",
+            "recovery",
+            "sharding",
+            "serve",
+            "snapshot",
+            "analytics",
         ],
         other => {
             eprintln!("unknown experiment: {other}");
@@ -146,6 +164,7 @@ fn run(name: &str, opts: &BenchOptions) -> Table {
         "sharding" => exp::sharding(opts),
         "serve" => exp::serve(opts),
         "snapshot" => exp::snapshot(opts),
+        "analytics" => exp::analytics(opts),
         _ => unreachable!("expand() filters unknown names"),
     }
 }

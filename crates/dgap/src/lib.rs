@@ -37,6 +37,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chunks;
 pub mod config;
 pub mod edges;
 pub mod elog;
@@ -54,7 +55,7 @@ pub use graph::{Dgap, DgapSnapshot, DgapStats, DgapStatsSnapshot};
 pub use recovery::{RecoveredState, RecoveryKind};
 pub use slot::Slot;
 pub use traits::{
-    DynamicGraph, FrozenView, GraphError, GraphResult, GraphView, OwnedSnapshotSource,
+    CsrView, DynamicGraph, FrozenView, GraphError, GraphResult, GraphView, OwnedSnapshotSource,
     ReferenceGraph, SnapshotSource, Update, VertexId,
 };
 pub use variants::DgapVariant;

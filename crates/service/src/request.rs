@@ -45,6 +45,13 @@ pub enum Query {
     },
     /// BFS parent array from `source` (-1 for unreachable vertices; the
     /// source is its own parent).
+    ///
+    /// The reached set and every hop distance are deterministic, but the
+    /// traversal runs the parallel CSR kernel: when a vertex is reachable
+    /// from several same-level vertices, *which* of them becomes the
+    /// parent may differ between otherwise identical requests.  Clients
+    /// comparing results across runs should compare distances (or validate
+    /// parents), not the raw parent array.
     Bfs {
         /// Traversal source vertex.
         source: VertexId,
@@ -120,6 +127,18 @@ pub struct ServiceStats {
     /// Total time spent refreshing the snapshot cache, in nanoseconds
     /// (divide by `snapshot_refreshes` for the mean refresh latency).
     pub refresh_nanos: u64,
+    /// Per-shard span merges the unified-CSR cache paid across all of its
+    /// (lazy) builds — the merge runs on the first analytics query of an
+    /// epoch, never for point-read-only epochs.  The incremental re-merge
+    /// only gathers shards whose snapshot was re-captured since the last
+    /// build, so a low ratio of `unified_shard_merges` to builds means
+    /// single-shard write bursts re-merge one shard's spans, not all of
+    /// them.
+    pub unified_shard_merges: u64,
+    /// Total time spent merging/refreshing the unified CSR the analytics
+    /// queries run over, in nanoseconds (the cost of the zero-dispatch
+    /// plane, paid at most once per epoch instead of per query).
+    pub unify_nanos: u64,
     /// Requests the worker pool has answered.
     pub requests_served: u64,
 }

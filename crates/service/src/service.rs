@@ -3,7 +3,9 @@
 use crate::request::{Query, QueryResult, Request, Response, ServiceStats};
 use dgap::{Dgap, DgapConfig, GraphError, GraphResult, GraphView};
 use pmem::{PmemConfig, PmemPool};
-use sharded::{IngestPipeline, OwnedShardedView, ShardedConfig, ShardedGraph, ShardedRecovery};
+use sharded::{
+    IngestPipeline, OwnedShardedView, ShardedConfig, ShardedGraph, ShardedRecovery, UnifiedView,
+};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
@@ -60,9 +62,23 @@ pub(crate) struct Envelope {
 /// The epoch-cached snapshot, keyed by the **per-shard** watermarks it was
 /// captured at: shard `i`'s snapshot is current as long as watermark `i`
 /// has not moved, independently of the other shards.
+///
+/// Two shapes of the same epoch live side by side: the shard-routed
+/// composite (the incremental-capture unit, and what `Degree`/`Neighbors`
+/// answer from via its per-shard slices) and the [`UnifiedView`] merged
+/// global CSR the analytics queries run their zero-dispatch `*_csr`
+/// kernels over.  The unified CSR is built **lazily**, on the first
+/// analytics query of the epoch: write-heavy traffic answering only point
+/// reads never pays the merge.
 struct CachedView {
     watermarks: Vec<u64>,
     view: Arc<OwnedShardedView>,
+    /// This epoch's unified CSR, if an analytics query has asked for it.
+    unified: Option<Arc<UnifiedView>>,
+    /// The newest unified CSR from an earlier epoch — the base the next
+    /// lazy merge refreshes incrementally (shards whose `Arc<FrozenView>`
+    /// was carried through every epoch since stay unmerged).
+    unified_base: Option<Arc<UnifiedView>>,
 }
 
 pub(crate) struct Inner {
@@ -72,6 +88,8 @@ pub(crate) struct Inner {
     refreshes: AtomicU64,
     shard_captures: AtomicU64,
     refresh_nanos: AtomicU64,
+    unified_shard_merges: AtomicU64,
+    unify_nanos: AtomicU64,
     served: AtomicU64,
     shutdown: AtomicBool,
 }
@@ -89,48 +107,105 @@ impl Inner {
     /// The lock serialises captures (at most one partial walk per epoch,
     /// never one per query); query *evaluation* runs outside it on the
     /// returned `Arc`.
-    fn current_view_at(&self) -> (u64, Arc<OwnedShardedView>) {
+    fn with_current_epoch<R>(&self, f: impl FnOnce(&mut CachedView) -> R) -> R {
         let mut cache = self.cache.lock().unwrap_or_else(|p| p.into_inner());
         // Read the watermarks *after* taking the lock: a pre-lock read
         // could be older than what a racing refresh just cached, and
         // storing the stale vector back would make the next query
         // re-capture shards needlessly.
         let watermarks = self.pipeline.shard_watermarks();
-        let total: u64 = watermarks.iter().sum();
-        match cache.as_ref() {
-            Some(cached) if cached.watermarks == watermarks => (total, Arc::clone(&cached.view)),
-            _ => {
-                let start = std::time::Instant::now();
-                // Carry over every shard whose watermark stands; a lane
-                // that advanced (or a cold cache) gets `None` = re-capture.
-                let reuse: Vec<Option<Arc<dgap::FrozenView>>> = match cache.as_ref() {
-                    Some(cached) => watermarks
-                        .iter()
-                        .enumerate()
-                        .map(|(shard, mark)| {
-                            (cached.watermarks.get(shard) == Some(mark))
-                                .then(|| cached.view.shard_view_arc(shard))
-                        })
-                        .collect(),
-                    None => vec![None; watermarks.len()],
-                };
-                let captured = reuse.iter().filter(|slot| slot.is_none()).count() as u64;
-                let view = Arc::new(self.graph.owned_view_reusing(reuse));
-                self.refreshes.fetch_add(1, Ordering::Relaxed);
-                self.shard_captures.fetch_add(captured, Ordering::Relaxed);
-                self.refresh_nanos
-                    .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                *cache = Some(CachedView {
-                    watermarks,
-                    view: Arc::clone(&view),
-                });
-                (total, view)
-            }
+        let fresh = matches!(cache.as_ref(), Some(c) if c.watermarks == watermarks);
+        if !fresh {
+            let start = std::time::Instant::now();
+            // Carry over every shard whose watermark stands; a lane
+            // that advanced (or a cold cache) gets `None` = re-capture.
+            let reuse: Vec<Option<Arc<dgap::FrozenView>>> = match cache.as_ref() {
+                Some(cached) => watermarks
+                    .iter()
+                    .enumerate()
+                    .map(|(shard, mark)| {
+                        (cached.watermarks.get(shard) == Some(mark))
+                            .then(|| cached.view.shard_view_arc(shard))
+                    })
+                    .collect(),
+                None => vec![None; watermarks.len()],
+            };
+            let captured = reuse.iter().filter(|slot| slot.is_none()).count() as u64;
+            let view = Arc::new(self.graph.owned_view_reusing(reuse));
+            self.refreshes.fetch_add(1, Ordering::Relaxed);
+            self.shard_captures.fetch_add(captured, Ordering::Relaxed);
+            self.refresh_nanos
+                .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            // The epoch's unified CSR is built lazily; keep the newest one
+            // we ever built as the base for that incremental merge.
+            let unified_base = cache.take().and_then(|c| c.unified.or(c.unified_base));
+            *cache = Some(CachedView {
+                watermarks,
+                view,
+                unified: None,
+                unified_base,
+            });
         }
+        f(cache.as_mut().expect("cache populated above"))
+    }
+
+    fn current_view_at(&self) -> (u64, Arc<OwnedShardedView>) {
+        self.with_current_epoch(|c| (c.watermarks.iter().sum(), Arc::clone(&c.view)))
     }
 
     fn current_view(&self) -> Arc<OwnedShardedView> {
         self.current_view_at().1
+    }
+
+    /// The epoch's unified CSR, merging it now if no analytics query asked
+    /// for it yet this epoch.  The merge is incremental over the newest
+    /// previously built unified CSR: the carried `Arc<FrozenView>`s double
+    /// as the change signal, so only shards re-captured since then pay the
+    /// span gather.
+    ///
+    /// The merge itself runs **outside** the cache lock — a cold unify is
+    /// `O(V + E)`, and point reads share that mutex, so they must not
+    /// stall behind it.  Two analytics queries racing into a cold epoch
+    /// may merge twice; the first store wins and both results are
+    /// equivalent.
+    fn current_unified(&self) -> Arc<UnifiedView> {
+        let mut ready = None;
+        let (view, base) = self.with_current_epoch(|c| {
+            ready = c.unified.clone();
+            (Arc::clone(&c.view), c.unified_base.clone())
+        });
+        if let Some(unified) = ready {
+            return unified;
+        }
+        let start = std::time::Instant::now();
+        let unified = Arc::new(match &base {
+            Some(base) => base.refreshed(&view),
+            None => UnifiedView::unify(&view),
+        });
+        self.unified_shard_merges
+            .fetch_add(unified.merged_shards() as u64, Ordering::Relaxed);
+        self.unify_nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.with_current_epoch(|c| {
+            if Arc::ptr_eq(&c.view, &view) {
+                // Still the epoch we merged: install unless a racing query
+                // beat us to it (theirs is equivalent — serve it).
+                if let Some(winner) = &c.unified {
+                    return Arc::clone(winner);
+                }
+                c.unified = Some(Arc::clone(&unified));
+            } else if c.unified.is_none() && c.unified_base.is_none() {
+                // The epoch advanced while we merged.  Seed our CSR as
+                // the base for the next (current-epoch) incremental merge
+                // only if none is carried — a carried base may come from a
+                // *newer* racing merge than ours, and replacing it would
+                // make the next merge re-gather shards needlessly.  The
+                // caller gets the snapshot consistent with the epoch it
+                // entered at either way.
+                c.unified_base = Some(Arc::clone(&unified));
+            }
+            unified
+        })
     }
 
     /// Like every query, `Stats` answers from the epoch cache: the snapshot
@@ -150,6 +225,8 @@ impl Inner {
             snapshot_refreshes: self.refreshes.load(Ordering::Relaxed),
             shard_captures: self.shard_captures.load(Ordering::Relaxed),
             refresh_nanos: self.refresh_nanos.load(Ordering::Relaxed),
+            unified_shard_merges: self.unified_shard_merges.load(Ordering::Relaxed),
+            unify_nanos: self.unify_nanos.load(Ordering::Relaxed),
             requests_served: self.served.load(Ordering::Relaxed),
         }
     }
@@ -157,20 +234,24 @@ impl Inner {
     fn answer(&self, query: Query) -> QueryResult {
         match query {
             Query::Stats => QueryResult::Stats(self.stats()),
-            query => {
-                let view = self.current_view();
-                match query {
-                    Query::Degree(v) => QueryResult::Degree(view.degree(v)),
-                    Query::Neighbors(v) => QueryResult::Neighbors(view.neighbors(v)),
-                    Query::Pagerank { iterations } => {
-                        QueryResult::Pagerank(analytics::pagerank(&*view, iterations))
-                    }
-                    Query::Bfs { source } => QueryResult::Bfs(analytics::bfs(&*view, source)),
-                    Query::ConnectedComponents => {
-                        QueryResult::ConnectedComponents(analytics::cc(&*view))
-                    }
-                    Query::Stats => unreachable!("handled above"),
-                }
+            // Point reads answer from the composite (one shard hash, one
+            // slice read — no reason to force a unified merge); the
+            // analytics run the zero-dispatch `*_csr` kernels over the
+            // epoch's unified CSR (merged lazily on the first analytics
+            // query of the epoch, incrementally across epochs).
+            Query::Degree(v) => QueryResult::Degree(self.current_view().degree(v)),
+            Query::Neighbors(v) => {
+                QueryResult::Neighbors(self.current_view().neighbor_slice(v).to_vec())
+            }
+            Query::Pagerank { iterations } => QueryResult::Pagerank(analytics::pagerank_csr(
+                &*self.current_unified(),
+                iterations,
+            )),
+            Query::Bfs { source } => {
+                QueryResult::Bfs(analytics::bfs_csr(&*self.current_unified(), source))
+            }
+            Query::ConnectedComponents => {
+                QueryResult::ConnectedComponents(analytics::cc_csr(&*self.current_unified()))
             }
         }
     }
@@ -268,6 +349,8 @@ impl GraphService {
             refreshes: AtomicU64::new(0),
             shard_captures: AtomicU64::new(0),
             refresh_nanos: AtomicU64::new(0),
+            unified_shard_merges: AtomicU64::new(0),
+            unify_nanos: AtomicU64::new(0),
             served: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
         });
@@ -328,6 +411,15 @@ impl GraphService {
     /// reuses untouched shards' snapshots (`Arc::ptr_eq`).
     pub fn current_view(&self) -> Arc<OwnedShardedView> {
         self.inner.current_view()
+    }
+
+    /// The unified cross-shard CSR ([`UnifiedView`]) analytics queries are
+    /// being served from right now, refreshing the epoch first if the
+    /// write watermarks moved.  Same epoch as [`GraphService::current_view`];
+    /// tests use it to assert the incremental re-merge touched only the
+    /// shards that changed.
+    pub fn current_unified(&self) -> Arc<UnifiedView> {
+        self.inner.current_unified()
     }
 
     /// Stop accepting requests, drain the workers, and return once they
@@ -434,6 +526,10 @@ mod tests {
         client.wait(&t).unwrap();
         assert_eq!(client.degree(va).unwrap(), 1);
         let before = service.current_view();
+        // Build this epoch's unified CSR too, so the post-burst build has
+        // a base to refresh incrementally from.
+        let before_unified = service.current_unified();
+        assert_eq!(before_unified.merged_shards(), 2, "cold build pays all");
         let stats_before = service.stats();
 
         // A write burst confined to shard 0.
@@ -441,6 +537,8 @@ mod tests {
         client.wait(&t).unwrap();
         assert_eq!(client.degree(va).unwrap(), 2);
         let after = service.current_view();
+        // Force this epoch's (lazy) unified merge before reading stats.
+        let unified = service.current_unified();
         let stats_after = service.stats();
 
         // Shard 1 was untouched: its materialised snapshot is *shared*
@@ -458,6 +556,46 @@ mod tests {
             stats_after.shard_captures - stats_before.shard_captures,
             1,
             "single-shard burst must cost exactly one shard capture"
+        );
+        // The unified CSR followed the same incremental path: one shard's
+        // spans re-merged, the other carried forward.
+        assert_eq!(unified.merged_shards(), 1);
+        assert!(unified.shard_was_merged(0));
+        assert!(!unified.shard_was_merged(1));
+        assert_eq!(
+            stats_after.unified_shard_merges - stats_before.unified_shard_merges,
+            1,
+            "single-shard burst must re-merge exactly one shard's spans"
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn point_read_epochs_never_pay_the_unified_merge() {
+        use crate::{Query, QueryResult};
+        let service = GraphService::start(ServiceConfig::small_test()).unwrap();
+        let client = service.client();
+        for round in 0..3u64 {
+            let t = client
+                .mutate(vec![Update::InsertEdge(round, round + 1)])
+                .unwrap();
+            client.wait(&t).unwrap();
+            assert_eq!(client.degree(round).unwrap(), 1);
+        }
+        assert_eq!(
+            service.stats().unified_shard_merges,
+            0,
+            "degree-only traffic must not build the unified CSR"
+        );
+        // The first analytics query pays the (full, cold) merge once.
+        match client.query(Query::ConnectedComponents).unwrap() {
+            QueryResult::ConnectedComponents(labels) => assert!(!labels.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            service.stats().unified_shard_merges,
+            2,
+            "cold merge pays both shards"
         );
         service.shutdown();
     }

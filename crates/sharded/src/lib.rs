@@ -25,6 +25,13 @@
 //!   [`dgap::OwnedSnapshotSource`]) is its owned sibling: a materialised
 //!   snapshot with no borrow, cacheable across request boundaries — what
 //!   the `service` crate serves queries from.
+//! * [`UnifiedView`] — the composite merged into **one global CSR**
+//!   ([`dgap::CsrView`]): a parallel degree-gather → prefix-sum → span-copy
+//!   merge pays the shard routing once, so the zero-dispatch `*_csr`
+//!   analytics kernels run over all shards with no per-vertex hash and no
+//!   per-edge closure.  Refreshes are incremental: the carried
+//!   `Arc<FrozenView>`s double as the change signal, and only shards that
+//!   were re-captured get their spans re-merged.
 //!
 //! Everything is generic over `G: DynamicGraph + SnapshotSource`, so the
 //! engine scales DGAP *and* every baseline system.
@@ -65,6 +72,7 @@ pub mod partition;
 pub mod pipeline;
 pub mod queue;
 pub mod stats;
+pub mod unified;
 pub mod view;
 
 pub use config::{ShardedConfig, ShardedConfigBuilder};
@@ -72,6 +80,7 @@ pub use graph::{ShardedDgap, ShardedGraph, ShardedRecovery};
 pub use partition::Partitioner;
 pub use pipeline::{IngestPipeline, Ticket};
 pub use stats::{PipelineStats, ShardIngestStats};
+pub use unified::UnifiedView;
 pub use view::{OwnedShardedView, ShardedView};
 
 /// A directed edge `(source, destination)`, the unit the ingest pipeline

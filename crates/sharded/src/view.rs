@@ -21,12 +21,25 @@ use std::sync::Arc;
 pub struct ShardedView<'g, G: SnapshotSource + 'g> {
     views: Vec<G::View<'g>>,
     partitioner: Partitioner,
+    // Cached at construction: the kernels' inner heuristics (BFS's α/β
+    // switch, CC's convergence scans) call these per level/pass, and
+    // re-reducing over every shard each time is pure waste — the snapshot
+    // is immutable.
+    num_vertices: usize,
+    num_edges: usize,
 }
 
 impl<'g, G: SnapshotSource + 'g> ShardedView<'g, G> {
     pub(crate) fn new(views: Vec<G::View<'g>>, partitioner: Partitioner) -> Self {
         debug_assert_eq!(views.len(), partitioner.num_shards());
-        ShardedView { views, partitioner }
+        let num_vertices = views.iter().map(|v| v.num_vertices()).max().unwrap_or(0);
+        let num_edges = views.iter().map(|v| v.num_edges()).sum();
+        ShardedView {
+            views,
+            partitioner,
+            num_vertices,
+            num_edges,
+        }
     }
 
     /// The per-shard snapshot for `shard`.
@@ -42,15 +55,11 @@ impl<'g, G: SnapshotSource + 'g> ShardedView<'g, G> {
 
 impl<'g, G: SnapshotSource + 'g> GraphView for ShardedView<'g, G> {
     fn num_vertices(&self) -> usize {
-        self.views
-            .iter()
-            .map(|v| v.num_vertices())
-            .max()
-            .unwrap_or(0)
+        self.num_vertices
     }
 
     fn num_edges(&self) -> usize {
-        self.views.iter().map(|v| v.num_edges()).sum()
+        self.num_edges
     }
 
     fn degree(&self, v: VertexId) -> usize {
@@ -84,12 +93,23 @@ impl<'g, G: SnapshotSource + 'g> GraphView for ShardedView<'g, G> {
 pub struct OwnedShardedView {
     views: Vec<Arc<FrozenView>>,
     partitioner: Partitioner,
+    // Cached at construction (see `ShardedView`): per-call reductions over
+    // all shards would sit inside the kernels' inner heuristics.
+    num_vertices: usize,
+    num_edges: usize,
 }
 
 impl OwnedShardedView {
     pub(crate) fn new(views: Vec<Arc<FrozenView>>, partitioner: Partitioner) -> Self {
         debug_assert_eq!(views.len(), partitioner.num_shards());
-        OwnedShardedView { views, partitioner }
+        let num_vertices = views.iter().map(|v| v.num_vertices()).max().unwrap_or(0);
+        let num_edges = views.iter().map(|v| v.num_edges()).sum();
+        OwnedShardedView {
+            views,
+            partitioner,
+            num_vertices,
+            num_edges,
+        }
     }
 
     /// The materialised snapshot of `shard`.
@@ -109,6 +129,12 @@ impl OwnedShardedView {
         self.views.len()
     }
 
+    /// The vertex partitioner the composite routes with (what
+    /// [`crate::UnifiedView`] bakes into its per-vertex owner table).
+    pub(crate) fn partitioner(&self) -> Partitioner {
+        self.partitioner
+    }
+
     /// The neighbours of `v` as a borrowed slice (zero-copy: the adjacency
     /// of a vertex lives contiguously inside its owning shard's snapshot).
     pub fn neighbor_slice(&self, v: VertexId) -> &[VertexId] {
@@ -118,15 +144,11 @@ impl OwnedShardedView {
 
 impl GraphView for OwnedShardedView {
     fn num_vertices(&self) -> usize {
-        self.views
-            .iter()
-            .map(|v| v.num_vertices())
-            .max()
-            .unwrap_or(0)
+        self.num_vertices
     }
 
     fn num_edges(&self) -> usize {
-        self.views.iter().map(|v| v.num_edges()).sum()
+        self.num_edges
     }
 
     fn degree(&self, v: VertexId) -> usize {
@@ -137,5 +159,9 @@ impl GraphView for OwnedShardedView {
         for &d in self.neighbor_slice(v) {
             f(d);
         }
+    }
+
+    fn neighbors(&self, v: VertexId) -> Vec<VertexId> {
+        self.neighbor_slice(v).to_vec()
     }
 }
