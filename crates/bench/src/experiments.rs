@@ -1156,6 +1156,13 @@ pub fn analytics(opts: &BenchOptions) -> Table {
 /// and interleave snapshot queries; the table reports mutation throughput
 /// plus query latency percentiles — the numbers a capacity plan for the
 /// request/response layer starts from.
+///
+/// The percentiles come from the service's **own** telemetry plane (the
+/// `service_query_nanos{kind="degree"}` histogram behind `Query::Metrics`),
+/// not from client-side stopwatches: the benchmark exercises exactly the
+/// instrumentation an operator would read in production, and a run with
+/// `--json DIR` drops the full Prometheus rendering as
+/// `DIR/METRICS_serve.prom`.
 pub fn serve(opts: &BenchOptions) -> Table {
     use dgap::Update;
     use service::{GraphService, ServiceConfig};
@@ -1184,10 +1191,12 @@ pub fn serve(opts: &BenchOptions) -> Table {
             "throughput MOPS",
             "query p50 ms",
             "query p99 ms",
+            "query p999 ms",
             "refresh us",
             "captures/refresh",
         ],
     );
+    let mut last_prom: Option<String> = None;
 
     for &shards in &opts.shard_counts {
         let per_shard_edges = num_edges.div_ceil(shards.max(1));
@@ -1208,7 +1217,7 @@ pub fn serve(opts: &BenchOptions) -> Table {
         .expect("start GraphService");
 
         let start = std::time::Instant::now();
-        let per_client: Vec<(usize, Vec<f64>)> = std::thread::scope(|scope| {
+        let per_client: Vec<usize> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..CLIENTS)
                 .map(|c| {
                     let client = service.client();
@@ -1217,7 +1226,6 @@ pub fn serve(opts: &BenchOptions) -> Table {
                         let stream: Vec<workloads::Edge> =
                             edges.iter().copied().skip(c).step_by(CLIENTS).collect();
                         let mut mutated = 0usize;
-                        let mut latencies_ms = Vec::new();
                         for (i, chunk) in stream.chunks(BATCH).enumerate() {
                             let mut ops: Vec<Update> =
                                 chunk.iter().map(|&e| Update::from(e)).collect();
@@ -1229,12 +1237,10 @@ pub fn serve(opts: &BenchOptions) -> Table {
                             if i % QUERY_EVERY == 0 {
                                 client.wait(&ticket).expect("wait");
                                 let probe = chunk[0].0;
-                                let t = std::time::Instant::now();
                                 let _ = client.degree(probe).expect("degree query");
-                                latencies_ms.push(t.elapsed().as_secs_f64() * 1e3);
                             }
                         }
-                        (mutated, latencies_ms)
+                        mutated
                     })
                 })
                 .collect();
@@ -1254,22 +1260,38 @@ pub fn serve(opts: &BenchOptions) -> Table {
         let refresh_us = stats.refresh_nanos as f64 / refreshes as f64 / 1e3;
         let captures_per_refresh = stats.shard_captures as f64 / refreshes as f64;
 
-        let mutate_ops: usize = per_client.iter().map(|(m, _)| m).sum();
-        let mut latencies: Vec<f64> = per_client.into_iter().flat_map(|(_, l)| l).collect();
-        latencies.sort_by(f64::total_cmp);
-        let queries = latencies.len();
+        // Query latency straight from the service's own histogram — what a
+        // dashboard scraping `Query::Metrics` would show for this run.
+        let metrics = service.metrics();
+        let degree = metrics
+            .histogram_labeled("service_query_nanos", "kind=\"degree\"")
+            .cloned()
+            .unwrap_or_default();
+        let queries = degree.count;
+        let ms = |nanos: u64| nanos as f64 / 1e6;
+
+        let mutate_ops: usize = per_client.iter().sum();
         table.row(vec![
             format!("{shards}"),
             format!("{mutate_ops}"),
             format!("{queries}"),
             secs(wall),
             meps(mutate_ops as f64 / wall / 1e6),
-            format!("{:.3}", percentile(&latencies, 0.50)),
-            format!("{:.3}", percentile(&latencies, 0.99)),
+            format!("{:.3}", ms(degree.p50())),
+            format!("{:.3}", ms(degree.p99())),
+            format!("{:.3}", ms(degree.p999())),
             format!("{refresh_us:.1}"),
             format!("{captures_per_refresh:.2}"),
         ]);
+        last_prom = Some(format!(
+            "# dgap-bench serve: shards={shards}, clients={CLIENTS}\n{}",
+            metrics.render_prometheus()
+        ));
         service.shutdown();
+    }
+    if let (Some(dir), Some(prom)) = (&opts.artifact_dir, &last_prom) {
+        let path = dir.join("METRICS_serve.prom");
+        std::fs::write(&path, prom).expect("write METRICS_serve.prom");
     }
     table
 }

@@ -19,6 +19,10 @@ pub struct BenchOptions {
     pub warmup_fraction: f64,
     /// Shard counts exercised by the `sharding` experiment.
     pub shard_counts: Vec<usize>,
+    /// Where experiments drop side artifacts (the `serve` experiment's
+    /// `METRICS_serve.prom` telemetry dump).  `None` = no artifacts; the
+    /// CLI points this at the `--json` directory.
+    pub artifact_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for BenchOptions {
@@ -28,6 +32,7 @@ impl Default for BenchOptions {
             thread_counts: vec![1, 8, 16],
             warmup_fraction: 0.1,
             shard_counts: vec![1, 2, 4, 8],
+            artifact_dir: None,
         }
     }
 }

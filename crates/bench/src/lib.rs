@@ -18,7 +18,7 @@
 //! | `fig9`     | Fig. 9         | per-section edge-log size sweep (64 B – 16 KiB) |
 //! | `recovery` | §4.4           | graceful-restart vs crash-recovery time |
 //! | `sharding` | beyond paper   | `crates/sharded` batched ingest + kernels vs shard count |
-//! | `serve`    | beyond paper   | `crates/service` mixed mutate/query traffic: throughput + p50/p99 query latency + snapshot-refresh cost |
+//! | `serve`    | beyond paper   | `crates/service` mixed mutate/query traffic: throughput + p50/p99/p999 query latency (from the service's own histograms) + snapshot-refresh cost |
 //! | `snapshot` | beyond paper   | `FrozenView` capture: sequential vs work-stealing-parallel vs incremental per-shard refresh |
 //! | `analytics`| beyond paper   | dyn-dispatch vs zero-dispatch CSR kernels over the unified cross-shard CSR + `UnifiedView` merge/refresh cost |
 //!

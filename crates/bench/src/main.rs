@@ -80,6 +80,7 @@ fn parse_args() -> (Vec<String>, BenchOptions, Option<std::path::PathBuf>) {
         print_usage();
         std::process::exit(2);
     }
+    opts.artifact_dir = json_dir.clone();
     (experiments, opts, json_dir)
 }
 

@@ -45,6 +45,7 @@ pub mod graph;
 pub mod meta;
 pub mod recovery;
 pub mod slot;
+pub mod telemetry;
 pub mod traits;
 pub mod ulog;
 pub mod variants;

@@ -242,6 +242,7 @@ impl Dgap {
 
     /// Reload DRAM metadata from the graceful-shutdown backup.
     fn load_backup(&self) -> GraphResult<()> {
+        let _span = crate::telemetry::recovery_backup_load_nanos().span();
         let pool = self.pool();
         let (off, len) = self
             .superblock()
@@ -281,6 +282,7 @@ impl Dgap {
 
         // Undo-log rollback: each writer thread's log is independent, so
         // the per-log recoveries fan out across the pool.
+        let ulog_span = crate::telemetry::recovery_ulog_nanos().span();
         let rolled_back: usize = if parallel && self.ulogs_for_recovery().len() > 1 {
             use rayon::prelude::*;
             self.ulogs_for_recovery()
@@ -293,6 +295,7 @@ impl Dgap {
                 .filter(|ulog| ulog.lock().recover().is_some())
                 .count()
         };
+        drop(ulog_span);
 
         let state = if parallel && self.edges.capacity() >= PARALLEL_RECOVERY_MIN_SLOTS {
             self.recover_from_crash_parallel()
@@ -333,6 +336,7 @@ impl Dgap {
 
         // Pass 1: the edge array.  Pivots give starts; the records that
         // follow give in-array counts and (initial) degrees.
+        let scan_span = crate::telemetry::recovery_rebuild_scan_nanos().span();
         let mut current: Option<usize> = None;
         self.edges.scan(|idx, slot| {
             occupancies[(idx as usize) / segment_size] += 1;
@@ -360,8 +364,11 @@ impl Dgap {
             }
         });
 
+        drop(scan_span);
+
         // Pass 2: the per-section edge logs.  Entries appear in append
         // order, so the last one seen for a source becomes its chain head.
+        let elog_span = crate::telemetry::recovery_elog_scan_nanos().span();
         self.elogs.scan_all(|section, idx, e| {
             let v = e.src as usize;
             if v >= entries.len() {
@@ -372,6 +379,7 @@ impl Dgap {
             occupancies[section] += 1;
             records += 1;
         });
+        drop(elog_span);
 
         RecoveredState {
             entries,
@@ -402,6 +410,7 @@ impl Dgap {
 
         // Pass 1 (parallel): every chunk scans its slot range into local
         // accumulators; no shared state, no resizing inside the callback.
+        let scan_span = crate::telemetry::recovery_rebuild_scan_nanos().span();
         let edge_chunks: Vec<EdgeChunk> = ranges
             .into_par_iter()
             .map(|(lo, hi)| {
@@ -436,9 +445,12 @@ impl Dgap {
             })
             .collect();
 
+        drop(scan_span);
+
         // Pass 2 (parallel): the per-section edge logs.  A vertex's chain
         // lives entirely in its pivot's section, so sections scan
         // independently; each partial keeps its section's append order.
+        let elog_span = crate::telemetry::recovery_elog_scan_nanos().span();
         let elog_sections = self.elogs.num_sections();
         let elog_chunks: Vec<Vec<SectionLog>> = (0..elog_sections)
             .step_by(per_chunk)
@@ -458,6 +470,7 @@ impl Dgap {
                 sections
             })
             .collect();
+        drop(elog_span);
 
         // Size the vertex table once — superblock count extended to the
         // highest id any chunk saw — instead of resizing mid-scan.

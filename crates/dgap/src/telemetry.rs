@@ -1,0 +1,46 @@
+//! Process-global telemetry handles for DGAP's hot structural paths.
+//!
+//! Capture and recovery have no natural owner instance (any `Dgap` in the
+//! process exercises them, and recovery runs before any service exists), so
+//! their timings go to [`obs::global()`].  Handles are resolved once per
+//! metric through a `OnceLock` — the recording paths never touch the
+//! registry lock.
+
+use obs::Histogram;
+use std::sync::{Arc, OnceLock};
+
+macro_rules! global_histogram {
+    ($(#[$doc:meta])* $fn_name:ident, $metric:literal) => {
+        $(#[$doc])*
+        pub fn $fn_name() -> &'static Arc<Histogram> {
+            static HANDLE: OnceLock<Arc<Histogram>> = OnceLock::new();
+            HANDLE.get_or_init(|| obs::global().histogram($metric))
+        }
+    };
+}
+
+global_histogram!(
+    /// Wall time of each `FrozenView::capture` (snapshot materialisation).
+    capture_nanos,
+    "dgap_capture_nanos"
+);
+global_histogram!(
+    /// Wall time of the graceful-shutdown backup load on restart.
+    recovery_backup_load_nanos,
+    "dgap_recovery_backup_load_nanos"
+);
+global_histogram!(
+    /// Wall time of the undo-log rollback phase of crash recovery.
+    recovery_ulog_nanos,
+    "dgap_recovery_ulog_nanos"
+);
+global_histogram!(
+    /// Wall time of the edge-array rebuild scan (crash recovery pass 1).
+    recovery_rebuild_scan_nanos,
+    "dgap_recovery_rebuild_scan_nanos"
+);
+global_histogram!(
+    /// Wall time of the edge-log scan (crash recovery pass 2).
+    recovery_elog_scan_nanos,
+    "dgap_recovery_elog_scan_nanos"
+);

@@ -423,6 +423,7 @@ impl FrozenView {
     /// into their final positions concurrently (disjoint slices, plain
     /// memcpy).
     pub fn capture(view: &(impl GraphView + ?Sized)) -> FrozenView {
+        let _span = crate::telemetry::capture_nanos().span();
         let n = view.num_vertices();
         let small =
             n < PARALLEL_CAPTURE_MIN_VERTICES && view.num_edges() < PARALLEL_CAPTURE_MIN_EDGES;

@@ -1,0 +1,467 @@
+//! # obs — the zero-dependency telemetry plane
+//!
+//! Every other crate in the workspace keeps its hot paths cheap; this crate
+//! exists so they can prove it at runtime without giving the cheapness up.
+//! Three layers:
+//!
+//! * **Primitives** ([`Counter`], [`Gauge`], [`Histogram`], [`Span`]) —
+//!   wait-free on the record path: fixed sequences of atomic operations on
+//!   pre-registered handles, no locks, no allocation.  A [`Histogram`] uses
+//!   64 power-of-two buckets, so p50/p95/p99/p999 queries are exact to
+//!   within one log bucket and per-thread recorders merge exactly.
+//! * **Tracing** ([`TraceRing`]) — a bounded seqlock-stamped ring of the
+//!   last N operations slower than a threshold (op kind, shard, duration,
+//!   epoch); writers are wait-free, torn reads are dropped by readers.
+//! * **Registry** ([`Registry`], [`MetricsSnapshot`]) — names the metrics,
+//!   hands out shared handles (cold path), and reads everything in one
+//!   [`Registry::snapshot`] pass.  Snapshots are plain data: mergeable
+//!   across registries and renderable in Prometheus exposition shape.
+//!
+//! Registries are **instantiable**: each `GraphService` owns one (so tests
+//! and multiple service instances in one process never see each other's
+//! counters), while truly process-wide signals — DGAP capture and recovery
+//! timings, the shared work-stealing pool — record into [`global()`].
+
+mod metrics;
+mod registry;
+mod trace;
+
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, Span, HISTOGRAM_BUCKETS, NO_SHARD,
+};
+pub use registry::{CounterSample, GaugeSample, HistogramSample, MetricsSnapshot, Registry};
+pub use trace::{TraceEvent, TraceKind, TraceRing, DEFAULT_SLOW_OP_THRESHOLD_NS};
+
+use std::sync::OnceLock;
+
+/// The process-global registry, for metrics that have no natural owner
+/// instance: DGAP capture/recovery phase timings and the shared
+/// work-stealing pool.  Component-scoped metrics (service query latencies,
+/// pipeline lane counters) belong in an instance [`Registry`] instead.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Time the rest of the enclosing scope into a histogram:
+///
+/// ```
+/// let hist = obs::global().histogram("doc_example_nanos");
+/// {
+///     let _span = obs::span!(hist);
+///     // ... timed work ...
+/// }
+/// assert_eq!(hist.snapshot().count, 1);
+/// ```
+///
+/// With a trace ring, kind token, shard and epoch, the span also leaves a
+/// slow-op event when it exceeds the ring's threshold:
+///
+/// ```
+/// let reg = obs::Registry::new();
+/// let hist = reg.histogram("drain_nanos");
+/// let kind = reg.slow_ops().kind("drain_batch");
+/// reg.slow_ops().set_threshold_ns(0);
+/// {
+///     let _span = obs::span!(hist, reg.slow_ops(), kind, shard = 3, epoch = 7);
+/// }
+/// assert_eq!(reg.slow_ops().snapshot()[0].shard, 3);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($hist:expr) => {
+        $hist.span()
+    };
+    ($hist:expr, $ring:expr, $kind:expr, shard = $shard:expr, epoch = $epoch:expr) => {
+        $hist
+            .span()
+            .traced($ring, $kind, $shard as u64, $epoch as u64)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+    use std::sync::Arc;
+
+    /// Deterministic xorshift64* PRNG — the workspace is offline, so tests
+    /// carry their own randomness.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            self.0.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+    }
+
+    // ---------------- bucket boundaries ----------------
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        for i in 1..63usize {
+            let lo = 1u64 << i;
+            // Exactly at the boundary → bucket i; one below → bucket i-1.
+            assert_eq!(Histogram::bucket_index(lo), i, "lower bound of bucket {i}");
+            assert_eq!(Histogram::bucket_index(lo - 1), i - 1, "below bucket {i}");
+            // Top of the bucket is still bucket i.
+            assert_eq!(
+                Histogram::bucket_index(2 * lo - 1),
+                i,
+                "upper bound of bucket {i}"
+            );
+            assert_eq!(Histogram::bucket_lower_bound(i), lo);
+            assert_eq!(Histogram::bucket_upper_bound(i), 2 * lo - 1);
+        }
+        assert_eq!(Histogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(
+            Histogram::bucket_upper_bound(HISTOGRAM_BUCKETS - 1),
+            u64::MAX
+        );
+        assert_eq!(Histogram::bucket_upper_bound(0), 1);
+        assert_eq!(Histogram::bucket_lower_bound(0), 0);
+    }
+
+    #[test]
+    fn top_bucket_saturates_without_overflow() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        h.record(1u64 << 63);
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets[HISTOGRAM_BUCKETS - 1], 3);
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.max, u64::MAX);
+        // Quantiles of a top-bucket-only distribution report the exact max,
+        // not a clamped bound.
+        assert_eq!(snap.quantile(0.5), u64::MAX);
+        assert_eq!(snap.quantile(1.0), u64::MAX);
+    }
+
+    // ---------------- quantiles vs sorted-vector oracle ----------------
+
+    /// The histogram's quantile must land in the same log bucket as the
+    /// true (sorted-vector) quantile: estimate ∈ [bucket_lo(true), max].
+    fn assert_quantile_within_bucket(snap: &HistogramSnapshot, sorted: &[u64], q: f64) {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let truth = sorted[rank - 1];
+        let est = snap.quantile(q);
+        let bucket = Histogram::bucket_index(truth);
+        assert!(
+            est >= Histogram::bucket_lower_bound(bucket),
+            "q={q}: estimate {est} below bucket of true quantile {truth}"
+        );
+        assert!(
+            est <= Histogram::bucket_upper_bound(bucket).min(snap.max),
+            "q={q}: estimate {est} above bucket of true quantile {truth}"
+        );
+    }
+
+    #[test]
+    fn quantiles_match_sorted_oracle_on_randomized_inputs() {
+        let mut rng = Rng(0x9E3779B97F4A7C15);
+        for trial in 0..20 {
+            let h = Histogram::new();
+            let n = 100 + (trial * 137) % 4000;
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                // Mix scales: mostly "fast ops", a tail of slow ones.
+                let v = match rng.next() % 10 {
+                    0..=6 => rng.next() % 10_000,
+                    7..=8 => rng.next() % 10_000_000,
+                    _ => rng.next() % 10_000_000_000,
+                };
+                values.push(v);
+                h.record(v);
+            }
+            values.sort_unstable();
+            let snap = h.snapshot();
+            assert_eq!(snap.count, n as u64);
+            assert_eq!(snap.max, *values.last().unwrap());
+            assert_eq!(snap.sum, values.iter().sum::<u64>());
+            for q in [0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+                assert_quantile_within_bucket(&snap, &values, q);
+            }
+            // Monotone in q.
+            assert!(snap.p50() <= snap.p95());
+            assert!(snap.p95() <= snap.p99());
+            assert!(snap.p99() <= snap.p999());
+            assert!(snap.p999() <= snap.max);
+        }
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let snap = Histogram::new().snapshot();
+        assert!(snap.is_empty());
+        assert_eq!(snap.p50(), 0);
+        assert_eq!(snap.p999(), 0);
+        assert_eq!(snap.mean(), 0.0);
+    }
+
+    // ---------------- concurrent recording + merge parity ----------------
+
+    #[test]
+    fn concurrent_recorders_merge_exactly() {
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 5_000;
+        let shared = Arc::new(Histogram::new());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    // Each thread also keeps a private histogram; merging the
+                    // privates must equal the shared one bucket-for-bucket.
+                    let private = Histogram::new();
+                    let mut rng = Rng(0xDEADBEEF ^ (t as u64 + 1));
+                    for _ in 0..PER_THREAD {
+                        let v = rng.next() % 1_000_000_000;
+                        shared.record(v);
+                        private.record(v);
+                    }
+                    private.snapshot()
+                })
+            })
+            .collect();
+        let mut merged = HistogramSnapshot::default();
+        for h in handles {
+            merged.merge(&h.join().unwrap());
+        }
+        let shared_snap = shared.snapshot();
+        assert_eq!(
+            merged, shared_snap,
+            "merge of per-thread recorders must equal the shared histogram"
+        );
+        assert_eq!(shared_snap.count, (THREADS * PER_THREAD) as u64);
+    }
+
+    // ---------------- spans ----------------
+
+    #[test]
+    fn span_records_on_drop_and_traces_slow_ops() {
+        let reg = Registry::new();
+        let hist = reg.histogram("op_nanos");
+        reg.slow_ops().set_threshold_ns(0); // trace everything
+        let kind = reg.slow_ops().kind("op");
+        {
+            let _span = span!(hist, reg.slow_ops(), kind, shard = 2, epoch = 9);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, 1);
+        assert!(snap.max >= 1_000_000, "slept 1ms, recorded {}", snap.max);
+        let events = reg.slow_ops().snapshot();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, "op");
+        assert_eq!(events[0].shard, 2);
+        assert_eq!(events[0].epoch, 9);
+        assert!(events[0].duration_ns >= 1_000_000);
+    }
+
+    #[test]
+    fn fast_spans_stay_out_of_the_trace_ring() {
+        let reg = Registry::new();
+        let hist = reg.histogram("fast_nanos");
+        let kind = reg.slow_ops().kind("fast");
+        // default 1ms threshold; these spans finish in nanoseconds
+        for _ in 0..100 {
+            let _span = span!(hist, reg.slow_ops(), kind, shard = 0, epoch = 0);
+        }
+        assert_eq!(hist.snapshot().count, 100);
+        assert!(reg.slow_ops().snapshot().is_empty());
+    }
+
+    // ---------------- trace ring ----------------
+
+    #[test]
+    fn trace_ring_keeps_newest_events_after_wrap() {
+        let ring = TraceRing::new(4);
+        let kind = ring.kind("k");
+        for i in 0..10u64 {
+            ring.record(kind, i, 100 + i, i);
+        }
+        let events = ring.snapshot();
+        assert_eq!(events.len(), 4);
+        // Newest first: shards 9, 8, 7, 6.
+        let shards: Vec<u64> = events.iter().map(|e| e.shard).collect();
+        assert_eq!(shards, vec![9, 8, 7, 6]);
+    }
+
+    #[test]
+    fn trace_ring_interning_is_idempotent() {
+        let ring = TraceRing::new(8);
+        let a = ring.kind("alpha");
+        let b = ring.kind("beta");
+        assert_eq!(ring.kind("alpha"), a);
+        assert_ne!(a, b);
+        ring.record(a, 1, 10, 0);
+        ring.record(b, 2, 20, 0);
+        let ev = ring.snapshot();
+        assert_eq!(ev[0].kind, "beta");
+        assert_eq!(ev[1].kind, "alpha");
+    }
+
+    #[test]
+    fn trace_ring_concurrent_writers_never_surface_torn_events() {
+        let ring = Arc::new(TraceRing::new(16));
+        let kind = ring.kind("concurrent");
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..2_000u64 {
+                        // duration encodes (shard, i) so a torn read is detectable
+                        let shard = t as u64;
+                        ring.record(kind, shard, shard * 1_000_000 + i, i);
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..200 {
+            for e in ring.snapshot() {
+                assert_eq!(e.kind, "concurrent");
+                assert_eq!(e.duration_ns / 1_000_000, e.shard, "torn event: {e:?}");
+                assert_eq!(e.duration_ns % 1_000_000, e.epoch, "torn event: {e:?}");
+            }
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+    }
+
+    // ---------------- registry ----------------
+
+    #[test]
+    fn registry_dedups_handles_by_name_and_labels() {
+        let reg = Registry::new();
+        let a = reg.counter("hits");
+        let b = reg.counter("hits");
+        assert!(Arc::ptr_eq(&a, &b));
+        let l0 = reg.counter_with("lane_ops", "shard=\"0\"");
+        let l1 = reg.counter_with("lane_ops", "shard=\"1\"");
+        assert!(!Arc::ptr_eq(&l0, &l1));
+        a.add(3);
+        b.inc();
+        l0.add(10);
+        l1.add(20);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("hits"), Some(4));
+        assert_eq!(snap.counter("lane_ops"), Some(30));
+        assert_eq!(snap.counter_labeled("lane_ops", "shard=\"1\""), Some(20));
+        assert_eq!(snap.counter("absent"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "another type")]
+    fn registry_rejects_type_conflicts() {
+        let reg = Registry::new();
+        let _c = reg.counter("dual");
+        let _h = reg.histogram("dual");
+    }
+
+    #[test]
+    fn counter_ordered_variants_apply_requested_ordering() {
+        let c = Counter::new();
+        c.add_ordered(5, Ordering::Release);
+        c.sub_ordered(2, Ordering::Release);
+        assert_eq!(c.get_ordered(Ordering::Acquire), 3);
+        assert_eq!(c.get(), 3);
+    }
+
+    #[test]
+    fn gauge_tracks_depth_up_and_down() {
+        let g = Gauge::new();
+        g.add(5);
+        g.sub(2);
+        assert_eq!(g.get(), 3);
+        g.set(-1);
+        assert_eq!(g.get(), -1);
+    }
+
+    #[test]
+    fn snapshot_merge_combines_registries() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.counter("x").add(1);
+        b.counter("y").add(2);
+        b.histogram("h").record(100);
+        let mut snap = a.snapshot();
+        snap.merge(b.snapshot());
+        assert_eq!(snap.counter("x"), Some(1));
+        assert_eq!(snap.counter("y"), Some(2));
+        assert_eq!(snap.histogram("h").unwrap().count, 1);
+        snap.push_counter("z", "", 9);
+        assert_eq!(snap.counter("z"), Some(9));
+    }
+
+    // ---------------- prometheus rendering ----------------
+
+    #[test]
+    fn prometheus_rendering_is_stable_and_parseable() {
+        let reg = Registry::new();
+        reg.counter("requests_total").add(7);
+        reg.counter_with("lane_ops", "shard=\"0\"").add(1);
+        reg.counter_with("lane_ops", "shard=\"1\"").add(2);
+        reg.gauge_with("queue_depth", "shard=\"0\"").set(4);
+        let h = reg.histogram("latency_nanos");
+        h.record(1000);
+        h.record(2000);
+        let text = reg.snapshot().render_prometheus();
+
+        // Every non-comment line must be `name_or_name{labels} <integer>`.
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("line has a value");
+            assert!(!series.is_empty());
+            value
+                .parse::<i64>()
+                .unwrap_or_else(|_| panic!("unparseable value in {line:?}"));
+        }
+        // Stable name set.
+        for needle in [
+            "# TYPE requests_total counter",
+            "requests_total 7",
+            "lane_ops{shard=\"0\"} 1",
+            "lane_ops{shard=\"1\"} 2",
+            "# TYPE queue_depth gauge",
+            "queue_depth{shard=\"0\"} 4",
+            "# TYPE latency_nanos summary",
+            "latency_nanos{quantile=\"0.5\"}",
+            "latency_nanos{quantile=\"0.999\"}",
+            "latency_nanos_count 2",
+            "latency_nanos_sum 3000",
+            "latency_nanos_max 2000",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        // Deterministic: rendering the same registry twice is identical.
+        assert_eq!(text, reg.snapshot().render_prometheus());
+    }
+
+    #[test]
+    fn labeled_histogram_renders_quantile_alongside_labels() {
+        let reg = Registry::new();
+        reg.histogram_with("q_nanos", "kind=\"degree\"").record(500);
+        let text = reg.snapshot().render_prometheus();
+        assert!(
+            text.contains("q_nanos{kind=\"degree\",quantile=\"0.5\"}"),
+            "bad rendering:\n{text}"
+        );
+        assert!(text.contains("q_nanos_count{kind=\"degree\"} 1"));
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        let a = global().counter("obs_selftest_global");
+        let b = global().counter("obs_selftest_global");
+        a.inc();
+        b.inc();
+        assert!(global().snapshot().counter("obs_selftest_global").unwrap() >= 2);
+    }
+}

@@ -1,0 +1,356 @@
+//! The three metric primitives — [`Counter`], [`Gauge`], [`Histogram`] —
+//! plus the [`Span`] scoped timer.
+//!
+//! Everything on the **record path** is a fixed, short sequence of atomic
+//! operations on pre-registered handles: no locks, no allocation, no
+//! branching on shared state.  That makes recording safe from anywhere —
+//! pipeline drain workers, pool threads, the service request loop — without
+//! perturbing the latencies being measured.
+
+use crate::trace::{TraceKind, TraceRing};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Instant;
+
+// ----------------------------------------------------------------------
+// Counter
+// ----------------------------------------------------------------------
+
+/// A monotonically increasing event count.
+///
+/// The default `add`/`get` pair uses `Relaxed` ordering — counters are
+/// statistics, not synchronisation.  The `_ordered` variants exist for the
+/// few counters that double as progress watermarks (the ingest pipeline's
+/// drained-batch counters pair a `Release` add with `Acquire` loads so a
+/// waiter observing the count also observes the writes it covers).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n` (relaxed).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by `n` with an explicit memory ordering.
+    #[inline]
+    pub fn add_ordered(&self, n: u64, order: Ordering) {
+        self.0.fetch_add(n, order);
+    }
+
+    /// Decrement by `n` with an explicit memory ordering (for the rare
+    /// counter that must be rolled back, e.g. un-submitting operations
+    /// routed to a dead pipeline lane).
+    #[inline]
+    pub fn sub_ordered(&self, n: u64, order: Ordering) {
+        self.0.fetch_sub(n, order);
+    }
+
+    /// Current value (relaxed).
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Current value with an explicit memory ordering.
+    #[inline]
+    pub fn get_ordered(&self, order: Ordering) -> u64 {
+        self.0.load(order)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Gauge
+// ----------------------------------------------------------------------
+
+/// A value that can go up and down (queue depths, in-flight counts).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub const fn new() -> Gauge {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Set the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Increase by `n`.
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Decrease by `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Histogram
+// ----------------------------------------------------------------------
+
+/// Number of buckets in every [`Histogram`]: one per power of two of a
+/// `u64`, so any nanosecond latency indexes without range checks.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A lock-free log-bucketed latency histogram.
+///
+/// Bucket `i` counts values in `[2^i, 2^(i+1))` (bucket 0 also takes 0), so
+/// the whole `u64` range is covered by 64 fixed buckets with at most
+/// one-power-of-two quantile error — plenty for latency distributions that
+/// span six orders of magnitude, and it keeps the record path to two
+/// `fetch_add`s plus a `fetch_max` on pre-sized atomics: no resizing, no
+/// locks, safe to call from drain workers and pool threads.
+///
+/// Histograms (and their [`HistogramSnapshot`]s) **merge**: per-thread or
+/// per-instance recorders can be combined by bucket-wise addition with no
+/// information loss, which is what makes process-wide aggregation cheap.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Histogram {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket a value lands in: `floor(log2(max(value, 1)))`.
+    #[inline]
+    pub fn bucket_index(value: u64) -> usize {
+        (63 - (value | 1).leading_zeros()) as usize
+    }
+
+    /// The largest value bucket `index` covers (inclusive).  The top bucket
+    /// saturates at `u64::MAX`.
+    #[inline]
+    pub fn bucket_upper_bound(index: usize) -> u64 {
+        if index >= HISTOGRAM_BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (2u64 << index) - 1
+        }
+    }
+
+    /// The smallest value bucket `index` covers.
+    #[inline]
+    pub fn bucket_lower_bound(index: usize) -> u64 {
+        if index == 0 {
+            0
+        } else {
+            1u64 << index
+        }
+    }
+
+    /// Record one observation.  Two relaxed `fetch_add`s plus a `fetch_max`
+    /// on fixed atomics — nothing on this path can block.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Start a scoped timer that records the elapsed nanoseconds into this
+    /// histogram when dropped (see [`Span`]; the [`crate::span!`] macro is
+    /// sugar for this).
+    #[inline]
+    pub fn span(&self) -> Span<'_> {
+        Span {
+            hist: self,
+            start: Instant::now(),
+            trace: None,
+        }
+    }
+
+    /// A point-in-time copy of the distribution.  Bucket counts are read
+    /// individually (relaxed), so a snapshot racing recorders may be off by
+    /// the in-flight observations — never torn within a bucket.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        let mut count = 0u64;
+        for (out, bucket) in buckets.iter_mut().zip(&self.buckets) {
+            *out = bucket.load(Ordering::Relaxed);
+            count += *out;
+        }
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned, mergeable copy of a [`Histogram`]'s state, with quantile
+/// queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (bucket `i` covers `[2^i, 2^(i+1))`).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Exact largest observed value.
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Whether anything was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the upper bound of the bucket
+    /// holding the `ceil(q * count)`-th smallest observation, capped at the
+    /// exact observed maximum.  The estimate is never below the true
+    /// quantile's bucket lower bound — i.e. exact to within one log bucket.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Histogram::bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (see [`HistogramSnapshot::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// Fold `other` into `self` (bucket-wise addition; max of maxima).
+    /// Merging per-thread recorders this way is exact: the result equals a
+    /// single histogram that saw every observation.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Span — the scoped timer
+// ----------------------------------------------------------------------
+
+/// An RAII timer: created by [`Histogram::span`] (or the [`crate::span!`]
+/// macro), records the elapsed nanoseconds into its histogram when dropped.
+/// Optionally also feeds a [`TraceRing`] so operations slower than the
+/// ring's threshold leave a trace event (op kind, shard, duration, epoch).
+#[must_use = "a span records when dropped; binding it to `_` drops it immediately"]
+pub struct Span<'a> {
+    hist: &'a Histogram,
+    start: Instant,
+    trace: Option<(&'a TraceRing, TraceKind, u64, u64)>,
+}
+
+impl<'a> Span<'a> {
+    /// Attach a slow-op trace: if the span outlives `ring`'s threshold, a
+    /// `(kind, shard, duration, epoch)` event is pushed into the ring.
+    /// Use [`crate::NO_SHARD`] when the operation is not shard-scoped.
+    pub fn traced(mut self, ring: &'a TraceRing, kind: TraceKind, shard: u64, epoch: u64) -> Self {
+        self.trace = Some((ring, kind, shard, epoch));
+        self
+    }
+
+    /// Elapsed nanoseconds so far (the value `drop` will record).
+    pub fn elapsed_nanos(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let nanos = self.start.elapsed().as_nanos() as u64;
+        self.hist.record(nanos);
+        if let Some((ring, kind, shard, epoch)) = self.trace {
+            ring.record_slow(kind, shard, nanos, epoch);
+        }
+    }
+}
+
+/// Shard value for trace events from operations that are not scoped to a
+/// single shard (epoch refreshes, unified merges, whole-service queries).
+pub const NO_SHARD: u64 = u64::MAX;

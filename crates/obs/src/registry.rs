@@ -1,0 +1,387 @@
+//! The metric registry and its one-pass snapshot.
+//!
+//! A [`Registry`] names metrics.  Registration (`counter`, `gauge`,
+//! `histogram`, each with an optional label set) is a cold path under a
+//! mutex and hands back a shared [`std::sync::Arc`] handle; recording
+//! through the handle never touches the registry again.  Reading is one
+//! [`Registry::snapshot`] pass that walks every registered metric under a
+//! single lock acquisition and returns an owned [`MetricsSnapshot`] —
+//! plain data that can cross the service wire, be merged with other
+//! registries' snapshots, and be rendered in Prometheus exposition shape.
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use crate::trace::{TraceEvent, TraceRing};
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Entry {
+    name: String,
+    /// Raw Prometheus label body, e.g. `shard="3"` or `kind="degree"`
+    /// (empty for unlabelled metrics).
+    labels: String,
+    metric: Metric,
+}
+
+/// How many slow-op events a registry's trace ring retains.
+const SLOW_OP_RING_CAPACITY: usize = 256;
+
+/// A named collection of metrics plus a slow-op [`TraceRing`].
+///
+/// Instantiable — a [`crate::global`] registry exists for process-wide
+/// metrics (the work-stealing pool, DGAP capture/recovery timings), while
+/// components that need isolation (each `GraphService` instance, so tests
+/// and tenants do not pollute each other's counters) create their own.
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+    slow_ops: TraceRing,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry with a default-threshold slow-op ring.
+    pub fn new() -> Registry {
+        Registry {
+            entries: Mutex::new(Vec::new()),
+            slow_ops: TraceRing::new(SLOW_OP_RING_CAPACITY),
+        }
+    }
+
+    /// The registry's slow-operation trace ring.
+    pub fn slow_ops(&self) -> &TraceRing {
+        &self.slow_ops
+    }
+
+    fn register<T>(
+        &self,
+        name: &str,
+        labels: &str,
+        make: impl FnOnce() -> Metric,
+        get: impl Fn(&Metric) -> Option<&Arc<T>>,
+    ) -> Arc<T> {
+        let mut entries = self.entries.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(entry) = entries
+            .iter()
+            .find(|e| e.name == name && e.labels == labels)
+        {
+            return match get(&entry.metric) {
+                Some(arc) => Arc::clone(arc),
+                None => panic!("metric {name}{{{labels}}} already registered with another type"),
+            };
+        }
+        let metric = make();
+        let arc = Arc::clone(get(&metric).expect("freshly made metric matches its own type"));
+        entries.push(Entry {
+            name: name.to_string(),
+            labels: labels.to_string(),
+            metric,
+        });
+        arc
+    }
+
+    /// The counter named `name` (registered on first use).
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counter_with(name, "")
+    }
+
+    /// The counter named `name` with label body `labels` (e.g. `shard="0"`).
+    pub fn counter_with(&self, name: &str, labels: &str) -> Arc<Counter> {
+        self.register(
+            name,
+            labels,
+            || Metric::Counter(Arc::new(Counter::new())),
+            |m| match m {
+                Metric::Counter(c) => Some(c),
+                _ => None,
+            },
+        )
+    }
+
+    /// The gauge named `name` (registered on first use).
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauge_with(name, "")
+    }
+
+    /// The gauge named `name` with label body `labels`.
+    pub fn gauge_with(&self, name: &str, labels: &str) -> Arc<Gauge> {
+        self.register(
+            name,
+            labels,
+            || Metric::Gauge(Arc::new(Gauge::new())),
+            |m| match m {
+                Metric::Gauge(g) => Some(g),
+                _ => None,
+            },
+        )
+    }
+
+    /// The histogram named `name` (registered on first use).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with(name, "")
+    }
+
+    /// The histogram named `name` with label body `labels`.
+    pub fn histogram_with(&self, name: &str, labels: &str) -> Arc<Histogram> {
+        self.register(
+            name,
+            labels,
+            || Metric::Histogram(Arc::new(Histogram::new())),
+            |m| match m {
+                Metric::Histogram(h) => Some(h),
+                _ => None,
+            },
+        )
+    }
+
+    /// Read every registered metric in **one pass** under one lock
+    /// acquisition, plus the slow-op ring.  Values are still read one atomic
+    /// at a time (nothing can freeze concurrent writers), but a single
+    /// gather point means every consumer — `ServiceStats`, the wire-level
+    /// metrics query, the Prometheus rendering — sees the same pass instead
+    /// of assembling its own field-by-field copy interleaved with writers.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let entries = self.entries.lock().unwrap_or_else(|p| p.into_inner());
+        let mut snap = MetricsSnapshot::default();
+        for entry in entries.iter() {
+            match &entry.metric {
+                Metric::Counter(c) => snap.counters.push(CounterSample {
+                    name: entry.name.clone(),
+                    labels: entry.labels.clone(),
+                    value: c.get(),
+                }),
+                Metric::Gauge(g) => snap.gauges.push(GaugeSample {
+                    name: entry.name.clone(),
+                    labels: entry.labels.clone(),
+                    value: g.get(),
+                }),
+                Metric::Histogram(h) => snap.histograms.push(HistogramSample {
+                    name: entry.name.clone(),
+                    labels: entry.labels.clone(),
+                    histogram: h.snapshot(),
+                }),
+            }
+        }
+        drop(entries);
+        snap.counters.sort_by(|a, b| a.key().cmp(&b.key()));
+        snap.gauges.sort_by(|a, b| a.key().cmp(&b.key()));
+        snap.histograms.sort_by(|a, b| a.key().cmp(&b.key()));
+        snap.slow_ops = self.slow_ops.snapshot();
+        snap
+    }
+}
+
+/// One counter reading in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSample {
+    /// Metric name.
+    pub name: String,
+    /// Label body (empty when unlabelled).
+    pub labels: String,
+    /// The counter's value at snapshot time.
+    pub value: u64,
+}
+
+/// One gauge reading in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeSample {
+    /// Metric name.
+    pub name: String,
+    /// Label body (empty when unlabelled).
+    pub labels: String,
+    /// The gauge's value at snapshot time.
+    pub value: i64,
+}
+
+/// One histogram reading in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSample {
+    /// Metric name.
+    pub name: String,
+    /// Label body (empty when unlabelled).
+    pub labels: String,
+    /// The distribution at snapshot time.
+    pub histogram: HistogramSnapshot,
+}
+
+impl CounterSample {
+    fn key(&self) -> (&str, &str) {
+        (&self.name, &self.labels)
+    }
+}
+impl GaugeSample {
+    fn key(&self) -> (&str, &str) {
+        (&self.name, &self.labels)
+    }
+}
+impl HistogramSample {
+    fn key(&self) -> (&str, &str) {
+        (&self.name, &self.labels)
+    }
+}
+
+/// A structured, owned reading of one or more [`Registry`]s: plain data
+/// (`Clone`/`PartialEq`), so it can be a query result on a service wire,
+/// asserted against in tests, and rendered as Prometheus exposition text.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Counter readings, sorted by `(name, labels)`.
+    pub counters: Vec<CounterSample>,
+    /// Gauge readings, sorted by `(name, labels)`.
+    pub gauges: Vec<GaugeSample>,
+    /// Histogram readings, sorted by `(name, labels)`.
+    pub histograms: Vec<HistogramSample>,
+    /// Slow-operation trace events, newest first.
+    pub slow_ops: Vec<TraceEvent>,
+}
+
+impl MetricsSnapshot {
+    /// Fold another registry's snapshot into this one (used by the service
+    /// to combine its per-instance registry with the process-global one and
+    /// the pool counters).  Samples keep their identity; same-named series
+    /// from both sides are kept side by side.
+    pub fn merge(&mut self, other: MetricsSnapshot) {
+        self.counters.extend(other.counters);
+        self.gauges.extend(other.gauges);
+        self.histograms.extend(other.histograms);
+        self.slow_ops.extend(other.slow_ops);
+        self.counters.sort_by(|a, b| (a.key()).cmp(&b.key()));
+        self.gauges.sort_by(|a, b| (a.key()).cmp(&b.key()));
+        self.histograms.sort_by(|a, b| (a.key()).cmp(&b.key()));
+    }
+
+    /// Append a standalone counter sample (used to mirror counters that
+    /// live outside any registry, like the work-stealing pool's).
+    pub fn push_counter(&mut self, name: &str, labels: &str, value: u64) {
+        self.counters.push(CounterSample {
+            name: name.to_string(),
+            labels: labels.to_string(),
+            value,
+        });
+        self.counters.sort_by(|a, b| (a.key()).cmp(&b.key()));
+    }
+
+    /// Sum of the counter `name` across all label sets (`None` when no such
+    /// counter exists).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        let mut any = false;
+        let mut total = 0u64;
+        for c in self.counters.iter().filter(|c| c.name == name) {
+            any = true;
+            total += c.value;
+        }
+        any.then_some(total)
+    }
+
+    /// The counter `name` with exactly the label body `labels`.
+    pub fn counter_labeled(&self, name: &str, labels: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name && c.labels == labels)
+            .map(|c| c.value)
+    }
+
+    /// The gauge `name` with exactly the label body `labels`.
+    pub fn gauge_labeled(&self, name: &str, labels: &str) -> Option<i64> {
+        self.gauges
+            .iter()
+            .find(|g| g.name == name && g.labels == labels)
+            .map(|g| g.value)
+    }
+
+    /// The first histogram named `name` (unlabelled match preferred).
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histogram_labeled(name, "").or_else(|| {
+            self.histograms
+                .iter()
+                .find(|h| h.name == name)
+                .map(|h| &h.histogram)
+        })
+    }
+
+    /// The histogram `name` with exactly the label body `labels`.
+    pub fn histogram_labeled(&self, name: &str, labels: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|h| h.name == name && h.labels == labels)
+            .map(|h| &h.histogram)
+    }
+
+    /// Render in Prometheus exposition shape: one `# TYPE` comment per
+    /// metric name, `name{labels} value` lines for counters and gauges, and
+    /// a summary block per histogram (`quantile` labels plus `_count`,
+    /// `_sum` and `_max` series).  The output is deterministic — samples
+    /// are sorted — so CI can validate the name set line by line.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_type = String::new();
+        let mut type_line = |out: &mut String, name: &str, kind: &str| {
+            if last_type != name {
+                let _ = writeln!(out, "# TYPE {name} {kind}");
+            }
+            last_type = name.to_string();
+        };
+        for c in &self.counters {
+            type_line(&mut out, &c.name, "counter");
+            let _ = writeln!(out, "{}{} {}", c.name, braced(&c.labels), c.value);
+        }
+        for g in &self.gauges {
+            type_line(&mut out, &g.name, "gauge");
+            let _ = writeln!(out, "{}{} {}", g.name, braced(&g.labels), g.value);
+        }
+        for h in &self.histograms {
+            type_line(&mut out, &h.name, "summary");
+            let snap = &h.histogram;
+            for (q, label) in [
+                (0.50, "0.5"),
+                (0.95, "0.95"),
+                (0.99, "0.99"),
+                (0.999, "0.999"),
+            ] {
+                let _ = writeln!(
+                    out,
+                    "{}{} {}",
+                    h.name,
+                    braced(&join_labels(&h.labels, &format!("quantile=\"{label}\""))),
+                    snap.quantile(q)
+                );
+            }
+            let _ = writeln!(out, "{}_count{} {}", h.name, braced(&h.labels), snap.count);
+            let _ = writeln!(out, "{}_sum{} {}", h.name, braced(&h.labels), snap.sum);
+            let _ = writeln!(out, "{}_max{} {}", h.name, braced(&h.labels), snap.max);
+        }
+        for e in &self.slow_ops {
+            let _ = writeln!(
+                out,
+                "# SLOW_OP kind={} shard={} duration_ns={} epoch={}",
+                e.kind, e.shard, e.duration_ns, e.epoch
+            );
+        }
+        out
+    }
+}
+
+fn braced(labels: &str) -> String {
+    if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    }
+}
+
+fn join_labels(a: &str, b: &str) -> String {
+    if a.is_empty() {
+        b.to_string()
+    } else {
+        format!("{a},{b}")
+    }
+}

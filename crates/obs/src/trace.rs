@@ -1,0 +1,170 @@
+//! The bounded slow-operation trace ring.
+//!
+//! A [`TraceRing`] keeps the last N operations that exceeded a duration
+//! threshold, each as a small fixed record: **op kind, shard, duration,
+//! epoch**.  Writers are wait-free — one `fetch_add` to claim a slot plus
+//! plain atomic stores — so tracing is safe on the same hot paths the
+//! histograms instrument.  Readers ([`TraceRing::snapshot`]) validate each
+//! slot's sequence stamp before and after reading and skip slots a writer
+//! was mid-flight in; a torn read is dropped, never surfaced.
+//!
+//! Op kinds are interned once (cold path, under a mutex) into small integer
+//! tokens ([`TraceKind`]) so the record path never touches a string.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// An interned op-kind token (see [`TraceRing::kind`]).  Copy + word-sized,
+/// so hot paths can carry it for free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceKind(u32);
+
+/// One slow-operation record, as returned by [`TraceRing::snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The interned op-kind name this event was recorded under.
+    pub kind: &'static str,
+    /// Shard the operation ran against ([`crate::NO_SHARD`] when the
+    /// operation is not shard-scoped).
+    pub shard: u64,
+    /// How long the operation took, in nanoseconds.
+    pub duration_ns: u64,
+    /// The epoch (write watermark, drained-batch count, ...) the operation
+    /// observed — whatever monotonic progress marker the recording layer
+    /// uses.
+    pub epoch: u64,
+}
+
+/// One ring slot, protected by a sequence stamp: a writer stores
+/// `2·ticket+1` (in flight), the fields, then `2·ticket+2` (complete).  A
+/// reader accepts the slot only if it observes the same *even* stamp before
+/// and after reading the fields.
+struct TraceSlot {
+    seq: AtomicU64,
+    kind: AtomicU32,
+    shard: AtomicU64,
+    duration_ns: AtomicU64,
+    epoch: AtomicU64,
+}
+
+/// A bounded ring buffer of slow-operation [`TraceEvent`]s.
+pub struct TraceRing {
+    slots: Box<[TraceSlot]>,
+    cursor: AtomicUsize,
+    threshold_ns: AtomicU64,
+    kinds: Mutex<Vec<&'static str>>,
+}
+
+/// Default slow-op threshold: 1 ms.  Point reads and batch drains sit well
+/// under it in steady state, so the ring fills with the outliers worth
+/// looking at rather than a firehose of normal operations.
+pub const DEFAULT_SLOW_OP_THRESHOLD_NS: u64 = 1_000_000;
+
+impl TraceRing {
+    /// A ring holding the most recent `capacity` slow events (rounded up to
+    /// at least 1).
+    pub fn new(capacity: usize) -> TraceRing {
+        TraceRing {
+            slots: (0..capacity.max(1))
+                .map(|_| TraceSlot {
+                    seq: AtomicU64::new(0),
+                    kind: AtomicU32::new(0),
+                    shard: AtomicU64::new(0),
+                    duration_ns: AtomicU64::new(0),
+                    epoch: AtomicU64::new(0),
+                })
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            cursor: AtomicUsize::new(0),
+            threshold_ns: AtomicU64::new(DEFAULT_SLOW_OP_THRESHOLD_NS),
+            kinds: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Number of events the ring retains.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Intern `name` into a [`TraceKind`] token (idempotent; cold path).
+    /// Call once at setup and carry the token; the record path never takes
+    /// this lock.
+    pub fn kind(&self, name: &'static str) -> TraceKind {
+        let mut kinds = self.kinds.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(i) = kinds.iter().position(|&k| k == name) {
+            return TraceKind(i as u32);
+        }
+        kinds.push(name);
+        TraceKind((kinds.len() - 1) as u32)
+    }
+
+    /// The duration below which [`TraceRing::record_slow`] ignores events.
+    pub fn threshold_ns(&self) -> u64 {
+        self.threshold_ns.load(Ordering::Relaxed)
+    }
+
+    /// Change the slow-op threshold (0 = trace everything; tests use this).
+    pub fn set_threshold_ns(&self, ns: u64) {
+        self.threshold_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// Record an event if it is at least as slow as the threshold.
+    /// Wait-free: one `fetch_add` plus five plain atomic stores.
+    #[inline]
+    pub fn record_slow(&self, kind: TraceKind, shard: u64, duration_ns: u64, epoch: u64) {
+        if duration_ns < self.threshold_ns() {
+            return;
+        }
+        self.record(kind, shard, duration_ns, epoch);
+    }
+
+    /// Record an event unconditionally (threshold already applied, or the
+    /// caller wants every occurrence).
+    pub fn record(&self, kind: TraceKind, shard: u64, duration_ns: u64, epoch: u64) {
+        let ticket = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[ticket % self.slots.len()];
+        let stamp = (ticket as u64) * 2;
+        slot.seq.store(stamp + 1, Ordering::Release);
+        slot.kind.store(kind.0, Ordering::Relaxed);
+        slot.shard.store(shard, Ordering::Relaxed);
+        slot.duration_ns.store(duration_ns, Ordering::Relaxed);
+        slot.epoch.store(epoch, Ordering::Relaxed);
+        slot.seq.store(stamp + 2, Ordering::Release);
+    }
+
+    /// The retained events, newest first.  Slots a writer is mid-flight in
+    /// (odd or changed sequence stamp) are skipped rather than surfaced
+    /// torn.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let kinds = self.kinds.lock().unwrap_or_else(|p| p.into_inner()).clone();
+        let len = self.slots.len();
+        let cursor = self.cursor.load(Ordering::Acquire);
+        let mut events = Vec::with_capacity(cursor.min(len));
+        // Walk backwards from the most recently claimed ticket.
+        for back in 1..=cursor.min(len) {
+            let ticket = cursor - back;
+            let slot = &self.slots[ticket % len];
+            let before = slot.seq.load(Ordering::Acquire);
+            if before == 0 || before % 2 == 1 {
+                continue; // empty or write in flight
+            }
+            let kind = slot.kind.load(Ordering::Relaxed);
+            let shard = slot.shard.load(Ordering::Relaxed);
+            let duration_ns = slot.duration_ns.load(Ordering::Relaxed);
+            let epoch = slot.epoch.load(Ordering::Relaxed);
+            if slot.seq.load(Ordering::Acquire) != before {
+                continue; // overwritten while reading
+            }
+            let Some(&name) = kinds.get(kind as usize) else {
+                continue;
+            };
+            events.push(TraceEvent {
+                kind: name,
+                shard,
+                duration_ns,
+                epoch,
+            });
+        }
+        events
+    }
+}

@@ -3,6 +3,7 @@
 use crate::request::{Query, QueryResult, Request, Response, ServiceStats};
 use crate::service::Envelope;
 use dgap::{GraphError, GraphResult, Update, VertexId};
+use obs::MetricsSnapshot;
 use sharded::Ticket;
 use std::sync::mpsc::{self, Sender};
 
@@ -96,6 +97,17 @@ impl GraphClient {
         match self.query(Query::Stats)? {
             QueryResult::Stats(s) => Ok(s),
             other => Err(unexpected_result("Stats", &other)),
+        }
+    }
+
+    /// Convenience: the full telemetry snapshot — every counter, gauge and
+    /// latency histogram of the service, its pipeline, the process-global
+    /// registry and the work-stealing pool.  Unlike the other queries this
+    /// never touches the epoch cache.
+    pub fn metrics(&self) -> GraphResult<MetricsSnapshot> {
+        match self.query(Query::Metrics)? {
+            QueryResult::Metrics(snapshot) => Ok(*snapshot),
+            other => Err(unexpected_result("Metrics", &other)),
         }
     }
 }

@@ -6,6 +6,7 @@
 //! transport without touching the engine underneath.
 
 use dgap::{GraphError, Update, VertexId};
+use obs::MetricsSnapshot;
 use sharded::Ticket;
 
 /// A request accepted by [`crate::GraphService`].
@@ -38,6 +39,12 @@ pub enum Query {
     Neighbors(VertexId),
     /// Service-wide counters (graph size, pipeline progress, cache churn).
     Stats,
+    /// The full telemetry plane: every registered counter, gauge and
+    /// latency histogram (service + pipeline + process-global + pool) as a
+    /// structured [`MetricsSnapshot`].  Unlike every other query this does
+    /// **not** touch the epoch cache — reading metrics never perturbs the
+    /// hit/miss counters it reports.
+    Metrics,
     /// PageRank over the snapshot (damping 0.85).
     Pagerank {
         /// Number of pull iterations.
@@ -90,6 +97,9 @@ pub enum QueryResult {
     Neighbors(Vec<VertexId>),
     /// Answer to [`Query::Stats`].
     Stats(ServiceStats),
+    /// Answer to [`Query::Metrics`]: the merged telemetry snapshot
+    /// (renderable with [`MetricsSnapshot::render_prometheus`]).
+    Metrics(Box<MetricsSnapshot>),
     /// Answer to [`Query::Pagerank`]: one rank per vertex.
     Pagerank(Vec<f64>),
     /// Answer to [`Query::Bfs`]: one parent per vertex (-1 = unreachable).

@@ -1,12 +1,23 @@
 //! The service loop: ownership of the engine, worker threads, epoch cache.
+//!
+//! Every counter the service keeps lives in its per-instance
+//! [`obs::Registry`] (shared with the ingest pipeline via
+//! [`IngestPipeline::with_registry`]), so [`ServiceStats`] is assembled
+//! from **one** `Registry::snapshot()` pass instead of field-by-field
+//! relaxed loads interleaved with concurrent writers, and the same
+//! registry answers [`Query::Metrics`] with the full telemetry plane —
+//! per-query-kind latency histograms, epoch-cache hit/miss, refresh and
+//! unified-merge timings — merged with the process-global registry (DGAP
+//! capture/recovery) and the work-stealing pool's counters.
 
 use crate::request::{Query, QueryResult, Request, Response, ServiceStats};
 use dgap::{Dgap, DgapConfig, GraphError, GraphResult, GraphView};
+use obs::{Counter, Histogram, MetricsSnapshot, Registry};
 use pmem::{PmemConfig, PmemPool};
 use sharded::{
     IngestPipeline, OwnedShardedView, ShardedConfig, ShardedGraph, ShardedRecovery, UnifiedView,
 };
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -81,16 +92,65 @@ struct CachedView {
     unified_base: Option<Arc<UnifiedView>>,
 }
 
+/// Per-query-kind latency histograms, all named `service_query_nanos` with
+/// a `kind` label — resolved once at startup so the request path records
+/// through pre-registered handles.
+struct QueryLatency {
+    degree: Arc<Histogram>,
+    neighbors: Arc<Histogram>,
+    stats: Arc<Histogram>,
+    pagerank: Arc<Histogram>,
+    bfs: Arc<Histogram>,
+    components: Arc<Histogram>,
+    metrics: Arc<Histogram>,
+}
+
+impl QueryLatency {
+    fn new(registry: &Registry) -> QueryLatency {
+        let h = |kind: &str| {
+            registry.histogram_with("service_query_nanos", &format!("kind=\"{kind}\""))
+        };
+        QueryLatency {
+            degree: h("degree"),
+            neighbors: h("neighbors"),
+            stats: h("stats"),
+            pagerank: h("pagerank"),
+            bfs: h("bfs"),
+            components: h("components"),
+            metrics: h("metrics"),
+        }
+    }
+
+    fn for_query(&self, query: &Query) -> &Arc<Histogram> {
+        match query {
+            Query::Degree(_) => &self.degree,
+            Query::Neighbors(_) => &self.neighbors,
+            Query::Stats => &self.stats,
+            Query::Pagerank { .. } => &self.pagerank,
+            Query::Bfs { .. } => &self.bfs,
+            Query::ConnectedComponents => &self.components,
+            Query::Metrics => &self.metrics,
+        }
+    }
+}
+
 pub(crate) struct Inner {
     graph: Arc<ShardedGraph<Dgap>>,
     pipeline: IngestPipeline<Dgap>,
     cache: Mutex<Option<CachedView>>,
-    refreshes: AtomicU64,
-    shard_captures: AtomicU64,
-    refresh_nanos: AtomicU64,
-    unified_shard_merges: AtomicU64,
-    unify_nanos: AtomicU64,
-    served: AtomicU64,
+    /// The instance registry — shared with the pipeline, so one snapshot
+    /// pass covers both layers.
+    registry: Arc<Registry>,
+    /// Queries answered without re-capturing (watermarks stood).
+    epoch_hits: Arc<Counter>,
+    /// Epoch refreshes — each one is an epoch-cache miss.
+    epoch_misses: Arc<Counter>,
+    shard_captures: Arc<Counter>,
+    refresh_nanos: Arc<Histogram>,
+    unified_shard_merges: Arc<Counter>,
+    unify_nanos: Arc<Histogram>,
+    served: Arc<Counter>,
+    query_latency: QueryLatency,
     shutdown: AtomicBool,
 }
 
@@ -115,8 +175,10 @@ impl Inner {
         // re-capture shards needlessly.
         let watermarks = self.pipeline.shard_watermarks();
         let fresh = matches!(cache.as_ref(), Some(c) if c.watermarks == watermarks);
-        if !fresh {
-            let start = std::time::Instant::now();
+        if fresh {
+            self.epoch_hits.inc();
+        } else {
+            let span = self.refresh_nanos.span();
             // Carry over every shard whose watermark stands; a lane
             // that advanced (or a cold cache) gets `None` = re-capture.
             let reuse: Vec<Option<Arc<dgap::FrozenView>>> = match cache.as_ref() {
@@ -132,10 +194,9 @@ impl Inner {
             };
             let captured = reuse.iter().filter(|slot| slot.is_none()).count() as u64;
             let view = Arc::new(self.graph.owned_view_reusing(reuse));
-            self.refreshes.fetch_add(1, Ordering::Relaxed);
-            self.shard_captures.fetch_add(captured, Ordering::Relaxed);
-            self.refresh_nanos
-                .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            self.epoch_misses.inc();
+            self.shard_captures.add(captured);
+            drop(span);
             // The epoch's unified CSR is built lazily; keep the newest one
             // we ever built as the base for that incremental merge.
             let unified_base = cache.take().and_then(|c| c.unified.or(c.unified_base));
@@ -177,15 +238,14 @@ impl Inner {
         if let Some(unified) = ready {
             return unified;
         }
-        let start = std::time::Instant::now();
+        let span = self.unify_nanos.span();
         let unified = Arc::new(match &base {
             Some(base) => base.refreshed(&view),
             None => UnifiedView::unify(&view),
         });
         self.unified_shard_merges
-            .fetch_add(unified.merged_shards() as u64, Ordering::Relaxed);
-        self.unify_nanos
-            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            .add(unified.merged_shards() as u64);
+        drop(span);
         self.with_current_epoch(|c| {
             if Arc::ptr_eq(&c.view, &view) {
                 // Still the epoch we merged: install unless a racing query
@@ -211,29 +271,56 @@ impl Inner {
     /// Like every query, `Stats` answers from the epoch cache: the snapshot
     /// sizes and the watermark describe the *same* capture, and the capture
     /// is only (re)paid when the watermark has moved.
+    ///
+    /// Every counter below comes out of **one** [`Registry::snapshot`]
+    /// pass over the shared service + pipeline registry (the epoch view is
+    /// resolved *first*, so a `Stats` query that refreshed the cache sees
+    /// its own refresh counted).
     fn stats(&self) -> ServiceStats {
         let (watermark, view) = self.current_view_at();
-        let pipeline = self.pipeline.stats();
+        let snap = self.registry.snapshot();
+        let counter = |name: &str| snap.counter(name).unwrap_or(0);
+        let hist_sum = |name: &str| snap.histogram(name).map_or(0, |h| h.sum);
         ServiceStats {
             num_vertices: view.num_vertices(),
             num_edges: view.num_edges(),
             num_shards: self.graph.num_shards(),
-            ops_submitted: pipeline.ops_submitted(),
-            ops_applied: pipeline.ops_applied(),
-            deletes_applied: pipeline.deletes_applied(),
+            ops_submitted: counter("pipeline_ops_submitted"),
+            ops_applied: counter("pipeline_ops_applied"),
+            deletes_applied: counter("pipeline_deletes_applied"),
             watermark,
-            snapshot_refreshes: self.refreshes.load(Ordering::Relaxed),
-            shard_captures: self.shard_captures.load(Ordering::Relaxed),
-            refresh_nanos: self.refresh_nanos.load(Ordering::Relaxed),
-            unified_shard_merges: self.unified_shard_merges.load(Ordering::Relaxed),
-            unify_nanos: self.unify_nanos.load(Ordering::Relaxed),
-            requests_served: self.served.load(Ordering::Relaxed),
+            snapshot_refreshes: counter("service_epoch_cache_misses"),
+            shard_captures: counter("service_shard_captures"),
+            refresh_nanos: hist_sum("service_refresh_nanos"),
+            unified_shard_merges: counter("service_unified_shard_merges"),
+            unify_nanos: hist_sum("service_unify_nanos"),
+            requests_served: counter("service_requests_served"),
         }
     }
 
+    /// The full telemetry plane: the instance registry (service + pipeline)
+    /// merged with the process-global one (DGAP capture/recovery) and the
+    /// work-stealing pool's counters.
+    fn metrics(&self) -> MetricsSnapshot {
+        let mut snap = self.registry.snapshot();
+        snap.merge(obs::global().snapshot());
+        let pool = rayon::pool_stats();
+        snap.push_counter("pool_workers", "", pool.workers as u64);
+        snap.push_counter("pool_steals", "", pool.steals);
+        snap.push_counter("pool_injected", "", pool.injected);
+        snap.push_counter("pool_executed", "", pool.executed);
+        snap.push_counter("pool_sleeps", "", pool.sleeps);
+        snap
+    }
+
     fn answer(&self, query: Query) -> QueryResult {
+        let _span = self.query_latency.for_query(&query).span();
         match query {
             Query::Stats => QueryResult::Stats(self.stats()),
+            // Metrics deliberately bypasses the epoch cache (and therefore
+            // `current_view`): observing the service must not perturb the
+            // hit/miss counters being observed.
+            Query::Metrics => QueryResult::Metrics(Box::new(self.metrics())),
             // Point reads answer from the composite (one shard hash, one
             // slice read — no reason to force a unified merge); the
             // analytics run the zero-dispatch `*_csr` kernels over the
@@ -341,17 +428,25 @@ impl GraphService {
 
     /// Start the request loop and worker pool over an already-built engine.
     fn launch(graph: Arc<ShardedGraph<Dgap>>, config: &ServiceConfig) -> GraphService {
-        let pipeline = IngestPipeline::new(Arc::clone(&graph), &config.sharded);
+        let registry = Arc::new(Registry::new());
+        let pipeline = IngestPipeline::with_registry(
+            Arc::clone(&graph),
+            &config.sharded,
+            Arc::clone(&registry),
+        );
         let inner = Arc::new(Inner {
             graph,
             pipeline,
             cache: Mutex::new(None),
-            refreshes: AtomicU64::new(0),
-            shard_captures: AtomicU64::new(0),
-            refresh_nanos: AtomicU64::new(0),
-            unified_shard_merges: AtomicU64::new(0),
-            unify_nanos: AtomicU64::new(0),
-            served: AtomicU64::new(0),
+            epoch_hits: registry.counter("service_epoch_cache_hits"),
+            epoch_misses: registry.counter("service_epoch_cache_misses"),
+            shard_captures: registry.counter("service_shard_captures"),
+            refresh_nanos: registry.histogram("service_refresh_nanos"),
+            unified_shard_merges: registry.counter("service_unified_shard_merges"),
+            unify_nanos: registry.histogram("service_unify_nanos"),
+            served: registry.counter("service_requests_served"),
+            query_latency: QueryLatency::new(&registry),
+            registry,
             shutdown: AtomicBool::new(false),
         });
         let (sender, receiver) = mpsc::channel::<Envelope>();
@@ -402,6 +497,20 @@ impl GraphService {
     /// Current service statistics (same numbers [`Query::Stats`] reports).
     pub fn stats(&self) -> ServiceStats {
         self.inner.stats()
+    }
+
+    /// The full telemetry snapshot (same data [`Query::Metrics`] reports):
+    /// this instance's registry merged with the process-global one and the
+    /// work-stealing pool's counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.metrics()
+    }
+
+    /// This instance's metrics registry (shared with its ingest pipeline).
+    /// Tests and embedding callers use it to tune the slow-op trace
+    /// threshold or register their own series alongside the service's.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.inner.registry
     }
 
     /// The owned snapshot queries are being served from right now,
@@ -457,7 +566,7 @@ fn serve_loop(inner: &Inner, receiver: &Mutex<Receiver<Envelope>>) {
         match next {
             Ok(Envelope { request, reply }) => {
                 let response = inner.handle(request);
-                inner.served.fetch_add(1, Ordering::Relaxed);
+                inner.served.inc();
                 // The client may have given up on the reply; that is its
                 // business, not an error of ours.
                 let _ = reply.send(response);

@@ -1,6 +1,16 @@
 //! The batched ingest pipeline: per-shard lock-free queues drained by one
 //! worker thread per shard, with backpressure, completion tickets and a
 //! durability barrier.
+//!
+//! Every lane counter is an [`obs::Counter`] registered (with a
+//! `shard="i"` label) in the pipeline's [`obs::Registry`], so one
+//! `Registry::snapshot()` pass reads the whole pipeline.  The counters that
+//! double as synchronisation watermarks (`submitted`/`applied`/`drained` —
+//! the flush barrier and tickets wait on them) keep their Release/Acquire
+//! orderings through the explicit `_ordered` variants; the rest record
+//! relaxed.  Each queued batch carries its enqueue instant, so the drain
+//! worker can feed the enqueue→drain latency histogram and leave slow-op
+//! trace events without any extra bookkeeping on the submit path.
 
 use crate::graph::ShardedGraph;
 use crate::queue::BatchQueue;
@@ -8,32 +18,60 @@ use crate::stats::{PipelineStats, ShardIngestStats};
 use crate::{Edge, ShardedConfig};
 use dgap::{DynamicGraph, GraphError, GraphResult, Update};
 use error_slot::ErrorSlot;
+use obs::{Counter, Gauge, Histogram, Registry, TraceKind};
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// One enqueued sub-batch: the operations plus the instant they entered the
+/// queue, so the drain worker can record the enqueue→drain latency.
+struct QueuedBatch {
+    ops: Vec<Update>,
+    enqueued_at: Instant,
+}
 
 /// Per-shard ingest lane shared between producers and the drain worker.
 struct Lane {
-    queue: BatchQueue<Vec<Update>>,
+    queue: BatchQueue<QueuedBatch>,
     /// Operations enqueued to this lane (incremented *before* the push so
     /// the flush barrier can never observe applied > submitted-at-entry).
-    submitted: AtomicU64,
+    submitted: Arc<Counter>,
     /// Operations the worker has taken out of a batch and offered to the
     /// backend (failed ones included, so the barrier terminates).
-    applied: AtomicU64,
+    applied: Arc<Counter>,
     /// Batches the worker has fully applied.  The single consumer pops in
     /// queue-position order, so `drained == k` means exactly the batches at
     /// positions `0..k` are applied — the watermark [`Ticket`]s wait on.
-    drained: AtomicU64,
-    batches: AtomicU64,
-    stalls: AtomicU64,
-    errors: AtomicU64,
-    deletes: AtomicU64,
+    drained: Arc<Counter>,
+    batches: Arc<Counter>,
+    stalls: Arc<Counter>,
+    errors: Arc<Counter>,
+    deletes: Arc<Counter>,
+    /// Batches currently sitting in the queue (enqueued, not yet drained).
+    depth: Arc<Gauge>,
     /// Set when the shard's drain worker died (panicked); producers and the
     /// flush barrier must stop waiting on this lane.
     dead: AtomicBool,
+}
+
+impl Lane {
+    fn new(registry: &Registry, shard: usize, queue_capacity: usize) -> Lane {
+        let labels = format!("shard=\"{shard}\"");
+        Lane {
+            queue: BatchQueue::with_capacity(queue_capacity),
+            submitted: registry.counter_with("pipeline_ops_submitted", &labels),
+            applied: registry.counter_with("pipeline_ops_applied", &labels),
+            drained: registry.counter_with("pipeline_batches_drained", &labels),
+            batches: registry.counter_with("pipeline_batches_submitted", &labels),
+            stalls: registry.counter_with("pipeline_backpressure_stalls", &labels),
+            errors: registry.counter_with("pipeline_op_errors", &labels),
+            deletes: registry.counter_with("pipeline_deletes_applied", &labels),
+            depth: registry.gauge_with("pipeline_queue_depth", &labels),
+            dead: AtomicBool::new(false),
+        }
+    }
 }
 
 mod error_slot {
@@ -73,6 +111,14 @@ struct Shared<G> {
     lanes: Vec<Lane>,
     shutdown: AtomicBool,
     error: ErrorSlot,
+    /// The metric registry the lanes are registered in (shared with the
+    /// owning service, when there is one).
+    registry: Arc<Registry>,
+    /// Enqueue→drain latency of every batch (includes any backpressure wait
+    /// on the submit side, since the clock starts at the first push attempt).
+    queue_latency: Arc<Histogram>,
+    /// Interned trace kind for slow batch drains.
+    drain_kind: TraceKind,
 }
 
 impl<G> Shared<G> {
@@ -151,8 +197,20 @@ pub struct IngestPipeline<G: DynamicGraph + 'static> {
 }
 
 impl<G: DynamicGraph + 'static> IngestPipeline<G> {
-    /// Spawn one drain worker per shard of `graph`.
+    /// Spawn one drain worker per shard of `graph`, with a private metric
+    /// registry.  Embedders that want the pipeline's metrics in their own
+    /// registry (the service does) use [`IngestPipeline::with_registry`].
     pub fn new(graph: Arc<ShardedGraph<G>>, config: &ShardedConfig) -> Self {
+        Self::with_registry(graph, config, Arc::new(Registry::new()))
+    }
+
+    /// Spawn one drain worker per shard of `graph`, registering the lane
+    /// counters, queue-depth gauges and latency histogram in `registry`.
+    pub fn with_registry(
+        graph: Arc<ShardedGraph<G>>,
+        config: &ShardedConfig,
+        registry: Arc<Registry>,
+    ) -> Self {
         config.validate();
         assert_eq!(
             config.num_shards,
@@ -160,23 +218,18 @@ impl<G: DynamicGraph + 'static> IngestPipeline<G> {
             "ShardedConfig::num_shards must match the graph it feeds"
         );
         let lanes = (0..graph.num_shards())
-            .map(|_| Lane {
-                queue: BatchQueue::with_capacity(config.queue_capacity),
-                submitted: AtomicU64::new(0),
-                applied: AtomicU64::new(0),
-                drained: AtomicU64::new(0),
-                batches: AtomicU64::new(0),
-                stalls: AtomicU64::new(0),
-                errors: AtomicU64::new(0),
-                deletes: AtomicU64::new(0),
-                dead: AtomicBool::new(false),
-            })
+            .map(|shard| Lane::new(&registry, shard, config.queue_capacity))
             .collect();
+        let queue_latency = registry.histogram("pipeline_enqueue_to_drain_nanos");
+        let drain_kind = registry.slow_ops().kind("drain_batch");
         let shared = Arc::new(Shared {
             graph,
             lanes,
             shutdown: AtomicBool::new(false),
             error: ErrorSlot::default(),
+            registry,
+            queue_latency,
+            drain_kind,
         });
         let workers = (0..shared.graph.num_shards())
             .map(|shard| {
@@ -248,29 +301,33 @@ impl<G: DynamicGraph + 'static> IngestPipeline<G> {
                 // `submitted` must rise before the push (the flush barrier's
                 // invariant); `batches` counts only successful enqueues, so
                 // it rises after.
-                lane.submitted.fetch_add(len, Ordering::Release);
+                lane.submitted.add_ordered(len, Ordering::Release);
                 // Exact-size copy out of the warm scratch buffer: the
                 // scratch keeps its capacity for the next call and only the
                 // enqueued batch is freshly allocated.
-                let mut pending = buf.clone();
+                let mut pending = QueuedBatch {
+                    ops: buf.clone(),
+                    enqueued_at: Instant::now(),
+                };
                 buf.clear();
                 loop {
                     if lane.dead.load(Ordering::Acquire) {
                         // These ops can never be applied; undo the submit
                         // accounting so flush_all does not wait for them.
-                        lane.submitted.fetch_sub(len, Ordering::Release);
+                        lane.submitted.sub_ordered(len, Ordering::Release);
                         result = Err(self.shared.lane_error(shard));
                         break;
                     }
                     match lane.queue.push(pending) {
                         Ok(pos) => {
-                            lane.batches.fetch_add(1, Ordering::Relaxed);
+                            lane.batches.inc();
+                            lane.depth.add(1);
                             ticket.targets[shard] = pos as u64 + 1;
                             break;
                         }
                         Err(back) => {
                             pending = back;
-                            lane.stalls.fetch_add(1, Ordering::Relaxed);
+                            lane.stalls.inc();
                             std::thread::yield_now();
                         }
                     }
@@ -298,7 +355,7 @@ impl<G: DynamicGraph + 'static> IngestPipeline<G> {
                 ))
             })?;
             let mut spins = 0u32;
-            while lane.drained.load(Ordering::Acquire) < target {
+            while lane.drained.get_ordered(Ordering::Acquire) < target {
                 if lane.dead.load(Ordering::Acquire) {
                     return Err(self.shared.lane_error(shard));
                 }
@@ -321,7 +378,7 @@ impl<G: DynamicGraph + 'static> IngestPipeline<G> {
         self.shared
             .lanes
             .iter()
-            .map(|l| l.drained.load(Ordering::Acquire))
+            .map(|l| l.drained.get_ordered(Ordering::Acquire))
             .sum()
     }
 
@@ -335,7 +392,7 @@ impl<G: DynamicGraph + 'static> IngestPipeline<G> {
         self.shared
             .lanes
             .iter()
-            .map(|l| l.drained.load(Ordering::Acquire))
+            .map(|l| l.drained.get_ordered(Ordering::Acquire))
             .collect()
     }
 
@@ -350,11 +407,11 @@ impl<G: DynamicGraph + 'static> IngestPipeline<G> {
             .shared
             .lanes
             .iter()
-            .map(|l| l.submitted.load(Ordering::Acquire))
+            .map(|l| l.submitted.get_ordered(Ordering::Acquire))
             .collect();
         for (shard, (lane, &target)) in self.shared.lanes.iter().zip(&targets).enumerate() {
             let mut spins = 0u32;
-            while lane.applied.load(Ordering::Acquire) < target {
+            while lane.applied.get_ordered(Ordering::Acquire) < target {
                 if lane.dead.load(Ordering::Acquire) {
                     return Err(self.shared.lane_error(shard));
                 }
@@ -378,6 +435,13 @@ impl<G: DynamicGraph + 'static> IngestPipeline<G> {
         &self.shared.graph
     }
 
+    /// The metric registry the pipeline records into (lane counters,
+    /// queue-depth gauges, the enqueue→drain histogram and the slow-op
+    /// trace ring).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.shared.registry
+    }
+
     /// Snapshot the per-shard ingest counters.
     pub fn stats(&self) -> PipelineStats {
         PipelineStats {
@@ -386,13 +450,13 @@ impl<G: DynamicGraph + 'static> IngestPipeline<G> {
                 .lanes
                 .iter()
                 .map(|l| ShardIngestStats {
-                    ops_submitted: l.submitted.load(Ordering::Relaxed),
-                    ops_applied: l.applied.load(Ordering::Relaxed),
-                    deletes_applied: l.deletes.load(Ordering::Relaxed),
-                    batches_submitted: l.batches.load(Ordering::Relaxed),
-                    batches_drained: l.drained.load(Ordering::Relaxed),
-                    backpressure_stalls: l.stalls.load(Ordering::Relaxed),
-                    op_errors: l.errors.load(Ordering::Relaxed),
+                    ops_submitted: l.submitted.get(),
+                    ops_applied: l.applied.get(),
+                    deletes_applied: l.deletes.get(),
+                    batches_submitted: l.batches.get(),
+                    batches_drained: l.drained.get(),
+                    backpressure_stalls: l.stalls.get(),
+                    op_errors: l.errors.get(),
                 })
                 .collect(),
         }
@@ -416,27 +480,38 @@ fn drain_worker<G: DynamicGraph>(shared: &Shared<G>, shard: usize) {
         match lane.queue.pop() {
             Some(batch) => {
                 idle_spins = 0;
-                for &op in &batch {
+                lane.depth.sub(1);
+                for &op in &batch.ops {
                     let outcome = match op {
                         Update::InsertVertex(v) => backend.insert_vertex(v),
                         Update::InsertEdge(src, dst) => backend.insert_edge(src, dst),
                         Update::DeleteEdge(src, dst) => {
-                            lane.deletes.fetch_add(1, Ordering::Relaxed);
+                            lane.deletes.inc();
                             // A delete of an absent edge is a no-op, not an
                             // error: only backend failures are recorded.
                             backend.delete_edge(src, dst).map(|_existed| ())
                         }
                     };
                     if let Err(err) = outcome {
-                        lane.errors.fetch_add(1, Ordering::Relaxed);
+                        lane.errors.inc();
                         shared.error.record(err);
                     }
                 }
                 lane.applied
-                    .fetch_add(batch.len() as u64, Ordering::Release);
+                    .add_ordered(batch.ops.len() as u64, Ordering::Release);
                 // Publish batch completion only after every op in it is
                 // applied — wait_for relies on this ordering.
-                lane.drained.fetch_add(1, Ordering::Release);
+                lane.drained.add_ordered(1, Ordering::Release);
+                // Telemetry after the watermark moves: a couple of relaxed
+                // atomics, never on the waiters' critical path.
+                let nanos = batch.enqueued_at.elapsed().as_nanos() as u64;
+                shared.queue_latency.record(nanos);
+                shared.registry.slow_ops().record_slow(
+                    shared.drain_kind,
+                    shard as u64,
+                    nanos,
+                    lane.drained.get(),
+                );
             }
             None => {
                 // Queue drained: exit once producers are done, otherwise
@@ -572,6 +647,63 @@ mod tests {
         assert_eq!(marks[1 - shard], 0, "untouched lane must not move");
         assert_eq!(marks.iter().sum::<u64>(), p.watermark());
         assert_eq!(p.stats().watermarks(), marks);
+    }
+
+    #[test]
+    fn registry_metrics_mirror_lane_counters() {
+        let p = pipeline_over(ShardedConfig::small_test());
+        let ticket = p.submit_edges(&[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        p.wait_for(&ticket).unwrap();
+        let snap = p.registry().snapshot();
+        assert_eq!(snap.counter("pipeline_ops_submitted"), Some(4));
+        assert_eq!(snap.counter("pipeline_ops_applied"), Some(4));
+        assert_eq!(snap.counter("pipeline_op_errors"), Some(0));
+        // Everything drained: each lane's queue-depth gauge is back at 0.
+        for shard in 0..2 {
+            assert_eq!(
+                snap.gauge_labeled("pipeline_queue_depth", &format!("shard=\"{shard}\"")),
+                Some(0),
+                "lane {shard} depth"
+            );
+        }
+        // The enqueue→drain histogram records *after* the drained watermark
+        // moves (it is off the waiters' critical path), so allow it a beat.
+        let expect = p.stats().batches_drained();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let count = p
+                .registry()
+                .snapshot()
+                .histogram("pipeline_enqueue_to_drain_nanos")
+                .unwrap()
+                .count;
+            if count == expect {
+                break;
+            }
+            assert!(Instant::now() < deadline, "histogram never caught up");
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn slow_drains_leave_trace_events() {
+        let p = pipeline_over(ShardedConfig::small_test());
+        // Zero threshold: every drained batch traces.
+        p.registry().slow_ops().set_threshold_ns(0);
+        let ticket = p.submit(&[Update::InsertEdge(0, 1)]).unwrap();
+        p.wait_for(&ticket).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let events = p.registry().snapshot().slow_ops;
+            if let Some(e) = events.first() {
+                assert_eq!(e.kind, "drain_batch");
+                assert!(e.shard < 2);
+                assert!(e.epoch >= 1, "epoch carries the drained watermark");
+                break;
+            }
+            assert!(Instant::now() < deadline, "no trace event arrived");
+            std::thread::yield_now();
+        }
     }
 
     #[test]

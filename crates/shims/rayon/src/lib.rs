@@ -30,7 +30,7 @@ pub mod pool;
 use std::cell::Cell;
 use std::mem::ManuallyDrop;
 
-pub use pool::{join, scope, Scope};
+pub use pool::{join, pool_stats, scope, PoolStats, Scope};
 
 pub mod prelude {
     //! Traits that put `par_iter` / `par_iter_mut` / `into_par_iter` in scope.
@@ -701,6 +701,20 @@ mod tests {
             }
         });
         assert_eq!(hits.load(Ordering::Relaxed), 4 * 50 * 8);
+    }
+
+    #[test]
+    fn pool_stats_counts_executed_jobs() {
+        let before = pool_stats();
+        assert!(before.workers >= 1);
+        (0..10_000u64).into_par_iter().for_each(|_| {});
+        let after = pool_stats();
+        assert!(
+            after.executed > before.executed || after.workers == 1,
+            "parallel work must show up in executed count: {before:?} -> {after:?}"
+        );
+        assert!(after.steals >= before.steals);
+        assert!(after.injected >= before.injected);
     }
 
     #[test]

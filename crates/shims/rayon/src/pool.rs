@@ -28,8 +28,55 @@
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicIsize, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicIsize, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
+
+// ----------------------------------------------------------------------
+// Pool statistics
+// ----------------------------------------------------------------------
+
+/// Plain relaxed event counters for the global pool (the shim stays
+/// dependency-free, so these are bare atomics rather than `obs` metrics;
+/// the service layer mirrors them into its metric snapshots).
+#[derive(Default)]
+struct PoolCounters {
+    /// Jobs taken from another worker's deque.
+    steals: AtomicU64,
+    /// Jobs submitted through the global injector.
+    injected: AtomicU64,
+    /// Jobs executed (any source).
+    executed: AtomicU64,
+    /// Times a worker or waiter parked on a condvar with nothing to do.
+    sleeps: AtomicU64,
+}
+
+/// A point-in-time reading of the global pool's activity counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Number of persistent worker threads.
+    pub workers: usize,
+    /// Jobs stolen from another worker's deque.
+    pub steals: u64,
+    /// Jobs that went through the global injector.
+    pub injected: u64,
+    /// Jobs executed in total.
+    pub executed: u64,
+    /// Condvar parks (idle workers plus blocked waiters).
+    pub sleeps: u64,
+}
+
+/// Read the global pool's counters (creates the pool if it does not exist
+/// yet, like any other use of it).
+pub fn pool_stats() -> PoolStats {
+    let registry = Registry::global();
+    PoolStats {
+        workers: registry.num_workers(),
+        steals: registry.counters.steals.load(Ordering::Relaxed),
+        injected: registry.counters.injected.load(Ordering::Relaxed),
+        executed: registry.counters.executed.load(Ordering::Relaxed),
+        sleeps: registry.counters.sleeps.load(Ordering::Relaxed),
+    }
+}
 
 // ----------------------------------------------------------------------
 // Job representation
@@ -284,6 +331,8 @@ pub(crate) struct Registry {
     done_waiters: AtomicUsize,
     done_lock: Mutex<()>,
     done_cv: Condvar,
+    /// Activity counters surfaced by [`pool_stats`].
+    counters: PoolCounters,
 }
 
 static REGISTRY: OnceLock<&'static Registry> = OnceLock::new();
@@ -302,6 +351,7 @@ impl Registry {
                 done_waiters: AtomicUsize::new(0),
                 done_lock: Mutex::new(()),
                 done_cv: Condvar::new(),
+                counters: PoolCounters::default(),
             }));
             for index in 0..workers {
                 std::thread::Builder::new()
@@ -345,6 +395,7 @@ impl Registry {
     }
 
     fn inject(&self, job: JobRef) {
+        self.counters.injected.fetch_add(1, Ordering::Relaxed);
         self.injector
             .lock()
             .unwrap_or_else(|p| p.into_inner())
@@ -392,6 +443,7 @@ impl Registry {
                 continue;
             }
             if let Some(job) = self.deques[victim].steal() {
+                self.counters.steals.fetch_add(1, Ordering::Relaxed);
                 return Some(job);
             }
         }
@@ -403,6 +455,7 @@ impl Registry {
         match self.find_work(local) {
             Some(job) => {
                 unsafe { job.execute() };
+                self.counters.executed.fetch_add(1, Ordering::Relaxed);
                 // Whoever is blocked on this job's (or its scope's)
                 // completion re-checks now instead of on a timer.
                 self.signal_job_done();
@@ -438,6 +491,7 @@ impl Registry {
                 if self.has_visible_work() {
                     drop(guard);
                 } else {
+                    self.counters.sleeps.fetch_add(1, Ordering::Relaxed);
                     let _ = self
                         .sleep_cv
                         .wait_timeout(guard, std::time::Duration::from_millis(10));
@@ -481,6 +535,7 @@ impl Registry {
             // Re-check under the lock: a completion signalled before we
             // registered would otherwise be missed until the timeout.
             if !done() && !self.has_visible_work() {
+                self.counters.sleeps.fetch_add(1, Ordering::Relaxed);
                 let _ = self
                     .done_cv
                     .wait_timeout(guard, std::time::Duration::from_millis(1));

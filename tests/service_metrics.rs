@@ -1,0 +1,187 @@
+//! The telemetry plane observed end-to-end: mixed traffic through a
+//! `GraphService`, then `Query::Metrics` must report populated, monotone
+//! latency quantiles, pipeline counters matching the submitted work, and
+//! epoch-cache hit/miss accounting that agrees with the pinned
+//! incremental-refresh behaviour (a single-shard burst pays one capture).
+
+use dgap::Update;
+use service::{GraphService, Query, QueryResult, ServiceConfig};
+use sharded::ShardedConfig;
+use std::sync::Arc;
+
+fn service_config() -> ServiceConfig {
+    ServiceConfig {
+        sharded: ShardedConfig::builder()
+            .shards(2)
+            .queue_capacity(8)
+            .batch_size(32)
+            .build(),
+        workers: 2,
+        num_vertices: 256,
+        num_edges: 1 << 14,
+        pool_bytes: 24 << 20,
+    }
+}
+
+#[test]
+fn mixed_traffic_populates_monotone_latency_quantiles() {
+    let service = GraphService::start(service_config()).expect("start service");
+    let client = service.client();
+
+    // Mixed traffic: writes, point reads, stats, and one analytics query.
+    // Each round owns a disjoint vertex pair, so every degree is exact.
+    for round in 0..8u64 {
+        let (a, b) = (2 * round, 2 * round + 1);
+        let t = client
+            .mutate(vec![Update::InsertEdge(a, b), Update::InsertEdge(b, a)])
+            .expect("mutate");
+        client.wait(&t).expect("wait");
+        assert_eq!(client.degree(a).expect("degree"), 1);
+        let _ = client.neighbors(a).expect("neighbors");
+    }
+    let _ = client.stats().expect("stats");
+    match client.query(Query::ConnectedComponents).expect("cc") {
+        QueryResult::ConnectedComponents(labels) => assert!(!labels.is_empty()),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    let metrics = client.metrics().expect("metrics");
+
+    // Per-kind latency histograms saw the traffic.
+    for (kind, at_least) in [("degree", 8u64), ("neighbors", 8), ("stats", 1)] {
+        let hist = metrics
+            .histogram_labeled("service_query_nanos", &format!("kind=\"{kind}\""))
+            .unwrap_or_else(|| panic!("service_query_nanos kind={kind} missing"));
+        assert!(
+            hist.count >= at_least,
+            "kind={kind}: count {} < {at_least}",
+            hist.count
+        );
+        assert!(hist.sum > 0, "kind={kind}: zero total latency");
+        // Quantiles are monotone and bounded by the exact max.
+        assert!(hist.p50() <= hist.p95(), "kind={kind}: p50 > p95");
+        assert!(hist.p95() <= hist.p99(), "kind={kind}: p95 > p99");
+        assert!(hist.p99() <= hist.p999(), "kind={kind}: p99 > p999");
+        assert!(hist.p999() <= hist.max, "kind={kind}: p999 > max");
+        assert!(hist.p50() > 0, "kind={kind}: degenerate p50");
+    }
+
+    // The pipeline's counters flowed into the same snapshot: 16 inserts
+    // were submitted and applied, none were deletes.
+    assert_eq!(metrics.counter("pipeline_ops_submitted"), Some(16));
+    assert_eq!(metrics.counter("pipeline_ops_applied"), Some(16));
+    assert_eq!(metrics.counter("pipeline_deletes_applied"), Some(0));
+    // Queue-depth gauges exist per shard and are drained back to zero.
+    for shard in 0..2 {
+        assert_eq!(
+            metrics.gauge_labeled("pipeline_queue_depth", &format!("shard=\"{shard}\"")),
+            Some(0),
+            "shard {shard} queue not drained"
+        );
+    }
+    // The work-stealing pool's counters are mirrored in.
+    assert!(metrics.counter("pool_workers").unwrap_or(0) >= 1);
+
+    // And the whole plane renders as Prometheus exposition text.
+    let text = metrics.render_prometheus();
+    assert!(text.contains("# TYPE service_query_nanos summary"));
+    assert!(text.contains("service_query_nanos{kind=\"degree\",quantile=\"0.5\"}"));
+    assert!(text.contains("pipeline_ops_applied"));
+    service.shutdown();
+}
+
+#[test]
+fn epoch_cache_hit_miss_accounting_matches_refresh_behaviour() {
+    let service = GraphService::start(service_config()).expect("start service");
+    let client = service.client();
+
+    // Pick one vertex per shard.
+    let graph = Arc::clone(service.graph());
+    let va = (0..64u64)
+        .find(|&v| graph.shard_of(v) == 0)
+        .expect("shard 0");
+    let vb = (0..64u64)
+        .find(|&v| graph.shard_of(v) == 1)
+        .expect("shard 1");
+
+    // Seed both shards; the first query is the cold miss.
+    let t = client
+        .mutate(vec![Update::InsertEdge(va, vb), Update::InsertEdge(vb, va)])
+        .expect("mutate");
+    client.wait(&t).expect("wait");
+    assert_eq!(client.degree(va).expect("degree"), 1);
+
+    let before = client.metrics().expect("metrics");
+    assert_eq!(before.counter("service_epoch_cache_misses"), Some(1));
+    assert_eq!(before.counter("service_shard_captures"), Some(2));
+
+    // Repeated reads on a quiet pipeline are pure cache hits — and
+    // `Query::Metrics` itself must not move either counter.
+    for _ in 0..5 {
+        assert_eq!(client.degree(va).expect("degree"), 1);
+    }
+    let quiet = client.metrics().expect("metrics");
+    assert_eq!(quiet.counter("service_epoch_cache_misses"), Some(1));
+    assert_eq!(
+        quiet.counter("service_epoch_cache_hits").unwrap_or(0),
+        before.counter("service_epoch_cache_hits").unwrap_or(0) + 5,
+        "five quiet reads must be five epoch-cache hits"
+    );
+
+    // A write burst confined to shard 0: exactly one more miss, and the
+    // incremental refresh pays exactly one shard capture for it.
+    let t = client
+        .mutate(vec![Update::InsertEdge(va, vb + 2)])
+        .expect("mutate");
+    client.wait(&t).expect("wait");
+    assert_eq!(client.degree(va).expect("degree"), 2);
+    let after = client.metrics().expect("metrics");
+    assert_eq!(after.counter("service_epoch_cache_misses"), Some(2));
+    assert_eq!(
+        after.counter("service_shard_captures"),
+        Some(3),
+        "single-shard burst must cost exactly one extra capture"
+    );
+
+    // ServiceStats is assembled from the same registry: the compat
+    // accessors agree with the raw counters.
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.snapshot_refreshes, 2);
+    assert_eq!(stats.shard_captures, 3);
+    let refresh = after
+        .histogram("service_refresh_nanos")
+        .expect("refresh histogram");
+    assert_eq!(refresh.count, 2, "one histogram record per refresh");
+    assert_eq!(stats.refresh_nanos, refresh.sum);
+    service.shutdown();
+}
+
+#[test]
+fn slow_op_traces_surface_through_the_metrics_query() {
+    let service = GraphService::start(service_config()).expect("start service");
+    // Trace every drain, regardless of duration.
+    service.registry().slow_ops().set_threshold_ns(0);
+    let client = service.client();
+    let t = client
+        .mutate(vec![Update::InsertEdge(1, 2), Update::InsertEdge(2, 3)])
+        .expect("mutate");
+    client.wait(&t).expect("wait");
+
+    // The drain records its trace *after* publishing the watermark, so
+    // give the worker a moment to finish the bookkeeping.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let metrics = client.metrics().expect("metrics");
+        if let Some(event) = metrics.slow_ops.iter().find(|e| e.kind == "drain_batch") {
+            assert!(event.shard < 2, "shard out of range: {}", event.shard);
+            assert!(event.epoch >= 1, "drained watermark must have moved");
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no drain_batch trace event within 5s"
+        );
+        std::thread::yield_now();
+    }
+    service.shutdown();
+}
