@@ -1296,6 +1296,183 @@ pub fn serve(opts: &BenchOptions) -> Table {
     table
 }
 
+/// `serve_net`: the network plane under load — hundreds of simulated
+/// remote tenants, each on its own TCP connection, streaming mutate/query
+/// traffic through the wire protocol into one `GraphServer`.  One row per
+/// connection count reports throughput and the server-side
+/// `net_request_nanos` tail (p50/p99/p999) — how request latency degrades
+/// as the connection count grows — plus a `quota` row where deliberately
+/// oversized batches exercise admission control (the `shed` column counts
+/// the structured `Overloaded` replies).
+///
+/// Like `serve`, the percentiles come from the service registry's own
+/// histogram, not client stopwatches; with `--json DIR` the run appends its
+/// full Prometheus rendering (including every `net_*` series) to
+/// `DIR/METRICS_serve.prom`.
+pub fn serve_net(opts: &BenchOptions) -> Table {
+    use dgap::Update;
+    use net::{GraphServer, NetConfig, RemoteClient};
+    use service::{GraphService, ServiceConfig};
+    use sharded::ShardedConfig;
+
+    /// Tenant counts for the open (unthrottled) rows.
+    const CONN_COUNTS: [usize; 3] = [8, 32, 128];
+    /// Requests per tenant: even slots are mutate batches, odd are degree
+    /// queries, with a ticket wait every 16th to exercise read-your-writes.
+    const REQUESTS_PER_CONN: usize = 120;
+    const BATCH: usize = 8;
+    const NUM_VERTICES: usize = 4096;
+    /// The quota row's per-connection token bucket: each tenant demands
+    /// ~550 tokens per run, so even a slow box (where the wall clock
+    /// refills more tokens) sheds with an order-of-magnitude margin.
+    const QUOTA_OPS_PER_SEC: u64 = 50;
+
+    let service_config = || ServiceConfig {
+        sharded: ShardedConfig::builder()
+            .shards(4)
+            .queue_capacity(64)
+            .batch_size(256)
+            .build(),
+        workers: 4,
+        num_vertices: NUM_VERTICES,
+        num_edges: 1 << 17,
+        pool_bytes: 64 << 20,
+    };
+
+    let mut table = Table::new(
+        format!(
+            "Serve-net: remote tenants over TCP via GraphServer \
+             ({REQUESTS_PER_CONN} requests/connection, mutate batch {BATCH})"
+        ),
+        &[
+            "mode",
+            "connections",
+            "requests",
+            "shed",
+            "wall s",
+            "kreq s",
+            "p50 ms",
+            "p99 ms",
+            "p999 ms",
+        ],
+    );
+
+    let modes: Vec<(&str, usize, NetConfig)> = CONN_COUNTS
+        .iter()
+        .map(|&conns| ("open", conns, NetConfig::loopback()))
+        .chain(std::iter::once((
+            "quota",
+            32,
+            NetConfig {
+                ops_per_sec: Some(QUOTA_OPS_PER_SEC),
+                burst_ops: QUOTA_OPS_PER_SEC,
+                ..NetConfig::loopback()
+            },
+        )))
+        .collect();
+
+    let mut last_prom: Option<String> = None;
+    for (mode, conns, net) in modes {
+        let server = GraphServer::serve(
+            GraphService::start(service_config()).expect("start GraphService"),
+            net,
+        )
+        .expect("start GraphServer");
+        let addr = server.local_addr();
+
+        let start = std::time::Instant::now();
+        std::thread::scope(|scope| {
+            for c in 0..conns {
+                scope.spawn(move || {
+                    let client = RemoteClient::connect(addr).expect("connect");
+                    let mut ticket = sharded::Ticket::empty();
+                    for i in 0..REQUESTS_PER_CONN {
+                        if i % 2 == 0 {
+                            let base = ((c * REQUESTS_PER_CONN + i) * BATCH) as u64;
+                            let ops: Vec<Update> = (0..BATCH as u64)
+                                .map(|k| {
+                                    Update::InsertEdge(
+                                        (base + k) % NUM_VERTICES as u64,
+                                        (base + k * 7 + 1) % NUM_VERTICES as u64,
+                                    )
+                                })
+                                .collect();
+                            match client.mutate(ops) {
+                                Ok(t) => ticket.merge(&t),
+                                // The quota row sheds on purpose; a polite
+                                // tenant would back off here.
+                                Err(dgap::GraphError::Overloaded { .. }) => {}
+                                Err(err) => panic!("mutate failed: {err}"),
+                            }
+                            if i % 16 == 0 {
+                                match client.wait(&ticket) {
+                                    // Read-your-writes checkpoint; in quota
+                                    // mode the drained bucket sheds it like
+                                    // any other request.
+                                    Ok(()) | Err(dgap::GraphError::Overloaded { .. }) => {}
+                                    Err(err) => panic!("wait failed: {err}"),
+                                }
+                                ticket = sharded::Ticket::empty();
+                            }
+                        } else {
+                            let probe = (c * 31 + i) as u64 % NUM_VERTICES as u64;
+                            match client.degree(probe) {
+                                Ok(_) => {}
+                                Err(dgap::GraphError::Overloaded { .. }) => {}
+                                Err(err) => panic!("degree failed: {err}"),
+                            }
+                        }
+                    }
+                    client.close();
+                });
+            }
+        });
+        let wall = start.elapsed().as_secs_f64();
+
+        // Everything below comes from the server's own registry — the same
+        // series an operator would scrape.
+        let metrics = server.service().metrics();
+        let requests = metrics.counter("net_requests_total").unwrap_or(0);
+        let shed = metrics.counter("net_requests_shed").unwrap_or(0);
+        let nanos = metrics
+            .histogram("net_request_nanos")
+            .cloned()
+            .unwrap_or_default();
+        let ms = |n: u64| n as f64 / 1e6;
+        table.row(vec![
+            mode.to_string(),
+            format!("{conns}"),
+            format!("{requests}"),
+            format!("{shed}"),
+            secs(wall),
+            format!("{:.1}", requests as f64 / wall / 1e3),
+            format!("{:.3}", ms(nanos.p50())),
+            format!("{:.3}", ms(nanos.p99())),
+            format!("{:.3}", ms(nanos.p999())),
+        ]);
+        last_prom = Some(format!(
+            "# dgap-bench serve-net: mode={mode}, connections={conns}\n{}",
+            metrics.render_prometheus()
+        ));
+        server.shutdown();
+    }
+    if let (Some(dir), Some(prom)) = (&opts.artifact_dir, &last_prom) {
+        // Appended, not overwritten: a CI run that did `serve` first ends up
+        // with one file carrying both the in-process and the network-plane
+        // series.
+        use std::io::Write as _;
+        let path = dir.join("METRICS_serve.prom");
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .expect("open METRICS_serve.prom");
+        file.write_all(prom.as_bytes())
+            .expect("append METRICS_serve.prom");
+    }
+    table
+}
+
 /// Nearest-rank percentile over an ascending-sorted sample (0.0 for an
 /// empty one).
 fn percentile(sorted: &[f64], p: f64) -> f64 {

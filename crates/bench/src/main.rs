@@ -10,6 +10,9 @@
 //!                 parallel scans per --threads, `open_dgap` per --shards)
 //!   sharding     (beyond the paper: crates/sharded ingest + kernel scaling)
 //!   serve        (beyond the paper: GraphService mixed mutate/query traffic)
+//!   serve-net    (beyond the paper: remote tenants over TCP through the
+//!                 wire protocol, tail latency per connection count +
+//!                 admission-control shedding)
 //!   snapshot     (beyond the paper: sequential vs parallel/incremental
 //!                 FrozenView capture)
 //!   analytics    (beyond the paper: dyn-dispatch vs zero-dispatch CSR
@@ -90,6 +93,7 @@ fn print_usage() {
          experiments: fig1a fig1b fig1c fig5 fig6 table3 fig7 fig8 table4 table5 fig9 recovery\n\
          beyond the paper: sharding (ingest + kernels vs shard count; see --shards)\n\
                       serve    (GraphService mixed mutate/query traffic + latency percentiles)\n\
+                      serve-net (remote TCP tenants: wire protocol, tails per connection count)\n\
                       snapshot (sequential vs parallel/incremental FrozenView capture)\n\
                       analytics (dyn-dispatch vs zero-dispatch CSR kernels + UnifiedView merge)\n\
          groups:      motivation insertion analysis components all\n\
@@ -116,6 +120,7 @@ fn expand(name: &str) -> Vec<&'static str> {
         "recovery" => vec!["recovery"],
         "sharding" => vec!["sharding"],
         "serve" => vec!["serve"],
+        "serve-net" | "serve_net" => vec!["serve_net"],
         "snapshot" => vec!["snapshot"],
         "analytics" => vec!["analytics"],
         "motivation" => vec!["fig1a", "fig1b", "fig1c"],
@@ -137,6 +142,7 @@ fn expand(name: &str) -> Vec<&'static str> {
             "recovery",
             "sharding",
             "serve",
+            "serve_net",
             "snapshot",
             "analytics",
         ],
@@ -164,6 +170,7 @@ fn run(name: &str, opts: &BenchOptions) -> Table {
         "recovery" => exp::recovery(opts),
         "sharding" => exp::sharding(opts),
         "serve" => exp::serve(opts),
+        "serve_net" => exp::serve_net(opts),
         "snapshot" => exp::snapshot(opts),
         "analytics" => exp::analytics(opts),
         _ => unreachable!("expand() filters unknown names"),

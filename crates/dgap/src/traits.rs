@@ -52,6 +52,23 @@ pub enum GraphError {
         /// Index of the shard whose drain worker died.
         shard: usize,
     },
+    /// The network transport failed underneath the request (connection
+    /// reset, write error, unreadable socket).  The request may or may not
+    /// have reached the service; idempotent retry is the caller's call.
+    Io(String),
+    /// A peer violated the wire protocol: bad magic or version, an unknown
+    /// message tag, a truncated body, or a hostile length prefix.  The
+    /// connection that produced it is not recoverable — the byte stream has
+    /// lost frame alignment.
+    Protocol(String),
+    /// Admission control shed this request instead of queueing it: the
+    /// client is over one of its quotas (or the service is past its
+    /// backpressure threshold).  The request was **not** executed; backing
+    /// off and retrying is safe.
+    Overloaded {
+        /// Which quota tripped (`"inflight"`, `"rate"`, `"backpressure"`).
+        reason: String,
+    },
     /// Any other system-specific failure.
     Other(String),
 }
@@ -67,6 +84,11 @@ impl fmt::Display for GraphError {
             GraphError::Closed => write!(f, "the component has shut down"),
             GraphError::WorkerDied { shard } => {
                 write!(f, "ingest worker for shard {shard} died: backend panicked")
+            }
+            GraphError::Io(msg) => write!(f, "transport i/o error: {msg}"),
+            GraphError::Protocol(msg) => write!(f, "wire protocol violation: {msg}"),
+            GraphError::Overloaded { reason } => {
+                write!(f, "request shed by admission control: over {reason} quota")
             }
             GraphError::Other(msg) => write!(f, "{msg}"),
         }

@@ -1,0 +1,268 @@
+//! The remote counterpart of [`service::GraphClient`]: same call surface,
+//! but every request crosses a TCP socket as a [`crate::wire`] frame.
+//!
+//! A [`RemoteClient`] is cheap to clone; clones share one connection.  Each
+//! request carries a connection-unique id, and a background demux thread
+//! routes response frames — which the server may emit **out of order** —
+//! back to whichever caller is waiting.  [`RemoteClient::send`] exposes the
+//! pipelining directly: fire several requests, then harvest the
+//! [`PendingReply`]s in any order.
+
+use crate::wire::{self, Frame, FrameBuffer};
+use dgap::{GraphError, GraphResult, Update, VertexId};
+use obs::MetricsSnapshot;
+use service::{Query, QueryResult, Request, Response, ServiceStats};
+use sharded::Ticket;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+
+/// Shared connection state: the write half (framed sends are serialised
+/// under the lock) and the pending-reply routing table fed by the demux
+/// thread.
+struct Core {
+    write: Mutex<TcpStream>,
+    pending: Mutex<HashMap<u64, Sender<Response>>>,
+    next_id: AtomicU64,
+    closed: AtomicBool,
+}
+
+impl Core {
+    /// Mark the connection dead and wake every waiter: their reply senders
+    /// drop, so `PendingReply::wait` observes the disconnect.
+    fn poison(&self) {
+        self.closed.store(true, Ordering::Release);
+        self.pending
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clear();
+        let write = self.write.lock().unwrap_or_else(|p| p.into_inner());
+        let _ = write.shutdown(Shutdown::Both);
+    }
+}
+
+/// Closes the socket when the last clone of the client is dropped, which
+/// also unblocks the demux thread's read.
+struct ConnGuard {
+    core: Arc<Core>,
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.core.poison();
+    }
+}
+
+/// A handle to a [`crate::GraphServer`] over TCP, mirroring
+/// [`service::GraphClient`]: `mutate` / `wait` / `flush` / `query` plus the
+/// same convenience accessors.
+#[derive(Clone)]
+pub struct RemoteClient {
+    core: Arc<Core>,
+    _guard: Arc<ConnGuard>,
+}
+
+/// An in-flight request: hold several to pipeline, then [`wait`] in any
+/// order.
+///
+/// [`wait`]: PendingReply::wait
+pub struct PendingReply {
+    rx: Receiver<Response>,
+}
+
+impl PendingReply {
+    /// Block until the server's reply arrives (or the connection dies).
+    pub fn wait(self) -> GraphResult<Response> {
+        self.rx.recv().map_err(|_| GraphError::Closed)
+    }
+}
+
+impl RemoteClient {
+    /// Connect to a [`crate::GraphServer`] at `addr` and start the demux
+    /// thread.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> GraphResult<RemoteClient> {
+        let stream = TcpStream::connect(addr).map_err(|e| GraphError::Io(e.to_string()))?;
+        let _ = stream.set_nodelay(true);
+        let read_half = stream
+            .try_clone()
+            .map_err(|e| GraphError::Io(e.to_string()))?;
+        let core = Arc::new(Core {
+            write: Mutex::new(stream),
+            pending: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(0),
+            closed: AtomicBool::new(false),
+        });
+        let demux_core = Arc::clone(&core);
+        std::thread::Builder::new()
+            .name("graph-net-demux".to_string())
+            .spawn(move || demux_loop(&demux_core, read_half))
+            .map_err(|e| GraphError::Io(e.to_string()))?;
+        let guard = Arc::new(ConnGuard {
+            core: Arc::clone(&core),
+        });
+        Ok(RemoteClient {
+            core,
+            _guard: guard,
+        })
+    }
+
+    /// Fire a request without waiting: the building block for pipelining.
+    pub fn send(&self, request: &Request) -> GraphResult<PendingReply> {
+        if self.core.closed.load(Ordering::Acquire) {
+            return Err(GraphError::Closed);
+        }
+        let id = self.core.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let (tx, rx) = mpsc::channel();
+        self.core
+            .pending
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(id, tx);
+        let mut buf = Vec::with_capacity(64);
+        wire::put_request_frame(&mut buf, id, request);
+        let write_result = {
+            let mut write = self.core.write.lock().unwrap_or_else(|p| p.into_inner());
+            write.write_all(&buf)
+        };
+        if let Err(e) = write_result {
+            self.core
+                .pending
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .remove(&id);
+            return Err(GraphError::Io(e.to_string()));
+        }
+        Ok(PendingReply { rx })
+    }
+
+    /// One round trip: send, then wait.
+    pub fn call(&self, request: &Request) -> GraphResult<Response> {
+        self.send(request)?.wait()
+    }
+
+    /// Submit a batch of updates; the returned [`Ticket`] buys
+    /// read-your-writes via [`RemoteClient::wait`].
+    pub fn mutate(&self, ops: Vec<Update>) -> GraphResult<Ticket> {
+        match self.call(&Request::Mutate(ops))? {
+            Response::Mutated { ticket, .. } => Ok(ticket),
+            Response::Error(err) => Err(err),
+            other => Err(unexpected("Mutated", &other)),
+        }
+    }
+
+    /// Block until everything behind `ticket` is applied.
+    pub fn wait(&self, ticket: &Ticket) -> GraphResult<()> {
+        match self.call(&Request::Wait(ticket.clone()))? {
+            Response::Waited => Ok(()),
+            Response::Error(err) => Err(err),
+            other => Err(unexpected("Waited", &other)),
+        }
+    }
+
+    /// Global flush barrier: every update submitted so far (by any client)
+    /// is applied when this returns.
+    pub fn flush(&self) -> GraphResult<()> {
+        match self.call(&Request::Flush)? {
+            Response::Flushed => Ok(()),
+            Response::Error(err) => Err(err),
+            other => Err(unexpected("Flushed", &other)),
+        }
+    }
+
+    /// Run a read query against the server's current snapshot.
+    pub fn query(&self, query: Query) -> GraphResult<QueryResult> {
+        match self.call(&Request::Query(query))? {
+            Response::Answer(result) => Ok(result),
+            Response::Error(err) => Err(err),
+            other => Err(unexpected("Answer", &other)),
+        }
+    }
+
+    /// Degree of `v` in the current snapshot.
+    pub fn degree(&self, v: VertexId) -> GraphResult<usize> {
+        match self.query(Query::Degree(v))? {
+            QueryResult::Degree(d) => Ok(d),
+            other => Err(unexpected_result("Degree", &other)),
+        }
+    }
+
+    /// Neighbors of `v` in the current snapshot.
+    pub fn neighbors(&self, v: VertexId) -> GraphResult<Vec<VertexId>> {
+        match self.query(Query::Neighbors(v))? {
+            QueryResult::Neighbors(n) => Ok(n),
+            other => Err(unexpected_result("Neighbors", &other)),
+        }
+    }
+
+    /// Service-wide counters (graph size, pipeline, snapshot cache, served
+    /// requests).
+    pub fn stats(&self) -> GraphResult<ServiceStats> {
+        match self.query(Query::Stats)? {
+            QueryResult::Stats(stats) => Ok(stats),
+            other => Err(unexpected_result("Stats", &other)),
+        }
+    }
+
+    /// Full metrics snapshot from the server's registry — includes the
+    /// `net_*` series describing the connection this client is using.
+    pub fn metrics(&self) -> GraphResult<MetricsSnapshot> {
+        match self.query(Query::Metrics)? {
+            QueryResult::Metrics(snap) => Ok(*snap),
+            other => Err(unexpected_result("Metrics", &other)),
+        }
+    }
+
+    /// Hang up.  Outstanding [`PendingReply`]s (from any clone) observe
+    /// [`GraphError::Closed`].
+    pub fn close(&self) {
+        self.core.poison();
+    }
+}
+
+fn demux_loop(core: &Arc<Core>, mut stream: TcpStream) {
+    let mut frames = FrameBuffer::new(wire::MAX_FRAME_LEN);
+    let mut scratch = [0u8; 16 * 1024];
+    loop {
+        loop {
+            match frames.next_frame() {
+                Ok(Some(Frame::Response { id, response })) => {
+                    let waiter = core
+                        .pending
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .remove(&id);
+                    if let Some(tx) = waiter {
+                        let _ = tx.send(response);
+                    }
+                    // id 0 (or an id we gave up on) has no waiter: the
+                    // server's courtesy error before hanging up. Dropped.
+                }
+                Ok(Some(Frame::Request { .. })) | Err(_) => {
+                    // Servers do not send requests; either way the stream
+                    // is unusable.
+                    core.poison();
+                    return;
+                }
+                Ok(None) => break,
+            }
+        }
+        match stream.read(&mut scratch) {
+            Ok(0) | Err(_) => {
+                core.poison();
+                return;
+            }
+            Ok(n) => frames.extend(&scratch[..n]),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> GraphError {
+    GraphError::Protocol(format!("wanted {wanted} response, got {got:?}"))
+}
+
+fn unexpected_result(wanted: &str, got: &QueryResult) -> GraphError {
+    GraphError::Protocol(format!("wanted {wanted} result, got {got:?}"))
+}

@@ -1,0 +1,66 @@
+//! # net — the out-of-process serving plane
+//!
+//! Everything below this crate assumes the caller shares an address space
+//! with the engine.  This crate removes that assumption with zero external
+//! dependencies: a hand-rolled binary wire protocol ([`wire`]), a TCP
+//! [`GraphServer`] that multiplexes many connections onto the
+//! [`service::GraphService`] worker pool, and a [`RemoteClient`] that
+//! mirrors the in-process [`service::GraphClient`] API call-for-call.
+//!
+//! ## Wire format
+//!
+//! Frames are length-prefixed; payloads are explicit, versioned
+//! encodings — no derive magic, no reflection:
+//!
+//! ```text
+//! [len: u32 LE] [version: u8] [kind: u8] [id: varint] [body...]
+//!                                 |
+//!                 1 = request, 2 = response
+//! ```
+//!
+//! Integers are LEB128 varints (zigzag for signed), floats 8-byte LE,
+//! strings length-prefixed UTF-8.  The decoder is **hostile-input safe**:
+//! frame lengths are capped, claimed element counts are validated against
+//! the bytes actually present before any allocation, and strings are
+//! checked UTF-8 — a garbage peer costs a bounded parse, never memory.
+//!
+//! ## Multi-tenant admission control
+//!
+//! The server treats each connection as a tenant with quotas (in-flight
+//! window, ops/sec token bucket) and sheds mutations while the ingest
+//! pipeline's own backpressure telemetry says it is behind.  Shed requests
+//! get a structured [`dgap::GraphError::Overloaded`] reply — the
+//! connection stays healthy, so a well-behaved client simply backs off.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dgap::Update;
+//! use net::{GraphServer, NetConfig, RemoteClient};
+//! use service::ServiceConfig;
+//!
+//! let server = GraphServer::start(
+//!     ServiceConfig::small_test(),
+//!     NetConfig::loopback(),
+//! )
+//! .unwrap();
+//! let client = RemoteClient::connect(server.local_addr()).unwrap();
+//!
+//! let ticket = client
+//!     .mutate(vec![Update::InsertEdge(0, 1), Update::InsertEdge(0, 2)])
+//!     .unwrap();
+//! client.wait(&ticket).unwrap(); // read-your-writes over TCP
+//! assert_eq!(client.degree(0).unwrap(), 2);
+//!
+//! client.close();
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{PendingReply, RemoteClient};
+pub use server::{GraphServer, NetConfig};

@@ -1,0 +1,589 @@
+//! The TCP front-end: many concurrent connections multiplexed onto the
+//! [`service::GraphService`] worker pool, with per-client admission
+//! control.
+//!
+//! ## Connection anatomy
+//!
+//! Each accepted socket gets two threads.  The **reader** accumulates
+//! bytes into a [`wire::FrameBuffer`], applies admission control to every
+//! decoded request, and forwards admitted requests through the service's
+//! tag-routing [`service::RawClient`] — the request id doubles as the tag,
+//! and the shared reply channel feeds the **writer**, which encodes
+//! response frames back onto the socket in whatever order the workers
+//! finish them.  Pipelining is therefore free: a connection can have up to
+//! `max_inflight` requests outstanding and replies interleave out of
+//! order.
+//!
+//! ## Admission control
+//!
+//! Three quotas guard the shared engine, all shedding with a structured
+//! [`GraphError::Overloaded`] response (never a dropped connection):
+//!
+//! * **in-flight window** — at most `max_inflight` admitted requests per
+//!   connection awaiting their reply;
+//! * **ops/sec token bucket** — each request costs its operation count
+//!   (a `Mutate` batch costs one token per update, everything else one);
+//! * **backpressure** — `Mutate` requests are shed while the ingest
+//!   pipeline's own telemetry (the PR 6 `pipeline_queue_depth` gauges and
+//!   `pipeline_backpressure_stalls` counters) says the drain workers are
+//!   behind, so remote writers stall at the edge instead of inside the
+//!   service worker pool.
+
+use crate::wire::{self, Frame, FrameBuffer};
+use dgap::{GraphError, GraphResult};
+use obs::{Counter, Gauge, Histogram, Registry};
+use pmem::PmemPool;
+use service::{GraphService, RawClient, Request, Response, ServiceConfig, ShardedRecovery};
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How the server listens, admits and times out clients.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Listen address.  Port 0 picks a free port (read it back with
+    /// [`GraphServer::local_addr`]).
+    pub addr: String,
+    /// Per-connection cap on admitted requests awaiting their reply.
+    pub max_inflight: usize,
+    /// Per-connection operations/second token bucket (`None` = unmetered).
+    /// A `Mutate` costs one token per update, every other request one.
+    pub ops_per_sec: Option<u64>,
+    /// Token-bucket burst capacity; `0` means one second's worth
+    /// (`ops_per_sec`).
+    pub burst_ops: u64,
+    /// Shed `Mutate` requests while the pipeline's queued batches
+    /// (summed `pipeline_queue_depth` gauges) reach this, or while the
+    /// `pipeline_backpressure_stalls` counters are actively advancing
+    /// (`None` disables backpressure shedding).
+    pub shed_queue_depth: Option<u64>,
+    /// Close a connection that sends no frame for this long.
+    pub idle_timeout: Duration,
+    /// Ceiling on one frame's payload length.
+    pub max_frame_len: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_inflight: 64,
+            ops_per_sec: None,
+            burst_ops: 0,
+            shed_queue_depth: None,
+            idle_timeout: Duration::from_secs(30),
+            max_frame_len: wire::MAX_FRAME_LEN,
+        }
+    }
+}
+
+impl NetConfig {
+    /// Loopback defaults on an OS-assigned port — what tests and examples
+    /// want.
+    pub fn loopback() -> NetConfig {
+        NetConfig::default()
+    }
+}
+
+/// How often a blocked reader wakes to check idle/shutdown state.
+const POLL_TICK: Duration = Duration::from_millis(25);
+/// How long [`GraphServer::shutdown`] waits for connections to drain.
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// The `net_*` series, registered in the service's own registry so one
+/// `Query::Metrics` (or `METRICS_serve.prom` dump) covers the whole stack.
+struct NetMetrics {
+    connections_open: Arc<Gauge>,
+    connections_total: Arc<Counter>,
+    requests_total: Arc<Counter>,
+    responses_total: Arc<Counter>,
+    shed_inflight: Arc<Counter>,
+    shed_rate: Arc<Counter>,
+    shed_backpressure: Arc<Counter>,
+    request_nanos: Arc<Histogram>,
+    idle_disconnects: Arc<Counter>,
+    protocol_errors: Arc<Counter>,
+    bytes_read: Arc<Counter>,
+    bytes_written: Arc<Counter>,
+}
+
+impl NetMetrics {
+    fn new(registry: &Registry) -> NetMetrics {
+        NetMetrics {
+            connections_open: registry.gauge("net_connections_open"),
+            connections_total: registry.counter("net_connections_total"),
+            requests_total: registry.counter("net_requests_total"),
+            responses_total: registry.counter("net_responses_total"),
+            shed_inflight: registry.counter_with("net_requests_shed", "reason=\"inflight\""),
+            shed_rate: registry.counter_with("net_requests_shed", "reason=\"rate\""),
+            shed_backpressure: registry
+                .counter_with("net_requests_shed", "reason=\"backpressure\""),
+            request_nanos: registry.histogram("net_request_nanos"),
+            idle_disconnects: registry.counter("net_idle_disconnects"),
+            protocol_errors: registry.counter("net_protocol_errors"),
+            bytes_read: registry.counter("net_bytes_read"),
+            bytes_written: registry.counter("net_bytes_written"),
+        }
+    }
+
+    fn shed(&self, reason: &'static str) -> &Counter {
+        match reason {
+            "inflight" => &self.shed_inflight,
+            "rate" => &self.shed_rate,
+            _ => &self.shed_backpressure,
+        }
+    }
+}
+
+struct Shared {
+    raw: RawClient,
+    metrics: NetMetrics,
+    registry: Arc<Registry>,
+    /// The pipeline's per-shard queue-depth gauges — the backpressure
+    /// signal, read instead of re-plumbed.
+    queue_depth: Vec<Arc<Gauge>>,
+    /// The pipeline's per-shard backpressure-stall counters.
+    stalls: Vec<Arc<Counter>>,
+    config: NetConfig,
+    shutdown: AtomicBool,
+    active_conns: AtomicUsize,
+    conn_seq: AtomicU64,
+}
+
+impl Shared {
+    fn stall_sum(&self) -> u64 {
+        self.stalls.iter().map(|c| c.get()).sum()
+    }
+
+    fn queue_depth_sum(&self) -> u64 {
+        self.queue_depth.iter().map(|g| g.get().max(0) as u64).sum()
+    }
+}
+
+/// A per-connection ops/sec token bucket.  Lives on the reader thread, so
+/// plain arithmetic suffices.
+struct TokenBucket {
+    rate: Option<u64>,
+    capacity: f64,
+    tokens: f64,
+    refilled: Instant,
+}
+
+impl TokenBucket {
+    fn new(rate: Option<u64>, burst: u64) -> TokenBucket {
+        let capacity = match rate {
+            Some(r) => (if burst > 0 { burst } else { r }) as f64,
+            None => 0.0,
+        };
+        TokenBucket {
+            rate,
+            capacity,
+            tokens: capacity,
+            refilled: Instant::now(),
+        }
+    }
+
+    fn admit(&mut self, cost: u64) -> bool {
+        let Some(rate) = self.rate else { return true };
+        let now = Instant::now();
+        let refill = now.duration_since(self.refilled).as_secs_f64() * rate as f64;
+        self.tokens = (self.tokens + refill).min(self.capacity);
+        self.refilled = now;
+        if self.tokens >= cost as f64 {
+            self.tokens -= cost as f64;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// The TCP server: accepts connections, speaks the [`crate::wire`]
+/// protocol, and multiplexes every admitted request onto the owned
+/// [`GraphService`]'s worker pool.
+///
+/// [`GraphServer::shutdown`] drains gracefully: the listener stops, open
+/// connections finish their in-flight requests and close, then the service
+/// itself shuts down.  Dropping the server does the same.
+pub struct GraphServer {
+    service: Option<GraphService>,
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl GraphServer {
+    /// Build a fresh engine ([`GraphService::start`]) and serve it on
+    /// `net.addr`.
+    pub fn start(config: ServiceConfig, net: NetConfig) -> GraphResult<GraphServer> {
+        Self::serve(GraphService::start(config)?, net)
+    }
+
+    /// Restart over existing pools ([`GraphService::open`] — per-shard
+    /// crash recovery included) and serve the recovered graph: the
+    /// crash-restart-reconnect path.  Clients that kept their addresses
+    /// reconnect and observe everything that was durable before the crash.
+    pub fn open(
+        config: ServiceConfig,
+        net: NetConfig,
+        pools: Vec<Arc<PmemPool>>,
+    ) -> GraphResult<(GraphServer, ShardedRecovery)> {
+        let (service, recovery) = GraphService::open(config, pools)?;
+        Ok((Self::serve(service, net)?, recovery))
+    }
+
+    /// Serve an already-running service on `net.addr`.
+    pub fn serve(service: GraphService, net: NetConfig) -> GraphResult<GraphServer> {
+        let listener = TcpListener::bind(&net.addr).map_err(|e| GraphError::Io(e.to_string()))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| GraphError::Io(e.to_string()))?;
+        let registry = Arc::clone(service.registry());
+        let num_shards = service.graph().num_shards();
+        let shared = Arc::new(Shared {
+            raw: service.raw_client(),
+            metrics: NetMetrics::new(&registry),
+            queue_depth: (0..num_shards)
+                .map(|s| registry.gauge_with("pipeline_queue_depth", &format!("shard=\"{s}\"")))
+                .collect(),
+            stalls: (0..num_shards)
+                .map(|s| {
+                    registry.counter_with("pipeline_backpressure_stalls", &format!("shard=\"{s}\""))
+                })
+                .collect(),
+            registry,
+            config: net,
+            shutdown: AtomicBool::new(false),
+            active_conns: AtomicUsize::new(0),
+            conn_seq: AtomicU64::new(0),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("graph-net-accept".to_string())
+            .spawn(move || accept_loop(&listener, &accept_shared))
+            .expect("spawn accept thread");
+        Ok(GraphServer {
+            service: Some(service),
+            shared,
+            local_addr,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (the real port when `net.addr` asked for port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The service behind the socket (for in-process clients, stats,
+    /// registry access and [`GraphService::shard_pools`]).
+    pub fn service(&self) -> &GraphService {
+        self.service.as_ref().expect("service lives until shutdown")
+    }
+
+    /// Handles to each shard's persistent pool — keep them across a
+    /// shutdown or crash to restart with [`GraphServer::open`].
+    pub fn shard_pools(&self) -> Vec<Arc<PmemPool>> {
+        self.service().shard_pools()
+    }
+
+    /// Open connections right now.
+    pub fn active_connections(&self) -> usize {
+        self.shared.active_conns.load(Ordering::Acquire)
+    }
+
+    /// Graceful drain: stop accepting, let open connections finish their
+    /// in-flight requests and disconnect, then shut the service down.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(accept) = self.accept_thread.take() {
+            let _ = accept.join();
+        }
+        // Readers notice the flag within a poll tick, stop taking new
+        // frames, and close once their in-flight replies are written.
+        let drain_deadline = Instant::now() + DRAIN_TIMEOUT;
+        while self.shared.active_conns.load(Ordering::Acquire) > 0
+            && Instant::now() < drain_deadline
+        {
+            std::thread::sleep(POLL_TICK);
+        }
+        if let Some(service) = self.service.take() {
+            service.shutdown();
+        }
+    }
+}
+
+impl Drop for GraphServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    // The wake-up connection (or a late client): refuse.
+                    drop(stream);
+                    break;
+                }
+                let conn_id = shared.conn_seq.fetch_add(1, Ordering::Relaxed);
+                shared.active_conns.fetch_add(1, Ordering::AcqRel);
+                shared.metrics.connections_total.inc();
+                shared.metrics.connections_open.add(1);
+                let conn_shared = Arc::clone(shared);
+                let spawned = std::thread::Builder::new()
+                    .name(format!("graph-net-conn-{conn_id}"))
+                    .spawn(move || {
+                        run_connection(&conn_shared, stream, conn_id);
+                        conn_shared.metrics.connections_open.sub(1);
+                        conn_shared.active_conns.fetch_sub(1, Ordering::AcqRel);
+                    });
+                if spawned.is_err() {
+                    shared.metrics.connections_open.sub(1);
+                    shared.active_conns.fetch_sub(1, Ordering::AcqRel);
+                }
+            }
+            Err(_) if shared.shutdown.load(Ordering::Acquire) => break,
+            Err(_) => continue,
+        }
+    }
+}
+
+/// Reply routing state shared between a connection's reader and writer:
+/// admission timestamps keyed by request id, so the writer can close the
+/// latency measurement and release the in-flight slot.
+struct ConnTracking {
+    starts: Mutex<HashMap<u64, Instant>>,
+    inflight: AtomicUsize,
+}
+
+fn run_connection(shared: &Arc<Shared>, stream: TcpStream, conn_id: u64) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_TICK));
+    let write_half = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let tracking = Arc::new(ConnTracking {
+        starts: Mutex::new(HashMap::new()),
+        inflight: AtomicUsize::new(0),
+    });
+    let (reply_tx, reply_rx) = mpsc::channel::<(u64, Response)>();
+    let writer = {
+        let shared = Arc::clone(shared);
+        let tracking = Arc::clone(&tracking);
+        std::thread::Builder::new()
+            .name(format!("graph-net-write-{conn_id}"))
+            .spawn(move || writer_loop(&shared, &tracking, write_half, reply_rx))
+            .expect("spawn connection writer")
+    };
+
+    reader_loop(shared, &tracking, &stream, &reply_tx, conn_id);
+
+    // Reader done: no new requests.  In-flight envelopes still hold reply
+    // sender clones; the writer drains them, then its channel disconnects.
+    drop(reply_tx);
+    let _ = writer.join();
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn reader_loop(
+    shared: &Arc<Shared>,
+    tracking: &Arc<ConnTracking>,
+    mut stream: &TcpStream,
+    reply_tx: &Sender<(u64, Response)>,
+    conn_id: u64,
+) {
+    let cfg = &shared.config;
+    let conn_label = format!("conn=\"{conn_id}\"");
+    let conn_requests = shared
+        .registry
+        .counter_with("net_conn_requests", &conn_label);
+    let conn_shed = shared.registry.counter_with("net_conn_shed", &conn_label);
+    let mut frames = FrameBuffer::new(cfg.max_frame_len);
+    let mut bucket = TokenBucket::new(cfg.ops_per_sec, cfg.burst_ops);
+    let mut scratch = [0u8; 16 * 1024];
+    let mut last_activity = Instant::now();
+    let mut last_stalls = shared.stall_sum();
+
+    loop {
+        // Serve every complete frame already buffered.
+        loop {
+            match frames.next_frame() {
+                Ok(Some(Frame::Request { id, request })) => {
+                    serve_request(
+                        shared,
+                        tracking,
+                        reply_tx,
+                        &mut bucket,
+                        &mut last_stalls,
+                        &conn_requests,
+                        &conn_shed,
+                        id,
+                        request,
+                    );
+                }
+                Ok(Some(Frame::Response { .. })) => {
+                    // Clients do not send responses; the stream is garbage.
+                    shared.metrics.protocol_errors.inc();
+                    let _ = reply_tx.send((
+                        0,
+                        Response::Error(GraphError::Protocol(
+                            "unexpected response frame from client".to_string(),
+                        )),
+                    ));
+                    return;
+                }
+                Ok(None) => break,
+                Err(err) => {
+                    // Framing is lost: report once (id 0 = unroutable) and
+                    // hang up.
+                    shared.metrics.protocol_errors.inc();
+                    let _ = reply_tx.send((0, Response::Error(GraphError::from(err))));
+                    return;
+                }
+            }
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match stream.read(&mut scratch) {
+            Ok(0) => return, // client hung up
+            Ok(n) => {
+                shared.metrics.bytes_read.add(n as u64);
+                frames.extend(&scratch[..n]);
+                last_activity = Instant::now();
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if last_activity.elapsed() >= cfg.idle_timeout {
+                    shared.metrics.idle_disconnects.inc();
+                    return;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn serve_request(
+    shared: &Arc<Shared>,
+    tracking: &Arc<ConnTracking>,
+    reply_tx: &Sender<(u64, Response)>,
+    bucket: &mut TokenBucket,
+    last_stalls: &mut u64,
+    conn_requests: &Counter,
+    conn_shed: &Counter,
+    id: u64,
+    request: Request,
+) {
+    shared.metrics.requests_total.inc();
+    conn_requests.inc();
+    let cost = match &request {
+        Request::Mutate(ops) => ops.len().max(1) as u64,
+        _ => 1,
+    };
+    let is_mutate = matches!(request, Request::Mutate(_));
+    let verdict = if tracking.inflight.load(Ordering::Acquire) >= shared.config.max_inflight {
+        Some("inflight")
+    } else if !bucket.admit(cost) {
+        Some("rate")
+    } else if is_mutate && over_backpressure(shared, last_stalls) {
+        Some("backpressure")
+    } else {
+        None
+    };
+    if let Some(reason) = verdict {
+        shared.metrics.shed(reason).inc();
+        conn_shed.inc();
+        let _ = reply_tx.send((
+            id,
+            Response::Error(GraphError::Overloaded {
+                reason: reason.to_string(),
+            }),
+        ));
+        return;
+    }
+    tracking.inflight.fetch_add(1, Ordering::AcqRel);
+    tracking
+        .starts
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .insert(id, Instant::now());
+    if shared.raw.submit(id, request, reply_tx.clone()).is_err() {
+        // Service already shut down: answer directly so the client is not
+        // left waiting on a reply that will never come.
+        tracking
+            .starts
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .remove(&id);
+        tracking.inflight.fetch_sub(1, Ordering::AcqRel);
+        let _ = reply_tx.send((id, Response::Error(GraphError::Closed)));
+    }
+}
+
+/// The backpressure verdict for one `Mutate`: the pipeline's queued-batch
+/// gauges have reached the configured depth, or its stall counters moved
+/// since this connection last checked (producers are actively blocked on a
+/// full queue).
+fn over_backpressure(shared: &Shared, last_stalls: &mut u64) -> bool {
+    let Some(limit) = shared.config.shed_queue_depth else {
+        return false;
+    };
+    if shared.queue_depth_sum() >= limit {
+        return true;
+    }
+    let stalls = shared.stall_sum();
+    let advanced = stalls > *last_stalls;
+    *last_stalls = stalls;
+    advanced
+}
+
+fn writer_loop(
+    shared: &Arc<Shared>,
+    tracking: &Arc<ConnTracking>,
+    mut stream: TcpStream,
+    replies: mpsc::Receiver<(u64, Response)>,
+) {
+    let mut buf = Vec::with_capacity(4 * 1024);
+    for (id, response) in replies {
+        // A tracked id was admitted: close its latency span and free its
+        // in-flight slot.  Shed and protocol replies were never admitted.
+        let start = tracking
+            .starts
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .remove(&id);
+        if let Some(start) = start {
+            shared
+                .metrics
+                .request_nanos
+                .record(start.elapsed().as_nanos() as u64);
+            tracking.inflight.fetch_sub(1, Ordering::AcqRel);
+        }
+        buf.clear();
+        wire::put_response_frame(&mut buf, id, &response);
+        if stream.write_all(&buf).is_err() {
+            return; // connection is gone; remaining replies are moot
+        }
+        shared.metrics.bytes_written.add(buf.len() as u64);
+        shared.metrics.responses_total.inc();
+    }
+}

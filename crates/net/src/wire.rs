@@ -1,0 +1,1400 @@
+//! The binary wire protocol: length-prefixed frames, varint scalars, and
+//! explicit versioned encode/decode for every service wire type.
+//!
+//! No serde, no derives — the workspace builds fully offline, so the
+//! protocol is hand-rolled and the byte layout is the documentation:
+//!
+//! ```text
+//! frame    := length:u32-LE payload          (length = |payload|, bounded)
+//! payload  := version:u8 kind:u8 id:varint body
+//! kind     := 1 (request, client → server) | 2 (response, server → client)
+//! varint   := LEB128, ≤ 10 bytes            (unsigned 64-bit)
+//! zigzag   := varint of (v << 1) ^ (v >> 63) (signed 64-bit)
+//! string   := len:varint bytes (UTF-8)
+//! f64      := 8 bytes, IEEE-754 little-endian
+//! ```
+//!
+//! `id` is the connection-scoped request id: the server echoes it on the
+//! response, so a pipelined client can have many requests in flight and
+//! match answers arriving **out of order**.
+//!
+//! Every container decode validates its claimed element count against the
+//! bytes actually remaining in the frame *before* allocating, and frames
+//! themselves are capped ([`MAX_FRAME_LEN`] by default) — a hostile length
+//! prefix costs the peer their connection, never our memory.
+
+use dgap::{GraphError, Update, VertexId};
+use obs::{
+    CounterSample, GaugeSample, HistogramSample, HistogramSnapshot, MetricsSnapshot, TraceEvent,
+    HISTOGRAM_BUCKETS,
+};
+use service::{Query, QueryResult, Request, Response, ServiceStats};
+use sharded::Ticket;
+use std::fmt;
+use std::sync::Mutex;
+
+/// Protocol version stamped on (and checked in) every frame payload.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Bytes of the frame length prefix.
+pub const FRAME_HEADER_LEN: usize = 4;
+
+/// Default ceiling on one frame's payload length.  Large enough for a
+/// metrics snapshot or a full-graph analytics answer at bench scale, small
+/// enough that a hostile length prefix cannot balloon the decoder.
+pub const MAX_FRAME_LEN: usize = 32 << 20;
+
+/// Frame kind: a client request.
+pub const KIND_REQUEST: u8 = 1;
+/// Frame kind: a server response.
+pub const KIND_RESPONSE: u8 = 2;
+
+// ----------------------------------------------------------------------
+// Errors
+// ----------------------------------------------------------------------
+
+/// A decode failure.  Every variant means the byte stream is not a valid
+/// conversation — the connection it arrived on cannot be resynchronised.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame ended before its payload did.
+    Truncated(&'static str),
+    /// A length prefix exceeded the configured frame cap.
+    TooLarge {
+        /// Claimed payload length.
+        len: u64,
+        /// The enforced ceiling.
+        max: usize,
+    },
+    /// The payload's version byte is not one we speak.
+    BadVersion(u8),
+    /// An enum tag had no meaning where it appeared.
+    BadTag {
+        /// Which enum was being decoded.
+        what: &'static str,
+        /// The offending tag.
+        tag: u64,
+    },
+    /// A claimed element count could not fit in the remaining bytes.
+    BadCount {
+        /// Which container was being decoded.
+        what: &'static str,
+        /// The claimed count.
+        count: u64,
+    },
+    /// A string field was not valid UTF-8.
+    BadUtf8(&'static str),
+    /// A varint ran past its 10-byte maximum.
+    BadVarint,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated(what) => write!(f, "truncated frame while decoding {what}"),
+            WireError::TooLarge { len, max } => {
+                write!(f, "frame length {len} exceeds the {max}-byte cap")
+            }
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::BadTag { what, tag } => write!(f, "unknown {what} tag {tag}"),
+            WireError::BadCount { what, count } => {
+                write!(f, "{what} claims {count} elements but the frame is smaller")
+            }
+            WireError::BadUtf8(what) => write!(f, "{what} is not valid UTF-8"),
+            WireError::BadVarint => write!(f, "varint longer than 10 bytes"),
+        }
+    }
+}
+
+impl From<WireError> for GraphError {
+    fn from(err: WireError) -> GraphError {
+        GraphError::Protocol(err.to_string())
+    }
+}
+
+/// Decode result alias.
+pub type WireResult<T> = Result<T, WireError>;
+
+// ----------------------------------------------------------------------
+// Primitive encoders
+// ----------------------------------------------------------------------
+
+/// Append a LEB128 varint.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Append a zigzag-encoded signed varint.
+pub fn put_zigzag(out: &mut Vec<u8>, v: i64) {
+    put_varint(out, ((v << 1) ^ (v >> 63)) as u64);
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+// ----------------------------------------------------------------------
+// The decoder cursor
+// ----------------------------------------------------------------------
+
+/// A bounds-checked cursor over one frame payload.
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// A cursor over `buf`.
+    pub fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the payload was consumed exactly.
+    pub fn is_done(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn u8(&mut self, what: &'static str) -> WireResult<u8> {
+        let b = *self.buf.get(self.pos).ok_or(WireError::Truncated(what))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Read a LEB128 varint.
+    pub fn varint(&mut self, what: &'static str) -> WireResult<u64> {
+        let mut v = 0u64;
+        for shift in 0..10 {
+            let byte = self.u8(what)?;
+            v |= u64::from(byte & 0x7f) << (7 * shift);
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(WireError::BadVarint)
+    }
+
+    /// Read a zigzag-encoded signed varint.
+    pub fn zigzag(&mut self, what: &'static str) -> WireResult<i64> {
+        let v = self.varint(what)?;
+        Ok((v >> 1) as i64 ^ -((v & 1) as i64))
+    }
+
+    fn f64(&mut self, what: &'static str) -> WireResult<f64> {
+        let bytes = self.take(8, what)?;
+        Ok(f64::from_bits(u64::from_le_bytes(
+            bytes.try_into().expect("take(8) returns 8 bytes"),
+        )))
+    }
+
+    fn take(&mut self, len: usize, what: &'static str) -> WireResult<&'a [u8]> {
+        if self.remaining() < len {
+            return Err(WireError::Truncated(what));
+        }
+        let slice = &self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(slice)
+    }
+
+    fn string(&mut self, what: &'static str) -> WireResult<String> {
+        let len = self.varint(what)?;
+        if len > self.remaining() as u64 {
+            return Err(WireError::Truncated(what));
+        }
+        String::from_utf8(self.take(len as usize, what)?.to_vec())
+            .map_err(|_| WireError::BadUtf8(what))
+    }
+
+    /// Validate a claimed element count against the bytes left: each
+    /// element needs at least `min_elem_bytes`, so a count the frame cannot
+    /// possibly hold is rejected *before* any allocation happens.
+    fn count(&self, claimed: u64, min_elem_bytes: usize, what: &'static str) -> WireResult<usize> {
+        let fits = (self.remaining() / min_elem_bytes.max(1)) as u64;
+        if claimed > fits {
+            return Err(WireError::BadCount {
+                what,
+                count: claimed,
+            });
+        }
+        Ok(claimed as usize)
+    }
+
+    fn vec_varint(&mut self, what: &'static str) -> WireResult<Vec<u64>> {
+        let n = self.varint(what)?;
+        let n = self.count(n, 1, what)?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.varint(what)?);
+        }
+        Ok(v)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Bounded interner for `&'static str` wire fields
+// ----------------------------------------------------------------------
+
+/// Decode-side interner for the two `&'static str` fields on the wire
+/// ([`GraphError::Unsupported`], [`TraceEvent::kind`]).  Interning leaks
+/// each *distinct* string once, so both the table size and the per-string
+/// length are capped: a hostile peer spraying unique strings gets the
+/// sentinel back instead of growing our heap without bound.
+fn intern_static(s: &str) -> &'static str {
+    const MAX_INTERNED: usize = 256;
+    const MAX_LEN: usize = 120;
+    static TABLE: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+    if s.len() > MAX_LEN {
+        return "<oversized wire string>";
+    }
+    let mut table = TABLE.lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(&known) = table.iter().find(|&&known| known == s) {
+        return known;
+    }
+    if table.len() >= MAX_INTERNED {
+        return "<interner full>";
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    table.push(leaked);
+    leaked
+}
+
+// ----------------------------------------------------------------------
+// Update / Ticket / Query
+// ----------------------------------------------------------------------
+
+const UPDATE_INSERT_VERTEX: u8 = 0;
+const UPDATE_INSERT_EDGE: u8 = 1;
+const UPDATE_DELETE_EDGE: u8 = 2;
+
+/// Encode one [`Update`].
+pub fn put_update(out: &mut Vec<u8>, update: &Update) {
+    match *update {
+        Update::InsertVertex(v) => {
+            out.push(UPDATE_INSERT_VERTEX);
+            put_varint(out, v);
+        }
+        Update::InsertEdge(s, d) => {
+            out.push(UPDATE_INSERT_EDGE);
+            put_varint(out, s);
+            put_varint(out, d);
+        }
+        Update::DeleteEdge(s, d) => {
+            out.push(UPDATE_DELETE_EDGE);
+            put_varint(out, s);
+            put_varint(out, d);
+        }
+    }
+}
+
+/// Decode one [`Update`].
+pub fn get_update(dec: &mut Dec<'_>) -> WireResult<Update> {
+    match dec.u8("update tag")? {
+        UPDATE_INSERT_VERTEX => Ok(Update::InsertVertex(dec.varint("update vertex")?)),
+        UPDATE_INSERT_EDGE => Ok(Update::InsertEdge(
+            dec.varint("update src")?,
+            dec.varint("update dst")?,
+        )),
+        UPDATE_DELETE_EDGE => Ok(Update::DeleteEdge(
+            dec.varint("update src")?,
+            dec.varint("update dst")?,
+        )),
+        tag => Err(WireError::BadTag {
+            what: "Update",
+            tag: tag.into(),
+        }),
+    }
+}
+
+/// Encode a [`Ticket`] (its raw per-shard targets).
+pub fn put_ticket(out: &mut Vec<u8>, ticket: &Ticket) {
+    put_varint(out, ticket.targets().len() as u64);
+    for &t in ticket.targets() {
+        put_varint(out, t);
+    }
+}
+
+/// Decode a [`Ticket`].
+pub fn get_ticket(dec: &mut Dec<'_>) -> WireResult<Ticket> {
+    Ok(Ticket::from_targets(dec.vec_varint("ticket targets")?))
+}
+
+const QUERY_DEGREE: u8 = 0;
+const QUERY_NEIGHBORS: u8 = 1;
+const QUERY_STATS: u8 = 2;
+const QUERY_METRICS: u8 = 3;
+const QUERY_PAGERANK: u8 = 4;
+const QUERY_BFS: u8 = 5;
+const QUERY_CC: u8 = 6;
+
+/// Encode a [`Query`].
+pub fn put_query(out: &mut Vec<u8>, query: &Query) {
+    match *query {
+        Query::Degree(v) => {
+            out.push(QUERY_DEGREE);
+            put_varint(out, v);
+        }
+        Query::Neighbors(v) => {
+            out.push(QUERY_NEIGHBORS);
+            put_varint(out, v);
+        }
+        Query::Stats => out.push(QUERY_STATS),
+        Query::Metrics => out.push(QUERY_METRICS),
+        Query::Pagerank { iterations } => {
+            out.push(QUERY_PAGERANK);
+            put_varint(out, iterations as u64);
+        }
+        Query::Bfs { source } => {
+            out.push(QUERY_BFS);
+            put_varint(out, source);
+        }
+        Query::ConnectedComponents => out.push(QUERY_CC),
+    }
+}
+
+/// Decode a [`Query`].
+pub fn get_query(dec: &mut Dec<'_>) -> WireResult<Query> {
+    match dec.u8("query tag")? {
+        QUERY_DEGREE => Ok(Query::Degree(dec.varint("query vertex")?)),
+        QUERY_NEIGHBORS => Ok(Query::Neighbors(dec.varint("query vertex")?)),
+        QUERY_STATS => Ok(Query::Stats),
+        QUERY_METRICS => Ok(Query::Metrics),
+        QUERY_PAGERANK => Ok(Query::Pagerank {
+            iterations: dec.varint("pagerank iterations")? as usize,
+        }),
+        QUERY_BFS => Ok(Query::Bfs {
+            source: dec.varint("bfs source")?,
+        }),
+        QUERY_CC => Ok(Query::ConnectedComponents),
+        tag => Err(WireError::BadTag {
+            what: "Query",
+            tag: tag.into(),
+        }),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Request
+// ----------------------------------------------------------------------
+
+const REQUEST_MUTATE: u8 = 0;
+const REQUEST_WAIT: u8 = 1;
+const REQUEST_FLUSH: u8 = 2;
+const REQUEST_QUERY: u8 = 3;
+
+/// Encode a [`Request`] body.
+pub fn put_request(out: &mut Vec<u8>, request: &Request) {
+    match request {
+        Request::Mutate(ops) => {
+            out.push(REQUEST_MUTATE);
+            put_varint(out, ops.len() as u64);
+            for op in ops {
+                put_update(out, op);
+            }
+        }
+        Request::Wait(ticket) => {
+            out.push(REQUEST_WAIT);
+            put_ticket(out, ticket);
+        }
+        Request::Flush => out.push(REQUEST_FLUSH),
+        Request::Query(query) => {
+            out.push(REQUEST_QUERY);
+            put_query(out, query);
+        }
+    }
+}
+
+/// Decode a [`Request`] body.
+pub fn get_request(dec: &mut Dec<'_>) -> WireResult<Request> {
+    match dec.u8("request tag")? {
+        REQUEST_MUTATE => {
+            let n = dec.varint("mutate ops")?;
+            // An Update is at least 2 bytes (tag + one varint).
+            let n = dec.count(n, 2, "mutate ops")?;
+            let mut ops = Vec::with_capacity(n);
+            for _ in 0..n {
+                ops.push(get_update(dec)?);
+            }
+            Ok(Request::Mutate(ops))
+        }
+        REQUEST_WAIT => Ok(Request::Wait(get_ticket(dec)?)),
+        REQUEST_FLUSH => Ok(Request::Flush),
+        REQUEST_QUERY => Ok(Request::Query(get_query(dec)?)),
+        tag => Err(WireError::BadTag {
+            what: "Request",
+            tag: tag.into(),
+        }),
+    }
+}
+
+// ----------------------------------------------------------------------
+// GraphError
+// ----------------------------------------------------------------------
+
+const ERR_OUT_OF_SPACE: u8 = 0;
+const ERR_VERTEX_OUT_OF_RANGE: u8 = 1;
+const ERR_UNSUPPORTED: u8 = 2;
+const ERR_CLOSED: u8 = 3;
+const ERR_WORKER_DIED: u8 = 4;
+const ERR_OTHER: u8 = 5;
+const ERR_IO: u8 = 6;
+const ERR_PROTOCOL: u8 = 7;
+const ERR_OVERLOADED: u8 = 8;
+
+/// Encode a [`GraphError`].  `GraphError` is `#[non_exhaustive]`; a
+/// variant this protocol version does not know travels as `Other` carrying
+/// its `Display` rendering (forward-compatible, lossy only in type).
+pub fn put_graph_error(out: &mut Vec<u8>, err: &GraphError) {
+    match err {
+        GraphError::OutOfSpace(msg) => {
+            out.push(ERR_OUT_OF_SPACE);
+            put_str(out, msg);
+        }
+        GraphError::VertexOutOfRange { vertex, capacity } => {
+            out.push(ERR_VERTEX_OUT_OF_RANGE);
+            put_varint(out, *vertex);
+            put_varint(out, *capacity as u64);
+        }
+        GraphError::Unsupported(op) => {
+            out.push(ERR_UNSUPPORTED);
+            put_str(out, op);
+        }
+        GraphError::Closed => out.push(ERR_CLOSED),
+        GraphError::WorkerDied { shard } => {
+            out.push(ERR_WORKER_DIED);
+            put_varint(out, *shard as u64);
+        }
+        GraphError::Io(msg) => {
+            out.push(ERR_IO);
+            put_str(out, msg);
+        }
+        GraphError::Protocol(msg) => {
+            out.push(ERR_PROTOCOL);
+            put_str(out, msg);
+        }
+        GraphError::Overloaded { reason } => {
+            out.push(ERR_OVERLOADED);
+            put_str(out, reason);
+        }
+        GraphError::Other(msg) => {
+            out.push(ERR_OTHER);
+            put_str(out, msg);
+        }
+        other => {
+            out.push(ERR_OTHER);
+            put_str(out, &other.to_string());
+        }
+    }
+}
+
+/// Decode a [`GraphError`].  `Unsupported` strings pass through the
+/// bounded interner (the variant holds `&'static str`).
+pub fn get_graph_error(dec: &mut Dec<'_>) -> WireResult<GraphError> {
+    match dec.u8("error tag")? {
+        ERR_OUT_OF_SPACE => Ok(GraphError::OutOfSpace(dec.string("error message")?)),
+        ERR_VERTEX_OUT_OF_RANGE => Ok(GraphError::VertexOutOfRange {
+            vertex: dec.varint("error vertex")?,
+            capacity: dec.varint("error capacity")? as usize,
+        }),
+        ERR_UNSUPPORTED => Ok(GraphError::Unsupported(intern_static(
+            &dec.string("error operation")?,
+        ))),
+        ERR_CLOSED => Ok(GraphError::Closed),
+        ERR_WORKER_DIED => Ok(GraphError::WorkerDied {
+            shard: dec.varint("error shard")? as usize,
+        }),
+        ERR_IO => Ok(GraphError::Io(dec.string("error message")?)),
+        ERR_PROTOCOL => Ok(GraphError::Protocol(dec.string("error message")?)),
+        ERR_OVERLOADED => Ok(GraphError::Overloaded {
+            reason: dec.string("error reason")?,
+        }),
+        ERR_OTHER => Ok(GraphError::Other(dec.string("error message")?)),
+        tag => Err(WireError::BadTag {
+            what: "GraphError",
+            tag: tag.into(),
+        }),
+    }
+}
+
+// ----------------------------------------------------------------------
+// ServiceStats / MetricsSnapshot
+// ----------------------------------------------------------------------
+
+fn put_service_stats(out: &mut Vec<u8>, s: &ServiceStats) {
+    put_varint(out, s.num_vertices as u64);
+    put_varint(out, s.num_edges as u64);
+    put_varint(out, s.num_shards as u64);
+    put_varint(out, s.ops_submitted);
+    put_varint(out, s.ops_applied);
+    put_varint(out, s.deletes_applied);
+    put_varint(out, s.watermark);
+    put_varint(out, s.snapshot_refreshes);
+    put_varint(out, s.shard_captures);
+    put_varint(out, s.refresh_nanos);
+    put_varint(out, s.unified_shard_merges);
+    put_varint(out, s.unify_nanos);
+    put_varint(out, s.requests_served);
+}
+
+fn get_service_stats(dec: &mut Dec<'_>) -> WireResult<ServiceStats> {
+    Ok(ServiceStats {
+        num_vertices: dec.varint("stats")? as usize,
+        num_edges: dec.varint("stats")? as usize,
+        num_shards: dec.varint("stats")? as usize,
+        ops_submitted: dec.varint("stats")?,
+        ops_applied: dec.varint("stats")?,
+        deletes_applied: dec.varint("stats")?,
+        watermark: dec.varint("stats")?,
+        snapshot_refreshes: dec.varint("stats")?,
+        shard_captures: dec.varint("stats")?,
+        refresh_nanos: dec.varint("stats")?,
+        unified_shard_merges: dec.varint("stats")?,
+        unify_nanos: dec.varint("stats")?,
+        requests_served: dec.varint("stats")?,
+    })
+}
+
+/// Histogram buckets travel sparsely: `nonzero_count (index value)*` —
+/// most of the 64 log buckets are empty in practice.
+fn put_histogram(out: &mut Vec<u8>, h: &HistogramSnapshot) {
+    let nonzero = h.buckets.iter().filter(|&&b| b != 0).count();
+    put_varint(out, nonzero as u64);
+    for (i, &b) in h.buckets.iter().enumerate() {
+        if b != 0 {
+            put_varint(out, i as u64);
+            put_varint(out, b);
+        }
+    }
+    put_varint(out, h.count);
+    put_varint(out, h.sum);
+    put_varint(out, h.max);
+}
+
+fn get_histogram(dec: &mut Dec<'_>) -> WireResult<HistogramSnapshot> {
+    let nonzero = dec.varint("histogram buckets")?;
+    if nonzero > HISTOGRAM_BUCKETS as u64 {
+        return Err(WireError::BadCount {
+            what: "histogram buckets",
+            count: nonzero,
+        });
+    }
+    let mut h = HistogramSnapshot::default();
+    for _ in 0..nonzero {
+        let index = dec.varint("bucket index")?;
+        let value = dec.varint("bucket value")?;
+        let slot = h.buckets.get_mut(index as usize).ok_or(WireError::BadTag {
+            what: "histogram bucket index",
+            tag: index,
+        })?;
+        *slot = value;
+    }
+    h.count = dec.varint("histogram count")?;
+    h.sum = dec.varint("histogram sum")?;
+    h.max = dec.varint("histogram max")?;
+    Ok(h)
+}
+
+fn put_metrics(out: &mut Vec<u8>, m: &MetricsSnapshot) {
+    put_varint(out, m.counters.len() as u64);
+    for c in &m.counters {
+        put_str(out, &c.name);
+        put_str(out, &c.labels);
+        put_varint(out, c.value);
+    }
+    put_varint(out, m.gauges.len() as u64);
+    for g in &m.gauges {
+        put_str(out, &g.name);
+        put_str(out, &g.labels);
+        put_zigzag(out, g.value);
+    }
+    put_varint(out, m.histograms.len() as u64);
+    for h in &m.histograms {
+        put_str(out, &h.name);
+        put_str(out, &h.labels);
+        put_histogram(out, &h.histogram);
+    }
+    put_varint(out, m.slow_ops.len() as u64);
+    for e in &m.slow_ops {
+        put_str(out, e.kind);
+        put_varint(out, e.shard);
+        put_varint(out, e.duration_ns);
+        put_varint(out, e.epoch);
+    }
+}
+
+fn get_metrics(dec: &mut Dec<'_>) -> WireResult<MetricsSnapshot> {
+    let mut m = MetricsSnapshot::default();
+    let n = dec.varint("counters")?;
+    let n = dec.count(n, 3, "counters")?;
+    m.counters.reserve(n);
+    for _ in 0..n {
+        m.counters.push(CounterSample {
+            name: dec.string("counter name")?,
+            labels: dec.string("counter labels")?,
+            value: dec.varint("counter value")?,
+        });
+    }
+    let n = dec.varint("gauges")?;
+    let n = dec.count(n, 3, "gauges")?;
+    m.gauges.reserve(n);
+    for _ in 0..n {
+        m.gauges.push(GaugeSample {
+            name: dec.string("gauge name")?,
+            labels: dec.string("gauge labels")?,
+            value: dec.zigzag("gauge value")?,
+        });
+    }
+    let n = dec.varint("histograms")?;
+    let n = dec.count(n, 6, "histograms")?;
+    m.histograms.reserve(n);
+    for _ in 0..n {
+        m.histograms.push(HistogramSample {
+            name: dec.string("histogram name")?,
+            labels: dec.string("histogram labels")?,
+            histogram: get_histogram(dec)?,
+        });
+    }
+    let n = dec.varint("slow ops")?;
+    let n = dec.count(n, 4, "slow ops")?;
+    m.slow_ops.reserve(n);
+    for _ in 0..n {
+        m.slow_ops.push(TraceEvent {
+            kind: intern_static(&dec.string("trace kind")?),
+            shard: dec.varint("trace shard")?,
+            duration_ns: dec.varint("trace duration")?,
+            epoch: dec.varint("trace epoch")?,
+        });
+    }
+    Ok(m)
+}
+
+// ----------------------------------------------------------------------
+// QueryResult / Response
+// ----------------------------------------------------------------------
+
+const RESULT_DEGREE: u8 = 0;
+const RESULT_NEIGHBORS: u8 = 1;
+const RESULT_STATS: u8 = 2;
+const RESULT_METRICS: u8 = 3;
+const RESULT_PAGERANK: u8 = 4;
+const RESULT_BFS: u8 = 5;
+const RESULT_CC: u8 = 6;
+
+/// Encode a [`QueryResult`] body.
+pub fn put_query_result(out: &mut Vec<u8>, result: &QueryResult) {
+    match result {
+        QueryResult::Degree(d) => {
+            out.push(RESULT_DEGREE);
+            put_varint(out, *d as u64);
+        }
+        QueryResult::Neighbors(n) => {
+            out.push(RESULT_NEIGHBORS);
+            put_varint(out, n.len() as u64);
+            for &v in n {
+                put_varint(out, v);
+            }
+        }
+        QueryResult::Stats(s) => {
+            out.push(RESULT_STATS);
+            put_service_stats(out, s);
+        }
+        QueryResult::Metrics(m) => {
+            out.push(RESULT_METRICS);
+            put_metrics(out, m);
+        }
+        QueryResult::Pagerank(ranks) => {
+            out.push(RESULT_PAGERANK);
+            put_varint(out, ranks.len() as u64);
+            for &r in ranks {
+                put_f64(out, r);
+            }
+        }
+        QueryResult::Bfs(parents) => {
+            out.push(RESULT_BFS);
+            put_varint(out, parents.len() as u64);
+            for &p in parents {
+                put_zigzag(out, p);
+            }
+        }
+        QueryResult::ConnectedComponents(labels) => {
+            out.push(RESULT_CC);
+            put_varint(out, labels.len() as u64);
+            for &l in labels {
+                put_varint(out, l);
+            }
+        }
+    }
+}
+
+/// Decode a [`QueryResult`] body.
+pub fn get_query_result(dec: &mut Dec<'_>) -> WireResult<QueryResult> {
+    match dec.u8("result tag")? {
+        RESULT_DEGREE => Ok(QueryResult::Degree(dec.varint("degree")? as usize)),
+        RESULT_NEIGHBORS => {
+            let ids: Vec<VertexId> = dec.vec_varint("neighbors")?;
+            Ok(QueryResult::Neighbors(ids))
+        }
+        RESULT_STATS => Ok(QueryResult::Stats(get_service_stats(dec)?)),
+        RESULT_METRICS => Ok(QueryResult::Metrics(Box::new(get_metrics(dec)?))),
+        RESULT_PAGERANK => {
+            let n = dec.varint("pagerank ranks")?;
+            let n = dec.count(n, 8, "pagerank ranks")?;
+            let mut ranks = Vec::with_capacity(n);
+            for _ in 0..n {
+                ranks.push(dec.f64("pagerank rank")?);
+            }
+            Ok(QueryResult::Pagerank(ranks))
+        }
+        RESULT_BFS => {
+            let n = dec.varint("bfs parents")?;
+            let n = dec.count(n, 1, "bfs parents")?;
+            let mut parents = Vec::with_capacity(n);
+            for _ in 0..n {
+                parents.push(dec.zigzag("bfs parent")?);
+            }
+            Ok(QueryResult::Bfs(parents))
+        }
+        RESULT_CC => Ok(QueryResult::ConnectedComponents(
+            dec.vec_varint("component labels")?,
+        )),
+        tag => Err(WireError::BadTag {
+            what: "QueryResult",
+            tag: tag.into(),
+        }),
+    }
+}
+
+const RESPONSE_MUTATED: u8 = 0;
+const RESPONSE_WAITED: u8 = 1;
+const RESPONSE_FLUSHED: u8 = 2;
+const RESPONSE_ANSWER: u8 = 3;
+const RESPONSE_ERROR: u8 = 4;
+
+/// Encode a [`Response`] body.
+pub fn put_response(out: &mut Vec<u8>, response: &Response) {
+    match response {
+        Response::Mutated { ticket, ops } => {
+            out.push(RESPONSE_MUTATED);
+            put_ticket(out, ticket);
+            put_varint(out, *ops as u64);
+        }
+        Response::Waited => out.push(RESPONSE_WAITED),
+        Response::Flushed => out.push(RESPONSE_FLUSHED),
+        Response::Answer(result) => {
+            out.push(RESPONSE_ANSWER);
+            put_query_result(out, result);
+        }
+        Response::Error(err) => {
+            out.push(RESPONSE_ERROR);
+            put_graph_error(out, err);
+        }
+    }
+}
+
+/// Decode a [`Response`] body.
+pub fn get_response(dec: &mut Dec<'_>) -> WireResult<Response> {
+    match dec.u8("response tag")? {
+        RESPONSE_MUTATED => Ok(Response::Mutated {
+            ticket: get_ticket(dec)?,
+            ops: dec.varint("mutated ops")? as usize,
+        }),
+        RESPONSE_WAITED => Ok(Response::Waited),
+        RESPONSE_FLUSHED => Ok(Response::Flushed),
+        RESPONSE_ANSWER => Ok(Response::Answer(get_query_result(dec)?)),
+        RESPONSE_ERROR => Ok(Response::Error(get_graph_error(dec)?)),
+        tag => Err(WireError::BadTag {
+            what: "Response",
+            tag: tag.into(),
+        }),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Frames
+// ----------------------------------------------------------------------
+
+/// One decoded frame payload.
+#[derive(Debug, Clone)]
+pub enum Frame {
+    /// A client request, tagged with its connection-scoped id.
+    Request {
+        /// Connection-scoped request id, echoed on the response.
+        id: u64,
+        /// The request itself.
+        request: Request,
+    },
+    /// A server response, tagged with the id of the request it answers.
+    Response {
+        /// Id of the request this answers.
+        id: u64,
+        /// The response itself.
+        response: Response,
+    },
+}
+
+fn put_frame(out: &mut Vec<u8>, kind: u8, id: u64, body: impl FnOnce(&mut Vec<u8>)) {
+    let header = out.len();
+    out.extend_from_slice(&[0; FRAME_HEADER_LEN]);
+    out.push(PROTOCOL_VERSION);
+    out.push(kind);
+    put_varint(out, id);
+    body(out);
+    let len = (out.len() - header - FRAME_HEADER_LEN) as u32;
+    out[header..header + FRAME_HEADER_LEN].copy_from_slice(&len.to_le_bytes());
+}
+
+/// Append a complete request frame (header + payload) to `out`.
+pub fn put_request_frame(out: &mut Vec<u8>, id: u64, request: &Request) {
+    put_frame(out, KIND_REQUEST, id, |out| put_request(out, request));
+}
+
+/// Append a complete response frame (header + payload) to `out`.
+pub fn put_response_frame(out: &mut Vec<u8>, id: u64, response: &Response) {
+    put_frame(out, KIND_RESPONSE, id, |out| put_response(out, response));
+}
+
+/// Decode one frame *payload* (the bytes after the length prefix).
+///
+/// The payload must be consumed exactly: trailing bytes mean the peer and
+/// we disagree about the encoding, which is as fatal as a short read.
+pub fn decode_payload(payload: &[u8]) -> WireResult<Frame> {
+    let mut dec = Dec::new(payload);
+    let version = dec.u8("frame version")?;
+    if version != PROTOCOL_VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let kind = dec.u8("frame kind")?;
+    let id = dec.varint("frame id")?;
+    let frame = match kind {
+        KIND_REQUEST => Frame::Request {
+            id,
+            request: get_request(&mut dec)?,
+        },
+        KIND_RESPONSE => Frame::Response {
+            id,
+            response: get_response(&mut dec)?,
+        },
+        tag => {
+            return Err(WireError::BadTag {
+                what: "frame kind",
+                tag: tag.into(),
+            })
+        }
+    };
+    if !dec.is_done() {
+        return Err(WireError::Truncated("frame has trailing bytes"));
+    }
+    Ok(frame)
+}
+
+/// Incremental frame extraction over a growing byte buffer — the shape a
+/// socket reader needs, where frames arrive split across arbitrary read
+/// boundaries.
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    start: usize,
+    max_frame: usize,
+}
+
+impl FrameBuffer {
+    /// An empty buffer enforcing `max_frame` as the payload-length cap.
+    pub fn new(max_frame: usize) -> FrameBuffer {
+        FrameBuffer {
+            buf: Vec::new(),
+            start: 0,
+            max_frame,
+        }
+    }
+
+    /// Append freshly read bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Reclaim consumed prefix before growing, so the buffer's size
+        // tracks the unconsumed tail, not the connection's lifetime.
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Extract the next complete frame, if one is buffered.
+    ///
+    /// `Ok(None)` means "need more bytes".  An error is terminal for the
+    /// connection: a hostile or corrupt length prefix cannot be skipped,
+    /// because nothing downstream of it can be trusted to align.
+    pub fn next_frame(&mut self) -> WireResult<Option<Frame>> {
+        let pending = &self.buf[self.start..];
+        if pending.len() < FRAME_HEADER_LEN {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(
+            pending[..FRAME_HEADER_LEN]
+                .try_into()
+                .expect("header slice is 4 bytes"),
+        ) as usize;
+        if len > self.max_frame {
+            return Err(WireError::TooLarge {
+                len: len as u64,
+                max: self.max_frame,
+            });
+        }
+        if pending.len() < FRAME_HEADER_LEN + len {
+            return Ok(None);
+        }
+        let payload = &pending[FRAME_HEADER_LEN..FRAME_HEADER_LEN + len];
+        let frame = decode_payload(payload)?;
+        self.start += FRAME_HEADER_LEN + len;
+        Ok(Some(frame))
+    }
+
+    /// Bytes buffered but not yet consumed by a complete frame.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // ------------------------------------------------------------------
+    // Round-trip helpers: encode a full frame, push it through a
+    // FrameBuffer in awkward chunks, compare via Debug (Request/Response
+    // do not derive PartialEq).
+    // ------------------------------------------------------------------
+
+    fn roundtrip_request(id: u64, request: &Request) {
+        let mut bytes = Vec::new();
+        put_request_frame(&mut bytes, id, request);
+        // Feed one byte at a time: frames must survive arbitrary read
+        // boundaries.
+        let mut fb = FrameBuffer::new(MAX_FRAME_LEN);
+        let mut decoded = None;
+        for &b in &bytes {
+            fb.extend(&[b]);
+            if let Some(frame) = fb.next_frame().expect("valid frame") {
+                decoded = Some(frame);
+            }
+        }
+        match decoded.expect("frame completed") {
+            Frame::Request {
+                id: got_id,
+                request: got,
+            } => {
+                assert_eq!(got_id, id);
+                assert_eq!(format!("{got:?}"), format!("{request:?}"));
+            }
+            other => panic!("decoded wrong frame kind: {other:?}"),
+        }
+        assert_eq!(fb.pending_bytes(), 0);
+    }
+
+    fn roundtrip_response(id: u64, response: &Response) {
+        let mut bytes = Vec::new();
+        put_response_frame(&mut bytes, id, response);
+        let mut fb = FrameBuffer::new(MAX_FRAME_LEN);
+        let (head, tail) = bytes.split_at(bytes.len() / 2);
+        fb.extend(head);
+        assert!(fb.next_frame().expect("no error on partial").is_none());
+        fb.extend(tail);
+        match fb.next_frame().expect("valid frame").expect("complete") {
+            Frame::Response {
+                id: got_id,
+                response: got,
+            } => {
+                assert_eq!(got_id, id);
+                assert_eq!(format!("{got:?}"), format!("{response:?}"));
+            }
+            other => panic!("decoded wrong frame kind: {other:?}"),
+        }
+    }
+
+    fn sample_stats() -> ServiceStats {
+        // Thirteen distinct values so a swapped field order cannot pass.
+        ServiceStats {
+            num_vertices: 101,
+            num_edges: 202,
+            num_shards: 3,
+            ops_submitted: 404,
+            ops_applied: 505,
+            deletes_applied: 606,
+            watermark: 707,
+            snapshot_refreshes: 808,
+            shard_captures: 909,
+            refresh_nanos: 1_010,
+            unified_shard_merges: 1_111,
+            unify_nanos: 1_212,
+            requests_served: 1_313,
+        }
+    }
+
+    fn sample_metrics() -> MetricsSnapshot {
+        let mut hist = HistogramSnapshot::default();
+        hist.buckets[0] = 7;
+        hist.buckets[13] = 2;
+        hist.buckets[HISTOGRAM_BUCKETS - 1] = 1;
+        hist.count = 10;
+        hist.sum = 123_456;
+        hist.max = 99_999;
+        MetricsSnapshot {
+            counters: vec![CounterSample {
+                name: "net_requests_total".to_string(),
+                labels: String::new(),
+                value: u64::MAX,
+            }],
+            gauges: vec![GaugeSample {
+                name: "pipeline_queue_depth".to_string(),
+                labels: "shard=\"0\"".to_string(),
+                value: -42,
+            }],
+            histograms: vec![HistogramSample {
+                name: "net_request_nanos".to_string(),
+                labels: String::new(),
+                histogram: hist,
+            }],
+            slow_ops: vec![TraceEvent {
+                kind: "drain",
+                shard: 2,
+                duration_ns: 5_000_000,
+                epoch: 17,
+            }],
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Primitives
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn varint_and_zigzag_roundtrip_edge_values() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            assert_eq!(Dec::new(&buf).varint("v").unwrap(), v);
+        }
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            let mut buf = Vec::new();
+            put_zigzag(&mut buf, v);
+            assert_eq!(Dec::new(&buf).zigzag("v").unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn varint_longer_than_ten_bytes_is_rejected() {
+        let buf = [0x80u8; 11];
+        assert_eq!(Dec::new(&buf).varint("v"), Err(WireError::BadVarint));
+    }
+
+    // ------------------------------------------------------------------
+    // Satellite: every variant round-trips
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn every_request_variant_roundtrips() {
+        roundtrip_request(
+            1,
+            &Request::Mutate(vec![
+                Update::InsertVertex(0),
+                Update::InsertVertex(u64::MAX),
+                Update::InsertEdge(3, 4),
+                Update::DeleteEdge(u64::MAX, 0),
+            ]),
+        );
+        roundtrip_request(2, &Request::Mutate(Vec::new()));
+        roundtrip_request(
+            u64::MAX,
+            &Request::Wait(Ticket::from_targets(vec![0, 5, u64::MAX])),
+        );
+        roundtrip_request(3, &Request::Wait(Ticket::from_targets(Vec::new())));
+        roundtrip_request(4, &Request::Flush);
+        for query in [
+            Query::Degree(9),
+            Query::Neighbors(u64::MAX),
+            Query::Stats,
+            Query::Metrics,
+            Query::Pagerank { iterations: 20 },
+            Query::Bfs { source: 7 },
+            Query::ConnectedComponents,
+        ] {
+            roundtrip_request(5, &Request::Query(query));
+        }
+    }
+
+    #[test]
+    fn every_response_and_query_result_variant_roundtrips() {
+        roundtrip_response(
+            1,
+            &Response::Mutated {
+                ticket: Ticket::from_targets(vec![1, 2, 3]),
+                ops: 42,
+            },
+        );
+        roundtrip_response(2, &Response::Waited);
+        roundtrip_response(3, &Response::Flushed);
+        for result in [
+            QueryResult::Degree(usize::MAX),
+            QueryResult::Neighbors(vec![1, 2, u64::MAX]),
+            QueryResult::Neighbors(Vec::new()),
+            QueryResult::Stats(sample_stats()),
+            QueryResult::Metrics(Box::new(sample_metrics())),
+            QueryResult::Metrics(Box::default()),
+            QueryResult::Pagerank(vec![0.25, -1.5, f64::MAX, 0.0]),
+            QueryResult::Bfs(vec![-1, 0, 7, i64::MAX, i64::MIN]),
+            QueryResult::ConnectedComponents(vec![0, 0, 3]),
+        ] {
+            roundtrip_response(4, &Response::Answer(result));
+        }
+    }
+
+    #[test]
+    fn every_graph_error_variant_roundtrips_losslessly() {
+        // Satellite: Io / Protocol / Overloaded (and everything else)
+        // survive the wire in both directions.  GraphError is PartialEq,
+        // so this is exact.
+        let errors = [
+            GraphError::OutOfSpace("pool 3 full".to_string()),
+            GraphError::VertexOutOfRange {
+                vertex: u64::MAX,
+                capacity: 128,
+            },
+            GraphError::Unsupported("pagerank"),
+            GraphError::Closed,
+            GraphError::WorkerDied { shard: 5 },
+            GraphError::Io("connection reset by peer".to_string()),
+            GraphError::Protocol("unknown Response tag 99".to_string()),
+            GraphError::Overloaded {
+                reason: "rate".to_string(),
+            },
+            GraphError::Overloaded {
+                reason: "inflight".to_string(),
+            },
+            GraphError::Overloaded {
+                reason: "backpressure".to_string(),
+            },
+            GraphError::Other("anything else".to_string()),
+        ];
+        for err in errors {
+            let mut buf = Vec::new();
+            put_graph_error(&mut buf, &err);
+            let mut dec = Dec::new(&buf);
+            let back = get_graph_error(&mut dec).expect("error decodes");
+            assert!(dec.is_done());
+            assert_eq!(back, err);
+            // And nested inside a Response frame.
+            roundtrip_response(9, &Response::Error(err));
+        }
+    }
+
+    #[test]
+    fn wire_error_maps_to_protocol_graph_error() {
+        let err: GraphError = WireError::BadVersion(9).into();
+        match err {
+            GraphError::Protocol(msg) => assert!(msg.contains("version 9"), "{msg}"),
+            other => panic!("wrong mapping: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_unsupported_string_gets_the_sentinel() {
+        let mut buf = Vec::new();
+        buf.push(2); // ERR_UNSUPPORTED
+        put_str(&mut buf, &"x".repeat(4096));
+        let back = get_graph_error(&mut Dec::new(&buf)).unwrap();
+        assert_eq!(back, GraphError::Unsupported("<oversized wire string>"));
+    }
+
+    // ------------------------------------------------------------------
+    // Satellite: truncated / oversized / garbage rejection
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn every_strict_prefix_of_a_valid_payload_is_rejected() {
+        let mut samples: Vec<Vec<u8>> = Vec::new();
+        let mut frame = Vec::new();
+        put_request_frame(
+            &mut frame,
+            77,
+            &Request::Mutate(vec![Update::InsertEdge(1, 2), Update::DeleteEdge(3, 4)]),
+        );
+        samples.push(frame[FRAME_HEADER_LEN..].to_vec());
+        let mut frame = Vec::new();
+        put_response_frame(
+            &mut frame,
+            78,
+            &Response::Answer(QueryResult::Metrics(Box::new(sample_metrics()))),
+        );
+        samples.push(frame[FRAME_HEADER_LEN..].to_vec());
+        let mut frame = Vec::new();
+        put_response_frame(
+            &mut frame,
+            79,
+            &Response::Error(GraphError::Overloaded {
+                reason: "rate".to_string(),
+            }),
+        );
+        samples.push(frame[FRAME_HEADER_LEN..].to_vec());
+
+        for payload in samples {
+            decode_payload(&payload).expect("full payload decodes");
+            for cut in 0..payload.len() {
+                assert!(
+                    decode_payload(&payload[..cut]).is_err(),
+                    "prefix of {cut}/{} bytes decoded",
+                    payload.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_after_a_valid_body_are_rejected() {
+        let mut frame = Vec::new();
+        put_request_frame(&mut frame, 1, &Request::Flush);
+        let mut payload = frame[FRAME_HEADER_LEN..].to_vec();
+        payload.push(0);
+        assert!(decode_payload(&payload).is_err());
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected_before_buffering() {
+        let mut fb = FrameBuffer::new(MAX_FRAME_LEN);
+        fb.extend(&u32::MAX.to_le_bytes());
+        match fb.next_frame() {
+            Err(WireError::TooLarge { len, max }) => {
+                assert_eq!(len, u64::from(u32::MAX));
+                assert_eq!(max, MAX_FRAME_LEN);
+            }
+            other => panic!("hostile length accepted: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hostile_element_counts_error_without_allocating() {
+        // Each body claims ~2^60 elements with almost no bytes behind the
+        // claim.  `count()` must reject before `Vec::with_capacity` — if it
+        // did not, these tests would OOM rather than fail an assert.
+        let huge = 1u64 << 60;
+
+        // Mutate claiming 2^60 ops.
+        let mut body = vec![0u8]; // REQUEST_MUTATE
+        put_varint(&mut body, huge);
+        let err = get_request(&mut Dec::new(&body)).unwrap_err();
+        assert!(matches!(err, WireError::BadCount { .. }), "{err:?}");
+
+        // Neighbors claiming 2^60 vertex ids.
+        let mut body = vec![1u8]; // RESULT_NEIGHBORS
+        put_varint(&mut body, huge);
+        let err = get_query_result(&mut Dec::new(&body)).unwrap_err();
+        assert!(matches!(err, WireError::BadCount { .. }), "{err:?}");
+
+        // Pagerank claiming 2^60 ranks (8 bytes each).
+        let mut body = vec![4u8]; // RESULT_PAGERANK
+        put_varint(&mut body, huge);
+        let err = get_query_result(&mut Dec::new(&body)).unwrap_err();
+        assert!(matches!(err, WireError::BadCount { .. }), "{err:?}");
+
+        // Metrics claiming 2^60 counters.
+        let mut body = vec![3u8]; // RESULT_METRICS
+        put_varint(&mut body, huge);
+        let err = get_query_result(&mut Dec::new(&body)).unwrap_err();
+        assert!(matches!(err, WireError::BadCount { .. }), "{err:?}");
+
+        // Histogram claiming more nonzero buckets than exist.
+        let mut body = Vec::new();
+        put_varint(&mut body, HISTOGRAM_BUCKETS as u64 + 1);
+        let err = get_histogram(&mut Dec::new(&body)).unwrap_err();
+        assert!(matches!(err, WireError::BadCount { .. }), "{err:?}");
+
+        // Histogram bucket index out of range.
+        let mut body = Vec::new();
+        put_varint(&mut body, 1);
+        put_varint(&mut body, HISTOGRAM_BUCKETS as u64); // index 64: invalid
+        put_varint(&mut body, 5);
+        let err = get_histogram(&mut Dec::new(&body)).unwrap_err();
+        assert!(matches!(err, WireError::BadTag { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn garbage_version_kind_and_tags_are_rejected() {
+        // Wrong protocol version.
+        assert!(matches!(
+            decode_payload(&[9, KIND_REQUEST, 0, 2]),
+            Err(WireError::BadVersion(9))
+        ));
+        // Unknown frame kind.
+        assert!(matches!(
+            decode_payload(&[PROTOCOL_VERSION, 7, 0]),
+            Err(WireError::BadTag {
+                what: "frame kind",
+                ..
+            })
+        ));
+        // Unknown request tag.
+        assert!(matches!(
+            decode_payload(&[PROTOCOL_VERSION, KIND_REQUEST, 0, 200]),
+            Err(WireError::BadTag {
+                what: "Request",
+                ..
+            })
+        ));
+        // Unknown response tag.
+        assert!(matches!(
+            decode_payload(&[PROTOCOL_VERSION, KIND_RESPONSE, 0, 200]),
+            Err(WireError::BadTag {
+                what: "Response",
+                ..
+            })
+        ));
+        // Empty payload.
+        assert!(decode_payload(&[]).is_err());
+        // Pure noise: must error, never panic.
+        let noise: Vec<u8> = (0..=255u8).rev().collect();
+        assert!(decode_payload(&noise).is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_in_strings_is_rejected() {
+        let mut body = vec![5u8]; // ERR_OTHER
+        put_varint(&mut body, 2);
+        body.extend_from_slice(&[0xff, 0xfe]);
+        assert_eq!(
+            get_graph_error(&mut Dec::new(&body)),
+            Err(WireError::BadUtf8("error message"))
+        );
+    }
+
+    #[test]
+    fn frame_buffer_separates_back_to_back_frames() {
+        let mut bytes = Vec::new();
+        put_request_frame(&mut bytes, 1, &Request::Flush);
+        put_request_frame(&mut bytes, 2, &Request::Query(Query::Stats));
+        put_response_frame(&mut bytes, 1, &Response::Flushed);
+        let mut fb = FrameBuffer::new(MAX_FRAME_LEN);
+        fb.extend(&bytes);
+        let mut ids = Vec::new();
+        while let Some(frame) = fb.next_frame().unwrap() {
+            ids.push(match frame {
+                Frame::Request { id, .. } => id,
+                Frame::Response { id, .. } => id + 100,
+            });
+        }
+        assert_eq!(ids, vec![1, 2, 101]);
+        assert_eq!(fb.pending_bytes(), 0);
+    }
+}

@@ -1,7 +1,7 @@
 //! The client handle: typed calls over the service's request channel.
 
 use crate::request::{Query, QueryResult, Request, Response, ServiceStats};
-use crate::service::Envelope;
+use crate::service::{Envelope, ReplyTo};
 use dgap::{GraphError, GraphResult, Update, VertexId};
 use obs::MetricsSnapshot;
 use sharded::Ticket;
@@ -30,7 +30,10 @@ impl GraphClient {
     pub fn call(&self, request: Request) -> GraphResult<Response> {
         let (reply, answer) = mpsc::channel();
         self.sender
-            .send(Envelope { request, reply })
+            .send(Envelope {
+                request,
+                reply: ReplyTo::Direct(reply),
+            })
             .map_err(|_| GraphError::Closed)?;
         answer.recv().map_err(|_| GraphError::Closed)
     }

@@ -59,7 +59,7 @@ pub mod service;
 
 pub use client::GraphClient;
 pub use request::{Query, QueryResult, Request, Response, ServiceStats};
-pub use service::{GraphService, ServiceConfig};
+pub use service::{GraphService, RawClient, ServiceConfig};
 // Re-exported so a restarting caller can consume `GraphService::open`'s
 // recovery report without depending on `sharded` directly.
 pub use sharded::ShardedRecovery;

@@ -67,7 +67,52 @@ impl ServiceConfig {
 /// One queued request plus the channel its answer goes back on.
 pub(crate) struct Envelope {
     pub(crate) request: Request,
-    pub(crate) reply: Sender<Response>,
+    pub(crate) reply: ReplyTo,
+}
+
+/// Where a served request's answer goes.
+pub(crate) enum ReplyTo {
+    /// A private per-call channel ([`crate::GraphClient`]'s round trip).
+    Direct(Sender<Response>),
+    /// A shared, tag-routed channel: the answer is sent as `(tag,
+    /// response)` so many in-flight requests can share one reply stream and
+    /// complete out of order ([`RawClient`], the network front-end's hook).
+    Tagged(u64, Sender<(u64, Response)>),
+}
+
+/// A raw, tag-routing handle onto a running [`GraphService`] — the hook a
+/// network front-end multiplexes many connections through.
+///
+/// Unlike [`crate::GraphClient`], a submission does not block for its
+/// answer: the caller picks a `tag`, hands over a shared reply sender, and
+/// whichever worker serves the request sends `(tag, response)` back on it.
+/// Requests submitted with different tags onto the same reply channel
+/// complete **out of order** whenever the worker pool overlaps them — the
+/// property a pipelined wire protocol needs.  Tag allocation is entirely
+/// the caller's affair; the service never inspects tags.
+#[derive(Clone)]
+pub struct RawClient {
+    sender: Sender<Envelope>,
+}
+
+impl RawClient {
+    /// Queue `request`; its answer will arrive as `(tag, response)` on
+    /// `reply`.  [`GraphError::Closed`] when the service has shut down.  A
+    /// dropped reply receiver is not an error — the answer is discarded,
+    /// matching [`crate::GraphClient`]'s abandoned-call semantics.
+    pub fn submit(
+        &self,
+        tag: u64,
+        request: Request,
+        reply: Sender<(u64, Response)>,
+    ) -> GraphResult<()> {
+        self.sender
+            .send(Envelope {
+                request,
+                reply: ReplyTo::Tagged(tag, reply),
+            })
+            .map_err(|_| GraphError::Closed)
+    }
 }
 
 /// The epoch-cached snapshot, keyed by the **per-shard** watermarks it was
@@ -479,6 +524,20 @@ impl GraphService {
         )
     }
 
+    /// A tag-routing [`RawClient`] handle for transports: submissions carry
+    /// a caller-chosen tag and complete out of order on a shared reply
+    /// channel, through the very same worker pool that serves
+    /// [`crate::GraphClient`] traffic.
+    pub fn raw_client(&self) -> RawClient {
+        RawClient {
+            sender: self
+                .sender
+                .as_ref()
+                .expect("sender lives until shutdown")
+                .clone(),
+        }
+    }
+
     /// The underlying sharded graph (direct read access for tests and
     /// embedding callers; requests keep flowing through clients).
     pub fn graph(&self) -> &Arc<ShardedGraph<Dgap>> {
@@ -569,7 +628,14 @@ fn serve_loop(inner: &Inner, receiver: &Mutex<Receiver<Envelope>>) {
                 inner.served.inc();
                 // The client may have given up on the reply; that is its
                 // business, not an error of ours.
-                let _ = reply.send(response);
+                match reply {
+                    ReplyTo::Direct(reply) => {
+                        let _ = reply.send(response);
+                    }
+                    ReplyTo::Tagged(tag, reply) => {
+                        let _ = reply.send((tag, response));
+                    }
+                }
             }
             Err(RecvTimeoutError::Timeout) => {
                 if inner.shutdown.load(Ordering::Acquire) {
@@ -786,6 +852,37 @@ mod tests {
         pools.pop();
         service.shutdown();
         assert!(GraphService::open(config, pools).is_err());
+    }
+
+    #[test]
+    fn raw_client_routes_tagged_replies_through_the_worker_pool() {
+        let service = GraphService::start(ServiceConfig::small_test()).unwrap();
+        let raw = service.raw_client();
+        let (reply, answers) = mpsc::channel();
+        raw.submit(
+            7,
+            Request::Mutate(vec![Update::InsertEdge(0, 1)]),
+            reply.clone(),
+        )
+        .unwrap();
+        let (tag, response) = answers.recv().unwrap();
+        assert_eq!(tag, 7);
+        let ticket = match response {
+            Response::Mutated { ticket, ops } => {
+                assert_eq!(ops, 1);
+                ticket
+            }
+            other => panic!("unexpected {other:?}"),
+        };
+        raw.submit(8, Request::Wait(ticket), reply.clone()).unwrap();
+        assert!(matches!(answers.recv().unwrap(), (8, Response::Waited)));
+        raw.submit(9, Request::Query(Query::Degree(0)), reply)
+            .unwrap();
+        match answers.recv().unwrap() {
+            (9, Response::Answer(QueryResult::Degree(d))) => assert_eq!(d, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        service.shutdown();
     }
 
     #[test]

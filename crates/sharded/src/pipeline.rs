@@ -153,6 +153,21 @@ impl Ticket {
         self.targets.iter().all(|&t| t == 0)
     }
 
+    /// The raw per-shard drained-batch targets — the ticket's entire state,
+    /// exposed so a transport can serialise it.  Pair with
+    /// [`Ticket::from_targets`] on the decode side.
+    pub fn targets(&self) -> &[u64] {
+        &self.targets
+    }
+
+    /// Rebuild a ticket from targets produced by [`Ticket::targets`].  A
+    /// ticket only means something to the pipeline that issued it; waiting
+    /// on a foreign or forged ticket blocks until those positions drain (or
+    /// errors on a dead lane), it never corrupts state.
+    pub fn from_targets(targets: Vec<u64>) -> Ticket {
+        Ticket { targets }
+    }
+
     /// Fold `other` into `self`, so one ticket covers both submissions.
     /// Tickets from the same pipeline compose; waiting on the merged ticket
     /// is equivalent to waiting on both.

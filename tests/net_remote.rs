@@ -1,0 +1,334 @@
+//! The network plane under real concurrent remote clients: the same
+//! oracle-parity and read-your-writes assertions as `service_loop.rs`, but
+//! every request crosses a TCP socket — plus pipelined out-of-order
+//! harvesting and the multi-tenant admission-control guarantees.
+
+use dgap::{GraphError, GraphView, ReferenceGraph, Update};
+use net::{GraphServer, NetConfig, RemoteClient};
+use service::{Query, QueryResult, Request, Response, ServiceConfig};
+use sharded::ShardedConfig;
+use std::time::{Duration, Instant};
+
+const NUM_CLIENTS: u64 = 4;
+const NUM_VERTICES: u64 = 128;
+
+/// The deterministic op stream of one client — identical to
+/// `service_loop.rs`: disjoint source vertices, no duplicate inserts, odd
+/// offsets deleted again.
+fn client_ops(client: u64) -> Vec<Update> {
+    let mut ops = Vec::new();
+    for v in (client..NUM_VERTICES).step_by(NUM_CLIENTS as usize) {
+        let degree = v % 6 + 1;
+        for k in 1..=degree {
+            ops.push(Update::InsertEdge(v, (v + k) % NUM_VERTICES));
+        }
+        for k in (1..=degree).filter(|k| k % 2 == 1) {
+            ops.push(Update::DeleteEdge(v, (v + k) % NUM_VERTICES));
+        }
+    }
+    ops
+}
+
+fn apply_to_oracle(oracle: &mut ReferenceGraph, ops: &[Update]) {
+    for &op in ops {
+        match op {
+            Update::InsertVertex(_) => {}
+            Update::InsertEdge(s, d) => oracle.add_edge(s, d),
+            Update::DeleteEdge(s, d) => {
+                oracle.remove_edge(s, d);
+            }
+        }
+    }
+}
+
+fn service_config() -> ServiceConfig {
+    ServiceConfig {
+        sharded: ShardedConfig::builder()
+            .shards(4)
+            .queue_capacity(4) // tiny queues: backpressure must engage
+            .batch_size(32)
+            .build(),
+        workers: 4,
+        num_vertices: NUM_VERTICES as usize,
+        num_edges: 1 << 14,
+        pool_bytes: 24 << 20,
+    }
+}
+
+#[test]
+fn four_remote_clients_over_tcp_match_the_oracle() {
+    let server = GraphServer::start(service_config(), NetConfig::loopback()).expect("start server");
+    let addr = server.local_addr();
+
+    std::thread::scope(|scope| {
+        for c in 0..NUM_CLIENTS {
+            scope.spawn(move || {
+                // Each tenant gets its own TCP connection.
+                let client = RemoteClient::connect(addr).expect("connect");
+                let ops = client_ops(c);
+                let mut ticket = sharded::Ticket::empty();
+                for (i, chunk) in ops.chunks(32).enumerate() {
+                    let t = client.mutate(chunk.to_vec()).expect("mutate");
+                    ticket.merge(&t);
+                    if i % 4 == 0 {
+                        let d = client.degree(c).expect("mid-stream degree");
+                        assert!(d <= NUM_VERTICES as usize);
+                    }
+                }
+                // Read-your-writes across the wire: wait on the merged
+                // ticket, then verify every owned vertex exactly.
+                client.wait(&ticket).expect("wait");
+                let mut oracle = ReferenceGraph::new(NUM_VERTICES as usize);
+                apply_to_oracle(&mut oracle, &ops);
+                for v in (c..NUM_VERTICES).step_by(NUM_CLIENTS as usize) {
+                    assert_eq!(
+                        client.neighbors(v).expect("own neighbors"),
+                        oracle.neighbors(v),
+                        "client {c}: own writes on vertex {v} after ticket wait"
+                    );
+                }
+                client.close();
+            });
+        }
+    });
+
+    // Global barrier over a fresh connection, then exact parity with the
+    // union oracle.
+    let client = RemoteClient::connect(addr).expect("connect");
+    client.flush().expect("flush");
+    let mut oracle = ReferenceGraph::new(NUM_VERTICES as usize);
+    for c in 0..NUM_CLIENTS {
+        apply_to_oracle(&mut oracle, &client_ops(c));
+    }
+    for v in 0..NUM_VERTICES {
+        assert_eq!(client.degree(v).expect("degree"), oracle.degree(v));
+        assert_eq!(
+            client.neighbors(v).expect("neighbors"),
+            oracle.neighbors(v),
+            "neighbours of {v}"
+        );
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.num_edges, GraphView::num_edges(&oracle));
+    assert!(stats.deletes_applied > 0);
+    assert_eq!(stats.ops_submitted, stats.ops_applied);
+
+    // Analytics parity across the wire (f64 travel bit-exact).
+    match client
+        .query(Query::Pagerank { iterations: 20 })
+        .expect("pagerank")
+    {
+        QueryResult::Pagerank(ranks) => {
+            let reference = analytics::pagerank(&oracle, 20);
+            assert_eq!(ranks.len(), reference.len());
+            for (v, (a, b)) in ranks.iter().zip(&reference).enumerate() {
+                assert!((a - b).abs() < 1e-6, "pagerank of {v}: {a} vs {b}");
+            }
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // The server accounted for this traffic.
+    let metrics = client.metrics().expect("metrics");
+    assert!(metrics.counter("net_requests_total").unwrap_or(0) > 0);
+    assert!(metrics.counter("net_connections_total").unwrap_or(0) >= NUM_CLIENTS);
+    let nanos = metrics
+        .histogram("net_request_nanos")
+        .expect("request latency histogram");
+    assert!(nanos.count > 0);
+
+    client.close();
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_requests_are_harvested_out_of_order() {
+    let server = GraphServer::start(service_config(), NetConfig::loopback()).expect("start server");
+    let client = RemoteClient::connect(server.local_addr()).expect("connect");
+
+    // Fire a burst of requests without waiting on any of them...
+    let mutate = client
+        .send(&Request::Mutate(vec![
+            Update::InsertEdge(1, 2),
+            Update::InsertEdge(1, 3),
+        ]))
+        .expect("send mutate");
+    let flush = client.send(&Request::Flush).expect("send flush");
+    let queries: Vec<_> = (0..16)
+        .map(|_| {
+            client
+                .send(&Request::Query(Query::Stats))
+                .expect("send query")
+        })
+        .collect();
+
+    // ...then harvest them in reverse order.  Replies are matched by id,
+    // not arrival order, so this must work regardless of how the worker
+    // pool interleaved them.
+    for pending in queries.into_iter().rev() {
+        match pending.wait().expect("stats reply") {
+            Response::Answer(QueryResult::Stats(_)) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    match flush.wait().expect("flush reply") {
+        Response::Flushed => {}
+        other => panic!("unexpected {other:?}"),
+    }
+    match mutate.wait().expect("mutate reply") {
+        Response::Mutated { ops, .. } => assert_eq!(ops, 2),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // The writes landed (flush was a global barrier).
+    assert_eq!(client.degree(1).expect("degree"), 2);
+    client.close();
+    server.shutdown();
+}
+
+#[test]
+fn over_quota_client_is_shed_while_within_quota_clients_stay_healthy() {
+    // 100 ops/sec per connection, burst 100: a 1000-op batch can never be
+    // admitted, while polite clients pacing ~50 requests/sec never trip it.
+    let net = NetConfig {
+        ops_per_sec: Some(100),
+        burst_ops: 100,
+        ..NetConfig::loopback()
+    };
+    let server = GraphServer::start(service_config(), net).expect("start server");
+    let addr = server.local_addr();
+
+    // Seed a little data so queries have something to chew on.
+    let seeder = RemoteClient::connect(addr).expect("connect seeder");
+    let t = seeder
+        .mutate((0..64u64).map(|v| Update::InsertEdge(v, v + 1)).collect())
+        .expect("seed");
+    seeder.wait(&t).expect("wait seed");
+    seeder.close();
+
+    std::thread::scope(|scope| {
+        // The abusive tenant: one oversized batch (cost 1000 tokens against
+        // a 100-token bucket) must be shed with a structured Overloaded —
+        // and the connection must survive to serve a within-quota request.
+        scope.spawn(move || {
+            let abuser = RemoteClient::connect(addr).expect("connect abuser");
+            let big: Vec<Update> = (0..1000u64)
+                .map(|k| Update::InsertEdge(k % 64, (k + 1) % 64))
+                .collect();
+            let err = abuser.mutate(big).expect_err("must be shed");
+            match &err {
+                GraphError::Overloaded { reason } => assert_eq!(reason, "rate"),
+                other => panic!("expected Overloaded, got {other:?}"),
+            }
+            // Shedding is per-request, not per-connection: a small batch on
+            // the same socket is admitted.
+            let t = abuser
+                .mutate(vec![Update::InsertEdge(0, 63)])
+                .expect("small batch within quota");
+            abuser.wait(&t).expect("wait");
+            abuser.close();
+        });
+
+        // Two polite tenants keep querying throughout and must see zero
+        // shedding and bounded tails.
+        for _ in 0..2 {
+            scope.spawn(move || {
+                let polite = RemoteClient::connect(addr).expect("connect polite");
+                let mut latencies = Vec::with_capacity(40);
+                for i in 0..40u64 {
+                    let started = Instant::now();
+                    let d = polite.degree(i % 64).expect("within-quota query");
+                    latencies.push(started.elapsed());
+                    assert!(d <= 64);
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                // "p99 stays bounded": the worst observed latency of the
+                // polite tenant stays far below the abuser-induced chaos
+                // threshold (generous enough for a loaded CI box).
+                latencies.sort();
+                let p99 = latencies[latencies.len() * 99 / 100];
+                assert!(
+                    p99 < Duration::from_secs(2),
+                    "within-quota p99 exploded: {p99:?}"
+                );
+                polite.close();
+            });
+        }
+    });
+
+    // The registry recorded the shed with its reason.
+    let probe = RemoteClient::connect(addr).expect("connect probe");
+    let metrics = probe.metrics().expect("metrics");
+    assert!(
+        metrics
+            .counter_labeled("net_requests_shed", "reason=\"rate\"")
+            .unwrap_or(0)
+            >= 1,
+        "the rate shed must be visible in net_requests_shed"
+    );
+    probe.close();
+    server.shutdown();
+}
+
+#[test]
+fn pipelining_past_the_inflight_window_is_shed_not_killed() {
+    // A window of 2: a burst of concurrent slow queries must overflow it.
+    let net = NetConfig {
+        max_inflight: 2,
+        ..NetConfig::loopback()
+    };
+    let server = GraphServer::start(service_config(), net).expect("start server");
+    let client = RemoteClient::connect(server.local_addr()).expect("connect");
+
+    // Seed so pagerank has real work per request.
+    let t = client
+        .mutate((0..127u64).map(|v| Update::InsertEdge(v, v + 1)).collect())
+        .expect("seed");
+    client.wait(&t).expect("wait");
+
+    // Fire a pile of expensive queries without harvesting: only 2 may be
+    // in flight, so the tail of the burst is shed with reason "inflight".
+    let pending: Vec<_> = (0..64)
+        .map(|_| {
+            client
+                .send(&Request::Query(Query::Pagerank { iterations: 50 }))
+                .expect("send")
+        })
+        .collect();
+    let mut ok = 0usize;
+    let mut shed = 0usize;
+    for p in pending {
+        match p.wait().expect("reply arrives either way") {
+            Response::Answer(QueryResult::Pagerank(_)) => ok += 1,
+            Response::Error(GraphError::Overloaded { reason }) => {
+                assert_eq!(reason, "inflight");
+                shed += 1;
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert!(ok >= 1, "some requests must be admitted");
+    assert!(shed >= 1, "a 64-deep burst must overflow a 2-wide window");
+    // The connection survived the shedding.
+    assert!(client.degree(0).expect("still serving") >= 1);
+    client.close();
+    server.shutdown();
+}
+
+#[test]
+fn server_shutdown_drains_and_clients_observe_closed() {
+    let server = GraphServer::start(service_config(), NetConfig::loopback()).expect("start server");
+    let client = RemoteClient::connect(server.local_addr()).expect("connect");
+    let t = client
+        .mutate(vec![Update::InsertEdge(0, 1)])
+        .expect("mutate");
+    client.wait(&t).expect("wait");
+    server.shutdown();
+    // The socket is gone; new requests fail with a transport-shaped error,
+    // not a hang.
+    let err = client.flush().expect_err("server is gone");
+    assert!(
+        matches!(err, GraphError::Closed | GraphError::Io(_)),
+        "unexpected {err:?}"
+    );
+}

@@ -1,0 +1,125 @@
+//! Crash, restart, reconnect — over TCP end to end: ingest through a
+//! `GraphServer`, kill the server (pools survive, shutdown flags stay
+//! crash-shaped), reopen with `GraphServer::open` over the same pools,
+//! reconnect remote clients, and demand oracle parity plus read-your-writes
+//! on post-restart tickets.
+
+use dgap::{GraphView, ReferenceGraph, Update, VertexId};
+use net::{GraphServer, NetConfig, RemoteClient};
+use service::ServiceConfig;
+use sharded::ShardedConfig;
+
+const NUM_VERTICES: usize = 160;
+
+fn service_config() -> ServiceConfig {
+    ServiceConfig {
+        sharded: ShardedConfig::builder().shards(4).batch_size(32).build(),
+        workers: 3,
+        num_vertices: NUM_VERTICES,
+        num_edges: 1 << 14,
+        pool_bytes: 24 << 20,
+    }
+}
+
+fn sorted(mut v: Vec<VertexId>) -> Vec<VertexId> {
+    v.sort_unstable();
+    v
+}
+
+/// The pre-crash workload: a ring with chords, some of them deleted again
+/// so recovery has tombstones to honour.
+fn ingest_ops() -> Vec<Update> {
+    let n = NUM_VERTICES as u64;
+    let mut ops = Vec::new();
+    for v in 0..n {
+        ops.push(Update::InsertEdge(v, (v + 1) % n));
+        ops.push(Update::InsertEdge(v, (v + 7) % n));
+        if v % 3 == 0 {
+            ops.push(Update::DeleteEdge(v, (v + 7) % n));
+        }
+    }
+    ops
+}
+
+fn oracle_after(ops: &[Update]) -> ReferenceGraph {
+    let mut oracle = ReferenceGraph::new(NUM_VERTICES);
+    for &op in ops {
+        match op {
+            Update::InsertVertex(_) => {}
+            Update::InsertEdge(s, d) => oracle.add_edge(s, d),
+            Update::DeleteEdge(s, d) => {
+                oracle.remove_edge(s, d);
+            }
+        }
+    }
+    oracle
+}
+
+#[test]
+fn crash_restart_reconnect_preserves_the_graph_over_tcp() {
+    // --- Phase 1: ingest over the wire. ---
+    let server = GraphServer::start(service_config(), NetConfig::loopback()).expect("start server");
+    let client = RemoteClient::connect(server.local_addr()).expect("connect");
+    let ops = ingest_ops();
+    for chunk in ops.chunks(64) {
+        let t = client.mutate(chunk.to_vec()).expect("mutate");
+        client.wait(&t).expect("wait");
+    }
+    client
+        .flush()
+        .expect("flush: everything durable before the crash");
+    let oracle = oracle_after(&ops);
+    assert_eq!(
+        sorted(client.neighbors(0).expect("pre-crash read")),
+        sorted(oracle.neighbors(0))
+    );
+
+    // --- Phase 2: crash. ---
+    // The pools are all that survives.  `shutdown` here stops the workers
+    // without marking the shards NORMAL_SHUTDOWN, so the reopen below takes
+    // the genuine per-shard crash-recovery path.
+    let pools = server.shard_pools();
+    server.shutdown();
+    let err = client.flush().expect_err("old connection must be dead");
+    assert!(matches!(
+        err,
+        dgap::GraphError::Closed | dgap::GraphError::Io(_)
+    ));
+    drop(client);
+
+    // --- Phase 3: restart over the same pools, on a fresh port. ---
+    let (server, recovery) = GraphServer::open(service_config(), NetConfig::loopback(), pools)
+        .expect("reopen over surviving pools");
+    assert_eq!(recovery.crashed_shards(), recovery.num_shards());
+
+    // --- Phase 4: reconnect and verify parity. ---
+    let client = RemoteClient::connect(server.local_addr()).expect("reconnect");
+    for v in 0..NUM_VERTICES as u64 {
+        assert_eq!(
+            client.degree(v).expect("degree"),
+            oracle.degree(v),
+            "degree of {v} after crash recovery"
+        );
+        assert_eq!(
+            sorted(client.neighbors(v).expect("neighbors")),
+            sorted(oracle.neighbors(v)),
+            "neighbours of {v} after crash recovery"
+        );
+    }
+
+    // --- Phase 5: the recovered server is live, not a read-only husk:
+    // post-restart tickets still buy read-your-writes. ---
+    let fresh: Vec<Update> = (0..10u64).map(|k| Update::InsertEdge(3, 100 + k)).collect();
+    let mut expected = sorted(oracle.neighbors(3));
+    expected.extend(100..110);
+    let t = client.mutate(fresh).expect("post-restart mutate");
+    client.wait(&t).expect("post-restart wait");
+    assert_eq!(
+        sorted(client.neighbors(3).expect("post-restart read")),
+        sorted(expected),
+        "read-your-writes on a post-restart ticket"
+    );
+
+    client.close();
+    server.shutdown();
+}
