@@ -12,7 +12,9 @@
 //! response frames back onto the socket in whatever order the workers
 //! finish them.  Pipelining is therefore free: a connection can have up to
 //! `max_inflight` requests outstanding and replies interleave out of
-//! order.
+//! order.  Because replies are routed by id, reusing an id while its first
+//! use is still in flight is a protocol error and costs the client its
+//! connection.
 //!
 //! ## Admission control
 //!
@@ -22,7 +24,10 @@
 //! * **in-flight window** — at most `max_inflight` admitted requests per
 //!   connection awaiting their reply;
 //! * **ops/sec token bucket** — each request costs its operation count
-//!   (a `Mutate` batch costs one token per update, everything else one);
+//!   (a `Mutate` batch costs one token per update, everything else one); a
+//!   batch costing more than the whole bucket is admitted against a *full*
+//!   bucket with the excess charged as debt, so even oversized batches
+//!   stay retryable;
 //! * **backpressure** — `Mutate` requests are shed while the ingest
 //!   pipeline's own telemetry (the PR 6 `pipeline_queue_depth` gauges and
 //!   `pipeline_backpressure_stalls` counters) says the drain workers are
@@ -52,7 +57,10 @@ pub struct NetConfig {
     /// Per-connection cap on admitted requests awaiting their reply.
     pub max_inflight: usize,
     /// Per-connection operations/second token bucket (`None` = unmetered).
-    /// A `Mutate` costs one token per update, every other request one.
+    /// A `Mutate` costs one token per update, every other request one.  A
+    /// batch costing more than the whole bucket is admitted when the bucket
+    /// is full, with the excess charged as debt (the connection is then
+    /// shed until the debt refills) — shedding is always retryable.
     pub ops_per_sec: Option<u64>,
     /// Token-bucket burst capacity; `0` means one second's worth
     /// (`ops_per_sec`).
@@ -143,7 +151,6 @@ impl NetMetrics {
 struct Shared {
     raw: RawClient,
     metrics: NetMetrics,
-    registry: Arc<Registry>,
     /// The pipeline's per-shard queue-depth gauges — the backpressure
     /// signal, read instead of re-plumbed.
     queue_depth: Vec<Arc<Gauge>>,
@@ -188,18 +195,29 @@ impl TokenBucket {
         }
     }
 
+    /// Admit a request costing `cost` tokens, or refuse it.
+    ///
+    /// A cost larger than the whole bucket is still admissible — against a
+    /// *full* bucket — by charging the excess as debt: the balance goes
+    /// negative and refills over `cost / rate` seconds, during which the
+    /// connection is shed.  [`GraphError::Overloaded`] promises that
+    /// backing off and retrying is safe, so no single request may be
+    /// permanently inadmissible.
     fn admit(&mut self, cost: u64) -> bool {
         let Some(rate) = self.rate else { return true };
         let now = Instant::now();
         let refill = now.duration_since(self.refilled).as_secs_f64() * rate as f64;
         self.tokens = (self.tokens + refill).min(self.capacity);
         self.refilled = now;
-        if self.tokens >= cost as f64 {
-            self.tokens -= cost as f64;
-            true
-        } else {
-            false
+        if cost == 0 {
+            return true;
         }
+        let need = (cost as f64).min(self.capacity);
+        if self.capacity <= 0.0 || self.tokens < need {
+            return false;
+        }
+        self.tokens -= cost as f64;
+        true
     }
 }
 
@@ -256,7 +274,6 @@ impl GraphServer {
                     registry.counter_with("pipeline_backpressure_stalls", &format!("shard=\"{s}\""))
                 })
                 .collect(),
-            registry,
             config: net,
             shutdown: AtomicBool::new(false),
             active_conns: AtomicUsize::new(0),
@@ -359,7 +376,12 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                 }
             }
             Err(_) if shared.shutdown.load(Ordering::Acquire) => break,
-            Err(_) => continue,
+            Err(_) => {
+                // Persistent accept errors (EMFILE under fd exhaustion,
+                // say) must not busy-spin this thread at 100% CPU exactly
+                // when the box is under resource pressure.
+                std::thread::sleep(POLL_TICK);
+            }
         }
     }
 }
@@ -393,7 +415,7 @@ fn run_connection(shared: &Arc<Shared>, stream: TcpStream, conn_id: u64) {
             .expect("spawn connection writer")
     };
 
-    reader_loop(shared, &tracking, &stream, &reply_tx, conn_id);
+    reader_loop(shared, &tracking, &stream, &reply_tx);
 
     // Reader done: no new requests.  In-flight envelopes still hold reply
     // sender clones; the writer drains them, then its channel disconnects.
@@ -407,14 +429,8 @@ fn reader_loop(
     tracking: &Arc<ConnTracking>,
     mut stream: &TcpStream,
     reply_tx: &Sender<(u64, Response)>,
-    conn_id: u64,
 ) {
     let cfg = &shared.config;
-    let conn_label = format!("conn=\"{conn_id}\"");
-    let conn_requests = shared
-        .registry
-        .counter_with("net_conn_requests", &conn_label);
-    let conn_shed = shared.registry.counter_with("net_conn_shed", &conn_label);
     let mut frames = FrameBuffer::new(cfg.max_frame_len);
     let mut bucket = TokenBucket::new(cfg.ops_per_sec, cfg.burst_ops);
     let mut scratch = [0u8; 16 * 1024];
@@ -426,17 +442,18 @@ fn reader_loop(
         loop {
             match frames.next_frame() {
                 Ok(Some(Frame::Request { id, request })) => {
-                    serve_request(
+                    let keep_going = serve_request(
                         shared,
                         tracking,
                         reply_tx,
                         &mut bucket,
                         &mut last_stalls,
-                        &conn_requests,
-                        &conn_shed,
                         id,
                         request,
                     );
+                    if !keep_going {
+                        return;
+                    }
                 }
                 Ok(Some(Frame::Response { .. })) => {
                     // Clients do not send responses; the stream is garbage.
@@ -481,6 +498,9 @@ fn reader_loop(
     }
 }
 
+/// Admit (or shed) one decoded request and route it to the worker pool.
+/// Returns `false` when the conversation is broken beyond repair and the
+/// reader must hang up.
 #[allow(clippy::too_many_arguments)]
 fn serve_request(
     shared: &Arc<Shared>,
@@ -488,13 +508,30 @@ fn serve_request(
     reply_tx: &Sender<(u64, Response)>,
     bucket: &mut TokenBucket,
     last_stalls: &mut u64,
-    conn_requests: &Counter,
-    conn_shed: &Counter,
     id: u64,
     request: Request,
-) {
+) -> bool {
     shared.metrics.requests_total.inc();
-    conn_requests.inc();
+    // Reply routing is keyed by request id: reusing one while its first
+    // use is still in flight would make the two replies indistinguishable
+    // (and leak the in-flight slot of whichever loses the race).  The
+    // framing is intact but the conversation is not — hang up, like any
+    // other protocol violation.
+    if tracking
+        .starts
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .contains_key(&id)
+    {
+        shared.metrics.protocol_errors.inc();
+        let _ = reply_tx.send((
+            0,
+            Response::Error(GraphError::Protocol(format!(
+                "request id {id} reused while still in flight"
+            ))),
+        ));
+        return false;
+    }
     let cost = match &request {
         Request::Mutate(ops) => ops.len().max(1) as u64,
         _ => 1,
@@ -511,14 +548,13 @@ fn serve_request(
     };
     if let Some(reason) = verdict {
         shared.metrics.shed(reason).inc();
-        conn_shed.inc();
         let _ = reply_tx.send((
             id,
             Response::Error(GraphError::Overloaded {
                 reason: reason.to_string(),
             }),
         ));
-        return;
+        return true;
     }
     tracking.inflight.fetch_add(1, Ordering::AcqRel);
     tracking
@@ -537,6 +573,7 @@ fn serve_request(
         tracking.inflight.fetch_sub(1, Ordering::AcqRel);
         let _ = reply_tx.send((id, Response::Error(GraphError::Closed)));
     }
+    true
 }
 
 /// The backpressure verdict for one `Mutate`: the pipeline's queued-batch
@@ -585,5 +622,40 @@ fn writer_loop(
         }
         shared.metrics.bytes_written.add(buf.len() as u64);
         shared.metrics.responses_total.inc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::TokenBucket;
+
+    #[test]
+    fn token_bucket_spends_within_capacity_classically() {
+        let mut bucket = TokenBucket::new(Some(1), 10);
+        for _ in 0..10 {
+            assert!(bucket.admit(1));
+        }
+        assert!(!bucket.admit(1), "bucket drained");
+        let mut unmetered = TokenBucket::new(None, 0);
+        assert!(unmetered.admit(u64::MAX), "no rate means no metering");
+    }
+
+    #[test]
+    fn token_bucket_admits_an_oversized_batch_once_as_debt() {
+        let mut bucket = TokenBucket::new(Some(100), 100);
+        // A cost beyond the whole bucket is admissible against a full
+        // bucket — shedding it forever would break Overloaded's
+        // retry-is-safe contract.
+        assert!(bucket.admit(1_000));
+        // The excess is debt: nothing else is admitted until it refills.
+        assert!(!bucket.admit(1));
+        assert!(!bucket.admit(1_000));
+    }
+
+    #[test]
+    fn zero_rate_bucket_admits_nothing_but_free_requests() {
+        let mut bucket = TokenBucket::new(Some(0), 0);
+        assert!(!bucket.admit(1));
+        assert!(bucket.admit(0));
     }
 }

@@ -6,7 +6,8 @@
 //! `shard="i"` label) in the pipeline's [`obs::Registry`], so one
 //! `Registry::snapshot()` pass reads the whole pipeline.  The counters that
 //! double as synchronisation watermarks (`submitted`/`applied`/`drained` —
-//! the flush barrier and tickets wait on them) keep their Release/Acquire
+//! the flush barrier and tickets wait on them — and `batches`, which
+//! `wait_for` validates forged tickets against) keep their Release/Acquire
 //! orderings through the explicit `_ordered` variants; the rest record
 //! relaxed.  Each queued batch carries its enqueue instant, so the drain
 //! worker can feed the enqueue→drain latency histogram and leave slow-op
@@ -45,6 +46,10 @@ struct Lane {
     /// queue-position order, so `drained == k` means exactly the batches at
     /// positions `0..k` are applied — the watermark [`Ticket`]s wait on.
     drained: Arc<Counter>,
+    /// Batches ever enqueued.  Rises (Release) before the submit that
+    /// pushed the batch returns its [`Ticket`], so it doubles as the
+    /// highest ticket target this lane has issued — the bound `wait_for`
+    /// rejects forged tickets against.
     batches: Arc<Counter>,
     stalls: Arc<Counter>,
     errors: Arc<Counter>,
@@ -162,8 +167,9 @@ impl Ticket {
 
     /// Rebuild a ticket from targets produced by [`Ticket::targets`].  A
     /// ticket only means something to the pipeline that issued it; waiting
-    /// on a foreign or forged ticket blocks until those positions drain (or
-    /// errors on a dead lane), it never corrupts state.
+    /// on a foreign or forged ticket whose targets name shards or batch
+    /// positions the pipeline never issued returns an error (it never
+    /// blocks on an unreachable watermark, and never corrupts state).
     pub fn from_targets(targets: Vec<u64>) -> Ticket {
         Ticket { targets }
     }
@@ -335,7 +341,10 @@ impl<G: DynamicGraph + 'static> IngestPipeline<G> {
                     }
                     match lane.queue.push(pending) {
                         Ok(pos) => {
-                            lane.batches.inc();
+                            // Release so the forged-ticket bound in
+                            // `wait_for` is visible to anyone who can hold
+                            // the ticket this call returns.
+                            lane.batches.add_ordered(1, Ordering::Release);
                             lane.depth.add(1);
                             ticket.targets[shard] = pos as u64 + 1;
                             break;
@@ -358,6 +367,12 @@ impl<G: DynamicGraph + 'static> IngestPipeline<G> {
     /// [`IngestPipeline::flush_all`], this does not quiesce the pipeline or
     /// wait for other producers' later submissions, and it does not issue a
     /// durability flush.
+    ///
+    /// A forged or foreign ticket — targets naming a shard this pipeline
+    /// does not have, or a batch position it never issued — returns an
+    /// error immediately.  Tickets can arrive off an untrusted transport
+    /// ([`Ticket::from_targets`]), so an unreachable target must not spin
+    /// the calling thread forever.
     pub fn wait_for(&self, ticket: &Ticket) -> GraphResult<()> {
         for (shard, &target) in ticket.targets.iter().enumerate() {
             if target == 0 {
@@ -369,6 +384,18 @@ impl<G: DynamicGraph + 'static> IngestPipeline<G> {
                     self.shared.lanes.len()
                 ))
             })?;
+            // `batches` rises (Release) before the submit that pushed a
+            // batch returns its ticket, so any ticket a caller can
+            // legitimately hold satisfies `target <= batches` here.  A
+            // larger target names a batch that was never issued and would
+            // never drain.
+            let issued = lane.batches.get_ordered(Ordering::Acquire);
+            if target > issued {
+                return Err(GraphError::Other(format!(
+                    "ticket target {target} on shard {shard} is beyond the {issued} \
+                     batches ever submitted: forged or foreign ticket"
+                )));
+            }
             let mut spins = 0u32;
             while lane.drained.get_ordered(Ordering::Acquire) < target {
                 if lane.dead.load(Ordering::Acquire) {
@@ -636,6 +663,31 @@ mod tests {
         let graph = p.graph();
         assert_eq!(graph.consistent_view().degree(7), 20);
         assert!(p.watermark() >= 20);
+    }
+
+    #[test]
+    fn forged_ticket_targets_error_instead_of_spinning_forever() {
+        let p = pipeline_over(ShardedConfig::small_test());
+        let t = p.submit(&[Update::InsertEdge(0, 1)]).unwrap();
+        p.wait_for(&t).unwrap();
+        // Targets far past anything ever issued: must error, not block.
+        let forged = Ticket::from_targets(vec![u64::MAX, u64::MAX]);
+        assert!(matches!(p.wait_for(&forged), Err(GraphError::Other(_))));
+        // Even one past the issued watermark is a batch that was never
+        // submitted.
+        let just_past: Vec<u64> = p
+            .stats()
+            .shards
+            .iter()
+            .map(|s| s.batches_submitted + 1)
+            .collect();
+        assert!(p.wait_for(&Ticket::from_targets(just_past)).is_err());
+        // A target on a shard the pipeline does not have errors too.
+        let wide = Ticket::from_targets(vec![0, 0, 0, 1]);
+        assert!(p.wait_for(&wide).is_err());
+        // Legitimate tickets keep working after the rejections.
+        let t = p.submit(&[Update::InsertEdge(0, 2)]).unwrap();
+        p.wait_for(&t).unwrap();
     }
 
     #[test]

@@ -104,21 +104,43 @@ fn main() {
     }
 
     // --- Phase 3: admission control — a 100k-op batch against a 50k-token
-    // bucket is shed with a structured reply, not a dropped connection. ---
+    // bucket is admitted exactly once against the full bucket, with the
+    // excess charged as debt; follow-up work is then shed with a structured
+    // reply (never a dropped connection) until the refill repays the debt. ---
     let oversized: Vec<Update> = (0..100_000u64)
         .map(|k| Update::InsertEdge(k % num_vertices as u64, (k + 1) % num_vertices as u64))
         .collect();
-    match client.mutate(oversized) {
+    let big = client
+        .mutate(oversized)
+        .expect("oversized batch admitted once as debt");
+    match client.mutate(vec![Update::InsertEdge(0, 1)]) {
         Err(GraphError::Overloaded { reason }) => {
-            println!("admission control: oversized batch shed (over {reason} quota)");
+            println!(
+                "admission control: connection in debt, small batch shed (over {reason} quota)"
+            );
         }
         other => println!("unexpected admission result: {other:?}"),
     }
-    // The same connection is still healthy for within-quota work.
-    let t = client
-        .mutate(vec![Update::InsertEdge(0, 1)])
-        .expect("small batch after shed");
-    client.wait(&t).expect("wait");
+    // `Overloaded` promises that backing off and retrying is safe: the
+    // bucket refills at 50k ops/sec, so the 50k-token debt clears in about
+    // a second and the same connection is admitted again.
+    let backoff = Instant::now();
+    let t = loop {
+        match client.mutate(vec![Update::InsertEdge(0, 1)]) {
+            Ok(t) => break t,
+            Err(GraphError::Overloaded { .. }) => {
+                std::thread::sleep(std::time::Duration::from_millis(100))
+            }
+            Err(e) => panic!("retry after shed failed: {e:?}"),
+        }
+    };
+    println!(
+        "admission control: debt repaid, retry admitted after {:.1}s of backoff",
+        backoff.elapsed().as_secs_f64()
+    );
+    let mut after = big;
+    after.merge(&t);
+    client.wait(&after).expect("wait");
 
     // --- Phase 4: the server's own view of all of this. ---
     let metrics = client.metrics().expect("metrics");

@@ -188,8 +188,10 @@ fn pipelined_requests_are_harvested_out_of_order() {
 
 #[test]
 fn over_quota_client_is_shed_while_within_quota_clients_stay_healthy() {
-    // 100 ops/sec per connection, burst 100: a 1000-op batch can never be
-    // admitted, while polite clients pacing ~50 requests/sec never trip it.
+    // 100 ops/sec per connection, burst 100: a 1000-op batch is admitted
+    // once against the full bucket (the excess becomes debt), after which
+    // the connection is shed until the debt refills — while polite clients
+    // pacing ~50 requests/sec on their own connections never trip it.
     let net = NetConfig {
         ops_per_sec: Some(100),
         burst_ops: 100,
@@ -208,24 +210,33 @@ fn over_quota_client_is_shed_while_within_quota_clients_stay_healthy() {
 
     std::thread::scope(|scope| {
         // The abusive tenant: one oversized batch (cost 1000 tokens against
-        // a 100-token bucket) must be shed with a structured Overloaded —
-        // and the connection must survive to serve a within-quota request.
+        // a 100-token bucket) is admitted against the full bucket, charging
+        // 900 tokens of debt — everything after it is shed with a
+        // structured Overloaded until the debt refills, and the connection
+        // must survive the shedding.
         scope.spawn(move || {
             let abuser = RemoteClient::connect(addr).expect("connect abuser");
             let big: Vec<Update> = (0..1000u64)
                 .map(|k| Update::InsertEdge(k % 64, (k + 1) % 64))
                 .collect();
-            let err = abuser.mutate(big).expect_err("must be shed");
+            let _ticket = abuser
+                .mutate(big)
+                .expect("oversized batch admitted once against the full bucket");
+            // Deep in debt now (900 tokens at 100/s): the next request is
+            // shed with the structured, retryable error...
+            let err = abuser
+                .mutate(vec![Update::InsertEdge(0, 63)])
+                .expect_err("must be shed while in debt");
             match &err {
                 GraphError::Overloaded { reason } => assert_eq!(reason, "rate"),
                 other => panic!("expected Overloaded, got {other:?}"),
             }
-            // Shedding is per-request, not per-connection: a small batch on
-            // the same socket is admitted.
-            let t = abuser
-                .mutate(vec![Update::InsertEdge(0, 63)])
-                .expect("small batch within quota");
-            abuser.wait(&t).expect("wait");
+            // ...and shedding is per-request, not per-connection: the same
+            // socket keeps answering.
+            let err = abuser
+                .mutate(vec![Update::InsertEdge(1, 63)])
+                .expect_err("still in debt");
+            assert!(matches!(err, GraphError::Overloaded { .. }), "{err:?}");
             abuser.close();
         });
 
@@ -312,6 +323,90 @@ fn pipelining_past_the_inflight_window_is_shed_not_killed() {
     // The connection survived the shedding.
     assert!(client.degree(0).expect("still serving") >= 1);
     client.close();
+    server.shutdown();
+}
+
+#[test]
+fn forged_wait_tickets_error_instead_of_wedging_the_worker_pool() {
+    let server = GraphServer::start(service_config(), NetConfig::loopback()).expect("start server");
+    let client = RemoteClient::connect(server.local_addr()).expect("connect");
+    let t = client.mutate(vec![Update::InsertEdge(0, 1)]).expect("seed");
+    client.wait(&t).expect("honest wait");
+
+    // Twice as many forged waits as there are service workers (4): if any
+    // of them parked a worker on an unreachable drain target, the pool
+    // would wedge for every tenant and the probe below would hang forever.
+    let forged = sharded::Ticket::from_targets(vec![u64::MAX; 4]);
+    let pending: Vec<_> = (0..8)
+        .map(|_| {
+            client
+                .send(&Request::Wait(forged.clone()))
+                .expect("send forged wait")
+        })
+        .collect();
+    for p in pending {
+        match p.wait().expect("reply arrives, never blocks") {
+            Response::Error(_) => {}
+            other => panic!("forged ticket must be rejected, got {other:?}"),
+        }
+    }
+    // Every worker is still alive and serving.
+    assert_eq!(client.degree(0).expect("pool survived"), 1);
+    client.close();
+    server.shutdown();
+}
+
+#[test]
+fn reusing_an_inflight_request_id_is_a_protocol_error_hangup() {
+    use net::wire::{put_request_frame, Frame, FrameBuffer, MAX_FRAME_LEN};
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    let server = GraphServer::start(service_config(), NetConfig::loopback()).expect("start server");
+    let seeder = RemoteClient::connect(server.local_addr()).expect("connect seeder");
+    let t = seeder
+        .mutate((0..64u64).map(|v| Update::InsertEdge(v, v + 1)).collect())
+        .expect("seed");
+    seeder.wait(&t).expect("wait seed");
+    seeder.close();
+
+    // Hand-rolled client: two requests sharing id 7 in one write.  The
+    // first (a heavy pagerank) is still in flight when the reader decodes
+    // the second, so the reuse must be caught, answered with an unroutable
+    // (id 0) protocol error, and the connection closed.
+    let mut stream = TcpStream::connect(server.local_addr()).expect("raw connect");
+    let mut bytes = Vec::new();
+    put_request_frame(
+        &mut bytes,
+        7,
+        &Request::Query(Query::Pagerank { iterations: 50_000 }),
+    );
+    put_request_frame(&mut bytes, 7, &Request::Query(Query::Stats));
+    stream.write_all(&bytes).expect("write both frames");
+
+    let mut frames = FrameBuffer::new(MAX_FRAME_LEN);
+    let mut scratch = [0u8; 16 * 1024];
+    let mut saw_protocol_error = false;
+    loop {
+        match stream.read(&mut scratch) {
+            Ok(0) | Err(_) => break, // server hung up, as it must
+            Ok(n) => frames.extend(&scratch[..n]),
+        }
+        while let Some(frame) = frames.next_frame().expect("server frames decode") {
+            if let Frame::Response {
+                id: 0,
+                response: Response::Error(GraphError::Protocol(msg)),
+            } = frame
+            {
+                assert!(msg.contains("7"), "unexpected protocol error: {msg}");
+                saw_protocol_error = true;
+            }
+        }
+    }
+    assert!(
+        saw_protocol_error,
+        "duplicate id must be answered with an id-0 protocol error"
+    );
     server.shutdown();
 }
 
