@@ -1,0 +1,148 @@
+//! k-hop neighbourhood: every vertex reachable from a source within a
+//! bounded number of hops — the "who is near this account" shape behind
+//! friend-of-friend recommendations and blast-radius queries.
+//!
+//! Level-synchronous BFS truncated at `depth`.  Small frontiers expand
+//! serially (most k-hop queries are local); once a frontier is large the
+//! neighbour gather runs in parallel frontier chunks and the visited-set
+//! dedup stays serial — the gather touches the edges, the dedup only the
+//! candidates.
+
+use dgap::chunks::ranges;
+use dgap::{CsrView, VertexId};
+use rayon::prelude::*;
+
+/// Frontiers at or above this size gather their neighbours in parallel.
+const PARALLEL_FRONTIER: usize = 1024;
+
+/// All vertices within `depth` hops of `source` (including `source`
+/// itself), ascending.  An out-of-range source has no neighbourhood.
+pub fn khop_neighborhood_csr(view: &impl CsrView, source: VertexId, depth: usize) -> Vec<VertexId> {
+    let n = view.num_vertices();
+    if (source as usize) >= n {
+        return Vec::new();
+    }
+    let mut visited = vec![false; n];
+    visited[source as usize] = true;
+    let mut reached = vec![source];
+    let mut frontier = vec![source];
+    let mut next: Vec<VertexId> = Vec::new();
+    for _ in 0..depth {
+        if frontier.is_empty() {
+            break;
+        }
+        if frontier.len() < PARALLEL_FRONTIER {
+            next.clear();
+            for &v in &frontier {
+                for &u in view.neighbor_slice(v) {
+                    if !visited[u as usize] {
+                        visited[u as usize] = true;
+                        next.push(u);
+                    }
+                }
+            }
+        } else {
+            // Parallel gather over frontier chunks (candidates may repeat
+            // across chunks), serial dedup against the visited set.
+            let visited_ref = &visited;
+            let frontier_ref = &frontier;
+            let candidates: Vec<Vec<VertexId>> = ranges(frontier.len())
+                .par_iter()
+                .map(|&(lo, hi)| {
+                    let mut local = Vec::new();
+                    for &v in &frontier_ref[lo..hi] {
+                        for &u in view.neighbor_slice(v) {
+                            if !visited_ref[u as usize] {
+                                local.push(u);
+                            }
+                        }
+                    }
+                    local
+                })
+                .collect();
+            next.clear();
+            for local in candidates {
+                for u in local {
+                    if !visited[u as usize] {
+                        visited[u as usize] = true;
+                        next.push(u);
+                    }
+                }
+            }
+        }
+        reached.extend_from_slice(&next);
+        std::mem::swap(&mut frontier, &mut next);
+    }
+    reached.sort_unstable();
+    reached
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{path4, two_triangles};
+    use dgap::{FrozenView, GraphView, ReferenceGraph};
+
+    #[test]
+    fn hops_expand_along_the_path() {
+        let frozen = FrozenView::capture(&path4());
+        assert_eq!(khop_neighborhood_csr(&frozen, 0, 0), vec![0]);
+        assert_eq!(khop_neighborhood_csr(&frozen, 0, 1), vec![0, 1]);
+        assert_eq!(khop_neighborhood_csr(&frozen, 0, 2), vec![0, 1, 2]);
+        assert_eq!(khop_neighborhood_csr(&frozen, 0, 3), vec![0, 1, 2, 3]);
+        // Depth past the diameter saturates the component.
+        assert_eq!(khop_neighborhood_csr(&frozen, 0, 1000), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn neighbourhood_stops_at_component_boundaries() {
+        let frozen = FrozenView::capture(&two_triangles());
+        // Vertex 6 is isolated: its k-hop ball is itself at any depth.
+        assert_eq!(khop_neighborhood_csr(&frozen, 6, 5), vec![6]);
+        // The bridged triangles are all within 3 hops of vertex 0.
+        assert_eq!(khop_neighborhood_csr(&frozen, 0, 3), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn out_of_range_sources_have_no_neighbourhood() {
+        let frozen = FrozenView::capture(&path4());
+        assert!(khop_neighborhood_csr(&frozen, 99, 2).is_empty());
+        assert!(khop_neighborhood_csr(&frozen, u64::MAX, 2).is_empty());
+        let empty = FrozenView::capture(&ReferenceGraph::new(0));
+        assert!(khop_neighborhood_csr(&empty, 0, 1).is_empty());
+    }
+
+    #[test]
+    fn matches_a_distance_oracle_on_a_random_graph() {
+        let mut g = ReferenceGraph::new(120);
+        let mut x = 33u64;
+        for _ in 0..240 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = (x >> 33) % 120;
+            let b = (x >> 11) % 120;
+            g.add_edge(a, b);
+            g.add_edge(b, a);
+        }
+        let frozen = FrozenView::capture(&g);
+        // Oracle: plain BFS distances, then filter.
+        let mut dist = vec![usize::MAX; 120];
+        dist[0] = 0;
+        let mut q = std::collections::VecDeque::from([0u64]);
+        while let Some(v) = q.pop_front() {
+            for u in g.neighbors(v) {
+                if dist[u as usize] == usize::MAX {
+                    dist[u as usize] = dist[v as usize] + 1;
+                    q.push_back(u);
+                }
+            }
+        }
+        for depth in [0usize, 1, 2, 4] {
+            let expect: Vec<u64> = (0..120u64).filter(|&v| dist[v as usize] <= depth).collect();
+            assert_eq!(
+                khop_neighborhood_csr(&frozen, 0, depth),
+                expect,
+                "d {depth}"
+            );
+        }
+    }
+}

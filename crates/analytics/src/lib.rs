@@ -28,6 +28,16 @@
 //! `bfs_csr`); `tests/analytics_csr_parity.rs` and the `dgap-bench
 //! analytics` experiment pin parity and the speedup respectively.
 //!
+//! Beyond the paper's four kernels, the CSR plane carries a wider serving
+//! set — [`triangle_count_csr`], [`k_core_csr`], [`top_k_degree`] /
+//! [`top_k_pagerank`], [`khop_neighborhood_csr`] — and an **incremental**
+//! plane ([`incremental`]): [`pagerank_incremental`] / [`cc_incremental`]
+//! seed from the previous epoch's result (the [`RankCache`] trajectory,
+//! the old label vector) and re-relax only the neighbourhood of the
+//! vertices whose adjacency changed, falling back to the full kernels
+//! when the delta is too large or unsafe (see the module docs for the
+//! exact contracts).
+//!
 //! Like GAPBS (and the paper's evaluation, which feeds every system the
 //! same pre-processed inputs), the kernels treat the neighbour lists as the
 //! adjacency of an undirected graph: PageRank pulls contributions over the
@@ -41,12 +51,25 @@
 pub mod bc;
 pub mod bfs;
 pub mod cc;
+pub mod incremental;
+pub mod kcore;
+pub mod khop;
 pub mod pagerank;
+pub mod topk;
+pub mod triangles;
 
 pub use bc::{bc, bc_csr, bc_parallel};
 pub use bfs::{bfs, bfs_csr, bfs_parallel};
 pub use cc::{cc, cc_csr, cc_parallel};
+pub use incremental::{
+    cc_incremental, pagerank_csr_recording, pagerank_incremental, IncrementalRun, RankCache,
+    INCREMENTAL_FALLBACK_FRACTION, INCREMENTAL_PRUNE_TOLERANCE,
+};
+pub use kcore::k_core_csr;
+pub use khop::khop_neighborhood_csr;
 pub use pagerank::{pagerank, pagerank_csr, pagerank_parallel};
+pub use topk::{top_k_degree, top_k_pagerank};
+pub use triangles::triangle_count_csr;
 
 use dgap::{GraphView, VertexId};
 use rayon::prelude::*;

@@ -1,0 +1,118 @@
+//! Top-k selection kernels: the k highest-degree vertices and the k
+//! highest-ranked vertices of a PageRank vector.
+//!
+//! Both select in parallel chunks (each chunk surfaces its local top-k,
+//! the merge picks the global winners), so the common `k ≪ V` case never
+//! materialises or sorts a V-sized candidate list.  Ordering is
+//! deterministic: descending score, ties towards the lowest vertex id —
+//! the same convention as [`crate::highest_degree_vertex`].
+
+use dgap::chunks::ranges;
+use dgap::{CsrView, VertexId};
+use rayon::prelude::*;
+
+/// The `k` highest-degree vertices as `(vertex, degree)`, descending by
+/// degree, ties towards the lowest id.  Returns fewer than `k` entries
+/// only when the graph has fewer vertices.
+pub fn top_k_degree(view: &impl CsrView, k: usize) -> Vec<(VertexId, u64)> {
+    let n = view.num_vertices();
+    if n == 0 || k == 0 {
+        return Vec::new();
+    }
+    let per_chunk: Vec<Vec<(VertexId, u64)>> = ranges(n)
+        .par_iter()
+        .map(|&(lo, hi)| {
+            let mut local: Vec<(VertexId, u64)> = (lo as u64..hi as u64)
+                .map(|v| (v, view.neighbor_slice(v).len() as u64))
+                .collect();
+            local.sort_unstable_by(|a, b| (b.1, a.0).cmp(&(a.1, b.0)));
+            local.truncate(k);
+            local
+        })
+        .collect();
+    let mut all: Vec<(VertexId, u64)> = per_chunk.into_iter().flatten().collect();
+    all.sort_unstable_by(|a, b| (b.1, a.0).cmp(&(a.1, b.0)));
+    all.truncate(k);
+    all
+}
+
+/// The `k` highest entries of a rank vector as `(vertex, rank)`,
+/// descending by rank, ties towards the lowest id.  Pairs with the
+/// maintained PageRank vector (`RankCache::ranks`) so the service answers
+/// top-k queries without recomputing ranks.
+pub fn top_k_pagerank(ranks: &[f64], k: usize) -> Vec<(VertexId, f64)> {
+    if ranks.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    let chunk_ranges = ranges(ranks.len());
+    let per_chunk: Vec<Vec<(VertexId, f64)>> = chunk_ranges
+        .par_iter()
+        .map(|&(lo, hi)| {
+            let mut local: Vec<(VertexId, f64)> =
+                (lo..hi).map(|v| (v as VertexId, ranks[v])).collect();
+            local.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+            local.truncate(k);
+            local
+        })
+        .collect();
+    let mut all: Vec<(VertexId, f64)> = per_chunk.into_iter().flatten().collect();
+    all.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    all.truncate(k);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::two_triangles;
+    use dgap::{FrozenView, ReferenceGraph};
+
+    #[test]
+    fn degrees_rank_the_hubs_first_with_id_tiebreaks() {
+        let g = two_triangles();
+        let frozen = FrozenView::capture(&g);
+        // Degrees: v2 and v3 have 3; v0,1,4,5 have 2; v6 has 0.
+        let top = top_k_degree(&frozen, 3);
+        assert_eq!(top, vec![(2, 3), (3, 3), (0, 2)]);
+        // k beyond V clips to V, still fully ordered.
+        let all = top_k_degree(&frozen, 100);
+        assert_eq!(all.len(), 7);
+        assert_eq!(all[6], (6, 0));
+        assert!(top_k_degree(&frozen, 0).is_empty());
+    }
+
+    #[test]
+    fn pagerank_topk_orders_by_rank_then_id() {
+        let ranks = [0.1, 0.4, 0.4, 0.05, 0.05];
+        assert_eq!(
+            top_k_pagerank(&ranks, 3),
+            vec![(1, 0.4), (2, 0.4), (0, 0.1)]
+        );
+        assert_eq!(top_k_pagerank(&ranks, 99).len(), 5);
+        assert!(top_k_pagerank(&[], 4).is_empty());
+        assert!(top_k_pagerank(&ranks, 0).is_empty());
+    }
+
+    #[test]
+    fn empty_graph_yields_nothing() {
+        let frozen = FrozenView::capture(&ReferenceGraph::new(0));
+        assert!(top_k_degree(&frozen, 5).is_empty());
+    }
+
+    #[test]
+    fn chunked_selection_matches_a_full_sort() {
+        let mut g = ReferenceGraph::new(500);
+        let mut x = 17u64;
+        for _ in 0..2000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            g.add_edge((x >> 33) % 500, (x >> 11) % 500);
+        }
+        let frozen = FrozenView::capture(&g);
+        let mut oracle: Vec<(u64, u64)> = (0..500u64)
+            .map(|v| (v, dgap::GraphView::degree(&g, v) as u64))
+            .collect();
+        oracle.sort_unstable_by(|a, b| (b.1, a.0).cmp(&(a.1, b.0)));
+        oracle.truncate(10);
+        assert_eq!(top_k_degree(&frozen, 10), oracle);
+    }
+}

@@ -1150,6 +1150,258 @@ pub fn analytics(opts: &BenchOptions) -> Table {
     table
 }
 
+/// `incremental`: epoch-delta kernels vs their full recomputations on the
+/// unified CSR, per write-burst size, plus one row per kernel in the
+/// widened analytics set.
+///
+/// Incremental kernels pay off when a perturbation stays local, so the
+/// workload models **graph growth** rather than uniform-random rewiring: a
+/// sparse core (a ring plus a sprinkling of random chords, mirrored, avg
+/// degree ~2) over 80% of the vertex range, then write bursts that attach
+/// previously-isolated tail vertices to a handful of core hubs — the
+/// preferential-attachment shape real dynamic graphs grow by, and the one
+/// the service's steady state serves.  Each new leaf is a dead end, so
+/// rank deviations radiate from the few hubs, not from every inserted
+/// edge; a uniform-random burst of the same size seeds thousands of
+/// deviation sources whose multi-hop spread touches the whole (scaled)
+/// graph and degenerates the exact-trajectory incremental kernel into a
+/// sequential full recompute.  The core is sized from the Orkut edge
+/// budget at `--scale`, not the Orkut degree distribution (at avg degree
+/// 76 even one perturbation floods within two hops).
+///
+/// The graph is mutated through four escalating attachment bursts: a
+/// single edge, 0.1% of E, 1% of E, and 10% of E.  After each burst the
+/// unified CSR is refreshed through the epoch-delta path (untouched shards
+/// carry their spans forward) and both PageRank and connected components
+/// run twice:
+///
+/// * `full`: the plain CSR kernel over the refreshed view.
+/// * `incr`: the incremental kernel seeded from the previous epoch's
+///   result, re-relaxing only the delta's frontier.  `speedup` is full p50
+///   / incr p50.  The 10%E row deliberately shows the profitability
+///   crossover: the sequential frontier replay recomputes enough of the
+///   graph that the pool-parallel full kernel wins, and past
+///   [`analytics::INCREMENTAL_FALLBACK_FRACTION`] of V changed the
+///   incremental path declines outright and the row measures the declared
+///   fallback (full kernel plus a cheap bound check).
+///
+/// The trailing `kernel` rows time the widened kernel set once each on the
+/// final epoch's view: triangle count, 4-core, top-32 by degree, top-32 by
+/// PageRank (served from the maintained rank vector, hence microseconds),
+/// and a depth-2 k-hop ball around the highest-degree vertex.
+pub fn incremental(opts: &BenchOptions) -> Table {
+    use analytics::{
+        cc_incremental, k_core_csr, khop_neighborhood_csr, pagerank_csr_recording,
+        pagerank_incremental, top_k_degree, top_k_pagerank, triangle_count_csr,
+    };
+    use sharded::{ShardedGraph, UnifiedView};
+
+    const TRIALS: usize = 5;
+    /// PageRank iterations (Table 1's GAPBS configuration).
+    const ITERS: usize = analytics::pagerank::DEFAULT_ITERATIONS;
+    /// Same densification as `analytics`: the kernels need enough edges
+    /// that a full recomputation has real work to amortise.
+    const ANALYTICS_SCALE_BOOST: u64 = 8;
+
+    let opts = BenchOptions {
+        scale: (opts.scale / ANALYTICS_SCALE_BOOST).max(1),
+        ..opts.clone()
+    };
+    let opts = &opts;
+    let shards = opts.shard_counts.iter().copied().max().unwrap_or(4).max(2);
+    // Core = ring + chords over the first 80% of the range; the tail is
+    // the pool of not-yet-attached vertices the bursts draw from.  The
+    // vertex count carries the Orkut edge budget so `--scale` means the
+    // same thing it does everywhere else.
+    let n = (ORKUT.scaled_edges(opts.scale) as u64).max(1024);
+    let core = n * 4 / 5;
+    let chords = core / 16;
+    let base_edges = (core + chords) as usize;
+    // Mirrored load plus headroom for the bursts (~11.1% of E, mirrored).
+    let num_records = base_edges * 2 + base_edges / 4;
+    let per_shard_edges = num_records.div_ceil(shards);
+    let bytes = (per_shard_edges * 3 * 1024)
+        .max(n as usize * 1024)
+        .clamp(64 << 20, 1 << 30);
+    let graph = Arc::new(
+        ShardedGraph::create_dgap(shards, n as usize, num_records, |_| {
+            PmemConfig::with_capacity(bytes).persistence_tracking(false)
+        })
+        .expect("create sharded DGAP"),
+    );
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    for v in 0..core {
+        graph.insert_edge(v, (v + 1) % core).expect("insert");
+        graph.insert_edge((v + 1) % core, v).expect("insert");
+    }
+    for _ in 0..chords {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let a = (x >> 33) % core;
+        let b = (x >> 11) % core;
+        graph.insert_edge(a, b).expect("insert");
+        graph.insert_edge(b, a).expect("insert");
+    }
+
+    let timed = |f: &mut dyn FnMut()| -> (f64, f64) {
+        let mut samples_ms: Vec<f64> = (0..TRIALS)
+            .map(|_| {
+                let start = std::time::Instant::now();
+                f();
+                start.elapsed().as_secs_f64() * 1e3
+            })
+            .collect();
+        samples_ms.sort_by(f64::total_cmp);
+        (percentile(&samples_ms, 0.50), percentile(&samples_ms, 0.99))
+    };
+
+    let mut table = Table::new(
+        format!(
+            "Incremental analytics: epoch-delta kernels vs full recomputation \
+             (small-world ring+chords, {} edge records, {shards} shards)",
+            base_edges * 2
+        ),
+        &[
+            "mode", "kernel", "burst", "threads", "shards", "trials", "p50 ms", "p99 ms", "speedup",
+        ],
+    );
+
+    let mut owned = graph.consistent_view_arc();
+    let mut unified = UnifiedView::unify(&owned);
+    let mut cache = pagerank_csr_recording(&unified, ITERS);
+    let mut labels = cc_csr(&unified);
+
+    let bursts: [(&str, usize); 4] = [
+        ("1", 1),
+        ("0.1%E", (base_edges / 1000).max(1)),
+        ("1%E", (base_edges / 100).max(1)),
+        ("10%E", (base_edges / 10).max(1)),
+    ];
+    // Attachment bursts: each inserted edge links the next unattached tail
+    // vertex to one of a few core hubs (deterministically spread around the
+    // ring), one hub per 512 leaves.
+    let mut next_leaf = core;
+    for (label, burst) in bursts {
+        let hub_count = burst.div_ceil(512).max(1) as u64;
+        let mut touched = vec![false; shards];
+        for i in 0..burst {
+            let hub = (i as u64 % hub_count).wrapping_mul(997) % core;
+            let leaf = next_leaf;
+            next_leaf += 1;
+            assert!(leaf < n, "burst headroom: reserved tail exhausted");
+            graph.insert_edge(hub, leaf).expect("insert");
+            graph.insert_edge(leaf, hub).expect("insert");
+            touched[graph.shard_of(hub)] = true;
+            touched[graph.shard_of(leaf)] = true;
+        }
+        // The service's refresh path: untouched shards carry their frozen
+        // spans (and the unified CSR carries their slices) forward.
+        let reuse: Vec<Option<Arc<dgap::FrozenView>>> = (0..shards)
+            .map(|i| (!touched[i]).then(|| owned.shard_view_arc(i)))
+            .collect();
+        let owned2 = Arc::new(graph.owned_view_reusing(reuse));
+        let next = unified.refreshed(&owned2);
+        let delta = next.delta().expect("refreshed views carry a delta");
+
+        let (full_pr_p50, full_pr_p99) = timed(&mut || {
+            std::hint::black_box(pagerank_csr(&next, ITERS).len());
+        });
+        let (incr_pr_p50, incr_pr_p99) = timed(&mut || {
+            match pagerank_incremental(&next, &cache, delta.changed_vertices()) {
+                Some(run) => std::hint::black_box(run.cache.ranks().len()),
+                // Declined: the incremental path's cost IS the fallback.
+                None => std::hint::black_box(pagerank_csr(&next, ITERS).len()),
+            };
+        });
+        let (full_cc_p50, full_cc_p99) = timed(&mut || {
+            std::hint::black_box(cc_csr(&next).len());
+        });
+        let (incr_cc_p50, incr_cc_p99) = timed(&mut || {
+            match cc_incremental(
+                &next,
+                &labels,
+                delta.changed_vertices(),
+                delta.has_deletions(),
+            ) {
+                Some(l) => std::hint::black_box(l.len()),
+                None => std::hint::black_box(cc_csr(&next).len()),
+            };
+        });
+        for (mode, kernel, p50, p99, speedup) in [
+            ("full", "PR", full_pr_p50, full_pr_p99, 1.0),
+            (
+                "incr",
+                "PR",
+                incr_pr_p50,
+                incr_pr_p99,
+                full_pr_p50 / incr_pr_p50.max(1e-9),
+            ),
+            ("full", "CC", full_cc_p50, full_cc_p99, 1.0),
+            (
+                "incr",
+                "CC",
+                incr_cc_p50,
+                incr_cc_p99,
+                full_cc_p50 / incr_cc_p50.max(1e-9),
+            ),
+        ] {
+            table.row(vec![
+                mode.to_string(),
+                kernel.to_string(),
+                label.to_string(),
+                "pool".to_string(),
+                format!("{shards}"),
+                format!("{TRIALS}"),
+                format!("{p50:.3}"),
+                format!("{p99:.3}"),
+                ratio(speedup),
+            ]);
+        }
+
+        // Carry this epoch's results into the next burst, exactly as the
+        // service's analytics cache does.
+        cache = pagerank_incremental(&next, &cache, delta.changed_vertices())
+            .map(|run| run.cache)
+            .unwrap_or_else(|| pagerank_csr_recording(&next, ITERS));
+        labels = cc_csr(&next);
+        unified = next;
+        owned = owned2;
+    }
+
+    // The widened kernel set, once each over the final epoch's view.
+    let source = highest_degree_vertex(&unified);
+    let ranks: Vec<f64> = cache.ranks().to_vec();
+    let kernel_row = |table: &mut Table, kernel: &str, f: &mut dyn FnMut()| {
+        let (p50, p99) = timed(f);
+        table.row(vec![
+            "kernel".to_string(),
+            kernel.to_string(),
+            "-".to_string(),
+            "pool".to_string(),
+            format!("{shards}"),
+            format!("{TRIALS}"),
+            format!("{p50:.3}"),
+            format!("{p99:.3}"),
+            ratio(1.0),
+        ]);
+    };
+    kernel_row(&mut table, "TC", &mut || {
+        std::hint::black_box(triangle_count_csr(&unified));
+    });
+    kernel_row(&mut table, "KCORE4", &mut || {
+        std::hint::black_box(k_core_csr(&unified, 4).len());
+    });
+    kernel_row(&mut table, "TOPK-DEG", &mut || {
+        std::hint::black_box(top_k_degree(&unified, 32).len());
+    });
+    kernel_row(&mut table, "TOPK-PR", &mut || {
+        std::hint::black_box(top_k_pagerank(&ranks, 32).len());
+    });
+    kernel_row(&mut table, "KHOP2", &mut || {
+        std::hint::black_box(khop_neighborhood_csr(&unified, source, 2).len());
+    });
+    table
+}
+
 /// `serve`: sustained mixed mutate/query traffic through the typed
 /// [`service::GraphService`] front-end, per shard count.  Four client
 /// threads stream insert batches (with periodic deletes of earlier edges)
@@ -1569,6 +1821,16 @@ mod tests {
             t.len(),
             opts.thread_counts.len() * 4 * 2 + opts.shard_counts.len() * 4
         );
+    }
+
+    #[test]
+    fn incremental_runner_emits_all_modes() {
+        let opts = BenchOptions {
+            shard_counts: vec![1, 2],
+            ..tiny()
+        };
+        // 4 bursts × (PR, CC) × (full, incr) + 5 widened-kernel rows.
+        assert_eq!(incremental(&opts).len(), 4 * 2 * 2 + 5);
     }
 
     #[test]

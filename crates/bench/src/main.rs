@@ -17,6 +17,8 @@
 //!                 FrozenView capture)
 //!   analytics    (beyond the paper: dyn-dispatch vs zero-dispatch CSR
 //!                 kernels + UnifiedView merge cost)
+//!   incremental  (beyond the paper: epoch-delta PageRank/CC vs full
+//!                 recomputation per write-burst size + widened kernel set)
 //!   motivation   (fig1a + fig1b + fig1c)
 //!   insertion    (fig5 + fig6 + table3)
 //!   analysis     (fig7 + fig8 + table4)
@@ -96,6 +98,7 @@ fn print_usage() {
                       serve-net (remote TCP tenants: wire protocol, tails per connection count)\n\
                       snapshot (sequential vs parallel/incremental FrozenView capture)\n\
                       analytics (dyn-dispatch vs zero-dispatch CSR kernels + UnifiedView merge)\n\
+                      incremental (epoch-delta PageRank/CC vs full recompute per burst size)\n\
          groups:      motivation insertion analysis components all\n\
          options:     --scale N       divide every Table 2 dataset by N (default 8192)\n\
                       --threads LIST  writer-thread counts for table3 (default 1,8,16)\n\
@@ -123,6 +126,7 @@ fn expand(name: &str) -> Vec<&'static str> {
         "serve-net" | "serve_net" => vec!["serve_net"],
         "snapshot" => vec!["snapshot"],
         "analytics" => vec!["analytics"],
+        "incremental" => vec!["incremental"],
         "motivation" => vec!["fig1a", "fig1b", "fig1c"],
         "insertion" => vec!["fig5", "fig6", "table3"],
         "analysis" => vec!["fig7", "fig8", "table4"],
@@ -145,6 +149,7 @@ fn expand(name: &str) -> Vec<&'static str> {
             "serve_net",
             "snapshot",
             "analytics",
+            "incremental",
         ],
         other => {
             eprintln!("unknown experiment: {other}");
@@ -173,6 +178,7 @@ fn run(name: &str, opts: &BenchOptions) -> Table {
         "serve_net" => exp::serve_net(opts),
         "snapshot" => exp::snapshot(opts),
         "analytics" => exp::analytics(opts),
+        "incremental" => exp::incremental(opts),
         _ => unreachable!("expand() filters unknown names"),
     }
 }

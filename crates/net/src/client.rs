@@ -206,6 +206,47 @@ impl RemoteClient {
         }
     }
 
+    /// Number of unordered triangles in the current snapshot.
+    pub fn triangle_count(&self) -> GraphResult<u64> {
+        match self.query(Query::TriangleCount)? {
+            QueryResult::TriangleCount(t) => Ok(t),
+            other => Err(unexpected_result("TriangleCount", &other)),
+        }
+    }
+
+    /// The vertices of the k-core, ascending.
+    pub fn k_core(&self, k: u64) -> GraphResult<Vec<VertexId>> {
+        match self.query(Query::KCore { k })? {
+            QueryResult::KCore(core) => Ok(core),
+            other => Err(unexpected_result("KCore", &other)),
+        }
+    }
+
+    /// The `k` highest-degree vertices, descending.
+    pub fn top_k_degree(&self, k: u64) -> GraphResult<Vec<(VertexId, u64)>> {
+        match self.query(Query::TopKDegree { k })? {
+            QueryResult::TopKDegree(top) => Ok(top),
+            other => Err(unexpected_result("TopKDegree", &other)),
+        }
+    }
+
+    /// The `k` highest-PageRank vertices, descending (served from the
+    /// maintained rank vector on the server).
+    pub fn top_k_pagerank(&self, k: u64) -> GraphResult<Vec<(VertexId, f64)>> {
+        match self.query(Query::TopKPagerank { k })? {
+            QueryResult::TopKPagerank(top) => Ok(top),
+            other => Err(unexpected_result("TopKPagerank", &other)),
+        }
+    }
+
+    /// Every vertex within `depth` hops of `source`, ascending.
+    pub fn khop(&self, source: VertexId, depth: u64) -> GraphResult<Vec<VertexId>> {
+        match self.query(Query::KHop { source, depth })? {
+            QueryResult::KHop(ball) => Ok(ball),
+            other => Err(unexpected_result("KHop", &other)),
+        }
+    }
+
     /// Full metrics snapshot from the server's registry — includes the
     /// `net_*` series describing the connection this client is using.
     pub fn metrics(&self) -> GraphResult<MetricsSnapshot> {

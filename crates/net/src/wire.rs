@@ -342,6 +342,11 @@ const QUERY_METRICS: u8 = 3;
 const QUERY_PAGERANK: u8 = 4;
 const QUERY_BFS: u8 = 5;
 const QUERY_CC: u8 = 6;
+const QUERY_TRIANGLES: u8 = 7;
+const QUERY_KCORE: u8 = 8;
+const QUERY_TOPK_DEGREE: u8 = 9;
+const QUERY_TOPK_PAGERANK: u8 = 10;
+const QUERY_KHOP: u8 = 11;
 
 /// Encode a [`Query`].
 pub fn put_query(out: &mut Vec<u8>, query: &Query) {
@@ -365,6 +370,24 @@ pub fn put_query(out: &mut Vec<u8>, query: &Query) {
             put_varint(out, source);
         }
         Query::ConnectedComponents => out.push(QUERY_CC),
+        Query::TriangleCount => out.push(QUERY_TRIANGLES),
+        Query::KCore { k } => {
+            out.push(QUERY_KCORE);
+            put_varint(out, k);
+        }
+        Query::TopKDegree { k } => {
+            out.push(QUERY_TOPK_DEGREE);
+            put_varint(out, k);
+        }
+        Query::TopKPagerank { k } => {
+            out.push(QUERY_TOPK_PAGERANK);
+            put_varint(out, k);
+        }
+        Query::KHop { source, depth } => {
+            out.push(QUERY_KHOP);
+            put_varint(out, source);
+            put_varint(out, depth);
+        }
     }
 }
 
@@ -382,6 +405,20 @@ pub fn get_query(dec: &mut Dec<'_>) -> WireResult<Query> {
             source: dec.varint("bfs source")?,
         }),
         QUERY_CC => Ok(Query::ConnectedComponents),
+        QUERY_TRIANGLES => Ok(Query::TriangleCount),
+        QUERY_KCORE => Ok(Query::KCore {
+            k: dec.varint("kcore k")?,
+        }),
+        QUERY_TOPK_DEGREE => Ok(Query::TopKDegree {
+            k: dec.varint("topk degree k")?,
+        }),
+        QUERY_TOPK_PAGERANK => Ok(Query::TopKPagerank {
+            k: dec.varint("topk pagerank k")?,
+        }),
+        QUERY_KHOP => Ok(Query::KHop {
+            source: dec.varint("khop source")?,
+            depth: dec.varint("khop depth")?,
+        }),
         tag => Err(WireError::BadTag {
             what: "Query",
             tag: tag.into(),
@@ -695,6 +732,11 @@ const RESULT_METRICS: u8 = 3;
 const RESULT_PAGERANK: u8 = 4;
 const RESULT_BFS: u8 = 5;
 const RESULT_CC: u8 = 6;
+const RESULT_TRIANGLES: u8 = 7;
+const RESULT_KCORE: u8 = 8;
+const RESULT_TOPK_DEGREE: u8 = 9;
+const RESULT_TOPK_PAGERANK: u8 = 10;
+const RESULT_KHOP: u8 = 11;
 
 /// Encode a [`QueryResult`] body.
 pub fn put_query_result(out: &mut Vec<u8>, result: &QueryResult) {
@@ -739,6 +781,40 @@ pub fn put_query_result(out: &mut Vec<u8>, result: &QueryResult) {
                 put_varint(out, l);
             }
         }
+        QueryResult::TriangleCount(t) => {
+            out.push(RESULT_TRIANGLES);
+            put_varint(out, *t);
+        }
+        QueryResult::KCore(core) => {
+            out.push(RESULT_KCORE);
+            put_varint(out, core.len() as u64);
+            for &v in core {
+                put_varint(out, v);
+            }
+        }
+        QueryResult::TopKDegree(top) => {
+            out.push(RESULT_TOPK_DEGREE);
+            put_varint(out, top.len() as u64);
+            for &(v, d) in top {
+                put_varint(out, v);
+                put_varint(out, d);
+            }
+        }
+        QueryResult::TopKPagerank(top) => {
+            out.push(RESULT_TOPK_PAGERANK);
+            put_varint(out, top.len() as u64);
+            for &(v, r) in top {
+                put_varint(out, v);
+                put_f64(out, r);
+            }
+        }
+        QueryResult::KHop(ball) => {
+            out.push(RESULT_KHOP);
+            put_varint(out, ball.len() as u64);
+            for &v in ball {
+                put_varint(out, v);
+            }
+        }
     }
 }
 
@@ -773,6 +849,29 @@ pub fn get_query_result(dec: &mut Dec<'_>) -> WireResult<QueryResult> {
         RESULT_CC => Ok(QueryResult::ConnectedComponents(
             dec.vec_varint("component labels")?,
         )),
+        RESULT_TRIANGLES => Ok(QueryResult::TriangleCount(dec.varint("triangle count")?)),
+        RESULT_KCORE => Ok(QueryResult::KCore(dec.vec_varint("kcore members")?)),
+        RESULT_TOPK_DEGREE => {
+            let n = dec.varint("topk degree entries")?;
+            // Each entry is at least two varint bytes.
+            let n = dec.count(n, 2, "topk degree entries")?;
+            let mut top = Vec::with_capacity(n);
+            for _ in 0..n {
+                top.push((dec.varint("topk vertex")?, dec.varint("topk degree")?));
+            }
+            Ok(QueryResult::TopKDegree(top))
+        }
+        RESULT_TOPK_PAGERANK => {
+            let n = dec.varint("topk pagerank entries")?;
+            // Each entry is at least one varint byte plus an 8-byte rank.
+            let n = dec.count(n, 9, "topk pagerank entries")?;
+            let mut top = Vec::with_capacity(n);
+            for _ in 0..n {
+                top.push((dec.varint("topk vertex")?, dec.f64("topk rank")?));
+            }
+            Ok(QueryResult::TopKPagerank(top))
+        }
+        RESULT_KHOP => Ok(QueryResult::KHop(dec.vec_varint("khop members")?)),
         tag => Err(WireError::BadTag {
             what: "QueryResult",
             tag: tag.into(),
@@ -1131,6 +1230,19 @@ mod tests {
             Query::Pagerank { iterations: 20 },
             Query::Bfs { source: 7 },
             Query::ConnectedComponents,
+            Query::TriangleCount,
+            Query::KCore { k: 3 },
+            Query::KCore { k: u64::MAX },
+            Query::TopKDegree { k: 10 },
+            Query::TopKPagerank { k: u64::MAX },
+            Query::KHop {
+                source: u64::MAX,
+                depth: 2,
+            },
+            Query::KHop {
+                source: 0,
+                depth: u64::MAX,
+            },
         ] {
             roundtrip_request(5, &Request::Query(query));
         }
@@ -1157,6 +1269,16 @@ mod tests {
             QueryResult::Pagerank(vec![0.25, -1.5, f64::MAX, 0.0]),
             QueryResult::Bfs(vec![-1, 0, 7, i64::MAX, i64::MIN]),
             QueryResult::ConnectedComponents(vec![0, 0, 3]),
+            QueryResult::TriangleCount(u64::MAX),
+            QueryResult::TriangleCount(0),
+            QueryResult::KCore(vec![0, 5, u64::MAX]),
+            QueryResult::KCore(Vec::new()),
+            QueryResult::TopKDegree(vec![(7, u64::MAX), (u64::MAX, 0)]),
+            QueryResult::TopKDegree(Vec::new()),
+            QueryResult::TopKPagerank(vec![(3, 0.25), (u64::MAX, f64::MAX), (0, -0.0)]),
+            QueryResult::TopKPagerank(Vec::new()),
+            QueryResult::KHop(vec![1, 2, 3, u64::MAX]),
+            QueryResult::KHop(Vec::new()),
         ] {
             roundtrip_response(4, &Response::Answer(result));
         }
@@ -1249,6 +1371,37 @@ mod tests {
             }),
         );
         samples.push(frame[FRAME_HEADER_LEN..].to_vec());
+        let mut frame = Vec::new();
+        put_request_frame(
+            &mut frame,
+            80,
+            &Request::Query(Query::KHop {
+                source: 300,
+                depth: 2,
+            }),
+        );
+        samples.push(frame[FRAME_HEADER_LEN..].to_vec());
+        let mut frame = Vec::new();
+        put_response_frame(
+            &mut frame,
+            81,
+            &Response::Answer(QueryResult::TopKPagerank(vec![(1, 0.5), (300, 0.25)])),
+        );
+        samples.push(frame[FRAME_HEADER_LEN..].to_vec());
+        let mut frame = Vec::new();
+        put_response_frame(
+            &mut frame,
+            82,
+            &Response::Answer(QueryResult::TopKDegree(vec![(1, 9), (300, 8)])),
+        );
+        samples.push(frame[FRAME_HEADER_LEN..].to_vec());
+        let mut frame = Vec::new();
+        put_response_frame(
+            &mut frame,
+            83,
+            &Response::Answer(QueryResult::KCore(vec![0, 1, 300])),
+        );
+        samples.push(frame[FRAME_HEADER_LEN..].to_vec());
 
         for payload in samples {
             decode_payload(&payload).expect("full payload decodes");
@@ -1311,6 +1464,30 @@ mod tests {
 
         // Metrics claiming 2^60 counters.
         let mut body = vec![3u8]; // RESULT_METRICS
+        put_varint(&mut body, huge);
+        let err = get_query_result(&mut Dec::new(&body)).unwrap_err();
+        assert!(matches!(err, WireError::BadCount { .. }), "{err:?}");
+
+        // K-core claiming 2^60 members.
+        let mut body = vec![8u8]; // RESULT_KCORE
+        put_varint(&mut body, huge);
+        let err = get_query_result(&mut Dec::new(&body)).unwrap_err();
+        assert!(matches!(err, WireError::BadCount { .. }), "{err:?}");
+
+        // Top-k degree claiming 2^60 pairs (2 bytes each minimum).
+        let mut body = vec![9u8]; // RESULT_TOPK_DEGREE
+        put_varint(&mut body, huge);
+        let err = get_query_result(&mut Dec::new(&body)).unwrap_err();
+        assert!(matches!(err, WireError::BadCount { .. }), "{err:?}");
+
+        // Top-k pagerank claiming 2^60 pairs (9 bytes each minimum).
+        let mut body = vec![10u8]; // RESULT_TOPK_PAGERANK
+        put_varint(&mut body, huge);
+        let err = get_query_result(&mut Dec::new(&body)).unwrap_err();
+        assert!(matches!(err, WireError::BadCount { .. }), "{err:?}");
+
+        // K-hop claiming 2^60 members.
+        let mut body = vec![11u8]; // RESULT_KHOP
         put_varint(&mut body, huge);
         let err = get_query_result(&mut Dec::new(&body)).unwrap_err();
         assert!(matches!(err, WireError::BadCount { .. }), "{err:?}");

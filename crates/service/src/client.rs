@@ -103,6 +103,48 @@ impl GraphClient {
         }
     }
 
+    /// Convenience: number of unordered triangles in the graph.
+    pub fn triangle_count(&self) -> GraphResult<u64> {
+        match self.query(Query::TriangleCount)? {
+            QueryResult::TriangleCount(t) => Ok(t),
+            other => Err(unexpected_result("TriangleCount", &other)),
+        }
+    }
+
+    /// Convenience: the vertices of the k-core, ascending.
+    pub fn k_core(&self, k: u64) -> GraphResult<Vec<VertexId>> {
+        match self.query(Query::KCore { k })? {
+            QueryResult::KCore(core) => Ok(core),
+            other => Err(unexpected_result("KCore", &other)),
+        }
+    }
+
+    /// Convenience: the `k` highest-degree vertices, descending.
+    pub fn top_k_degree(&self, k: u64) -> GraphResult<Vec<(VertexId, u64)>> {
+        match self.query(Query::TopKDegree { k })? {
+            QueryResult::TopKDegree(top) => Ok(top),
+            other => Err(unexpected_result("TopKDegree", &other)),
+        }
+    }
+
+    /// Convenience: the `k` highest-PageRank vertices, descending
+    /// (answered from the service's maintained rank vector).
+    pub fn top_k_pagerank(&self, k: u64) -> GraphResult<Vec<(VertexId, f64)>> {
+        match self.query(Query::TopKPagerank { k })? {
+            QueryResult::TopKPagerank(top) => Ok(top),
+            other => Err(unexpected_result("TopKPagerank", &other)),
+        }
+    }
+
+    /// Convenience: every vertex within `depth` hops of `source`
+    /// (including the source), ascending.
+    pub fn khop(&self, source: VertexId, depth: u64) -> GraphResult<Vec<VertexId>> {
+        match self.query(Query::KHop { source, depth })? {
+            QueryResult::KHop(ball) => Ok(ball),
+            other => Err(unexpected_result("KHop", &other)),
+        }
+    }
+
     /// Convenience: the full telemetry snapshot — every counter, gauge and
     /// latency histogram of the service, its pipeline, the process-global
     /// registry and the work-stealing pool.  Unlike the other queries this

@@ -65,6 +65,35 @@ pub enum Query {
     },
     /// Connected-component labels per vertex.
     ConnectedComponents,
+    /// Number of unordered triangles in the graph.
+    TriangleCount,
+    /// The vertices of the k-core (every member has degree ≥ k within the
+    /// core), ascending.
+    KCore {
+        /// Minimum within-core degree.
+        k: u64,
+    },
+    /// The `k` highest-degree vertices, descending by degree (ties towards
+    /// the lowest id).
+    TopKDegree {
+        /// How many entries to return.
+        k: u64,
+    },
+    /// The `k` highest-PageRank vertices (default iteration count,
+    /// answered from the maintained rank vector), descending by rank (ties
+    /// towards the lowest id).
+    TopKPagerank {
+        /// How many entries to return.
+        k: u64,
+    },
+    /// Every vertex within `depth` hops of `source` (including the source
+    /// itself), ascending.
+    KHop {
+        /// Centre of the neighbourhood.
+        source: VertexId,
+        /// Maximum hop distance.
+        depth: u64,
+    },
 }
 
 /// The service's answer to one [`Request`].
@@ -106,6 +135,18 @@ pub enum QueryResult {
     Bfs(Vec<i64>),
     /// Answer to [`Query::ConnectedComponents`]: one label per vertex.
     ConnectedComponents(Vec<u64>),
+    /// Answer to [`Query::TriangleCount`].
+    TriangleCount(u64),
+    /// Answer to [`Query::KCore`]: the core's members, ascending.
+    KCore(Vec<VertexId>),
+    /// Answer to [`Query::TopKDegree`]: `(vertex, degree)` pairs,
+    /// descending by degree.
+    TopKDegree(Vec<(VertexId, u64)>),
+    /// Answer to [`Query::TopKPagerank`]: `(vertex, rank)` pairs,
+    /// descending by rank.
+    TopKPagerank(Vec<(VertexId, f64)>),
+    /// Answer to [`Query::KHop`]: the neighbourhood's members, ascending.
+    KHop(Vec<VertexId>),
 }
 
 /// Service-wide counters returned by [`Query::Stats`].

@@ -148,6 +148,11 @@ struct QueryLatency {
     bfs: Arc<Histogram>,
     components: Arc<Histogram>,
     metrics: Arc<Histogram>,
+    triangles: Arc<Histogram>,
+    kcore: Arc<Histogram>,
+    topk_degree: Arc<Histogram>,
+    topk_pagerank: Arc<Histogram>,
+    khop: Arc<Histogram>,
 }
 
 impl QueryLatency {
@@ -163,6 +168,11 @@ impl QueryLatency {
             bfs: h("bfs"),
             components: h("components"),
             metrics: h("metrics"),
+            triangles: h("triangles"),
+            kcore: h("kcore"),
+            topk_degree: h("topk_degree"),
+            topk_pagerank: h("topk_pagerank"),
+            khop: h("khop"),
         }
     }
 
@@ -175,14 +185,61 @@ impl QueryLatency {
             Query::Bfs { .. } => &self.bfs,
             Query::ConnectedComponents => &self.components,
             Query::Metrics => &self.metrics,
+            Query::TriangleCount => &self.triangles,
+            Query::KCore { .. } => &self.kcore,
+            Query::TopKDegree { .. } => &self.topk_degree,
+            Query::TopKPagerank { .. } => &self.topk_pagerank,
+            Query::KHop { .. } => &self.khop,
         }
     }
 }
+
+/// The previous analytics answers, keyed by the **identity** of the
+/// unified CSR they were computed over ([`UnifiedView::view_id`] — view
+/// ids are never recycled, so a stale entry can never be mistaken for the
+/// current epoch's).  Storing the id rather than the `Arc<UnifiedView>`
+/// means the cache never pins an old epoch's CSR in memory.
+///
+/// When the current unified view says it was `refreshed_from` the cached
+/// entry's view and carries a [`sharded::DeltaTracker`], the incremental
+/// kernels seed from the cached result and re-relax only the delta's
+/// neighbourhood; otherwise the full kernel runs (counted as a fallback if
+/// a cache entry existed to seed from).
+#[derive(Default)]
+struct AnalyticsCache {
+    pagerank: Option<PrEntry>,
+    components: Option<CcEntry>,
+}
+
+/// A cached PageRank trajectory (see [`analytics::RankCache`]).
+#[derive(Clone)]
+struct PrEntry {
+    view_id: u64,
+    iterations: usize,
+    cache: Arc<analytics::RankCache>,
+}
+
+/// Cached connected-component labels.
+#[derive(Clone)]
+struct CcEntry {
+    view_id: u64,
+    labels: Arc<Vec<u64>>,
+}
+
+/// Don't retain a PageRank trajectory above this many `f64` entries
+/// (`(iterations + 1) × V`) — the per-iteration history is what makes the
+/// incremental replay exact, but it is an O(iterations × V) memory cost
+/// the service only accepts while it stays modest (≤ 512 MiB here).
+const RANK_CACHE_MAX_ENTRIES: usize = 1 << 26;
 
 pub(crate) struct Inner {
     graph: Arc<ShardedGraph<Dgap>>,
     pipeline: IngestPipeline<Dgap>,
     cache: Mutex<Option<CachedView>>,
+    /// Previous-epoch analytics results the incremental kernels seed from.
+    /// A separate lock from the epoch cache: analytics recomputes run for
+    /// milliseconds and must not stall point reads.
+    analytics: Mutex<AnalyticsCache>,
     /// The instance registry — shared with the pipeline, so one snapshot
     /// pass covers both layers.
     registry: Arc<Registry>,
@@ -195,6 +252,16 @@ pub(crate) struct Inner {
     unified_shard_merges: Arc<Counter>,
     unify_nanos: Arc<Histogram>,
     served: Arc<Counter>,
+    /// Analytics answered incrementally (or straight from the cache) —
+    /// the epoch delta was small enough to re-relax instead of recompute.
+    incremental_hits: Arc<Counter>,
+    /// Analytics that had a previous result to seed from but recomputed in
+    /// full anyway (delta too large, deletions for CC, epoch lineage
+    /// broken).  A cold first compute counts as neither hit nor fallback.
+    incremental_fallbacks: Arc<Counter>,
+    /// Frontier sizes the incremental kernels actually relaxed (PageRank:
+    /// peak per-iteration frontier; CC: changed-vertex count).
+    incremental_frontier: Arc<Histogram>,
     query_latency: QueryLatency,
     shutdown: AtomicBool,
 }
@@ -313,6 +380,131 @@ impl Inner {
         })
     }
 
+    /// The epoch's PageRank vector, served incrementally when possible.
+    ///
+    /// Resolution order: (1) the cached trajectory was computed over this
+    /// very unified view → answer straight from it; (2) this view was
+    /// refreshed **from** the cached entry's view and carries a delta →
+    /// [`analytics::pagerank_incremental`] re-relaxes only the delta's
+    /// neighbourhood (both count as hits); (3) anything else → full
+    /// recompute, counted as a fallback iff a same-schedule entry existed.
+    /// The new trajectory replaces the cache entry either way (subject to
+    /// the [`RANK_CACHE_MAX_ENTRIES`] retention cap), so the next epoch
+    /// seeds from this one.
+    fn pagerank_ranks(&self, iterations: usize) -> Vec<f64> {
+        let unified = self.current_unified();
+        let prev = {
+            let cache = self.analytics.lock().unwrap_or_else(|p| p.into_inner());
+            cache.pagerank.clone()
+        };
+        let seeded = matches!(prev.as_ref(), Some(e) if e.iterations == iterations);
+        if let Some(entry) = prev {
+            if entry.iterations == iterations {
+                if entry.view_id == unified.view_id() {
+                    self.incremental_hits.inc();
+                    return entry.cache.ranks().to_vec();
+                }
+                if unified.refreshed_from() == Some(entry.view_id) {
+                    if let Some(delta) = unified.delta() {
+                        if let Some(run) = analytics::pagerank_incremental(
+                            &*unified,
+                            &entry.cache,
+                            delta.changed_vertices(),
+                        ) {
+                            self.incremental_hits.inc();
+                            self.incremental_frontier.record(run.frontier_peak as u64);
+                            let ranks = run.cache.ranks().to_vec();
+                            self.store_pagerank(unified.view_id(), iterations, run.cache);
+                            return ranks;
+                        }
+                    }
+                }
+            }
+        }
+        if seeded {
+            self.incremental_fallbacks.inc();
+        }
+        // Record the trajectory only when it is small enough to retain —
+        // otherwise run the plain kernel and skip the history cost.
+        let n = unified.num_vertices();
+        if (iterations + 1).saturating_mul(n) <= RANK_CACHE_MAX_ENTRIES {
+            let cache = analytics::pagerank_csr_recording(&*unified, iterations);
+            let ranks = cache.ranks().to_vec();
+            self.store_pagerank(unified.view_id(), iterations, cache);
+            ranks
+        } else {
+            analytics::pagerank_csr(&*unified, iterations)
+        }
+    }
+
+    fn store_pagerank(&self, view_id: u64, iterations: usize, cache: analytics::RankCache) {
+        let entry = PrEntry {
+            view_id,
+            iterations,
+            cache: Arc::new(cache),
+        };
+        let mut guard = self.analytics.lock().unwrap_or_else(|p| p.into_inner());
+        // Never replace a newer epoch's entry with ours (view ids grow
+        // monotonically, so a racing compute over a fresher view wins).
+        if guard.pagerank.as_ref().is_none_or(|e| e.view_id <= view_id) {
+            guard.pagerank = Some(entry);
+        }
+    }
+
+    /// The epoch's connected-component labels, served incrementally when
+    /// the delta since the cached epoch is insert-only (inserts can only
+    /// merge components — [`analytics::cc_incremental`] is then *exact*).
+    fn component_labels(&self) -> Vec<u64> {
+        let unified = self.current_unified();
+        let prev = {
+            let cache = self.analytics.lock().unwrap_or_else(|p| p.into_inner());
+            cache.components.clone()
+        };
+        let seeded = prev.is_some();
+        if let Some(entry) = prev {
+            if entry.view_id == unified.view_id() {
+                self.incremental_hits.inc();
+                return (*entry.labels).clone();
+            }
+            if unified.refreshed_from() == Some(entry.view_id) {
+                if let Some(delta) = unified.delta() {
+                    if let Some(labels) = analytics::cc_incremental(
+                        &*unified,
+                        &entry.labels,
+                        delta.changed_vertices(),
+                        delta.has_deletions(),
+                    ) {
+                        self.incremental_hits.inc();
+                        self.incremental_frontier.record(delta.len() as u64);
+                        self.store_components(unified.view_id(), labels.clone());
+                        return labels;
+                    }
+                }
+            }
+        }
+        if seeded {
+            self.incremental_fallbacks.inc();
+        }
+        let labels = analytics::cc_csr(&*unified);
+        self.store_components(unified.view_id(), labels.clone());
+        labels
+    }
+
+    fn store_components(&self, view_id: u64, labels: Vec<u64>) {
+        let entry = CcEntry {
+            view_id,
+            labels: Arc::new(labels),
+        };
+        let mut guard = self.analytics.lock().unwrap_or_else(|p| p.into_inner());
+        if guard
+            .components
+            .as_ref()
+            .is_none_or(|e| e.view_id <= view_id)
+        {
+            guard.components = Some(entry);
+        }
+    }
+
     /// Like every query, `Stats` answers from the epoch cache: the snapshot
     /// sizes and the watermark describe the *same* capture, and the capture
     /// is only (re)paid when the watermark has moved.
@@ -375,16 +567,34 @@ impl Inner {
             Query::Neighbors(v) => {
                 QueryResult::Neighbors(self.current_view().neighbor_slice(v).to_vec())
             }
-            Query::Pagerank { iterations } => QueryResult::Pagerank(analytics::pagerank_csr(
-                &*self.current_unified(),
-                iterations,
-            )),
+            Query::Pagerank { iterations } => {
+                QueryResult::Pagerank(self.pagerank_ranks(iterations))
+            }
             Query::Bfs { source } => {
                 QueryResult::Bfs(analytics::bfs_csr(&*self.current_unified(), source))
             }
-            Query::ConnectedComponents => {
-                QueryResult::ConnectedComponents(analytics::cc_csr(&*self.current_unified()))
+            Query::ConnectedComponents => QueryResult::ConnectedComponents(self.component_labels()),
+            Query::TriangleCount => {
+                QueryResult::TriangleCount(analytics::triangle_count_csr(&*self.current_unified()))
             }
+            Query::KCore { k } => {
+                QueryResult::KCore(analytics::k_core_csr(&*self.current_unified(), k))
+            }
+            Query::TopKDegree { k } => QueryResult::TopKDegree(analytics::top_k_degree(
+                &*self.current_unified(),
+                k as usize,
+            )),
+            // Answered from the maintained rank vector (default schedule),
+            // so a hot cache makes this a selection, not a recompute.
+            Query::TopKPagerank { k } => QueryResult::TopKPagerank(analytics::top_k_pagerank(
+                &self.pagerank_ranks(analytics::pagerank::DEFAULT_ITERATIONS),
+                k as usize,
+            )),
+            Query::KHop { source, depth } => QueryResult::KHop(analytics::khop_neighborhood_csr(
+                &*self.current_unified(),
+                source,
+                depth as usize,
+            )),
         }
     }
 
@@ -483,6 +693,7 @@ impl GraphService {
             graph,
             pipeline,
             cache: Mutex::new(None),
+            analytics: Mutex::new(AnalyticsCache::default()),
             epoch_hits: registry.counter("service_epoch_cache_hits"),
             epoch_misses: registry.counter("service_epoch_cache_misses"),
             shard_captures: registry.counter("service_shard_captures"),
@@ -490,6 +701,9 @@ impl GraphService {
             unified_shard_merges: registry.counter("service_unified_shard_merges"),
             unify_nanos: registry.histogram("service_unify_nanos"),
             served: registry.counter("service_requests_served"),
+            incremental_hits: registry.counter("analytics_incremental_hits"),
+            incremental_fallbacks: registry.counter("analytics_incremental_fallbacks"),
+            incremental_frontier: registry.histogram("service_incremental_frontier_size"),
             query_latency: QueryLatency::new(&registry),
             registry,
             shutdown: AtomicBool::new(false),
@@ -931,5 +1145,103 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn widened_kernel_set_answers_over_the_service() {
+        let service = GraphService::start(ServiceConfig::small_test()).unwrap();
+        let client = service.client();
+        // A triangle (0-1-2) with a pendant vertex 3 off vertex 0.
+        let mut ops = Vec::new();
+        for &(a, b) in &[(0u64, 1u64), (1, 2), (0, 2), (0, 3)] {
+            ops.push(Update::InsertEdge(a, b));
+            ops.push(Update::InsertEdge(b, a));
+        }
+        let t = client.mutate(ops).unwrap();
+        client.wait(&t).unwrap();
+
+        assert_eq!(client.triangle_count().unwrap(), 1);
+        assert_eq!(client.k_core(2).unwrap(), vec![0, 1, 2]);
+        let top = client.top_k_degree(1).unwrap();
+        assert_eq!(top, vec![(0, 3)], "vertex 0 has degree 3");
+        let top_pr = client.top_k_pagerank(2).unwrap();
+        assert_eq!(top_pr[0].0, 0, "the hub out-ranks the others");
+        assert_eq!(top_pr.len(), 2);
+        assert_eq!(client.khop(3, 1).unwrap(), vec![0, 3]);
+        assert_eq!(client.khop(3, 2).unwrap(), vec![0, 1, 2, 3]);
+        service.shutdown();
+    }
+
+    #[test]
+    fn repeated_analytics_in_one_epoch_hit_the_maintained_results() {
+        let service = GraphService::start(ServiceConfig::small_test()).unwrap();
+        let client = service.client();
+        let t = client
+            .mutate(vec![Update::InsertEdge(0, 1), Update::InsertEdge(1, 0)])
+            .unwrap();
+        client.wait(&t).unwrap();
+        // Cold first computes: neither hit nor fallback.
+        let _ = client.query(Query::Pagerank { iterations: 20 }).unwrap();
+        let _ = client.query(Query::ConnectedComponents).unwrap();
+        let snap = service.metrics();
+        assert_eq!(snap.counter("analytics_incremental_hits"), Some(0));
+        assert_eq!(snap.counter("analytics_incremental_fallbacks"), Some(0));
+        // Re-asking in the same epoch answers from the maintained results.
+        let _ = client.query(Query::Pagerank { iterations: 20 }).unwrap();
+        let _ = client.top_k_pagerank(1).unwrap();
+        let _ = client.query(Query::ConnectedComponents).unwrap();
+        let snap = service.metrics();
+        assert_eq!(snap.counter("analytics_incremental_hits"), Some(3));
+        assert_eq!(snap.counter("analytics_incremental_fallbacks"), Some(0));
+        service.shutdown();
+    }
+
+    #[test]
+    fn a_small_burst_advances_the_incremental_counters() {
+        let service = GraphService::start(ServiceConfig::small_test()).unwrap();
+        let client = service.client();
+        // A connected base graph, large enough that a 2-vertex burst stays
+        // far under the incremental fallback fraction.
+        let mut ops = Vec::new();
+        for v in 0..63u64 {
+            ops.push(Update::InsertEdge(v, v + 1));
+            ops.push(Update::InsertEdge(v + 1, v));
+        }
+        let t = client.mutate(ops).unwrap();
+        client.wait(&t).unwrap();
+        let full_pr = match client.query(Query::Pagerank { iterations: 20 }).unwrap() {
+            QueryResult::Pagerank(r) => r,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(full_pr.len() >= 64, "rank vector spans the vertex range");
+        let _ = client.query(Query::ConnectedComponents).unwrap();
+
+        // One symmetric insert: the next epoch's analytics go incremental.
+        let t = client
+            .mutate(vec![Update::InsertEdge(10, 40), Update::InsertEdge(40, 10)])
+            .unwrap();
+        client.wait(&t).unwrap();
+        let incr_pr = match client.query(Query::Pagerank { iterations: 20 }).unwrap() {
+            QueryResult::Pagerank(r) => r,
+            other => panic!("unexpected {other:?}"),
+        };
+        let labels = match client.query(Query::ConnectedComponents).unwrap() {
+            QueryResult::ConnectedComponents(l) => l,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(labels[..64].iter().all(|&l| l == 0), "still one component");
+        let snap = service.metrics();
+        assert_eq!(snap.counter("analytics_incremental_hits"), Some(2));
+        assert_eq!(snap.counter("analytics_incremental_fallbacks"), Some(0));
+        let frontier = snap
+            .histogram("service_incremental_frontier_size")
+            .expect("frontier histogram registered");
+        assert!(frontier.count >= 2, "both kernels recorded a frontier");
+        // And the incremental answer matches a fresh full recompute.
+        let fresh = analytics::pagerank_csr(&*service.current_unified(), 20);
+        for (a, b) in incr_pr.iter().zip(&fresh) {
+            assert!((a - b).abs() <= 1e-9);
+        }
+        service.shutdown();
     }
 }

@@ -80,7 +80,7 @@ pub use graph::{ShardedDgap, ShardedGraph, ShardedRecovery};
 pub use partition::Partitioner;
 pub use pipeline::{IngestPipeline, Ticket};
 pub use stats::{PipelineStats, ShardIngestStats};
-pub use unified::UnifiedView;
+pub use unified::{DeltaTracker, UnifiedView};
 pub use view::{OwnedShardedView, ShardedView};
 
 /// A directed edge `(source, destination)`, the unit the ingest pipeline

@@ -28,12 +28,101 @@
 //! get their spans re-gathered.  [`UnifiedView::merged_shards`] reports how
 //! many shards the build paid for — the service layer surfaces it as
 //! `ServiceStats::unified_shard_merges`.
+//!
+//! Refreshes also produce a [`DeltaTracker`]: while the merge walks the
+//! re-captured shards anyway, it compares every vertex's previous span
+//! against its new one and records exactly which vertices' adjacency
+//! actually changed between the two epochs (and whether any edge was
+//! lost, which the incremental connected-components kernel cannot absorb).
+//! Changed-shard granularity refined to changed-vertex granularity is what
+//! lets `analytics::pagerank_incremental` / `analytics::cc_incremental`
+//! re-relax O(delta) instead of O(V + E).  A re-captured shard whose CSR
+//! is byte-identical to the one the previous epoch merged (e.g. a flush
+//! with no net updates, or a burst that inserted and deleted the same
+//! edge) is treated as unchanged outright, so a no-op epoch yields an
+//! empty delta and zero re-relaxation.
 
 use crate::view::OwnedShardedView;
 use dgap::chunks::{ranges as chunk_ranges, SendPtr};
 use dgap::{CsrView, FrozenView, GraphView, VertexId};
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Monotone id source for [`UnifiedView::view_id`] — never recycled, so an
+/// id uniquely names one build for the lifetime of the process and caches
+/// keyed by it cannot alias a dropped view.
+static NEXT_VIEW_ID: AtomicU64 = AtomicU64::new(1);
+
+/// The set of vertices whose adjacency actually changed between the
+/// previous epoch's unified CSR and this one, computed as a by-product of
+/// [`UnifiedView::refreshed`]'s span re-merge.
+///
+/// Shard-level change signals (the carried `Arc<FrozenView>`s) tell the
+/// merge *which shards* to re-gather; the tracker refines that to *which
+/// vertices* differ by comparing each re-merged vertex's old span against
+/// its new one.  The incremental analytics kernels seed from the previous
+/// epoch's result and re-relax outward from exactly these vertices.
+#[derive(Debug, Default, Clone)]
+pub struct DeltaTracker {
+    /// Changed vertex ids, ascending, deduplicated.
+    changed: Vec<VertexId>,
+    /// Whether any changed vertex *lost* an edge (its old span is not a
+    /// sub-multiset of its new one).  Insert-only deltas can only merge
+    /// connected components; a deletion forces the full CC recompute.
+    has_deletions: bool,
+}
+
+impl DeltaTracker {
+    /// The vertices whose adjacency changed, ascending and deduplicated.
+    pub fn changed_vertices(&self) -> &[VertexId] {
+        &self.changed
+    }
+
+    /// Number of changed vertices.
+    pub fn len(&self) -> usize {
+        self.changed.len()
+    }
+
+    /// `true` when the epoch was a no-op: no vertex's adjacency changed.
+    pub fn is_empty(&self) -> bool {
+        self.changed.is_empty()
+    }
+
+    /// Whether any changed vertex lost an edge relative to the previous
+    /// epoch (deletions, not just inserts).
+    pub fn has_deletions(&self) -> bool {
+        self.has_deletions
+    }
+}
+
+/// Whether `old` is **not** a sub-multiset of `new` — i.e. the vertex lost
+/// at least one edge.  Neighbour spans preserve insertion order rather
+/// than being sorted, so the check sorts copies and merge-walks; it only
+/// runs for vertices whose spans already proved unequal.
+fn lost_edges(old: &[VertexId], new: &[VertexId]) -> bool {
+    if old.is_empty() {
+        return false;
+    }
+    if new.len() < old.len() {
+        return true;
+    }
+    let mut o = old.to_vec();
+    let mut n = new.to_vec();
+    o.sort_unstable();
+    n.sort_unstable();
+    let mut i = 0;
+    for &x in &o {
+        while i < n.len() && n[i] < x {
+            i += 1;
+        }
+        if i >= n.len() || n[i] != x {
+            return true;
+        }
+        i += 1;
+    }
+    false
+}
 
 /// An owned cross-shard snapshot materialised into **one global CSR**.
 ///
@@ -55,6 +144,14 @@ pub struct UnifiedView {
     /// Which shards' spans were gathered fresh in this build (`false` =
     /// copied forward from the previous unified CSR).
     merged: Vec<bool>,
+    /// Process-unique id of this build (see [`UnifiedView::view_id`]).
+    id: u64,
+    /// The [`UnifiedView::view_id`] of the previous epoch this build was
+    /// incrementally refreshed from, when there was one.
+    refreshed_from: Option<u64>,
+    /// The changed-vertex delta vs that previous epoch (`Some` exactly
+    /// when `refreshed_from` is).
+    delta: Option<DeltaTracker>,
 }
 
 impl UnifiedView {
@@ -84,7 +181,19 @@ impl UnifiedView {
             Some(p) => sources
                 .iter()
                 .zip(&p.sources)
-                .map(|(new, old)| !Arc::ptr_eq(new, old))
+                .map(|(new, old)| {
+                    if Arc::ptr_eq(new, old) {
+                        return false;
+                    }
+                    // A re-captured snapshot can still be byte-identical
+                    // (a flush with no net updates, an insert cancelled by
+                    // its delete).  Treating it as changed would re-gather
+                    // every span *and* poison the delta with the whole
+                    // shard; a slice compare (memcmp-fast) short-circuits
+                    // the no-op epoch to an empty delta instead.
+                    CsrView::offsets(&**new) != CsrView::offsets(&**old)
+                        || CsrView::targets(&**new) != CsrView::targets(&**old)
+                })
                 .collect(),
             None => vec![true; shards],
         };
@@ -182,12 +291,58 @@ impl UnifiedView {
         }
         unsafe { targets.set_len(total) };
 
+        // Delta pass — refine changed-shard granularity to changed-vertex
+        // granularity.  Only vertices owned by a re-merged shard (or past
+        // the previous epoch's range) can differ; each compares its old
+        // span against its new one.  Chunks are processed in order and
+        // each scans ascending, so the flattened list is already sorted.
+        let delta = prev.map(|p| {
+            let offsets = &offsets;
+            let targets = &targets;
+            let owners = &owners;
+            let merged = &merged;
+            let per_chunk: Vec<(Vec<VertexId>, bool)> = ranges
+                .par_iter()
+                .map(|&(lo, hi)| {
+                    let mut changed = Vec::new();
+                    let mut deletions = false;
+                    for v in lo..hi {
+                        let s = owners[v] as usize;
+                        let in_prev = v + 1 < p.offsets.len();
+                        if !merged[s] && in_prev {
+                            continue;
+                        }
+                        let old: &[VertexId] = if in_prev {
+                            &p.targets[p.offsets[v]..p.offsets[v + 1]]
+                        } else {
+                            &[]
+                        };
+                        let new = &targets[offsets[v]..offsets[v + 1]];
+                        if old != new {
+                            changed.push(v as VertexId);
+                            deletions = deletions || lost_edges(old, new);
+                        }
+                    }
+                    (changed, deletions)
+                })
+                .collect();
+            let mut tracker = DeltaTracker::default();
+            for (changed, deletions) in per_chunk {
+                tracker.changed.extend(changed);
+                tracker.has_deletions |= deletions;
+            }
+            tracker
+        });
+
         UnifiedView {
             offsets,
             targets,
             owners,
             sources,
             merged,
+            id: NEXT_VIEW_ID.fetch_add(1, Ordering::Relaxed),
+            refreshed_from: prev.map(|p| p.id),
+            delta,
         }
     }
 
@@ -233,6 +388,30 @@ impl UnifiedView {
     /// against (tests assert reuse with `Arc::ptr_eq` on exactly these).
     pub fn source_arc(&self, s: usize) -> Arc<FrozenView> {
         Arc::clone(&self.sources[s])
+    }
+
+    /// Process-unique id of this build.  Ids are never recycled, so a
+    /// cache keyed by `view_id` cannot alias a dropped view — the
+    /// service's `AnalyticsCache` uses exactly this to decide whether a
+    /// previous epoch's rank/label vectors may seed an incremental kernel.
+    pub fn view_id(&self) -> u64 {
+        self.id
+    }
+
+    /// The [`UnifiedView::view_id`] of the previous epoch this build was
+    /// incrementally refreshed from.  `None` for a full
+    /// [`UnifiedView::unify`] build (or a refresh that fell back to a full
+    /// merge because the shard count changed or the vertex range shrank) —
+    /// in which case [`UnifiedView::delta`] is `None` too.
+    pub fn refreshed_from(&self) -> Option<u64> {
+        self.refreshed_from
+    }
+
+    /// The changed-vertex delta vs the epoch named by
+    /// [`UnifiedView::refreshed_from`], when this build was an incremental
+    /// refresh.
+    pub fn delta(&self) -> Option<&DeltaTracker> {
+        self.delta.as_ref()
     }
 }
 
@@ -371,6 +550,94 @@ mod tests {
         let full = UnifiedView::unify(&owned2);
         assert_eq!(CsrView::offsets(&second), CsrView::offsets(&full));
         assert_eq!(CsrView::targets(&second), CsrView::targets(&full));
+    }
+
+    #[test]
+    fn refresh_emits_a_changed_vertex_delta() {
+        let (g, _) = populated(2, 48);
+        let owned = g.owned_view();
+        let first = UnifiedView::unify(&owned);
+        assert!(first.delta().is_none(), "full build has no delta");
+        assert!(first.refreshed_from().is_none());
+
+        // Insert both directions of a fresh edge: exactly two vertices'
+        // adjacency changes, nothing is lost.
+        g.insert_edge(5, 20).unwrap();
+        g.insert_edge(20, 5).unwrap();
+        let owned2 = g.owned_view();
+        let second = first.refreshed(&owned2);
+        assert_eq!(second.refreshed_from(), Some(first.view_id()));
+        let delta = second.delta().expect("refresh carries a delta");
+        assert_eq!(delta.changed_vertices(), &[5, 20]);
+        assert_eq!(delta.len(), 2);
+        assert!(!delta.has_deletions(), "insert-only burst");
+
+        // Deleting an edge flips the deletions flag for its source only.
+        assert!(g.delete_edge(5, 20).unwrap());
+        let owned3 = g.owned_view();
+        let third = second.refreshed(&owned3);
+        let delta = third.delta().expect("delta");
+        assert_eq!(delta.changed_vertices(), &[5]);
+        assert!(delta.has_deletions());
+    }
+
+    #[test]
+    fn noop_epoch_short_circuits_to_an_empty_delta() {
+        // The bugfix pinned: a re-captured shard whose CSR is byte-identical
+        // (flush with no net updates, or an insert cancelled by its delete)
+        // must not count as merged and must yield an empty delta.
+        let (g, _) = populated(2, 48);
+        let first = UnifiedView::unify(&g.owned_view());
+
+        // Re-capture every shard with zero net updates.
+        let owned2 = g.owned_view();
+        for s in 0..2 {
+            assert!(
+                !Arc::ptr_eq(&first.source_arc(s), &owned2.shard_view_arc(s)),
+                "shard {s} really was re-captured"
+            );
+        }
+        let second = first.refreshed(&owned2);
+        assert_eq!(second.merged_shards(), 0, "byte-identical captures reused");
+        let delta = second.delta().expect("delta");
+        assert!(
+            delta.is_empty(),
+            "no-op epoch: {:?}",
+            delta.changed_vertices()
+        );
+        assert!(!delta.has_deletions());
+
+        // Insert + delete of the same edge resolves to an identical CSR too.
+        g.insert_edge(7, 33).unwrap();
+        assert!(g.delete_edge(7, 33).unwrap());
+        let third = second.refreshed(&g.owned_view());
+        assert_eq!(third.merged_shards(), 0);
+        assert!(third.delta().expect("delta").is_empty());
+        let full = UnifiedView::unify(&g.owned_view());
+        assert_eq!(CsrView::offsets(&third), CsrView::offsets(&full));
+        assert_eq!(CsrView::targets(&third), CsrView::targets(&full));
+    }
+
+    #[test]
+    fn delta_covers_a_grown_vertex_range() {
+        let (g, _) = populated(2, 16);
+        let first = UnifiedView::unify(&g.owned_view());
+        g.insert_edge(100, 2).unwrap();
+        g.insert_edge(2, 100).unwrap();
+        let second = first.refreshed(&g.owned_view());
+        let delta = second.delta().expect("delta");
+        assert_eq!(delta.changed_vertices(), &[2, 100]);
+        assert!(!delta.has_deletions());
+    }
+
+    #[test]
+    fn lost_edges_is_a_multiset_subset_check() {
+        assert!(!lost_edges(&[], &[]));
+        assert!(!lost_edges(&[], &[1, 2]));
+        assert!(!lost_edges(&[2, 1], &[1, 3, 2]));
+        assert!(lost_edges(&[1, 1], &[1, 2]), "multiplicity lost");
+        assert!(lost_edges(&[4], &[1, 2, 3]));
+        assert!(lost_edges(&[1, 2], &[2]));
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! The network plane end to end in one process: a `GraphServer` on a
 //! loopback port, remote tenants speaking the binary wire protocol over
-//! real TCP sockets, pipelined out-of-order replies, and admission control
-//! shedding an over-quota tenant with a structured `Overloaded` reply.
+//! real TCP sockets, pipelined out-of-order replies, the widened analytics
+//! kernel set (triangles, k-core, top-k, k-hop) answered remotely, and
+//! admission control shedding an over-quota tenant with a structured
+//! `Overloaded` reply.
 //!
 //! ```text
 //! cargo run --release --example remote_client
@@ -103,7 +105,25 @@ fn main() {
         println!("pagerank: hottest vertex {} (rank {:.6})", top.0, top.1);
     }
 
-    // --- Phase 3: admission control — a 100k-op batch against a 50k-token
+    // --- Phase 3: the widened kernel set, each one wire round trip. ---
+    let triangles = client.triangle_count().expect("triangle count");
+    let core = client.k_core(4).expect("4-core");
+    let hubs = client.top_k_degree(3).expect("top-3 degree");
+    let hot = client.top_k_pagerank(3).expect("top-3 pagerank");
+    let ball = client.khop(hubs[0].0, 2).expect("2-hop ball");
+    println!(
+        "kernels: {triangles} triangles, |4-core| = {}, top degree {:?}, \
+         top rank {:?}, |2-hop({})| = {}",
+        core.len(),
+        hubs.iter().map(|&(v, d)| (v, d)).collect::<Vec<_>>(),
+        hot.iter()
+            .map(|&(v, r)| (v, (r * 1e4).round() / 1e4))
+            .collect::<Vec<_>>(),
+        hubs[0].0,
+        ball.len()
+    );
+
+    // --- Phase 4: admission control — a 100k-op batch against a 50k-token
     // bucket is admitted exactly once against the full bucket, with the
     // excess charged as debt; follow-up work is then shed with a structured
     // reply (never a dropped connection) until the refill repays the debt. ---
@@ -142,7 +162,7 @@ fn main() {
     after.merge(&t);
     client.wait(&after).expect("wait");
 
-    // --- Phase 4: the server's own view of all of this. ---
+    // --- Phase 5: the server's own view of all of this. ---
     let metrics = client.metrics().expect("metrics");
     println!(
         "server metrics: {} connections, {} requests, {} shed",

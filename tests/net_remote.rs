@@ -187,6 +187,35 @@ fn pipelined_requests_are_harvested_out_of_order() {
 }
 
 #[test]
+fn widened_kernel_set_is_reachable_over_tcp() {
+    let server = GraphServer::start(service_config(), NetConfig::loopback()).expect("start server");
+    let client = RemoteClient::connect(server.local_addr()).expect("connect");
+
+    // A triangle (0-1-2) with a pendant path 0-3-4, inserted symmetrically.
+    let mut ops = Vec::new();
+    for &(a, b) in &[(0u64, 1u64), (1, 2), (0, 2), (0, 3), (3, 4)] {
+        ops.push(Update::InsertEdge(a, b));
+        ops.push(Update::InsertEdge(b, a));
+    }
+    let t = client.mutate(ops).expect("mutate");
+    client.wait(&t).expect("wait");
+
+    assert_eq!(client.triangle_count().expect("triangles"), 1);
+    assert_eq!(client.k_core(2).expect("2-core"), vec![0, 1, 2]);
+    assert_eq!(client.top_k_degree(1).expect("top degree"), vec![(0, 3)]);
+    let top_pr = client.top_k_pagerank(2).expect("top pagerank");
+    assert_eq!(top_pr.len(), 2);
+    assert_eq!(top_pr[0].0, 0, "the hub out-ranks everything");
+    assert!(top_pr[0].1 > top_pr[1].1 || top_pr[1].0 > 0);
+    assert_eq!(client.khop(4, 1).expect("1-hop"), vec![3, 4]);
+    assert_eq!(client.khop(4, 2).expect("2-hop"), vec![0, 3, 4]);
+    assert_eq!(client.khop(4, 3).expect("3-hop"), vec![0, 1, 2, 3, 4]);
+
+    client.close();
+    server.shutdown();
+}
+
+#[test]
 fn over_quota_client_is_shed_while_within_quota_clients_stay_healthy() {
     // 100 ops/sec per connection, burst 100: a 1000-op batch is admitted
     // once against the full bucket (the excess becomes debt), after which
