@@ -11,7 +11,7 @@
 use crate::wire::{self, Frame, FrameBuffer};
 use dgap::{GraphError, GraphResult, Update, VertexId};
 use obs::MetricsSnapshot;
-use service::{Query, QueryResult, Request, Response, ServiceStats};
+use service::{ClientOp, OpStatus, Query, QueryResult, Request, Response, ServiceStats};
 use sharded::Ticket;
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -19,6 +19,7 @@ use std::net::{Shutdown, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// Shared connection state: the write half (framed sends are serialised
 /// under the lock) and the pending-reply routing table fed by the demux
@@ -109,6 +110,36 @@ impl RemoteClient {
         })
     }
 
+    /// [`RemoteClient::connect`] with bounded retry: up to `attempts`
+    /// connection attempts, sleeping `base_delay`, `2 × base_delay`,
+    /// `4 × base_delay`, … between them (exponential backoff, no sleep
+    /// after the last failure).  The reconnect primitive for a durable
+    /// client riding out a server restart — pair it with
+    /// [`RemoteClient::probe_op`] to resolve in-doubt operations once the
+    /// connection is back.
+    ///
+    /// Returns the last attempt's error if every attempt fails.
+    pub fn connect_retry<A: ToSocketAddrs + Clone>(
+        addr: A,
+        attempts: usize,
+        base_delay: Duration,
+    ) -> GraphResult<RemoteClient> {
+        assert!(attempts > 0, "connect_retry needs at least one attempt");
+        let mut delay = base_delay;
+        let mut last = GraphError::Io("no connection attempts made".to_string());
+        for attempt in 0..attempts {
+            match Self::connect(addr.clone()) {
+                Ok(client) => return Ok(client),
+                Err(err) => last = err,
+            }
+            if attempt + 1 < attempts {
+                std::thread::sleep(delay);
+                delay = delay.saturating_mul(2);
+            }
+        }
+        Err(last)
+    }
+
     /// Fire a request without waiting: the building block for pipelining.
     pub fn send(&self, request: &Request) -> GraphResult<PendingReply> {
         if self.core.closed.load(Ordering::Acquire) {
@@ -146,11 +177,55 @@ impl RemoteClient {
     /// Submit a batch of updates; the returned [`Ticket`] buys
     /// read-your-writes via [`RemoteClient::wait`].
     pub fn mutate(&self, ops: Vec<Update>) -> GraphResult<Ticket> {
-        match self.call(&Request::Mutate(ops))? {
+        match self.call(&Request::Mutate { ops, client: None })? {
             Response::Mutated { ticket, .. } => Ok(ticket),
             Response::Error(err) => Err(err),
             other => Err(unexpected("Mutated", &other)),
         }
+    }
+
+    /// Submit a batch under a `(client_id, op_id)` identity (both non-zero;
+    /// see [`ClientOp`] for the numbering and retry contract).  Duplicate
+    /// submissions — retries after an error, or a concurrent double-send —
+    /// are acknowledged with the original ticket and applied exactly once.
+    pub fn mutate_as(&self, client_id: u64, op_id: u64, ops: Vec<Update>) -> GraphResult<Ticket> {
+        let client = Some(ClientOp { client_id, op_id });
+        match self.call(&Request::Mutate { ops, client })? {
+            Response::Mutated { ticket, .. } => Ok(ticket),
+            Response::Error(err) => Err(err),
+            other => Err(unexpected("Mutated", &other)),
+        }
+    }
+
+    /// Did `(client_id, op_id)` durably commit on the server?
+    pub fn probe_op(&self, client_id: u64, op_id: u64) -> GraphResult<OpStatus> {
+        match self.call(&Request::ProbeOp { client_id, op_id })? {
+            Response::OpStatus(status) => Ok(status),
+            Response::Error(err) => Err(err),
+            other => Err(unexpected("OpStatus", &other)),
+        }
+    }
+
+    /// Exactly-once submit-and-wait: probe `(client_id, op_id)` first, and
+    /// only submit (then wait on the ticket) when the server does not
+    /// already have it committed.  Safe to call any number of times with
+    /// the same identity and the identical `ops` — the canonical retry
+    /// loop after an error or a [`RemoteClient::connect_retry`] reconnect
+    /// is simply calling this again.  When this returns `Ok`, the batch is
+    /// durably applied exactly once; the returned ticket is already
+    /// satisfied (empty when the probe short-circuited).
+    pub fn mutate_durable(
+        &self,
+        client_id: u64,
+        op_id: u64,
+        ops: Vec<Update>,
+    ) -> GraphResult<Ticket> {
+        if self.probe_op(client_id, op_id)? == OpStatus::Committed {
+            return Ok(Ticket::empty());
+        }
+        let ticket = self.mutate_as(client_id, op_id, ops)?;
+        self.wait(&ticket)?;
+        Ok(ticket)
     }
 
     /// Block until everything behind `ticket` is applied.

@@ -533,10 +533,10 @@ fn serve_request(
         return false;
     }
     let cost = match &request {
-        Request::Mutate(ops) => ops.len().max(1) as u64,
+        Request::Mutate { ops, .. } => ops.len().max(1) as u64,
         _ => 1,
     };
-    let is_mutate = matches!(request, Request::Mutate(_));
+    let is_mutate = matches!(request, Request::Mutate { .. });
     let verdict = if tracking.inflight.load(Ordering::Acquire) >= shared.config.max_inflight {
         Some("inflight")
     } else if !bucket.admit(cost) {

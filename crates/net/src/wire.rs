@@ -28,7 +28,7 @@ use obs::{
     CounterSample, GaugeSample, HistogramSample, HistogramSnapshot, MetricsSnapshot, TraceEvent,
     HISTOGRAM_BUCKETS,
 };
-use service::{Query, QueryResult, Request, Response, ServiceStats};
+use service::{ClientOp, OpStatus, Query, QueryResult, Request, Response, ServiceStats};
 use sharded::Ticket;
 use std::fmt;
 use std::sync::Mutex;
@@ -434,22 +434,55 @@ const REQUEST_MUTATE: u8 = 0;
 const REQUEST_WAIT: u8 = 1;
 const REQUEST_FLUSH: u8 = 2;
 const REQUEST_QUERY: u8 = 3;
+const REQUEST_MUTATE_AS: u8 = 4;
+const REQUEST_PROBE_OP: u8 = 5;
 
-/// Encode a [`Request`] body.
+fn put_updates(out: &mut Vec<u8>, ops: &[Update]) {
+    put_varint(out, ops.len() as u64);
+    for op in ops {
+        put_update(out, op);
+    }
+}
+
+fn get_updates(dec: &mut Dec<'_>) -> WireResult<Vec<Update>> {
+    let n = dec.varint("mutate ops")?;
+    // An Update is at least 2 bytes (tag + one varint).
+    let n = dec.count(n, 2, "mutate ops")?;
+    let mut ops = Vec::with_capacity(n);
+    for _ in 0..n {
+        ops.push(get_update(dec)?);
+    }
+    Ok(ops)
+}
+
+/// Encode a [`Request`] body.  Anonymous mutations keep the original
+/// `REQUEST_MUTATE` encoding; a mutation carrying a [`ClientOp`] travels
+/// under its own tag with the identity first, so the two never alias.
 pub fn put_request(out: &mut Vec<u8>, request: &Request) {
     match request {
-        Request::Mutate(ops) => {
+        Request::Mutate { ops, client: None } => {
             out.push(REQUEST_MUTATE);
-            put_varint(out, ops.len() as u64);
-            for op in ops {
-                put_update(out, op);
-            }
+            put_updates(out, ops);
+        }
+        Request::Mutate {
+            ops,
+            client: Some(client),
+        } => {
+            out.push(REQUEST_MUTATE_AS);
+            put_varint(out, client.client_id);
+            put_varint(out, client.op_id);
+            put_updates(out, ops);
         }
         Request::Wait(ticket) => {
             out.push(REQUEST_WAIT);
             put_ticket(out, ticket);
         }
         Request::Flush => out.push(REQUEST_FLUSH),
+        Request::ProbeOp { client_id, op_id } => {
+            out.push(REQUEST_PROBE_OP);
+            put_varint(out, *client_id);
+            put_varint(out, *op_id);
+        }
         Request::Query(query) => {
             out.push(REQUEST_QUERY);
             put_query(out, query);
@@ -460,18 +493,26 @@ pub fn put_request(out: &mut Vec<u8>, request: &Request) {
 /// Decode a [`Request`] body.
 pub fn get_request(dec: &mut Dec<'_>) -> WireResult<Request> {
     match dec.u8("request tag")? {
-        REQUEST_MUTATE => {
-            let n = dec.varint("mutate ops")?;
-            // An Update is at least 2 bytes (tag + one varint).
-            let n = dec.count(n, 2, "mutate ops")?;
-            let mut ops = Vec::with_capacity(n);
-            for _ in 0..n {
-                ops.push(get_update(dec)?);
-            }
-            Ok(Request::Mutate(ops))
+        REQUEST_MUTATE => Ok(Request::Mutate {
+            ops: get_updates(dec)?,
+            client: None,
+        }),
+        REQUEST_MUTATE_AS => {
+            let client = ClientOp {
+                client_id: dec.varint("mutate client id")?,
+                op_id: dec.varint("mutate op id")?,
+            };
+            Ok(Request::Mutate {
+                ops: get_updates(dec)?,
+                client: Some(client),
+            })
         }
         REQUEST_WAIT => Ok(Request::Wait(get_ticket(dec)?)),
         REQUEST_FLUSH => Ok(Request::Flush),
+        REQUEST_PROBE_OP => Ok(Request::ProbeOp {
+            client_id: dec.varint("probe client id")?,
+            op_id: dec.varint("probe op id")?,
+        }),
         REQUEST_QUERY => Ok(Request::Query(get_query(dec)?)),
         tag => Err(WireError::BadTag {
             what: "Request",
@@ -884,6 +925,11 @@ const RESPONSE_WAITED: u8 = 1;
 const RESPONSE_FLUSHED: u8 = 2;
 const RESPONSE_ANSWER: u8 = 3;
 const RESPONSE_ERROR: u8 = 4;
+const RESPONSE_OP_STATUS: u8 = 5;
+
+const OP_STATUS_COMMITTED: u8 = 0;
+const OP_STATUS_NOT_COMMITTED: u8 = 1;
+const OP_STATUS_UNKNOWN: u8 = 2;
 
 /// Encode a [`Response`] body.
 pub fn put_response(out: &mut Vec<u8>, response: &Response) {
@@ -895,6 +941,14 @@ pub fn put_response(out: &mut Vec<u8>, response: &Response) {
         }
         Response::Waited => out.push(RESPONSE_WAITED),
         Response::Flushed => out.push(RESPONSE_FLUSHED),
+        Response::OpStatus(status) => {
+            out.push(RESPONSE_OP_STATUS);
+            out.push(match status {
+                OpStatus::Committed => OP_STATUS_COMMITTED,
+                OpStatus::NotCommitted => OP_STATUS_NOT_COMMITTED,
+                OpStatus::Unknown => OP_STATUS_UNKNOWN,
+            });
+        }
         Response::Answer(result) => {
             out.push(RESPONSE_ANSWER);
             put_query_result(out, result);
@@ -915,6 +969,15 @@ pub fn get_response(dec: &mut Dec<'_>) -> WireResult<Response> {
         }),
         RESPONSE_WAITED => Ok(Response::Waited),
         RESPONSE_FLUSHED => Ok(Response::Flushed),
+        RESPONSE_OP_STATUS => match dec.u8("op status")? {
+            OP_STATUS_COMMITTED => Ok(Response::OpStatus(OpStatus::Committed)),
+            OP_STATUS_NOT_COMMITTED => Ok(Response::OpStatus(OpStatus::NotCommitted)),
+            OP_STATUS_UNKNOWN => Ok(Response::OpStatus(OpStatus::Unknown)),
+            tag => Err(WireError::BadTag {
+                what: "OpStatus",
+                tag: tag.into(),
+            }),
+        },
         RESPONSE_ANSWER => Ok(Response::Answer(get_query_result(dec)?)),
         RESPONSE_ERROR => Ok(Response::Error(get_graph_error(dec)?)),
         tag => Err(WireError::BadTag {
@@ -1208,14 +1271,50 @@ mod tests {
     fn every_request_variant_roundtrips() {
         roundtrip_request(
             1,
-            &Request::Mutate(vec![
-                Update::InsertVertex(0),
-                Update::InsertVertex(u64::MAX),
-                Update::InsertEdge(3, 4),
-                Update::DeleteEdge(u64::MAX, 0),
-            ]),
+            &Request::Mutate {
+                ops: vec![
+                    Update::InsertVertex(0),
+                    Update::InsertVertex(u64::MAX),
+                    Update::InsertEdge(3, 4),
+                    Update::DeleteEdge(u64::MAX, 0),
+                ],
+                client: None,
+            },
         );
-        roundtrip_request(2, &Request::Mutate(Vec::new()));
+        roundtrip_request(
+            2,
+            &Request::Mutate {
+                ops: Vec::new(),
+                client: None,
+            },
+        );
+        roundtrip_request(
+            21,
+            &Request::Mutate {
+                ops: vec![Update::InsertEdge(3, 4), Update::DeleteEdge(3, 4)],
+                client: Some(ClientOp {
+                    client_id: u64::MAX,
+                    op_id: 1,
+                }),
+            },
+        );
+        roundtrip_request(
+            22,
+            &Request::Mutate {
+                ops: Vec::new(),
+                client: Some(ClientOp {
+                    client_id: 1,
+                    op_id: u64::MAX,
+                }),
+            },
+        );
+        roundtrip_request(
+            23,
+            &Request::ProbeOp {
+                client_id: 7,
+                op_id: u64::MAX,
+            },
+        );
         roundtrip_request(
             u64::MAX,
             &Request::Wait(Ticket::from_targets(vec![0, 5, u64::MAX])),
@@ -1259,6 +1358,9 @@ mod tests {
         );
         roundtrip_response(2, &Response::Waited);
         roundtrip_response(3, &Response::Flushed);
+        roundtrip_response(31, &Response::OpStatus(OpStatus::Committed));
+        roundtrip_response(32, &Response::OpStatus(OpStatus::NotCommitted));
+        roundtrip_response(33, &Response::OpStatus(OpStatus::Unknown));
         for result in [
             QueryResult::Degree(usize::MAX),
             QueryResult::Neighbors(vec![1, 2, u64::MAX]),
@@ -1352,8 +1454,37 @@ mod tests {
         put_request_frame(
             &mut frame,
             77,
-            &Request::Mutate(vec![Update::InsertEdge(1, 2), Update::DeleteEdge(3, 4)]),
+            &Request::Mutate {
+                ops: vec![Update::InsertEdge(1, 2), Update::DeleteEdge(3, 4)],
+                client: None,
+            },
         );
+        samples.push(frame[FRAME_HEADER_LEN..].to_vec());
+        let mut frame = Vec::new();
+        put_request_frame(
+            &mut frame,
+            84,
+            &Request::Mutate {
+                ops: vec![Update::InsertEdge(1, 2)],
+                client: Some(ClientOp {
+                    client_id: 300,
+                    op_id: 7,
+                }),
+            },
+        );
+        samples.push(frame[FRAME_HEADER_LEN..].to_vec());
+        let mut frame = Vec::new();
+        put_request_frame(
+            &mut frame,
+            85,
+            &Request::ProbeOp {
+                client_id: 300,
+                op_id: 300,
+            },
+        );
+        samples.push(frame[FRAME_HEADER_LEN..].to_vec());
+        let mut frame = Vec::new();
+        put_response_frame(&mut frame, 86, &Response::OpStatus(OpStatus::Unknown));
         samples.push(frame[FRAME_HEADER_LEN..].to_vec());
         let mut frame = Vec::new();
         put_response_frame(
@@ -1450,6 +1581,14 @@ mod tests {
         let err = get_request(&mut Dec::new(&body)).unwrap_err();
         assert!(matches!(err, WireError::BadCount { .. }), "{err:?}");
 
+        // Tagged mutate claiming 2^60 ops after its identity.
+        let mut body = vec![4u8]; // REQUEST_MUTATE_AS
+        put_varint(&mut body, 1); // client id
+        put_varint(&mut body, 1); // op id
+        put_varint(&mut body, huge);
+        let err = get_request(&mut Dec::new(&body)).unwrap_err();
+        assert!(matches!(err, WireError::BadCount { .. }), "{err:?}");
+
         // Neighbors claiming 2^60 vertex ids.
         let mut body = vec![1u8]; // RESULT_NEIGHBORS
         put_varint(&mut body, huge);
@@ -1535,6 +1674,14 @@ mod tests {
             decode_payload(&[PROTOCOL_VERSION, KIND_RESPONSE, 0, 200]),
             Err(WireError::BadTag {
                 what: "Response",
+                ..
+            })
+        ));
+        // Op-status response carrying a meaningless status byte.
+        assert!(matches!(
+            decode_payload(&[PROTOCOL_VERSION, KIND_RESPONSE, 0, 5, 9]),
+            Err(WireError::BadTag {
+                what: "OpStatus",
                 ..
             })
         ));

@@ -65,7 +65,7 @@ pub mod tx;
 
 pub use config::{AdrMode, CostModel, Media, PmemConfig, CACHE_LINE, XPLINE};
 pub use error::{PmemError, Result};
-pub use pool::{PmemPool, RootId, CRASH_DROP_FLUSHED, CRASH_KEEP_FLUSHED};
+pub use pool::{PmemPool, RootId, CRASH_DROP_FLUSHED, CRASH_FAILPOINT_MARKER, CRASH_KEEP_FLUSHED};
 pub use stats::{PmemStats, StatsSnapshot};
 
 /// A byte offset inside a [`PmemPool`].

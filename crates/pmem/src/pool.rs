@@ -32,6 +32,15 @@ pub const CRASH_KEEP_FLUSHED: bool = true;
 /// but not yet fenced (pessimistic: the flush never reached the ADR domain).
 pub const CRASH_DROP_FLUSHED: bool = false;
 
+/// Substring carried by the panic payload raised when an armed write
+/// fail-point fires (see [`PmemPool::arm_write_failpoint`]).  Crash-fuzzing
+/// harnesses match on this marker to tell injected crashes apart from real
+/// bugs.
+pub const CRASH_FAILPOINT_MARKER: &str = "injected crash fail-point";
+
+/// Sentinel for a disarmed write fail-point.
+const FAILPOINT_OFF: u64 = u64::MAX;
+
 /// Well-known slots in the pool's root directory.
 ///
 /// Like a PMDK root object, these let a data structure find its superblock
@@ -98,6 +107,9 @@ pub struct PmemPool {
     last_write_end: AtomicU64,
     /// DRAM-cached allocation cursor (also persisted in the header).
     alloc_cursor: Mutex<u64>,
+    /// Countdown until an injected crash on the write path; `u64::MAX` means
+    /// disarmed.  See [`PmemPool::arm_write_failpoint`].
+    write_failpoint: AtomicU64,
 }
 
 impl PmemPool {
@@ -118,6 +130,7 @@ impl PmemPool {
             stats: PmemStats::new(),
             last_write_end: AtomicU64::new(u64::MAX),
             alloc_cursor: Mutex::new(HEADER_SIZE),
+            write_failpoint: AtomicU64::new(FAILPOINT_OFF),
             config,
         };
         // Initialise and persist the header.
@@ -346,12 +359,49 @@ impl PmemPool {
     }
 
     // ------------------------------------------------------------------
+    // Crash fail-point
+    // ------------------------------------------------------------------
+
+    /// Arm a crash fail-point on the write path: the `nth` store operation
+    /// from now (`write` / `memset` / `copy_within`, zero-based) panics with
+    /// a payload containing [`CRASH_FAILPOINT_MARKER`] *before* mutating the
+    /// working image.  Combined with [`PmemPool::simulate_crash`] in the
+    /// caller's recovery harness this kills an ingest thread at an arbitrary
+    /// point mid-operation.  Pool-scoped, so concurrent tests on other pools
+    /// are unaffected.
+    pub fn arm_write_failpoint(&self, nth: u64) {
+        assert!(nth < FAILPOINT_OFF, "fail-point countdown out of range");
+        self.write_failpoint.store(nth, Ordering::SeqCst);
+    }
+
+    /// Disarm a previously armed write fail-point.
+    pub fn disarm_write_failpoint(&self) {
+        self.write_failpoint.store(FAILPOINT_OFF, Ordering::SeqCst);
+    }
+
+    #[inline]
+    fn tick_failpoint(&self) {
+        if self.write_failpoint.load(Ordering::Relaxed) == FAILPOINT_OFF {
+            return;
+        }
+        let prev = self.write_failpoint.fetch_sub(1, Ordering::SeqCst);
+        if prev == FAILPOINT_OFF {
+            // Disarmed between the fast-path load and the decrement: undo.
+            self.write_failpoint.fetch_add(1, Ordering::SeqCst);
+        } else if prev == 0 {
+            self.write_failpoint.store(FAILPOINT_OFF, Ordering::SeqCst);
+            panic!("{CRASH_FAILPOINT_MARKER}: pmem write path");
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Raw reads and writes
     // ------------------------------------------------------------------
 
     /// Write `src` at `offset`.  The data is *not* durable until it is
     /// flushed and fenced (on ADR platforms).
     pub fn write(&self, offset: PmemOffset, src: &[u8]) {
+        self.tick_failpoint();
         self.check_bounds(offset, src.len());
         self.work.write(offset as usize, src);
         self.charge_write(offset, src.len());
@@ -373,6 +423,7 @@ impl PmemPool {
 
     /// Fill `len` bytes at `offset` with `byte`.
     pub fn memset(&self, offset: PmemOffset, byte: u8, len: usize) {
+        self.tick_failpoint();
         self.check_bounds(offset, len);
         self.work.fill(offset as usize, byte, len);
         self.charge_write(offset, len);
@@ -382,6 +433,7 @@ impl PmemPool {
     /// (memmove semantics).  Charged as a read of the source plus a write of
     /// the destination.
     pub fn copy_within(&self, src_off: PmemOffset, dst_off: PmemOffset, len: usize) {
+        self.tick_failpoint();
         self.check_bounds(src_off, len);
         self.check_bounds(dst_off, len);
         self.work

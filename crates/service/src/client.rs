@@ -1,6 +1,6 @@
 //! The client handle: typed calls over the service's request channel.
 
-use crate::request::{Query, QueryResult, Request, Response, ServiceStats};
+use crate::request::{ClientOp, OpStatus, Query, QueryResult, Request, Response, ServiceStats};
 use crate::service::{Envelope, ReplyTo};
 use dgap::{GraphError, GraphResult, Update, VertexId};
 use obs::MetricsSnapshot;
@@ -42,10 +42,36 @@ impl GraphClient {
     /// batch's completion [`Ticket`]; pass it to [`GraphClient::wait`] for
     /// read-your-writes visibility.
     pub fn mutate(&self, ops: Vec<Update>) -> GraphResult<Ticket> {
-        match self.call(Request::Mutate(ops))? {
+        match self.call(Request::Mutate { ops, client: None })? {
             Response::Mutated { ticket, .. } => Ok(ticket),
             Response::Error(err) => Err(err),
             other => Err(unexpected("Mutated", &other)),
+        }
+    }
+
+    /// Submit a batch under a `(client_id, op_id)` identity for detectable
+    /// exactly-once ingest: a duplicate submission of the same pair (a
+    /// retry, or a concurrent double-send) is acknowledged with the
+    /// original ticket and never applied twice.  Both ids must be
+    /// non-zero, op ids must be issued 1, 2, 3, …, and a retry must resend
+    /// the identical `ops` vector (see [`ClientOp`]).
+    pub fn mutate_as(&self, client_id: u64, op_id: u64, ops: Vec<Update>) -> GraphResult<Ticket> {
+        let client = Some(ClientOp { client_id, op_id });
+        match self.call(Request::Mutate { ops, client })? {
+            Response::Mutated { ticket, .. } => Ok(ticket),
+            Response::Error(err) => Err(err),
+            other => Err(unexpected("Mutated", &other)),
+        }
+    }
+
+    /// Did `(client_id, op_id)` durably commit?  The reconnect path: probe
+    /// every in-doubt op, retry (identically) the ones that answer
+    /// [`OpStatus::NotCommitted`] or [`OpStatus::Unknown`].
+    pub fn probe_op(&self, client_id: u64, op_id: u64) -> GraphResult<OpStatus> {
+        match self.call(Request::ProbeOp { client_id, op_id })? {
+            Response::OpStatus(status) => Ok(status),
+            Response::Error(err) => Err(err),
+            other => Err(unexpected("OpStatus", &other)),
         }
     }
 

@@ -58,7 +58,7 @@ pub mod request;
 pub mod service;
 
 pub use client::GraphClient;
-pub use request::{Query, QueryResult, Request, Response, ServiceStats};
+pub use request::{ClientOp, OpStatus, Query, QueryResult, Request, Response, ServiceStats};
 pub use service::{GraphService, RawClient, ServiceConfig};
 // Re-exported so a restarting caller can consume `GraphService::open`'s
 // recovery report without depending on `sharded` directly.

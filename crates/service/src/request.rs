@@ -9,19 +9,69 @@ use dgap::{GraphError, Update, VertexId};
 use obs::MetricsSnapshot;
 use sharded::Ticket;
 
+/// Client identity attached to a mutation for detectable exactly-once
+/// ingest: the service deduplicates repeated `(client_id, op_id)` pairs and
+/// records the committed watermark durably in every shard pool.
+///
+/// Both ids must be non-zero (0 is the durable tables' free-slot sentinel).
+/// A client must number its operations 1, 2, 3, … and, when it retries an
+/// operation after an error or a reconnect, resend the **identical** update
+/// vector under the same op id — that contract is what lets an interrupted
+/// batch resume from its durable cursor without applying anything twice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientOp {
+    /// The submitting client's stable identity.
+    pub client_id: u64,
+    /// The client's sequence number for this operation.
+    pub op_id: u64,
+}
+
+/// Commit status of a `(client_id, op_id)` pair, answered to
+/// [`Request::ProbeOp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpStatus {
+    /// The operation is durably applied on every shard: do **not** retry.
+    Committed,
+    /// The client is known but this operation has not committed (lost in a
+    /// crash, still in flight, or never submitted): safe to retry.
+    NotCommitted,
+    /// No shard has ever heard of this client — a fresh service (or wiped
+    /// pools).  Retrying is safe, but the client should treat this as "all
+    /// my history is gone", not just this operation.
+    Unknown,
+}
+
 /// A request accepted by [`crate::GraphService`].
 #[derive(Debug, Clone)]
 pub enum Request {
     /// Apply a batch of typed updates (inserts and deletes) through the
     /// ingest pipeline.  Answered with [`Response::Mutated`] carrying the
     /// batch's completion [`Ticket`].
-    Mutate(Vec<Update>),
+    ///
+    /// With `client: Some(_)` the batch takes the durable exactly-once
+    /// path: a duplicate `(client_id, op_id)` is acknowledged with the
+    /// original ticket instead of being applied again.
+    Mutate {
+        /// The typed updates to apply.
+        ops: Vec<Update>,
+        /// Optional exactly-once identity ([`ClientOp`]).
+        client: Option<ClientOp>,
+    },
     /// Block until the ticket's updates are applied — the submitting
     /// client's read-your-writes point.  Answered with [`Response::Waited`].
     Wait(Ticket),
     /// Global durability barrier: quiesce the pipeline and flush every
     /// backend.  Answered with [`Response::Flushed`].
     Flush,
+    /// Did `(client_id, op_id)` commit?  Answered with
+    /// [`Response::OpStatus`]; the reconnect path of a durable client uses
+    /// this to resolve every in-doubt batch before retrying.
+    ProbeOp {
+        /// The client whose operation is probed.
+        client_id: u64,
+        /// The operation id in question.
+        op_id: u64,
+    },
     /// A read-only query served from the epoch-cached snapshot.  Answered
     /// with [`Response::Answer`].
     Query(Query),
@@ -111,6 +161,8 @@ pub enum Response {
     Waited,
     /// The durability barrier completed.
     Flushed,
+    /// Answer to [`Request::ProbeOp`].
+    OpStatus(OpStatus),
     /// The query result.
     Answer(QueryResult),
     /// The request failed; the error is scoped to this request only.
@@ -200,8 +252,18 @@ mod tests {
 
     #[test]
     fn wire_types_are_plain_clonable_values() {
-        let req = Request::Mutate(vec![Update::InsertEdge(1, 2), Update::DeleteEdge(1, 2)]);
+        let req = Request::Mutate {
+            ops: vec![Update::InsertEdge(1, 2), Update::DeleteEdge(1, 2)],
+            client: Some(ClientOp {
+                client_id: 7,
+                op_id: 1,
+            }),
+        };
         let _cloned = req.clone();
+        assert!(matches!(
+            Response::OpStatus(OpStatus::Committed),
+            Response::OpStatus(OpStatus::Committed)
+        ));
         let resp = Response::Answer(QueryResult::Neighbors(vec![2, 3]));
         match resp.clone() {
             Response::Answer(QueryResult::Neighbors(n)) => assert_eq!(n, vec![2, 3]),

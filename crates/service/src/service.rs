@@ -10,13 +10,15 @@
 //! unified-merge timings — merged with the process-global registry (DGAP
 //! capture/recovery) and the work-stealing pool's counters.
 
-use crate::request::{Query, QueryResult, Request, Response, ServiceStats};
-use dgap::{Dgap, DgapConfig, GraphError, GraphResult, GraphView};
+use crate::request::{ClientOp, OpStatus, Query, QueryResult, Request, Response, ServiceStats};
+use dgap::{Dgap, DgapConfig, DynamicGraph, GraphError, GraphResult, GraphView, Update};
 use obs::{Counter, Histogram, MetricsSnapshot, Registry};
 use pmem::{PmemConfig, PmemPool};
 use sharded::{
-    IngestPipeline, OwnedShardedView, ShardedConfig, ShardedGraph, ShardedRecovery, UnifiedView,
+    ClientTable, IngestPipeline, OwnedShardedView, ShardedConfig, ShardedGraph, ShardedRecovery,
+    Ticket, UnifiedView,
 };
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
@@ -226,6 +228,19 @@ struct CcEntry {
     labels: Arc<Vec<u64>>,
 }
 
+/// This process lifetime's ticket ledger for one durable client: op id →
+/// the [`Ticket`] its first submission produced, so a duplicate
+/// `(client_id, op_id)` is acknowledged with the **original** ticket
+/// instead of being applied again.  Entries at or below the durable
+/// watermark are pruned on each new submission; after a restart the ledger
+/// starts empty and the durable per-shard client tables take over (a
+/// duplicate of an already-committed op is acked with an
+/// already-satisfied empty ticket).
+#[derive(Default)]
+struct ClientLedger {
+    tickets: BTreeMap<u64, Ticket>,
+}
+
 /// Don't retain a PageRank trajectory above this many `f64` entries
 /// (`(iterations + 1) × V`) — the per-iteration history is what makes the
 /// incremental replay exact, but it is an O(iterations × V) memory cost
@@ -263,6 +278,15 @@ pub(crate) struct Inner {
     /// peak per-iteration frontier; CC: changed-vertex count).
     incremental_frontier: Arc<Histogram>,
     query_latency: QueryLatency,
+    /// Per-client ticket ledgers for the exactly-once mutation path.  The
+    /// outer lock only guards the map shape; each client's ledger lock is
+    /// held **across** its pipeline submission, so two concurrent
+    /// duplicates of the same `(client, op)` serialise and exactly one of
+    /// them applies.
+    clients: Mutex<HashMap<u64, Arc<Mutex<ClientLedger>>>>,
+    /// Duplicate `(client, op)` submissions answered from the ledger or the
+    /// durable watermark instead of being re-applied.
+    dedup_hits: Arc<Counter>,
     shutdown: AtomicBool,
 }
 
@@ -598,23 +622,127 @@ impl Inner {
         }
     }
 
-    fn handle(&self, request: Request) -> Response {
-        match request {
-            Request::Mutate(ops) => match self.pipeline.submit(&ops) {
-                Ok(ticket) => Response::Mutated {
+    /// The exactly-once mutation path: deduplicate against this lifetime's
+    /// ticket ledger *and* the durable per-shard watermarks, submitting the
+    /// batch as a tagged `(client, op)` only when neither has seen it.
+    ///
+    /// The client's ledger lock is held across the whole resolution —
+    /// watermark read, ledger lookup, and pipeline submission — so two
+    /// concurrent duplicates of the same op serialise: the first one
+    /// submits, the second one is acked with the first one's ticket.
+    fn mutate_as(&self, ops: &[Update], client: ClientOp) -> Response {
+        let ClientOp { client_id, op_id } = client;
+        if client_id == 0 || op_id == 0 {
+            return Response::Error(GraphError::Protocol(
+                "client_id and op_id must be non-zero".into(),
+            ));
+        }
+        let ledger = {
+            let mut map = self.clients.lock().unwrap_or_else(|p| p.into_inner());
+            Arc::clone(map.entry(client_id).or_default())
+        };
+        let mut ledger = ledger.lock().unwrap_or_else(|p| p.into_inner());
+        let durable = self.pipeline.client_committed(client_id).unwrap_or(0);
+        if op_id <= durable {
+            // Durably committed in some earlier lifetime (or pruned from
+            // the ledger): ack with the original ticket if we still have
+            // it, otherwise with an already-satisfied empty one.
+            self.dedup_hits.inc();
+            let ticket = ledger
+                .tickets
+                .get(&op_id)
+                .cloned()
+                .unwrap_or_else(Ticket::empty);
+            return Response::Mutated {
+                ticket,
+                ops: ops.len(),
+            };
+        }
+        if let Some(ticket) = ledger.tickets.get(&op_id) {
+            // Submitted this lifetime and still in flight (or committed
+            // since the watermark read): same ticket, no second apply.
+            self.dedup_hits.inc();
+            return Response::Mutated {
+                ticket: ticket.clone(),
+                ops: ops.len(),
+            };
+        }
+        match self.pipeline.submit_tagged(ops, client_id, op_id) {
+            Ok(ticket) => {
+                ledger.tickets = ledger.tickets.split_off(&(durable + 1));
+                ledger.tickets.insert(op_id, ticket.clone());
+                Response::Mutated {
                     ticket,
                     ops: ops.len(),
+                }
+            }
+            Err(err) => Response::Error(err),
+        }
+    }
+
+    /// Answer [`Request::ProbeOp`]: committed at or below the durable
+    /// watermark, not committed for a known client above it, unknown when
+    /// no shard (and no in-memory ledger) has ever heard of the client.
+    fn probe_op(&self, client_id: u64, op_id: u64) -> Response {
+        if client_id == 0 || op_id == 0 {
+            return Response::Error(GraphError::Protocol(
+                "client_id and op_id must be non-zero".into(),
+            ));
+        }
+        let status = match self.pipeline.client_committed(client_id) {
+            Some(watermark) if op_id <= watermark => OpStatus::Committed,
+            Some(_) => OpStatus::NotCommitted,
+            None => {
+                let known = self
+                    .clients
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .contains_key(&client_id);
+                if known {
+                    OpStatus::NotCommitted
+                } else {
+                    OpStatus::Unknown
+                }
+            }
+        };
+        Response::OpStatus(status)
+    }
+
+    fn handle(&self, request: Request) -> Response {
+        match request {
+            Request::Mutate { ops, client } => match client {
+                Some(client) => self.mutate_as(&ops, client),
+                None => match self.pipeline.submit(&ops) {
+                    Ok(ticket) => Response::Mutated {
+                        ticket,
+                        ops: ops.len(),
+                    },
+                    Err(err) => Response::Error(err),
                 },
-                Err(err) => Response::Error(err),
             },
-            Request::Wait(ticket) => match self.pipeline.wait_for(&ticket) {
-                Ok(()) => Response::Waited,
-                Err(err) => Response::Error(err),
-            },
+            Request::Wait(ticket) => {
+                // A ticket decoded off a transport can carry any target
+                // vector; one whose shape disagrees with this engine's
+                // shard count never came from this pipeline, so reject it
+                // here instead of letting the extra lanes be ignored.
+                let lanes = ticket.targets().len();
+                if lanes != 0 && lanes != self.graph.num_shards() {
+                    return Response::Error(GraphError::Protocol(format!(
+                        "wait ticket names {} shards, engine has {}",
+                        lanes,
+                        self.graph.num_shards()
+                    )));
+                }
+                match self.pipeline.wait_for(&ticket) {
+                    Ok(()) => Response::Waited,
+                    Err(err) => Response::Error(err),
+                }
+            }
             Request::Flush => match self.pipeline.flush_all() {
                 Ok(()) => Response::Flushed,
                 Err(err) => Response::Error(err),
             },
+            Request::ProbeOp { client_id, op_id } => self.probe_op(client_id, op_id),
             Request::Query(query) => Response::Answer(self.answer(query)),
         }
     }
@@ -645,7 +773,7 @@ impl GraphService {
             config.num_edges,
             |_| PmemConfig::with_capacity(pool_bytes).persistence_tracking(false),
         )?);
-        Ok(Self::launch(graph, &config))
+        Self::launch(graph, &config)
     }
 
     /// Restart the service over pools that already contain one shard each
@@ -678,16 +806,28 @@ impl GraphService {
         let (graph, recovery) = ShardedGraph::open_dgap(pools, |_| {
             DgapConfig::for_graph(num_vertices, per_shard_edges)
         })?;
-        Ok((Self::launch(Arc::new(graph), &config), recovery))
+        Ok((Self::launch(Arc::new(graph), &config)?, recovery))
     }
 
     /// Start the request loop and worker pool over an already-built engine.
-    fn launch(graph: Arc<ShardedGraph<Dgap>>, config: &ServiceConfig) -> GraphService {
+    ///
+    /// Opens (or creates) each shard's durable [`ClientTable`] first —
+    /// resolving any in-doubt crash cursor against the shard's record count
+    /// — so the pipeline starts with the exactly-once path armed and
+    /// [`ShardedGraph::open_dgap`]-recovered watermarks answering probes.
+    fn launch(graph: Arc<ShardedGraph<Dgap>>, config: &ServiceConfig) -> GraphResult<GraphService> {
         let registry = Arc::new(Registry::new());
-        let pipeline = IngestPipeline::with_registry(
+        let tables = (0..graph.num_shards())
+            .map(|i| {
+                let shard = graph.shard(i);
+                ClientTable::create_or_open(shard.pool(), shard.num_edges() as u64)
+            })
+            .collect::<GraphResult<Vec<_>>>()?;
+        let pipeline = IngestPipeline::with_client_tables(
             Arc::clone(&graph),
             &config.sharded,
             Arc::clone(&registry),
+            tables,
         );
         let inner = Arc::new(Inner {
             graph,
@@ -705,6 +845,8 @@ impl GraphService {
             incremental_fallbacks: registry.counter("analytics_incremental_fallbacks"),
             incremental_frontier: registry.histogram("service_incremental_frontier_size"),
             query_latency: QueryLatency::new(&registry),
+            clients: Mutex::new(HashMap::new()),
+            dedup_hits: registry.counter("ingest_dedup_hits"),
             registry,
             shutdown: AtomicBool::new(false),
         });
@@ -720,11 +862,11 @@ impl GraphService {
                     .expect("spawn service worker")
             })
             .collect();
-        GraphService {
+        Ok(GraphService {
             inner,
             sender: Some(sender),
             workers,
-        }
+        })
     }
 
     /// A new client handle.  Handles are cheap, cloneable, and usable from
@@ -1075,7 +1217,10 @@ mod tests {
         let (reply, answers) = mpsc::channel();
         raw.submit(
             7,
-            Request::Mutate(vec![Update::InsertEdge(0, 1)]),
+            Request::Mutate {
+                ops: vec![Update::InsertEdge(0, 1)],
+                client: None,
+            },
             reply.clone(),
         )
         .unwrap();

@@ -1,0 +1,551 @@
+//! Durable per-client operation table — the persistent half of detectable
+//! exactly-once ingest.
+//!
+//! Each shard's [`pmem::PmemPool`] carries one [`ClientTable`] registered
+//! under [`CLIENT_TABLE_ROOT`].  For every client the table records the
+//! highest **committed** operation id on that shard; the drain worker
+//! advances it atomically with the batch it just applied, so after a crash
+//! the reopened service can tell every client exactly which of its
+//! operations took effect (memento-style *detectable* recovery, applied at
+//! batch granularity).
+//!
+//! ## Layout (relative to the region base, 64-byte aligned)
+//!
+//! ```text
+//! +0    magic               u64
+//! +8    slot capacity       u64
+//! +16.. reserved
+//! +64   apply journal       [state, client_id, op_id, cursor_k, cursor_records]
+//! +128  slots[capacity]     each 32 B: [client_id, committed_op, resume_op, resume_skip]
+//! ```
+//!
+//! The **journal** (one cache line) tracks the single operation the shard's
+//! drain worker is currently applying: after every individual [`dgap::Update`]
+//! the worker persists `(cursor_k, cursor_records)` — "the first `cursor_k`
+//! updates of this operation are applied, and the backend's record counter
+//! stood at `cursor_records` afterwards" — as one 16-byte store.  A crash
+//! therefore leaves **at most one update in doubt**, and because every edge
+//! insert *and* delete adds exactly one record (DGAP's tombstone convention;
+//! [`dgap::DynamicGraph::num_edges`] counts records), comparing the
+//! recovered record counter against `cursor_records` resolves it:
+//! `records > cursor_records` means update `cursor_k` landed, otherwise it
+//! did not (vertex inserts add no record, but they are idempotent, so
+//! re-applying is harmless either way).
+//!
+//! [`ClientTable::create_or_open`] performs that resolution *before* any
+//! post-recovery traffic runs: the verdict is parked in the owning client's
+//! slot (`resume_op`/`resume_skip`), so when the client replays the same
+//! operation the worker skips the already-applied prefix.  Parking it in the
+//! slot rather than the journal means a *second* crash — with a different
+//! client's operation mid-apply — cannot orphan the first client's resume
+//! point.
+//!
+//! Exactly-once therefore needs the client to honour one contract: **resend
+//! the identical update vector under the same `(client_id, op_id)`**, in op
+//! id order ([`crate::IngestPipeline::submit_tagged`] documents the same
+//! rule).
+
+use dgap::{GraphError, GraphResult};
+use pmem::{PmemError, PmemOffset, PmemPool, RootId};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Root-directory slot holding the client table region.
+pub const CLIENT_TABLE_ROOT: RootId = RootId::Custom(0);
+
+/// Magic number at the base of every client-table region ("DGAPCLTB").
+const TABLE_MAGIC: u64 = 0x4447_4150_434c_5442;
+
+/// Journal offset from the region base (its own cache line).
+const JOURNAL_OFF: u64 = 64;
+
+/// First slot offset from the region base.
+const SLOTS_OFF: u64 = 128;
+
+/// Bytes per client slot: `[client_id, committed_op, resume_op, resume_skip]`.
+const SLOT_BYTES: u64 = 32;
+
+/// Client slots per shard.  A bump allocator with no free list backs the
+/// region, so the capacity is fixed at creation time.
+const DEFAULT_CAPACITY: u64 = 128;
+
+/// Journal states.
+const STATE_IDLE: u64 = 0;
+const STATE_APPLYING: u64 = 1;
+
+/// DRAM mirror of one client slot.
+#[derive(Debug, Clone, Copy)]
+struct SlotState {
+    /// Slot index inside the persistent array.
+    index: u64,
+    /// Highest committed op id.
+    committed: u64,
+    /// Op id with a parked resume cursor (0 = none).
+    resume_op: u64,
+    /// First update index of `resume_op` still to apply.
+    resume_skip: u64,
+}
+
+#[derive(Debug, Default)]
+struct TableState {
+    /// client id -> slot mirror.
+    slots: HashMap<u64, SlotState>,
+    /// Number of persistent slots in use.
+    used: u64,
+}
+
+/// Durable per-client operation watermarks for one shard.
+///
+/// All mutating methods are called by that shard's single drain worker; the
+/// internal mutex only guards against concurrent read-side queries
+/// ([`ClientTable::committed`], [`ClientTable::watermarks`]) from service
+/// threads.
+pub struct ClientTable {
+    pool: Arc<PmemPool>,
+    base: PmemOffset,
+    capacity: u64,
+    state: Mutex<TableState>,
+}
+
+impl std::fmt::Debug for ClientTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientTable")
+            .field("base", &self.base)
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+fn space_err(err: PmemError) -> GraphError {
+    GraphError::OutOfSpace(format!("client table: {err}"))
+}
+
+impl ClientTable {
+    /// Create the table in a fresh pool, or reopen (and crash-resolve) an
+    /// existing one.
+    ///
+    /// `current_records` is the backend's recovered record count
+    /// ([`dgap::DynamicGraph::num_edges`]); it disambiguates the single
+    /// in-doubt update of an interrupted operation.  Resolution happens here,
+    /// before any post-recovery updates run, so it must be called before the
+    /// shard's drain worker starts.
+    pub fn create_or_open(pool: &Arc<PmemPool>, current_records: u64) -> GraphResult<ClientTable> {
+        match pool.root(CLIENT_TABLE_ROOT) {
+            Ok(base) => Self::open_at(pool, base, current_records),
+            Err(PmemError::NoSuchRoot(_)) => Self::create(pool),
+            Err(err) => Err(GraphError::Other(format!("client table root: {err}"))),
+        }
+    }
+
+    fn create(pool: &Arc<PmemPool>) -> GraphResult<ClientTable> {
+        let bytes = (SLOTS_OFF + DEFAULT_CAPACITY * SLOT_BYTES) as usize;
+        let base = pool.alloc_zeroed(bytes, 64).map_err(space_err)?;
+        pool.write_u64(base, TABLE_MAGIC);
+        pool.write_u64(base + 8, DEFAULT_CAPACITY);
+        pool.persist(base, bytes);
+        pool.set_root(CLIENT_TABLE_ROOT, base).map_err(space_err)?;
+        Ok(ClientTable {
+            pool: Arc::clone(pool),
+            base,
+            capacity: DEFAULT_CAPACITY,
+            state: Mutex::new(TableState::default()),
+        })
+    }
+
+    fn open_at(
+        pool: &Arc<PmemPool>,
+        base: PmemOffset,
+        current_records: u64,
+    ) -> GraphResult<ClientTable> {
+        if pool.read_u64(base) != TABLE_MAGIC {
+            return Err(GraphError::Other(
+                "client table root points at a non-table region".into(),
+            ));
+        }
+        let capacity = pool.read_u64(base + 8);
+        let table = ClientTable {
+            pool: Arc::clone(pool),
+            base,
+            capacity,
+            state: Mutex::new(TableState::default()),
+        };
+        {
+            let mut st = table.state.lock().unwrap();
+            for index in 0..capacity {
+                let off = base + SLOTS_OFF + index * SLOT_BYTES;
+                let mut raw = [0u64; 4];
+                pool.read_u64_slice(off, &mut raw);
+                let [client, committed, resume_op, resume_skip] = raw;
+                if client == 0 {
+                    break; // slots are allocated densely
+                }
+                st.used += 1;
+                st.slots.insert(
+                    client,
+                    SlotState {
+                        index,
+                        committed,
+                        resume_op,
+                        resume_skip,
+                    },
+                );
+            }
+        }
+        table.resolve_journal(current_records)?;
+        Ok(table)
+    }
+
+    /// Resolve an interrupted operation left in the apply journal: decide
+    /// whether the in-doubt update landed, park the resume cursor in the
+    /// owning client's slot, and return the journal to idle.
+    fn resolve_journal(&self, current_records: u64) -> GraphResult<()> {
+        let mut j = [0u64; 5];
+        self.pool.read_u64_slice(self.base + JOURNAL_OFF, &mut j);
+        let [state, client, op, cursor_k, cursor_records] = j;
+        if state != STATE_APPLYING || client == 0 {
+            return Ok(());
+        }
+        // Every edge insert/delete adds exactly one record; if the counter
+        // moved past the cursor the in-doubt update landed.
+        let skip = if current_records > cursor_records {
+            cursor_k + 1
+        } else {
+            cursor_k
+        };
+        let mut st = self.state.lock().unwrap();
+        let slot = self.slot_or_insert(&mut st, client)?;
+        slot.resume_op = op;
+        slot.resume_skip = skip;
+        let (index, committed) = (slot.index, slot.committed);
+        self.write_slot(index, client, committed, op, skip);
+        drop(st);
+        self.pool.write_u64(self.base + JOURNAL_OFF, STATE_IDLE);
+        self.pool.persist(self.base + JOURNAL_OFF, 8);
+        Ok(())
+    }
+
+    /// Read-only view of another pool's table: client id -> committed op id.
+    /// A pool with no table (fresh shard) reports no clients.
+    pub fn peek(pool: &PmemPool) -> HashMap<u64, u64> {
+        let Ok(base) = pool.root(CLIENT_TABLE_ROOT) else {
+            return HashMap::new();
+        };
+        if pool.read_u64(base) != TABLE_MAGIC {
+            return HashMap::new();
+        }
+        let capacity = pool.read_u64(base + 8);
+        let mut out = HashMap::new();
+        for index in 0..capacity {
+            let off = base + SLOTS_OFF + index * SLOT_BYTES;
+            let client = pool.read_u64(off);
+            if client == 0 {
+                break;
+            }
+            out.insert(client, pool.read_u64(off + 8));
+        }
+        out
+    }
+
+    /// Highest committed op id for `client` on this shard, if any.
+    pub fn committed(&self, client: u64) -> Option<u64> {
+        self.state
+            .lock()
+            .unwrap()
+            .slots
+            .get(&client)
+            .map(|s| s.committed)
+    }
+
+    /// All known clients and their committed watermarks.
+    pub fn watermarks(&self) -> HashMap<u64, u64> {
+        self.state
+            .lock()
+            .unwrap()
+            .slots
+            .iter()
+            .map(|(&c, s)| (c, s.committed))
+            .collect()
+    }
+
+    /// Start applying `(client, op)` whose backend record counter currently
+    /// reads `records`.  Persists the apply journal and returns the index of
+    /// the first update to apply: 0 for a fresh operation, or the parked
+    /// resume cursor when this is the replay of an interrupted one.
+    ///
+    /// Must be bracketed with [`ClientTable::advance`] per update and
+    /// [`ClientTable::commit`] at the end, all from the owning shard's drain
+    /// worker.
+    pub fn begin(&self, client: u64, op: u64, records: u64) -> GraphResult<u64> {
+        let mut st = self.state.lock().unwrap();
+        // Ensure the slot exists up front so commit cannot fail on a full
+        // table after the updates have already been applied.
+        let slot = self.slot_or_insert(&mut st, client)?;
+        let skip = if slot.resume_op == op {
+            slot.resume_skip
+        } else {
+            0
+        };
+        drop(st);
+        self.pool.write_u64_slice(
+            self.base + JOURNAL_OFF,
+            &[STATE_APPLYING, client, op, skip, records],
+        );
+        self.pool.persist(self.base + JOURNAL_OFF, 40);
+        Ok(skip)
+    }
+
+    /// Record that the first `cursor_k` updates of the in-flight operation
+    /// are applied and the backend record counter now reads `records`.  One
+    /// 16-byte single-line store: a crash leaves at most one update in doubt.
+    pub fn advance(&self, cursor_k: u64, records: u64) {
+        self.pool
+            .write_u64_slice(self.base + JOURNAL_OFF + 24, &[cursor_k, records]);
+        self.pool.persist(self.base + JOURNAL_OFF + 24, 16);
+    }
+
+    /// Commit `(client, op)`: advance the client's durable watermark, clear
+    /// any parked resume cursor, and return the journal to idle.  The caller
+    /// must have made the applied updates durable first (the commit record
+    /// is the *last* thing to land).
+    pub fn commit(&self, client: u64, op: u64) {
+        let mut st = self.state.lock().unwrap();
+        let slot = st
+            .slots
+            .get_mut(&client)
+            .expect("commit without begin: slot missing");
+        slot.committed = slot.committed.max(op);
+        slot.resume_op = 0;
+        slot.resume_skip = 0;
+        let (index, committed) = (slot.index, slot.committed);
+        self.write_slot(index, client, committed, 0, 0);
+        drop(st);
+        self.pool.write_u64(self.base + JOURNAL_OFF, STATE_IDLE);
+        self.pool.persist(self.base + JOURNAL_OFF, 8);
+    }
+
+    fn slot_or_insert<'a>(
+        &self,
+        st: &'a mut TableState,
+        client: u64,
+    ) -> GraphResult<&'a mut SlotState> {
+        if !st.slots.contains_key(&client) {
+            if st.used >= self.capacity {
+                return Err(GraphError::OutOfSpace(format!(
+                    "client table full: {} clients on this shard",
+                    self.capacity
+                )));
+            }
+            let index = st.used;
+            st.used += 1;
+            self.write_slot(index, client, 0, 0, 0);
+            st.slots.insert(
+                client,
+                SlotState {
+                    index,
+                    committed: 0,
+                    resume_op: 0,
+                    resume_skip: 0,
+                },
+            );
+        }
+        Ok(st.slots.get_mut(&client).unwrap())
+    }
+
+    /// Persist one slot as a single (≤ one cache line) store.
+    fn write_slot(
+        &self,
+        index: u64,
+        client: u64,
+        committed: u64,
+        resume_op: u64,
+        resume_skip: u64,
+    ) {
+        let off = self.base + SLOTS_OFF + index * SLOT_BYTES;
+        self.pool
+            .write_u64_slice(off, &[client, committed, resume_op, resume_skip]);
+        self.pool.persist(off, SLOT_BYTES as usize);
+    }
+}
+
+/// Per-client committed watermarks recovered from every shard's table,
+/// reported by [`crate::ShardedGraph::open_dgap`] as part of
+/// [`crate::ShardedRecovery`].
+///
+/// An operation tagged `(client_id, op_id)` fans a sub-batch to **every**
+/// shard, so the operation as a whole is committed exactly when the *lowest*
+/// per-shard watermark has reached it — [`ClientWatermarks::committed`]
+/// takes that min (a shard that never saw the client counts as 0).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClientWatermarks {
+    per_shard: Vec<HashMap<u64, u64>>,
+}
+
+impl ClientWatermarks {
+    /// Gather the watermarks of every shard pool (in shard order).
+    pub fn peek_all(pools: &[Arc<PmemPool>]) -> ClientWatermarks {
+        ClientWatermarks {
+            per_shard: pools.iter().map(|p| ClientTable::peek(p)).collect(),
+        }
+    }
+
+    /// Number of shards the map covers.
+    pub fn num_shards(&self) -> usize {
+        self.per_shard.len()
+    }
+
+    /// Highest op id of `client` committed on **all** shards, or `None` if
+    /// no shard has ever heard of the client.
+    pub fn committed(&self, client: u64) -> Option<u64> {
+        if self.per_shard.iter().all(|m| !m.contains_key(&client)) {
+            return None;
+        }
+        Some(
+            self.per_shard
+                .iter()
+                .map(|m| m.get(&client).copied().unwrap_or(0))
+                .min()
+                .unwrap_or(0),
+        )
+    }
+
+    /// Every client id any shard knows about.
+    pub fn clients(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .per_shard
+            .iter()
+            .flat_map(|m| m.keys().copied())
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::PmemConfig;
+
+    fn pool() -> Arc<PmemPool> {
+        Arc::new(PmemPool::new(PmemConfig::small_test()))
+    }
+
+    #[test]
+    fn fresh_table_is_empty_and_survives_reopen() {
+        let p = pool();
+        let t = ClientTable::create_or_open(&p, 0).unwrap();
+        assert_eq!(t.committed(7), None);
+        assert!(t.watermarks().is_empty());
+        drop(t);
+        let t = ClientTable::create_or_open(&p, 0).unwrap();
+        assert_eq!(t.committed(7), None);
+    }
+
+    #[test]
+    fn commit_advances_the_durable_watermark() {
+        let p = pool();
+        let t = ClientTable::create_or_open(&p, 0).unwrap();
+        assert_eq!(t.begin(7, 1, 0).unwrap(), 0);
+        t.advance(1, 1);
+        t.commit(7, 1);
+        assert_eq!(t.committed(7), Some(1));
+        // Survives a crash: every step persisted.
+        p.simulate_crash();
+        let t = ClientTable::create_or_open(&p, 1).unwrap();
+        assert_eq!(t.committed(7), Some(1));
+        assert_eq!(ClientTable::peek(&p).get(&7), Some(&1));
+    }
+
+    #[test]
+    fn crash_mid_apply_parks_a_resume_cursor() {
+        let p = pool();
+        let t = ClientTable::create_or_open(&p, 0).unwrap();
+        t.begin(7, 1, 10).unwrap();
+        t.advance(1, 11);
+        t.advance(2, 12);
+        // Crash here: 2 updates applied, cursor says records stood at 12.
+        p.simulate_crash();
+
+        // Case A: the in-doubt update 2 did NOT land (records still 12).
+        let t = ClientTable::create_or_open(&p, 12).unwrap();
+        // The client is known (begin persisted its slot) but op 1 never
+        // committed: the watermark still reads 0.
+        assert_eq!(t.committed(7), Some(0));
+        assert_eq!(t.begin(7, 1, 12).unwrap(), 2); // resume at update 2
+
+        // Case B: rebuild the same crash image; update 2 DID land.
+        let p = pool();
+        let t = ClientTable::create_or_open(&p, 0).unwrap();
+        t.begin(7, 1, 10).unwrap();
+        t.advance(1, 11);
+        t.advance(2, 12);
+        p.simulate_crash();
+        let t = ClientTable::create_or_open(&p, 13).unwrap();
+        assert_eq!(t.begin(7, 1, 13).unwrap(), 3); // skip past it
+    }
+
+    #[test]
+    fn resume_cursor_survives_other_clients_applying() {
+        let p = pool();
+        let t = ClientTable::create_or_open(&p, 0).unwrap();
+        t.begin(7, 3, 0).unwrap();
+        t.advance(1, 1);
+        p.simulate_crash();
+
+        let t = ClientTable::create_or_open(&p, 1).unwrap();
+        // Another client's op runs (and even crashes) before 7 replays.
+        t.begin(8, 1, 1).unwrap();
+        t.advance(1, 2);
+        t.commit(8, 1);
+        // Client 7's parked cursor is still honoured.
+        assert_eq!(t.begin(7, 3, 2).unwrap(), 1);
+        t.commit(7, 3);
+        assert_eq!(t.committed(7), Some(3));
+        assert_eq!(t.committed(8), Some(1));
+    }
+
+    #[test]
+    fn begin_of_a_different_op_ignores_a_stale_cursor() {
+        let p = pool();
+        let t = ClientTable::create_or_open(&p, 0).unwrap();
+        t.begin(7, 1, 0).unwrap();
+        t.advance(1, 1);
+        p.simulate_crash();
+        let t = ClientTable::create_or_open(&p, 1).unwrap();
+        // The client replays a *different* op id: fresh start.
+        assert_eq!(t.begin(7, 2, 1).unwrap(), 0);
+    }
+
+    #[test]
+    fn table_capacity_is_enforced() {
+        let p = pool();
+        let t = ClientTable::create_or_open(&p, 0).unwrap();
+        for client in 1..=DEFAULT_CAPACITY {
+            t.begin(client, 1, 0).unwrap();
+            t.commit(client, 1);
+        }
+        assert!(matches!(
+            t.begin(DEFAULT_CAPACITY + 1, 1, 0),
+            Err(GraphError::OutOfSpace(_))
+        ));
+    }
+
+    #[test]
+    fn watermarks_min_across_shards() {
+        let pools = [pool(), pool()];
+        for (i, p) in pools.iter().enumerate() {
+            let t = ClientTable::create_or_open(p, 0).unwrap();
+            t.begin(7, 1, 0).unwrap();
+            t.commit(7, 1);
+            if i == 0 {
+                t.begin(7, 2, 0).unwrap();
+                t.commit(7, 2); // shard 0 is ahead
+            }
+        }
+        let w = ClientWatermarks::peek_all(pools.as_ref());
+        assert_eq!(w.num_shards(), 2);
+        assert_eq!(w.committed(7), Some(1)); // min of {2, 1}
+        assert_eq!(w.committed(9), None);
+        assert_eq!(w.clients(), vec![7]);
+    }
+}

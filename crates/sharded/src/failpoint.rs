@@ -1,0 +1,76 @@
+//! Seeded crash-point injection for the ingest pipeline.
+//!
+//! The crash-point fuzzing harness (`tests/crash_fuzz.rs`) needs to kill a
+//! drain worker at arbitrary points inside its commit protocol.  Two
+//! injection planes compose:
+//!
+//! * [`PmemPool::arm_write_failpoint`](pmem::PmemPool::arm_write_failpoint)
+//!   crashes on the N-th raw pmem store — it lands *inside* a graph insert
+//!   or a client-table journal write, exercising torn-update recovery.
+//! * A [`CrashHook`] installed via
+//!   [`crate::IngestPipeline::with_crash_hook`] fires at the protocol
+//!   seams listed in [`CrashSite`] — it exercises the windows *between*
+//!   durable steps (applied-but-not-committed, committed-but-not-published).
+//!
+//! A firing hook simply panics with [`CRASH_MARKER`] in the payload; the
+//! pipeline's existing `catch_unwind` then marks the lane dead, exactly as
+//! if the worker thread had been killed.  Harnesses filter their panic hook
+//! on the marker to keep expected crashes out of the test output.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Substring carried by the panic payload of a firing [`CrashHook`] built
+/// with [`crash_after`].  Re-exports the pmem write fail-point marker so one
+/// filter catches both injection planes.
+pub const CRASH_MARKER: &str = pmem::CRASH_FAILPOINT_MARKER;
+
+/// Where in the drain worker's commit protocol a [`CrashHook`] is invoked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashSite {
+    /// A tagged batch was dequeued, before the apply journal is written.
+    BatchStart,
+    /// Between two updates of a batch (after the cursor advance).
+    BetweenOps,
+    /// All updates applied and flushed, before the commit record lands.
+    BeforeCommit,
+    /// Commit record durable, before the drain watermark is published.
+    AfterCommit,
+}
+
+/// A crash-injection hook: called with the site and the shard index at
+/// every seam.  Panic to simulate a crash at that point; return to proceed.
+pub type CrashHook = Arc<dyn Fn(CrashSite, usize) + Send + Sync>;
+
+/// A [`CrashHook`] that panics (payload contains [`CRASH_MARKER`]) on its
+/// `nth` invocation across all sites and shards, counting from zero.
+pub fn crash_after(nth: u64) -> CrashHook {
+    let countdown = AtomicU64::new(nth);
+    Arc::new(move |site, shard| {
+        if countdown.fetch_sub(1, Ordering::SeqCst) == 0 {
+            panic!("{CRASH_MARKER}: drain worker shard {shard} at {site:?}");
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_after_fires_exactly_once_at_the_nth_call() {
+        let hook = crash_after(2);
+        hook(CrashSite::BatchStart, 0);
+        hook(CrashSite::BetweenOps, 0);
+        let hook2 = Arc::clone(&hook);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            hook2(CrashSite::BeforeCommit, 1)
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains(CRASH_MARKER));
+        assert!(msg.contains("shard 1"));
+        // Wrapped counter keeps silent afterwards.
+        hook(CrashSite::AfterCommit, 0);
+    }
+}

@@ -1,5 +1,6 @@
 //! The partitioned graph: N backend instances behind one `DynamicGraph`.
 
+use crate::client_table::ClientWatermarks;
 use crate::partition::Partitioner;
 use crate::view::{OwnedShardedView, ShardedView};
 use dgap::{
@@ -15,6 +16,9 @@ use std::sync::Arc;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardedRecovery {
     per_shard: Vec<RecoveryKind>,
+    /// Per-client committed op watermarks recovered from every shard's
+    /// durable [`crate::ClientTable`] (empty maps for shards without one).
+    client_watermarks: ClientWatermarks,
 }
 
 impl ShardedRecovery {
@@ -45,6 +49,13 @@ impl ShardedRecovery {
     /// `true` when every shard restarted from a graceful-shutdown backup.
     pub fn all_normal(&self) -> bool {
         self.crashed_shards() == 0
+    }
+
+    /// The per-client committed-op watermarks the shard pools carried —
+    /// what a restarted service needs to answer "did my operation commit?"
+    /// for every client that was in flight at the crash.
+    pub fn client_watermarks(&self) -> &ClientWatermarks {
+        &self.client_watermarks
     }
 
     /// Total interrupted rebalances rolled back across all shards.
@@ -177,6 +188,11 @@ impl ShardedGraph<Dgap> {
             ));
         }
         let num_shards = pools.len();
+        // Read the durable client tables before the pools move into the
+        // per-shard opens (read-only: crash resolution of an interrupted
+        // operation happens when the tables are properly opened, in the
+        // pipeline that serves post-recovery traffic).
+        let client_watermarks = ClientWatermarks::peek_all(&pools);
         let mut slots: Vec<Option<GraphResult<(Dgap, RecoveryKind)>>> =
             (0..num_shards).map(|_| None).collect();
         rayon::scope(|s| {
@@ -199,7 +215,10 @@ impl ShardedGraph<Dgap> {
                 shards,
                 partitioner: Partitioner::new(num_shards),
             },
-            ShardedRecovery { per_shard },
+            ShardedRecovery {
+                per_shard,
+                client_watermarks,
+            },
         ))
     }
 }
@@ -475,6 +494,51 @@ mod tests {
         assert!(recovery.all_normal());
         assert_eq!(recovery.rolled_back_rebalances(), 0);
         assert_eq!(reopened.consistent_view().neighbors(1), vec![2]);
+    }
+
+    #[test]
+    fn open_dgap_recovers_client_watermarks() {
+        use crate::client_table::ClientTable;
+        let edges: Vec<(u64, u64)> = (0..40u64).map(|i| (i % 8, (i + 3) % 8)).collect();
+        let pools = crashed_pools_with(2, &edges, |pool| {
+            let t = ClientTable::create_or_open(pool, 0).unwrap();
+            t.begin(7, 4, 0).unwrap();
+            t.commit(7, 4);
+        });
+        let (_reopened, recovery) =
+            ShardedGraph::open_dgap(pools, |_| DgapConfig::small_test()).unwrap();
+        let marks = recovery.client_watermarks();
+        assert_eq!(marks.num_shards(), 2);
+        assert_eq!(marks.committed(7), Some(4));
+        assert_eq!(marks.committed(8), None);
+        assert_eq!(marks.clients(), vec![7]);
+    }
+
+    /// Like [`crashed_pools`] but runs `prep` on every pool before the crash.
+    fn crashed_pools_with(
+        num_shards: usize,
+        edges: &[(u64, u64)],
+        prep: impl Fn(&Arc<pmem::PmemPool>),
+    ) -> Vec<Arc<pmem::PmemPool>> {
+        let graph = ShardedGraph::new(num_shards, |_| {
+            let pool = Arc::new(pmem::PmemPool::new(PmemConfig::small_test()));
+            dgap::Dgap::create(pool, DgapConfig::small_test())
+        })
+        .unwrap();
+        for &(s, d) in edges {
+            graph.insert_edge(s, d).unwrap();
+        }
+        let pools: Vec<Arc<pmem::PmemPool>> = (0..num_shards)
+            .map(|i| Arc::clone(graph.shard(i).pool()))
+            .collect();
+        for pool in &pools {
+            prep(pool);
+        }
+        drop(graph);
+        for pool in &pools {
+            pool.simulate_crash();
+        }
+        pools
     }
 
     #[test]

@@ -66,7 +66,9 @@
 
 #![warn(missing_docs)]
 
+pub mod client_table;
 pub mod config;
+pub mod failpoint;
 pub mod graph;
 pub mod partition;
 pub mod pipeline;
@@ -75,7 +77,9 @@ pub mod stats;
 pub mod unified;
 pub mod view;
 
+pub use client_table::{ClientTable, ClientWatermarks, CLIENT_TABLE_ROOT};
 pub use config::{ShardedConfig, ShardedConfigBuilder};
+pub use failpoint::{crash_after, CrashHook, CrashSite, CRASH_MARKER};
 pub use graph::{ShardedDgap, ShardedGraph, ShardedRecovery};
 pub use partition::Partitioner;
 pub use pipeline::{IngestPipeline, Ticket};

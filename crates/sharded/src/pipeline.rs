@@ -13,6 +13,8 @@
 //! worker can feed the enqueue→drain latency histogram and leave slow-op
 //! trace events without any extra bookkeeping on the submit path.
 
+use crate::client_table::ClientTable;
+use crate::failpoint::{CrashHook, CrashSite};
 use crate::graph::ShardedGraph;
 use crate::queue::BatchQueue;
 use crate::stats::{PipelineStats, ShardIngestStats};
@@ -31,6 +33,10 @@ use std::time::{Duration, Instant};
 struct QueuedBatch {
     ops: Vec<Update>,
     enqueued_at: Instant,
+    /// `(client_id, op_id)` for durably tagged submissions
+    /// ([`IngestPipeline::submit_tagged`]); `None` for the plain fire-and-
+    /// forget path.
+    client: Option<(u64, u64)>,
 }
 
 /// Per-shard ingest lane shared between producers and the drain worker.
@@ -54,6 +60,9 @@ struct Lane {
     stalls: Arc<Counter>,
     errors: Arc<Counter>,
     deletes: Arc<Counter>,
+    /// Tagged batches skipped whole because the shard's client table already
+    /// had their op id committed — replays deduplicated at the drain level.
+    replays: Arc<Counter>,
     /// Batches currently sitting in the queue (enqueued, not yet drained).
     depth: Arc<Gauge>,
     /// Set when the shard's drain worker died (panicked); producers and the
@@ -73,6 +82,7 @@ impl Lane {
             stalls: registry.counter_with("pipeline_backpressure_stalls", &labels),
             errors: registry.counter_with("pipeline_op_errors", &labels),
             deletes: registry.counter_with("pipeline_deletes_applied", &labels),
+            replays: registry.counter_with("pipeline_replay_skips", &labels),
             depth: registry.gauge_with("pipeline_queue_depth", &labels),
             dead: AtomicBool::new(false),
         }
@@ -124,6 +134,11 @@ struct Shared<G> {
     queue_latency: Arc<Histogram>,
     /// Interned trace kind for slow batch drains.
     drain_kind: TraceKind,
+    /// Per-shard durable client tables (exactly-once commit records for
+    /// tagged batches); `None` for pipelines without the durable path.
+    tables: Option<Vec<ClientTable>>,
+    /// Crash-injection hook for the fuzz harness; `None` in production.
+    crash: Option<CrashHook>,
 }
 
 impl<G> Shared<G> {
@@ -232,12 +247,57 @@ impl<G: DynamicGraph + 'static> IngestPipeline<G> {
         config: &ShardedConfig,
         registry: Arc<Registry>,
     ) -> Self {
+        Self::build(graph, config, registry, None, None)
+    }
+
+    /// Like [`IngestPipeline::with_registry`], but with one durable
+    /// [`ClientTable`] per shard, enabling the exactly-once
+    /// [`IngestPipeline::submit_tagged`] path.  The tables must come from
+    /// the same shard pools as `graph` (one per shard, shard order) and must
+    /// have been opened — crash resolution included — *before* this call,
+    /// since the workers start applying immediately.
+    pub fn with_client_tables(
+        graph: Arc<ShardedGraph<G>>,
+        config: &ShardedConfig,
+        registry: Arc<Registry>,
+        tables: Vec<ClientTable>,
+    ) -> Self {
+        Self::build(graph, config, registry, Some(tables), None)
+    }
+
+    /// [`IngestPipeline::with_client_tables`] plus a [`CrashHook`] invoked
+    /// at every [`CrashSite`] of the tagged commit protocol — the crash-point
+    /// fuzzing harness's entry point.
+    pub fn with_crash_hook(
+        graph: Arc<ShardedGraph<G>>,
+        config: &ShardedConfig,
+        registry: Arc<Registry>,
+        tables: Vec<ClientTable>,
+        hook: CrashHook,
+    ) -> Self {
+        Self::build(graph, config, registry, Some(tables), Some(hook))
+    }
+
+    fn build(
+        graph: Arc<ShardedGraph<G>>,
+        config: &ShardedConfig,
+        registry: Arc<Registry>,
+        tables: Option<Vec<ClientTable>>,
+        crash: Option<CrashHook>,
+    ) -> Self {
         config.validate();
         assert_eq!(
             config.num_shards,
             graph.num_shards(),
             "ShardedConfig::num_shards must match the graph it feeds"
         );
+        if let Some(tables) = &tables {
+            assert_eq!(
+                tables.len(),
+                graph.num_shards(),
+                "client tables must cover every shard"
+            );
+        }
         let lanes = (0..graph.num_shards())
             .map(|shard| Lane::new(&registry, shard, config.queue_capacity))
             .collect();
@@ -251,6 +311,8 @@ impl<G: DynamicGraph + 'static> IngestPipeline<G> {
             registry,
             queue_latency,
             drain_kind,
+            tables,
+            crash,
         });
         let workers = (0..shared.graph.num_shards())
             .map(|shard| {
@@ -282,16 +344,54 @@ impl<G: DynamicGraph + 'static> IngestPipeline<G> {
     /// case sub-batches already enqueued on *other* shards stay enqueued —
     /// submission is not transactional across shards).
     pub fn submit(&self, ops: &[Update]) -> GraphResult<Ticket> {
-        self.submit_iter(ops.iter().copied())
+        self.submit_iter(ops.iter().copied(), None)
     }
 
     /// Convenience for plain insert-only edge streams: every `(src, dst)`
     /// tuple becomes an [`Update::InsertEdge`].
     pub fn submit_edges(&self, edges: &[Edge]) -> GraphResult<Ticket> {
-        self.submit_iter(edges.iter().map(|&(src, dst)| Update::InsertEdge(src, dst)))
+        self.submit_iter(
+            edges.iter().map(|&(src, dst)| Update::InsertEdge(src, dst)),
+            None,
+        )
     }
 
-    fn submit_iter(&self, ops: impl Iterator<Item = Update>) -> GraphResult<Ticket> {
+    /// Submit `ops` tagged `(client_id, op_id)` for detectable exactly-once
+    /// application.  Requires a pipeline built with client tables
+    /// ([`IngestPipeline::with_client_tables`]); ids must be non-zero (0 is
+    /// the tables' free-slot / no-op sentinel).
+    ///
+    /// A tagged operation enqueues a sub-batch on **every** shard — empty
+    /// ones included — so each shard's durable watermark for the client
+    /// advances to `op_id` when it commits, and the operation as a whole is
+    /// committed exactly when the minimum per-shard watermark
+    /// ([`IngestPipeline::client_committed`]) reaches it.
+    ///
+    /// Exactly-once holds under one client contract: a retry of `op_id`
+    /// must carry the **identical** update vector, and a client's ops must
+    /// be submitted (and re-submitted) in op-id order.  Shards that already
+    /// committed the op skip the replayed sub-batch (counted in the
+    /// `pipeline_replay_skips` metric); a shard that crashed mid-apply
+    /// resumes from its durable cursor, so no update is ever applied twice.
+    pub fn submit_tagged(&self, ops: &[Update], client_id: u64, op_id: u64) -> GraphResult<Ticket> {
+        if self.shared.tables.is_none() {
+            return Err(GraphError::Unsupported(
+                "submit_tagged on a pipeline without client tables",
+            ));
+        }
+        if client_id == 0 || op_id == 0 {
+            return Err(GraphError::Protocol(
+                "client_id and op_id must be non-zero".into(),
+            ));
+        }
+        self.submit_iter(ops.iter().copied(), Some((client_id, op_id)))
+    }
+
+    fn submit_iter(
+        &self,
+        ops: impl Iterator<Item = Update>,
+        client: Option<(u64, u64)>,
+    ) -> GraphResult<Ticket> {
         let partitioner = self.shared.graph.partitioner();
         let num_shards = partitioner.num_shards();
         let mut ticket = Ticket {
@@ -308,7 +408,10 @@ impl<G: DynamicGraph + 'static> IngestPipeline<G> {
             let mut result = Ok(());
             for shard in 0..num_shards {
                 let buf = &mut scratch[shard];
-                if buf.is_empty() {
+                // Tagged ops fan to every shard (empty sub-batches advance
+                // the shard's per-client watermark); plain ops skip shards
+                // they do not touch.
+                if buf.is_empty() && client.is_none() {
                     continue;
                 }
                 if result.is_err() {
@@ -329,6 +432,7 @@ impl<G: DynamicGraph + 'static> IngestPipeline<G> {
                 let mut pending = QueuedBatch {
                     ops: buf.clone(),
                     enqueued_at: Instant::now(),
+                    client,
                 };
                 buf.clear();
                 loop {
@@ -477,6 +581,33 @@ impl<G: DynamicGraph + 'static> IngestPipeline<G> {
         &self.shared.graph
     }
 
+    /// Number of shard lanes (== the graph's shard count).
+    pub fn num_shards(&self) -> usize {
+        self.shared.lanes.len()
+    }
+
+    /// Whether the durable exactly-once path is enabled
+    /// ([`IngestPipeline::with_client_tables`]).
+    pub fn has_client_tables(&self) -> bool {
+        self.shared.tables.is_some()
+    }
+
+    /// Highest op id of `client` durably committed on **every** shard — the
+    /// watermark [`IngestPipeline::submit_tagged`] semantics are defined by.
+    /// `None` when no shard has ever heard of the client (or the pipeline
+    /// has no client tables); a shard that knows other clients but not this
+    /// one counts as 0.
+    pub fn client_committed(&self, client: u64) -> Option<u64> {
+        let tables = self.shared.tables.as_ref()?;
+        if tables.iter().all(|t| t.committed(client).is_none()) {
+            return None;
+        }
+        tables
+            .iter()
+            .map(|t| t.committed(client).unwrap_or(0))
+            .min()
+    }
+
     /// The metric registry the pipeline records into (lane counters,
     /// queue-depth gauges, the enqueue→drain histogram and the slow-op
     /// trace ring).
@@ -499,6 +630,7 @@ impl<G: DynamicGraph + 'static> IngestPipeline<G> {
                     batches_drained: l.drained.get(),
                     backpressure_stalls: l.stalls.get(),
                     op_errors: l.errors.get(),
+                    replay_skips: l.replays.get(),
                 })
                 .collect(),
         }
@@ -514,29 +646,97 @@ impl<G: DynamicGraph + 'static> Drop for IngestPipeline<G> {
     }
 }
 
+/// Apply one update, routing errors into the lane counters.
+fn apply_op<G: DynamicGraph>(shared: &Shared<G>, shard: usize, backend: &G, op: Update) {
+    let lane = &shared.lanes[shard];
+    let outcome = match op {
+        Update::InsertVertex(v) => backend.insert_vertex(v),
+        Update::InsertEdge(src, dst) => backend.insert_edge(src, dst),
+        Update::DeleteEdge(src, dst) => {
+            lane.deletes.inc();
+            // A delete of an absent edge is a no-op, not an
+            // error: only backend failures are recorded.
+            backend.delete_edge(src, dst).map(|_existed| ())
+        }
+    };
+    if let Err(err) = outcome {
+        lane.errors.inc();
+        shared.error.record(err);
+    }
+}
+
+/// Apply a `(client, op)`-tagged batch under the durable commit protocol:
+///
+/// 1. Already committed on this shard?  Skip the whole batch (replay dedup).
+/// 2. `ClientTable::begin` persists the apply journal and yields the resume
+///    index (0, or the parked cursor of an interrupted earlier attempt).
+/// 3. After *each* update, `ClientTable::advance` persists the cursor
+///    `(updates applied, record counter)` — a crash leaves at most one
+///    update in doubt, which the record counter disambiguates at reopen.
+/// 4. Flush the backend, then persist the commit record: the watermark is
+///    the **last** thing to land, so `committed >= op` implies every update
+///    of the op is durable on this shard.
+fn drain_tagged<G: DynamicGraph>(
+    shared: &Shared<G>,
+    shard: usize,
+    backend: &G,
+    table: &ClientTable,
+    batch: &QueuedBatch,
+    client: u64,
+    op_id: u64,
+) {
+    let lane = &shared.lanes[shard];
+    if let Some(hook) = &shared.crash {
+        hook(CrashSite::BatchStart, shard);
+    }
+    if table.committed(client).unwrap_or(0) >= op_id {
+        lane.replays.inc();
+        return;
+    }
+    let start = match table.begin(client, op_id, backend.num_edges() as u64) {
+        Ok(start) => start,
+        Err(err) => {
+            lane.errors.inc();
+            shared.error.record(err);
+            return;
+        }
+    };
+    for (i, &op) in batch.ops.iter().enumerate().skip(start as usize) {
+        apply_op(shared, shard, backend, op);
+        table.advance(i as u64 + 1, backend.num_edges() as u64);
+        if let Some(hook) = &shared.crash {
+            hook(CrashSite::BetweenOps, shard);
+        }
+    }
+    // The applied updates must be durable before the commit record lands.
+    backend.flush();
+    if let Some(hook) = &shared.crash {
+        hook(CrashSite::BeforeCommit, shard);
+    }
+    table.commit(client, op_id);
+    if let Some(hook) = &shared.crash {
+        hook(CrashSite::AfterCommit, shard);
+    }
+}
+
 fn drain_worker<G: DynamicGraph>(shared: &Shared<G>, shard: usize) {
     let backend = shared.graph.shard_arc(shard);
     let lane = &shared.lanes[shard];
+    let table = shared.tables.as_ref().map(|t| &t[shard]);
     let mut idle_spins = 0u32;
     loop {
         match lane.queue.pop() {
             Some(batch) => {
                 idle_spins = 0;
                 lane.depth.sub(1);
-                for &op in &batch.ops {
-                    let outcome = match op {
-                        Update::InsertVertex(v) => backend.insert_vertex(v),
-                        Update::InsertEdge(src, dst) => backend.insert_edge(src, dst),
-                        Update::DeleteEdge(src, dst) => {
-                            lane.deletes.inc();
-                            // A delete of an absent edge is a no-op, not an
-                            // error: only backend failures are recorded.
-                            backend.delete_edge(src, dst).map(|_existed| ())
+                match (batch.client, table) {
+                    (Some((client, op_id)), Some(table)) => {
+                        drain_tagged(shared, shard, &backend, table, &batch, client, op_id);
+                    }
+                    _ => {
+                        for &op in &batch.ops {
+                            apply_op(shared, shard, &backend, op);
                         }
-                    };
-                    if let Err(err) = outcome {
-                        lane.errors.inc();
-                        shared.error.record(err);
                     }
                 }
                 lane.applied
@@ -580,6 +780,17 @@ mod tests {
     fn pipeline_over(cfg: ShardedConfig) -> IngestPipeline<dgap::Dgap> {
         let graph = Arc::new(ShardedGraph::create_dgap_small_test(cfg.num_shards).unwrap());
         IngestPipeline::new(graph, &cfg)
+    }
+
+    fn durable_pipeline_over(cfg: ShardedConfig) -> IngestPipeline<dgap::Dgap> {
+        let graph = Arc::new(ShardedGraph::create_dgap_small_test(cfg.num_shards).unwrap());
+        let tables = (0..cfg.num_shards)
+            .map(|i| {
+                let shard = graph.shard(i);
+                ClientTable::create_or_open(shard.pool(), shard.num_edges() as u64).unwrap()
+            })
+            .collect();
+        IngestPipeline::with_client_tables(graph, &cfg, Arc::new(Registry::new()), tables)
     }
 
     /// A backend whose inserts panic — used to poison drain workers.
@@ -826,6 +1037,77 @@ mod tests {
         // And the failed call's accounting is rolled back: only the op from
         // the first (pre-death) submit remains counted.
         assert_eq!(pipeline.stats().ops_submitted(), 1);
+    }
+
+    #[test]
+    fn tagged_submit_commits_and_deduplicates_replays() {
+        let p = durable_pipeline_over(ShardedConfig::small_test());
+        let ops = [
+            Update::InsertEdge(0, 1),
+            Update::InsertEdge(1, 2),
+            Update::DeleteEdge(0, 1),
+        ];
+        assert_eq!(p.client_committed(7), None);
+        let t = p.submit_tagged(&ops, 7, 1).unwrap();
+        p.wait_for(&t).unwrap();
+        // Fan-to-all: every shard committed op 1, so the min watermark is 1.
+        assert_eq!(p.client_committed(7), Some(1));
+        let records = p.graph().num_edges();
+        assert_eq!(records, 3, "2 inserts + 1 tombstone record");
+        // Replay of the same (client, op): acked, applied nowhere.
+        let t = p.submit_tagged(&ops, 7, 1).unwrap();
+        p.wait_for(&t).unwrap();
+        assert_eq!(p.graph().num_edges(), records);
+        assert_eq!(p.stats().replay_skips(), 2, "one skip per shard");
+        assert_eq!(p.client_committed(7), Some(1));
+        // A later op applies normally.
+        let t = p.submit_tagged(&[Update::InsertEdge(2, 3)], 7, 2).unwrap();
+        p.wait_for(&t).unwrap();
+        assert_eq!(p.client_committed(7), Some(2));
+        assert_eq!(p.graph().num_edges(), records + 1);
+    }
+
+    #[test]
+    fn tagged_submit_needs_tables_and_nonzero_ids() {
+        let plain = pipeline_over(ShardedConfig::small_test());
+        assert!(matches!(
+            plain.submit_tagged(&[Update::InsertVertex(0)], 1, 1),
+            Err(GraphError::Unsupported(_))
+        ));
+        assert!(!plain.has_client_tables());
+        assert_eq!(plain.client_committed(1), None);
+
+        let durable = durable_pipeline_over(ShardedConfig::small_test());
+        assert!(durable.has_client_tables());
+        assert_eq!(durable.num_shards(), 2);
+        for (client, op) in [(0, 1), (1, 0)] {
+            assert!(matches!(
+                durable.submit_tagged(&[Update::InsertVertex(0)], client, op),
+                Err(GraphError::Protocol(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn crash_hook_kills_the_worker_like_a_real_crash() {
+        let cfg = ShardedConfig::small_test();
+        let graph = Arc::new(ShardedGraph::create_dgap_small_test(cfg.num_shards).unwrap());
+        let tables = (0..cfg.num_shards)
+            .map(|i| ClientTable::create_or_open(graph.shard(i).pool(), 0).unwrap())
+            .collect();
+        let p = IngestPipeline::with_crash_hook(
+            graph,
+            &cfg,
+            Arc::new(Registry::new()),
+            tables,
+            crate::failpoint::crash_after(0),
+        );
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence the injected panic
+        let t = p.submit_tagged(&[Update::InsertEdge(0, 1)], 3, 1).unwrap();
+        let err = p.wait_for(&t).unwrap_err();
+        std::panic::set_hook(prev);
+        assert!(matches!(err, GraphError::WorkerDied { .. }), "{err}");
     }
 
     #[test]

@@ -23,6 +23,9 @@ pub struct ShardIngestStats {
     pub backpressure_stalls: u64,
     /// Operations the backend rejected.
     pub op_errors: u64,
+    /// Tagged batches skipped whole because their `(client, op)` was already
+    /// committed on this shard (exactly-once replay deduplication).
+    pub replay_skips: u64,
 }
 
 /// Aggregated pipeline statistics (sum over shards).
@@ -76,6 +79,11 @@ impl PipelineStats {
         self.shards.iter().map(|s| s.op_errors).sum()
     }
 
+    /// Total replayed tagged batches deduplicated across shards.
+    pub fn replay_skips(&self) -> u64 {
+        self.shards.iter().map(|s| s.replay_skips).sum()
+    }
+
     /// Ratio of the busiest shard's submitted operations to the ideal even
     /// share — 1.0 is perfectly balanced.  Returns 0.0 before any ingest.
     pub fn skew(&self) -> f64 {
@@ -110,6 +118,7 @@ mod tests {
                     batches_drained: 3,
                     backpressure_stalls: 1,
                     op_errors: 0,
+                    replay_skips: 2,
                 },
                 ShardIngestStats {
                     ops_submitted: 10,
@@ -119,6 +128,7 @@ mod tests {
                     batches_drained: 0,
                     backpressure_stalls: 0,
                     op_errors: 1,
+                    replay_skips: 0,
                 },
             ],
         };
@@ -129,6 +139,7 @@ mod tests {
         assert_eq!(stats.batches_drained(), 3);
         assert_eq!(stats.backpressure_stalls(), 1);
         assert_eq!(stats.op_errors(), 1);
+        assert_eq!(stats.replay_skips(), 2);
         // busiest shard has 30 of 40; ideal share is 20.
         assert!((stats.skew() - 1.5).abs() < 1e-12);
     }

@@ -1,0 +1,306 @@
+//! Crash-point fuzzing for the detectable exactly-once ingest path.
+//!
+//! Each trial builds a persistence-tracked sharded engine, feeds it a seeded
+//! stream of tagged batches from two clients, and kills the ingest at a
+//! randomized point mid-stream — either by a [`CrashHook`] planted in the
+//! drain-worker commit protocol or by a fail-point armed on one shard's pmem
+//! write path.  The pools then take a simulated power cut, the engine is
+//! reopened through [`GraphService::open`], and the client runs the documented
+//! recovery protocol: probe every outstanding `(client_id, op_id)` in order,
+//! replay the ones the engine does not report committed, and finally demand
+//! exact [`ReferenceGraph`] parity — which fails loudly if any update was
+//! applied zero or two times.
+//!
+//! The default matrix (1/2/4 shards x `CRASH_FUZZ_SEEDS` seeds each) lands
+//! more than 200 distinct crash points per run.  `CRASH_FUZZ_SEED` pins the
+//! base seed (CI does), `CRASH_FUZZ_SEEDS` scales the per-shard trial count.
+
+use std::sync::Arc;
+
+use dgap::{GraphView, ReferenceGraph, Update, VertexId};
+use obs::Registry;
+use pmem::{CostModel, PmemConfig, PmemPool};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use service::{GraphService, OpStatus, ServiceConfig};
+use sharded::{
+    crash_after, ClientTable, IngestPipeline, ShardedConfig, ShardedGraph, CRASH_MARKER,
+};
+
+const NUM_VERTICES: usize = 160;
+const NUM_EDGES: usize = 1 << 14;
+const POOL_BYTES: usize = 24 << 20;
+/// Tagged batches per client per trial.
+const OPS_PER_CLIENT: usize = 12;
+const NUM_CLIENTS: u64 = 2;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Swallow the panic messages of *injected* crashes so 200+ trials don't
+/// bury real failures in noise; every other panic still reports normally.
+fn silence_injected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !payload.contains(CRASH_MARKER) {
+                default(info);
+            }
+        }));
+    });
+}
+
+fn service_config(num_shards: usize) -> ServiceConfig {
+    ServiceConfig {
+        sharded: ShardedConfig::builder()
+            .shards(num_shards)
+            .batch_size(16)
+            .build(),
+        workers: 2,
+        num_vertices: NUM_VERTICES,
+        num_edges: NUM_EDGES,
+        pool_bytes: POOL_BYTES,
+    }
+}
+
+/// One client's scripted life: `batches[k]` is the update vector it submits
+/// (and, on retry, must resubmit verbatim) as op id `k + 1`.
+struct ClientScript {
+    client_id: u64,
+    batches: Vec<Vec<Update>>,
+}
+
+/// Two clients with disjoint source-vertex sets (even vs odd), so the final
+/// graph is independent of how their batches interleave across shards and
+/// the oracle stays exact.  Deletes only ever target a still-live edge of
+/// the same client, and no edge is inserted twice while visible, keeping
+/// multiset semantics trivial.
+fn scripts(rng: &mut ChaCha8Rng) -> Vec<ClientScript> {
+    let n = NUM_VERTICES as u64;
+    (0..NUM_CLIENTS)
+        .map(|c| {
+            let mut live: Vec<(u64, u64)> = Vec::new();
+            let batches = (0..OPS_PER_CLIENT)
+                .map(|_| {
+                    let len = rng.gen_range(1usize..6);
+                    let mut ops = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        let roll = rng.gen_range(0u32..10);
+                        if roll < 2 && !live.is_empty() {
+                            let (s, d) = live.swap_remove(rng.gen_range(0usize..live.len()));
+                            ops.push(Update::DeleteEdge(s, d));
+                        } else {
+                            let s = rng.gen_range(0u64..n / 2) * 2 + c;
+                            let d = rng.gen_range(0u64..n);
+                            if roll == 2 || live.contains(&(s, d)) {
+                                ops.push(Update::InsertVertex(d));
+                            } else {
+                                live.push((s, d));
+                                ops.push(Update::InsertEdge(s, d));
+                            }
+                        }
+                    }
+                    ops
+                })
+                .collect();
+            ClientScript {
+                client_id: c + 1,
+                batches,
+            }
+        })
+        .collect()
+}
+
+fn oracle_after(scripts: &[ClientScript]) -> ReferenceGraph {
+    let mut oracle = ReferenceGraph::new(NUM_VERTICES);
+    for script in scripts {
+        for batch in &script.batches {
+            for &op in batch {
+                match op {
+                    Update::InsertVertex(_) => {}
+                    Update::InsertEdge(s, d) => oracle.add_edge(s, d),
+                    Update::DeleteEdge(s, d) => {
+                        oracle.remove_edge(s, d);
+                    }
+                }
+            }
+        }
+    }
+    oracle
+}
+
+/// Run one crash trial.  Returns whether the injected crash actually fired
+/// (it must, given the fail-point bounds — asserted by the caller).
+fn crash_trial(num_shards: usize, seed: u64) -> bool {
+    silence_injected_panics();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let plan = scripts(&mut rng);
+    let total_batches = (NUM_CLIENTS as usize * OPS_PER_CLIENT) as u64;
+
+    // --- Phase 1: a fresh engine on persistence-tracked pools. ---
+    let config = service_config(num_shards);
+    let graph = Arc::new(
+        ShardedGraph::create_dgap(num_shards, NUM_VERTICES, NUM_EDGES, |_| {
+            PmemConfig::with_capacity(POOL_BYTES).cost_model(CostModel::zero())
+        })
+        .expect("create sharded dgap"),
+    );
+    let pools: Vec<Arc<PmemPool>> = (0..num_shards)
+        .map(|i| Arc::clone(graph.shard(i).pool()))
+        .collect();
+    let tables: Vec<ClientTable> = pools
+        .iter()
+        .map(|pool| ClientTable::create_or_open(pool, 0).expect("create client table"))
+        .collect();
+
+    // --- Phase 2: pick the crash plane and arm it. ---
+    // Even seeds crash in the drain worker's commit protocol (the hook sees
+    // at least 3 sites per batch per lane, so any nth below 3 x batches is
+    // guaranteed to fire); odd seeds crash one shard's raw pmem write path
+    // (each tagged batch costs that pool at least 3 writes: journal begin,
+    // cursor advance, commit).
+    let registry = Arc::new(Registry::new());
+    let hook_mode = seed.is_multiple_of(2);
+    let pipeline = if hook_mode {
+        let nth = rng.gen_range(0u64..3 * total_batches);
+        IngestPipeline::with_crash_hook(
+            Arc::clone(&graph),
+            &config.sharded,
+            Arc::clone(&registry),
+            tables,
+            crash_after(nth),
+        )
+    } else {
+        let pipeline = IngestPipeline::with_client_tables(
+            Arc::clone(&graph),
+            &config.sharded,
+            Arc::clone(&registry),
+            tables,
+        );
+        let victim = rng.gen_range(0usize..num_shards);
+        let nth = rng.gen_range(0u64..2 * total_batches);
+        pools[victim].arm_write_failpoint(nth);
+        pipeline
+    };
+
+    // --- Phase 3: submit every batch; the crash lands somewhere inside. ---
+    let mut crashed = false;
+    for k in 0..OPS_PER_CLIENT {
+        for script in &plan {
+            let op_id = (k + 1) as u64;
+            if pipeline
+                .submit_tagged(&script.batches[k], script.client_id, op_id)
+                .is_err()
+            {
+                crashed = true;
+            }
+        }
+    }
+    if pipeline.flush_all().is_err() {
+        crashed = true;
+    }
+    drop(pipeline);
+    drop(graph);
+
+    // --- Phase 4: power cut.  Unflushed lines vanish. ---
+    for pool in &pools {
+        pool.disarm_write_failpoint();
+        pool.simulate_crash();
+    }
+
+    // --- Phase 5: reopen through the service and run the client-side
+    // recovery protocol: probe in op-id order, replay what is missing. ---
+    let (service, recovery) =
+        GraphService::open(service_config(num_shards), pools).expect("reopen after crash");
+    let client = service.client();
+    for script in &plan {
+        for (k, batch) in script.batches.iter().enumerate() {
+            let op_id = (k + 1) as u64;
+            let status = client.probe_op(script.client_id, op_id).expect("probe");
+            if status != OpStatus::Committed {
+                let ticket = client
+                    .mutate_as(script.client_id, op_id, batch.clone())
+                    .expect("replay");
+                client.wait(&ticket).expect("replay wait");
+            }
+        }
+    }
+    client.flush().expect("post-replay flush");
+
+    // --- Phase 6: exactly-once means exact oracle parity — a lost update
+    // shows as a missing neighbour, a double apply as a duplicated one. ---
+    let oracle = oracle_after(&plan);
+    let context = format!("shards={num_shards} seed={seed} hook={hook_mode}");
+    for v in 0..NUM_VERTICES as VertexId {
+        let mut got = client.neighbors(v).expect("neighbors");
+        let mut want = oracle.neighbors(v);
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(
+            got, want,
+            "neighbours of {v} after probe-and-replay ({context})"
+        );
+    }
+    for script in &plan {
+        for k in 0..OPS_PER_CLIENT {
+            assert_eq!(
+                client
+                    .probe_op(script.client_id, (k + 1) as u64)
+                    .expect("final probe"),
+                OpStatus::Committed,
+                "client {} op {} not committed after replay ({context})",
+                script.client_id,
+                k + 1,
+            );
+        }
+        let watermark = recovery
+            .client_watermarks()
+            .committed(script.client_id)
+            .unwrap_or(0);
+        assert!(
+            watermark <= OPS_PER_CLIENT as u64,
+            "recovered watermark {watermark} beyond the script ({context})"
+        );
+    }
+    service.shutdown();
+    crashed
+}
+
+fn run_matrix(num_shards: usize) {
+    let base = env_u64("CRASH_FUZZ_SEED", 0xD6A9_2026);
+    let trials = env_u64("CRASH_FUZZ_SEEDS", 70);
+    for round in 0..trials {
+        let seed = base ^ ((num_shards as u64) << 32) ^ round;
+        let crashed = crash_trial(num_shards, seed);
+        assert!(
+            crashed,
+            "shards={num_shards} seed={seed}: injected crash never fired"
+        );
+    }
+}
+
+#[test]
+fn crash_fuzz_one_shard() {
+    run_matrix(1);
+}
+
+#[test]
+fn crash_fuzz_two_shards() {
+    run_matrix(2);
+}
+
+#[test]
+fn crash_fuzz_four_shards() {
+    run_matrix(4);
+}

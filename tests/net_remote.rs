@@ -148,10 +148,10 @@ fn pipelined_requests_are_harvested_out_of_order() {
 
     // Fire a burst of requests without waiting on any of them...
     let mutate = client
-        .send(&Request::Mutate(vec![
-            Update::InsertEdge(1, 2),
-            Update::InsertEdge(1, 3),
-        ]))
+        .send(&Request::Mutate {
+            ops: vec![Update::InsertEdge(1, 2), Update::InsertEdge(1, 3)],
+            client: None,
+        })
         .expect("send mutate");
     let flush = client.send(&Request::Flush).expect("send flush");
     let queries: Vec<_> = (0..16)
@@ -455,4 +455,100 @@ fn server_shutdown_drains_and_clients_observe_closed() {
         matches!(err, GraphError::Closed | GraphError::Io(_)),
         "unexpected {err:?}"
     );
+}
+
+/// Satellite check for exactly-once ingest without any crash: the same
+/// `(client_id, op_id)` submitted concurrently from two separate TCP
+/// connections must apply exactly once — one submission wins the pipeline,
+/// the other is acked with the winner's ticket and counted as a dedup hit.
+#[test]
+fn duplicate_tagged_submission_from_two_connections_applies_once() {
+    let server = GraphServer::start(service_config(), NetConfig::loopback()).expect("start server");
+    let addr = server.local_addr();
+    let ops: Vec<Update> = (0..24u64)
+        .map(|k| Update::InsertEdge(5, 100 + k % 12))
+        .collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            let ops = ops.clone();
+            scope.spawn(move || {
+                let client = RemoteClient::connect(addr).expect("connect");
+                let ticket = client.mutate_as(7, 1, ops).expect("tagged mutate");
+                client.wait(&ticket).expect("wait");
+                client.close();
+            });
+        }
+    });
+
+    let client = RemoteClient::connect(addr).expect("connect");
+    client.flush().expect("flush");
+
+    // One application, not two: each of the 12 distinct neighbours shows up
+    // exactly twice (the op vector itself names each twice), never four
+    // times.
+    let mut got = client.neighbors(5).expect("neighbors");
+    got.sort_unstable();
+    let mut want: Vec<u64> = (100..112).flat_map(|d| [d, d]).collect();
+    want.sort_unstable();
+    assert_eq!(got, want, "duplicate submission must apply exactly once");
+
+    // The loser's ack was served from the ledger and counted.
+    let metrics = client.metrics().expect("metrics");
+    assert_eq!(
+        metrics.counter("ingest_dedup_hits"),
+        Some(1),
+        "exactly one of the two submissions is a dedup hit"
+    );
+
+    // The op is now durably committed and detectably so across the wire;
+    // a belt-and-braces durable retry becomes a no-op with an empty ticket.
+    assert_eq!(
+        client.probe_op(7, 1).expect("probe"),
+        service::OpStatus::Committed
+    );
+    let replay = client
+        .mutate_durable(7, 1, vec![Update::InsertEdge(5, 999)])
+        .expect("durable retry");
+    assert!(replay.is_empty(), "a committed op must not be re-applied");
+    assert!(
+        !client.neighbors(5).expect("neighbors").contains(&999),
+        "durable retry of a committed op must be a no-op"
+    );
+
+    // Ops nobody ever submitted probe as unknown/not-committed, never panic.
+    assert_eq!(
+        client.probe_op(7, 2).expect("probe"),
+        service::OpStatus::NotCommitted
+    );
+    assert_eq!(
+        client.probe_op(99, 1).expect("probe"),
+        service::OpStatus::Unknown
+    );
+
+    client.close();
+    server.shutdown();
+}
+
+/// `connect_retry` rides out a server that comes up late, and gives up with
+/// the transport error — not a hang — when nothing ever listens.
+#[test]
+fn connect_retry_bridges_a_late_server_and_bounds_a_dead_one() {
+    // Nothing listens here: bounded attempts, then the last error.
+    let dead = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let dead_addr = dead.local_addr().expect("addr");
+    drop(dead);
+    match RemoteClient::connect_retry(dead_addr, 3, Duration::from_millis(5)) {
+        Err(GraphError::Io(_)) => {}
+        Err(other) => panic!("unexpected {other:?}"),
+        Ok(_) => panic!("no server must mean an error after the attempt budget"),
+    }
+
+    // A server that appears mid-backoff is reached by a later attempt.
+    let server = GraphServer::start(service_config(), NetConfig::loopback()).expect("start server");
+    let client = RemoteClient::connect_retry(server.local_addr(), 3, Duration::from_millis(5))
+        .expect("connect_retry against a live server");
+    client.flush().expect("flush");
+    client.close();
+    server.shutdown();
 }
