@@ -484,6 +484,9 @@ pub fn fig9(opts: &BenchOptions) -> Table {
 ///   ([`DgapConfig::sequential_recovery`], the PR-before baseline)
 /// * `crash-par`    — the chunked parallel crash scan, one row per
 ///   `--threads` entry (split width bounded via `with_threads`)
+/// * `verify`       — the full integrity pass ([`Dgap::verify`]) over the
+///   recovered instance: every durable region re-checksummed, the cost
+///   `verify_data_on_open` adds to a restart (and of one scrub pass)
 /// * `crash-shards` — the same data partitioned across each `--shards`
 ///   entry, reopened with [`sharded::ShardedGraph::open_dgap`] (per-shard
 ///   opens fanned out on the pool, each shard's scan itself parallel)
@@ -642,6 +645,27 @@ pub fn recovery(opts: &BenchOptions) -> Table {
                 "1".into(),
                 par_wall,
                 par_sim / scanners as f64,
+            ));
+        }
+
+        // Integrity verify pass: the cost of re-checksumming every durable
+        // region of the recovered instance ([`Dgap::verify`]) — what
+        // `verify_data_on_open` adds to a restart and what one background
+        // scrub pass costs at steady state.
+        {
+            pool.simulate_crash();
+            let g2 = Dgap::open(Arc::clone(&pool), cfg.clone()).expect("open").0;
+            let (verify_wall, verify_sim) = timed(&pool, &mut || {
+                let report = g2.verify();
+                assert!(!report.is_fatal(), "pristine pool must verify clean");
+                std::hint::black_box(report.bytes_verified());
+            });
+            rows.push((
+                "verify".into(),
+                "1".into(),
+                "1".into(),
+                verify_wall,
+                verify_sim,
             ));
         }
 
@@ -1548,6 +1572,7 @@ pub fn serve(opts: &BenchOptions) -> Table {
             num_vertices: w.num_vertices,
             num_edges,
             pool_bytes,
+            ..ServiceConfig::default()
         })
         .expect("start GraphService");
 
@@ -1672,6 +1697,7 @@ pub fn serve_net(opts: &BenchOptions) -> Table {
         num_vertices: NUM_VERTICES,
         num_edges: 1 << 17,
         pool_bytes: 64 << 20,
+        ..ServiceConfig::default()
     };
 
     let mut table = Table::new(
@@ -1866,9 +1892,9 @@ mod tests {
             ..tiny()
         };
         // Per dataset: normal + crash-seq + one crash-par row per thread
-        // count + one crash-shards and one reopen+client-table row per
-        // shard count.
-        let per_dataset = 2 + opts.thread_counts.len() + 2 * opts.shard_counts.len();
+        // count + the verify row + one crash-shards and one
+        // reopen+client-table row per shard count.
+        let per_dataset = 3 + opts.thread_counts.len() + 2 * opts.shard_counts.len();
         assert_eq!(recovery(&opts).len(), SMALL_DATASETS.len() * per_dataset);
     }
 

@@ -72,6 +72,14 @@ pub struct DgapConfig {
     /// when only one thread is available.  The `recovery` benchmark turns
     /// this off to measure the sequential baseline.
     pub parallel_recovery: bool,
+    /// Whether a graceful-restart open re-checksums the full edge array
+    /// against the per-section CRC table sealed at shutdown.  `false` by
+    /// default: the paper's graceful restart is O(metadata), independent of
+    /// graph size, and a full-array scan would forfeit that.  The metadata
+    /// seals (pool header, superblock, layout block, undo-log headers, edge
+    /// logs, backup blob) are verified on every open regardless.  The
+    /// service layer and the corruption-fuzz harness opt in.
+    pub verify_data_on_open: bool,
 }
 
 impl Default for DgapConfig {
@@ -90,6 +98,7 @@ impl Default for DgapConfig {
             use_undo_log: true,
             metadata_placement: Placement::Dram,
             parallel_recovery: true,
+            verify_data_on_open: false,
         }
     }
 }
@@ -168,6 +177,13 @@ impl DgapConfig {
     /// (the measured baseline of the `recovery` benchmark).
     pub fn sequential_recovery(mut self) -> Self {
         self.parallel_recovery = false;
+        self
+    }
+
+    /// Builder-style: re-checksum the full edge array on graceful-restart
+    /// opens (see the `verify_data_on_open` field).
+    pub fn verify_data_on_open(mut self, verify: bool) -> Self {
+        self.verify_data_on_open = verify;
         self
     }
 

@@ -4,8 +4,9 @@
 //! (§2.4.1): when an insertion's natural slot in the edge array is already
 //! occupied — which would force a nearby shift of up to a few hundred bytes
 //! — the edge is instead *appended* to a small, pre-allocated, per-section
-//! log on persistent memory.  Appends are sequential 12-byte writes, the
-//! cheapest thing Optane can do.  When a log approaches capacity (90 % by
+//! log on persistent memory.  Appends are sequential 16-byte writes (12
+//! payload bytes plus a CRC32C sealed in the same store), the cheapest
+//! thing Optane can do.  When a log approaches capacity (90 % by
 //! default) its contents are merged back into the edge array as part of a
 //! rebalance.
 //!
@@ -22,12 +23,18 @@
 //! its **pivot**, which lets a section merge clear its whole log safely.
 
 use crate::traits::VertexId;
-use pmem::{PmemOffset, PmemPool};
+use pmem::{crc32c, PmemOffset, PmemPool};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Bytes per edge-log entry: source (4), destination (4), back-pointer (4).
-pub const ELOG_ENTRY_BYTES: usize = 12;
+/// Bytes per edge-log entry: source (4), destination (4), back-pointer (4),
+/// CRC32C of the first 12 bytes (4).  Entries are 16-byte aligned inside a
+/// 64-byte-aligned region, so payload and checksum always share one cache
+/// line and persist atomically.
+pub const ELOG_ENTRY_BYTES: usize = 16;
+
+/// Bytes of an entry covered by its trailing CRC32C.
+const ELOG_PAYLOAD_BYTES: usize = 12;
 
 /// One decoded edge-log entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -205,6 +212,8 @@ impl EdgeLogs {
         buf[0..4].copy_from_slice(&src_word.to_le_bytes());
         buf[4..8].copy_from_slice(&dst_word.to_le_bytes());
         buf[8..12].copy_from_slice(&prev.to_le_bytes());
+        let crc = crc32c(&buf[..ELOG_PAYLOAD_BYTES]);
+        buf[12..16].copy_from_slice(&crc.to_le_bytes());
         self.pool.write(off, &buf);
         self.pool.persist(off, ELOG_ENTRY_BYTES);
         counter.store(slot + 1, Ordering::Release);
@@ -312,6 +321,91 @@ impl EdgeLogs {
     pub fn rebuild_used_counters(&self) {
         self.scan_all(|_, _, _| {});
     }
+
+    /// CRC-sweep one section's log.  Returns the first fault found, if any.
+    ///
+    /// Entries are prefix-contiguous (appends fill forward, `clear` zeroes
+    /// the whole section), so the sweep distinguishes:
+    ///
+    /// * a live entry with a bad checksum or a zeroed source word — data
+    ///   loss, **not** repairable;
+    /// * a structurally valid entry after the first empty slot — a gap in
+    ///   the live prefix, meaning an earlier entry was wiped: also fatal;
+    /// * non-zero garbage past the first empty slot that does not verify
+    ///   as an entry — cannot be a record the log ever wrote, so it is
+    ///   **repairable** by re-zeroing the tail ([`EdgeLogs::zero_tail`]).
+    pub fn verify_section(&self, section: usize) -> Result<(), ElogFault> {
+        let mut in_tail = false;
+        for slot in 0..self.entries_per_section {
+            let global = (section * self.entries_per_section + slot) as u32;
+            let offset = self.entry_offset(global);
+            let bytes = self.pool.read_vec(offset, ELOG_ENTRY_BYTES);
+            if bytes.iter().all(|&b| b == 0) {
+                in_tail = true;
+                continue;
+            }
+            let src_word = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+            let stored = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+            let actual = crc32c(&bytes[..ELOG_PAYLOAD_BYTES]);
+            let looks_valid = src_word != 0 && stored == actual;
+            let fault = |detail: String, repairable: bool| ElogFault {
+                section,
+                global,
+                offset,
+                detail,
+                repairable,
+            };
+            match (in_tail, looks_valid) {
+                (false, true) => {}
+                (false, false) => {
+                    return Err(fault(
+                        if src_word == 0 {
+                            "live entry with zeroed source word".to_string()
+                        } else {
+                            format!(
+                                "entry crc mismatch: stored {stored:#010x}, computed {actual:#010x}"
+                            )
+                        },
+                        false,
+                    ));
+                }
+                (true, true) => {
+                    return Err(fault("live entry after an empty slot".to_string(), false));
+                }
+                (true, false) => {
+                    return Err(fault("garbage past the log tail".to_string(), true));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-zero `section`'s log from `from_global` to the end of the section
+    /// — the repair for tail garbage reported by
+    /// [`EdgeLogs::verify_section`].
+    pub fn zero_tail(&self, section: usize, from_global: u32) {
+        let end = ((section + 1) * self.entries_per_section) as u32;
+        debug_assert!(from_global < end);
+        let offset = self.entry_offset(from_global);
+        let bytes = (end - from_global) as usize * ELOG_ENTRY_BYTES;
+        self.pool.memset(offset, 0, bytes);
+        self.pool.persist(offset, bytes);
+    }
+}
+
+/// A fault found by [`EdgeLogs::verify_section`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElogFault {
+    /// Section whose log failed verification.
+    pub section: usize,
+    /// Global index of the failing slot.
+    pub global: u32,
+    /// Pool byte offset of the failing slot.
+    pub offset: PmemOffset,
+    /// What exactly failed.
+    pub detail: String,
+    /// Whether [`EdgeLogs::zero_tail`] can repair it without data loss.
+    pub repairable: bool,
 }
 
 impl std::fmt::Debug for EdgeLogs {
@@ -444,6 +538,42 @@ mod tests {
         for s in 0..8 {
             assert_eq!(l.used(s), 0);
         }
+    }
+
+    #[test]
+    fn verify_passes_on_clean_and_empty_sections() {
+        let (_p, l) = logs(2, 256);
+        for dst in 0..5u64 {
+            l.append(0, 1, dst, false, NO_ELOG).unwrap();
+        }
+        l.verify_section(0).unwrap();
+        l.verify_section(1).unwrap();
+    }
+
+    #[test]
+    fn verify_detects_flipped_live_entry_as_fatal() {
+        let (pool, l) = logs(1, 256);
+        l.append(0, 3, 7, false, NO_ELOG).unwrap();
+        pool.inject_bit_flip(l.base_offset() + 5, 1);
+        let fault = l.verify_section(0).unwrap_err();
+        assert!(!fault.repairable);
+        assert!(fault.detail.contains("crc mismatch"), "{}", fault.detail);
+        assert_eq!(fault.offset, l.base_offset());
+    }
+
+    #[test]
+    fn verify_repairs_tail_garbage() {
+        let (pool, l) = logs(1, 256);
+        l.append(0, 3, 7, false, NO_ELOG).unwrap();
+        // One flipped bit well past the live prefix.
+        let tail_off = l.base_offset() + (5 * ELOG_ENTRY_BYTES) as u64 + 3;
+        pool.inject_bit_flip(tail_off, 6);
+        let fault = l.verify_section(0).unwrap_err();
+        assert!(fault.repairable, "{}", fault.detail);
+        l.zero_tail(0, fault.global);
+        l.verify_section(0).unwrap();
+        // The live entry is untouched by the repair.
+        assert_eq!(l.entry(0).unwrap().dst, 7);
     }
 
     #[test]

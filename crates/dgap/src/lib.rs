@@ -42,6 +42,7 @@ pub mod config;
 pub mod edges;
 pub mod elog;
 pub mod graph;
+pub mod integrity;
 pub mod meta;
 pub mod recovery;
 pub mod slot;
@@ -53,6 +54,7 @@ pub mod vertex;
 
 pub use config::{DgapConfig, Placement};
 pub use graph::{Dgap, DgapSnapshot, DgapStats, DgapStatsSnapshot};
+pub use integrity::{CoveredRegion, RegionReport, RegionState, VerifyReport};
 pub use recovery::{RecoveredState, RecoveryKind};
 pub use slot::Slot;
 pub use traits::{

@@ -12,7 +12,8 @@
 //! so a crash during a resize always leaves a fully consistent generation
 //! reachable.
 
-use pmem::{PmemOffset, PmemPool, Result as PmemResult, RootId};
+use pmem::{crc32c, PmemOffset, PmemPool, Result as PmemResult, RootId};
+use std::sync::Arc;
 
 /// Superblock field offsets (bytes, all fields `u64`).
 mod sb {
@@ -27,7 +28,15 @@ mod sb {
     pub const ULOG_CHUNK: u64 = 64;
     pub const SEGMENT_SIZE: u64 = 72;
     pub const ELOG_SIZE: u64 = 80;
-    pub const SIZE: u64 = 96;
+    /// CRC32C of the graceful-shutdown backup blob (sealed by `shutdown`).
+    pub const BACKUP_CRC: u64 = 88;
+    /// Offset of the per-section CRC table (sealed by `shutdown`).
+    pub const SECT_CRC_OFF: u64 = 96;
+    /// Length of the per-section CRC table in bytes.
+    pub const SECT_CRC_LEN: u64 = 104;
+    /// CRC32C of superblock bytes `0..CRC`, re-sealed on every field write.
+    pub const CRC: u64 = 112;
+    pub const SIZE: u64 = 128;
 }
 
 /// Layout-block field offsets.
@@ -35,6 +44,9 @@ mod lb {
     pub const EDGE_BASE: u64 = 0;
     pub const NUM_SEGMENTS: u64 = 8;
     pub const ELOG_BASE: u64 = 16;
+    /// CRC32C of bytes `0..CRC`; layout blocks are write-once, so this is
+    /// sealed at publish time and never touched again.
+    pub const CRC: u64 = 24;
     pub const SIZE: u64 = 32;
 }
 
@@ -53,6 +65,11 @@ pub struct Layout {
 #[derive(Debug, Clone)]
 pub struct Superblock {
     off: PmemOffset,
+    /// Serialises field writes so the CRC re-seal always covers a
+    /// consistent snapshot (writer threads update `NUM_VERTICES`
+    /// concurrently with shutdown/backup bookkeeping).  Shared by clones
+    /// of the same handle.
+    lock: Arc<parking_lot::Mutex<()>>,
 }
 
 impl Superblock {
@@ -60,24 +77,76 @@ impl Superblock {
     /// [`RootId::Superblock`].
     pub fn create(pool: &PmemPool) -> PmemResult<Self> {
         let off = pool.alloc_zeroed(sb::SIZE as usize, 64)?;
+        let this = Superblock {
+            off,
+            lock: Arc::new(parking_lot::Mutex::new(())),
+        };
+        pool.write_u64(off + sb::CRC, u64::from(this.compute_crc(pool)));
         pool.persist(off, sb::SIZE as usize);
         pool.set_root(RootId::Superblock, off)?;
-        Ok(Superblock { off })
+        Ok(this)
     }
 
     /// Locate the superblock of a previously initialised pool.
     pub fn open(pool: &PmemPool) -> PmemResult<Self> {
         let off = pool.root(RootId::Superblock)?;
-        Ok(Superblock { off })
+        Ok(Superblock {
+            off,
+            lock: Arc::new(parking_lot::Mutex::new(())),
+        })
+    }
+
+    /// Byte offset of the superblock inside its pool (carried by
+    /// integrity errors).
+    pub fn offset(&self) -> PmemOffset {
+        self.off
+    }
+
+    /// The superblock's region as `(offset, len)` — the CRC-covered area
+    /// the integrity pass and the fault injector both target.
+    pub fn region(&self) -> (PmemOffset, u64) {
+        (self.off, sb::SIZE)
+    }
+
+    /// The currently published layout block's region, if any.
+    pub fn layout_block(&self, pool: &PmemPool) -> Option<(PmemOffset, u64)> {
+        let block = self.get(pool, sb::LAYOUT_BLOCK);
+        (block != 0).then_some((block, lb::SIZE))
+    }
+
+    /// CRC32C over every field except the CRC slot itself.
+    fn compute_crc(&self, pool: &PmemPool) -> u32 {
+        crc32c(&pool.read_vec(self.off, sb::CRC as usize))
+    }
+
+    /// Check the superblock against its stored CRC.  Returns the failing
+    /// detail on mismatch.
+    pub fn verify(&self, pool: &PmemPool) -> Result<(), String> {
+        let _g = self.lock.lock();
+        let stored = self.get(pool, sb::CRC) as u32;
+        let actual = self.compute_crc(pool);
+        if stored != actual {
+            return Err(format!(
+                "superblock crc mismatch: stored {stored:#010x}, computed {actual:#010x}"
+            ));
+        }
+        Ok(())
     }
 
     fn get(&self, pool: &PmemPool, field: u64) -> u64 {
         pool.read_u64(self.off + field)
     }
 
+    /// Write one field and re-seal the superblock CRC, flushing both before
+    /// a single fence: a crash persists the field and its checksum together
+    /// or not at all.
     fn set(&self, pool: &PmemPool, field: u64, value: u64) {
+        let _g = self.lock.lock();
         pool.write_u64(self.off + field, value);
-        pool.persist(self.off + field, 8);
+        pool.write_u64(self.off + sb::CRC, u64::from(self.compute_crc(pool)));
+        pool.flush(self.off + field, 8);
+        pool.flush(self.off + sb::CRC, 8);
+        pool.fence();
     }
 
     /// Whether the previous session shut down gracefully.
@@ -120,10 +189,48 @@ impl Superblock {
         pool.write_u64(block + lb::EDGE_BASE, layout.edge_base);
         pool.write_u64(block + lb::NUM_SEGMENTS, layout.num_segments as u64);
         pool.write_u64(block + lb::ELOG_BASE, layout.elog_base);
+        let crc = crc32c(&pool.read_vec(block, lb::CRC as usize));
+        pool.write_u64(block + lb::CRC, u64::from(crc));
         pool.persist(block, lb::SIZE as usize);
         // Single atomic pointer switch: the new generation becomes visible
         // only after its contents are durable.
         self.set(pool, sb::LAYOUT_BLOCK, block);
+        Ok(())
+    }
+
+    /// Check the currently published layout block against its sealed CRC.
+    /// Returns the block offset and failing detail on mismatch; `Ok` when
+    /// no layout has been published yet.
+    pub fn verify_layout(&self, pool: &PmemPool) -> Result<(), (PmemOffset, String)> {
+        let block = self.get(pool, sb::LAYOUT_BLOCK);
+        if block == 0 {
+            return Ok(());
+        }
+        // A corrupt superblock can hold a garbage pointer; never chase it
+        // past the pool (the superblock's own CRC reports the damage, this
+        // keeps the verify pass from faulting before it gets there).
+        if block
+            .checked_add(lb::SIZE)
+            .is_none_or(|end| end > pool.capacity() as u64)
+        {
+            return Err((
+                block,
+                format!(
+                    "layout block pointer {block:#x} out of bounds (pool capacity {})",
+                    pool.capacity()
+                ),
+            ));
+        }
+        let stored = pool.read_u64(block + lb::CRC) as u32;
+        let actual = crc32c(&pool.read_vec(block, lb::CRC as usize));
+        if stored != actual {
+            return Err((
+                block,
+                format!(
+                    "layout block crc mismatch: stored {stored:#010x}, computed {actual:#010x}"
+                ),
+            ));
+        }
         Ok(())
     }
 
@@ -184,6 +291,33 @@ impl Superblock {
     pub fn backup(&self, pool: &PmemPool) -> Option<(PmemOffset, usize)> {
         let off = self.get(pool, sb::BACKUP_OFF);
         let len = self.get(pool, sb::BACKUP_LEN) as usize;
+        if off == 0 || len == 0 {
+            None
+        } else {
+            Some((off, len))
+        }
+    }
+
+    /// Record the CRC32C of the metadata backup blob.
+    pub fn set_backup_crc(&self, pool: &PmemPool, crc: u32) {
+        self.set(pool, sb::BACKUP_CRC, u64::from(crc));
+    }
+
+    /// The recorded CRC32C of the metadata backup blob.
+    pub fn backup_crc(&self, pool: &PmemPool) -> u32 {
+        self.get(pool, sb::BACKUP_CRC) as u32
+    }
+
+    /// Record the per-section CRC table sealed at graceful shutdown.
+    pub fn set_section_crcs(&self, pool: &PmemPool, off: PmemOffset, len: usize) {
+        self.set(pool, sb::SECT_CRC_OFF, off);
+        self.set(pool, sb::SECT_CRC_LEN, len as u64);
+    }
+
+    /// The per-section CRC table region, if one was sealed.
+    pub fn section_crcs(&self, pool: &PmemPool) -> Option<(PmemOffset, usize)> {
+        let off = self.get(pool, sb::SECT_CRC_OFF);
+        let len = self.get(pool, sb::SECT_CRC_LEN) as usize;
         if off == 0 || len == 0 {
             None
         } else {
@@ -259,6 +393,56 @@ mod tests {
         assert!(s.backup(&pool).is_none());
         s.set_backup(&pool, 12345, 678);
         assert_eq!(s.backup(&pool), Some((12345, 678)));
+    }
+
+    #[test]
+    fn superblock_crc_stays_sealed_across_updates_and_crash() {
+        let pool = PmemPool::new(PmemConfig::small_test());
+        let s = Superblock::create(&pool).unwrap();
+        s.verify(&pool).unwrap();
+        s.set_num_vertices(&pool, 17);
+        s.set_config(&pool, 512, 2048);
+        s.set_backup(&pool, 4096, 100);
+        s.set_backup_crc(&pool, 0xdead_beef);
+        s.set_section_crcs(&pool, 8192, 40);
+        s.verify(&pool).unwrap();
+        pool.simulate_crash();
+        let s2 = Superblock::open(&pool).unwrap();
+        s2.verify(&pool).unwrap();
+        assert_eq!(s2.backup_crc(&pool), 0xdead_beef);
+        assert_eq!(s2.section_crcs(&pool), Some((8192, 40)));
+    }
+
+    #[test]
+    fn superblock_bit_flip_is_detected() {
+        let pool = PmemPool::new(PmemConfig::small_test());
+        let s = Superblock::create(&pool).unwrap();
+        s.set_num_vertices(&pool, 99);
+        pool.inject_bit_flip(s.offset() + 8, 2);
+        let err = s.verify(&pool).unwrap_err();
+        assert!(err.contains("crc mismatch"), "{err}");
+    }
+
+    #[test]
+    fn layout_crc_sealed_at_publish_and_flip_detected() {
+        let pool = PmemPool::new(PmemConfig::small_test());
+        let s = Superblock::create(&pool).unwrap();
+        s.verify_layout(&pool).unwrap(); // nothing published yet
+        s.publish_layout(
+            &pool,
+            Layout {
+                edge_base: 4096,
+                num_segments: 4,
+                elog_base: 8192,
+            },
+        )
+        .unwrap();
+        s.verify_layout(&pool).unwrap();
+        let block = pool.read_u64(s.offset() + 16);
+        pool.inject_bit_flip(block + 8, 0);
+        let (bad_block, detail) = s.verify_layout(&pool).unwrap_err();
+        assert_eq!(bad_block, block);
+        assert!(detail.contains("crc mismatch"), "{detail}");
     }
 
     #[test]

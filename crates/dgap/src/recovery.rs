@@ -33,14 +33,15 @@ use crate::config::DgapConfig;
 use crate::edges::EdgeArray;
 use crate::elog::EdgeLogs;
 use crate::graph::Dgap;
+use crate::integrity::{self, VerifyReport};
 use crate::meta::Superblock;
-use crate::slot::Slot;
+use crate::slot::{Slot, SLOT_BYTES};
 use crate::traits::{GraphError, GraphResult, VertexId};
 use crate::ulog::UndoLog;
 use crate::vertex::{VertexArray, VertexEntry, NO_ELOG};
 use parking_lot::Mutex;
 use pma::{DensityTree, SegmentGeometry};
-use pmem::PmemPool;
+use pmem::{crc32c, PmemPool};
 use std::sync::Arc;
 
 /// Bytes per vertex entry in the metadata backup.
@@ -146,8 +147,54 @@ impl Dgap {
         pool.write(off, &buf);
         pool.persist(off, len);
         self.superblock().set_backup(pool, off, len);
+        // Seal the backup blob (the CRC is a running by-product of the buf
+        // we just streamed out — no re-scan) and a per-section CRC table
+        // over the now-quiescent edge array, so the next open can verify
+        // both before trusting them.
+        self.superblock().set_backup_crc(pool, crc32c(&buf));
+        self.seal_section_crcs()?;
         self.superblock().set_num_vertices(pool, entries.len());
         self.superblock().set_normal_shutdown(pool, true);
+        Ok(())
+    }
+
+    /// Checksum every edge-array section (in parallel on graphs big enough
+    /// to matter) and persist the table of per-section CRCs, sealed with
+    /// its own trailing CRC.  Called with the graph quiesced by `shutdown`.
+    fn seal_section_crcs(&self) -> GraphResult<()> {
+        use rayon::prelude::*;
+        let pool = self.pool();
+        let num_sections = self.edges.num_segments();
+        let seg_bytes = self.edges.segment_size() * SLOT_BYTES;
+        let base = self.edges.base_offset();
+        let section_crc =
+            |s: usize| crc32c(&pool.read_vec(base + (s * seg_bytes) as u64, seg_bytes));
+        let parallel = self.config().parallel_recovery
+            && rayon::current_num_threads() > 1
+            && self.edges.capacity() >= PARALLEL_RECOVERY_MIN_SLOTS;
+        let crcs: Vec<u32> = if parallel {
+            (0..num_sections)
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .map(section_crc)
+                .collect()
+        } else {
+            (0..num_sections).map(section_crc).collect()
+        };
+        let len = 8 + num_sections * 4 + 4;
+        let mut table = Vec::with_capacity(len);
+        table.extend_from_slice(&(num_sections as u64).to_le_bytes());
+        for c in &crcs {
+            table.extend_from_slice(&c.to_le_bytes());
+        }
+        table.extend_from_slice(&crc32c(&table).to_le_bytes());
+        debug_assert_eq!(table.len(), len);
+        let off = pool
+            .alloc(len, 64)
+            .map_err(|e| GraphError::OutOfSpace(e.to_string()))?;
+        pool.write(off, &table);
+        pool.persist(off, len);
+        self.superblock().set_section_crcs(pool, off, len);
         Ok(())
     }
 
@@ -161,7 +208,35 @@ impl Dgap {
     /// passing an explicit value that differs from the recorded one is an
     /// error rather than a silent override.
     pub fn open(pool: Arc<PmemPool>, cfg: DgapConfig) -> GraphResult<(Self, RecoveryKind)> {
+        let (graph, kind, _report) = Self::open_verified(pool, cfg)?;
+        Ok((graph, kind))
+    }
+
+    /// [`Dgap::open`] with the integrity pass's findings surfaced.
+    ///
+    /// Every open CRC-verifies the persistent image before trusting it
+    /// (see [`crate::integrity`]): the pool header, superblock and layout
+    /// block gate attachment; the undo-log headers, edge logs and — after
+    /// a graceful shutdown — the metadata backup and per-section edge
+    /// CRCs gate the restart path.  Repairable damage is repaired (and
+    /// reported); fatal damage aborts with [`GraphError::Corrupted`]
+    /// carrying the pool path and failing offset, so callers can
+    /// quarantine the shard instead of serving corrupt edges.
+    pub fn open_verified(
+        pool: Arc<PmemPool>,
+        cfg: DgapConfig,
+    ) -> GraphResult<(Self, RecoveryKind, VerifyReport)> {
+        let mut report = VerifyReport::default();
+        report.push(integrity::pool_header_report(&pool));
+        if let Some(e) = report.fatal_error(&pool) {
+            return Err(e);
+        }
         let sb = Superblock::open(&pool).map_err(|e| GraphError::Other(e.to_string()))?;
+        report.push(integrity::superblock_report(&pool, &sb));
+        report.push(integrity::layout_report(&pool, &sb));
+        if let Some(e) = report.fatal_error(&pool) {
+            return Err(e);
+        }
         let (segment_size, elog_size) = sb.config(&pool);
         let defaults = DgapConfig::default();
         if cfg.segment_size != segment_size && cfg.segment_size != defaults.segment_size {
@@ -225,6 +300,11 @@ impl Dgap {
             DensityTree::new(geom, pma::DensityBounds::default()),
         );
 
+        // Verify the attached components before loading any state from
+        // them.  A corrupt metadata backup downgrades `normal` to a crash
+        // scan; fatal corruption aborts the open here.
+        let normal = graph.verify_on_open(normal, &mut report)?;
+
         let kind = if normal {
             graph.load_backup()?;
             RecoveryKind::NormalRestart
@@ -237,7 +317,7 @@ impl Dgap {
         // From this point on we are live again: any future crash must go
         // through crash recovery unless `shutdown` runs first.
         graph.superblock().set_normal_shutdown(graph.pool(), false);
-        Ok((graph, kind))
+        Ok((graph, kind, report))
     }
 
     /// Reload DRAM metadata from the graceful-shutdown backup.

@@ -69,6 +69,29 @@ pub enum GraphError {
         /// Which quota tripped (`"inflight"`, `"rate"`, `"backpressure"`).
         reason: String,
     },
+    /// A persistent region failed its integrity check and the damage is not
+    /// repairable from a log or backup.  The shard owning the region is
+    /// quarantined; the data it held cannot be trusted.
+    Corrupted {
+        /// The failing region (`"superblock"`, `"edge section 3"`, ...).
+        region: String,
+        /// What exactly failed, including pool label and byte offset.
+        detail: String,
+    },
+    /// The service is serving in degraded mode: the listed shards are
+    /// quarantined.  For a read this means the result would be partial;
+    /// for a mutation it means the target shard is offline.  Retryable —
+    /// the shards may be restored or re-ingested.
+    Degraded {
+        /// Indices of the quarantined shards.
+        shards: Vec<usize>,
+    },
+    /// A wait gave up after its deadline expired.  The operation may still
+    /// complete; only the wait timed out.
+    Timeout {
+        /// How long the caller actually waited, in milliseconds.
+        waited_ms: u64,
+    },
     /// Any other system-specific failure.
     Other(String),
 }
@@ -89,6 +112,15 @@ impl fmt::Display for GraphError {
             GraphError::Protocol(msg) => write!(f, "wire protocol violation: {msg}"),
             GraphError::Overloaded { reason } => {
                 write!(f, "request shed by admission control: over {reason} quota")
+            }
+            GraphError::Corrupted { region, detail } => {
+                write!(f, "integrity check failed in {region}: {detail}")
+            }
+            GraphError::Degraded { shards } => {
+                write!(f, "serving degraded: shards {shards:?} quarantined")
+            }
+            GraphError::Timeout { waited_ms } => {
+                write!(f, "wait deadline expired after {waited_ms} ms")
             }
             GraphError::Other(msg) => write!(f, "{msg}"),
         }
@@ -846,6 +878,17 @@ mod tests {
         assert!(GraphError::WorkerDied { shard: 3 }
             .to_string()
             .contains("shard 3"));
+        let corrupted = GraphError::Corrupted {
+            region: "edge section 4".into(),
+            detail: "crc mismatch".into(),
+        }
+        .to_string();
+        assert!(corrupted.contains("edge section 4") && corrupted.contains("crc mismatch"));
+        let degraded = GraphError::Degraded { shards: vec![1, 3] }.to_string();
+        assert!(degraded.contains("[1, 3]"));
+        assert!(GraphError::Timeout { waited_ms: 250 }
+            .to_string()
+            .contains("250 ms"));
     }
 
     #[test]

@@ -25,17 +25,23 @@
 //! ablation measures is preserved: no per-transaction journal allocation and
 //! one ordering point per chunk rather than PMDK's per-range fences.
 
-use pmem::{PmemOffset, PmemPool, Result as PmemResult};
+use pmem::{crc32c, Crc32c, PmemOffset, PmemPool, Result as PmemResult};
 use std::sync::Arc;
 
 /// Header layout (all little-endian `u64`):
 /// `[0]` valid flag, `[8]` window offset, `[16]` window length,
-/// `[24]` backup data length actually used.
+/// `[24]` spill offset (0 = backup inline), `[32]` CRC32C of the backup
+/// data, `[40]` CRC32C of header bytes `0..40`.  The header occupies one
+/// 64-byte-aligned cache line, so every update (fields + re-sealed CRC)
+/// persists with a single flush and fence — a crash keeps or loses them
+/// together.
 const HDR_VALID: u64 = 0;
 const HDR_WINDOW_OFF: u64 = 8;
 const HDR_WINDOW_LEN: u64 = 16;
 const HDR_USED: u64 = 24;
-const HDR_SIZE: u64 = 32;
+const HDR_DATA_CRC: u64 = 32;
+const HDR_CRC: u64 = 40;
+const HDR_SIZE: u64 = 64;
 
 /// A single writer thread's undo log.
 pub struct UndoLog {
@@ -55,13 +61,14 @@ impl UndoLog {
     pub fn new(pool: Arc<PmemPool>, capacity: usize, chunk: usize) -> PmemResult<Self> {
         let capacity = capacity.max(chunk).max(64);
         let region = pool.alloc_zeroed(HDR_SIZE as usize + capacity, 64)?;
-        pool.persist(region, HDR_SIZE as usize);
-        Ok(UndoLog {
+        let log = UndoLog {
             pool,
             region,
             capacity,
             chunk: chunk.max(64),
-        })
+        };
+        log.update_header(&[]); // seal the CRC of the zeroed header
+        Ok(log)
     }
 
     /// Re-attach to an undo log written by a previous session.
@@ -80,6 +87,12 @@ impl UndoLog {
         self.region
     }
 
+    /// The CRC-sealed header region as `(offset, len)` — what the integrity
+    /// pass covers and the fault injector may target.
+    pub fn header_region(&self) -> (PmemOffset, u64) {
+        (self.region, HDR_SIZE)
+    }
+
     /// Capacity of the data area in bytes.
     pub fn capacity(&self) -> usize {
         self.capacity
@@ -88,6 +101,76 @@ impl UndoLog {
     /// `true` if the log currently protects an interrupted rebalance.
     pub fn needs_recovery(&self) -> bool {
         self.pool.read_u64(self.region + HDR_VALID) == 1
+    }
+
+    /// Write header `fields`, re-seal the header CRC and persist the whole
+    /// header line in one flush + fence.
+    fn update_header(&self, fields: &[(u64, u64)]) {
+        for &(f, v) in fields {
+            self.pool.write_u64(self.region + f, v);
+        }
+        let crc = crc32c(&self.pool.read_vec(self.region, HDR_CRC as usize));
+        self.pool.write_u64(self.region + HDR_CRC, u64::from(crc));
+        self.pool.persist(self.region, (HDR_CRC + 8) as usize);
+    }
+
+    /// Check the header against its stored CRC.
+    pub fn verify_header(&self) -> Result<(), String> {
+        let stored = self.pool.read_u64(self.region + HDR_CRC) as u32;
+        let actual = crc32c(&self.pool.read_vec(self.region, HDR_CRC as usize));
+        if stored != actual {
+            return Err(format!(
+                "undo-log header crc mismatch: stored {stored:#010x}, computed {actual:#010x}"
+            ));
+        }
+        Ok(())
+    }
+
+    /// For an armed log, check the backed-up window data against the CRC
+    /// sealed when the log was armed.  Disarmed logs trivially pass (their
+    /// data area is never read).
+    pub fn verify_armed_data(&self) -> Result<(), String> {
+        if !self.needs_recovery() {
+            return Ok(());
+        }
+        let len = self.pool.read_u64(self.region + HDR_WINDOW_LEN) as usize;
+        let spill = self.pool.read_u64(self.region + HDR_USED);
+        let backup_off = if spill != 0 {
+            spill
+        } else {
+            self.region + HDR_SIZE
+        };
+        let mut h = Crc32c::new();
+        let mut done = 0usize;
+        while done < len {
+            let n = self.chunk.min(len - done);
+            h.update(&self.pool.read_vec(backup_off + done as u64, n));
+            done += n;
+        }
+        let stored = self.pool.read_u64(self.region + HDR_DATA_CRC) as u32;
+        let actual = h.finish();
+        if stored != actual {
+            return Err(format!(
+                "undo-log backup data crc mismatch: stored {stored:#010x}, computed {actual:#010x}"
+            ));
+        }
+        Ok(())
+    }
+
+    /// Rewrite a clean, disarmed header — the repair for a corrupt header
+    /// found after a *graceful* shutdown, where the log is known to have
+    /// been disarmed (shutdown cannot complete mid-rebalance).
+    pub fn reinit_header(&self) {
+        for f in [
+            HDR_VALID,
+            HDR_WINDOW_OFF,
+            HDR_WINDOW_LEN,
+            HDR_USED,
+            HDR_DATA_CRC,
+        ] {
+            self.pool.write_u64(self.region + f, 0);
+        }
+        self.update_header(&[]);
     }
 
     /// Overwrite `[window_off, window_off + new_contents.len())` of the pool
@@ -118,28 +201,29 @@ impl UndoLog {
         };
 
         // 1. Descriptor first (not yet valid).
-        self.pool
-            .write_u64(self.region + HDR_WINDOW_OFF, window_off);
-        self.pool
-            .write_u64(self.region + HDR_WINDOW_LEN, len as u64);
-        self.pool
-            .write_u64(self.region + HDR_USED, if spilled { backup_off } else { 0 });
-        self.pool.persist(self.region + HDR_WINDOW_OFF, 24);
+        self.update_header(&[
+            (HDR_WINDOW_OFF, window_off),
+            (HDR_WINDOW_LEN, len as u64),
+            (HDR_USED, if spilled { backup_off } else { 0 }),
+        ]);
 
-        // 2. Backup the old contents chunk by chunk.
+        // 2. Backup the old contents chunk by chunk, accumulating the
+        // running CRC as each chunk is written (no re-scan at arm time).
+        let mut data_crc = Crc32c::new();
         let mut done = 0usize;
         while done < len {
             let n = self.chunk.min(len - done);
             let old = self.pool.read_vec(window_off + done as u64, n);
+            data_crc.update(&old);
             self.pool.write(backup_off + done as u64, &old);
             self.pool.flush(backup_off + done as u64, n);
             done += n;
         }
         self.pool.fence();
 
-        // 3. Arm the log.
-        self.pool.write_u64(self.region + HDR_VALID, 1);
-        self.pool.persist(self.region + HDR_VALID, 8);
+        // 3. Arm the log: valid flag, backup-data CRC and re-sealed header
+        // CRC land in one header-line flush + fence.
+        self.update_header(&[(HDR_DATA_CRC, u64::from(data_crc.finish())), (HDR_VALID, 1)]);
 
         // 4. Write the new contents chunk by chunk.
         let mut done = 0usize;
@@ -153,8 +237,7 @@ impl UndoLog {
         self.pool.fence();
 
         // 5. Disarm.
-        self.pool.write_u64(self.region + HDR_VALID, 0);
-        self.pool.persist(self.region + HDR_VALID, 8);
+        self.update_header(&[(HDR_VALID, 0)]);
         Ok(())
     }
 
@@ -182,8 +265,7 @@ impl UndoLog {
             done += n;
         }
         self.pool.fence();
-        self.pool.write_u64(self.region + HDR_VALID, 0);
-        self.pool.persist(self.region + HDR_VALID, 8);
+        self.update_header(&[(HDR_VALID, 0)]);
         Some((window_off, len))
     }
 }
@@ -238,8 +320,8 @@ mod tests {
         pool.write_u64(region + 24, 0);
         pool.persist(region + 8, 24);
         let old = pool.read_vec(data, 256);
-        pool.write(region + 32, &old);
-        pool.persist(region + 32, 256);
+        pool.write(region + 64, &old); // data area follows the 64 B header
+        pool.persist(region + 64, 256);
         pool.write_u64(region, 1);
         pool.persist(region, 8);
         // Partial overwrite: only the first half of the new data, persisted.
@@ -290,6 +372,52 @@ mod tests {
         assert!(ulog.recover().is_none());
         assert!(!ulog.needs_recovery());
         let _ = pool;
+    }
+
+    #[test]
+    fn header_crc_sealed_through_the_whole_protocol() {
+        let (pool, ulog, data) = setup(1024, 128);
+        ulog.verify_header().unwrap();
+        pool.write(data, &[1u8; 512]);
+        pool.persist(data, 512);
+        ulog.protected_overwrite(data, &[7u8; 512]).unwrap();
+        ulog.verify_header().unwrap();
+        ulog.verify_armed_data().unwrap(); // disarmed: trivially clean
+        pool.simulate_crash();
+        ulog.verify_header().unwrap();
+    }
+
+    #[test]
+    fn header_bit_flip_detected_and_reinit_repairs() {
+        let (pool, ulog, _data) = setup(512, 64);
+        pool.inject_bit_flip(ulog.region_offset() + 16, 4);
+        assert!(ulog.verify_header().unwrap_err().contains("crc mismatch"));
+        ulog.reinit_header();
+        ulog.verify_header().unwrap();
+        assert!(!ulog.needs_recovery());
+    }
+
+    #[test]
+    fn armed_backup_data_flip_is_detected() {
+        let (pool, ulog, data) = setup(1024, 64);
+        pool.write(data, &[4u8; 256]);
+        pool.persist(data, 256);
+        // Arm through the real protocol, then crash mid-step-4 by hand:
+        // re-arm the header exactly as protected_overwrite leaves it.
+        ulog.protected_overwrite(data, &[8u8; 256]).unwrap();
+        let region = ulog.region_offset();
+        pool.write_u64(region, 1); // re-arm; stale but valid data CRC remains
+        let crc = pmem::crc32c(&pool.read_vec(region, 40));
+        pool.write_u64(region + 40, u64::from(crc));
+        pool.persist(region, 48);
+        ulog.verify_header().unwrap();
+        ulog.verify_armed_data().unwrap();
+        // Now corrupt one byte of the backed-up window data.
+        pool.inject_bit_flip(region + 64 + 100, 2);
+        assert!(ulog
+            .verify_armed_data()
+            .unwrap_err()
+            .contains("data crc mismatch"));
     }
 
     #[test]

@@ -230,7 +230,26 @@ impl RemoteClient {
 
     /// Block until everything behind `ticket` is applied.
     pub fn wait(&self, ticket: &Ticket) -> GraphResult<()> {
-        match self.call(&Request::Wait(ticket.clone()))? {
+        match self.call(&Request::Wait {
+            ticket: ticket.clone(),
+            deadline_ms: None,
+        })? {
+            Response::Waited => Ok(()),
+            Response::Error(err) => Err(err),
+            other => Err(unexpected("Waited", &other)),
+        }
+    }
+
+    /// [`RemoteClient::wait`] with an upper bound enforced server-side: if
+    /// the ticket has not drained within `deadline` the server answers the
+    /// structured [`GraphError::Timeout`] instead of pinning a worker (and
+    /// this connection) indefinitely.  The ticket stays valid — retry the
+    /// wait later.
+    pub fn wait_deadline(&self, ticket: &Ticket, deadline: Duration) -> GraphResult<()> {
+        match self.call(&Request::Wait {
+            ticket: ticket.clone(),
+            deadline_ms: Some(deadline.as_millis() as u64),
+        })? {
             Response::Waited => Ok(()),
             Response::Error(err) => Err(err),
             other => Err(unexpected("Waited", &other)),

@@ -473,9 +473,16 @@ pub fn put_request(out: &mut Vec<u8>, request: &Request) {
             put_varint(out, client.op_id);
             put_updates(out, ops);
         }
-        Request::Wait(ticket) => {
+        Request::Wait {
+            ticket,
+            deadline_ms,
+        } => {
             out.push(REQUEST_WAIT);
             put_ticket(out, ticket);
+            // Deadline: 0 = unbounded (a real zero-deadline wait travels
+            // as 1 ms — indistinguishable in effect, keeps the varint
+            // encoding prefix-free with the old ticket-only frames).
+            put_varint(out, deadline_ms.map_or(0, |d| d.max(1)));
         }
         Request::Flush => out.push(REQUEST_FLUSH),
         Request::ProbeOp { client_id, op_id } => {
@@ -507,7 +514,14 @@ pub fn get_request(dec: &mut Dec<'_>) -> WireResult<Request> {
                 client: Some(client),
             })
         }
-        REQUEST_WAIT => Ok(Request::Wait(get_ticket(dec)?)),
+        REQUEST_WAIT => {
+            let ticket = get_ticket(dec)?;
+            let raw = dec.varint("wait deadline")?;
+            Ok(Request::Wait {
+                ticket,
+                deadline_ms: (raw != 0).then_some(raw),
+            })
+        }
         REQUEST_FLUSH => Ok(Request::Flush),
         REQUEST_PROBE_OP => Ok(Request::ProbeOp {
             client_id: dec.varint("probe client id")?,
@@ -534,6 +548,9 @@ const ERR_OTHER: u8 = 5;
 const ERR_IO: u8 = 6;
 const ERR_PROTOCOL: u8 = 7;
 const ERR_OVERLOADED: u8 = 8;
+const ERR_CORRUPTED: u8 = 9;
+const ERR_DEGRADED: u8 = 10;
+const ERR_TIMEOUT: u8 = 11;
 
 /// Encode a [`GraphError`].  `GraphError` is `#[non_exhaustive]`; a
 /// variant this protocol version does not know travels as `Other` carrying
@@ -570,6 +587,22 @@ pub fn put_graph_error(out: &mut Vec<u8>, err: &GraphError) {
             out.push(ERR_OVERLOADED);
             put_str(out, reason);
         }
+        GraphError::Corrupted { region, detail } => {
+            out.push(ERR_CORRUPTED);
+            put_str(out, region);
+            put_str(out, detail);
+        }
+        GraphError::Degraded { shards } => {
+            out.push(ERR_DEGRADED);
+            put_varint(out, shards.len() as u64);
+            for &s in shards {
+                put_varint(out, s as u64);
+            }
+        }
+        GraphError::Timeout { waited_ms } => {
+            out.push(ERR_TIMEOUT);
+            put_varint(out, *waited_ms);
+        }
         GraphError::Other(msg) => {
             out.push(ERR_OTHER);
             put_str(out, msg);
@@ -602,6 +635,22 @@ pub fn get_graph_error(dec: &mut Dec<'_>) -> WireResult<GraphError> {
         ERR_OVERLOADED => Ok(GraphError::Overloaded {
             reason: dec.string("error reason")?,
         }),
+        ERR_CORRUPTED => Ok(GraphError::Corrupted {
+            region: dec.string("error region")?,
+            detail: dec.string("error detail")?,
+        }),
+        ERR_DEGRADED => {
+            let n = dec.varint("degraded shard count")?;
+            let n = dec.count(n, 1, "degraded shards")?;
+            let mut shards = Vec::with_capacity(n);
+            for _ in 0..n {
+                shards.push(dec.varint("degraded shard")? as usize);
+            }
+            Ok(GraphError::Degraded { shards })
+        }
+        ERR_TIMEOUT => Ok(GraphError::Timeout {
+            waited_ms: dec.varint("timeout waited_ms")?,
+        }),
         ERR_OTHER => Ok(GraphError::Other(dec.string("error message")?)),
         tag => Err(WireError::BadTag {
             what: "GraphError",
@@ -628,6 +677,7 @@ fn put_service_stats(out: &mut Vec<u8>, s: &ServiceStats) {
     put_varint(out, s.unified_shard_merges);
     put_varint(out, s.unify_nanos);
     put_varint(out, s.requests_served);
+    put_varint(out, s.degraded_shards as u64);
 }
 
 fn get_service_stats(dec: &mut Dec<'_>) -> WireResult<ServiceStats> {
@@ -645,6 +695,7 @@ fn get_service_stats(dec: &mut Dec<'_>) -> WireResult<ServiceStats> {
         unified_shard_merges: dec.varint("stats")?,
         unify_nanos: dec.varint("stats")?,
         requests_served: dec.varint("stats")?,
+        degraded_shards: dec.varint("stats")? as usize,
     })
 }
 
@@ -778,6 +829,7 @@ const RESULT_KCORE: u8 = 8;
 const RESULT_TOPK_DEGREE: u8 = 9;
 const RESULT_TOPK_PAGERANK: u8 = 10;
 const RESULT_KHOP: u8 = 11;
+const RESULT_PARTIAL: u8 = 12;
 
 /// Encode a [`QueryResult`] body.
 pub fn put_query_result(out: &mut Vec<u8>, result: &QueryResult) {
@@ -856,6 +908,17 @@ pub fn put_query_result(out: &mut Vec<u8>, result: &QueryResult) {
                 put_varint(out, v);
             }
         }
+        QueryResult::Partial {
+            degraded_shards,
+            result,
+        } => {
+            out.push(RESULT_PARTIAL);
+            put_varint(out, degraded_shards.len() as u64);
+            for &s in degraded_shards {
+                put_varint(out, s as u64);
+            }
+            put_query_result(out, result);
+        }
     }
 }
 
@@ -913,6 +976,27 @@ pub fn get_query_result(dec: &mut Dec<'_>) -> WireResult<QueryResult> {
             Ok(QueryResult::TopKPagerank(top))
         }
         RESULT_KHOP => Ok(QueryResult::KHop(dec.vec_varint("khop members")?)),
+        RESULT_PARTIAL => {
+            let n = dec.varint("degraded shard count")?;
+            let n = dec.count(n, 1, "degraded shards")?;
+            let mut degraded_shards = Vec::with_capacity(n);
+            for _ in 0..n {
+                degraded_shards.push(dec.varint("degraded shard")? as usize);
+            }
+            let result = get_query_result(dec)?;
+            // The service wraps at most once; hostile nesting would recurse
+            // one stack frame per input byte, so refuse it outright.
+            if matches!(result, QueryResult::Partial { .. }) {
+                return Err(WireError::BadTag {
+                    what: "nested Partial QueryResult",
+                    tag: RESULT_PARTIAL.into(),
+                });
+            }
+            Ok(QueryResult::Partial {
+                degraded_shards,
+                result: Box::new(result),
+            })
+        }
         tag => Err(WireError::BadTag {
             what: "QueryResult",
             tag: tag.into(),
@@ -1188,7 +1272,7 @@ mod tests {
     }
 
     fn sample_stats() -> ServiceStats {
-        // Thirteen distinct values so a swapped field order cannot pass.
+        // Fourteen distinct values so a swapped field order cannot pass.
         ServiceStats {
             num_vertices: 101,
             num_edges: 202,
@@ -1203,6 +1287,7 @@ mod tests {
             unified_shard_merges: 1_111,
             unify_nanos: 1_212,
             requests_served: 1_313,
+            degraded_shards: 2,
         }
     }
 
@@ -1317,9 +1402,32 @@ mod tests {
         );
         roundtrip_request(
             u64::MAX,
-            &Request::Wait(Ticket::from_targets(vec![0, 5, u64::MAX])),
+            &Request::Wait {
+                ticket: Ticket::from_targets(vec![0, 5, u64::MAX]),
+                deadline_ms: None,
+            },
         );
-        roundtrip_request(3, &Request::Wait(Ticket::from_targets(Vec::new())));
+        roundtrip_request(
+            3,
+            &Request::Wait {
+                ticket: Ticket::from_targets(Vec::new()),
+                deadline_ms: None,
+            },
+        );
+        roundtrip_request(
+            7,
+            &Request::Wait {
+                ticket: Ticket::from_targets(vec![1, 2]),
+                deadline_ms: Some(1500),
+            },
+        );
+        roundtrip_request(
+            8,
+            &Request::Wait {
+                ticket: Ticket::from_targets(vec![1]),
+                deadline_ms: Some(u64::MAX),
+            },
+        );
         roundtrip_request(4, &Request::Flush);
         for query in [
             Query::Degree(9),
@@ -1381,9 +1489,33 @@ mod tests {
             QueryResult::TopKPagerank(Vec::new()),
             QueryResult::KHop(vec![1, 2, 3, u64::MAX]),
             QueryResult::KHop(Vec::new()),
+            QueryResult::Partial {
+                degraded_shards: vec![1, 3],
+                result: Box::new(QueryResult::TriangleCount(9)),
+            },
+            QueryResult::Partial {
+                degraded_shards: Vec::new(),
+                result: Box::new(QueryResult::ConnectedComponents(vec![0, 1])),
+            },
         ] {
             roundtrip_response(4, &Response::Answer(result));
         }
+    }
+
+    #[test]
+    fn nested_partial_results_are_rejected() {
+        let mut buf = Vec::new();
+        put_query_result(
+            &mut buf,
+            &QueryResult::Partial {
+                degraded_shards: vec![0],
+                result: Box::new(QueryResult::Degree(1)),
+            },
+        );
+        // Splice the whole Partial frame in as its own inner result.
+        let mut nested = vec![12u8, 0]; // RESULT_PARTIAL, no shards
+        nested.extend_from_slice(&buf);
+        assert!(get_query_result(&mut Dec::new(&nested)).is_err());
     }
 
     #[test]
@@ -1411,6 +1543,15 @@ mod tests {
             GraphError::Overloaded {
                 reason: "backpressure".to_string(),
             },
+            GraphError::Corrupted {
+                region: "edge section 3".to_string(),
+                detail: "shard 1 @ +4096: crc mismatch".to_string(),
+            },
+            GraphError::Degraded {
+                shards: vec![0, 2, 5],
+            },
+            GraphError::Degraded { shards: Vec::new() },
+            GraphError::Timeout { waited_ms: 250 },
             GraphError::Other("anything else".to_string()),
         ];
         for err in errors {

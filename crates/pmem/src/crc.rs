@@ -1,0 +1,182 @@
+//! Hand-rolled CRC32C (Castagnoli) — the integrity checksum for every
+//! durable region in the stack.
+//!
+//! CRC32C was chosen over CRC32 (IEEE) for the same reason iSCSI, ext4 and
+//! Btrfs chose it: better error-detection properties for short records and
+//! a hardware instruction on every modern CPU.  This implementation is the
+//! portable table-driven form (no `sse4.2` intrinsics — the crate is
+//! dependency-free and must build on any target); one 256-entry table,
+//! one lookup per byte.
+//!
+//! Two interfaces:
+//!
+//! * [`crc32c`] — one-shot over a byte slice;
+//! * [`Crc32c`] — a running hasher for the flush-barrier pattern: every
+//!   durable record updates the running state as it is written, so sealing
+//!   a region's checksum never re-scans the region.
+//!
+//! The running form composes exactly: feeding records `a` then `b` yields
+//! the same digest as one shot over `a ‖ b` (pinned by unit tests).
+
+/// The Castagnoli polynomial, reflected (bit-reversed) form.
+const POLY: u32 = 0x82F6_3B78;
+
+/// 256-entry lookup table for the reflected algorithm, built at compile
+/// time so the hot path is one XOR + one shift + one load per byte.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// One-shot CRC32C of `data`.
+///
+/// `crc32c(b"123456789") == 0xE306_9283` (the standard check value).
+pub fn crc32c(data: &[u8]) -> u32 {
+    let mut h = Crc32c::new();
+    h.update(data);
+    h.finish()
+}
+
+/// A running CRC32C hasher.
+///
+/// ```
+/// use pmem::crc::{crc32c, Crc32c};
+/// let mut h = Crc32c::new();
+/// h.update(b"hello ");
+/// h.update(b"world");
+/// assert_eq!(h.finish(), crc32c(b"hello world"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crc32c {
+    /// Internal (pre-inversion) state.
+    state: u32,
+}
+
+impl Crc32c {
+    /// A fresh hasher (digest of the empty input is `0`).
+    pub fn new() -> Self {
+        Crc32c { state: !0 }
+    }
+
+    /// Resume a hasher from a previously [`finish`](Crc32c::finish)ed
+    /// digest, so a sealed running checksum can keep absorbing later
+    /// records across restarts without rehashing the prefix.
+    pub fn resume(digest: u32) -> Self {
+        Crc32c { state: !digest }
+    }
+
+    /// Absorb `data`.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut crc = self.state;
+        for &b in data {
+            crc = TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+        }
+        self.state = crc;
+    }
+
+    /// The digest of everything absorbed so far.  Does not consume the
+    /// hasher: further [`update`](Crc32c::update)s continue the stream.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32c {
+    fn default() -> Self {
+        Crc32c::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_check_value() {
+        // The canonical CRC32C test vector (RFC 3720 appendix, every
+        // published implementation pins this).
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+    }
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32c(b""), 0);
+        // 32 bytes of zeros — iSCSI test pattern.
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        // 32 bytes of 0xFF.
+        assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43);
+    }
+
+    #[test]
+    fn running_update_equals_one_shot_over_concatenation() {
+        let records: [&[u8]; 4] = [b"alpha", b"", b"beta-record", b"\x00\xff\x7f"];
+        let mut h = Crc32c::new();
+        let mut all = Vec::new();
+        for r in records {
+            h.update(r);
+            all.extend_from_slice(r);
+        }
+        assert_eq!(h.finish(), crc32c(&all));
+        // Byte-at-a-time must agree too.
+        let mut h2 = Crc32c::new();
+        for &b in &all {
+            h2.update(&[b]);
+        }
+        assert_eq!(h2.finish(), crc32c(&all));
+    }
+
+    #[test]
+    fn resume_continues_a_sealed_stream() {
+        let sealed = crc32c(b"prefix");
+        let mut h = Crc32c::resume(sealed);
+        h.update(b"suffix");
+        assert_eq!(h.finish(), crc32c(b"prefixsuffix"));
+    }
+
+    #[test]
+    fn detects_single_bit_flips_at_every_position() {
+        // A small record shaped like an edge-log entry: 12 payload bytes.
+        let record: [u8; 12] = [
+            0x01, 0x00, 0x00, 0x80, 0x2A, 0x00, 0x00, 0x00, 0xFF, 0xFF, 0xFF, 0x3F,
+        ];
+        let clean = crc32c(&record);
+        for byte in 0..record.len() {
+            for bit in 0..8 {
+                let mut corrupt = record;
+                corrupt[byte] ^= 1 << bit;
+                assert_ne!(
+                    crc32c(&corrupt),
+                    clean,
+                    "bit {bit} of byte {byte} flipped undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn finish_is_observational() {
+        let mut h = Crc32c::new();
+        h.update(b"abc");
+        let d1 = h.finish();
+        assert_eq!(d1, h.finish());
+        h.update(b"def");
+        assert_eq!(h.finish(), crc32c(b"abcdef"));
+    }
+}

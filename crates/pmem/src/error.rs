@@ -37,10 +37,31 @@ pub enum PmemError {
         /// Bytes needed by the failed `add_range`.
         needed: usize,
     },
-    /// The pool image on disk is corrupt or has the wrong magic number.
-    BadImage(String),
+    /// The pool image is corrupt: wrong magic, truncated, or a region
+    /// failed its CRC32C check.  Carries enough context to identify the
+    /// failing region in a multi-shard deployment.
+    BadImage {
+        /// Where the pool came from: the image file path, or the pool's
+        /// label (`"<memory>"` for an unlabelled in-memory pool).
+        source: String,
+        /// Byte offset of the failing region inside the pool image.
+        offset: u64,
+        /// What exactly failed (bad magic, CRC mismatch, truncation...).
+        detail: String,
+    },
     /// An I/O error occurred while saving/loading a pool image.
     Io(String),
+}
+
+impl PmemError {
+    /// Shorthand constructor for [`PmemError::BadImage`].
+    pub fn bad_image(source: impl Into<String>, offset: u64, detail: impl Into<String>) -> Self {
+        PmemError::BadImage {
+            source: source.into(),
+            offset,
+            detail: detail.into(),
+        }
+    }
 }
 
 impl fmt::Display for PmemError {
@@ -68,7 +89,11 @@ impl fmt::Display for PmemError {
                 f,
                 "transaction journal full: capacity {capacity} bytes, {needed} more needed"
             ),
-            PmemError::BadImage(msg) => write!(f, "bad pool image: {msg}"),
+            PmemError::BadImage {
+                source,
+                offset,
+                detail,
+            } => write!(f, "bad pool image ({source} @ +{offset}): {detail}"),
             PmemError::Io(msg) => write!(f, "pool image i/o error: {msg}"),
         }
     }
@@ -113,6 +138,15 @@ mod tests {
         let e: PmemError = io.into();
         assert!(matches!(e, PmemError::Io(_)));
         assert!(e.to_string().contains("missing"));
+    }
+
+    #[test]
+    fn bad_image_carries_source_and_offset() {
+        let e = PmemError::bad_image("/pools/shard3.img", 4096, "crc mismatch");
+        let s = e.to_string();
+        assert!(s.contains("/pools/shard3.img"), "{s}");
+        assert!(s.contains("4096"), "{s}");
+        assert!(s.contains("crc mismatch"), "{s}");
     }
 
     #[test]

@@ -58,12 +58,14 @@
 
 mod arena;
 mod config;
+pub mod crc;
 mod error;
 mod pool;
 mod stats;
 pub mod tx;
 
 pub use config::{AdrMode, CostModel, Media, PmemConfig, CACHE_LINE, XPLINE};
+pub use crc::{crc32c, Crc32c};
 pub use error::{PmemError, Result};
 pub use pool::{PmemPool, RootId, CRASH_DROP_FLUSHED, CRASH_FAILPOINT_MARKER, CRASH_KEEP_FLUSHED};
 pub use stats::{PmemStats, StatsSnapshot};

@@ -2,6 +2,7 @@
 
 use crate::arena::Arena;
 use crate::config::{AdrMode, Media, PmemConfig, CACHE_LINE, XPLINE};
+use crate::crc::crc32c;
 use crate::error::{PmemError, Result};
 use crate::stats::{PmemStats, StatsSnapshot};
 use crate::{PmemOffset, NULL_OFFSET};
@@ -20,6 +21,14 @@ const N_ROOTS: usize = 32;
 
 /// Offset of the root table inside the header.
 const ROOT_TABLE_OFF: u64 = 64;
+
+/// Offset of the header's CRC32C inside the header.  The checksum covers
+/// the fixed fields (`0..24`: magic, capacity, allocation cursor) and the
+/// root table (`64..64 + N_ROOTS * 8`); the CRC slot itself and the
+/// reserved gap are excluded.  It is re-sealed under the allocator lock on
+/// every cursor or root-slot update, in the same flush + single-fence as
+/// the field it covers, so a crash can never persist one without the other.
+const HEADER_CRC_OFF: u64 = 56;
 
 /// Number of lock shards protecting the persistence-tracking sets.
 const PERSIST_SHARDS: usize = 32;
@@ -110,6 +119,10 @@ pub struct PmemPool {
     /// Countdown until an injected crash on the write path; `u64::MAX` means
     /// disarmed.  See [`PmemPool::arm_write_failpoint`].
     write_failpoint: AtomicU64,
+    /// Human-readable provenance of this pool (image file path, shard name,
+    /// ...), carried in integrity errors so a multi-shard deployment can
+    /// tell which pool failed.  `"<memory>"` until someone labels it.
+    label: Mutex<String>,
 }
 
 impl PmemPool {
@@ -131,14 +144,28 @@ impl PmemPool {
             last_write_end: AtomicU64::new(u64::MAX),
             alloc_cursor: Mutex::new(HEADER_SIZE),
             write_failpoint: AtomicU64::new(FAILPOINT_OFF),
+            label: Mutex::new("<memory>".to_string()),
             config,
         };
         // Initialise and persist the header.
         pool.write_u64(0, MAGIC);
         pool.write_u64(8, cap as u64);
         pool.write_u64(16, HEADER_SIZE);
+        pool.write_u32(HEADER_CRC_OFF, pool.compute_header_crc());
         pool.persist(0, HEADER_SIZE as usize);
         pool
+    }
+
+    /// Label this pool with its provenance (file path, shard name, ...).
+    /// The label is volatile metadata: it travels in error messages, not in
+    /// the pool image.
+    pub fn set_label(&self, label: impl Into<String>) {
+        *self.label.lock() = label.into();
+    }
+
+    /// The pool's provenance label (see [`PmemPool::set_label`]).
+    pub fn label(&self) -> String {
+        self.label.lock().clone()
     }
 
     /// The pool's configuration.
@@ -154,6 +181,13 @@ impl PmemPool {
     /// Bytes currently handed out by the allocator (header included).
     pub fn used(&self) -> usize {
         *self.alloc_cursor.lock() as usize
+    }
+
+    /// Size of the pool header (magic, allocation cursor, root directory
+    /// and their checksum) in bytes.  Offsets below this are metadata, not
+    /// allocated data.
+    pub fn header_bytes(&self) -> usize {
+        HEADER_SIZE as usize
     }
 
     /// Bytes still available for allocation.
@@ -206,9 +240,14 @@ impl PmemPool {
         }
         let padded = end - *cursor;
         *cursor = end;
-        // Persist the new cursor so the allocator state survives a crash.
+        // Persist the new cursor so the allocator state survives a crash,
+        // re-sealing the header CRC in the same flush + fence (both live in
+        // the first cache line, so one flush captures both and a crash can
+        // never persist the cursor without its checksum).
         self.write_u64(16, end);
-        self.persist(16, 8);
+        self.write_u32(HEADER_CRC_OFF, self.compute_header_crc());
+        self.flush(16, (HEADER_CRC_OFF + 4 - 16) as usize);
+        self.fence();
         self.stats.allocations.fetch_add(1, Ordering::Relaxed);
         self.stats
             .allocated_bytes
@@ -231,8 +270,16 @@ impl PmemPool {
     /// Register `offset` under the given root slot and persist the entry.
     pub fn set_root(&self, id: RootId, offset: PmemOffset) -> Result<()> {
         let slot_off = ROOT_TABLE_OFF + (id.slot() as u64) * 8;
+        // The allocator lock doubles as the header-CRC lock: it serialises
+        // this recompute against concurrent `alloc` cursor updates.
+        let _guard = self.alloc_cursor.lock();
         self.write_u64(slot_off, offset);
-        self.persist(slot_off, 8);
+        self.write_u32(HEADER_CRC_OFF, self.compute_header_crc());
+        // Slot line and CRC line are distinct cache lines: flush both, one
+        // fence.  A crash before the fence loses both together.
+        self.flush(slot_off, 8);
+        self.flush(HEADER_CRC_OFF, 4);
+        self.fence();
         Ok(())
     }
 
@@ -245,6 +292,120 @@ impl PmemPool {
             Err(PmemError::NoSuchRoot(id.slot() as u64))
         } else {
             Ok(v)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Header integrity
+    // ------------------------------------------------------------------
+
+    /// CRC32C over the header fields the pool itself owns: the fixed
+    /// fields (`0..24`) and the root table.  Reads the working image
+    /// directly so checksum maintenance does not perturb the cost-model
+    /// accounting of the workload being measured.
+    fn compute_header_crc(&self) -> u32 {
+        let mut buf = [0u8; 24 + N_ROOTS * 8];
+        self.work.read(0, &mut buf[..24]);
+        self.work.read(ROOT_TABLE_OFF as usize, &mut buf[24..]);
+        crc32c(&buf)
+    }
+
+    /// Check the pool header against its stored CRC32C.
+    ///
+    /// Returns [`PmemError::BadImage`] — carrying the pool label and the
+    /// byte offset of the failing region — when the magic, the recorded
+    /// capacity, or the checksum does not match.  Called by
+    /// [`PmemPool::open_file`]; frameworks above also call it as the first
+    /// step of their own verify passes.
+    pub fn verify_header(&self) -> Result<()> {
+        let magic = self.read_u64(0);
+        if magic != MAGIC {
+            return Err(PmemError::bad_image(
+                self.label(),
+                0,
+                format!("bad magic {magic:#x}"),
+            ));
+        }
+        let cap = self.read_u64(8);
+        if cap != self.capacity() as u64 {
+            return Err(PmemError::bad_image(
+                self.label(),
+                8,
+                format!(
+                    "recorded capacity {cap} != pool capacity {}",
+                    self.capacity()
+                ),
+            ));
+        }
+        let stored = self.read_u32(HEADER_CRC_OFF);
+        let actual = self.compute_header_crc();
+        if stored != actual {
+            return Err(PmemError::bad_image(
+                self.label(),
+                0,
+                format!("header crc mismatch: stored {stored:#010x}, computed {actual:#010x}"),
+            ));
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Media-fault injection
+    // ------------------------------------------------------------------
+
+    /// Flip one bit of the byte at `offset`, in both the working and the
+    /// durable image, bypassing persistence tracking and statistics.
+    ///
+    /// This models a media fault — a cell the device returns differently
+    /// from what was stored — not a software write, so it deliberately does
+    /// not tick fail-points, charge costs, or dirty cache lines.  Companion
+    /// to the crash fail-points in `sharded::failpoint`; corruption-fuzzing
+    /// harnesses drive it with seeded offsets.
+    pub fn inject_bit_flip(&self, offset: PmemOffset, bit: u32) {
+        self.check_bounds(offset, 1);
+        let bit = bit % 8;
+        let mut b = [0u8; 1];
+        self.work.read(offset as usize, &mut b);
+        b[0] ^= 1 << bit;
+        self.work.write(offset as usize, &b);
+        if let Some(d) = &self.durable {
+            let mut b = [0u8; 1];
+            d.read(offset as usize, &mut b);
+            b[0] ^= 1 << bit;
+            d.write(offset as usize, &b);
+        }
+    }
+
+    /// Tear the cache line containing `offset`: garble a seeded suffix of
+    /// the line in both images, as if the device lost power mid-line and
+    /// re-materialised stale or scrambled cells.  Every garbled byte is
+    /// XORed with a non-zero value, so the line is guaranteed to differ
+    /// from what was written.  Same accounting bypass as
+    /// [`PmemPool::inject_bit_flip`].
+    pub fn inject_torn_line(&self, offset: PmemOffset, seed: u64) {
+        self.check_bounds(offset, 1);
+        let line_off = (offset as usize / CACHE_LINE) * CACHE_LINE;
+        let line_len = CACHE_LINE.min(self.capacity() - line_off);
+        // Seeded xorshift; `| 1` keeps every mask byte non-zero.
+        let mut x = seed | 1;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let start = (next() as usize) % line_len;
+        for arena in std::iter::once(&self.work).chain(self.durable.as_ref()) {
+            let mut buf = [0u8; CACHE_LINE];
+            arena.read(line_off, &mut buf[..line_len]);
+            let mut x2 = seed | 1;
+            for b in buf[start..line_len].iter_mut() {
+                x2 ^= x2 << 13;
+                x2 ^= x2 >> 7;
+                x2 ^= x2 << 17;
+                *b ^= (x2 as u8) | 1;
+            }
+            arena.write(line_off, &buf[..line_len]);
         }
     }
 
@@ -674,28 +835,39 @@ impl PmemPool {
     ///
     /// The configuration's capacity must match the image capacity.
     pub fn open_file(path: &std::path::Path, mut config: PmemConfig) -> Result<Self> {
+        let source = path.display().to_string();
         let bytes = std::fs::read(path)?;
         if bytes.len() < 16 {
-            return Err(PmemError::BadImage("image too small".into()));
+            return Err(PmemError::bad_image(&source, 0, "image too small"));
         }
         let magic = u64::from_le_bytes(bytes[0..8].try_into().unwrap());
         if magic != MAGIC {
-            return Err(PmemError::BadImage(format!("bad magic {magic:#x}")));
+            return Err(PmemError::bad_image(
+                &source,
+                0,
+                format!("bad magic {magic:#x}"),
+            ));
         }
         let len = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
         if bytes.len() != 16 + len {
-            return Err(PmemError::BadImage(format!(
-                "truncated image: expected {} bytes, found {}",
-                16 + len,
-                bytes.len() - 16
-            )));
+            return Err(PmemError::bad_image(
+                &source,
+                8,
+                format!(
+                    "truncated image: expected {} bytes, found {}",
+                    16 + len,
+                    bytes.len() - 16
+                ),
+            ));
         }
         config.capacity = len;
         let pool = PmemPool::new(config);
+        pool.set_label(&source);
         pool.work.load_from(&bytes[16..]);
         if let Some(d) = &pool.durable {
             d.load_from(&bytes[16..]);
         }
+        pool.verify_header()?;
         let cursor = pool.read_u64(16);
         *pool.alloc_cursor.lock() = cursor.max(HEADER_SIZE);
         pool.stats.reset();
@@ -976,6 +1148,84 @@ mod tests {
         let path = dir.join(format!("pmem-garbage-{}.img", std::process::id()));
         std::fs::write(&path, b"not a pool").unwrap();
         assert!(PmemPool::open_file(&path, PmemConfig::small_test()).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn header_crc_stays_valid_across_alloc_roots_and_crash() {
+        let p = test_pool();
+        p.verify_header().unwrap();
+        let off = p.alloc(256, 64).unwrap();
+        p.set_root(RootId::EdgeArray, off).unwrap();
+        p.verify_header().unwrap();
+        p.simulate_crash();
+        p.verify_header().unwrap();
+        assert_eq!(p.root(RootId::EdgeArray).unwrap(), off);
+    }
+
+    #[test]
+    fn bit_flip_in_root_table_is_detected_with_context() {
+        let p = test_pool();
+        let off = p.alloc(64, 8).unwrap();
+        p.set_root(RootId::Superblock, off).unwrap();
+        p.set_label("shard-7");
+        p.inject_bit_flip(ROOT_TABLE_OFF, 3);
+        let err = p.verify_header().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("shard-7"), "{msg}");
+        assert!(msg.contains("crc mismatch"), "{msg}");
+        assert!(matches!(err, PmemError::BadImage { .. }));
+    }
+
+    #[test]
+    fn bit_flip_hits_both_images() {
+        let p = test_pool();
+        let off = p.alloc(64, 64).unwrap();
+        p.write_u64(off, 0);
+        p.persist(off, 8);
+        p.inject_bit_flip(off, 0);
+        assert_eq!(p.read_u64(off), 1, "working image flipped");
+        p.simulate_crash();
+        assert_eq!(p.read_u64(off), 1, "durable image flipped too");
+        // Flipping back restores the original value.
+        p.inject_bit_flip(off, 0);
+        assert_eq!(p.read_u64(off), 0);
+    }
+
+    #[test]
+    fn torn_line_garbles_a_suffix_durably() {
+        let p = test_pool();
+        let off = p.alloc(128, 64).unwrap();
+        let pattern = [0x5au8; 64];
+        p.write(off, &pattern);
+        p.persist(off, 64);
+        p.inject_torn_line(off + 17, 0xfeed_beef);
+        let after = p.read_vec(off, 64);
+        assert_ne!(after, pattern.to_vec(), "line must differ after tear");
+        p.simulate_crash();
+        assert_eq!(p.read_vec(off, 64), after, "tear survives the crash");
+    }
+
+    #[test]
+    fn open_file_rejects_corrupted_root_table() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("pmem-corrupt-{}.img", std::process::id()));
+        let p = test_pool();
+        let off = p.alloc(64, 8).unwrap();
+        p.set_root(RootId::Superblock, off).unwrap();
+        p.save_to_file(&path).unwrap();
+        // Flip a bit of the first root slot inside the on-disk image
+        // (16-byte file header + pool offset).
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[16 + ROOT_TABLE_OFF as usize] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = PmemPool::open_file(&path, PmemConfig::small_test()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("crc mismatch"), "{msg}");
+        assert!(
+            msg.contains(&path.display().to_string()),
+            "error must name the image file: {msg}"
+        );
         std::fs::remove_file(&path).ok();
     }
 

@@ -79,7 +79,26 @@ impl GraphClient {
     /// returns, queries on any client observe those writes — no global
     /// flush required.
     pub fn wait(&self, ticket: &Ticket) -> GraphResult<()> {
-        match self.call(Request::Wait(ticket.clone()))? {
+        match self.call(Request::Wait {
+            ticket: ticket.clone(),
+            deadline_ms: None,
+        })? {
+            Response::Waited => Ok(()),
+            Response::Error(err) => Err(err),
+            other => Err(unexpected("Waited", &other)),
+        }
+    }
+
+    /// [`GraphClient::wait`] with an upper bound: if the ticket has not
+    /// drained within `deadline` the call returns the structured
+    /// [`GraphError::Timeout`] (carrying the elapsed milliseconds) instead
+    /// of blocking indefinitely.  The ticket stays valid — retry the wait
+    /// later, or give up without losing the submitted work.
+    pub fn wait_deadline(&self, ticket: &Ticket, deadline: std::time::Duration) -> GraphResult<()> {
+        match self.call(Request::Wait {
+            ticket: ticket.clone(),
+            deadline_ms: Some(deadline.as_millis() as u64),
+        })? {
             Response::Waited => Ok(()),
             Response::Error(err) => Err(err),
             other => Err(unexpected("Waited", &other)),

@@ -59,7 +59,18 @@ pub enum Request {
     },
     /// Block until the ticket's updates are applied — the submitting
     /// client's read-your-writes point.  Answered with [`Response::Waited`].
-    Wait(Ticket),
+    ///
+    /// `deadline_ms = Some(d)` bounds the block: if the ticket has not
+    /// drained within `d` milliseconds the service answers
+    /// [`dgap::GraphError::Timeout`] instead of holding the worker (and
+    /// the caller) indefinitely.  The ticket stays valid — a timeout is a
+    /// retryable signal, not a failure of the submitted work.
+    Wait {
+        /// The completion handle to block on.
+        ticket: Ticket,
+        /// Optional upper bound on the wait, in milliseconds.
+        deadline_ms: Option<u64>,
+    },
     /// Global durability barrier: quiesce the pipeline and flush every
     /// backend.  Answered with [`Response::Flushed`].
     Flush,
@@ -199,6 +210,19 @@ pub enum QueryResult {
     TopKPagerank(Vec<(VertexId, f64)>),
     /// Answer to [`Query::KHop`]: the neighbourhood's members, ascending.
     KHop(Vec<VertexId>),
+    /// A result computed while the service is **degraded**: the shards in
+    /// `degraded_shards` were quarantined at startup (persistent image
+    /// failed integrity verification), so `result` covers only the
+    /// surviving shards.  Point reads owned by a healthy shard are still
+    /// exact and come back unwrapped; whole-graph analytics always carry
+    /// this annotation while any shard is out — a partial answer must
+    /// never be mistakable for a complete one.
+    Partial {
+        /// The quarantined shards the result is missing, ascending.
+        degraded_shards: Vec<usize>,
+        /// The surviving-shard result.
+        result: Box<QueryResult>,
+    },
 }
 
 /// Service-wide counters returned by [`Query::Stats`].
@@ -244,6 +268,11 @@ pub struct ServiceStats {
     pub unify_nanos: u64,
     /// Requests the worker pool has answered.
     pub requests_served: u64,
+    /// Shards quarantined at startup (integrity verification failed).
+    /// Non-zero means the service is running degraded: whole-graph
+    /// analytics answer [`QueryResult::Partial`] and mutations touching a
+    /// quarantined shard are rejected with a retryable error.
+    pub degraded_shards: usize,
 }
 
 #[cfg(test)]

@@ -38,6 +38,18 @@ pub struct ServiceConfig {
     pub num_edges: usize,
     /// Emulated-PM pool capacity **per shard**, in bytes.
     pub pool_bytes: usize,
+    /// Opt-in background integrity scrubber: when `Some(interval)`, a
+    /// dedicated thread re-verifies every healthy shard's checksummed
+    /// regions ([`Dgap::verify`]) once per interval, counting passes,
+    /// bytes and per-region errors in the service registry
+    /// (`service_scrub_passes`, `service_scrub_bytes`,
+    /// `integrity_errors`).  `None` (the default) disables it.
+    pub scrub_interval: Option<Duration>,
+    /// Scrubber rate limit, in verified bytes per second: after each
+    /// shard's pass the scrubber sleeps long enough to keep its average
+    /// read bandwidth at or under this, so scrubbing never monopolises
+    /// the (emulated) PM the request path is serving from.
+    pub scrub_rate_bytes_per_sec: usize,
 }
 
 impl Default for ServiceConfig {
@@ -48,6 +60,8 @@ impl Default for ServiceConfig {
             num_vertices: 1 << 16,
             num_edges: 1 << 20,
             pool_bytes: 256 << 20,
+            scrub_interval: None,
+            scrub_rate_bytes_per_sec: 64 << 20,
         }
     }
 }
@@ -62,7 +76,14 @@ impl ServiceConfig {
             num_vertices: 256,
             num_edges: 1 << 14,
             pool_bytes: 24 << 20,
+            ..ServiceConfig::default()
         }
+    }
+
+    /// Builder-style: enable the background integrity scrubber.
+    pub fn scrub_every(mut self, interval: Duration) -> Self {
+        self.scrub_interval = Some(interval);
+        self
     }
 }
 
@@ -287,6 +308,11 @@ pub(crate) struct Inner {
     /// Duplicate `(client, op)` submissions answered from the ledger or the
     /// durable watermark instead of being re-applied.
     dedup_hits: Arc<Counter>,
+    /// Shards quarantined at startup (persistent image failed integrity
+    /// verification), ascending.  Empty on a healthy service.  The request
+    /// path consults this on every mutation and every read so a
+    /// quarantined shard's empty placeholder can never silently answer.
+    quarantined: Vec<usize>,
     shutdown: AtomicBool,
 }
 
@@ -556,6 +582,7 @@ impl Inner {
             unified_shard_merges: counter("service_unified_shard_merges"),
             unify_nanos: hist_sum("service_unify_nanos"),
             requests_served: counter("service_requests_served"),
+            degraded_shards: self.quarantined.len(),
         }
     }
 
@@ -574,7 +601,58 @@ impl Inner {
         snap
     }
 
-    fn answer(&self, query: Query) -> QueryResult {
+    /// The structured degraded-mode error: which shards are out.
+    fn degraded_error(&self) -> GraphError {
+        GraphError::Degraded {
+            shards: self.quarantined.clone(),
+        }
+    }
+
+    /// The shard that owns `v` is quarantined — its adjacency is simply
+    /// gone from the serving set, so an answer about `v` would be silently
+    /// wrong rather than partial.
+    fn owned_by_quarantined(&self, v: dgap::VertexId) -> bool {
+        !self.quarantined.is_empty() && self.quarantined.contains(&self.graph.shard_of(v))
+    }
+
+    fn answer(&self, query: Query) -> GraphResult<QueryResult> {
+        if !self.quarantined.is_empty() {
+            // Vertex-rooted reads whose root lives on a quarantined shard
+            // have no trustworthy answer at all: reject with the
+            // structured degraded error instead of serving the empty
+            // placeholder's view of the vertex.
+            let rooted = match query {
+                Query::Degree(v) | Query::Neighbors(v) => Some(v),
+                Query::Bfs { source } | Query::KHop { source, .. } => Some(source),
+                _ => None,
+            };
+            if let Some(v) = rooted {
+                if self.owned_by_quarantined(v) {
+                    return Err(self.degraded_error());
+                }
+            }
+        }
+        let result = self.answer_query(query);
+        // While degraded, any result whose scope is the whole graph covers
+        // only the surviving shards — annotate it so a partial answer can
+        // never pass for a complete one.  Exact answers stay unwrapped:
+        // point reads rooted on a healthy shard (the full adjacency lives
+        // there) and the service's own counters.
+        let exact = matches!(
+            query,
+            Query::Degree(_) | Query::Neighbors(_) | Query::Stats | Query::Metrics
+        );
+        if self.quarantined.is_empty() || exact {
+            Ok(result)
+        } else {
+            Ok(QueryResult::Partial {
+                degraded_shards: self.quarantined.clone(),
+                result: Box::new(result),
+            })
+        }
+    }
+
+    fn answer_query(&self, query: Query) -> QueryResult {
         let _span = self.query_latency.for_query(&query).span();
         match query {
             Query::Stats => QueryResult::Stats(self.stats()),
@@ -708,19 +786,44 @@ impl Inner {
         Response::OpStatus(status)
     }
 
+    /// Does any update in the batch route to a quarantined shard?  Such a
+    /// batch must be rejected up front: the placeholder instance would
+    /// accept the write and silently lose it.
+    fn ops_touch_quarantined(&self, ops: &[Update]) -> bool {
+        !self.quarantined.is_empty()
+            && ops.iter().any(|op| {
+                let routed = match *op {
+                    Update::InsertVertex(v) => v,
+                    Update::InsertEdge(src, _) | Update::DeleteEdge(src, _) => src,
+                };
+                self.quarantined.contains(&self.graph.shard_of(routed))
+            })
+    }
+
     fn handle(&self, request: Request) -> Response {
         match request {
-            Request::Mutate { ops, client } => match client {
-                Some(client) => self.mutate_as(&ops, client),
-                None => match self.pipeline.submit(&ops) {
-                    Ok(ticket) => Response::Mutated {
-                        ticket,
-                        ops: ops.len(),
+            Request::Mutate { ops, client } => {
+                if self.ops_touch_quarantined(&ops) {
+                    // Retryable: once the operator repairs or replaces the
+                    // quarantined shard and restarts, the same batch (same
+                    // client/op identity) applies cleanly.
+                    return Response::Error(self.degraded_error());
+                }
+                match client {
+                    Some(client) => self.mutate_as(&ops, client),
+                    None => match self.pipeline.submit(&ops) {
+                        Ok(ticket) => Response::Mutated {
+                            ticket,
+                            ops: ops.len(),
+                        },
+                        Err(err) => Response::Error(err),
                     },
-                    Err(err) => Response::Error(err),
-                },
-            },
-            Request::Wait(ticket) => {
+                }
+            }
+            Request::Wait {
+                ticket,
+                deadline_ms,
+            } => {
                 // A ticket decoded off a transport can carry any target
                 // vector; one whose shape disagrees with this engine's
                 // shard count never came from this pipeline, so reject it
@@ -733,7 +836,8 @@ impl Inner {
                         self.graph.num_shards()
                     )));
                 }
-                match self.pipeline.wait_for(&ticket) {
+                let deadline = deadline_ms.map(Duration::from_millis);
+                match self.pipeline.wait_for_deadline(&ticket, deadline) {
                     Ok(()) => Response::Waited,
                     Err(err) => Response::Error(err),
                 }
@@ -743,7 +847,10 @@ impl Inner {
                 Err(err) => Response::Error(err),
             },
             Request::ProbeOp { client_id, op_id } => self.probe_op(client_id, op_id),
-            Request::Query(query) => Response::Answer(self.answer(query)),
+            Request::Query(query) => match self.answer(query) {
+                Ok(result) => Response::Answer(result),
+                Err(err) => Response::Error(err),
+            },
         }
     }
 }
@@ -759,6 +866,8 @@ pub struct GraphService {
     inner: Arc<Inner>,
     sender: Option<Sender<Envelope>>,
     workers: Vec<JoinHandle<()>>,
+    /// The background integrity scrubber, when configured.
+    scrubber: Option<JoinHandle<()>>,
 }
 
 impl GraphService {
@@ -773,7 +882,7 @@ impl GraphService {
             config.num_edges,
             |_| PmemConfig::with_capacity(pool_bytes).persistence_tracking(false),
         )?);
-        Self::launch(graph, &config)
+        Self::launch(graph, &config, Vec::new())
     }
 
     /// Restart the service over pools that already contain one shard each
@@ -788,6 +897,20 @@ impl GraphService {
     ///
     /// Returns the service together with the [`ShardedRecovery`] report of
     /// which restart path each shard took.
+    ///
+    /// ## Degraded startup
+    ///
+    /// Shards whose persistent image fails integrity verification (every
+    /// open re-checksums the metadata seals *and* — here, unlike embedded
+    /// opens — the full edge array against the CRC table sealed at
+    /// shutdown) are **quarantined** rather than refusing the whole
+    /// service: the service comes up over the surviving shards, mutations
+    /// routed at a quarantined shard answer the retryable
+    /// [`GraphError::Degraded`], vertex reads owned by one are rejected
+    /// with the same error, and whole-graph analytics come back wrapped in
+    /// [`QueryResult::Partial`].  Check [`ShardedRecovery::is_degraded`]
+    /// (or the `service_degraded_shards` gauge / [`ServiceStats`]) after
+    /// opening.
     pub fn open(
         config: ServiceConfig,
         pools: Vec<Arc<PmemPool>>,
@@ -804,9 +927,10 @@ impl GraphService {
         let per_shard_edges = config.num_edges.div_ceil(config.sharded.num_shards.max(1));
         let num_vertices = config.num_vertices;
         let (graph, recovery) = ShardedGraph::open_dgap(pools, |_| {
-            DgapConfig::for_graph(num_vertices, per_shard_edges)
+            DgapConfig::for_graph(num_vertices, per_shard_edges).verify_data_on_open(true)
         })?;
-        Ok((Self::launch(Arc::new(graph), &config)?, recovery))
+        let service = Self::launch(Arc::new(graph), &config, recovery.quarantined_shards())?;
+        Ok((service, recovery))
     }
 
     /// Start the request loop and worker pool over an already-built engine.
@@ -815,8 +939,16 @@ impl GraphService {
     /// resolving any in-doubt crash cursor against the shard's record count
     /// — so the pipeline starts with the exactly-once path armed and
     /// [`ShardedGraph::open_dgap`]-recovered watermarks answering probes.
-    fn launch(graph: Arc<ShardedGraph<Dgap>>, config: &ServiceConfig) -> GraphResult<GraphService> {
+    fn launch(
+        graph: Arc<ShardedGraph<Dgap>>,
+        config: &ServiceConfig,
+        mut quarantined: Vec<usize>,
+    ) -> GraphResult<GraphService> {
+        quarantined.sort_unstable();
         let registry = Arc::new(Registry::new());
+        registry
+            .gauge("service_degraded_shards")
+            .set(quarantined.len() as i64);
         let tables = (0..graph.num_shards())
             .map(|i| {
                 let shard = graph.shard(i);
@@ -848,6 +980,7 @@ impl GraphService {
             clients: Mutex::new(HashMap::new()),
             dedup_hits: registry.counter("ingest_dedup_hits"),
             registry,
+            quarantined,
             shutdown: AtomicBool::new(false),
         });
         let (sender, receiver) = mpsc::channel::<Envelope>();
@@ -862,10 +995,19 @@ impl GraphService {
                     .expect("spawn service worker")
             })
             .collect();
+        let scrubber = config.scrub_interval.map(|interval| {
+            let inner = Arc::clone(&inner);
+            let rate = config.scrub_rate_bytes_per_sec.max(1);
+            std::thread::Builder::new()
+                .name("graph-scrubber".into())
+                .spawn(move || scrub_loop(&inner, interval, rate))
+                .expect("spawn integrity scrubber")
+        });
         Ok(GraphService {
             inner,
             sender: Some(sender),
             workers,
+            scrubber,
         })
     }
 
@@ -946,6 +1088,23 @@ impl GraphService {
         self.inner.current_unified()
     }
 
+    /// Shards quarantined at startup, ascending (empty = healthy).
+    pub fn degraded_shards(&self) -> &[usize] {
+        &self.inner.quarantined
+    }
+
+    /// Run the integrity verify pass over every shard **now**, returning
+    /// one [`dgap::VerifyReport`] per shard (in shard order; quarantined
+    /// shards report on their placeholder, which is trivially clean).
+    /// This is the same pass the background scrubber runs on its
+    /// interval; the reports never fail the service — operators act on
+    /// them.
+    pub fn verify(&self) -> Vec<dgap::VerifyReport> {
+        (0..self.inner.graph.num_shards())
+            .map(|i| self.inner.graph.shard(i).verify())
+            .collect()
+    }
+
     /// Stop accepting requests, drain the workers, and return once they
     /// have exited.  Equivalent to dropping the service, but explicit.
     pub fn shutdown(mut self) {
@@ -960,12 +1119,71 @@ impl GraphService {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        if let Some(scrubber) = self.scrubber.take() {
+            let _ = scrubber.join();
+        }
     }
 }
 
 impl Drop for GraphService {
     fn drop(&mut self) {
         self.stop();
+    }
+}
+
+/// Background integrity scrubber: once per `interval`, re-verify every
+/// healthy shard's checksummed regions and count what it finds.  Rate
+/// limited: after each shard's pass the thread sleeps long enough to keep
+/// its average verified-bytes bandwidth at or under `rate_bytes_per_sec`,
+/// so a large graph's scrub spreads out instead of stealing the request
+/// path's memory bandwidth in one burst.  Errors are **counted, not
+/// acted on** (`integrity_errors{region=...}`): quarantine decisions
+/// belong to restart time, when the damaged shard can be swapped out
+/// atomically; a live scrub hit tells the operator to schedule exactly
+/// that.
+fn scrub_loop(inner: &Inner, interval: Duration, rate_bytes_per_sec: usize) {
+    let passes = inner.registry.counter("service_scrub_passes");
+    let bytes = inner.registry.counter("service_scrub_bytes");
+    // Shutdown-aware sleep: check the flag every 10 ms so a scrubbing
+    // service still stops promptly.
+    let nap = |total: Duration| {
+        let mut left = total;
+        while !left.is_zero() {
+            if inner.shutdown.load(Ordering::Acquire) {
+                return false;
+            }
+            let step = left.min(Duration::from_millis(10));
+            std::thread::sleep(step);
+            left -= step;
+        }
+        !inner.shutdown.load(Ordering::Acquire)
+    };
+    loop {
+        if !nap(interval) {
+            return;
+        }
+        for shard in 0..inner.graph.num_shards() {
+            if inner.quarantined.contains(&shard) {
+                continue;
+            }
+            let report = inner.graph.shard(shard).verify();
+            let verified = report.bytes_verified();
+            bytes.add(verified);
+            for region in &report.regions {
+                if !matches!(region.state, dgap::RegionState::Clean) {
+                    inner
+                        .registry
+                        .counter_with("integrity_errors", &format!("region=\"{}\"", region.region))
+                        .inc();
+                }
+            }
+            // Rate limit: verified bytes over allowed bandwidth.
+            let pause = Duration::from_secs_f64(verified as f64 / rate_bytes_per_sec as f64);
+            if !nap(pause) {
+                return;
+            }
+        }
+        passes.inc();
     }
 }
 
@@ -1233,7 +1451,15 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         };
-        raw.submit(8, Request::Wait(ticket), reply.clone()).unwrap();
+        raw.submit(
+            8,
+            Request::Wait {
+                ticket,
+                deadline_ms: None,
+            },
+            reply.clone(),
+        )
+        .unwrap();
         assert!(matches!(answers.recv().unwrap(), (8, Response::Waited)));
         raw.submit(9, Request::Query(Query::Degree(0)), reply)
             .unwrap();
@@ -1387,6 +1613,134 @@ mod tests {
         for (a, b) in incr_pr.iter().zip(&fresh) {
             assert!((a - b).abs() <= 1e-9);
         }
+        service.shutdown();
+    }
+
+    #[test]
+    fn open_quarantines_a_corrupt_shard_and_serves_degraded() {
+        let config = ServiceConfig::small_test();
+        let service = GraphService::start(config.clone()).unwrap();
+        let client = service.client();
+        let graph = Arc::clone(service.graph());
+        let va = (0..64u64).find(|&v| graph.shard_of(v) == 0).unwrap();
+        let vb = (0..64u64).find(|&v| graph.shard_of(v) == 1).unwrap();
+        let t = client
+            .mutate(vec![
+                Update::InsertEdge(va, vb),
+                Update::InsertEdge(vb, va),
+                Update::InsertEdge(va, vb + 2),
+            ])
+            .unwrap();
+        client.wait(&t).unwrap();
+        client.flush().unwrap();
+        let pools = service.shard_pools();
+        service.shutdown();
+
+        // Flip a bit under shard 1's pool-header CRC seal: its image must
+        // fail verification on reopen and the shard be quarantined.
+        pools[1].inject_bit_flip(16, 2);
+
+        let (reopened, recovery) = GraphService::open(config, pools).unwrap();
+        assert!(recovery.is_degraded());
+        assert_eq!(recovery.quarantined_shards(), vec![1]);
+        assert_eq!(reopened.degraded_shards(), &[1]);
+        assert_eq!(reopened.stats().degraded_shards, 1);
+        let (_, reason) = &recovery.quarantine_reasons()[0];
+        assert!(
+            reason.contains("@ +"),
+            "structured offset missing: {reason}"
+        );
+
+        let client = reopened.client();
+        // Healthy-shard point reads stay exact and unwrapped.
+        assert_eq!(client.neighbors(va).unwrap(), vec![vb, vb + 2]);
+        // Reads rooted at a quarantined vertex have no trustworthy answer.
+        match client.degree(vb) {
+            Err(GraphError::Degraded { shards }) => assert_eq!(shards, vec![1]),
+            other => panic!("unexpected {other:?}"),
+        }
+        match client.query(Query::Bfs { source: vb }) {
+            Err(GraphError::Degraded { shards }) => assert_eq!(shards, vec![1]),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Whole-graph analytics answer, but always annotated as partial.
+        match client.query(Query::TriangleCount).unwrap() {
+            QueryResult::Partial {
+                degraded_shards,
+                result,
+            } => {
+                assert_eq!(degraded_shards, vec![1]);
+                assert!(matches!(*result, QueryResult::TriangleCount(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Mutations routed at the quarantined shard are rejected with the
+        // retryable error before touching the pipeline...
+        match client.mutate(vec![Update::InsertEdge(vb, va)]) {
+            Err(GraphError::Degraded { shards }) => assert_eq!(shards, vec![1]),
+            other => panic!("unexpected {other:?}"),
+        }
+        // ...while healthy-shard writes keep flowing.
+        let t = client.mutate(vec![Update::InsertEdge(va, vb + 4)]).unwrap();
+        client.wait(&t).unwrap();
+        assert_eq!(client.neighbors(va).unwrap(), vec![vb, vb + 2, vb + 4]);
+        reopened.shutdown();
+    }
+
+    #[test]
+    fn background_scrubber_counts_passes_and_bytes() {
+        let config = ServiceConfig::small_test().scrub_every(Duration::from_millis(5));
+        let service = GraphService::start(config).unwrap();
+        let client = service.client();
+        let t = client
+            .mutate(vec![Update::InsertEdge(1, 2), Update::InsertEdge(2, 3)])
+            .unwrap();
+        client.wait(&t).unwrap();
+        client.flush().unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        loop {
+            let snap = service.metrics();
+            if snap.counter("service_scrub_passes").unwrap_or(0) >= 2 {
+                assert!(snap.counter("service_scrub_bytes").unwrap_or(0) > 0);
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "scrubber never completed two passes"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // An undamaged graph scrubs clean: the on-demand pass agrees.
+        for report in service.verify() {
+            assert!(!report.is_fatal(), "{report:?}");
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn bounded_wait_times_out_and_stays_retryable_through_the_service() {
+        let service = GraphService::start(ServiceConfig::small_test()).unwrap();
+        let client = service.client();
+        // Queue several fat batches so the last ticket is still in flight
+        // when the zero-deadline wait is served.
+        let mut last = None;
+        for round in 0..4u64 {
+            let ops = (0..8000u64)
+                .map(|i| Update::InsertEdge(i % 200, (i + round) % 200))
+                .collect();
+            last = Some(client.mutate(ops).unwrap());
+        }
+        let ticket = last.unwrap();
+        match client.wait_deadline(&ticket, Duration::ZERO) {
+            Err(GraphError::Timeout { .. }) => {}
+            // Losing the race (everything drained first) is legal but the
+            // point of the test is the timeout path, so flag it loudly.
+            Ok(()) => panic!("pipeline drained 32k ops before the wait was served"),
+            other => panic!("unexpected {other:?}"),
+        }
+        // The ticket survived the timeout: an unbounded retry completes.
+        client.wait(&ticket).unwrap();
+        assert!(client.degree(0).unwrap() > 0);
         service.shutdown();
     }
 }

@@ -14,10 +14,21 @@
 //! ```text
 //! +0    magic               u64
 //! +8    slot capacity       u64
-//! +16.. reserved
-//! +64   apply journal       [state, client_id, op_id, cursor_k, cursor_records]
-//! +128  slots[capacity]     each 32 B: [client_id, committed_op, resume_op, resume_skip]
+//! +16   header CRC32C       u64 (covers bytes 0..16)
+//! +24.. reserved
+//! +64   apply journal       [state, client_id, op_id, cursor_k, cursor_records, crc]
+//! +128  slots[capacity]     each 64 B: [client_id, committed_op, resume_op,
+//!                           resume_skip, crc] (one cache line per slot)
 //! ```
+//!
+//! Every persistent record carries a trailing CRC32C sealed in the **same**
+//! single-cache-line store as the data it covers, so under ADR a crash can
+//! never separate a record from its checksum.  [`ClientTable::create_or_open`]
+//! verifies all three record kinds (header, journal, every slot — including
+//! never-used ones, which are sealed over zeroes at creation) and refuses a
+//! corrupt image with [`dgap::GraphError::Corrupted`] carrying the pool
+//! label and byte offset; media faults therefore surface as a detected
+//! error, never as a silently wrong watermark.
 //!
 //! The **journal** (one cache line) tracks the single operation the shard's
 //! drain worker is currently applying: after every individual [`dgap::Update`]
@@ -46,7 +57,7 @@
 //! rule).
 
 use dgap::{GraphError, GraphResult};
-use pmem::{PmemError, PmemOffset, PmemPool, RootId};
+use pmem::{Crc32c, PmemError, PmemOffset, PmemPool, RootId};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -56,14 +67,29 @@ pub const CLIENT_TABLE_ROOT: RootId = RootId::Custom(0);
 /// Magic number at the base of every client-table region ("DGAPCLTB").
 const TABLE_MAGIC: u64 = 0x4447_4150_434c_5442;
 
+/// Header CRC offset from the region base (covers bytes `0..16`).
+const HEADER_CRC_OFF: u64 = 16;
+
 /// Journal offset from the region base (its own cache line).
 const JOURNAL_OFF: u64 = 64;
 
 /// First slot offset from the region base.
 const SLOTS_OFF: u64 = 128;
 
-/// Bytes per client slot: `[client_id, committed_op, resume_op, resume_skip]`.
-const SLOT_BYTES: u64 = 32;
+/// Bytes per client slot: `[client_id, committed_op, resume_op,
+/// resume_skip, crc]`, padded to one cache line so the slot and its
+/// checksum always land (or are lost) together.
+const SLOT_BYTES: u64 = 64;
+
+/// CRC32C (as a widened `u64`) of a word run, little-endian — the seal
+/// format every client-table record uses.
+fn crc_of_words(words: &[u64]) -> u64 {
+    let mut hasher = Crc32c::new();
+    for w in words {
+        hasher.update(&w.to_le_bytes());
+    }
+    hasher.finish() as u64
+}
 
 /// Client slots per shard.  A bump allocator with no free list backs the
 /// region, so the capacity is fixed at creation time.
@@ -120,6 +146,15 @@ fn space_err(err: PmemError) -> GraphError {
     GraphError::OutOfSpace(format!("client table: {err}"))
 }
 
+/// The structured error a failed checksum surfaces: which record, in which
+/// pool, at which byte offset.
+fn corrupt(pool: &PmemPool, region: &str, offset: PmemOffset) -> GraphError {
+    GraphError::Corrupted {
+        region: format!("client table {region}"),
+        detail: format!("{} @ +{offset}: crc mismatch", pool.label()),
+    }
+}
+
 impl ClientTable {
     /// Create the table in a fresh pool, or reopen (and crash-resolve) an
     /// existing one.
@@ -142,14 +177,25 @@ impl ClientTable {
         let base = pool.alloc_zeroed(bytes, 64).map_err(space_err)?;
         pool.write_u64(base, TABLE_MAGIC);
         pool.write_u64(base + 8, DEFAULT_CAPACITY);
-        pool.persist(base, bytes);
-        pool.set_root(CLIENT_TABLE_ROOT, base).map_err(space_err)?;
-        Ok(ClientTable {
+        pool.write_u64(
+            base + HEADER_CRC_OFF,
+            crc_of_words(&[TABLE_MAGIC, DEFAULT_CAPACITY]),
+        );
+        let table = ClientTable {
             pool: Arc::clone(pool),
             base,
             capacity: DEFAULT_CAPACITY,
             state: Mutex::new(TableState::default()),
-        })
+        };
+        // Seal the idle journal and every (all-zero) slot so the open-time
+        // verification can tell "never used" from "zeroed by corruption".
+        table.write_journal([STATE_IDLE, 0, 0, 0, 0]);
+        for index in 0..DEFAULT_CAPACITY {
+            table.write_slot(index, 0, 0, 0, 0);
+        }
+        pool.persist(base, bytes);
+        pool.set_root(CLIENT_TABLE_ROOT, base).map_err(space_err)?;
+        Ok(table)
     }
 
     fn open_at(
@@ -157,12 +203,16 @@ impl ClientTable {
         base: PmemOffset,
         current_records: u64,
     ) -> GraphResult<ClientTable> {
-        if pool.read_u64(base) != TABLE_MAGIC {
+        let magic = pool.read_u64(base);
+        let capacity = pool.read_u64(base + 8);
+        if pool.read_u64(base + HEADER_CRC_OFF) != crc_of_words(&[magic, capacity]) {
+            return Err(corrupt(pool, "header", base));
+        }
+        if magic != TABLE_MAGIC {
             return Err(GraphError::Other(
                 "client table root points at a non-table region".into(),
             ));
         }
-        let capacity = pool.read_u64(base + 8);
         let table = ClientTable {
             pool: Arc::clone(pool),
             base,
@@ -171,13 +221,21 @@ impl ClientTable {
         };
         {
             let mut st = table.state.lock().unwrap();
+            let mut in_tail = false;
             for index in 0..capacity {
                 let off = base + SLOTS_OFF + index * SLOT_BYTES;
-                let mut raw = [0u64; 4];
+                let mut raw = [0u64; 5];
                 pool.read_u64_slice(off, &mut raw);
-                let [client, committed, resume_op, resume_skip] = raw;
+                let [client, committed, resume_op, resume_skip, crc] = raw;
+                if crc != crc_of_words(&raw[..4]) {
+                    return Err(corrupt(pool, &format!("slot {index}"), off));
+                }
                 if client == 0 {
-                    break; // slots are allocated densely
+                    in_tail = true; // slots are allocated densely
+                    continue;
+                }
+                if in_tail {
+                    return Err(corrupt(pool, &format!("slot {index}"), off));
                 }
                 st.used += 1;
                 st.slots.insert(
@@ -191,8 +249,32 @@ impl ClientTable {
                 );
             }
         }
+        table.verify_journal()?;
         table.resolve_journal(current_records)?;
         Ok(table)
+    }
+
+    /// Check the apply journal's seal; a mismatch means the single record
+    /// that decides in-doubt-update resolution cannot be trusted, which is
+    /// fatal for exactly-once semantics.
+    fn verify_journal(&self) -> GraphResult<()> {
+        let mut j = [0u64; 6];
+        self.pool.read_u64_slice(self.base + JOURNAL_OFF, &mut j);
+        if j[5] != crc_of_words(&j[..5]) {
+            return Err(corrupt(&self.pool, "journal", self.base + JOURNAL_OFF));
+        }
+        Ok(())
+    }
+
+    /// Persist the apply journal plus its seal as one single-cache-line
+    /// store (48 bytes, line-aligned): under ADR a crash keeps or loses the
+    /// record and its CRC together.
+    fn write_journal(&self, words: [u64; 5]) {
+        let crc = crc_of_words(&words);
+        let [a, b, c, d, e] = words;
+        self.pool
+            .write_u64_slice(self.base + JOURNAL_OFF, &[a, b, c, d, e, crc]);
+        self.pool.persist(self.base + JOURNAL_OFF, 48);
     }
 
     /// Resolve an interrupted operation left in the apply journal: decide
@@ -219,8 +301,7 @@ impl ClientTable {
         let (index, committed) = (slot.index, slot.committed);
         self.write_slot(index, client, committed, op, skip);
         drop(st);
-        self.pool.write_u64(self.base + JOURNAL_OFF, STATE_IDLE);
-        self.pool.persist(self.base + JOURNAL_OFF, 8);
+        self.write_journal([STATE_IDLE, 0, 0, 0, 0]);
         Ok(())
     }
 
@@ -244,6 +325,49 @@ impl ClientTable {
             out.insert(client, pool.read_u64(off + 8));
         }
         out
+    }
+
+    /// Verify every checksummed record of `pool`'s table — header, apply
+    /// journal, all slots — without opening it (and without the journal
+    /// resolution side effects of [`ClientTable::create_or_open`]).  A pool
+    /// carrying no table verifies vacuously.  This is what
+    /// [`crate::ShardedGraph::open_dgap`] runs per shard to decide whether
+    /// the shard's exactly-once state can be trusted.
+    pub fn verify_pool(pool: &PmemPool) -> GraphResult<()> {
+        let Ok(base) = pool.root(CLIENT_TABLE_ROOT) else {
+            return Ok(());
+        };
+        let magic = pool.read_u64(base);
+        let capacity = pool.read_u64(base + 8);
+        if pool.read_u64(base + HEADER_CRC_OFF) != crc_of_words(&[magic, capacity]) {
+            return Err(corrupt(pool, "header", base));
+        }
+        let mut j = [0u64; 6];
+        pool.read_u64_slice(base + JOURNAL_OFF, &mut j);
+        if j[5] != crc_of_words(&j[..5]) {
+            return Err(corrupt(pool, "journal", base + JOURNAL_OFF));
+        }
+        for index in 0..capacity {
+            let off = base + SLOTS_OFF + index * SLOT_BYTES;
+            let mut raw = [0u64; 5];
+            pool.read_u64_slice(off, &mut raw);
+            if raw[4] != crc_of_words(&raw[..4]) {
+                return Err(corrupt(pool, &format!("slot {index}"), off));
+            }
+        }
+        Ok(())
+    }
+
+    /// The checksummed byte range the table occupies in `pool` — `(base,
+    /// len)` — or `None` when the pool carries no table.  The media-fault
+    /// harness uses this to aim injections at CRC-covered state.
+    pub fn region(pool: &PmemPool) -> Option<(PmemOffset, u64)> {
+        let base = pool.root(CLIENT_TABLE_ROOT).ok()?;
+        if pool.read_u64(base) != TABLE_MAGIC {
+            return None;
+        }
+        let capacity = pool.read_u64(base + 8);
+        Some((base, SLOTS_OFF + capacity * SLOT_BYTES))
     }
 
     /// Highest committed op id for `client` on this shard, if any.
@@ -286,21 +410,20 @@ impl ClientTable {
             0
         };
         drop(st);
-        self.pool.write_u64_slice(
-            self.base + JOURNAL_OFF,
-            &[STATE_APPLYING, client, op, skip, records],
-        );
-        self.pool.persist(self.base + JOURNAL_OFF, 40);
+        self.write_journal([STATE_APPLYING, client, op, skip, records]);
         Ok(skip)
     }
 
     /// Record that the first `cursor_k` updates of the in-flight operation
-    /// are applied and the backend record counter now reads `records`.  One
-    /// 16-byte single-line store: a crash leaves at most one update in doubt.
+    /// are applied and the backend record counter now reads `records`.  The
+    /// journal line (cursor *and* seal) is rewritten as one single-line
+    /// store: a crash leaves at most one update in doubt, and can never
+    /// leave a cursor without a matching checksum.
     pub fn advance(&self, cursor_k: u64, records: u64) {
-        self.pool
-            .write_u64_slice(self.base + JOURNAL_OFF + 24, &[cursor_k, records]);
-        self.pool.persist(self.base + JOURNAL_OFF + 24, 16);
+        let mut head = [0u64; 3];
+        self.pool.read_u64_slice(self.base + JOURNAL_OFF, &mut head);
+        let [state, client, op] = head;
+        self.write_journal([state, client, op, cursor_k, records]);
     }
 
     /// Commit `(client, op)`: advance the client's durable watermark, clear
@@ -319,8 +442,7 @@ impl ClientTable {
         let (index, committed) = (slot.index, slot.committed);
         self.write_slot(index, client, committed, 0, 0);
         drop(st);
-        self.pool.write_u64(self.base + JOURNAL_OFF, STATE_IDLE);
-        self.pool.persist(self.base + JOURNAL_OFF, 8);
+        self.write_journal([STATE_IDLE, 0, 0, 0, 0]);
     }
 
     fn slot_or_insert<'a>(
@@ -351,7 +473,7 @@ impl ClientTable {
         Ok(st.slots.get_mut(&client).unwrap())
     }
 
-    /// Persist one slot as a single (≤ one cache line) store.
+    /// Persist one slot (data plus seal) as a single one-cache-line store.
     fn write_slot(
         &self,
         index: u64,
@@ -361,9 +483,11 @@ impl ClientTable {
         resume_skip: u64,
     ) {
         let off = self.base + SLOTS_OFF + index * SLOT_BYTES;
-        self.pool
-            .write_u64_slice(off, &[client, committed, resume_op, resume_skip]);
-        self.pool.persist(off, SLOT_BYTES as usize);
+        let words = [client, committed, resume_op, resume_skip];
+        let crc = crc_of_words(&words);
+        let [a, b, c, d] = words;
+        self.pool.write_u64_slice(off, &[a, b, c, d, crc]);
+        self.pool.persist(off, 40);
     }
 }
 
@@ -386,6 +510,14 @@ impl ClientWatermarks {
         ClientWatermarks {
             per_shard: pools.iter().map(|p| ClientTable::peek(p)).collect(),
         }
+    }
+
+    /// Assemble from per-shard maps gathered elsewhere (used by
+    /// [`crate::ShardedGraph::open_dgap`], which must skip the tables of
+    /// quarantined shards rather than report watermarks read off a corrupt
+    /// image).
+    pub(crate) fn from_maps(per_shard: Vec<HashMap<u64, u64>>) -> ClientWatermarks {
+        ClientWatermarks { per_shard }
     }
 
     /// Number of shards the map covers.
@@ -528,6 +660,67 @@ mod tests {
             t.begin(DEFAULT_CAPACITY + 1, 1, 0),
             Err(GraphError::OutOfSpace(_))
         ));
+    }
+
+    #[test]
+    fn bit_flip_in_a_slot_is_detected_on_reopen() {
+        let p = pool();
+        let t = ClientTable::create_or_open(&p, 0).unwrap();
+        t.begin(7, 3, 0).unwrap();
+        t.commit(7, 3);
+        drop(t);
+        let (base, _) = ClientTable::region(&p).unwrap();
+        // Flip one bit of client 7's committed watermark.
+        p.inject_bit_flip(base + SLOTS_OFF + 8, 0);
+        let err = match ClientTable::create_or_open(&p, 0) {
+            Err(e) => e,
+            Ok(_) => panic!("corrupt slot must be detected"),
+        };
+        match err {
+            GraphError::Corrupted { region, detail } => {
+                assert!(region.contains("slot 0"), "{region}");
+                assert!(detail.contains("crc mismatch"), "{detail}");
+            }
+            other => panic!("expected Corrupted, got {other}"),
+        }
+    }
+
+    #[test]
+    fn torn_journal_line_is_detected_on_reopen() {
+        let p = pool();
+        let t = ClientTable::create_or_open(&p, 0).unwrap();
+        t.begin(7, 1, 0).unwrap();
+        t.advance(1, 1);
+        drop(t);
+        let (base, _) = ClientTable::region(&p).unwrap();
+        p.inject_torn_line(base + JOURNAL_OFF, 0xBEEF);
+        assert!(matches!(
+            ClientTable::create_or_open(&p, 1),
+            Err(GraphError::Corrupted { .. })
+        ));
+    }
+
+    #[test]
+    fn header_corruption_is_detected_on_reopen() {
+        let p = pool();
+        drop(ClientTable::create_or_open(&p, 0).unwrap());
+        let (base, _) = ClientTable::region(&p).unwrap();
+        p.inject_bit_flip(base + 8, 3); // capacity word
+        assert!(matches!(
+            ClientTable::create_or_open(&p, 0),
+            Err(GraphError::Corrupted { region, .. }) if region.contains("header")
+        ));
+    }
+
+    #[test]
+    fn region_covers_header_journal_and_slots() {
+        let p = pool();
+        drop(ClientTable::create_or_open(&p, 0).unwrap());
+        let (base, len) = ClientTable::region(&p).unwrap();
+        assert_eq!(len, SLOTS_OFF + DEFAULT_CAPACITY * SLOT_BYTES);
+        assert!(base % 64 == 0);
+        // A pool without a table reports no region.
+        assert!(ClientTable::region(&pool()).is_none());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The partitioned graph: N backend instances behind one `DynamicGraph`.
 
-use crate::client_table::ClientWatermarks;
+use crate::client_table::{ClientTable, ClientWatermarks};
 use crate::partition::Partitioner;
 use crate::view::{OwnedShardedView, ShardedView};
 use dgap::{
@@ -17,8 +17,12 @@ use std::sync::Arc;
 pub struct ShardedRecovery {
     per_shard: Vec<RecoveryKind>,
     /// Per-client committed op watermarks recovered from every shard's
-    /// durable [`crate::ClientTable`] (empty maps for shards without one).
+    /// durable [`crate::ClientTable`] (empty maps for shards without one,
+    /// and for quarantined shards, whose tables cannot be trusted).
     client_watermarks: ClientWatermarks,
+    /// Shards whose persistent image failed integrity verification, with
+    /// the error that condemned each; in shard-index order.
+    quarantined: Vec<(usize, String)>,
 }
 
 impl ShardedRecovery {
@@ -46,9 +50,33 @@ impl ShardedRecovery {
             .count()
     }
 
-    /// `true` when every shard restarted from a graceful-shutdown backup.
+    /// `true` when every shard restarted from a graceful-shutdown backup
+    /// and none was quarantined.
     pub fn all_normal(&self) -> bool {
-        self.crashed_shards() == 0
+        self.crashed_shards() == 0 && self.quarantined.is_empty()
+    }
+
+    /// Indices of shards that failed integrity verification and were
+    /// replaced by empty placeholders (shard-index order).
+    pub fn quarantined_shards(&self) -> Vec<usize> {
+        self.quarantined.iter().map(|&(s, _)| s).collect()
+    }
+
+    /// Whether shard `index` was quarantined.
+    pub fn is_quarantined(&self, index: usize) -> bool {
+        self.quarantined.iter().any(|&(s, _)| s == index)
+    }
+
+    /// `true` when at least one shard was quarantined — the graph came up
+    /// in degraded mode and the service layer must annotate every answer.
+    pub fn is_degraded(&self) -> bool {
+        !self.quarantined.is_empty()
+    }
+
+    /// The integrity errors that condemned each quarantined shard, as
+    /// `(shard, message)` pairs in shard-index order.
+    pub fn quarantine_reasons(&self) -> &[(usize, String)] {
+        &self.quarantined
     }
 
     /// The per-client committed-op watermarks the shard pools carried —
@@ -178,6 +206,22 @@ impl ShardedGraph<Dgap> {
     /// via `scope`, so a multi-shard crash recovery costs roughly the
     /// slowest shard, not the sum.  Returns the graph together with a
     /// [`ShardedRecovery`] report of which restart path every shard took.
+    ///
+    /// ## Quarantine
+    ///
+    /// A shard whose image fails integrity verification — the backend
+    /// refuses the pool with [`GraphError::Corrupted`], or the shard's
+    /// durable [`crate::ClientTable`] has a bad checksum — does **not**
+    /// fail the whole open.  The shard is *quarantined*: an empty
+    /// placeholder instance (on a fresh throwaway pool) takes its slot so
+    /// the partitioner geometry is preserved, the damaged pool is left
+    /// untouched for offline repair, and the returned [`ShardedRecovery`]
+    /// reports the shard under [`ShardedRecovery::quarantined_shards`].
+    /// Callers that serve traffic **must** consult that report: reads
+    /// touching a quarantined shard's vertices must be annotated (or
+    /// rejected) rather than answered from the empty placeholder — the
+    /// service layer enforces exactly that.  Any non-integrity error
+    /// (configuration mismatch, empty pool set) still fails the open.
     pub fn open_dgap(
         pools: Vec<Arc<PmemPool>>,
         config: impl Fn(usize) -> DgapConfig + Sync,
@@ -188,25 +232,57 @@ impl ShardedGraph<Dgap> {
             ));
         }
         let num_shards = pools.len();
-        // Read the durable client tables before the pools move into the
-        // per-shard opens (read-only: crash resolution of an interrupted
-        // operation happens when the tables are properly opened, in the
-        // pipeline that serves post-recovery traffic).
-        let client_watermarks = ClientWatermarks::peek_all(&pools);
         let mut slots: Vec<Option<GraphResult<(Dgap, RecoveryKind)>>> =
             (0..num_shards).map(|_| None).collect();
+        // Per-shard client-table watermarks (read-only peek: crash
+        // resolution of an interrupted operation happens when the tables
+        // are properly opened, in the pipeline that serves post-recovery
+        // traffic) and integrity verdicts, gathered before each pool moves
+        // into its shard's open.
+        type TablePeek = (GraphResult<()>, std::collections::HashMap<u64, u64>);
+        let mut tables: Vec<Option<TablePeek>> = (0..num_shards).map(|_| None).collect();
         rayon::scope(|s| {
-            for (shard, (slot, pool)) in slots.iter_mut().zip(pools).enumerate() {
+            for (shard, ((slot, table), pool)) in slots
+                .iter_mut()
+                .zip(tables.iter_mut())
+                .zip(pools)
+                .enumerate()
+            {
                 let config = &config;
                 s.spawn(move |_| {
+                    *table = Some((ClientTable::verify_pool(&pool), ClientTable::peek(&pool)));
                     *slot = Some(Dgap::open(pool, config(shard)));
                 });
             }
         });
         let mut shards = Vec::with_capacity(num_shards);
         let mut per_shard = Vec::with_capacity(num_shards);
-        for slot in slots {
-            let (graph, kind) = slot.expect("scope completed every shard open")?;
+        let mut watermarks = Vec::with_capacity(num_shards);
+        let mut quarantined = Vec::new();
+        let mut quarantine = |shard: usize, err: GraphError| -> GraphResult<(Dgap, RecoveryKind)> {
+            let pool = Arc::new(PmemPool::new(PmemConfig::small_test()));
+            pool.set_label(format!("quarantine placeholder (shard {shard})"));
+            let placeholder = Dgap::create(pool, DgapConfig::small_test())?;
+            quarantined.push((shard, err.to_string()));
+            Ok((placeholder, RecoveryKind::NormalRestart))
+        };
+        for (shard, (slot, table)) in slots.into_iter().zip(tables).enumerate() {
+            let opened = slot.expect("scope completed every shard open");
+            let (table_ok, marks) = table.expect("scope verified every shard table");
+            let (graph, kind) = match (opened, table_ok) {
+                (Ok(pair), Ok(())) => {
+                    watermarks.push(marks);
+                    pair
+                }
+                // A corrupt client table condemns the shard even when the
+                // graph image itself opened cleanly: its exactly-once
+                // watermarks cannot be trusted.
+                (Ok(_), Err(err)) | (Err(err @ GraphError::Corrupted { .. }), _) => {
+                    watermarks.push(Default::default());
+                    quarantine(shard, err)?
+                }
+                (Err(other), _) => return Err(other),
+            };
             shards.push(Arc::new(graph));
             per_shard.push(kind);
         }
@@ -217,7 +293,8 @@ impl ShardedGraph<Dgap> {
             },
             ShardedRecovery {
                 per_shard,
-                client_watermarks,
+                client_watermarks: ClientWatermarks::from_maps(watermarks),
+                quarantined,
             },
         ))
     }
@@ -539,6 +616,55 @@ mod tests {
             pool.simulate_crash();
         }
         pools
+    }
+
+    #[test]
+    fn corrupt_shard_is_quarantined_and_the_rest_recover() {
+        let edges: Vec<(u64, u64)> = (0..400u64).map(|i| (i % 32, (i * 5) % 32)).collect();
+        let pools = crashed_pools(2, &edges);
+        // Tear the pool header of shard 1: its seal no longer matches, so
+        // the backend must refuse the image.
+        pools[1].inject_bit_flip(16, 2);
+        let (reopened, recovery) =
+            ShardedGraph::open_dgap(pools, |_| DgapConfig::small_test()).unwrap();
+        assert!(recovery.is_degraded());
+        assert!(!recovery.all_normal());
+        assert_eq!(recovery.quarantined_shards(), vec![1]);
+        assert!(recovery.is_quarantined(1) && !recovery.is_quarantined(0));
+        assert!(recovery.quarantine_reasons()[0].1.contains("crc"));
+        // The surviving shard still answers with full fidelity.
+        let mut oracle = ReferenceGraph::new(32);
+        for &(s, d) in &edges {
+            oracle.add_edge(s, d);
+        }
+        let view = reopened.consistent_view();
+        for v in (0..32u64).filter(|&v| reopened.shard_of(v) == 0) {
+            assert_eq!(view.neighbors(v), oracle.neighbors(v), "vertex {v}");
+        }
+        // The quarantined shard's placeholder is empty — callers must
+        // consult the recovery report before trusting it.
+        for v in (0..32u64).filter(|&v| reopened.shard_of(v) == 1) {
+            assert!(view.neighbors(v).is_empty(), "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn corrupt_client_table_quarantines_its_shard() {
+        use crate::client_table::ClientTable;
+        let edges: Vec<(u64, u64)> = (0..40u64).map(|i| (i % 8, (i + 3) % 8)).collect();
+        let pools = crashed_pools_with(2, &edges, |pool| {
+            let t = ClientTable::create_or_open(pool, 0).unwrap();
+            t.begin(7, 4, 0).unwrap();
+            t.commit(7, 4);
+        });
+        let (table_base, _) = ClientTable::region(&pools[0]).unwrap();
+        pools[0].inject_bit_flip(table_base + 128 + 8, 5); // slot 0, committed op
+        let (_reopened, recovery) =
+            ShardedGraph::open_dgap(pools, |_| DgapConfig::small_test()).unwrap();
+        // The graph image was fine, but the shard's exactly-once state is
+        // not trustworthy: quarantined, and its watermarks dropped.
+        assert_eq!(recovery.quarantined_shards(), vec![0]);
+        assert_eq!(recovery.client_watermarks().committed(7), Some(0));
     }
 
     #[test]

@@ -478,6 +478,22 @@ impl<G: DynamicGraph + 'static> IngestPipeline<G> {
     /// ([`Ticket::from_targets`]), so an unreachable target must not spin
     /// the calling thread forever.
     pub fn wait_for(&self, ticket: &Ticket) -> GraphResult<()> {
+        self.wait_for_deadline(ticket, None)
+    }
+
+    /// [`IngestPipeline::wait_for`] with an optional upper bound on the
+    /// wait.  `deadline = Some(d)` turns an unbounded block into a bounded
+    /// one: if the ticket has not drained within `d`, the call returns
+    /// [`GraphError::Timeout`] carrying the elapsed milliseconds.  The
+    /// ticket stays valid — the batches are still queued and a later wait
+    /// can succeed — so a timeout is a retryable signal, not a failure of
+    /// the submitted work.
+    pub fn wait_for_deadline(
+        &self,
+        ticket: &Ticket,
+        deadline: Option<Duration>,
+    ) -> GraphResult<()> {
+        let start = Instant::now();
         for (shard, &target) in ticket.targets.iter().enumerate() {
             if target == 0 {
                 continue;
@@ -504,6 +520,14 @@ impl<G: DynamicGraph + 'static> IngestPipeline<G> {
             while lane.drained.get_ordered(Ordering::Acquire) < target {
                 if lane.dead.load(Ordering::Acquire) {
                     return Err(self.shared.lane_error(shard));
+                }
+                if let Some(limit) = deadline {
+                    let waited = start.elapsed();
+                    if waited >= limit {
+                        return Err(GraphError::Timeout {
+                            waited_ms: waited.as_millis() as u64,
+                        });
+                    }
                 }
                 spins += 1;
                 if spins < 64 {
@@ -812,6 +836,42 @@ mod tests {
         fn system_name(&self) -> &'static str {
             "panic"
         }
+    }
+
+    /// A backend whose inserts stall — drives the bounded-wait path.
+    struct SlowGraph;
+    impl DynamicGraph for SlowGraph {
+        fn insert_vertex(&self, _v: u64) -> GraphResult<()> {
+            Ok(())
+        }
+        fn insert_edge(&self, _s: u64, _d: u64) -> GraphResult<()> {
+            std::thread::sleep(Duration::from_millis(300));
+            Ok(())
+        }
+        fn num_vertices(&self) -> usize {
+            0
+        }
+        fn num_edges(&self) -> usize {
+            0
+        }
+        fn flush(&self) {}
+        fn system_name(&self) -> &'static str {
+            "slow"
+        }
+    }
+
+    #[test]
+    fn bounded_wait_times_out_and_the_ticket_stays_usable() {
+        let graph = Arc::new(ShardedGraph::new(1, |_| Ok(SlowGraph)).unwrap());
+        let p = IngestPipeline::new(graph, &ShardedConfig::with_shards(1));
+        let ticket = p.submit(&[Update::InsertEdge(0, 1)]).unwrap();
+        match p.wait_for_deadline(&ticket, Some(Duration::from_millis(5))) {
+            Err(GraphError::Timeout { waited_ms }) => assert!(waited_ms >= 5),
+            other => panic!("expected a timeout, got {other:?}"),
+        }
+        // The timeout did not invalidate anything: an unbounded wait on the
+        // same ticket completes once the slow backend catches up.
+        p.wait_for(&ticket).unwrap();
     }
 
     fn dead_lane_pipeline() -> IngestPipeline<PanicGraph> {

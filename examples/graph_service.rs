@@ -32,6 +32,7 @@ fn main() {
         num_vertices,
         num_edges,
         pool_bytes: 192 << 20,
+        ..ServiceConfig::default()
     })
     .expect("start GraphService");
 

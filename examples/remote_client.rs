@@ -37,6 +37,7 @@ fn main() {
             num_vertices,
             num_edges,
             pool_bytes: 192 << 20,
+            ..ServiceConfig::default()
         },
         NetConfig {
             max_inflight: 32,

@@ -175,6 +175,7 @@ fn service_config() -> ServiceConfig {
         num_vertices: 256,
         num_edges: 1 << 14,
         pool_bytes: 24 << 20,
+        ..ServiceConfig::default()
     }
 }
 

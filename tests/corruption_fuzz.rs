@@ -1,0 +1,336 @@
+//! Media-fault fuzzing for the end-to-end integrity plane.
+//!
+//! Each trial builds a sharded engine, ingests a seeded stream of tagged
+//! batches, optionally shuts the shards down gracefully (even seeds) or
+//! leaves them in the crash state (odd seeds), and then injects seeded
+//! media faults — single bit flips and torn 64-byte cache lines — into
+//! byte ranges the verify pass is documented to cover
+//! ([`Dgap::covered_regions`] plus the durable client table).  The pools
+//! are then reopened through [`GraphService::open`], which runs the full
+//! verification pass (including the edge-array re-checksum), and the trial
+//! demands the integrity contract:
+//!
+//! * shards whose damage was repairable (or harmless) recover to **exact**
+//!   [`ReferenceGraph`] parity;
+//! * shards whose damage is fatal are **quarantined** with a structured
+//!   reason, every read rooted there answers [`GraphError::Degraded`],
+//!   whole-graph analytics come back wrapped in [`QueryResult::Partial`],
+//!   and mutations routed there are rejected with the retryable error;
+//! * in no run does any query silently answer from damaged state.
+//!
+//! The default matrix (1/2/4 shards x `CORRUPTION_FUZZ_SEEDS` trials x
+//! `FAULTS_PER_TRIAL` faults) injects 108 distinct faults per run.
+//! `CORRUPTION_FUZZ_SEED` pins the base seed (CI does);
+//! `CORRUPTION_FUZZ_SEEDS` scales the per-shard-count trial count.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use dgap::{GraphError, GraphView, ReferenceGraph, Update, VertexId};
+use obs::Registry;
+use pmem::{CostModel, PmemConfig, PmemPool};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use service::{GraphService, Query, QueryResult, ServiceConfig};
+use sharded::{ClientTable, IngestPipeline, ShardedConfig, ShardedGraph};
+
+const NUM_VERTICES: usize = 160;
+const NUM_EDGES: usize = 1 << 14;
+const POOL_BYTES: usize = 24 << 20;
+/// Tagged batches per client per trial.
+const OPS_PER_CLIENT: usize = 12;
+const NUM_CLIENTS: u64 = 2;
+/// Seeded media faults injected per trial.
+const FAULTS_PER_TRIAL: usize = 3;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn service_config(num_shards: usize) -> ServiceConfig {
+    ServiceConfig {
+        sharded: ShardedConfig::builder()
+            .shards(num_shards)
+            .batch_size(16)
+            .build(),
+        workers: 2,
+        num_vertices: NUM_VERTICES,
+        num_edges: NUM_EDGES,
+        pool_bytes: POOL_BYTES,
+        ..ServiceConfig::default()
+    }
+}
+
+/// One client's scripted life: `batches[k]` is the update vector it submits
+/// as op id `k + 1`.
+struct ClientScript {
+    client_id: u64,
+    batches: Vec<Vec<Update>>,
+}
+
+/// Two clients with disjoint source-vertex sets (even vs odd), so the final
+/// graph is independent of batch interleaving and the oracle stays exact
+/// (same construction as `crash_fuzz.rs`).
+fn scripts(rng: &mut ChaCha8Rng) -> Vec<ClientScript> {
+    let n = NUM_VERTICES as u64;
+    (0..NUM_CLIENTS)
+        .map(|c| {
+            let mut live: Vec<(u64, u64)> = Vec::new();
+            let batches = (0..OPS_PER_CLIENT)
+                .map(|_| {
+                    let len = rng.gen_range(1usize..6);
+                    let mut ops = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        let roll = rng.gen_range(0u32..10);
+                        if roll < 2 && !live.is_empty() {
+                            let (s, d) = live.swap_remove(rng.gen_range(0usize..live.len()));
+                            ops.push(Update::DeleteEdge(s, d));
+                        } else {
+                            let s = rng.gen_range(0u64..n / 2) * 2 + c;
+                            let d = rng.gen_range(0u64..n);
+                            if roll == 2 || live.contains(&(s, d)) {
+                                ops.push(Update::InsertVertex(d));
+                            } else {
+                                live.push((s, d));
+                                ops.push(Update::InsertEdge(s, d));
+                            }
+                        }
+                    }
+                    ops
+                })
+                .collect();
+            ClientScript {
+                client_id: c + 1,
+                batches,
+            }
+        })
+        .collect()
+}
+
+fn oracle_after(scripts: &[ClientScript]) -> ReferenceGraph {
+    let mut oracle = ReferenceGraph::new(NUM_VERTICES);
+    for script in scripts {
+        for batch in &script.batches {
+            for &op in batch {
+                match op {
+                    Update::InsertVertex(_) => {}
+                    Update::InsertEdge(s, d) => oracle.add_edge(s, d),
+                    Update::DeleteEdge(s, d) => {
+                        oracle.remove_edge(s, d);
+                    }
+                }
+            }
+        }
+    }
+    oracle
+}
+
+/// Damage one seeded byte (bit flip) or one seeded 64-byte line (torn
+/// store) inside `[off, off + len)`.  Returns a description for failure
+/// context.
+fn inject(pool: &PmemPool, rng: &mut ChaCha8Rng, off: u64, len: u64) -> String {
+    let first_line = off.div_ceil(64) * 64;
+    let lines = (off + len).saturating_sub(first_line) / 64;
+    if lines > 0 && rng.gen_bool(0.35) {
+        let line = first_line + 64 * rng.gen_range(0..lines);
+        pool.inject_torn_line(line, rng.gen());
+        format!("torn line @ +{line}")
+    } else {
+        let byte = off + rng.gen_range(0..len);
+        let bit = rng.gen_range(0u32..8);
+        pool.inject_bit_flip(byte, bit);
+        format!("bit flip @ +{byte} bit {bit}")
+    }
+}
+
+/// One corruption trial: build, (maybe) shut down, damage, reopen, and
+/// hold the repaired-or-quarantined contract.  Returns the number of
+/// shards that were quarantined.
+fn corruption_trial(num_shards: usize, seed: u64) -> usize {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let graceful = seed.is_multiple_of(2);
+    let plan = scripts(&mut rng);
+
+    // --- Phase 1: build the engine and ingest the scripted batches. ---
+    let config = service_config(num_shards);
+    let graph = Arc::new(
+        ShardedGraph::create_dgap(num_shards, NUM_VERTICES, NUM_EDGES, |_| {
+            PmemConfig::with_capacity(POOL_BYTES).cost_model(CostModel::zero())
+        })
+        .expect("create sharded dgap"),
+    );
+    let pools: Vec<Arc<PmemPool>> = (0..num_shards)
+        .map(|i| Arc::clone(graph.shard(i).pool()))
+        .collect();
+    let tables: Vec<ClientTable> = pools
+        .iter()
+        .map(|pool| ClientTable::create_or_open(pool, 0).expect("create client table"))
+        .collect();
+    let registry = Arc::new(Registry::new());
+    let pipeline = IngestPipeline::with_client_tables(
+        Arc::clone(&graph),
+        &config.sharded,
+        Arc::clone(&registry),
+        tables,
+    );
+    for k in 0..OPS_PER_CLIENT {
+        for script in &plan {
+            pipeline
+                .submit_tagged(&script.batches[k], script.client_id, (k + 1) as u64)
+                .expect("submit");
+        }
+    }
+    pipeline.flush_all().expect("flush");
+    drop(pipeline);
+    if graceful {
+        for i in 0..num_shards {
+            graph.shard(i).shutdown().expect("graceful shard shutdown");
+        }
+    }
+
+    // --- Phase 2: aim seeded faults at bytes the verify pass covers.
+    // Snapshot every shard's target list *before* the first fault lands:
+    // region enumeration reads offsets from the pool, and damaging the
+    // superblock first would make later enumerations chase garbage. ---
+    let targets_per_shard: Vec<Vec<(u64, u64)>> = (0..num_shards)
+        .map(|shard| {
+            let mut targets: Vec<(u64, u64)> = graph
+                .shard(shard)
+                .covered_regions()
+                .into_iter()
+                .filter(|r| (graceful || r.covered_after_crash) && r.len > 0)
+                .map(|r| (r.offset, r.len))
+                .collect();
+            if let Some((off, len)) = ClientTable::region(&pools[shard]) {
+                targets.push((off, len));
+            }
+            targets
+        })
+        .collect();
+    let mut victims: BTreeSet<usize> = BTreeSet::new();
+    let mut faults: Vec<String> = Vec::new();
+    for _ in 0..FAULTS_PER_TRIAL {
+        let shard = rng.gen_range(0usize..num_shards);
+        let targets = &targets_per_shard[shard];
+        let (off, len) = targets[rng.gen_range(0usize..targets.len())];
+        let what = inject(&pools[shard], &mut rng, off, len);
+        faults.push(format!("shard {shard}: {what}"));
+        victims.insert(shard);
+    }
+    drop(graph);
+
+    // --- Phase 3: reopen through the service — it must come up (degraded
+    // at worst), never crash, and never serve damaged state. ---
+    let context = || format!("shards={num_shards} seed={seed} graceful={graceful} [{faults:?}]");
+    let (service, recovery) = GraphService::open(service_config(num_shards), pools)
+        .unwrap_or_else(|e| panic!("reopen must quarantine, not fail: {e} ({})", context()));
+    let quarantined: BTreeSet<usize> = recovery.quarantined_shards().into_iter().collect();
+    assert!(
+        quarantined.iter().all(|s| victims.contains(s)),
+        "quarantined undamaged shard: {quarantined:?} vs {victims:?} ({})",
+        context()
+    );
+    for (shard, reason) in recovery.quarantine_reasons() {
+        assert!(
+            !reason.is_empty(),
+            "shard {shard} quarantined without a reason ({})",
+            context()
+        );
+    }
+
+    // --- Phase 4: the contract.  Healthy shards answer with exact oracle
+    // parity; quarantined shards refuse rooted reads with the structured
+    // retryable error — never a silently wrong answer. ---
+    let oracle = oracle_after(&plan);
+    let client = service.client();
+    let sharded = service.graph();
+    let degraded_list: Vec<usize> = quarantined.iter().copied().collect();
+    for v in 0..NUM_VERTICES as VertexId {
+        if quarantined.contains(&sharded.shard_of(v)) {
+            match client.degree(v) {
+                Err(GraphError::Degraded { shards }) => assert_eq!(
+                    shards,
+                    degraded_list,
+                    "degraded error names the wrong shards ({})",
+                    context()
+                ),
+                other => panic!(
+                    "quarantined read must refuse, got {other:?} ({})",
+                    context()
+                ),
+            }
+        } else {
+            let mut got = client.neighbors(v).expect("healthy neighbors");
+            let mut want = oracle.neighbors(v);
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want, "neighbours of {v} after reopen ({})", context());
+        }
+    }
+    if quarantined.is_empty() {
+        assert!(
+            recovery.all_normal() || recovery.crashed_shards() > 0,
+            "undamaged-path sanity ({})",
+            context()
+        );
+    } else {
+        // Whole-graph analytics must carry the partial annotation.
+        match client.query(Query::TriangleCount).expect("analytics") {
+            QueryResult::Partial {
+                degraded_shards, ..
+            } => assert_eq!(degraded_shards, degraded_list, "{}", context()),
+            other => panic!("analytics must be Partial, got {other:?} ({})", context()),
+        }
+        // Mutations routed at a quarantined shard are rejected retryably.
+        let vq = (0..NUM_VERTICES as VertexId)
+            .find(|&v| quarantined.contains(&sharded.shard_of(v)))
+            .expect("a quarantined shard owns some vertex");
+        match client.mutate(vec![Update::InsertEdge(vq, (vq + 1) % NUM_VERTICES as u64)]) {
+            Err(GraphError::Degraded { shards }) => assert_eq!(shards, degraded_list),
+            other => panic!(
+                "quarantined write must refuse, got {other:?} ({})",
+                context()
+            ),
+        }
+        assert_eq!(service.stats().degraded_shards, quarantined.len());
+    }
+    let count = quarantined.len();
+    service.shutdown();
+    count
+}
+
+fn run_matrix(num_shards: usize) {
+    let base = env_u64("CORRUPTION_FUZZ_SEED", 0xC0FF_EE26);
+    let trials = env_u64("CORRUPTION_FUZZ_SEEDS", 12);
+    let mut quarantines = 0usize;
+    for round in 0..trials {
+        let seed = base ^ ((num_shards as u64) << 32) ^ round;
+        quarantines += corruption_trial(num_shards, seed);
+    }
+    // The matrix must actually exercise both arms of the contract: some
+    // faults land repairable (or harmless), some must be fatal enough to
+    // quarantine.  All-repaired across a whole matrix would mean the
+    // faults are not reaching live state.
+    assert!(
+        quarantines > 0,
+        "shards={num_shards}: {trials} trials x {FAULTS_PER_TRIAL} faults never quarantined"
+    );
+}
+
+#[test]
+fn corruption_fuzz_one_shard() {
+    run_matrix(1);
+}
+
+#[test]
+fn corruption_fuzz_two_shards() {
+    run_matrix(2);
+}
+
+#[test]
+fn corruption_fuzz_four_shards() {
+    run_matrix(4);
+}

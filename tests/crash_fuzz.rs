@@ -71,6 +71,7 @@ fn service_config(num_shards: usize) -> ServiceConfig {
         num_vertices: NUM_VERTICES,
         num_edges: NUM_EDGES,
         pool_bytes: POOL_BYTES,
+        ..ServiceConfig::default()
     }
 }
 

@@ -52,7 +52,37 @@ fn service_config() -> ServiceConfig {
         num_vertices: NUM_VERTICES as usize,
         num_edges: 1 << 14,
         pool_bytes: 24 << 20,
+        ..ServiceConfig::default()
     }
+}
+
+#[test]
+fn bounded_remote_wait_round_trips_both_outcomes() {
+    let server = GraphServer::start(service_config(), NetConfig::loopback()).expect("start server");
+    let client = RemoteClient::connect(server.local_addr()).expect("connect");
+    // A satisfied ticket answers within any deadline.
+    let t = client.mutate(vec![Update::InsertEdge(0, 1)]).expect("seed");
+    client
+        .wait_deadline(&t, Duration::from_secs(5))
+        .expect("satisfied ticket beats a generous deadline");
+    // Queue fat batches so the last ticket is still draining when the
+    // zero-deadline wait crosses the wire — the structured Timeout must
+    // come back, and the ticket must stay retryable.
+    let mut last = sharded::Ticket::empty();
+    for round in 0..4u64 {
+        let ops: Vec<Update> = (0..8000u64)
+            .map(|i| Update::InsertEdge(i % NUM_VERTICES, (i + round) % NUM_VERTICES))
+            .collect();
+        last = client.mutate(ops).expect("fat batch");
+    }
+    match client.wait_deadline(&last, Duration::ZERO) {
+        Err(GraphError::Timeout { .. }) => {}
+        Ok(()) => panic!("pipeline drained 32k ops before the wait was served"),
+        other => panic!("unexpected {other:?}"),
+    }
+    client.wait(&last).expect("unbounded retry completes");
+    client.close();
+    server.shutdown();
 }
 
 #[test]
@@ -369,7 +399,10 @@ fn forged_wait_tickets_error_instead_of_wedging_the_worker_pool() {
     let pending: Vec<_> = (0..8)
         .map(|_| {
             client
-                .send(&Request::Wait(forged.clone()))
+                .send(&Request::Wait {
+                    ticket: forged.clone(),
+                    deadline_ms: None,
+                })
                 .expect("send forged wait")
         })
         .collect();

@@ -18,6 +18,7 @@ fn service_config() -> ServiceConfig {
         num_vertices: NUM_VERTICES,
         num_edges: 1 << 14,
         pool_bytes: 24 << 20,
+        ..ServiceConfig::default()
     }
 }
 

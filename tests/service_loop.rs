@@ -52,6 +52,7 @@ fn service_config() -> ServiceConfig {
         num_vertices: NUM_VERTICES as usize,
         num_edges: 1 << 14,
         pool_bytes: 24 << 20,
+        ..ServiceConfig::default()
     }
 }
 
@@ -148,6 +149,7 @@ fn backend_errors_surface_as_responses_and_do_not_kill_the_loop() {
                 num_vertices: 256,
                 num_edges: 1 << 14,
                 pool_bytes: mb << 20,
+                ..ServiceConfig::default()
             })
             .ok()
         })
@@ -196,6 +198,7 @@ fn incremental_refresh_reuses_untouched_shard_snapshots() {
         num_vertices: 256,
         num_edges: 1 << 14,
         pool_bytes: 24 << 20,
+        ..ServiceConfig::default()
     })
     .expect("start service");
     let client = service.client();
